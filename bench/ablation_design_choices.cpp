@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Ablations of Mirage's design choices (DESIGN.md inventory; paper
+ * Sec. IV):
+ *   A. MRR-switched weight stationarity vs. reprogramming the phase
+ *      shifters every cycle (the Fig. 3b -> 3c redesign).
+ *   B. Special moduli set {2^k-1, 2^k, 2^k+1} vs. generic CRT conversion
+ *      (software-throughput proxy for the conversion-circuit cost).
+ *   C. Optical loss policy used for laser sizing.
+ *   D. Dual (I/Q) phase detection vs. a single-quadrature detector.
+ *   E. 10-way digital interleaving vs. a single 1 GHz digital pipeline.
+ */
+
+#include <chrono>
+#include <iostream>
+
+#include "arch/energy_model.h"
+#include "arch/perf_model.h"
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/schedule.h"
+#include "models/zoo.h"
+#include "photonic/link_budget.h"
+#include "rns/conversion.h"
+#include "rns/special_converter.h"
+
+namespace {
+
+using namespace mirage;
+
+double
+stepTime(const arch::MirageConfig &cfg, int64_t batch)
+{
+    const arch::MiragePerfModel model(cfg);
+    return core::scheduleMirage(model,
+                                models::trainingTasks(models::alexNet(),
+                                                      batch),
+                                arch::DataflowPolicy::OPT2)
+        .total_time_s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("Ablations", "Mirage design choices (Sec. IV)", opts);
+    const int64_t batch = opts.full ? 256 : 64;
+
+    // ---- A: weight stationarity via MRR switches ----------------------
+    {
+        arch::MirageConfig baseline;
+        // Without MRR switches every MVM reprograms the shifters: the
+        // effective cycle time becomes the 5 ns settling time instead of
+        // 0.1 ns (Sec. IV-A1 discussion).
+        arch::MirageConfig no_mrr = baseline;
+        no_mrr.photonic_clock_hz =
+            1.0 / no_mrr.devices.phase_shifter.reprogram_time_s; // 200 MHz
+        no_mrr.sram.interleave_factor = 1; // digital easily keeps up now
+        const double t0 = stepTime(baseline, batch);
+        const double t1 = stepTime(no_mrr, batch);
+        TablePrinter t({"design", "AlexNet step (ms)", "slowdown"});
+        t.addRow({"MRR-switched (paper)", formatFixed(t0 * 1e3, 3), "1.0"});
+        t.addRow({"reprogram shifters each cycle", formatFixed(t1 * 1e3, 3),
+                  formatFixed(t1 / t0, 1) + "x"});
+        std::cout << "A. data stationarity (Fig. 3b vs 3c)\n";
+        bench::emit(t, opts);
+    }
+
+    // ---- B: special vs generic reverse conversion ----------------------
+    {
+        const rns::SpecialConverter special(5);
+        const rns::RnsCodec generic{rns::ModuliSet::special(5)};
+        Rng rng(1);
+        std::vector<rns::ResidueVector> inputs;
+        for (int i = 0; i < 4096; ++i)
+            inputs.push_back(
+                special.forwardSigned(rng.uniformInt(-16000, 16000)));
+        const int reps = opts.full ? 200 : 50;
+
+        auto time_of = [&](auto &&fn) {
+            const auto start = std::chrono::steady_clock::now();
+            int64_t sink = 0;
+            for (int r = 0; r < reps; ++r)
+                for (const auto &in : inputs)
+                    sink += fn(in);
+            const auto stop = std::chrono::steady_clock::now();
+            volatile int64_t keep = sink;
+            (void)keep;
+            return std::chrono::duration<double>(stop - start).count();
+        };
+        const double t_special = time_of(
+            [&](const rns::ResidueVector &r) { return special.reverseSigned(r); });
+        const double t_generic = time_of(
+            [&](const rns::ResidueVector &r) { return generic.decode(r); });
+        TablePrinter t({"converter", "ns/conversion", "speedup"});
+        t.addRow({"special set (shift/add, Hiasat-style)",
+                  formatFixed(t_special / reps / 4096 * 1e9, 2),
+                  formatFixed(t_generic / t_special, 1) + "x"});
+        t.addRow({"generic CRT (128-bit mulmod)",
+                  formatFixed(t_generic / reps / 4096 * 1e9, 2), "1.0"});
+        std::cout << "B. reverse conversion cost (software proxy for the\n"
+                     "   circuit complexity argument of Sec. IV-B)\n";
+        bench::emit(t, opts);
+    }
+
+    // ---- C: loss policy for laser sizing -------------------------------
+    {
+        const photonic::DeviceKit kit;
+        TablePrinter t({"loss policy", "path loss (dB)",
+                        "laser/channel (mW)"});
+        struct P { const char *name; photonic::LossPolicy p; };
+        for (const P &p : {P{"AllThrough (paper worst case)",
+                             photonic::LossPolicy::AllThrough},
+                           P{"WorstCasePerDigit",
+                             photonic::LossPolicy::WorstCasePerDigit},
+                           P{"Average", photonic::LossPolicy::Average}}) {
+            const photonic::LinkBudget lb = photonic::computeLinkBudget(
+                kit, 33, 6, 16, 10e9, 1.0, p.p);
+            t.addRow({p.name, formatFixed(lb.path_loss_db, 1),
+                      formatFixed(lb.laser_wall_w * 1e3, 2)});
+        }
+        std::cout << "C. optical loss policy (laser sizing, m = 33, g = 16)\n";
+        bench::emit(t, opts);
+    }
+
+    // ---- D: I/Q detection laser overhead --------------------------------
+    {
+        const photonic::DeviceKit kit;
+        const photonic::LinkBudget lb = photonic::computeLinkBudget(
+            kit, 33, 6, 16, 10e9, 1.0, photonic::LossPolicy::AllThrough);
+        TablePrinter t({"detection", "laser/channel (mW)", "ADCs/MDPU"});
+        t.addRow({"dual-quadrature I/Q (paper)",
+                  formatFixed(lb.laser_wall_w * 1e3, 2), "2"});
+        t.addRow({"single-quadrature (phase ambiguity!)",
+                  formatFixed(lb.laser_wall_w / 2 * 1e3, 2), "1"});
+        std::cout << "D. phase detection (Sec. IV-A3): halving detection\n"
+                     "   halves laser power but cannot resolve phase sign\n";
+        bench::emit(t, opts);
+    }
+
+    // ---- E: digital interleaving ---------------------------------------
+    {
+        arch::MirageConfig baseline;
+        arch::MirageConfig no_interleave = baseline;
+        // One digital copy at 1 GHz throttles the photonic core 10x.
+        no_interleave.photonic_clock_hz = baseline.digital_clock_hz;
+        no_interleave.sram.interleave_factor = 1;
+        const double t0 = stepTime(baseline, batch);
+        const double t1 = stepTime(no_interleave, batch);
+        TablePrinter t({"digital pipeline", "AlexNet step (ms)", "slowdown"});
+        t.addRow({"10x interleaved @ 1 GHz (paper)",
+                  formatFixed(t0 * 1e3, 3), "1.0"});
+        t.addRow({"single pipeline @ 1 GHz", formatFixed(t1 * 1e3, 3),
+                  formatFixed(t1 / t0, 1) + "x"});
+        std::cout << "E. SRAM/digital interleaving (Sec. IV-C)\n";
+        bench::emit(t, opts);
+    }
+    return 0;
+}

@@ -1,0 +1,73 @@
+#ifndef MIRAGE_BENCH_BENCH_UTIL_H
+#define MIRAGE_BENCH_BENCH_UTIL_H
+
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction harnesses: flag parsing
+ * (--full for paper-scale sweeps, --csv for machine-readable output) and a
+ * banner that states which paper artifact a binary regenerates.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+
+namespace mirage {
+namespace bench {
+
+/** Command-line options shared by every harness. */
+struct BenchOptions
+{
+    bool full = false; ///< Paper-scale sweep instead of the quick default.
+    bool csv = false;  ///< CSV instead of aligned tables.
+
+    static BenchOptions
+    parse(int argc, char **argv)
+    {
+        BenchOptions opts;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--full") == 0)
+                opts.full = true;
+            else if (std::strcmp(argv[i], "--csv") == 0)
+                opts.csv = true;
+            else if (std::strcmp(argv[i], "--help") == 0) {
+                std::cout << "usage: " << argv[0]
+                          << " [--full] [--csv]\n"
+                             "  --full  paper-scale sweep (slower)\n"
+                             "  --csv   machine-readable output\n";
+                std::exit(0);
+            }
+        }
+        return opts;
+    }
+};
+
+/** Prints the artifact banner. */
+inline void
+banner(const std::string &artifact, const std::string &description,
+       const BenchOptions &opts)
+{
+    std::cout << "==============================================================\n"
+              << "Reproducing " << artifact << ": " << description << "\n"
+              << "mode: " << (opts.full ? "--full (paper-scale)" : "quick")
+              << "\n"
+              << "==============================================================\n";
+}
+
+/** Emits a table in the selected format. */
+inline void
+emit(const TablePrinter &table, const BenchOptions &opts)
+{
+    if (opts.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace bench
+} // namespace mirage
+
+#endif // MIRAGE_BENCH_BENCH_UTIL_H

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fig. 5a: validation accuracy after training under BFP(bm, g) for
+ * bm in {3, 4, 5} across group sizes, against the FP32 baseline.
+ *
+ * Substitution (see DESIGN.md): the paper trains ResNet18 on ImageNet for
+ * 60 epochs; we train the SmallCNN on the synthetic pattern-image task —
+ * same quantized-GEMM code path in all three training GEMMs, laptop-scale
+ * runtime. The reproduction target is the *ordering*: bm=3 degrades,
+ * bm=4 holds to moderate g, bm=5 holds further, both tracking FP32.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "models/trainable.h"
+#include "nn/data.h"
+#include "nn/model.h"
+#include "rns/moduli_set.h"
+
+namespace {
+
+using namespace mirage;
+
+float
+trainOnce(numerics::DataFormat fmt, int bm, int g, const nn::Dataset &train,
+          const nn::Dataset &test, int epochs)
+{
+    Rng rng(7); // identical init across configurations
+    numerics::FormatGemmConfig fc;
+    fc.mirage_bfp = {bm, g, bfp::Rounding::Nearest};
+    // The RNS layer is numerically transparent (property-tested), so the
+    // sweep runs on the plain BFP integer path for speed; Eq. (13)
+    // feasibility of each (bm, g) point is still asserted.
+    rns::ModuliSet::minSpecialK(bm, g);
+    nn::FormatBackend backend(fmt, fc);
+    auto model = models::makeSmallCnn(train.num_classes, &backend, rng);
+    nn::Sgd opt(0.02f, 0.9f);
+    nn::TrainConfig cfg;
+    cfg.epochs = epochs;
+    cfg.batch_size = 32;
+    return nn::trainClassifier(*model, opt, train, test, cfg)
+        .final_test_accuracy;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("Fig. 5a",
+                  "accuracy vs BFP group size g for bm in {3,4,5}", opts);
+
+    // 16 finely-spaced orientation classes: adjacent gratings differ by
+    // ~11 degrees, so coarse activations/gradients (bm = 3) alias classes —
+    // the miniature analogue of ImageNet's precision sensitivity.
+    const int classes = 16;
+    const int train_n = opts.full ? 640 : 320;
+    const int test_n = opts.full ? 320 : 160;
+    const int epochs = opts.full ? 10 : 6;
+    const nn::Dataset train =
+        nn::makePatternImages(train_n, classes, 16, 0.3f, 100);
+    const nn::Dataset test =
+        nn::makePatternImages(test_n, classes, 16, 0.3f, 101);
+    const std::vector<int> g_values =
+        opts.full ? std::vector<int>{4, 8, 16, 32, 64, 128}
+                  : std::vector<int>{4, 16, 64};
+
+    const float fp32 = trainOnce(numerics::DataFormat::FP32, 4, 16, train,
+                                 test, epochs);
+    std::cout << "FP32 baseline accuracy: " << formatFixed(100 * fp32, 1)
+              << " %\n\n";
+
+    TablePrinter table({"g", "bm=3 acc(%)", "bm=4 acc(%)", "bm=5 acc(%)",
+                        "FP32 acc(%)"});
+    for (int g : g_values) {
+        std::vector<std::string> row = {std::to_string(g)};
+        for (int bm : {3, 4, 5}) {
+            const float acc = trainOnce(numerics::DataFormat::MirageBfpRns,
+                                        bm, g, train, test, epochs);
+            row.push_back(formatFixed(100 * acc, 1));
+        }
+        row.push_back(formatFixed(100 * fp32, 1));
+        table.addRow(row);
+    }
+    bench::emit(table, opts);
+
+    std::cout << "Shape check (paper Fig. 5a): bm=3 cannot reach FP32-level\n"
+                 "accuracy; bm=4 tracks FP32 up to g~16; bm=5 tracks FP32 to\n"
+                 "larger g. Absolute numbers differ (synthetic task), the\n"
+                 "ordering is the reproduction target.\n";
+    return 0;
+}

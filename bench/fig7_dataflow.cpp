@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Fig. 7: dataflow study. (a) per-layer training latency of AlexNet on
+ * Mirage (DF1/DF2) and on a 1 GHz systolic array of the same geometry
+ * (DF1/DF2/DF3), split by training op. (b) per-model step latency under
+ * fixed dataflows and the OPT1/OPT2 flexible policies, normalized to DF1.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "arch/perf_model.h"
+#include "arch/systolic.h"
+#include "bench/bench_util.h"
+#include "core/schedule.h"
+#include "models/zoo.h"
+
+namespace {
+
+using namespace mirage;
+
+arch::SystolicConfig
+matchedSystolic()
+{
+    arch::SystolicConfig cfg;
+    cfg.spec = arch::systolicSpec(numerics::DataFormat::INT12); // 1 GHz
+    cfg.rows = 16;
+    cfg.cols = 32;
+    cfg.num_arrays = 8;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("Fig. 7", "dataflow comparison (Mirage vs systolic array)",
+                  opts);
+    const int64_t batch = opts.full ? 256 : 64;
+
+    const arch::MiragePerfModel mirage{arch::MirageConfig{}};
+    const arch::SystolicPerfModel sa{matchedSystolic()};
+
+    // ---- (a) per-layer latency, AlexNet -------------------------------
+    {
+        std::cout << "(a) AlexNet per-layer latency (ns), batch " << batch
+                  << "\n";
+        TablePrinter table({"layer", "op", "Mirage DF1", "Mirage DF2",
+                            "SA DF1", "SA DF2", "SA DF3"});
+        const models::ModelShape net = models::alexNet();
+        for (const auto &task : models::trainingTasks(net, batch)) {
+            std::vector<std::string> row = {task.layer,
+                                            arch::toString(task.op)};
+            for (arch::Dataflow df :
+                 {arch::Dataflow::DF1, arch::Dataflow::DF2}) {
+                row.push_back(formatSig(
+                    mirage.gemm(task.shape, df, task.count).time_s * 1e9, 4));
+            }
+            for (arch::Dataflow df : {arch::Dataflow::DF1, arch::Dataflow::DF2,
+                                      arch::Dataflow::DF3}) {
+                row.push_back(formatSig(
+                    sa.gemm(task.shape, df, task.count).time_s * 1e9, 4));
+            }
+            table.addRow(row);
+        }
+        bench::emit(table, opts);
+    }
+
+    // ---- (b) per-model normalized step latency -----------------------
+    {
+        std::cout << "(b) training-step latency normalized to DF1\n";
+        using arch::DataflowPolicy;
+        const std::vector<DataflowPolicy> mirage_policies = {
+            DataflowPolicy::FixedDF1, DataflowPolicy::FixedDF2,
+            DataflowPolicy::OPT1, DataflowPolicy::OPT2};
+        const std::vector<DataflowPolicy> sa_policies = {
+            DataflowPolicy::FixedDF1, DataflowPolicy::FixedDF2,
+            DataflowPolicy::FixedDF3, DataflowPolicy::OPT1,
+            DataflowPolicy::OPT2};
+
+        TablePrinter table({"model", "target", "DF1", "DF2", "DF3", "OPT1",
+                            "OPT2"});
+        for (const auto &net : models::allModels()) {
+            const auto tasks = models::trainingTasks(net, batch);
+
+            std::vector<std::string> mrow = {net.name, "Mirage"};
+            const double m_base =
+                core::scheduleMirage(mirage, tasks, DataflowPolicy::FixedDF1)
+                    .total_time_s;
+            for (DataflowPolicy p : mirage_policies) {
+                const double t =
+                    core::scheduleMirage(mirage, tasks, p).total_time_s;
+                mrow.push_back(formatFixed(t / m_base, 3));
+                if (p == DataflowPolicy::FixedDF2)
+                    mrow.push_back("n/a"); // DF3 unavailable on Mirage
+            }
+            table.addRow(mrow);
+
+            std::vector<std::string> srow = {net.name, "SA 1GHz"};
+            const double s_base =
+                core::scheduleSystolic(sa, tasks, DataflowPolicy::FixedDF1)
+                    .total_time_s;
+            for (DataflowPolicy p : sa_policies) {
+                const double t =
+                    core::scheduleSystolic(sa, tasks, p).total_time_s;
+                srow.push_back(formatFixed(t / s_base, 3));
+            }
+            table.addRow(srow);
+        }
+        bench::emit(table, opts);
+    }
+
+    std::cout << "Shape check (paper): on Mirage the fixed dataflows are\n"
+                 "close and OPT1/OPT2 bring minor gains; on the systolic\n"
+                 "array dataflow choice matters more (OPT1 ~11.7%, OPT2\n"
+                 "~12.5% over the best fixed dataflow on average).\n";
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fig. 9: peak power and area breakdown of the full Mirage accelerator,
+ * with the paper's reported shares alongside for comparison.
+ */
+
+#include <iostream>
+
+#include "arch/energy_model.h"
+#include "bench/bench_util.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mirage;
+    const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("Fig. 9", "peak power and area breakdown", opts);
+
+    const arch::MirageEnergyModel model{arch::MirageConfig{}};
+    const arch::PowerBreakdown p = model.peakPower();
+    const arch::AreaBreakdown a = model.area();
+
+    {
+        TablePrinter table({"component", "power (W)", "share (%)",
+                            "paper share (%)"});
+        const double total = p.total();
+        auto row = [&](const char *name, double w, const char *paper) {
+            table.addRow({name, formatFixed(w, 3),
+                          formatFixed(100.0 * w / total, 1), paper});
+        };
+        row("SRAM", p.sram_w, "61.9");
+        row("Laser", p.laser_w, "14.4");
+        row("TIA", p.tia_w, "14.4");
+        row("RNS conversion", p.rns_conv_w, "6.2");
+        row("Accumulation", p.accum_w, "1.4");
+        row("DAC + ADC", p.dac_w + p.adc_w, "1.1");
+        row("BFP conversion", p.bfp_conv_w, "0.5");
+        row("MRR tuning", p.mrr_tuning_w, "~0");
+        row("Phase-shifter tuning", p.phase_shifter_w, "~0");
+        table.addRow({"TOTAL", formatFixed(total, 2), "100.0",
+                      "100.0 (19.95 W)"});
+        bench::emit(table, opts);
+        std::cout
+            << "Note: the ADC share cannot be reproduced from the paper's\n"
+               "own cited converter (23 mW @ 24 GS/s => ~0.96 pJ/conv, two\n"
+               "per MDPU at 10 GS/s); our honest accounting makes ADCs a\n"
+               "first-order consumer. See EXPERIMENTS.md.\n\n";
+
+        // Alternative accounting: the ~30 fJ/conversion a modern 6-bit SAR
+        // FOM would give, which reproduces the paper's converter share.
+        arch::MirageConfig alt;
+        alt.adc_energy_override_j = 30e-15;
+        const arch::PowerBreakdown pa =
+            arch::MirageEnergyModel(alt).peakPower();
+        std::cout << "With adc_energy_override = 30 fJ/conv (modern SAR "
+                     "FOM):\n  total "
+                  << formatFixed(pa.total(), 2) << " W (paper: 19.95 W), "
+                  << "DAC+ADC share "
+                  << formatFixed(100.0 * (pa.dac_w + pa.adc_w) / pa.total(),
+                                 1)
+                  << " % (paper: 1.1 %), SRAM share "
+                  << formatFixed(100.0 * pa.sram_w / pa.total(), 1)
+                  << " % (paper: 61.9 %).\n\n";
+    }
+
+    {
+        TablePrinter table({"component", "area (mm^2)", "share (%)",
+                            "paper share (%)"});
+        const double total = a.total();
+        auto row = [&](const char *name, double mm2, const char *paper) {
+            table.addRow({name, formatFixed(mm2, 1),
+                          formatFixed(100.0 * mm2 / total, 1), paper});
+        };
+        row("Photonic devices", a.photonic_mm2, "49.1");
+        row("SRAM", a.sram_mm2, "36.0");
+        row("ADC", a.adc_mm2, "9.7");
+        row("DAC", a.dac_mm2, "4.0");
+        row("Digital circuits", a.digital_mm2, "1.2 (others)");
+        table.addRow({"TOTAL", formatFixed(total, 1), "100.0",
+                      "100.0 (476.6 mm^2)"});
+        bench::emit(table, opts);
+        std::cout << "3D-stacked footprint (max of chiplets): "
+                  << formatFixed(a.stackedMm2(), 1)
+                  << " mm^2 (paper: 242.7 mm^2; photonic chiplet 234 mm^2).\n";
+    }
+    return 0;
+}

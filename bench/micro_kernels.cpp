@@ -1,0 +1,131 @@
+/**
+ * @file
+ * google-benchmark micro suites for the numeric kernels: RNS conversion,
+ * modular GEMM, BFP encode + GEMM, and the functional photonic pipeline.
+ * These measure the *simulator's* software throughput (useful when sizing
+ * experiments), not the modeled hardware.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bfp/bfp_gemm.h"
+#include "common/rng.h"
+#include "photonic/mmvmu.h"
+#include "rns/modular_gemm.h"
+#include "rns/special_converter.h"
+
+namespace {
+
+using namespace mirage;
+
+void
+BM_RnsForwardConversion(benchmark::State &state)
+{
+    const rns::SpecialConverter conv(5);
+    Rng rng(1);
+    std::vector<int64_t> values(1024);
+    for (auto &v : values)
+        v = rng.uniformInt(-16000, 16000);
+    for (auto _ : state) {
+        for (int64_t v : values)
+            benchmark::DoNotOptimize(conv.forwardSigned(v));
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_RnsForwardConversion);
+
+void
+BM_RnsReverseConversion(benchmark::State &state)
+{
+    const rns::SpecialConverter conv(5);
+    Rng rng(2);
+    std::vector<rns::ResidueVector> residues;
+    for (int i = 0; i < 1024; ++i)
+        residues.push_back(conv.forwardSigned(rng.uniformInt(-16000, 16000)));
+    for (auto _ : state) {
+        for (const auto &r : residues)
+            benchmark::DoNotOptimize(conv.reverseSigned(r));
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_RnsReverseConversion);
+
+void
+BM_ModularGemm(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Rng rng(3);
+    std::vector<rns::Residue> a(static_cast<size_t>(n) * n),
+        b(static_cast<size_t>(n) * n), c;
+    for (auto &v : a)
+        v = rng.uniformInt(0, 30);
+    for (auto &v : b)
+        v = rng.uniformInt(0, 30);
+    for (auto _ : state) {
+        rns::modularGemm(a, b, c, n, n, n, 31);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_ModularGemm)->Arg(32)->Arg(64);
+
+void
+BM_BfpEncode(benchmark::State &state)
+{
+    Rng rng(4);
+    std::vector<float> values(4096);
+    for (auto &v : values)
+        v = static_cast<float>(rng.gaussian());
+    const bfp::BfpConfig cfg{4, 16, bfp::Rounding::Truncate};
+    for (auto _ : state) {
+        for (size_t i = 0; i < values.size(); i += 16) {
+            benchmark::DoNotOptimize(bfp::encodeBlock(
+                std::span<const float>(&values[i], 16), cfg));
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_BfpEncode);
+
+void
+BM_BfpRnsGemm(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Rng rng(5);
+    std::vector<float> a(static_cast<size_t>(n) * n),
+        b(static_cast<size_t>(n) * n);
+    for (auto &v : a)
+        v = static_cast<float>(rng.gaussian());
+    for (auto &v : b)
+        v = static_cast<float>(rng.gaussian());
+    bfp::BfpGemmOptions opts;
+    opts.config = {4, 16, bfp::Rounding::Truncate};
+    opts.moduli = rns::ModuliSet::special(5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bfp::bfpGemm(a, b, n, n, n, opts));
+    state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_BfpRnsGemm)->Arg(32)->Arg(64);
+
+void
+BM_PhotonicMvm(benchmark::State &state)
+{
+    const photonic::DeviceKit kit;
+    photonic::RnsMmvmu array(rns::ModuliSet::special(5), 32, 16, kit, 10e9);
+    Rng rng(6);
+    std::vector<int64_t> tile(32 * 16);
+    for (auto &v : tile)
+        v = rng.uniformInt(-15, 15);
+    array.programTile(tile, 32, 16);
+    std::vector<int64_t> x(16);
+    for (auto &v : x)
+        v = rng.uniformInt(-15, 15);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(array.mvm(x));
+    state.SetItemsProcessed(state.iterations() * 32 * 16);
+}
+BENCHMARK(BM_PhotonicMvm);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Sec. VI-E: noise and process-variation study. (1) Eq. (14) output phase
+ * error versus DAC precision and the minimum bDAC meeting the 2^-b_out
+ * budget; (2) Monte-Carlo residue error rates on the functional photonic
+ * array under device-error injection; (3) RRNS single-error correction
+ * coverage with redundant moduli.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "photonic/mmvmu.h"
+#include "rns/rrns.h"
+
+namespace {
+
+using namespace mirage;
+
+double
+residueErrorRate(const photonic::PhotonicNoiseConfig &noise, int trials,
+                 Rng &rng)
+{
+    const photonic::DeviceKit kit;
+    photonic::Mmvmu unit(33, 8, 16, kit, 10e9, noise);
+    std::vector<rns::Residue> tile(8 * 16);
+    for (auto &v : tile)
+        v = static_cast<rns::Residue>(rng.uniformInt(0, 32));
+    unit.programTile(tile, 8, 16);
+    int64_t mism = 0, total = 0;
+    std::vector<rns::Residue> x(16);
+    for (int t = 0; t < trials; ++t) {
+        for (auto &v : x)
+            v = static_cast<rns::Residue>(rng.uniformInt(0, 32));
+        const auto noisy = unit.mvm(x, &rng);
+        const auto ideal = unit.mvmIdeal(x);
+        for (size_t r = 0; r < noisy.size(); ++r) {
+            ++total;
+            mism += (noisy[r] != ideal[r]);
+        }
+    }
+    return static_cast<double>(mism) / static_cast<double>(total);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("Sec. VI-E", "device noise, Eq. (14), and RRNS recovery",
+                  opts);
+    Rng rng(2026);
+    const int trials = opts.full ? 2000 : 300;
+
+    // ---- (1) Eq. (14) analytic budget ---------------------------------
+    {
+        std::cout << "(1) Eq. (14) RMS output phase error (fraction of 2pi), "
+                     "h = 16, 6-bit moduli\n";
+        TablePrinter table({"bDAC", "eps_mrr=0.03%", "eps_mrr=0.1%",
+                            "eps_mrr=0.3%", "budget 2^-6"});
+        for (int bdac = 4; bdac <= 12; bdac += 2) {
+            const double eps_ps = std::exp2(-bdac);
+            table.addRow(
+                {std::to_string(bdac),
+                 formatSig(photonic::outputPhaseErrorRms(16, 6, eps_ps, 0.0003), 3),
+                 formatSig(photonic::outputPhaseErrorRms(16, 6, eps_ps, 0.001), 3),
+                 formatSig(photonic::outputPhaseErrorRms(16, 6, eps_ps, 0.003), 3),
+                 formatSig(std::exp2(-6), 3)});
+        }
+        bench::emit(table, opts);
+        std::cout << "minimum bDAC meeting 2^-b_out at b_out=5: "
+                  << photonic::minimumDacBits(16, 6, 0.001, 5)
+                  << " (paper: bDAC >= 8; requires eps_mrr ~0.1%, the "
+                     "quoted 0.3% bound overshoots its own budget)\n\n";
+    }
+
+    // ---- (2) Monte-Carlo functional error rates ----------------------
+    {
+        std::cout << "(2) Monte-Carlo residue error rate on a 16x8 MMVMU "
+                     "(m = 33)\n";
+        TablePrinter table({"injection", "error rate (%)"});
+        struct Case { const char *name; photonic::PhotonicNoiseConfig cfg; };
+        photonic::PhotonicNoiseConfig shot;
+        shot.shot_thermal_enabled = true;
+        shot.snr_safety = 1.0;
+        photonic::PhotonicNoiseConfig shot2 = shot;
+        shot2.snr_safety = 2.0;
+        photonic::PhotonicNoiseConfig dev8;
+        dev8.eps_ps = std::exp2(-8);
+        dev8.eps_mrr = 0.0003;
+        photonic::PhotonicNoiseConfig dev6;
+        dev6.eps_ps = std::exp2(-6);
+        dev6.eps_mrr = 0.001;
+        for (const Case &c :
+             {Case{"shot+thermal @ SNR=m", shot},
+              Case{"shot+thermal @ SNR=2m", shot2},
+              Case{"device errors, bDAC=8, eps_mrr=0.03%", dev8},
+              Case{"device errors, bDAC=6, eps_mrr=0.1%", dev6}}) {
+            table.addRow({c.name,
+                          formatFixed(100.0 * residueErrorRate(c.cfg, trials,
+                                                               rng), 2)});
+        }
+        bench::emit(table, opts);
+    }
+
+    // ---- (3) RRNS correction coverage ---------------------------------
+    {
+        std::cout << "(3) RRNS single-residue-error correction, base {31, "
+                     "32, 33} + redundant {35, 37}\n";
+        const rns::RedundantRns rrns(rns::ModuliSet::special(5), {35, 37});
+        int detected = 0, corrected = 0;
+        const int n = opts.full ? 5000 : 1000;
+        for (int t = 0; t < n; ++t) {
+            const int64_t x = rng.uniformInt(-16000, 16000);
+            rns::ResidueVector r = rrns.encode(x);
+            const size_t idx = static_cast<size_t>(
+                rng.uniformInt(0, static_cast<int64_t>(r.size()) - 1));
+            const uint64_t m = rrns.extendedSet().modulus(idx);
+            r[idx] = (r[idx] +
+                      static_cast<uint64_t>(rng.uniformInt(
+                          1, static_cast<int64_t>(m) - 1))) %
+                     m;
+            const auto res = rrns.decode(r);
+            detected += res.error_detected;
+            corrected += (res.corrected && res.value == x);
+        }
+        TablePrinter table({"metric", "count", "rate (%)"});
+        table.addRow({"injected single-residue errors", std::to_string(n),
+                      "100.0"});
+        table.addRow({"detected", std::to_string(detected),
+                      formatFixed(100.0 * detected / n, 2)});
+        table.addRow({"corrected to exact value", std::to_string(corrected),
+                      formatFixed(100.0 * corrected / n, 2)});
+        bench::emit(table, opts);
+        std::cout << "Shape check: with two redundant moduli, essentially\n"
+                     "every injected single-residue error is detected and\n"
+                     "corrected (Sec. VI-E / Demirkiran et al. [17]).\n";
+    }
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Table I: validation accuracy of training under Mirage's BFP/RNS
+ * numerics versus FP32, bfloat16, INT8, INT12, HFP8 and FMAC — every
+ * format trained through the same harness on identical seeds.
+ *
+ * Substitution (see DESIGN.md): the paper's ImageNet/VOC/IWSLT models are
+ * replaced by laptop-scale synthetic benchmarks (MLP on Gaussian clusters,
+ * SmallCNN on pattern images, and — with --full — a tiny transformer on
+ * majority sequences). Reproduction target: Mirage ~ FP32 ~ bfloat16 ~
+ * INT12 ~ HFP8 ~ FMAC, with INT8 degrading.
+ */
+
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "models/trainable.h"
+#include "nn/data.h"
+#include "nn/model.h"
+#include "rns/moduli_set.h"
+
+namespace {
+
+using namespace mirage;
+
+struct Benchmark
+{
+    std::string name;
+    nn::Dataset train, test;
+    std::function<std::unique_ptr<nn::Sequential>(nn::GemmBackend *, Rng &)>
+        make_model;
+    std::function<std::unique_ptr<nn::Optimizer>()> make_opt;
+    int epochs;
+    int batch;
+};
+
+float
+run(const Benchmark &b, numerics::DataFormat fmt,
+    bfp::Rounding mirage_rounding = bfp::Rounding::Nearest)
+{
+    Rng rng(99);
+    numerics::FormatGemmConfig fc;
+    fc.moduli = rns::ModuliSet::special(5);
+    fc.mirage_bfp.rounding = mirage_rounding;
+    nn::FormatBackend backend(fmt, fc);
+    auto model = b.make_model(&backend, rng);
+    auto opt = b.make_opt();
+    nn::TrainConfig cfg;
+    cfg.epochs = b.epochs;
+    cfg.batch_size = b.batch;
+    return nn::trainClassifier(*model, *opt, b.train, b.test, cfg)
+        .final_test_accuracy;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("Table I", "training accuracy per data format", opts);
+
+    std::vector<Benchmark> benchmarks;
+    {
+        const nn::Dataset all = nn::makeGaussianClusters(760, 6, 16, 3.2f, 1);
+        Benchmark b;
+        b.name = "MLP/clusters";
+        b.train = all.slice(0, 512);
+        b.test = all.slice(512, 248);
+        b.make_model = [](nn::GemmBackend *be, Rng &rng) {
+            return models::makeMlp(16, 48, 6, be, rng);
+        };
+        b.make_opt = [] { return std::make_unique<nn::Sgd>(0.05f, 0.9f); };
+        b.epochs = opts.full ? 12 : 6;
+        b.batch = 32;
+        benchmarks.push_back(std::move(b));
+    }
+    {
+        Benchmark b;
+        b.name = "SmallCNN/patterns";
+        b.train = nn::makePatternImages(opts.full ? 512 : 256, 8, 16, 0.5f, 2);
+        b.test = nn::makePatternImages(opts.full ? 256 : 128, 8, 16, 0.5f, 3);
+        b.make_model = [](nn::GemmBackend *be, Rng &rng) {
+            return models::makeSmallCnn(8, be, rng);
+        };
+        b.make_opt = [] { return std::make_unique<nn::Sgd>(0.02f, 0.9f); };
+        b.epochs = opts.full ? 10 : 5;
+        b.batch = 32;
+        benchmarks.push_back(std::move(b));
+    }
+    if (opts.full) {
+        Benchmark b;
+        b.name = "TinyTransformer/majority";
+        b.train = nn::makeMajoritySequences(512, 4, 12, 4);
+        b.test = nn::makeMajoritySequences(256, 4, 12, 5);
+        b.make_model = [](nn::GemmBackend *be, Rng &rng) {
+            return models::makeTinyTransformer(4, 4, 16, 2, 1, be, rng);
+        };
+        b.make_opt = [] { return std::make_unique<nn::Adam>(3e-3f); };
+        b.epochs = 10;
+        b.batch = 32;
+        benchmarks.push_back(std::move(b));
+    }
+
+    const std::vector<numerics::DataFormat> formats = {
+        numerics::DataFormat::MirageBfpRns, numerics::DataFormat::FP32,
+        numerics::DataFormat::BFLOAT16,     numerics::DataFormat::INT8,
+        numerics::DataFormat::INT12,        numerics::DataFormat::HFP8,
+        numerics::DataFormat::FMAC,
+    };
+
+    std::vector<std::string> headers = {"benchmark"};
+    for (numerics::DataFormat f : formats)
+        headers.push_back(numerics::toString(f));
+    headers.push_back("Mirage(trunc)");
+    TablePrinter table(headers);
+    for (const Benchmark &b : benchmarks) {
+        std::vector<std::string> row = {b.name};
+        for (numerics::DataFormat f : formats)
+            row.push_back(formatFixed(100.0 * run(b, f), 1));
+        // Ablation: the paper's pure LSB truncation — its rounding bias
+        // stalls training at this miniature scale (see EXPERIMENTS.md).
+        row.push_back(formatFixed(
+            100.0 * run(b, numerics::DataFormat::MirageBfpRns,
+                        bfp::Rounding::Truncate),
+            1));
+        table.addRow(row);
+        std::cout << "finished " << b.name << "\n";
+    }
+    std::cout << "\nvalidation accuracy (%):\n";
+    bench::emit(table, opts);
+
+    std::cout << "Shape check (paper Table I): Mirage matches FP32 within\n"
+                 "noise; bfloat16/INT12/HFP8/FMAC comparable; INT8 visibly\n"
+                 "behind (2-12 points in the paper). The final column is a\n"
+                 "rounding-mode ablation (paper's truncation), not a paper\n"
+                 "row.\n";
+    return 0;
+}

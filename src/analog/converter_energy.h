@@ -1,0 +1,61 @@
+#ifndef MIRAGE_ANALOG_CONVERTER_ENERGY_H
+#define MIRAGE_ANALOG_CONVERTER_ENERGY_H
+
+/**
+ * @file
+ * Data-converter energy/power/area models (paper Fig. 1b and Sec. V-B2).
+ *
+ * The per-conversion energy follows Murmann's two-regime survey model:
+ * technology-limited (~2x per added bit) at low precision and
+ * noise/SNR-limited (~4x per added bit) at high precision. The model is
+ * anchored on the paper's two reference designs:
+ *   - 6-bit 24 GS/s ADC at 23 mW  (Xu et al.)   -> 0.958 pJ/conversion
+ *   - bADC = 16 costs about 1 nJ/conversion      (Sec. II-C)
+ * and the convention that DAC conversions cost about two orders of magnitude
+ * less than ADC conversions (Fig. 1b).
+ */
+
+namespace mirage {
+namespace analog {
+
+/** ADC energy per conversion [J] for a given bit precision. */
+double adcEnergyPerConversion(int bits);
+
+/** DAC energy per conversion [J] for a given bit precision. */
+double dacEnergyPerConversion(int bits);
+
+/**
+ * A concrete converter operating point (paper Sec. V-B2 constants) with
+ * Murmann-rule scaling to nearby bit widths.
+ */
+struct ConverterSpec
+{
+    int bits = 6;
+    double sample_rate_hz = 0.0;
+    double power_w = 0.0;
+    double area_mm2 = 0.0;
+
+    /** Energy per conversion at the nominal operating point [J]. */
+    double energyPerConversion() const { return power_w / sample_rate_hz; }
+
+    /**
+     * Returns a spec rescaled to `new_bits` using the technology-limited
+     * rule (2x energy per added bit; paper: "scale the energy consumption
+     * down by 1 bit"). Area is scaled with the same factor.
+     */
+    ConverterSpec scaledToBits(int new_bits) const;
+};
+
+/** The 6-bit 24 GS/s ADC used by Mirage (Xu et al. [66]). */
+ConverterSpec mirageAdc6();
+
+/** The 6-bit 20 GS/s DAC used by Mirage (Kim et al. [32]). */
+ConverterSpec mirageDac6();
+
+/** The 8-bit 18 GS/s DAC discussed in Sec. VI-E (Nazemi et al. [41]). */
+ConverterSpec mirageDac8();
+
+} // namespace analog
+} // namespace mirage
+
+#endif // MIRAGE_ANALOG_CONVERTER_ENERGY_H

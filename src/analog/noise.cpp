@@ -1,0 +1,65 @@
+#include "analog/noise.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace mirage {
+namespace analog {
+
+double
+shotNoiseSigma(double photocurrent_a, double bandwidth_hz)
+{
+    MIRAGE_ASSERT(photocurrent_a >= 0 && bandwidth_hz > 0, "bad noise params");
+    return std::sqrt(2.0 * units::kElementaryCharge * photocurrent_a *
+                     bandwidth_hz);
+}
+
+double
+thermalNoiseSigma(double temperature_k, double feedback_ohm,
+                  double bandwidth_hz)
+{
+    MIRAGE_ASSERT(temperature_k > 0 && feedback_ohm > 0 && bandwidth_hz > 0,
+                  "bad noise params");
+    return std::sqrt(4.0 * units::kBoltzmann * temperature_k * bandwidth_hz /
+                     feedback_ohm);
+}
+
+double
+totalNoiseSigma(double photocurrent_a, const ReceiverSpec &rx)
+{
+    const double shot = shotNoiseSigma(photocurrent_a, rx.bandwidth_hz);
+    const double thermal =
+        thermalNoiseSigma(rx.temperature_k, rx.tia_feedback_ohm, rx.bandwidth_hz);
+    return std::sqrt(shot * shot + thermal * thermal);
+}
+
+double
+snrAtPhotocurrent(double photocurrent_a, const ReceiverSpec &rx)
+{
+    return photocurrent_a / totalNoiseSigma(photocurrent_a, rx);
+}
+
+double
+requiredPhotocurrent(double target_snr, const ReceiverSpec &rx)
+{
+    MIRAGE_ASSERT(target_snr > 0, "SNR target must be positive");
+    // I^2 = s^2 (2 q df I + 4 kB T df / R)  =>
+    // I = s^2 q df + sqrt((s^2 q df)^2 + s^2 4 kB T df / R)
+    const double s2 = target_snr * target_snr;
+    const double shot_term = s2 * units::kElementaryCharge * rx.bandwidth_hz;
+    const double thermal_var = 4.0 * units::kBoltzmann * rx.temperature_k *
+                               rx.bandwidth_hz / rx.tia_feedback_ohm;
+    return shot_term + std::sqrt(shot_term * shot_term + s2 * thermal_var);
+}
+
+double
+opticalPowerForCurrent(double photocurrent_a, const ReceiverSpec &rx)
+{
+    MIRAGE_ASSERT(rx.responsivity_a_per_w > 0, "responsivity must be positive");
+    return photocurrent_a / rx.responsivity_a_per_w;
+}
+
+} // namespace analog
+} // namespace mirage

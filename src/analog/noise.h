@@ -1,0 +1,49 @@
+#ifndef MIRAGE_ANALOG_NOISE_H
+#define MIRAGE_ANALOG_NOISE_H
+
+/**
+ * @file
+ * Analog noise models (paper Sec. II-E2, Eqs. (6)-(7)): photodetector shot
+ * noise and TIA thermal noise, plus the inverse problem Mirage's power model
+ * solves — the minimum photocurrent (and hence laser power) that reaches a
+ * target SNR at a given detection bandwidth.
+ */
+
+namespace mirage {
+namespace analog {
+
+/** Receiver parameters shared by the noise calculations. */
+struct ReceiverSpec
+{
+    double bandwidth_hz = 10e9;      ///< Detection bandwidth (photonic clock).
+    double temperature_k = 300.0;    ///< TIA temperature.
+    double tia_feedback_ohm = 1.0e3; ///< TIA feedback resistor R.
+    double responsivity_a_per_w = 1.1; ///< Photodetector responsivity.
+};
+
+/** Shot-noise current sigma [A]: sqrt(2 q I_D df) (Eq. 6). */
+double shotNoiseSigma(double photocurrent_a, double bandwidth_hz);
+
+/** Thermal-noise current sigma [A]: sqrt(4 kB T df / R) (Eq. 7). */
+double thermalNoiseSigma(double temperature_k, double feedback_ohm,
+                         double bandwidth_hz);
+
+/** Combined noise sigma [A] at a given photocurrent. */
+double totalNoiseSigma(double photocurrent_a, const ReceiverSpec &rx);
+
+/** Amplitude SNR = I / sigma_total(I) at a given photocurrent. */
+double snrAtPhotocurrent(double photocurrent_a, const ReceiverSpec &rx);
+
+/**
+ * Minimum photocurrent [A] with I / sigma_total(I) >= target_snr
+ * (closed-form solution of the resulting quadratic).
+ */
+double requiredPhotocurrent(double target_snr, const ReceiverSpec &rx);
+
+/** Optical power [W] on the detector for a given photocurrent. */
+double opticalPowerForCurrent(double photocurrent_a, const ReceiverSpec &rx);
+
+} // namespace analog
+} // namespace mirage
+
+#endif // MIRAGE_ANALOG_NOISE_H

@@ -1,0 +1,39 @@
+#include "arch/config.h"
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace arch {
+
+rns::ModuliSet
+MirageConfig::moduliSet() const
+{
+    return rns::ModuliSet::special(moduli_k);
+}
+
+void
+MirageConfig::validate() const
+{
+    if (bm < 1 || bm > 15)
+        MIRAGE_FATAL("bm out of range: ", bm);
+    if (g < 1 || mdpu_rows < 1 || num_arrays < 1)
+        MIRAGE_FATAL("array geometry must be positive");
+    if (photonic_clock_hz <= 0 || digital_clock_hz <= 0)
+        MIRAGE_FATAL("clock rates must be positive");
+    const rns::ModuliSet set = moduliSet();
+    if (!set.canHoldDotProduct(bm, g)) {
+        MIRAGE_FATAL("moduli set k=", moduli_k, " (log2 M = ",
+                     set.log2DynamicRange(),
+                     ") violates Eq. (13) for bm=", bm, ", g=", g,
+                     "; increase k or reduce bm/g");
+    }
+    const double interleave_needed = photonic_clock_hz / digital_clock_hz;
+    if (sram.interleave_factor < interleave_needed) {
+        MIRAGE_FATAL("interleave factor ", sram.interleave_factor,
+                     " cannot bridge ", photonic_clock_hz / 1e9, " GHz photonic vs ",
+                     digital_clock_hz / 1e9, " GHz digital clocks");
+    }
+}
+
+} // namespace arch
+} // namespace mirage

@@ -1,0 +1,206 @@
+#include "arch/energy_model.h"
+
+#include <cmath>
+
+#include "analog/converter_energy.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/units.h"
+#include "photonic/link_budget.h"
+
+namespace mirage {
+namespace arch {
+
+double
+PowerBreakdown::total() const
+{
+    return laser_w + mrr_tuning_w + phase_shifter_w + dac_w + adc_w + tia_w +
+           sram_w + bfp_conv_w + rns_conv_w + accum_w;
+}
+
+double
+AreaBreakdown::total() const
+{
+    return photonic_mm2 + sram_mm2 + adc_mm2 + dac_mm2 + digital_mm2;
+}
+
+double
+AreaBreakdown::electronicMm2() const
+{
+    return sram_mm2 + adc_mm2 + dac_mm2 + digital_mm2;
+}
+
+double
+AreaBreakdown::stackedMm2() const
+{
+    return std::max(photonic_mm2, electronicMm2());
+}
+
+MirageEnergyModel::MirageEnergyModel(const MirageConfig &cfg,
+                                     int64_t tile_stream_len)
+    : cfg_(cfg), tile_stream_len_(tile_stream_len)
+{
+    cfg_.validate();
+    MIRAGE_ASSERT(tile_stream_len_ >= 1, "stream length must be positive");
+}
+
+PowerBreakdown
+MirageEnergyModel::peakPower() const
+{
+    PowerBreakdown p;
+    const rns::ModuliSet set = cfg_.moduliSet();
+    const double clock = cfg_.photonic_clock_hz;
+    const int64_t arrays = cfg_.num_arrays;
+    const int64_t rows = cfg_.mdpu_rows;
+    // Steady-state tile period: reprogram plus the streaming window.
+    const double tile_period_s =
+        cfg_.tileLoadTimeS() +
+        static_cast<double>(tile_stream_len_) * cfg_.cycleTimeS();
+
+    const analog::ConverterSpec adc_ref = analog::mirageAdc6();
+    const analog::ConverterSpec dac_ref = analog::mirageDac6();
+
+    for (size_t mi = 0; mi < set.count(); ++mi) {
+        const uint64_t m = set.modulus(mi);
+        const int bits = cfg_.dac_bits_override > 0 ? cfg_.dac_bits_override
+                                                    : set.converterBits(mi);
+        const photonic::LinkBudget lb = photonic::computeLinkBudget(
+            cfg_.devices, m, set.converterBits(mi), cfg_.g, clock,
+            cfg_.snr_safety, cfg_.loss_policy);
+
+        const double channels = static_cast<double>(arrays * rows);
+        p.laser_w += channels * lb.laser_wall_w;
+
+        // Two MRR switches per binary digit per MMU (Fig. 3c).
+        p.mrr_tuning_w += channels * cfg_.g * 2.0 *
+                          set.converterBits(mi) *
+                          cfg_.devices.mrr.switch_power_w;
+
+        // Two quadrature ADCs per MDPU (Sec. IV-A3), converting every
+        // photonic cycle; energy per conversion from the 6-bit anchor
+        // scaled by the Murmann 2x/bit rule, unless overridden.
+        const double adc_e =
+            cfg_.adc_energy_override_j > 0.0
+                ? cfg_.adc_energy_override_j
+                : adc_ref.scaledToBits(set.converterBits(mi))
+                      .energyPerConversion();
+        p.adc_w += channels * 2.0 * adc_e * clock;
+
+        // One TIA block per MDPU detection chain (Fig. 9 calibration).
+        p.tia_w += channels * cfg_.devices.receiver.tia_energy_per_bit_j *
+                   set.converterBits(mi) * clock;
+
+        // Weight DACs: rows x g conversions per modulus per tile load,
+        // amortized over the tile period.
+        const double dac_e = dac_ref.scaledToBits(bits).energyPerConversion();
+        p.dac_w += static_cast<double>(arrays) * rows * cfg_.g * dac_e /
+                   tile_period_s;
+
+        // Phase-shifter electro-optic tuning: a few fJ per reprogram.
+        p.phase_shifter_w += static_cast<double>(arrays) * rows * cfg_.g *
+                             cfg_.devices.phase_shifter.tuning_energy_j /
+                             tile_period_s;
+    }
+
+    // --- digital circuitry, per RNS-MMVMU per photonic cycle -----------
+    const double cycles_per_s = static_cast<double>(arrays) * clock;
+    const DigitalCircuitSpec &d = cfg_.digital;
+
+    // FP->BFP on the streamed input group; BFP->FP on output groups.
+    const double bfp_groups_per_cycle =
+        1.0 + static_cast<double>(rows) / cfg_.g;
+    p.bfp_conv_w = cycles_per_s * bfp_groups_per_cycle * d.bfp_fp_energy_pj *
+                   units::kPico;
+
+    // Forward conversion of g streamed inputs; reverse conversion of `rows`
+    // outputs; weight forward conversions amortized per tile.
+    const double fwd_per_cycle = static_cast<double>(cfg_.g);
+    const double rev_per_cycle = static_cast<double>(rows);
+    p.rns_conv_w = cycles_per_s * (fwd_per_cycle * d.bns_rns_energy_pj +
+                                   rev_per_cycle * d.rns_bns_energy_pj) *
+                   units::kPico;
+    p.rns_conv_w += static_cast<double>(arrays) * rows * cfg_.g *
+                    d.bns_rns_energy_pj * units::kPico / tile_period_s;
+
+    // FP32 accumulation of partial outputs (dataflow step 9).
+    p.accum_w = cycles_per_s * rows * d.fp32_accum_energy_pj * units::kPico;
+
+    // --- SRAM traffic ------------------------------------------------
+    // Per array per cycle: read the g-element input vector (broadcast to
+    // all moduli), read + write `rows` FP32 partial outputs.
+    const double bytes_per_cycle = 4.0 * (cfg_.g + 2.0 * rows);
+    const double tile_bytes = 4.0 * static_cast<double>(rows) * cfg_.g;
+    p.sram_w = (cycles_per_s * bytes_per_cycle +
+                static_cast<double>(arrays) * tile_bytes / tile_period_s) *
+               cfg_.sram.access_pj_per_byte * units::kPico;
+    return p;
+}
+
+AreaBreakdown
+MirageEnergyModel::area() const
+{
+    AreaBreakdown a;
+    const rns::ModuliSet set = cfg_.moduliSet();
+    const int64_t arrays = cfg_.num_arrays;
+    const int64_t rows = cfg_.mdpu_rows;
+
+    // Photonic layer: every MMU occupies its horizontal length times one
+    // waveguide row pitch (MRR diameter plus clearance).
+    const double row_pitch_mm = cfg_.devices.mrr.diameterMm() + 0.005;
+    for (size_t mi = 0; mi < set.count(); ++mi) {
+        const double mmu_mm2 =
+            photonic::mmuLengthMm(cfg_.devices, set.modulus(mi),
+                                  set.converterBits(mi)) *
+            row_pitch_mm;
+        a.photonic_mm2 +=
+            static_cast<double>(arrays * rows) * cfg_.g * mmu_mm2;
+    }
+
+    a.sram_mm2 = cfg_.sram.totalMb() * cfg_.sram.area_mm2_per_mb;
+
+    const analog::ConverterSpec adc_ref = analog::mirageAdc6();
+    for (size_t mi = 0; mi < set.count(); ++mi) {
+        a.adc_mm2 += static_cast<double>(arrays * rows) * 2.0 *
+                     adc_ref.scaledToBits(set.converterBits(mi)).area_mm2;
+    }
+
+    // One weight DAC per (array, row), shared across the moduli.
+    a.dac_mm2 = static_cast<double>(arrays * rows) *
+                analog::mirageDac6()
+                    .scaledToBits(cfg_.dac_bits_override > 0
+                                      ? cfg_.dac_bits_override
+                                      : set.maxConverterBits())
+                    .area_mm2;
+
+    // Interleaved digital conversion circuits (10 copies per array).
+    const DigitalCircuitSpec &d = cfg_.digital;
+    const double per_copy_um2 =
+        d.bfp_fp_area_um2 + d.bns_rns_area_um2 + d.rns_bns_area_um2;
+    a.digital_mm2 = static_cast<double>(arrays) * cfg_.sram.interleave_factor *
+                    per_copy_um2 * 1e-6;
+    return a;
+}
+
+MirageSummary
+MirageEnergyModel::summary() const
+{
+    MirageSummary s;
+    s.power = peakPower();
+    s.area = area();
+    s.peak_macs_per_s = cfg_.peakMacsPerSecond();
+    s.photonic_clock_hz = cfg_.photonic_clock_hz;
+    s.pj_per_mac = s.power.computeTotal() / s.peak_macs_per_s / units::kPico;
+    return s;
+}
+
+double
+MirageEnergyModel::gemmEnergyJ(const GemmPerf &perf, bool include_sram) const
+{
+    MIRAGE_ASSERT(perf.supported, "cannot charge an unsupported dataflow");
+    const PowerBreakdown p = peakPower();
+    const double power = include_sram ? p.total() : p.computeTotal();
+    return power * perf.time_s;
+}
+
+} // namespace arch
+} // namespace mirage

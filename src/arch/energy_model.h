@@ -1,0 +1,118 @@
+#ifndef MIRAGE_ARCH_ENERGY_MODEL_H
+#define MIRAGE_ARCH_ENERGY_MODEL_H
+
+/**
+ * @file
+ * Power, energy and area model for the Mirage accelerator (paper Sec. V-B,
+ * Fig. 9, Table II). Every component is derived from the paper's published
+ * device constants; the SRAM access energy is the one calibrated constant
+ * (see SramConfig). "Peak" assumes fully-pipelined streaming with a
+ * characteristic tile residency (stream length) for the amortized parts
+ * (DAC programming, weight traffic).
+ */
+
+#include "arch/config.h"
+#include "arch/perf_model.h"
+
+namespace mirage {
+namespace arch {
+
+/** Power by component [W] (Fig. 9 left). */
+struct PowerBreakdown
+{
+    double laser_w = 0.0;
+    double mrr_tuning_w = 0.0;
+    double phase_shifter_w = 0.0;
+    double dac_w = 0.0;
+    double adc_w = 0.0;
+    double tia_w = 0.0;
+    double sram_w = 0.0;
+    double bfp_conv_w = 0.0;
+    double rns_conv_w = 0.0;
+    double accum_w = 0.0;
+
+    /** Total including SRAM. */
+    double total() const;
+
+    /**
+     * Total excluding SRAM — the component scope the paper uses for
+     * Table II's pJ/MAC and Fig. 8's Mirage energy (Sec. VI-C).
+     */
+    double computeTotal() const { return total() - sram_w; }
+};
+
+/** Area by component [mm^2] (Fig. 9 right). */
+struct AreaBreakdown
+{
+    double photonic_mm2 = 0.0;
+    double sram_mm2 = 0.0;
+    double adc_mm2 = 0.0;
+    double dac_mm2 = 0.0;
+    double digital_mm2 = 0.0; ///< Conversion circuits and accumulators.
+
+    double total() const;
+
+    /** Electronic chiplet area (everything but the photonic layer). */
+    double electronicMm2() const;
+
+    /**
+     * Footprint after 3D integration: the larger chiplet (paper reports
+     * 242.7 mm^2 for the electronic chiplet).
+     */
+    double stackedMm2() const;
+};
+
+/** Scalar summary used by the iso-scaling policies and Table II. */
+struct MirageSummary
+{
+    PowerBreakdown power;
+    AreaBreakdown area;
+    double peak_macs_per_s = 0.0;
+    double photonic_clock_hz = 0.0;
+    double pj_per_mac = 0.0; ///< computeTotal() / peak MAC rate, in pJ.
+
+    /** Concurrent optical MAC units (rate / clock). */
+    double macUnits() const { return peak_macs_per_s / photonic_clock_hz; }
+};
+
+/** Mirage component power/area/energy model. */
+class MirageEnergyModel
+{
+  public:
+    /**
+     * @param cfg              validated accelerator configuration.
+     * @param tile_stream_len  characteristic MVMs between tile reloads,
+     *                         used to amortize DAC/weight-load costs
+     *                         (batch size 256 in the paper's experiments).
+     */
+    explicit MirageEnergyModel(const MirageConfig &cfg,
+                               int64_t tile_stream_len = 256);
+
+    /** Peak power by component (Fig. 9 left). */
+    PowerBreakdown peakPower() const;
+
+    /** Area by component (Fig. 9 right). */
+    AreaBreakdown area() const;
+
+    /** Full summary (power, area, pJ/MAC, peak rate). */
+    MirageSummary summary() const;
+
+    /**
+     * Energy of a workload GEMM [J]: compute power times busy time, plus
+     * per-tile programming energy.
+     * @param include_sram charge SRAM traffic as well (Fig. 9 scope) or
+     *                     not (Fig. 8 / Table II scope).
+     */
+    double gemmEnergyJ(const GemmPerf &perf, bool include_sram) const;
+
+    const MirageConfig &config() const { return cfg_; }
+
+  private:
+    MirageConfig cfg_;
+    int64_t tile_stream_len_;
+};
+
+} // namespace arch
+} // namespace mirage
+
+#endif // MIRAGE_ARCH_ENERGY_MODEL_H

@@ -1,0 +1,43 @@
+#include "arch/gemm_shape.h"
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace arch {
+
+const char *
+toString(TrainingOp op)
+{
+    switch (op) {
+      case TrainingOp::Forward: return "Fwd";
+      case TrainingOp::InputGrad: return "I.Grad";
+      case TrainingOp::WeightGrad: return "W.Grad";
+    }
+    return "?";
+}
+
+std::array<GemmShape, 3>
+trainingGemms(int64_t out_features, int64_t in_features, int64_t n)
+{
+    MIRAGE_ASSERT(out_features > 0 && in_features > 0 && n > 0,
+                  "bad layer dimensions");
+    return {GemmShape{out_features, in_features, n},
+            GemmShape{in_features, out_features, n},
+            GemmShape{out_features, n, in_features}};
+}
+
+GemmShape
+trainingGemm(TrainingOp op, int64_t out_features, int64_t in_features,
+             int64_t n)
+{
+    const auto all = trainingGemms(out_features, in_features, n);
+    switch (op) {
+      case TrainingOp::Forward: return all[0];
+      case TrainingOp::InputGrad: return all[1];
+      case TrainingOp::WeightGrad: return all[2];
+    }
+    MIRAGE_PANIC("unknown training op");
+}
+
+} // namespace arch
+} // namespace mirage

@@ -1,0 +1,63 @@
+#ifndef MIRAGE_ARCH_GEMM_SHAPE_H
+#define MIRAGE_ARCH_GEMM_SHAPE_H
+
+/**
+ * @file
+ * GEMM shape algebra for the performance models: the three training GEMMs
+ * per layer (paper Sec. II-A, Eqs. (1)-(3)) and their tiled mapping.
+ */
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace mirage {
+namespace arch {
+
+/** One GEMM: C[m x n] = A[m x k] * B[k x n]. */
+struct GemmShape
+{
+    int64_t m = 0;
+    int64_t k = 0;
+    int64_t n = 0;
+
+    /** Multiply-accumulate count. */
+    int64_t macs() const { return m * k * n; }
+
+    /** The transposed problem (used to express operand-B stationarity). */
+    GemmShape transposed() const { return {n, k, m}; }
+};
+
+/** The three GEMMs of one training step on one layer. */
+enum class TrainingOp
+{
+    Forward,    ///< O = W X            (Eq. 1)
+    InputGrad,  ///< dX = W^T dO        (Eq. 2)
+    WeightGrad, ///< dW = dO X^T        (Eq. 3)
+};
+
+/** Printable op name. */
+const char *toString(TrainingOp op);
+
+/** All three ops in execution order. */
+inline constexpr std::array<TrainingOp, 3> kTrainingOps = {
+    TrainingOp::Forward, TrainingOp::InputGrad, TrainingOp::WeightGrad};
+
+/**
+ * GEMM shapes of the three training ops for a layer whose forward pass is
+ * O[out x n] = W[out x in] * X[in x n] (n = batch * output pixels):
+ *   Forward    : (out, in,  n)
+ *   InputGrad  : (in,  out, n)
+ *   WeightGrad : (out, n,  in)
+ */
+std::array<GemmShape, 3> trainingGemms(int64_t out_features,
+                                       int64_t in_features, int64_t n);
+
+/** Shape of a single training op (see trainingGemms). */
+GemmShape trainingGemm(TrainingOp op, int64_t out_features,
+                       int64_t in_features, int64_t n);
+
+} // namespace arch
+} // namespace mirage
+
+#endif // MIRAGE_ARCH_GEMM_SHAPE_H

@@ -1,0 +1,62 @@
+#include "arch/iso_scaling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace arch {
+
+const char *
+toString(IsoScenario s)
+{
+    switch (s) {
+      case IsoScenario::IsoEnergy: return "iso-energy";
+      case IsoScenario::IsoArea: return "iso-area";
+    }
+    return "?";
+}
+
+SystolicConfig
+scaledSystolic(IsoScenario scenario, IsoEnergyPolicy policy,
+               const MirageSummary &mirage, numerics::DataFormat format,
+               int rows, int cols)
+{
+    SystolicConfig cfg;
+    cfg.spec = systolicSpec(format);
+    cfg.rows = rows;
+    cfg.cols = cols;
+
+    double mac_units = 0.0;
+    switch (scenario) {
+      case IsoScenario::IsoArea:
+        if (cfg.spec.mm2_per_mac <= 0) {
+            MIRAGE_FATAL("format ", numerics::toString(format),
+                         " has no published area per MAC; iso-area scaling "
+                         "is undefined (the paper omits it too)");
+        }
+        mac_units = mirage.area.stackedMm2() / cfg.spec.mm2_per_mac;
+        break;
+      case IsoScenario::IsoEnergy:
+        switch (policy) {
+          case IsoEnergyPolicy::PowerBudget:
+            mac_units = mirage.power.computeTotal() /
+                        (cfg.spec.energyPerMacJ() * cfg.spec.clock_hz);
+            break;
+          case IsoEnergyPolicy::EnergyRatio:
+            mac_units = mirage.macUnits() *
+                        (mirage.pj_per_mac / cfg.spec.pj_per_mac);
+            break;
+        }
+        break;
+    }
+
+    const double per_array = static_cast<double>(rows) * cols;
+    cfg.num_arrays = std::max<int>(
+        1, static_cast<int>(std::llround(mac_units / per_array)));
+    return cfg;
+}
+
+} // namespace arch
+} // namespace mirage

@@ -1,0 +1,59 @@
+#ifndef MIRAGE_ARCH_ISO_SCALING_H
+#define MIRAGE_ARCH_ISO_SCALING_H
+
+/**
+ * @file
+ * Iso-energy / iso-area baseline scaling (paper Sec. VI-C, Fig. 8): the
+ * number of systolic MAC units is scaled against Mirage's budget while the
+ * 16x32 array size stays fixed (the paper found bigger single arrays lose
+ * performance to tile-load latency) — the array *count* grows instead.
+ *
+ * The paper's iso-energy rule ("scaled to consume the same energy per MAC")
+ * is underspecified (energy/MAC is a per-format constant); two concrete
+ * interpretations are provided and both are reported in EXPERIMENTS.md.
+ */
+
+#include "arch/energy_model.h"
+#include "arch/systolic.h"
+
+namespace mirage {
+namespace arch {
+
+/** Comparison scenario (Fig. 8 left vs right). */
+enum class IsoScenario
+{
+    IsoEnergy,
+    IsoArea,
+};
+
+/** Concrete interpretations of the paper's iso-energy scaling. */
+enum class IsoEnergyPolicy
+{
+    /// SA MAC count such that n * pJ/MAC * f equals Mirage's compute power.
+    PowerBudget,
+    /// SA MAC count = Mirage optical MAC count * (e_Mirage / e_format).
+    EnergyRatio,
+};
+
+const char *toString(IsoScenario s);
+
+/**
+ * Builds the scaled systolic deployment for one baseline format.
+ *
+ * @param scenario  iso-energy or iso-area.
+ * @param policy    iso-energy interpretation (ignored for iso-area).
+ * @param mirage    Mirage summary providing the power/area/MAC budgets.
+ * @param format    baseline data format (Table II constants).
+ * @param rows,cols fixed per-array geometry (16x32 in the paper).
+ *
+ * Fatal for iso-area with a format that has no published area (FMAC).
+ */
+SystolicConfig scaledSystolic(IsoScenario scenario, IsoEnergyPolicy policy,
+                              const MirageSummary &mirage,
+                              numerics::DataFormat format, int rows = 16,
+                              int cols = 32);
+
+} // namespace arch
+} // namespace mirage
+
+#endif // MIRAGE_ARCH_ISO_SCALING_H

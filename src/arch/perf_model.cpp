@@ -1,0 +1,89 @@
+#include "arch/perf_model.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace mirage {
+namespace arch {
+
+const char *
+toString(Dataflow df)
+{
+    switch (df) {
+      case Dataflow::DF1: return "DF1";
+      case Dataflow::DF2: return "DF2";
+      case Dataflow::DF3: return "DF3";
+    }
+    return "?";
+}
+
+const char *
+toString(DataflowPolicy p)
+{
+    switch (p) {
+      case DataflowPolicy::FixedDF1: return "DF1";
+      case DataflowPolicy::FixedDF2: return "DF2";
+      case DataflowPolicy::FixedDF3: return "DF3";
+      case DataflowPolicy::OPT1: return "OPT1";
+      case DataflowPolicy::OPT2: return "OPT2";
+    }
+    return "?";
+}
+
+MiragePerfModel::MiragePerfModel(const MirageConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+}
+
+GemmPerf
+MiragePerfModel::gemm(const GemmShape &shape, Dataflow df, int64_t count) const
+{
+    MIRAGE_ASSERT(count >= 1, "GEMM count must be positive");
+    GemmPerf perf;
+    perf.macs = count * shape.macs();
+
+    if (df == Dataflow::DF3) {
+        // Output stationarity would reprogram the phase shifters every
+        // cycle, throttling the core to the shifter bandwidth (Sec. VI-A3).
+        perf.supported = false;
+        return perf;
+    }
+
+    // DF2 keeps the second operand stationary, which is DF1 on the
+    // transposed problem: C^T = B^T A^T.
+    const GemmShape s = (df == Dataflow::DF1) ? shape : shape.transposed();
+
+    const int64_t rows = cfg_.mdpu_rows;
+    const int64_t g = cfg_.g;
+    const int64_t arrays = cfg_.num_arrays;
+
+    const int64_t row_tiles = ceilDiv(s.m, rows);
+    const int64_t depth_tiles = ceilDiv(s.k, g);
+    const int64_t tiles = count * row_tiles * depth_tiles;
+    const int64_t stream_per_tile = s.n;
+
+    const int64_t waves = ceilDiv(tiles, arrays);
+    perf.tiles = tiles;
+    perf.stream_cycles = waves * stream_per_tile;
+    perf.time_s = static_cast<double>(waves) *
+                  (cfg_.tileLoadTimeS() +
+                   static_cast<double>(stream_per_tile) * cfg_.cycleTimeS());
+
+    const double allocated = static_cast<double>(waves) * arrays * rows * g *
+                             static_cast<double>(stream_per_tile);
+    perf.spatial_util = static_cast<double>(perf.macs) / allocated;
+    return perf;
+}
+
+std::pair<Dataflow, GemmPerf>
+MiragePerfModel::best(const GemmShape &shape, int64_t count) const
+{
+    const GemmPerf df1 = gemm(shape, Dataflow::DF1, count);
+    const GemmPerf df2 = gemm(shape, Dataflow::DF2, count);
+    if (df2.time_s < df1.time_s)
+        return {Dataflow::DF2, df2};
+    return {Dataflow::DF1, df1};
+}
+
+} // namespace arch
+} // namespace mirage

@@ -1,0 +1,83 @@
+#ifndef MIRAGE_ARCH_PERF_MODEL_H
+#define MIRAGE_ARCH_PERF_MODEL_H
+
+/**
+ * @file
+ * Analytic latency/utilization model for Mirage's photonic arrays
+ * (paper Sec. IV-C, VI-A2/3). GEMMs are tiled onto `num_arrays` parallel
+ * RNS-MMVMUs; every tile costs one phase-shifter reprogram (5 ns) and then
+ * streams one MVM per photonic cycle (0.1 ns).
+ *
+ * Dataflows (Sec. VI-A3): DF1 keeps the first GEMM operand stationary in
+ * the phase shifters, DF2 the second; DF3 (output stationary) would require
+ * reprogramming shifters every cycle and is not supported on Mirage.
+ */
+
+#include <cstdint>
+#include <utility>
+
+#include "arch/config.h"
+#include "arch/gemm_shape.h"
+
+namespace mirage {
+namespace arch {
+
+/** Dataflow choices (paper renames weight/input/output stationary). */
+enum class Dataflow
+{
+    DF1, ///< First operand stationary (weight stationary in the forward pass).
+    DF2, ///< Second operand stationary (input stationary).
+    DF3, ///< Output stationary (systolic arrays only).
+};
+
+/** Dataflow-selection policies evaluated in Fig. 7b. */
+enum class DataflowPolicy
+{
+    FixedDF1,
+    FixedDF2,
+    FixedDF3,
+    OPT1, ///< Best fixed dataflow per training-op type across all layers.
+    OPT2, ///< Best dataflow per GEMM, chosen per layer (offline, analytic).
+};
+
+const char *toString(Dataflow df);
+const char *toString(DataflowPolicy p);
+
+/** Timing result for one (possibly repeated) GEMM. */
+struct GemmPerf
+{
+    bool supported = true;     ///< False for DF3 on Mirage.
+    double time_s = 0.0;       ///< End-to-end latency.
+    int64_t tiles = 0;         ///< Stationary-tile loads (across all repeats).
+    int64_t stream_cycles = 0; ///< Streaming cycles summed over tile waves.
+    int64_t macs = 0;          ///< Useful multiply-accumulates.
+    double spatial_util = 0.0; ///< Useful MACs / allocated MAC slots.
+};
+
+/** Mirage's analytic performance model. */
+class MiragePerfModel
+{
+  public:
+    explicit MiragePerfModel(const MirageConfig &cfg);
+
+    /**
+     * Latency of `count` identical GEMMs under the given dataflow.
+     * DF3 returns supported = false (Sec. VI-A3).
+     */
+    GemmPerf gemm(const GemmShape &shape, Dataflow df,
+                  int64_t count = 1) const;
+
+    /** The better of DF1/DF2 for this GEMM. */
+    std::pair<Dataflow, GemmPerf> best(const GemmShape &shape,
+                                       int64_t count = 1) const;
+
+    const MirageConfig &config() const { return cfg_; }
+
+  private:
+    MirageConfig cfg_;
+};
+
+} // namespace arch
+} // namespace mirage
+
+#endif // MIRAGE_ARCH_PERF_MODEL_H

@@ -1,0 +1,112 @@
+#include "arch/systolic.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace mirage {
+namespace arch {
+
+SystolicSpec
+systolicSpec(numerics::DataFormat format)
+{
+    using numerics::DataFormat;
+    switch (format) {
+      case DataFormat::FP32:
+        return {format, 500e6, 12.42, 9.6e-3};
+      case DataFormat::BFLOAT16:
+        return {format, 500e6, 3.20, 3.5e-3};
+      case DataFormat::HFP8:
+        return {format, 500e6, 1.47, 1.4e-3};
+      case DataFormat::INT12:
+        return {format, 1e9, 0.71, 7.7e-4};
+      case DataFormat::INT8:
+        return {format, 1e9, 0.42, 4.1e-4};
+      case DataFormat::FMAC:
+        // Zhang et al. [69]; the paper reports no area for FMAC units.
+        return {format, 500e6, 0.11, -1.0};
+      case DataFormat::MirageBfpRns:
+        break;
+    }
+    MIRAGE_FATAL("Mirage is not a systolic-array format");
+}
+
+SystolicPerfModel::SystolicPerfModel(const SystolicConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.rows < 1 || cfg_.cols < 1 || cfg_.num_arrays < 1)
+        MIRAGE_FATAL("systolic geometry must be positive");
+    if (cfg_.spec.clock_hz <= 0)
+        MIRAGE_FATAL("systolic clock must be positive");
+}
+
+GemmPerf
+SystolicPerfModel::gemm(const GemmShape &shape, Dataflow df,
+                        int64_t count) const
+{
+    MIRAGE_ASSERT(count >= 1, "GEMM count must be positive");
+    const int64_t rows = cfg_.rows;
+    const int64_t cols = cfg_.cols;
+    const int64_t arrays = cfg_.num_arrays;
+
+    GemmPerf perf;
+    perf.macs = count * shape.macs();
+
+    // Classic analytic systolic timing: per tile, a load/fill phase, a
+    // streaming phase, and a pipeline drain of rows + cols - 2 cycles.
+    int64_t tiles_per = 0;
+    int64_t stream = 0;
+    int64_t fill = 0;
+    switch (df) {
+      case Dataflow::DF1:
+        // Weight stationary: tile holds a (rows x cols) = (K x M) weight
+        // block, loaded row-by-row; N input vectors stream through.
+        tiles_per = ceilDiv(shape.k, rows) * ceilDiv(shape.m, cols);
+        stream = shape.n;
+        fill = rows;
+        break;
+      case Dataflow::DF2:
+        // Input stationary: tile holds a (K x N) input block; M weight rows
+        // stream through.
+        tiles_per = ceilDiv(shape.k, rows) * ceilDiv(shape.n, cols);
+        stream = shape.m;
+        fill = rows;
+        break;
+      case Dataflow::DF3:
+        // Output stationary: tile accumulates a (M x N) output block while
+        // K products stream in; outputs shift out over `rows` cycles.
+        tiles_per = ceilDiv(shape.m, rows) * ceilDiv(shape.n, cols);
+        stream = shape.k;
+        fill = rows;
+        break;
+    }
+
+    const int64_t tiles = count * tiles_per;
+    const int64_t waves = ceilDiv(tiles, arrays);
+    const int64_t cycles_per_tile = fill + stream + rows + cols - 2;
+    perf.tiles = tiles;
+    perf.stream_cycles = waves * stream;
+    perf.time_s = static_cast<double>(waves) *
+                  static_cast<double>(cycles_per_tile) / cfg_.spec.clock_hz;
+
+    const double allocated = static_cast<double>(waves) * arrays * rows *
+                             cols * static_cast<double>(stream);
+    perf.spatial_util = static_cast<double>(perf.macs) / allocated;
+    return perf;
+}
+
+std::pair<Dataflow, GemmPerf>
+SystolicPerfModel::best(const GemmShape &shape, int64_t count) const
+{
+    Dataflow best_df = Dataflow::DF1;
+    GemmPerf best_perf = gemm(shape, Dataflow::DF1, count);
+    for (Dataflow df : {Dataflow::DF2, Dataflow::DF3}) {
+        const GemmPerf p = gemm(shape, df, count);
+        if (p.time_s < best_perf.time_s) {
+            best_df = df;
+            best_perf = p;
+        }
+    }
+    return {best_df, best_perf};
+}
+
+} // namespace arch
+} // namespace mirage

@@ -1,0 +1,98 @@
+#ifndef MIRAGE_ARCH_SYSTOLIC_H
+#define MIRAGE_ARCH_SYSTOLIC_H
+
+/**
+ * @file
+ * Systolic-array baseline (paper Sec. V-B2 and VI-C): classic R x C PE
+ * arrays with weight/input/output-stationary dataflows, parameterized by
+ * the Table II MAC-unit constants (energy, area, clock per data format).
+ * Multiple fixed-size arrays are used instead of one large array, matching
+ * the paper's scaling methodology.
+ */
+
+#include <cstdint>
+
+#include "arch/gemm_shape.h"
+#include "arch/perf_model.h"
+#include "numerics/formats.h"
+
+namespace mirage {
+namespace arch {
+
+/** Per-format MAC-unit constants (paper Table II). */
+struct SystolicSpec
+{
+    numerics::DataFormat format = numerics::DataFormat::FP32;
+    double clock_hz = 500e6;
+    double pj_per_mac = 12.42;
+    double mm2_per_mac = 9.6e-3; ///< <= 0 means not reported (FMAC).
+
+    /** Energy per MAC [J]. */
+    double energyPerMacJ() const { return pj_per_mac * 1e-12; }
+};
+
+/**
+ * Table II constants for a baseline format. Fatal for MirageBfpRns —
+ * Mirage is not a systolic array.
+ */
+SystolicSpec systolicSpec(numerics::DataFormat format);
+
+/** A deployment: `num_arrays` independent rows x cols arrays. */
+struct SystolicConfig
+{
+    SystolicSpec spec;
+    int rows = 16;
+    int cols = 32;
+    int num_arrays = 8;
+
+    int64_t macUnits() const
+    {
+        return static_cast<int64_t>(rows) * cols * num_arrays;
+    }
+
+    /** Aggregate MAC-unit power at full activity [W]. */
+    double computePowerW() const
+    {
+        return static_cast<double>(macUnits()) * spec.energyPerMacJ() *
+               spec.clock_hz;
+    }
+
+    /** Aggregate MAC-unit area [mm^2]; 0 when the format has no area data. */
+    double areaMm2() const
+    {
+        return spec.mm2_per_mac > 0
+                   ? static_cast<double>(macUnits()) * spec.mm2_per_mac
+                   : 0.0;
+    }
+};
+
+/** Analytic timing for the systolic baseline. All three dataflows apply. */
+class SystolicPerfModel
+{
+  public:
+    explicit SystolicPerfModel(const SystolicConfig &cfg);
+
+    /** Latency of `count` identical GEMMs under the given dataflow. */
+    GemmPerf gemm(const GemmShape &shape, Dataflow df,
+                  int64_t count = 1) const;
+
+    /** Best dataflow among DF1/DF2/DF3 for this GEMM. */
+    std::pair<Dataflow, GemmPerf> best(const GemmShape &shape,
+                                       int64_t count = 1) const;
+
+    /** MAC energy of a workload under this format [J]. */
+    double energyJ(int64_t macs) const
+    {
+        return static_cast<double>(macs) * cfg_.spec.energyPerMacJ();
+    }
+
+    const SystolicConfig &config() const { return cfg_; }
+
+  private:
+    SystolicConfig cfg_;
+};
+
+} // namespace arch
+} // namespace mirage
+
+#endif // MIRAGE_ARCH_SYSTOLIC_H

@@ -1,0 +1,158 @@
+#include "bfp/bfp.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace bfp {
+
+const char *
+toString(Rounding r)
+{
+    switch (r) {
+      case Rounding::Truncate: return "truncate";
+      case Rounding::Nearest: return "nearest";
+      case Rounding::Stochastic: return "stochastic";
+    }
+    return "?";
+}
+
+void
+BfpConfig::validate() const
+{
+    if (bm < 1 || bm > 15)
+        MIRAGE_FATAL("BFP mantissa bits must be in [1, 15], got ", bm);
+    if (g < 1 || g > (1 << 20))
+        MIRAGE_FATAL("BFP group size must be in [1, 2^20], got ", g);
+}
+
+int
+BfpConfig::dotProductBits() const
+{
+    return 2 * (bm + 1) + static_cast<int>(std::ceil(std::log2(g))) - 1;
+}
+
+float
+BfpBlock::decode(size_t i, int bm) const
+{
+    MIRAGE_ASSERT(i < mantissas.size(), "block index out of range");
+    return static_cast<float>(std::ldexp(static_cast<double>(mantissas[i]),
+                                         exponent - bm));
+}
+
+namespace {
+
+/** Exponent e such that |v| < 2^e (frexp semantics); 0 for v == 0. */
+int
+valueExponent(float v)
+{
+    if (v == 0.0f || !std::isfinite(v))
+        return 0;
+    int e = 0;
+    std::frexp(v, &e);
+    return e;
+}
+
+int32_t
+roundMantissa(double scaled, Rounding mode, Rng *rng)
+{
+    switch (mode) {
+      case Rounding::Truncate:
+        // Hardware truncation drops LSBs of the two's-complement mantissa,
+        // which rounds toward -inf (floor) — not toward zero. Toward-zero
+        // truncation would systematically shrink gradient magnitudes and
+        // stall training.
+        return static_cast<int32_t>(std::floor(scaled));
+      case Rounding::Nearest:
+        return static_cast<int32_t>((scaled >= 0.0) ? std::floor(scaled + 0.5)
+                                                    : std::ceil(scaled - 0.5));
+      case Rounding::Stochastic: {
+        MIRAGE_ASSERT(rng != nullptr, "stochastic rounding needs an Rng");
+        const double floor_v = std::floor(scaled);
+        const double frac = scaled - floor_v;
+        return static_cast<int32_t>(floor_v + (rng->uniformReal() < frac ? 1 : 0));
+      }
+    }
+    MIRAGE_PANIC("unknown rounding mode");
+}
+
+} // namespace
+
+BfpBlock
+encodeBlock(std::span<const float> values, const BfpConfig &cfg, Rng *rng)
+{
+    cfg.validate();
+    MIRAGE_ASSERT(values.size() <= static_cast<size_t>(cfg.g),
+                  "group larger than configured size");
+
+    BfpBlock block;
+    block.mantissas.resize(values.size(), 0);
+
+    int shared = INT32_MIN;
+    for (float v : values) {
+        if (!std::isfinite(v))
+            MIRAGE_FATAL("non-finite value in BFP group");
+        if (v != 0.0f)
+            shared = std::max(shared, valueExponent(v));
+    }
+    if (shared == INT32_MIN) { // all-zero group
+        block.exponent = 0;
+        return block;
+    }
+    block.exponent = shared;
+
+    // value = q * 2^(e - bm)  =>  q = value * 2^(bm - e). The mantissa is a
+    // (bm+1)-bit two's-complement integer: [-2^bm, 2^bm - 1].
+    const int32_t q_max = (1 << cfg.bm) - 1;
+    const int32_t q_min = -(1 << cfg.bm);
+    for (size_t i = 0; i < values.size(); ++i) {
+        const double scaled = std::ldexp(static_cast<double>(values[i]),
+                                         cfg.bm - shared);
+        int32_t q = roundMantissa(scaled, cfg.rounding, rng);
+        if (q > q_max)
+            q = q_max;
+        if (q < q_min)
+            q = q_min;
+        block.mantissas[i] = q;
+    }
+    return block;
+}
+
+std::vector<float>
+decodeBlock(const BfpBlock &block, const BfpConfig &cfg)
+{
+    std::vector<float> out(block.mantissas.size());
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = block.decode(i, cfg.bm);
+    return out;
+}
+
+void
+fakeQuantize(std::span<float> values, const BfpConfig &cfg, Rng *rng)
+{
+    for (size_t start = 0; start < values.size(); start += cfg.g) {
+        const size_t len = std::min(static_cast<size_t>(cfg.g),
+                                    values.size() - start);
+        const BfpBlock block =
+            encodeBlock(values.subspan(start, len), cfg, rng);
+        for (size_t i = 0; i < len; ++i)
+            values[start + i] = block.decode(i, cfg.bm);
+    }
+}
+
+BlockDotResult
+blockDot(const BfpBlock &a, const BfpBlock &b, int bm)
+{
+    MIRAGE_ASSERT(a.mantissas.size() == b.mantissas.size(),
+                  "block length mismatch in dot product");
+    BlockDotResult r;
+    for (size_t i = 0; i < a.mantissas.size(); ++i)
+        r.integer_sum += static_cast<int64_t>(a.mantissas[i]) * b.mantissas[i];
+    r.value = std::ldexp(static_cast<double>(r.integer_sum),
+                         a.exponent + b.exponent - 2 * bm);
+    return r;
+}
+
+} // namespace bfp
+} // namespace mirage

@@ -1,0 +1,138 @@
+#include "bfp/bfp_gemm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "rns/conversion.h"
+#include "rns/modular_gemm.h"
+
+namespace mirage {
+namespace bfp {
+
+BfpMatrix
+encodeRows(const std::vector<float> &a, int m_rows, int k_depth,
+           const BfpConfig &cfg, Rng *rng)
+{
+    MIRAGE_ASSERT(a.size() == static_cast<size_t>(m_rows) * k_depth,
+                  "matrix shape mismatch");
+    BfpMatrix out;
+    out.rows = m_rows;
+    out.g = cfg.g;
+    out.chunk_count = static_cast<int>(ceilDiv(k_depth, cfg.g));
+    out.blocks.reserve(static_cast<size_t>(m_rows) * out.chunk_count);
+    for (int i = 0; i < m_rows; ++i) {
+        for (int c = 0; c < out.chunk_count; ++c) {
+            const int start = c * cfg.g;
+            const int len = std::min(cfg.g, k_depth - start);
+            std::span<const float> group(
+                &a[static_cast<size_t>(i) * k_depth + start],
+                static_cast<size_t>(len));
+            out.blocks.push_back(encodeBlock(group, cfg, rng));
+        }
+    }
+    return out;
+}
+
+BfpMatrix
+encodeCols(const std::vector<float> &b, int k_depth, int n_cols,
+           const BfpConfig &cfg, Rng *rng)
+{
+    MIRAGE_ASSERT(b.size() == static_cast<size_t>(k_depth) * n_cols,
+                  "matrix shape mismatch");
+    BfpMatrix out;
+    out.rows = n_cols;
+    out.g = cfg.g;
+    out.chunk_count = static_cast<int>(ceilDiv(k_depth, cfg.g));
+    out.blocks.reserve(static_cast<size_t>(n_cols) * out.chunk_count);
+    std::vector<float> group_buf(cfg.g);
+    for (int j = 0; j < n_cols; ++j) {
+        for (int c = 0; c < out.chunk_count; ++c) {
+            const int start = c * cfg.g;
+            const int len = std::min(cfg.g, k_depth - start);
+            for (int t = 0; t < len; ++t)
+                group_buf[t] = b[static_cast<size_t>(start + t) * n_cols + j];
+            std::span<const float> group(group_buf.data(),
+                                         static_cast<size_t>(len));
+            out.blocks.push_back(encodeBlock(group, cfg, rng));
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * Chunk dot product through the RNS domain: forward-convert both mantissa
+ * vectors, modular-MAC per modulus, reverse-convert. Numerically exact as
+ * long as Eq. (13) holds (checked at configuration time).
+ */
+int64_t
+rnsChunkDot(const BfpBlock &a, const BfpBlock &b, const rns::RnsCodec &codec)
+{
+    const rns::ModuliSet &set = codec.set();
+    rns::ResidueVector acc(set.count(), 0);
+    for (size_t mi = 0; mi < set.count(); ++mi) {
+        const uint64_t m = set.modulus(mi);
+        uint64_t sum = 0;
+        for (size_t t = 0; t < a.mantissas.size(); ++t) {
+            const uint64_t ra = rns::reduceSigned(a.mantissas[t], m);
+            const uint64_t rb = rns::reduceSigned(b.mantissas[t], m);
+            sum += ra * rb; // m < 2^21 and g <= 2^20: exact in 64 bits
+        }
+        acc[mi] = sum % m;
+    }
+    return codec.decode(acc);
+}
+
+} // namespace
+
+std::vector<float>
+bfpGemm(const std::vector<float> &a, const std::vector<float> &b,
+        int m_rows, int k_depth, int n_cols, const BfpGemmOptions &opts)
+{
+    opts.config.validate();
+    if (opts.moduli &&
+        !opts.moduli->canHoldDotProduct(opts.config.bm, opts.config.g)) {
+        MIRAGE_FATAL("moduli set (log2 M = ",
+                     opts.moduli->log2DynamicRange(),
+                     ") cannot hold BFP dot products of bm=", opts.config.bm,
+                     " g=", opts.config.g, " (Eq. 13)");
+    }
+
+    const BfpMatrix a_enc = encodeRows(a, m_rows, k_depth, opts.config, opts.rng);
+    const BfpMatrix b_enc = encodeCols(b, k_depth, n_cols, opts.config, opts.rng);
+
+    std::optional<rns::RnsCodec> codec;
+    if (opts.moduli)
+        codec.emplace(*opts.moduli);
+
+    const int chunks = a_enc.chunk_count;
+    const int bm = opts.config.bm;
+    std::vector<float> c(static_cast<size_t>(m_rows) * n_cols, 0.0f);
+    for (int i = 0; i < m_rows; ++i) {
+        for (int j = 0; j < n_cols; ++j) {
+            float acc = 0.0f; // FP32 partial-output accumulation (step 9)
+            for (int ch = 0; ch < chunks; ++ch) {
+                const BfpBlock &blk_a =
+                    a_enc.blocks[static_cast<size_t>(i) * chunks + ch];
+                const BfpBlock &blk_b =
+                    b_enc.blocks[static_cast<size_t>(j) * chunks + ch];
+                int64_t isum;
+                if (codec) {
+                    isum = rnsChunkDot(blk_a, blk_b, *codec);
+                } else {
+                    isum = blockDot(blk_a, blk_b, bm).integer_sum;
+                }
+                acc += static_cast<float>(
+                    std::ldexp(static_cast<double>(isum),
+                               blk_a.exponent + blk_b.exponent - 2 * bm));
+            }
+            c[static_cast<size_t>(i) * n_cols + j] = acc;
+        }
+    }
+    return c;
+}
+
+} // namespace bfp
+} // namespace mirage

@@ -1,0 +1,70 @@
+#ifndef MIRAGE_BFP_BFP_GEMM_H
+#define MIRAGE_BFP_BFP_GEMM_H
+
+/**
+ * @file
+ * BFP GEMM with the paper's grouping semantics (Sec. III): groups run along
+ * the contraction (K) dimension — the input vector chunk and the matching
+ * weight-row chunk each form one group — integer chunk dot products are
+ * exact, and cross-chunk accumulation happens in FP32 (dataflow step 9).
+ *
+ * Optionally, every integer chunk dot product is routed through an RNS
+ * engine over a moduli set; with Eq. (13) satisfied this is numerically
+ * transparent, which is exactly Mirage's claim.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bfp/bfp.h"
+#include "rns/moduli_set.h"
+
+namespace mirage {
+namespace bfp {
+
+/** Execution options for bfpGemm. */
+struct BfpGemmOptions
+{
+    BfpConfig config;
+    /// When set, each chunk dot product is computed in the RNS domain over
+    /// this moduli set (forward conversion, modular MACs, CRT reverse).
+    std::optional<rns::ModuliSet> moduli;
+    /// RNG used only for stochastic rounding.
+    Rng *rng = nullptr;
+};
+
+/**
+ * C = A * B where A is MxK and B is KxN, all row-major FP32.
+ * A's rows and B's columns are BFP-grouped along K in chunks of cfg.g.
+ */
+std::vector<float> bfpGemm(const std::vector<float> &a,
+                           const std::vector<float> &b,
+                           int m_rows, int k_depth, int n_cols,
+                           const BfpGemmOptions &opts);
+
+/**
+ * Pre-encoded BFP view of a matrix: rows (or columns) cut into K-chunks.
+ * Exposed so the photonic functional model can consume the same encoding.
+ */
+struct BfpMatrix
+{
+    int rows = 0;
+    int chunk_count = 0;
+    int g = 0;
+    /// blocks[row * chunk_count + chunk]
+    std::vector<BfpBlock> blocks;
+};
+
+/** Encodes matrix rows (MxK, row-major) into K-chunk groups. */
+BfpMatrix encodeRows(const std::vector<float> &a, int m_rows, int k_depth,
+                     const BfpConfig &cfg, Rng *rng = nullptr);
+
+/** Encodes matrix columns (KxN, row-major) into K-chunk groups. */
+BfpMatrix encodeCols(const std::vector<float> &b, int k_depth, int n_cols,
+                     const BfpConfig &cfg, Rng *rng = nullptr);
+
+} // namespace bfp
+} // namespace mirage
+
+#endif // MIRAGE_BFP_BFP_GEMM_H

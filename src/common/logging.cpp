@@ -1,0 +1,36 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace mirage {
+namespace detail {
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line << std::endl;
+    std::exit(1);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line << std::endl;
+    std::abort();
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "warn: " << msg << " (" << file << ":" << line << ")" << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace mirage

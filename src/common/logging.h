@@ -1,0 +1,89 @@
+#ifndef MIRAGE_COMMON_LOGGING_H
+#define MIRAGE_COMMON_LOGGING_H
+
+/**
+ * @file
+ * Status and error reporting in the gem5 spirit: fatal() for user errors
+ * (bad configuration, invalid arguments), panic() for internal invariant
+ * violations (simulator bugs), warn()/inform() for non-fatal conditions.
+ */
+
+#include <sstream>
+#include <string>
+
+namespace mirage {
+
+namespace detail {
+
+/** Concatenates a parameter pack into a single message string. */
+template <typename... Args>
+std::string
+concatMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+/** Terminates the process with exit(1) after printing a fatal banner. */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+/** Aborts the process (core-dump friendly) after printing a panic banner. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/** Prints a warning banner to stderr. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/** Prints an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Reports an unrecoverable *user* error (bad configuration, invalid
+ * arguments) and exits with status 1. Not a simulator bug.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *file, int line, Args &&...args)
+{
+    detail::fatalImpl(file, line, detail::concatMessage(std::forward<Args>(args)...));
+}
+
+/**
+ * Reports an internal invariant violation (a bug in this library) and
+ * aborts so a debugger or core dump can capture the state.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *file, int line, Args &&...args)
+{
+    detail::panicImpl(file, line, detail::concatMessage(std::forward<Args>(args)...));
+}
+
+} // namespace mirage
+
+/** User-error termination. Use for invalid configurations or arguments. */
+#define MIRAGE_FATAL(...) ::mirage::fatal(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Internal-bug termination. Use when an invariant that must hold is broken. */
+#define MIRAGE_PANIC(...) ::mirage::panic(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Non-fatal warning with source location. */
+#define MIRAGE_WARN(...) \
+    ::mirage::detail::warnImpl(__FILE__, __LINE__, \
+                               ::mirage::detail::concatMessage(__VA_ARGS__))
+
+/** Informational status message. */
+#define MIRAGE_INFORM(...) \
+    ::mirage::detail::informImpl(::mirage::detail::concatMessage(__VA_ARGS__))
+
+/** Panics when `cond` is false; for internal invariants, not user input. */
+#define MIRAGE_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            MIRAGE_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (false)
+
+#endif // MIRAGE_COMMON_LOGGING_H

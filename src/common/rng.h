@@ -1,0 +1,71 @@
+#ifndef MIRAGE_COMMON_RNG_H
+#define MIRAGE_COMMON_RNG_H
+
+/**
+ * @file
+ * Deterministic random number generation. Every stochastic component in the
+ * simulator (noise injection, stochastic rounding, dataset synthesis, weight
+ * initialization) draws from an explicitly seeded Rng so experiments are
+ * reproducible bit-for-bit across runs.
+ */
+
+#include <cstdint>
+#include <random>
+
+namespace mirage {
+
+/**
+ * Seeded pseudo-random source wrapping a 64-bit Mersenne twister.
+ *
+ * Intentionally *not* a global: components own their Rng (or receive one by
+ * reference) so that parallel experiments never share hidden state.
+ */
+class Rng
+{
+  public:
+    /** Constructs a generator from an explicit seed. */
+    explicit Rng(uint64_t seed = 0x4d495241u) : engine_(seed) {}
+
+    /** Reseeds the generator, restarting its sequence. */
+    void reseed(uint64_t seed) { engine_.seed(seed); }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        std::uniform_int_distribution<int64_t> dist(lo, hi);
+        return dist(engine_);
+    }
+
+    /** Uniform unsigned 64-bit value. */
+    uint64_t nextU64() { return engine_(); }
+
+    /** Uniform real in [lo, hi). */
+    double
+    uniformReal(double lo = 0.0, double hi = 1.0)
+    {
+        std::uniform_real_distribution<double> dist(lo, hi);
+        return dist(engine_);
+    }
+
+    /** Gaussian sample with the given mean and standard deviation. */
+    double
+    gaussian(double mean = 0.0, double sigma = 1.0)
+    {
+        std::normal_distribution<double> dist(mean, sigma);
+        return dist(engine_);
+    }
+
+    /** Bernoulli sample: true with probability p. */
+    bool bernoulli(double p) { return uniformReal() < p; }
+
+    /** Exposes the underlying engine for std::shuffle and distributions. */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace mirage
+
+#endif // MIRAGE_COMMON_RNG_H

@@ -1,0 +1,54 @@
+#ifndef MIRAGE_COMMON_TABLE_H
+#define MIRAGE_COMMON_TABLE_H
+
+/**
+ * @file
+ * Plain-text table and CSV emitters used by the benchmark harnesses to print
+ * paper-style result tables (Table I/II/III, Figs. 5-9 series).
+ */
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mirage {
+
+/**
+ * Column-aligned text table. Usage:
+ *
+ *   TablePrinter t({"model", "runtime", "EDP"});
+ *   t.addRow({"AlexNet", "1.23", "4.56"});
+ *   t.print(std::cout);
+ */
+class TablePrinter
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Appends a row; must have exactly as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Renders the table with aligned columns and a header separator. */
+    void print(std::ostream &os) const;
+
+    /** Renders the table as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Formats a double with `digits` significant digits. */
+std::string formatSig(double v, int digits = 4);
+
+/** Formats a double in fixed notation with `decimals` decimal places. */
+std::string formatFixed(double v, int decimals = 2);
+
+} // namespace mirage
+
+#endif // MIRAGE_COMMON_TABLE_H

@@ -1,0 +1,63 @@
+#ifndef MIRAGE_COMMON_UNITS_H
+#define MIRAGE_COMMON_UNITS_H
+
+/**
+ * @file
+ * Physical constants and unit helpers shared by the analog and photonic
+ * models. All internal computation is in SI base units (watts, joules,
+ * seconds, meters, amperes); the suffixes here exist so that literals in
+ * configuration code read like the paper's tables.
+ */
+
+#include <cmath>
+
+namespace mirage {
+namespace units {
+
+/// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Default operating temperature [K].
+inline constexpr double kRoomTemperature = 300.0;
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+// --- magnitude helpers -----------------------------------------------------
+
+inline constexpr double kGiga = 1e9;
+inline constexpr double kMega = 1e6;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kPico = 1e-12;
+inline constexpr double kFemto = 1e-15;
+
+/** Converts a power/energy ratio to decibels. */
+inline double
+toDb(double ratio)
+{
+    return 10.0 * std::log10(ratio);
+}
+
+/** Converts decibels to a linear power ratio ( >= 0 dB means gain). */
+inline double
+fromDb(double db)
+{
+    return std::pow(10.0, db / 10.0);
+}
+
+/** Linear transmission of an optical element with `loss_db` insertion loss. */
+inline double
+transmissionFromLossDb(double loss_db)
+{
+    return std::pow(10.0, -loss_db / 10.0);
+}
+
+} // namespace units
+} // namespace mirage
+
+#endif // MIRAGE_COMMON_UNITS_H

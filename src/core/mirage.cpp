@@ -1,0 +1,78 @@
+#include "core/mirage.h"
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace core {
+
+MirageAccelerator::MirageAccelerator(arch::MirageConfig cfg)
+    : cfg_(std::move(cfg)), perf_(cfg_), energy_(cfg_)
+{
+    numerics::FormatGemmConfig fmt;
+    fmt.mirage_bfp = {cfg_.bm, cfg_.g, bfp::Rounding::Nearest};
+    fmt.moduli = cfg_.moduliSet();
+    emulated_backend_ = std::make_unique<nn::FormatBackend>(
+        numerics::DataFormat::MirageBfpRns, fmt);
+    photonic_backend_ = std::make_unique<nn::PhotonicBackend>(
+        cfg_.bm, cfg_.g, cfg_.moduli_k, cfg_.mdpu_rows);
+}
+
+std::vector<float>
+MirageAccelerator::gemm(const std::vector<float> &a,
+                        const std::vector<float> &b, int m, int k, int n,
+                        ExecutionMode mode)
+{
+    return backend(mode)->gemm(a, b, m, k, n, false, false);
+}
+
+nn::GemmBackend *
+MirageAccelerator::backend(ExecutionMode mode)
+{
+    return mode == ExecutionMode::Emulated ? emulated_backend_.get()
+                                           : photonic_backend_.get();
+}
+
+PerformanceReport
+MirageAccelerator::report(const models::ModelShape &model,
+                          const std::vector<models::GemmTask> &tasks,
+                          arch::DataflowPolicy policy) const
+{
+    const ScheduleResult sched = scheduleMirage(perf_, tasks, policy);
+    const arch::PowerBreakdown power = energy_.peakPower();
+
+    PerformanceReport rep;
+    rep.model_name = model.name;
+    rep.time_s = sched.total_time_s;
+    rep.macs = sched.total_macs;
+    rep.avg_spatial_util = sched.avg_spatial_util;
+    rep.compute_power_w = power.computeTotal();
+    rep.total_power_w = power.total();
+    rep.energy_j = rep.compute_power_w * rep.time_s;
+    rep.edp = rep.energy_j * rep.time_s;
+    return rep;
+}
+
+PerformanceReport
+MirageAccelerator::estimateTraining(const models::ModelShape &model,
+                                    int64_t batch,
+                                    arch::DataflowPolicy policy) const
+{
+    return report(model, models::trainingTasks(model, batch), policy);
+}
+
+PerformanceReport
+MirageAccelerator::estimateInference(const models::ModelShape &model,
+                                     int64_t batch,
+                                     arch::DataflowPolicy policy) const
+{
+    return report(model, models::inferenceTasks(model, batch), policy);
+}
+
+arch::MirageSummary
+MirageAccelerator::summary() const
+{
+    return energy_.summary();
+}
+
+} // namespace core
+} // namespace mirage

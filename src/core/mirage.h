@@ -1,0 +1,109 @@
+#ifndef MIRAGE_CORE_MIRAGE_H
+#define MIRAGE_CORE_MIRAGE_H
+
+/**
+ * @file
+ * Top-level public API: a MirageAccelerator instance bundles the
+ * functional numerics (BFP + RNS, optionally the full photonic pipeline),
+ * the analytic performance model and the power/area model behind one
+ * object — what a downstream user of this library instantiates first.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "arch/config.h"
+#include "arch/energy_model.h"
+#include "arch/perf_model.h"
+#include "core/schedule.h"
+#include "models/zoo.h"
+#include "nn/gemm_backend.h"
+
+namespace mirage {
+namespace core {
+
+/** How functional GEMMs are executed. */
+enum class ExecutionMode
+{
+    /// BFP + RNS integer emulation (bit-identical to the photonic pipeline
+    /// with noise off; fast).
+    Emulated,
+    /// Full phase-domain simulation on MDPU/MMVMU device models (slow;
+    /// supports noise injection).
+    Photonic,
+};
+
+/** Estimated execution of one model (training step or inference pass). */
+struct PerformanceReport
+{
+    std::string model_name;
+    double time_s = 0.0;
+    int64_t macs = 0;
+    double avg_spatial_util = 0.0;
+    double compute_power_w = 0.0; ///< Non-SRAM power (Fig. 8 scope).
+    double total_power_w = 0.0;   ///< Including SRAM (Fig. 9 scope).
+    double energy_j = 0.0;        ///< compute_power_w * time_s.
+    double edp = 0.0;             ///< energy_j * time_s.
+
+    /** Effective throughput [MAC/s]. */
+    double macsPerSecond() const
+    {
+        return time_s > 0 ? static_cast<double>(macs) / time_s : 0.0;
+    }
+};
+
+/** The Mirage accelerator: numerics + performance + power in one handle. */
+class MirageAccelerator
+{
+  public:
+    /** Builds an accelerator with the paper's default configuration. */
+    explicit MirageAccelerator(arch::MirageConfig cfg = {});
+
+    const arch::MirageConfig &config() const { return cfg_; }
+
+    /**
+     * Functional FP32 GEMM through Mirage's numerics:
+     * C[m x n] = A[m x k] * B[k x n].
+     */
+    std::vector<float> gemm(const std::vector<float> &a,
+                            const std::vector<float> &b, int m, int k, int n,
+                            ExecutionMode mode = ExecutionMode::Emulated);
+
+    /**
+     * A GEMM backend bound to this accelerator's numerics, for plugging
+     * into the nn:: training framework.
+     */
+    nn::GemmBackend *backend(ExecutionMode mode = ExecutionMode::Emulated);
+
+    /** Estimated cost of one training step (3 GEMMs per layer). */
+    PerformanceReport estimateTraining(
+        const models::ModelShape &model, int64_t batch,
+        arch::DataflowPolicy policy = arch::DataflowPolicy::OPT2) const;
+
+    /** Estimated cost of one inference pass (forward GEMMs only). */
+    PerformanceReport estimateInference(
+        const models::ModelShape &model, int64_t batch,
+        arch::DataflowPolicy policy = arch::DataflowPolicy::OPT2) const;
+
+    /** Power/area/efficiency summary (Table II, Fig. 9). */
+    arch::MirageSummary summary() const;
+
+    /** The underlying analytic performance model. */
+    const arch::MiragePerfModel &perfModel() const { return perf_; }
+
+  private:
+    PerformanceReport report(const models::ModelShape &model,
+                             const std::vector<models::GemmTask> &tasks,
+                             arch::DataflowPolicy policy) const;
+
+    arch::MirageConfig cfg_;
+    arch::MiragePerfModel perf_;
+    arch::MirageEnergyModel energy_;
+    std::unique_ptr<nn::GemmBackend> emulated_backend_;
+    std::unique_ptr<nn::GemmBackend> photonic_backend_;
+};
+
+} // namespace core
+} // namespace mirage
+
+#endif // MIRAGE_CORE_MIRAGE_H

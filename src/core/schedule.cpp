@@ -1,0 +1,140 @@
+#include "core/schedule.h"
+
+#include <array>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace core {
+
+namespace {
+
+/**
+ * Generic scheduler over any performance model exposing
+ * gemm(shape, dataflow, count) -> GemmPerf.
+ */
+template <typename PerfModel>
+ScheduleResult
+scheduleImpl(const PerfModel &model, const std::vector<models::GemmTask> &tasks,
+             arch::DataflowPolicy policy,
+             const std::vector<arch::Dataflow> &dataflows)
+{
+    using arch::Dataflow;
+    using arch::DataflowPolicy;
+    using arch::GemmPerf;
+    using arch::TrainingOp;
+
+    ScheduleResult result;
+    result.tasks.reserve(tasks.size());
+
+    auto fixed_df = [&](DataflowPolicy p) -> Dataflow {
+        switch (p) {
+          case DataflowPolicy::FixedDF1: return Dataflow::DF1;
+          case DataflowPolicy::FixedDF2: return Dataflow::DF2;
+          case DataflowPolicy::FixedDF3: return Dataflow::DF3;
+          default: MIRAGE_PANIC("not a fixed policy");
+        }
+    };
+
+    // OPT1: pick the best *fixed* dataflow per training-op type by total
+    // time across all tasks of that op (paper Sec. VI-A3).
+    std::array<Dataflow, 3> opt1_choice = {Dataflow::DF1, Dataflow::DF1,
+                                           Dataflow::DF1};
+    if (policy == DataflowPolicy::OPT1) {
+        for (TrainingOp op : arch::kTrainingOps) {
+            double best_time = std::numeric_limits<double>::infinity();
+            Dataflow best_df = dataflows.front();
+            for (Dataflow df : dataflows) {
+                double total = 0.0;
+                bool ok = true;
+                for (const models::GemmTask &t : tasks) {
+                    if (t.op != op)
+                        continue;
+                    const GemmPerf p = model.gemm(t.shape, df, t.count);
+                    if (!p.supported) {
+                        ok = false;
+                        break;
+                    }
+                    total += p.time_s;
+                }
+                if (ok && total < best_time) {
+                    best_time = total;
+                    best_df = df;
+                }
+            }
+            opt1_choice[static_cast<size_t>(op)] = best_df;
+        }
+    }
+
+    double util_weighted = 0.0;
+    for (const models::GemmTask &t : tasks) {
+        ScheduledTask st;
+        st.task = t;
+        switch (policy) {
+          case DataflowPolicy::FixedDF1:
+          case DataflowPolicy::FixedDF2:
+          case DataflowPolicy::FixedDF3:
+            st.dataflow = fixed_df(policy);
+            st.perf = model.gemm(t.shape, st.dataflow, t.count);
+            break;
+          case DataflowPolicy::OPT1:
+            st.dataflow = opt1_choice[static_cast<size_t>(t.op)];
+            st.perf = model.gemm(t.shape, st.dataflow, t.count);
+            break;
+          case DataflowPolicy::OPT2: {
+            double best_time = std::numeric_limits<double>::infinity();
+            for (arch::Dataflow df : dataflows) {
+                const GemmPerf p = model.gemm(t.shape, df, t.count);
+                if (p.supported && p.time_s < best_time) {
+                    best_time = p.time_s;
+                    st.dataflow = df;
+                    st.perf = p;
+                }
+            }
+            break;
+          }
+        }
+        if (!st.perf.supported) {
+            MIRAGE_FATAL("dataflow ", arch::toString(st.dataflow),
+                         " is not supported on this accelerator");
+        }
+        result.total_time_s += st.perf.time_s;
+        result.total_macs += st.perf.macs;
+        util_weighted +=
+            st.perf.spatial_util * static_cast<double>(st.perf.macs);
+        result.tasks.push_back(std::move(st));
+    }
+    result.avg_spatial_util =
+        result.total_macs > 0
+            ? util_weighted / static_cast<double>(result.total_macs)
+            : 0.0;
+    return result;
+}
+
+} // namespace
+
+ScheduleResult
+scheduleMirage(const arch::MiragePerfModel &model,
+               const std::vector<models::GemmTask> &tasks,
+               arch::DataflowPolicy policy)
+{
+    if (policy == arch::DataflowPolicy::FixedDF3)
+        MIRAGE_FATAL("DF3 requires per-cycle phase-shifter reprogramming and "
+                     "is not supported on Mirage (Sec. VI-A3)");
+    return scheduleImpl(model, tasks, policy,
+                        {arch::Dataflow::DF1, arch::Dataflow::DF2});
+}
+
+ScheduleResult
+scheduleSystolic(const arch::SystolicPerfModel &model,
+                 const std::vector<models::GemmTask> &tasks,
+                 arch::DataflowPolicy policy)
+{
+    return scheduleImpl(
+        model, tasks, policy,
+        {arch::Dataflow::DF1, arch::Dataflow::DF2, arch::Dataflow::DF3});
+}
+
+} // namespace core
+} // namespace mirage

@@ -1,0 +1,52 @@
+#ifndef MIRAGE_CORE_SCHEDULE_H
+#define MIRAGE_CORE_SCHEDULE_H
+
+/**
+ * @file
+ * Dataflow scheduling over a model's GEMM tasks (paper Sec. VI-A3):
+ * fixed DF1/DF2/DF3, OPT1 (best fixed dataflow per training-op type) and
+ * OPT2 (best dataflow per GEMM). Scheduling is offline and analytic, as in
+ * the paper.
+ */
+
+#include <vector>
+
+#include "arch/perf_model.h"
+#include "arch/systolic.h"
+#include "models/zoo.h"
+
+namespace mirage {
+namespace core {
+
+/** One scheduled task: the chosen dataflow and its predicted timing. */
+struct ScheduledTask
+{
+    models::GemmTask task;
+    arch::Dataflow dataflow = arch::Dataflow::DF1;
+    arch::GemmPerf perf;
+};
+
+/** Full schedule for a model on one accelerator. */
+struct ScheduleResult
+{
+    std::vector<ScheduledTask> tasks;
+    double total_time_s = 0.0;
+    int64_t total_macs = 0;
+    /// MAC-weighted mean spatial utilization.
+    double avg_spatial_util = 0.0;
+};
+
+/** Schedules tasks on the Mirage performance model (DF3 unavailable). */
+ScheduleResult scheduleMirage(const arch::MiragePerfModel &model,
+                              const std::vector<models::GemmTask> &tasks,
+                              arch::DataflowPolicy policy);
+
+/** Schedules tasks on a systolic-array performance model. */
+ScheduleResult scheduleSystolic(const arch::SystolicPerfModel &model,
+                                const std::vector<models::GemmTask> &tasks,
+                                arch::DataflowPolicy policy);
+
+} // namespace core
+} // namespace mirage
+
+#endif // MIRAGE_CORE_SCHEDULE_H

@@ -1,0 +1,131 @@
+#include "models/trainable.h"
+
+namespace mirage {
+namespace models {
+
+using nn::BatchNorm2d;
+using nn::Conv2d;
+using nn::Dense;
+using nn::Flatten;
+using nn::Gelu;
+using nn::GlobalAvgPool;
+using nn::LayerNorm;
+using nn::MaxPool2d;
+using nn::MultiHeadSelfAttention;
+using nn::ReLU;
+using nn::ResidualBlock;
+using nn::SequenceMeanPool;
+using nn::Sequential;
+
+std::unique_ptr<Sequential>
+makeMlp(int in_dim, int hidden, int classes, nn::GemmBackend *backend,
+        Rng &rng)
+{
+    auto model = std::make_unique<Sequential>();
+    model->emplace<Dense>(in_dim, hidden, backend, rng);
+    model->emplace<ReLU>();
+    model->emplace<Dense>(hidden, hidden, backend, rng);
+    model->emplace<ReLU>();
+    model->emplace<Dense>(hidden, classes, backend, rng);
+    return model;
+}
+
+std::unique_ptr<Sequential>
+makeSmallCnn(int classes, nn::GemmBackend *backend, Rng &rng)
+{
+    auto model = std::make_unique<Sequential>();
+    model->emplace<Conv2d>(1, 8, 3, 1, 1, backend, rng);
+    model->emplace<ReLU>();
+    model->emplace<MaxPool2d>();
+    model->emplace<Conv2d>(8, 16, 3, 1, 1, backend, rng);
+    model->emplace<ReLU>();
+    model->emplace<MaxPool2d>();
+    model->emplace<Flatten>();
+    model->emplace<Dense>(16 * 4 * 4, 64, backend, rng);
+    model->emplace<ReLU>();
+    model->emplace<Dense>(64, classes, backend, rng);
+    return model;
+}
+
+namespace {
+
+std::unique_ptr<nn::Layer>
+basicBlock(int channels, nn::GemmBackend *backend, Rng &rng)
+{
+    auto main = std::make_unique<Sequential>();
+    main->emplace<Conv2d>(channels, channels, 3, 1, 1, backend, rng,
+                          /*bias=*/false);
+    main->emplace<BatchNorm2d>(channels);
+    main->emplace<ReLU>();
+    main->emplace<Conv2d>(channels, channels, 3, 1, 1, backend, rng,
+                          /*bias=*/false);
+    main->emplace<BatchNorm2d>(channels);
+    return std::make_unique<ResidualBlock>(std::move(main));
+}
+
+} // namespace
+
+std::unique_ptr<Sequential>
+makeMiniResNet(int classes, nn::GemmBackend *backend, Rng &rng)
+{
+    auto model = std::make_unique<Sequential>();
+    model->emplace<Conv2d>(1, 8, 3, 1, 1, backend, rng, /*bias=*/false);
+    model->emplace<BatchNorm2d>(8);
+    model->emplace<ReLU>();
+    model->add(basicBlock(8, backend, rng));
+    model->emplace<ReLU>();
+    model->emplace<MaxPool2d>();
+    model->emplace<Conv2d>(8, 16, 3, 1, 1, backend, rng, /*bias=*/false);
+    model->emplace<BatchNorm2d>(16);
+    model->emplace<ReLU>();
+    model->add(basicBlock(16, backend, rng));
+    model->emplace<ReLU>();
+    model->emplace<GlobalAvgPool>();
+    model->emplace<Dense>(16, classes, backend, rng);
+    return model;
+}
+
+namespace {
+
+std::unique_ptr<nn::Layer>
+transformerBlock(int dim, int heads, nn::GemmBackend *backend, Rng &rng)
+{
+    // Pre-norm attention sub-block.
+    auto attn_path = std::make_unique<Sequential>();
+    attn_path->emplace<LayerNorm>(dim);
+    attn_path->emplace<MultiHeadSelfAttention>(dim, heads, backend, rng);
+    auto attn_block = std::make_unique<ResidualBlock>(std::move(attn_path));
+
+    // Pre-norm feed-forward sub-block.
+    auto ff_path = std::make_unique<Sequential>();
+    ff_path->emplace<LayerNorm>(dim);
+    ff_path->emplace<Dense>(dim, 4 * dim, backend, rng);
+    ff_path->emplace<Gelu>();
+    ff_path->emplace<Dense>(4 * dim, dim, backend, rng);
+    auto ff_block = std::make_unique<ResidualBlock>(std::move(ff_path));
+
+    auto block = std::make_unique<Sequential>();
+    block->add(std::move(attn_block));
+    block->add(std::move(ff_block));
+    return block;
+}
+
+} // namespace
+
+std::unique_ptr<Sequential>
+makeTinyTransformer(int vocab, int classes, int dim, int heads, int layers,
+                    nn::GemmBackend *backend, Rng &rng)
+{
+    auto model = std::make_unique<Sequential>();
+    // Token embedding as a per-token dense over one-hot inputs.
+    model->emplace<Dense>(vocab, dim, backend, rng);
+    for (int l = 0; l < layers; ++l)
+        model->add(transformerBlock(dim, heads, backend, rng));
+    model->emplace<LayerNorm>(dim);
+    model->emplace<SequenceMeanPool>();
+    model->emplace<Dense>(dim, classes, backend, rng);
+    return model;
+}
+
+} // namespace models
+} // namespace mirage

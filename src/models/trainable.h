@@ -1,0 +1,58 @@
+#ifndef MIRAGE_MODELS_TRAINABLE_H
+#define MIRAGE_MODELS_TRAINABLE_H
+
+/**
+ * @file
+ * Small trainable networks for the accuracy experiments (Table I,
+ * Fig. 5a): laptop-scale stand-ins that exercise the same quantized-GEMM
+ * code paths as the paper's full models (see DESIGN.md substitutions).
+ * Every GEMM — convolutional, dense, and attention — flows through the
+ * caller-supplied backend.
+ */
+
+#include <memory>
+
+#include "nn/attention.h"
+#include "nn/layers_basic.h"
+#include "nn/layers_conv.h"
+#include "nn/layers_norm.h"
+#include "nn/model.h"
+
+namespace mirage {
+namespace models {
+
+/** Three-layer MLP for `dim`-dimensional vector classification. */
+std::unique_ptr<nn::Sequential> makeMlp(int in_dim, int hidden, int classes,
+                                        nn::GemmBackend *backend, Rng &rng);
+
+/**
+ * Small CNN for [B, 1, 16, 16] pattern images:
+ * conv3x3(8) - ReLU - pool - conv3x3(16) - ReLU - pool - FC(64) - FC(C).
+ */
+std::unique_ptr<nn::Sequential> makeSmallCnn(int classes,
+                                             nn::GemmBackend *backend,
+                                             Rng &rng);
+
+/**
+ * Miniature ResNet for the same images: stem conv + two residual blocks
+ * (with batch norm) + global average pooling + classifier.
+ */
+std::unique_ptr<nn::Sequential> makeMiniResNet(int classes,
+                                               nn::GemmBackend *backend,
+                                               Rng &rng);
+
+/**
+ * Tiny transformer encoder classifier over one-hot token sequences
+ * [B, T, vocab]: token embedding, `layers` pre-norm attention/FFN blocks,
+ * mean pooling, classifier head.
+ */
+std::unique_ptr<nn::Sequential> makeTinyTransformer(int vocab, int classes,
+                                                    int dim, int heads,
+                                                    int layers,
+                                                    nn::GemmBackend *backend,
+                                                    Rng &rng);
+
+} // namespace models
+} // namespace mirage
+
+#endif // MIRAGE_MODELS_TRAINABLE_H

@@ -1,0 +1,293 @@
+#include "models/zoo.h"
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace models {
+
+namespace {
+
+/** Standard convolution: Cout x (Cin k^2) GEMM over out_hw positions. */
+GemmLayer
+conv(std::string name, int64_t cout, int64_t cin, int64_t kernel,
+     int64_t out_hw)
+{
+    return {std::move(name), cout, cin * kernel * kernel, out_hw * out_hw, 1,
+            true};
+}
+
+/** Depthwise 3x3 convolution: one (1 x 9) GEMM instance per channel. */
+GemmLayer
+dwConv(std::string name, int64_t channels, int64_t out_hw)
+{
+    return {std::move(name), 1, 9, out_hw * out_hw, channels, true};
+}
+
+/** Fully connected layer. */
+GemmLayer
+fc(std::string name, int64_t out, int64_t in)
+{
+    return {std::move(name), out, in, 1, 1, true};
+}
+
+/** Attention-style GEMM: N is the sequence; batch multiplies instances. */
+GemmLayer
+attn(std::string name, int64_t m, int64_t k, int64_t n, int64_t heads)
+{
+    return {std::move(name), m, k, n, heads, false};
+}
+
+} // namespace
+
+int64_t
+ModelShape::forwardMacs(int64_t batch) const
+{
+    int64_t total = 0;
+    for (const GemmTask &t : inferenceTasks(*this, batch))
+        total += t.count * t.shape.macs();
+    return total;
+}
+
+int64_t
+ModelShape::trainingMacs(int64_t batch) const
+{
+    int64_t total = 0;
+    for (const GemmTask &t : trainingTasks(*this, batch))
+        total += t.count * t.shape.macs();
+    return total;
+}
+
+std::vector<GemmTask>
+trainingTasks(const ModelShape &model, int64_t batch)
+{
+    MIRAGE_ASSERT(batch >= 1, "batch must be positive");
+    std::vector<GemmTask> tasks;
+    tasks.reserve(model.layers.size() * 3);
+    for (const GemmLayer &layer : model.layers) {
+        const int64_t n =
+            layer.batch_in_n ? layer.spatial * batch : layer.spatial;
+        const int64_t count = layer.batch_in_n
+                                  ? layer.instances_per_sample
+                                  : layer.instances_per_sample * batch;
+        const auto shapes = arch::trainingGemms(layer.m, layer.k, n);
+        for (size_t i = 0; i < arch::kTrainingOps.size(); ++i)
+            tasks.push_back(
+                {layer.name, arch::kTrainingOps[i], shapes[i], count});
+    }
+    return tasks;
+}
+
+std::vector<GemmTask>
+inferenceTasks(const ModelShape &model, int64_t batch)
+{
+    MIRAGE_ASSERT(batch >= 1, "batch must be positive");
+    std::vector<GemmTask> tasks;
+    tasks.reserve(model.layers.size());
+    for (const GemmLayer &layer : model.layers) {
+        const int64_t n =
+            layer.batch_in_n ? layer.spatial * batch : layer.spatial;
+        const int64_t count = layer.batch_in_n
+                                  ? layer.instances_per_sample
+                                  : layer.instances_per_sample * batch;
+        tasks.push_back({layer.name, arch::TrainingOp::Forward,
+                         arch::GemmShape{layer.m, layer.k, n}, count});
+    }
+    return tasks;
+}
+
+ModelShape
+alexNet()
+{
+    ModelShape m;
+    m.name = "AlexNet";
+    m.layers = {
+        conv("conv1", 96, 3, 11, 55),
+        conv("conv2", 256, 96, 5, 27),
+        conv("conv3", 384, 256, 3, 13),
+        conv("conv4", 384, 384, 3, 13),
+        conv("conv5", 256, 384, 3, 13),
+        fc("fc6", 4096, 256 * 6 * 6),
+        fc("fc7", 4096, 4096),
+        fc("fc8", 1000, 4096),
+    };
+    return m;
+}
+
+ModelShape
+vgg16()
+{
+    ModelShape m;
+    m.name = "VGG16";
+    m.layers = {
+        conv("conv1_1", 64, 3, 3, 224),   conv("conv1_2", 64, 64, 3, 224),
+        conv("conv2_1", 128, 64, 3, 112), conv("conv2_2", 128, 128, 3, 112),
+        conv("conv3_1", 256, 128, 3, 56), conv("conv3_2", 256, 256, 3, 56),
+        conv("conv3_3", 256, 256, 3, 56), conv("conv4_1", 512, 256, 3, 28),
+        conv("conv4_2", 512, 512, 3, 28), conv("conv4_3", 512, 512, 3, 28),
+        conv("conv5_1", 512, 512, 3, 14), conv("conv5_2", 512, 512, 3, 14),
+        conv("conv5_3", 512, 512, 3, 14),
+        fc("fc6", 4096, 512 * 7 * 7),
+        fc("fc7", 4096, 4096),
+        fc("fc8", 1000, 4096),
+    };
+    return m;
+}
+
+ModelShape
+resNet18()
+{
+    ModelShape m;
+    m.name = "ResNet18";
+    m.layers.push_back(conv("conv1", 64, 3, 7, 112));
+    // layer1: 2 basic blocks at 56x56, 64 channels.
+    for (int b = 0; b < 2; ++b) {
+        m.layers.push_back(conv("l1b" + std::to_string(b) + ".c1", 64, 64, 3, 56));
+        m.layers.push_back(conv("l1b" + std::to_string(b) + ".c2", 64, 64, 3, 56));
+    }
+    // layer2-4: first block strides and downsamples via 1x1.
+    struct Stage { int idx; int64_t ch; int64_t hw; };
+    for (const Stage &s : {Stage{2, 128, 28}, Stage{3, 256, 14}, Stage{4, 512, 7}}) {
+        const std::string p = "l" + std::to_string(s.idx);
+        m.layers.push_back(conv(p + "b0.c1", s.ch, s.ch / 2, 3, s.hw));
+        m.layers.push_back(conv(p + "b0.c2", s.ch, s.ch, 3, s.hw));
+        m.layers.push_back(conv(p + "b0.down", s.ch, s.ch / 2, 1, s.hw));
+        m.layers.push_back(conv(p + "b1.c1", s.ch, s.ch, 3, s.hw));
+        m.layers.push_back(conv(p + "b1.c2", s.ch, s.ch, 3, s.hw));
+    }
+    m.layers.push_back(fc("fc", 1000, 512));
+    return m;
+}
+
+ModelShape
+resNet50()
+{
+    ModelShape m;
+    m.name = "ResNet50";
+    m.layers.push_back(conv("conv1", 64, 3, 7, 112));
+    struct Stage { int idx; int blocks; int64_t mid; int64_t out; int64_t hw; int64_t in; };
+    const Stage stages[] = {
+        {1, 3, 64, 256, 56, 64},
+        {2, 4, 128, 512, 28, 256},
+        {3, 6, 256, 1024, 14, 512},
+        {4, 3, 512, 2048, 7, 1024},
+    };
+    for (const Stage &s : stages) {
+        for (int b = 0; b < s.blocks; ++b) {
+            const std::string p =
+                "l" + std::to_string(s.idx) + "b" + std::to_string(b);
+            const int64_t cin = (b == 0) ? s.in : s.out;
+            m.layers.push_back(conv(p + ".c1", s.mid, cin, 1, s.hw));
+            m.layers.push_back(conv(p + ".c2", s.mid, s.mid, 3, s.hw));
+            m.layers.push_back(conv(p + ".c3", s.out, s.mid, 1, s.hw));
+            if (b == 0)
+                m.layers.push_back(conv(p + ".down", s.out, cin, 1, s.hw));
+        }
+    }
+    m.layers.push_back(fc("fc", 1000, 2048));
+    return m;
+}
+
+ModelShape
+mobileNetV2()
+{
+    ModelShape m;
+    m.name = "MobileNetV2";
+    m.layers.push_back(conv("conv0", 32, 3, 3, 112));
+    // Inverted residual stages: (expansion t, channels c, repeats n, hw).
+    struct Stage { int64_t t; int64_t c; int n; int64_t hw; };
+    const Stage stages[] = {
+        {1, 16, 1, 112}, {6, 24, 2, 56}, {6, 32, 3, 28}, {6, 64, 4, 14},
+        {6, 96, 3, 14},  {6, 160, 3, 7}, {6, 320, 1, 7},
+    };
+    int64_t cin = 32;
+    int stage_idx = 0;
+    for (const Stage &s : stages) {
+        for (int b = 0; b < s.n; ++b) {
+            const std::string p = "ir" + std::to_string(stage_idx) + "." +
+                                  std::to_string(b);
+            const int64_t hidden = cin * s.t;
+            if (s.t != 1)
+                m.layers.push_back(conv(p + ".expand", hidden, cin, 1, s.hw));
+            m.layers.push_back(dwConv(p + ".dw", hidden, s.hw));
+            m.layers.push_back(conv(p + ".project", s.c, hidden, 1, s.hw));
+            cin = s.c;
+        }
+        ++stage_idx;
+    }
+    m.layers.push_back(conv("conv_last", 1280, 320, 1, 7));
+    m.layers.push_back(fc("fc", 1000, 1280));
+    return m;
+}
+
+ModelShape
+yoloV2()
+{
+    ModelShape m;
+    m.name = "YOLOv2";
+    // Darknet-19 backbone at 416x416 input.
+    m.layers = {
+        conv("conv1", 32, 3, 3, 416),
+        conv("conv2", 64, 32, 3, 208),
+        conv("conv3", 128, 64, 3, 104),
+        conv("conv4", 64, 128, 1, 104),
+        conv("conv5", 128, 64, 3, 104),
+        conv("conv6", 256, 128, 3, 52),
+        conv("conv7", 128, 256, 1, 52),
+        conv("conv8", 256, 128, 3, 52),
+        conv("conv9", 512, 256, 3, 26),
+        conv("conv10", 256, 512, 1, 26),
+        conv("conv11", 512, 256, 3, 26),
+        conv("conv12", 256, 512, 1, 26),
+        conv("conv13", 512, 256, 3, 26),
+        conv("conv14", 1024, 512, 3, 13),
+        conv("conv15", 512, 1024, 1, 13),
+        conv("conv16", 1024, 512, 3, 13),
+        conv("conv17", 512, 1024, 1, 13),
+        conv("conv18", 1024, 512, 3, 13),
+        // Detection head.
+        conv("conv19", 1024, 1024, 3, 13),
+        conv("conv20", 1024, 1024, 3, 13),
+        conv("conv21", 1024, 1280, 3, 13), // after passthrough concat
+        conv("conv22", 425, 1024, 1, 13),  // 5 anchors x (20 + 5), VOC
+    };
+    return m;
+}
+
+ModelShape
+transformer()
+{
+    ModelShape m;
+    m.name = "Transformer";
+    // 12 layers, hidden 768, 12 heads (paper Sec. VI-B), sequence 128.
+    constexpr int64_t kLayers = 12;
+    constexpr int64_t kDim = 768;
+    constexpr int64_t kHeads = 12;
+    constexpr int64_t kSeq = 128;
+    constexpr int64_t kHeadDim = kDim / kHeads;
+    constexpr int64_t kFf = 4 * kDim;
+    for (int64_t l = 0; l < kLayers; ++l) {
+        const std::string p = "layer" + std::to_string(l);
+        // Q/K/V and output projections act per token: N = seq * batch.
+        m.layers.push_back({p + ".qkv", 3 * kDim, kDim, kSeq, 1, true});
+        m.layers.push_back(
+            attn(p + ".scores", kSeq, kHeadDim, kSeq, kHeads));
+        m.layers.push_back(
+            attn(p + ".context", kSeq, kSeq, kHeadDim, kHeads));
+        m.layers.push_back({p + ".proj", kDim, kDim, kSeq, 1, true});
+        m.layers.push_back({p + ".ff1", kFf, kDim, kSeq, 1, true});
+        m.layers.push_back({p + ".ff2", kDim, kFf, kSeq, 1, true});
+    }
+    // Output vocabulary projection (IWSLT14 BPE vocabulary ~10k).
+    m.layers.push_back({"lm_head", 10000, kDim, kSeq, 1, true});
+    return m;
+}
+
+std::vector<ModelShape>
+allModels()
+{
+    return {alexNet(),     resNet18(), resNet50(),   vgg16(),
+            mobileNetV2(), yoloV2(),   transformer()};
+}
+
+} // namespace models
+} // namespace mirage

@@ -1,0 +1,81 @@
+#ifndef MIRAGE_MODELS_ZOO_H
+#define MIRAGE_MODELS_ZOO_H
+
+/**
+ * @file
+ * Layer-shape zoo of the seven DNNs the paper evaluates (Sec. VI-B):
+ * AlexNet, ResNet18, ResNet50, VGG16, MobileNetV2, YOLOv2 and a 12-layer
+ * Transformer. Only GEMM-bearing layers are recorded (convolutions in
+ * im2col form, linear layers, attention GEMMs) — exactly what the
+ * performance simulator needs for Figs. 6-8 and Table III.
+ */
+
+#include <string>
+#include <vector>
+
+#include "arch/gemm_shape.h"
+
+namespace mirage {
+namespace models {
+
+/** One GEMM-bearing layer of a DNN, batch-independent. */
+struct GemmLayer
+{
+    std::string name;
+    int64_t m = 0;       ///< Output features (conv: Cout).
+    int64_t k = 0;       ///< Input features (conv: Cin * kh * kw).
+    int64_t spatial = 1; ///< Output positions per sample (1 for FC).
+    /// Independent GEMM instances per sample (e.g. attention heads,
+    /// depthwise channels).
+    int64_t instances_per_sample = 1;
+    /// True: batch multiplies N (N = spatial * B, count = instances).
+    /// False: batch multiplies the instance count (attention-style GEMMs
+    /// whose N dimension is the sequence, not the batch).
+    bool batch_in_n = true;
+};
+
+/** A named stack of GEMM layers. */
+struct ModelShape
+{
+    std::string name;
+    std::vector<GemmLayer> layers;
+
+    /** Total MACs of one forward pass at the given batch size. */
+    int64_t forwardMacs(int64_t batch) const;
+
+    /** Total MACs of one training step (3 GEMMs per layer). */
+    int64_t trainingMacs(int64_t batch) const;
+};
+
+/** One schedulable GEMM: shape + repeat count. */
+struct GemmTask
+{
+    std::string layer;
+    arch::TrainingOp op = arch::TrainingOp::Forward;
+    arch::GemmShape shape;
+    int64_t count = 1;
+};
+
+/** All three training GEMMs for every layer at a batch size. */
+std::vector<GemmTask> trainingTasks(const ModelShape &model, int64_t batch);
+
+/** Forward-only GEMMs (inference, Table III). */
+std::vector<GemmTask> inferenceTasks(const ModelShape &model, int64_t batch);
+
+// --- the seven evaluated DNNs (paper Sec. VI-B) -------------------------
+
+ModelShape alexNet();      ///< 5 conv + 3 FC, ImageNet 224x224.
+ModelShape resNet18();     ///< Basic blocks, ImageNet.
+ModelShape resNet50();     ///< Bottleneck blocks, ImageNet.
+ModelShape vgg16();        ///< 13 conv + 3 FC, ImageNet.
+ModelShape mobileNetV2();  ///< Inverted residuals with depthwise convs.
+ModelShape yoloV2();       ///< Darknet-19 backbone + detection head, 416x416.
+ModelShape transformer();  ///< 12 layers, d=768, 12 heads, seq 128 (IWSLT).
+
+/** All seven models in the paper's reporting order. */
+std::vector<ModelShape> allModels();
+
+} // namespace models
+} // namespace mirage
+
+#endif // MIRAGE_MODELS_ZOO_H

@@ -1,0 +1,227 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace nn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int dim, int heads,
+                                               GemmBackend *backend, Rng &rng)
+    : dim_(dim), heads_(heads), head_dim_(dim / heads), backend_(backend)
+{
+    MIRAGE_ASSERT(backend_ != nullptr, "MHSA needs a GEMM backend");
+    if (dim % heads != 0)
+        MIRAGE_FATAL("model dim ", dim, " not divisible by heads ", heads);
+    const float scale = std::sqrt(1.0f / static_cast<float>(dim));
+    for (Param *p : {&wq_, &wk_, &wv_, &wo_}) {
+        p->value = Tensor::randn({dim_, dim_}, rng, scale);
+        p->grad = Tensor::zeros({dim_, dim_});
+    }
+    wq_.name = "attn.wq";
+    wk_.name = "attn.wk";
+    wv_.name = "attn.wv";
+    wo_.name = "attn.wo";
+}
+
+namespace {
+
+/** Extracts head h of row-major [B*T, D] into [T, dh] for sample b. */
+void
+sliceHead(const std::vector<float> &src, int b, int h, int seq, int dim,
+          int head_dim, std::vector<float> &dst)
+{
+    dst.resize(static_cast<size_t>(seq) * head_dim);
+    for (int t = 0; t < seq; ++t)
+        for (int d = 0; d < head_dim; ++d)
+            dst[static_cast<size_t>(t) * head_dim + d] =
+                src[(static_cast<size_t>(b) * seq + t) * dim + h * head_dim +
+                    d];
+}
+
+/** Adds [T, dh] back into head h of [B*T, D]. */
+void
+scatterHead(const std::vector<float> &src, int b, int h, int seq, int dim,
+            int head_dim, std::vector<float> &dst)
+{
+    for (int t = 0; t < seq; ++t)
+        for (int d = 0; d < head_dim; ++d)
+            dst[(static_cast<size_t>(b) * seq + t) * dim + h * head_dim + d] +=
+                src[static_cast<size_t>(t) * head_dim + d];
+}
+
+} // namespace
+
+Tensor
+MultiHeadSelfAttention::forward(const Tensor &x, bool /*training*/)
+{
+    MIRAGE_ASSERT(x.rank() == 3 && x.dim(2) == dim_,
+                  "MHSA expects [B, T, ", dim_, "], got ", x.shapeString());
+    cached_input_ = x;
+    batch_ = x.dim(0);
+    seq_ = x.dim(1);
+    const int rows = batch_ * seq_;
+
+    // Projections: (B*T x D) * (D x D).
+    const std::vector<float> wq_t = transposed(wq_.value.vec(), dim_, dim_);
+    const std::vector<float> wk_t = transposed(wk_.value.vec(), dim_, dim_);
+    const std::vector<float> wv_t = transposed(wv_.value.vec(), dim_, dim_);
+    q_ = backend_->gemm(x.vec(), wq_t, rows, dim_, dim_, false, false);
+    k_ = backend_->gemm(x.vec(), wk_t, rows, dim_, dim_, false, false);
+    v_ = backend_->gemm(x.vec(), wv_t, rows, dim_, dim_, false, false);
+
+    probs_.assign(static_cast<size_t>(batch_) * heads_ * seq_ * seq_, 0.0f);
+    ctx_.assign(static_cast<size_t>(rows) * dim_, 0.0f);
+    const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+    std::vector<float> qh, kh, vh;
+    for (int b = 0; b < batch_; ++b) {
+        for (int h = 0; h < heads_; ++h) {
+            sliceHead(q_, b, h, seq_, dim_, head_dim_, qh);
+            sliceHead(k_, b, h, seq_, dim_, head_dim_, kh);
+            sliceHead(v_, b, h, seq_, dim_, head_dim_, vh);
+
+            // Scores = Q K^T / sqrt(dh): (T x dh) * (dh x T).
+            const std::vector<float> kh_t = transposed(kh, seq_, head_dim_);
+            std::vector<float> scores = backend_->gemm(qh, kh_t, seq_,
+                                                       head_dim_, seq_, false,
+                                                       false);
+            // Row softmax (FP32, like all nonlinearities in the paper).
+            float *p_base =
+                &probs_[((static_cast<size_t>(b) * heads_ + h) * seq_) * seq_];
+            for (int t = 0; t < seq_; ++t) {
+                float max_v = -1e30f;
+                for (int u = 0; u < seq_; ++u)
+                    max_v = std::max(max_v,
+                                     scores[static_cast<size_t>(t) * seq_ + u] *
+                                         inv_sqrt);
+                double denom = 0.0;
+                for (int u = 0; u < seq_; ++u) {
+                    const float e = std::exp(
+                        scores[static_cast<size_t>(t) * seq_ + u] * inv_sqrt -
+                        max_v);
+                    p_base[static_cast<size_t>(t) * seq_ + u] = e;
+                    denom += e;
+                }
+                for (int u = 0; u < seq_; ++u)
+                    p_base[static_cast<size_t>(t) * seq_ + u] /=
+                        static_cast<float>(denom);
+            }
+
+            // Context = P V : (T x T) * (T x dh).
+            std::vector<float> probs_head(
+                p_base, p_base + static_cast<size_t>(seq_) * seq_);
+            const std::vector<float> ctx_head = backend_->gemm(
+                probs_head, vh, seq_, seq_, head_dim_, false, false);
+            scatterHead(ctx_head, b, h, seq_, dim_, head_dim_, ctx_);
+        }
+    }
+
+    // Output projection.
+    const std::vector<float> wo_t = transposed(wo_.value.vec(), dim_, dim_);
+    Tensor y({batch_, seq_, dim_});
+    y.vec() = backend_->gemm(ctx_, wo_t, rows, dim_, dim_, false, false);
+    return y;
+}
+
+Tensor
+MultiHeadSelfAttention::backward(const Tensor &grad_out)
+{
+    const int rows = batch_ * seq_;
+    MIRAGE_ASSERT(grad_out.size() == static_cast<int64_t>(rows) * dim_,
+                  "MHSA backward shape mismatch");
+
+    // d ctx = dY * Wo ; dWo = dY^T * ctx.
+    std::vector<float> d_ctx = backend_->gemm(grad_out.vec(), wo_.value.vec(),
+                                              rows, dim_, dim_, true, false);
+    {
+        const std::vector<float> dy_t =
+            transposed(grad_out.vec(), rows, dim_);
+        const std::vector<float> dwo =
+            backend_->gemm(dy_t, ctx_, dim_, rows, dim_, true, false);
+        for (int64_t i = 0; i < wo_.grad.size(); ++i)
+            wo_.grad[i] += dwo[static_cast<size_t>(i)];
+    }
+
+    std::vector<float> dq(static_cast<size_t>(rows) * dim_, 0.0f);
+    std::vector<float> dk(static_cast<size_t>(rows) * dim_, 0.0f);
+    std::vector<float> dv(static_cast<size_t>(rows) * dim_, 0.0f);
+    const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+    std::vector<float> qh, kh, vh, d_ctx_h;
+    for (int b = 0; b < batch_; ++b) {
+        for (int h = 0; h < heads_; ++h) {
+            sliceHead(q_, b, h, seq_, dim_, head_dim_, qh);
+            sliceHead(k_, b, h, seq_, dim_, head_dim_, kh);
+            sliceHead(v_, b, h, seq_, dim_, head_dim_, vh);
+            sliceHead(d_ctx, b, h, seq_, dim_, head_dim_, d_ctx_h);
+            const float *p_base =
+                &probs_[((static_cast<size_t>(b) * heads_ + h) * seq_) * seq_];
+            const std::vector<float> probs_head(
+                p_base, p_base + static_cast<size_t>(seq_) * seq_);
+
+            // dV = P^T * d_ctx : (T x T)^T * (T x dh).
+            const std::vector<float> probs_t =
+                transposed(probs_head, seq_, seq_);
+            const std::vector<float> dv_head = backend_->gemm(
+                probs_t, d_ctx_h, seq_, seq_, head_dim_, false, true);
+            scatterHead(dv_head, b, h, seq_, dim_, head_dim_, dv);
+
+            // dP = d_ctx * V^T : (T x dh) * (dh x T).
+            const std::vector<float> vh_t = transposed(vh, seq_, head_dim_);
+            std::vector<float> dp = backend_->gemm(d_ctx_h, vh_t, seq_,
+                                                   head_dim_, seq_, true,
+                                                   false);
+            // Softmax backward: dS = P o (dP - rowsum(dP o P)).
+            std::vector<float> ds(static_cast<size_t>(seq_) * seq_);
+            for (int t = 0; t < seq_; ++t) {
+                double dot = 0.0;
+                for (int u = 0; u < seq_; ++u)
+                    dot += dp[static_cast<size_t>(t) * seq_ + u] *
+                           probs_head[static_cast<size_t>(t) * seq_ + u];
+                for (int u = 0; u < seq_; ++u) {
+                    const size_t idx = static_cast<size_t>(t) * seq_ + u;
+                    ds[idx] = probs_head[idx] *
+                              (dp[idx] - static_cast<float>(dot)) * inv_sqrt;
+                }
+            }
+
+            // dQ = dS * K ; dK = dS^T * Q.
+            const std::vector<float> dq_head =
+                backend_->gemm(ds, kh, seq_, seq_, head_dim_, true, false);
+            scatterHead(dq_head, b, h, seq_, dim_, head_dim_, dq);
+            const std::vector<float> ds_t = transposed(ds, seq_, seq_);
+            const std::vector<float> dk_head =
+                backend_->gemm(ds_t, qh, seq_, seq_, head_dim_, true, false);
+            scatterHead(dk_head, b, h, seq_, dim_, head_dim_, dk);
+        }
+    }
+
+    // Back through the projections: dX accumulates from Q, K, V paths.
+    Tensor grad_in({batch_, seq_, dim_});
+    struct Path { const std::vector<float> *d; Param *w; };
+    for (const Path &path : {Path{&dq, &wq_}, Path{&dk, &wk_}, Path{&dv, &wv_}}) {
+        // dX += dProj * W.
+        const std::vector<float> dx_part = backend_->gemm(
+            *path.d, path.w->value.vec(), rows, dim_, dim_, true, false);
+        for (int64_t i = 0; i < grad_in.size(); ++i)
+            grad_in[i] += dx_part[static_cast<size_t>(i)];
+        // dW = dProj^T * X.
+        const std::vector<float> dproj_t = transposed(*path.d, rows, dim_);
+        const std::vector<float> dw = backend_->gemm(
+            dproj_t, cached_input_.vec(), dim_, rows, dim_, true, false);
+        for (int64_t i = 0; i < path.w->grad.size(); ++i)
+            path.w->grad[i] += dw[static_cast<size_t>(i)];
+    }
+    return grad_in;
+}
+
+std::vector<Param *>
+MultiHeadSelfAttention::params()
+{
+    return {&wq_, &wk_, &wv_, &wo_};
+}
+
+} // namespace nn
+} // namespace mirage

@@ -1,0 +1,46 @@
+#ifndef MIRAGE_NN_ATTENTION_H
+#define MIRAGE_NN_ATTENTION_H
+
+/**
+ * @file
+ * Multi-head self-attention for the transformer accuracy benchmark. All
+ * six GEMM families (Q/K/V projections, attention scores, context, output
+ * projection) run through the quantized GEMM backend, matching how the
+ * paper's GEMM swap covers transformer training.
+ */
+
+#include "nn/layer.h"
+
+namespace mirage {
+namespace nn {
+
+/** Multi-head self-attention over [B, T, D] inputs (no masking). */
+class MultiHeadSelfAttention : public Layer
+{
+  public:
+    MultiHeadSelfAttention(int dim, int heads, GemmBackend *backend,
+                           Rng &rng);
+
+    std::string name() const override { return "MHSA"; }
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Param *> params() override;
+
+  private:
+    int dim_;
+    int heads_;
+    int head_dim_;
+    GemmBackend *backend_;
+    Param wq_, wk_, wv_, wo_; ///< Each [D, D].
+    // Forward context.
+    Tensor cached_input_;     ///< [B, T, D]
+    std::vector<float> q_, k_, v_;   ///< [B*T, D] projected
+    std::vector<float> probs_;       ///< [B, H, T, T] softmax rows
+    std::vector<float> ctx_;         ///< [B*T, D] pre-output-projection
+    int batch_ = 0, seq_ = 0;
+};
+
+} // namespace nn
+} // namespace mirage
+
+#endif // MIRAGE_NN_ATTENTION_H

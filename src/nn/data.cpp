@@ -1,0 +1,145 @@
+#include "nn/data.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace mirage {
+namespace nn {
+
+Dataset
+Dataset::slice(int begin, int count) const
+{
+    MIRAGE_ASSERT(begin >= 0 && begin + count <= size(),
+                  "slice out of range");
+    std::vector<int> shape = inputs.shape();
+    shape[0] = count;
+    Dataset out;
+    out.inputs = Tensor(shape);
+    out.num_classes = num_classes;
+    const int64_t row = inputs.size() / size();
+    for (int i = 0; i < count; ++i) {
+        for (int64_t j = 0; j < row; ++j)
+            out.inputs[static_cast<int64_t>(i) * row + j] =
+                inputs[static_cast<int64_t>(begin + i) * row + j];
+        out.labels.push_back(labels[static_cast<size_t>(begin + i)]);
+    }
+    return out;
+}
+
+Dataset
+makeGaussianClusters(int samples, int classes, int dim, float margin,
+                     uint64_t seed)
+{
+    MIRAGE_ASSERT(samples > 0 && classes >= 2 && dim >= 2, "bad dataset spec");
+    Rng rng(seed);
+
+    // Random unit centers scaled by the margin.
+    std::vector<float> centers(static_cast<size_t>(classes) * dim);
+    for (int c = 0; c < classes; ++c) {
+        double norm = 0.0;
+        for (int d = 0; d < dim; ++d) {
+            const double v = rng.gaussian();
+            centers[static_cast<size_t>(c) * dim + d] = static_cast<float>(v);
+            norm += v * v;
+        }
+        norm = std::sqrt(norm);
+        for (int d = 0; d < dim; ++d)
+            centers[static_cast<size_t>(c) * dim + d] *=
+                margin / static_cast<float>(norm);
+    }
+
+    Dataset ds;
+    ds.inputs = Tensor({samples, dim});
+    ds.num_classes = classes;
+    ds.labels.resize(static_cast<size_t>(samples));
+    for (int i = 0; i < samples; ++i) {
+        const int c = static_cast<int>(rng.uniformInt(0, classes - 1));
+        ds.labels[static_cast<size_t>(i)] = c;
+        for (int d = 0; d < dim; ++d) {
+            ds.inputs[static_cast<int64_t>(i) * dim + d] =
+                centers[static_cast<size_t>(c) * dim + d] +
+                static_cast<float>(rng.gaussian(0.0, 1.0));
+        }
+    }
+    return ds;
+}
+
+Dataset
+makePatternImages(int samples, int classes, int size, float noise,
+                  uint64_t seed)
+{
+    MIRAGE_ASSERT(samples > 0 && classes >= 2 && size >= 4, "bad dataset spec");
+    Rng rng(seed);
+    Dataset ds;
+    ds.inputs = Tensor({samples, 1, size, size});
+    ds.num_classes = classes;
+    ds.labels.resize(static_cast<size_t>(samples));
+
+    const int64_t plane = static_cast<int64_t>(size) * size;
+    for (int i = 0; i < samples; ++i) {
+        const int c = static_cast<int>(rng.uniformInt(0, classes - 1));
+        ds.labels[static_cast<size_t>(i)] = c;
+        // Class determines grating orientation and frequency.
+        const double angle = units::kPi * c / classes;
+        const double freq =
+            2.0 * units::kPi * (1.0 + (c % 3)) / static_cast<double>(size);
+        const double phase = rng.uniformReal(0.0, 2.0 * units::kPi);
+        const double amp = 0.6 + 0.4 * rng.uniformReal();
+        const double cos_a = std::cos(angle), sin_a = std::sin(angle);
+        for (int y = 0; y < size; ++y) {
+            for (int x = 0; x < size; ++x) {
+                const double proj = cos_a * x + sin_a * y;
+                const double v = amp * std::sin(freq * proj + phase) +
+                                 rng.gaussian(0.0, noise);
+                ds.inputs[static_cast<int64_t>(i) * plane + y * size + x] =
+                    static_cast<float>(v);
+            }
+        }
+    }
+    return ds;
+}
+
+Dataset
+makeMajoritySequences(int samples, int classes, int seq_len, uint64_t seed)
+{
+    MIRAGE_ASSERT(samples > 0 && classes >= 2 && seq_len >= classes,
+                  "bad dataset spec");
+    Rng rng(seed);
+    Dataset ds;
+    // One-hot embedding: [B, T, classes].
+    ds.inputs = Tensor({samples, seq_len, classes});
+    ds.num_classes = classes;
+    ds.labels.resize(static_cast<size_t>(samples));
+
+    std::vector<int> counts(static_cast<size_t>(classes));
+    for (int i = 0; i < samples; ++i) {
+        std::fill(counts.begin(), counts.end(), 0);
+        // Draw tokens, bias one class to guarantee a unique majority.
+        const int majority = static_cast<int>(rng.uniformInt(0, classes - 1));
+        for (int t = 0; t < seq_len; ++t) {
+            int tok;
+            if (rng.uniformReal() < 0.45) {
+                tok = majority;
+            } else {
+                tok = static_cast<int>(rng.uniformInt(0, classes - 1));
+            }
+            ++counts[static_cast<size_t>(tok)];
+            ds.inputs[(static_cast<int64_t>(i) * seq_len + t) * classes +
+                      tok] = 1.0f;
+        }
+        // The true label is the realized majority (ties broken low).
+        int best = 0;
+        for (int c = 1; c < classes; ++c)
+            if (counts[static_cast<size_t>(c)] >
+                counts[static_cast<size_t>(best)])
+                best = c;
+        ds.labels[static_cast<size_t>(i)] = best;
+    }
+    return ds;
+}
+
+} // namespace nn
+} // namespace mirage

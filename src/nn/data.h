@@ -1,0 +1,63 @@
+#ifndef MIRAGE_NN_DATA_H
+#define MIRAGE_NN_DATA_H
+
+/**
+ * @file
+ * Synthetic dataset generators — the stand-ins for ImageNet/VOC/IWSLT
+ * (see DESIGN.md, substitutions). Each generator is deterministic under a
+ * seed and produces train/test splits whose difficulty is tuned so that
+ * numerical-precision differences between data formats are visible in the
+ * final accuracy, which is what Table I and Fig. 5a measure.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace mirage {
+namespace nn {
+
+/** A labelled dataset: inputs[0] is the batch dimension. */
+struct Dataset
+{
+    Tensor inputs;
+    std::vector<int> labels;
+    int num_classes = 0;
+
+    int size() const { return inputs.dim(0); }
+
+    /** Copies rows [begin, begin+count) into a batch tensor + labels. */
+    Dataset slice(int begin, int count) const;
+};
+
+/**
+ * Gaussian cluster classification in `dim` dimensions: `classes` unit-norm
+ * centers with additive noise; `margin` scales center separation (smaller
+ * = harder, more precision-sensitive).
+ */
+Dataset makeGaussianClusters(int samples, int classes, int dim, float margin,
+                             uint64_t seed);
+
+/**
+ * Synthetic pattern images [B, 1, size, size]: each class is an oriented
+ * sinusoidal grating with per-sample phase jitter, amplitude jitter and
+ * additive noise — a procedurally generated stand-in for natural-image
+ * classification that requires learning oriented filters.
+ */
+Dataset makePatternImages(int samples, int classes, int size, float noise,
+                          uint64_t seed);
+
+/**
+ * Synthetic token sequences for the transformer benchmark: inputs are
+ * one-hot-embedded token ids [B, T, vocab]; the label is the majority
+ * token class — solvable only by aggregating information across the whole
+ * sequence (what attention is for).
+ */
+Dataset makeMajoritySequences(int samples, int classes, int seq_len,
+                              uint64_t seed);
+
+} // namespace nn
+} // namespace mirage
+
+#endif // MIRAGE_NN_DATA_H

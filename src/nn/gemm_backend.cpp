@@ -1,0 +1,125 @@
+#include "nn/gemm_backend.h"
+
+#include <cmath>
+
+#include "bfp/bfp_gemm.h"
+#include "common/logging.h"
+
+namespace mirage {
+namespace nn {
+
+FormatBackend::FormatBackend(numerics::DataFormat format,
+                             numerics::FormatGemmConfig cfg, uint64_t seed)
+    : format_(format), cfg_(std::move(cfg)), rng_(seed)
+{
+}
+
+std::string
+FormatBackend::name() const
+{
+    return numerics::toString(format_);
+}
+
+std::vector<float>
+FormatBackend::gemm(const std::vector<float> &a, const std::vector<float> &b,
+                    int m, int k, int n, bool a_is_grad, bool b_is_grad)
+{
+    numerics::GemmCall call;
+    call.a = &a;
+    call.b = &b;
+    call.m = m;
+    call.k = k;
+    call.n = n;
+    call.a_is_grad = a_is_grad;
+    call.b_is_grad = b_is_grad;
+    call.rng = &rng_;
+    return numerics::formatGemm(format_, call, cfg_);
+}
+
+PhotonicBackend::PhotonicBackend(int cfg_bm, int cfg_g, int moduli_k, int rows,
+                                 photonic::PhotonicNoiseConfig noise,
+                                 uint64_t seed)
+    : bfp_cfg_{cfg_bm, cfg_g, bfp::Rounding::Nearest},
+      array_(rns::ModuliSet::special(moduli_k), rows, cfg_g,
+             photonic::DeviceKit{}, 10e9, noise),
+      rng_(seed),
+      noisy_(noise.anyEnabled())
+{
+    bfp_cfg_.validate();
+    if (!array_.set().canHoldDotProduct(cfg_bm, cfg_g)) {
+        MIRAGE_FATAL("moduli k=", moduli_k, " cannot hold BFP bm=", cfg_bm,
+                     " g=", cfg_g, " dot products (Eq. 13)");
+    }
+}
+
+std::string
+PhotonicBackend::name() const
+{
+    return noisy_ ? "Mirage-photonic(noisy)" : "Mirage-photonic";
+}
+
+std::vector<float>
+PhotonicBackend::gemm(const std::vector<float> &a, const std::vector<float> &b,
+                      int m, int k, int n, bool /*a_is_grad*/,
+                      bool /*b_is_grad*/)
+{
+    // BFP-encode exactly as the dataflow prescribes (Fig. 2 steps 1-2):
+    // A rows and B columns grouped along the contraction dimension.
+    const bfp::BfpMatrix a_enc = bfp::encodeRows(a, m, k, bfp_cfg_);
+    const bfp::BfpMatrix b_enc = bfp::encodeCols(b, k, n, bfp_cfg_);
+    const int chunks = a_enc.chunk_count;
+    const int rows = array_.rows();
+    const int bm = bfp_cfg_.bm;
+
+    std::vector<float> c(static_cast<size_t>(m) * n, 0.0f);
+    std::vector<int64_t> tile;
+    std::vector<int64_t> x(static_cast<size_t>(bfp_cfg_.g));
+    Rng *rng = noisy_ ? &rng_ : nullptr;
+
+    // Weight-stationary mapping (DF1): mantissa tiles from A are programmed
+    // into the array; B-column mantissa chunks stream as inputs.
+    for (int r0 = 0; r0 < m; r0 += rows) {
+        const int tr = std::min(rows, m - r0);
+        for (int ch = 0; ch < chunks; ++ch) {
+            tile.assign(static_cast<size_t>(tr) * bfp_cfg_.g, 0);
+            for (int r = 0; r < tr; ++r) {
+                const bfp::BfpBlock &blk =
+                    a_enc.blocks[static_cast<size_t>(r0 + r) * chunks + ch];
+                for (size_t t = 0; t < blk.mantissas.size(); ++t)
+                    tile[static_cast<size_t>(r) * bfp_cfg_.g + t] =
+                        blk.mantissas[t];
+            }
+            array_.programTile(tile, tr, bfp_cfg_.g);
+
+            for (int j = 0; j < n; ++j) {
+                const bfp::BfpBlock &blk =
+                    b_enc.blocks[static_cast<size_t>(j) * chunks + ch];
+                x.assign(static_cast<size_t>(bfp_cfg_.g), 0);
+                for (size_t t = 0; t < blk.mantissas.size(); ++t)
+                    x[t] = blk.mantissas[t];
+                const std::vector<int64_t> y = array_.mvm(x, rng);
+                for (int r = 0; r < tr; ++r) {
+                    const bfp::BfpBlock &a_blk =
+                        a_enc.blocks[static_cast<size_t>(r0 + r) * chunks + ch];
+                    // Partial outputs accumulate in FP32 after reverse
+                    // conversion and exponent reconstruction (steps 7-9).
+                    c[static_cast<size_t>(r0 + r) * n + j] +=
+                        static_cast<float>(std::ldexp(
+                            static_cast<double>(y[static_cast<size_t>(r)]),
+                            a_blk.exponent + blk.exponent - 2 * bm));
+                }
+            }
+        }
+    }
+    return c;
+}
+
+std::unique_ptr<GemmBackend>
+makeFormatBackend(numerics::DataFormat format, uint64_t seed)
+{
+    numerics::FormatGemmConfig cfg;
+    return std::make_unique<FormatBackend>(format, cfg, seed);
+}
+
+} // namespace nn
+} // namespace mirage

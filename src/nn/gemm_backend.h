@@ -1,0 +1,104 @@
+#ifndef MIRAGE_NN_GEMM_BACKEND_H
+#define MIRAGE_NN_GEMM_BACKEND_H
+
+/**
+ * @file
+ * The GEMM backend abstraction: every layer routes its forward and backward
+ * matrix products through one of these, which is how the Table I accuracy
+ * harness swaps data formats (paper Sec. V-A) and how the functional
+ * photonic pipeline can execute real training GEMMs end to end.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "numerics/quantized_gemm.h"
+#include "photonic/mmvmu.h"
+
+namespace mirage {
+namespace nn {
+
+/** Abstract GEMM executor: C[m x n] = A[m x k] * B[k x n], row-major. */
+class GemmBackend
+{
+  public:
+    virtual ~GemmBackend() = default;
+
+    /** Backend name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Executes the GEMM. `a_is_grad` / `b_is_grad` mark loss-gradient
+     * operands (HFP8 switches to its wide-range backward format for them).
+     */
+    virtual std::vector<float> gemm(const std::vector<float> &a,
+                                    const std::vector<float> &b, int m, int k,
+                                    int n, bool a_is_grad, bool b_is_grad) = 0;
+};
+
+/** Value-level emulation backend for any paper data format. */
+class FormatBackend : public GemmBackend
+{
+  public:
+    FormatBackend(numerics::DataFormat format,
+                  numerics::FormatGemmConfig cfg = {}, uint64_t seed = 1);
+
+    std::string name() const override;
+    std::vector<float> gemm(const std::vector<float> &a,
+                            const std::vector<float> &b, int m, int k, int n,
+                            bool a_is_grad, bool b_is_grad) override;
+
+    numerics::DataFormat format() const { return format_; }
+
+  private:
+    numerics::DataFormat format_;
+    numerics::FormatGemmConfig cfg_;
+    Rng rng_;
+};
+
+/**
+ * Functional photonic backend: BFP-encodes the operands and executes every
+ * chunk dot product on a simulated RNS-MMVMU (phase accumulation + I/Q
+ * detection), with optional noise injection. Orders of magnitude slower
+ * than FormatBackend — intended for small end-to-end demonstrations and
+ * equivalence tests, exactly like running on the real chip would be.
+ */
+class PhotonicBackend : public GemmBackend
+{
+  public:
+    /**
+     * @param cfg_bm,cfg_g BFP parameters (paper defaults 4, 16).
+     * @param moduli_k     special moduli set parameter.
+     * @param rows         MDPU rows per simulated MMVMU.
+     * @param noise        imperfection injection for the photonic pipeline.
+     * @param seed         RNG seed for rounding/noise.
+     */
+    PhotonicBackend(int cfg_bm, int cfg_g, int moduli_k, int rows,
+                    photonic::PhotonicNoiseConfig noise = {},
+                    uint64_t seed = 1);
+
+    std::string name() const override;
+    std::vector<float> gemm(const std::vector<float> &a,
+                            const std::vector<float> &b, int m, int k, int n,
+                            bool a_is_grad, bool b_is_grad) override;
+
+    /** The simulated array (stats, link budgets). */
+    const photonic::RnsMmvmu &array() const { return array_; }
+
+  private:
+    bfp::BfpConfig bfp_cfg_;
+    photonic::RnsMmvmu array_;
+    Rng rng_;
+    bool noisy_;
+};
+
+/** Convenience factory: a backend for any format, photonic or emulated. */
+std::unique_ptr<GemmBackend> makeFormatBackend(numerics::DataFormat format,
+                                               uint64_t seed = 1);
+
+} // namespace nn
+} // namespace mirage
+
+#endif // MIRAGE_NN_GEMM_BACKEND_H

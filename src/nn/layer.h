@@ -1,0 +1,58 @@
+#ifndef MIRAGE_NN_LAYER_H
+#define MIRAGE_NN_LAYER_H
+
+/**
+ * @file
+ * Layer framework with explicit forward/backward methods (no tape): each
+ * layer caches what its backward pass needs. All GEMM-bearing layers take a
+ * non-owning GemmBackend pointer, so one model definition trains under any
+ * data format — the paper's Table I methodology.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/gemm_backend.h"
+#include "nn/tensor.h"
+
+namespace mirage {
+namespace nn {
+
+/** A trainable parameter with its gradient accumulator. */
+struct Param
+{
+    std::string name;
+    Tensor value;
+    Tensor grad;
+
+    /** Zeroes the gradient. */
+    void zeroGrad() { grad.fill(0.0f); }
+};
+
+/** Base class for all layers. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Layer name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Forward pass. `training` toggles behaviours like batch-norm statistics
+     * updates.
+     */
+    virtual Tensor forward(const Tensor &x, bool training) = 0;
+
+    /** Backward pass: consumes dL/d(output), returns dL/d(input). */
+    virtual Tensor backward(const Tensor &grad_out) = 0;
+
+    /** Trainable parameters (empty for stateless layers). */
+    virtual std::vector<Param *> params() { return {}; }
+};
+
+} // namespace nn
+} // namespace mirage
+
+#endif // MIRAGE_NN_LAYER_H

@@ -1,0 +1,95 @@
+#ifndef MIRAGE_NN_LAYERS_BASIC_H
+#define MIRAGE_NN_LAYERS_BASIC_H
+
+/**
+ * @file
+ * Dense (fully connected), ReLU, GELU and Flatten layers.
+ */
+
+#include "nn/layer.h"
+
+namespace mirage {
+namespace nn {
+
+/** Fully connected layer: y = x W^T + b, x is [batch, in]. */
+class Dense : public Layer
+{
+  public:
+    /**
+     * @param backend GEMM executor (non-owning; outlives the layer).
+     * @param rng     initializer randomness (Kaiming-style scale).
+     */
+    Dense(int in_features, int out_features, GemmBackend *backend, Rng &rng,
+          bool bias = true);
+
+    std::string name() const override { return "Dense"; }
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Param *> params() override;
+
+    int inFeatures() const { return in_; }
+    int outFeatures() const { return out_; }
+
+  private:
+    int in_;
+    int out_;
+    bool has_bias_;
+    GemmBackend *backend_;
+    Param weight_; ///< [out, in]
+    Param bias_;   ///< [out]
+    Tensor cached_input_;
+    std::vector<int> input_shape_;
+};
+
+/** Mean pooling over the time dimension: [B, T, D] -> [B, D]. */
+class SequenceMeanPool : public Layer
+{
+  public:
+    std::string name() const override { return "SequenceMeanPool"; }
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    std::vector<int> input_shape_;
+};
+
+/** Rectified linear unit. */
+class ReLU : public Layer
+{
+  public:
+    std::string name() const override { return "ReLU"; }
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    Tensor mask_;
+};
+
+/** Gaussian error linear unit (tanh approximation), for transformers. */
+class Gelu : public Layer
+{
+  public:
+    std::string name() const override { return "GELU"; }
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    Tensor cached_input_;
+};
+
+/** Collapses all but the leading (batch) dimension. */
+class Flatten : public Layer
+{
+  public:
+    std::string name() const override { return "Flatten"; }
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    std::vector<int> input_shape_;
+};
+
+} // namespace nn
+} // namespace mirage
+
+#endif // MIRAGE_NN_LAYERS_BASIC_H

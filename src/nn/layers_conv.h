@@ -1,0 +1,68 @@
+#ifndef MIRAGE_NN_LAYERS_CONV_H
+#define MIRAGE_NN_LAYERS_CONV_H
+
+/**
+ * @file
+ * Convolution and pooling layers. Conv2d lowers to im2col + GEMM so the
+ * quantized GEMM backends cover convolutions exactly as the paper's
+ * customized PyTorch layers do (Sec. V-A).
+ */
+
+#include "nn/layer.h"
+
+namespace mirage {
+namespace nn {
+
+/** 2D convolution over [batch, C, H, W] inputs via im2col + GEMM. */
+class Conv2d : public Layer
+{
+  public:
+    Conv2d(int in_channels, int out_channels, int kernel, int stride,
+           int padding, GemmBackend *backend, Rng &rng, bool bias = true);
+
+    std::string name() const override { return "Conv2d"; }
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Param *> params() override;
+
+  private:
+    int in_ch_, out_ch_, kernel_, stride_, pad_;
+    bool has_bias_;
+    GemmBackend *backend_;
+    Param weight_; ///< [out, in * k * k]
+    Param bias_;   ///< [out]
+    // Cached forward context.
+    std::vector<float> cached_cols_; ///< [K, batch * P]
+    int cached_batch_ = 0, cached_h_ = 0, cached_w_ = 0;
+    int out_h_ = 0, out_w_ = 0;
+};
+
+/** 2x2 max pooling with stride 2. */
+class MaxPool2d : public Layer
+{
+  public:
+    std::string name() const override { return "MaxPool2d"; }
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    std::vector<int64_t> argmax_;
+    std::vector<int> input_shape_;
+};
+
+/** Global average pooling: [B, C, H, W] -> [B, C]. */
+class GlobalAvgPool : public Layer
+{
+  public:
+    std::string name() const override { return "GlobalAvgPool"; }
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    std::vector<int> input_shape_;
+};
+
+} // namespace nn
+} // namespace mirage
+
+#endif // MIRAGE_NN_LAYERS_CONV_H

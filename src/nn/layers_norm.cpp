@@ -1,0 +1,198 @@
+#include "nn/layers_norm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace nn {
+
+BatchNorm2d::BatchNorm2d(int channels, float momentum, float eps)
+    : channels_(channels), momentum_(momentum), eps_(eps)
+{
+    gamma_.name = "bn.gamma";
+    gamma_.value = Tensor({channels_});
+    gamma_.value.fill(1.0f);
+    gamma_.grad = Tensor::zeros({channels_});
+    beta_.name = "bn.beta";
+    beta_.value = Tensor::zeros({channels_});
+    beta_.grad = Tensor::zeros({channels_});
+    running_mean_ = Tensor::zeros({channels_});
+    running_var_ = Tensor({channels_});
+    running_var_.fill(1.0f);
+}
+
+Tensor
+BatchNorm2d::forward(const Tensor &x, bool training)
+{
+    MIRAGE_ASSERT(x.rank() == 4 && x.dim(1) == channels_,
+                  "BatchNorm2d expects [B, ", channels_, ", H, W]");
+    input_shape_ = x.shape();
+    const int batch = x.dim(0);
+    const int64_t hw = static_cast<int64_t>(x.dim(2)) * x.dim(3);
+    const double count = static_cast<double>(batch) * hw;
+
+    cached_xhat_ = Tensor(x.shape());
+    cached_invstd_.assign(static_cast<size_t>(channels_), 0.0f);
+    Tensor y(x.shape());
+
+    for (int c = 0; c < channels_; ++c) {
+        double mean, var;
+        if (training) {
+            double s = 0.0, s2 = 0.0;
+            for (int b = 0; b < batch; ++b) {
+                const int64_t base =
+                    (static_cast<int64_t>(b) * channels_ + c) * hw;
+                for (int64_t i = 0; i < hw; ++i) {
+                    const double v = x[base + i];
+                    s += v;
+                    s2 += v * v;
+                }
+            }
+            mean = s / count;
+            var = std::max(0.0, s2 / count - mean * mean);
+            running_mean_[c] = (1.0f - momentum_) * running_mean_[c] +
+                               momentum_ * static_cast<float>(mean);
+            running_var_[c] = (1.0f - momentum_) * running_var_[c] +
+                              momentum_ * static_cast<float>(var);
+        } else {
+            mean = running_mean_[c];
+            var = running_var_[c];
+        }
+        const float invstd = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+        cached_invstd_[static_cast<size_t>(c)] = invstd;
+        for (int b = 0; b < batch; ++b) {
+            const int64_t base =
+                (static_cast<int64_t>(b) * channels_ + c) * hw;
+            for (int64_t i = 0; i < hw; ++i) {
+                const float xhat =
+                    (x[base + i] - static_cast<float>(mean)) * invstd;
+                cached_xhat_[base + i] = xhat;
+                y[base + i] = gamma_.value[c] * xhat + beta_.value[c];
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+BatchNorm2d::backward(const Tensor &grad_out)
+{
+    const int batch = input_shape_[0];
+    const int64_t hw =
+        static_cast<int64_t>(input_shape_[2]) * input_shape_[3];
+    const double count = static_cast<double>(batch) * hw;
+    Tensor grad_in(input_shape_);
+
+    for (int c = 0; c < channels_; ++c) {
+        double sum_dy = 0.0, sum_dy_xhat = 0.0;
+        for (int b = 0; b < batch; ++b) {
+            const int64_t base =
+                (static_cast<int64_t>(b) * channels_ + c) * hw;
+            for (int64_t i = 0; i < hw; ++i) {
+                sum_dy += grad_out[base + i];
+                sum_dy_xhat += grad_out[base + i] * cached_xhat_[base + i];
+            }
+        }
+        gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
+        beta_.grad[c] += static_cast<float>(sum_dy);
+
+        const float invstd = cached_invstd_[static_cast<size_t>(c)];
+        const float g = gamma_.value[c];
+        for (int b = 0; b < batch; ++b) {
+            const int64_t base =
+                (static_cast<int64_t>(b) * channels_ + c) * hw;
+            for (int64_t i = 0; i < hw; ++i) {
+                const double dy = grad_out[base + i];
+                grad_in[base + i] = static_cast<float>(
+                    g * invstd *
+                    (dy - sum_dy / count -
+                     cached_xhat_[base + i] * sum_dy_xhat / count));
+            }
+        }
+    }
+    return grad_in;
+}
+
+std::vector<Param *>
+BatchNorm2d::params()
+{
+    return {&gamma_, &beta_};
+}
+
+LayerNorm::LayerNorm(int dim, float eps) : dim_(dim), eps_(eps)
+{
+    gamma_.name = "ln.gamma";
+    gamma_.value = Tensor({dim_});
+    gamma_.value.fill(1.0f);
+    gamma_.grad = Tensor::zeros({dim_});
+    beta_.name = "ln.beta";
+    beta_.value = Tensor::zeros({dim_});
+    beta_.grad = Tensor::zeros({dim_});
+}
+
+Tensor
+LayerNorm::forward(const Tensor &x, bool /*training*/)
+{
+    MIRAGE_ASSERT(x.rank() >= 1 && x.shape().back() == dim_,
+                  "LayerNorm expects trailing dim ", dim_);
+    input_shape_ = x.shape();
+    const int64_t rows = x.size() / dim_;
+    cached_xhat_ = Tensor(x.shape());
+    cached_invstd_.assign(static_cast<size_t>(rows), 0.0f);
+    Tensor y(x.shape());
+    for (int64_t r = 0; r < rows; ++r) {
+        const int64_t base = r * dim_;
+        double s = 0.0, s2 = 0.0;
+        for (int i = 0; i < dim_; ++i) {
+            s += x[base + i];
+            s2 += static_cast<double>(x[base + i]) * x[base + i];
+        }
+        const double mean = s / dim_;
+        const double var = std::max(0.0, s2 / dim_ - mean * mean);
+        const float invstd = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+        cached_invstd_[static_cast<size_t>(r)] = invstd;
+        for (int i = 0; i < dim_; ++i) {
+            const float xhat =
+                (x[base + i] - static_cast<float>(mean)) * invstd;
+            cached_xhat_[base + i] = xhat;
+            y[base + i] = gamma_.value[i] * xhat + beta_.value[i];
+        }
+    }
+    return y;
+}
+
+Tensor
+LayerNorm::backward(const Tensor &grad_out)
+{
+    const int64_t rows = grad_out.size() / dim_;
+    Tensor grad_in(input_shape_);
+    for (int64_t r = 0; r < rows; ++r) {
+        const int64_t base = r * dim_;
+        double sum_dy = 0.0, sum_dy_xhat = 0.0;
+        for (int i = 0; i < dim_; ++i) {
+            const double dyg = grad_out[base + i] * gamma_.value[i];
+            sum_dy += dyg;
+            sum_dy_xhat += dyg * cached_xhat_[base + i];
+            gamma_.grad[i] += grad_out[base + i] * cached_xhat_[base + i];
+            beta_.grad[i] += grad_out[base + i];
+        }
+        const float invstd = cached_invstd_[static_cast<size_t>(r)];
+        for (int i = 0; i < dim_; ++i) {
+            const double dyg = grad_out[base + i] * gamma_.value[i];
+            grad_in[base + i] = static_cast<float>(
+                invstd * (dyg - sum_dy / dim_ -
+                          cached_xhat_[base + i] * sum_dy_xhat / dim_));
+        }
+    }
+    return grad_in;
+}
+
+std::vector<Param *>
+LayerNorm::params()
+{
+    return {&gamma_, &beta_};
+}
+
+} // namespace nn
+} // namespace mirage

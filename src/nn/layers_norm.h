@@ -1,0 +1,66 @@
+#ifndef MIRAGE_NN_LAYERS_NORM_H
+#define MIRAGE_NN_LAYERS_NORM_H
+
+/**
+ * @file
+ * Normalization layers: BatchNorm2d (for CNNs/ResNets) and LayerNorm (for
+ * the transformer). Normalization math runs in FP32 like the paper's
+ * nonlinearities (quantization only touches GEMMs).
+ */
+
+#include "nn/layer.h"
+
+namespace mirage {
+namespace nn {
+
+/** Per-channel batch normalization over [B, C, H, W]. */
+class BatchNorm2d : public Layer
+{
+  public:
+    explicit BatchNorm2d(int channels, float momentum = 0.1f,
+                         float eps = 1e-5f);
+
+    std::string name() const override { return "BatchNorm2d"; }
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Param *> params() override;
+
+  private:
+    int channels_;
+    float momentum_;
+    float eps_;
+    Param gamma_;
+    Param beta_;
+    Tensor running_mean_;
+    Tensor running_var_;
+    // Backward context.
+    Tensor cached_xhat_;
+    std::vector<float> cached_invstd_;
+    std::vector<int> input_shape_;
+};
+
+/** Layer normalization over the last dimension of [.., D]. */
+class LayerNorm : public Layer
+{
+  public:
+    explicit LayerNorm(int dim, float eps = 1e-5f);
+
+    std::string name() const override { return "LayerNorm"; }
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Param *> params() override;
+
+  private:
+    int dim_;
+    float eps_;
+    Param gamma_;
+    Param beta_;
+    Tensor cached_xhat_;
+    std::vector<float> cached_invstd_;
+    std::vector<int> input_shape_;
+};
+
+} // namespace nn
+} // namespace mirage
+
+#endif // MIRAGE_NN_LAYERS_NORM_H

@@ -1,0 +1,83 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace nn {
+
+LossResult
+softmaxCrossEntropy(const Tensor &logits, const std::vector<int> &labels)
+{
+    MIRAGE_ASSERT(logits.rank() == 2, "logits must be [batch, classes]");
+    const int batch = logits.dim(0);
+    const int classes = logits.dim(1);
+    MIRAGE_ASSERT(labels.size() == static_cast<size_t>(batch),
+                  "label count mismatch");
+
+    LossResult result;
+    result.grad = Tensor({batch, classes});
+    double total = 0.0;
+    for (int b = 0; b < batch; ++b) {
+        MIRAGE_ASSERT(labels[b] >= 0 && labels[b] < classes,
+                      "label out of range: ", labels[b]);
+        const int64_t base = static_cast<int64_t>(b) * classes;
+        float max_v = logits[base];
+        for (int c = 1; c < classes; ++c)
+            max_v = std::max(max_v, logits[base + c]);
+        double denom = 0.0;
+        for (int c = 0; c < classes; ++c)
+            denom += std::exp(static_cast<double>(logits[base + c]) - max_v);
+        const double log_denom = std::log(denom);
+        total -= static_cast<double>(logits[base + labels[b]]) - max_v -
+                 log_denom;
+        for (int c = 0; c < classes; ++c) {
+            const double p =
+                std::exp(static_cast<double>(logits[base + c]) - max_v) /
+                denom;
+            result.grad[base + c] = static_cast<float>(
+                (p - (c == labels[b] ? 1.0 : 0.0)) / batch);
+        }
+    }
+    result.loss = static_cast<float>(total / batch);
+    return result;
+}
+
+LossResult
+meanSquaredError(const Tensor &pred, const Tensor &target)
+{
+    MIRAGE_ASSERT(pred.size() == target.size(), "MSE shape mismatch");
+    LossResult result;
+    result.grad = Tensor(pred.shape());
+    double total = 0.0;
+    const double inv = 1.0 / static_cast<double>(pred.size());
+    for (int64_t i = 0; i < pred.size(); ++i) {
+        const double d = static_cast<double>(pred[i]) - target[i];
+        total += d * d;
+        result.grad[i] = static_cast<float>(2.0 * d * inv);
+    }
+    result.loss = static_cast<float>(total * inv);
+    return result;
+}
+
+std::vector<int>
+argmaxRows(const Tensor &logits)
+{
+    MIRAGE_ASSERT(logits.rank() == 2, "logits must be [batch, classes]");
+    const int batch = logits.dim(0);
+    const int classes = logits.dim(1);
+    std::vector<int> out(static_cast<size_t>(batch));
+    for (int b = 0; b < batch; ++b) {
+        const int64_t base = static_cast<int64_t>(b) * classes;
+        int best = 0;
+        for (int c = 1; c < classes; ++c)
+            if (logits[base + c] > logits[base + best])
+                best = c;
+        out[static_cast<size_t>(b)] = best;
+    }
+    return out;
+}
+
+} // namespace nn
+} // namespace mirage

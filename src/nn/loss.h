@@ -1,0 +1,36 @@
+#ifndef MIRAGE_NN_LOSS_H
+#define MIRAGE_NN_LOSS_H
+
+/**
+ * @file
+ * Loss functions. Computed in FP32 (quantization only touches GEMMs).
+ */
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace mirage {
+namespace nn {
+
+/** Loss value plus the gradient with respect to the logits. */
+struct LossResult
+{
+    float loss = 0.0f;
+    Tensor grad; ///< dL/d(logits), already averaged over the batch.
+};
+
+/** Softmax cross-entropy over [batch, classes] logits. */
+LossResult softmaxCrossEntropy(const Tensor &logits,
+                               const std::vector<int> &labels);
+
+/** Mean squared error against a target tensor of identical shape. */
+LossResult meanSquaredError(const Tensor &pred, const Tensor &target);
+
+/** Arg-max class predictions for [batch, classes] logits. */
+std::vector<int> argmaxRows(const Tensor &logits);
+
+} // namespace nn
+} // namespace mirage
+
+#endif // MIRAGE_NN_LOSS_H

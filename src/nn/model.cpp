@@ -1,0 +1,188 @@
+#include "nn/model.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace nn {
+
+Sequential &
+Sequential::add(std::unique_ptr<Layer> layer)
+{
+    MIRAGE_ASSERT(layer != nullptr, "cannot add a null layer");
+    layers_.push_back(std::move(layer));
+    return *this;
+}
+
+Tensor
+Sequential::forward(const Tensor &x, bool training)
+{
+    Tensor h = x;
+    for (auto &layer : layers_)
+        h = layer->forward(h, training);
+    return h;
+}
+
+Tensor
+Sequential::backward(const Tensor &grad_out)
+{
+    Tensor g = grad_out;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        g = (*it)->backward(g);
+    return g;
+}
+
+std::vector<Param *>
+Sequential::params()
+{
+    std::vector<Param *> all;
+    for (auto &layer : layers_) {
+        const auto p = layer->params();
+        all.insert(all.end(), p.begin(), p.end());
+    }
+    return all;
+}
+
+ResidualBlock::ResidualBlock(std::unique_ptr<Layer> main,
+                             std::unique_ptr<Layer> shortcut)
+    : main_(std::move(main)), shortcut_(std::move(shortcut))
+{
+    MIRAGE_ASSERT(main_ != nullptr, "residual block needs a main path");
+}
+
+Tensor
+ResidualBlock::forward(const Tensor &x, bool training)
+{
+    Tensor main_out = main_->forward(x, training);
+    Tensor skip = shortcut_ ? shortcut_->forward(x, training) : x;
+    MIRAGE_ASSERT(main_out.size() == skip.size(),
+                  "residual paths disagree: ", main_out.shapeString(), " vs ",
+                  skip.shapeString());
+    for (int64_t i = 0; i < main_out.size(); ++i)
+        main_out[i] += skip[i];
+    return main_out;
+}
+
+Tensor
+ResidualBlock::backward(const Tensor &grad_out)
+{
+    Tensor grad_main = main_->backward(grad_out);
+    Tensor grad_skip =
+        shortcut_ ? shortcut_->backward(grad_out) : grad_out;
+    MIRAGE_ASSERT(grad_main.size() == grad_skip.size(),
+                  "residual backward mismatch");
+    for (int64_t i = 0; i < grad_main.size(); ++i)
+        grad_main[i] += grad_skip[i];
+    return grad_main;
+}
+
+std::vector<Param *>
+ResidualBlock::params()
+{
+    std::vector<Param *> all = main_->params();
+    if (shortcut_) {
+        const auto p = shortcut_->params();
+        all.insert(all.end(), p.begin(), p.end());
+    }
+    return all;
+}
+
+float
+evaluateAccuracy(Layer &model, const Dataset &data, int batch_size)
+{
+    MIRAGE_ASSERT(data.size() > 0, "empty dataset");
+    int correct = 0;
+    for (int begin = 0; begin < data.size(); begin += batch_size) {
+        const int count = std::min(batch_size, data.size() - begin);
+        const Dataset batch = data.slice(begin, count);
+        const Tensor logits = model.forward(batch.inputs, /*training=*/false);
+        const std::vector<int> pred = argmaxRows(logits);
+        for (int i = 0; i < count; ++i)
+            correct += (pred[static_cast<size_t>(i)] ==
+                        batch.labels[static_cast<size_t>(i)]);
+    }
+    return static_cast<float>(correct) / static_cast<float>(data.size());
+}
+
+TrainResult
+trainClassifier(Layer &model, Optimizer &opt, const Dataset &train,
+                const Dataset &test, const TrainConfig &cfg)
+{
+    MIRAGE_ASSERT(cfg.epochs >= 1 && cfg.batch_size >= 1, "bad train config");
+    TrainResult result;
+    Rng shuffle_rng(cfg.shuffle_seed);
+    std::vector<int> order(static_cast<size_t>(train.size()));
+    std::iota(order.begin(), order.end(), 0);
+    const std::vector<Param *> params = model.params();
+
+    // Base learning rate captured for schedule scaling.
+    auto scaled_lr = [&](Optimizer &o, float scale) {
+        if (auto *sgd = dynamic_cast<Sgd *>(&o))
+            sgd->setLr(sgd->lr() * scale);
+        else if (auto *adam = dynamic_cast<Adam *>(&o))
+            adam->setLr(adam->lr() * scale);
+    };
+
+    float prev_scale = 1.0f;
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        if (!cfg.lr_schedule.empty()) {
+            const float scale =
+                cfg.lr_schedule[std::min<size_t>(epoch,
+                                                 cfg.lr_schedule.size() - 1)];
+            scaled_lr(opt, scale / prev_scale);
+            prev_scale = scale;
+        }
+        if (cfg.shuffle)
+            std::shuffle(order.begin(), order.end(), shuffle_rng.engine());
+
+        double epoch_loss = 0.0;
+        int batches = 0, correct = 0;
+        for (int begin = 0; begin < train.size(); begin += cfg.batch_size) {
+            const int count = std::min(cfg.batch_size, train.size() - begin);
+            // Gather the shuffled batch.
+            Dataset batch;
+            batch.num_classes = train.num_classes;
+            std::vector<int> shape = train.inputs.shape();
+            shape[0] = count;
+            batch.inputs = Tensor(shape);
+            const int64_t row = train.inputs.size() / train.size();
+            for (int i = 0; i < count; ++i) {
+                const int src = order[static_cast<size_t>(begin + i)];
+                for (int64_t j = 0; j < row; ++j)
+                    batch.inputs[static_cast<int64_t>(i) * row + j] =
+                        train.inputs[static_cast<int64_t>(src) * row + j];
+                batch.labels.push_back(
+                    train.labels[static_cast<size_t>(src)]);
+            }
+
+            Optimizer::zeroGrad(params);
+            const Tensor logits = model.forward(batch.inputs, true);
+            const LossResult loss = softmaxCrossEntropy(logits, batch.labels);
+            model.backward(loss.grad);
+            opt.step(params);
+
+            epoch_loss += loss.loss;
+            ++batches;
+            const std::vector<int> pred = argmaxRows(logits);
+            for (int i = 0; i < count; ++i)
+                correct += (pred[static_cast<size_t>(i)] ==
+                            batch.labels[static_cast<size_t>(i)]);
+        }
+        result.epoch_loss.push_back(
+            static_cast<float>(epoch_loss / std::max(1, batches)));
+        result.epoch_train_acc.push_back(static_cast<float>(correct) /
+                                         static_cast<float>(train.size()));
+        if (cfg.verbose) {
+            MIRAGE_INFORM("epoch ", epoch, ": loss=",
+                          result.epoch_loss.back(), " train_acc=",
+                          result.epoch_train_acc.back());
+        }
+    }
+    result.final_test_accuracy = evaluateAccuracy(model, test);
+    return result;
+}
+
+} // namespace nn
+} // namespace mirage

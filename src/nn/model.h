@@ -1,0 +1,105 @@
+#ifndef MIRAGE_NN_MODEL_H
+#define MIRAGE_NN_MODEL_H
+
+/**
+ * @file
+ * Model containers (Sequential, ResidualBlock) and the training loop used
+ * by the accuracy experiments (Table I, Fig. 5a).
+ */
+
+#include <memory>
+#include <vector>
+
+#include "nn/data.h"
+#include "nn/layer.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace mirage {
+namespace nn {
+
+/** A linear stack of layers. */
+class Sequential : public Layer
+{
+  public:
+    Sequential() = default;
+
+    /** Appends a layer (takes ownership); returns *this for chaining. */
+    Sequential &add(std::unique_ptr<Layer> layer);
+
+    /** Emplace helper: model.emplace<Dense>(...). */
+    template <typename L, typename... Args>
+    Sequential &
+    emplace(Args &&...args)
+    {
+        return add(std::make_unique<L>(std::forward<Args>(args)...));
+    }
+
+    std::string name() const override { return "Sequential"; }
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Param *> params() override;
+
+    size_t layerCount() const { return layers_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/**
+ * Residual block: y = main(x) + shortcut(x), with an identity shortcut when
+ * none is given. Gradients flow through both paths.
+ */
+class ResidualBlock : public Layer
+{
+  public:
+    explicit ResidualBlock(std::unique_ptr<Layer> main,
+                           std::unique_ptr<Layer> shortcut = nullptr);
+
+    std::string name() const override { return "Residual"; }
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Param *> params() override;
+
+  private:
+    std::unique_ptr<Layer> main_;
+    std::unique_ptr<Layer> shortcut_;
+};
+
+/** Training-loop configuration. */
+struct TrainConfig
+{
+    int epochs = 10;
+    int batch_size = 32;
+    /// Epoch-indexed learning-rate scale (e.g. /10 after 2/3 of epochs as
+    /// in the paper's recipe); identity when empty.
+    std::vector<float> lr_schedule;
+    bool shuffle = true;
+    uint64_t shuffle_seed = 7;
+    bool verbose = false;
+};
+
+/** Per-epoch training metrics. */
+struct TrainResult
+{
+    std::vector<float> epoch_loss;
+    std::vector<float> epoch_train_acc;
+    float final_test_accuracy = 0.0f;
+};
+
+/** Classification accuracy of `model` on a dataset (eval mode). */
+float evaluateAccuracy(Layer &model, const Dataset &data, int batch_size = 64);
+
+/**
+ * Trains a classifier with softmax cross-entropy. The optimizer updates
+ * FP32 master weights; quantization lives entirely in the model's GEMM
+ * backend (paper Sec. V-A methodology).
+ */
+TrainResult trainClassifier(Layer &model, Optimizer &opt,
+                            const Dataset &train, const Dataset &test,
+                            const TrainConfig &cfg);
+
+} // namespace nn
+} // namespace mirage
+
+#endif // MIRAGE_NN_MODEL_H

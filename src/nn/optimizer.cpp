@@ -1,0 +1,75 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace nn {
+
+void
+Optimizer::zeroGrad(const std::vector<Param *> &params)
+{
+    for (Param *p : params)
+        p->zeroGrad();
+}
+
+Sgd::Sgd(float lr, float momentum, float weight_decay)
+    : lr_(lr), momentum_(momentum), weight_decay_(weight_decay)
+{
+    MIRAGE_ASSERT(lr > 0, "learning rate must be positive");
+}
+
+void
+Sgd::step(const std::vector<Param *> &params)
+{
+    for (Param *p : params) {
+        auto &vel = velocity_[p];
+        if (momentum_ != 0.0f && vel.empty())
+            vel.assign(static_cast<size_t>(p->value.size()), 0.0f);
+        for (int64_t i = 0; i < p->value.size(); ++i) {
+            float g = p->grad[i] + weight_decay_ * p->value[i];
+            if (momentum_ != 0.0f) {
+                vel[static_cast<size_t>(i)] =
+                    momentum_ * vel[static_cast<size_t>(i)] + g;
+                g = vel[static_cast<size_t>(i)];
+            }
+            p->value[i] -= lr_ * g;
+        }
+    }
+}
+
+Adam::Adam(float lr, float beta1, float beta2, float eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps)
+{
+    MIRAGE_ASSERT(lr > 0, "learning rate must be positive");
+}
+
+void
+Adam::step(const std::vector<Param *> &params)
+{
+    ++t_;
+    const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    for (Param *p : params) {
+        auto &m = m_[p];
+        auto &v = v_[p];
+        if (m.empty()) {
+            m.assign(static_cast<size_t>(p->value.size()), 0.0f);
+            v.assign(static_cast<size_t>(p->value.size()), 0.0f);
+        }
+        for (int64_t i = 0; i < p->value.size(); ++i) {
+            const float g = p->grad[i];
+            const size_t si = static_cast<size_t>(i);
+            m[si] = beta1_ * m[si] + (1.0f - beta1_) * g;
+            v[si] = beta2_ * v[si] + (1.0f - beta2_) * g * g;
+            const double mhat = m[si] / bc1;
+            const double vhat = v[si] / bc2;
+            p->value[i] -= static_cast<float>(
+                lr_ * mhat / (std::sqrt(vhat) + eps_));
+        }
+    }
+}
+
+} // namespace nn
+} // namespace mirage

@@ -1,0 +1,73 @@
+#ifndef MIRAGE_NN_OPTIMIZER_H
+#define MIRAGE_NN_OPTIMIZER_H
+
+/**
+ * @file
+ * Optimizers operating on FP32 master weights (paper Sec. III step 10:
+ * "we store the weights in FP32 ... and perform the weight updates in
+ * FP32"). SGD(+momentum) for the CNNs and Adam for the transformer, as in
+ * the paper's training recipes (Sec. VI-B).
+ */
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace mirage {
+namespace nn {
+
+/** Optimizer interface over a parameter list. */
+class Optimizer
+{
+  public:
+    virtual ~Optimizer() = default;
+
+    /** Applies one update step and leaves gradients untouched. */
+    virtual void step(const std::vector<Param *> &params) = 0;
+
+    /** Zeroes all gradients. */
+    static void zeroGrad(const std::vector<Param *> &params);
+};
+
+/** Stochastic gradient descent with classical momentum. */
+class Sgd : public Optimizer
+{
+  public:
+    explicit Sgd(float lr, float momentum = 0.0f, float weight_decay = 0.0f);
+
+    void step(const std::vector<Param *> &params) override;
+
+    float lr() const { return lr_; }
+    void setLr(float lr) { lr_ = lr; }
+
+  private:
+    float lr_;
+    float momentum_;
+    float weight_decay_;
+    std::unordered_map<Param *, std::vector<float>> velocity_;
+};
+
+/** Adam (Kingma & Ba) with bias correction. */
+class Adam : public Optimizer
+{
+  public:
+    explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                  float eps = 1e-8f);
+
+    void step(const std::vector<Param *> &params) override;
+
+    float lr() const { return lr_; }
+    void setLr(float lr) { lr_ = lr; }
+
+  private:
+    float lr_, beta1_, beta2_, eps_;
+    int64_t t_ = 0;
+    std::unordered_map<Param *, std::vector<float>> m_;
+    std::unordered_map<Param *, std::vector<float>> v_;
+};
+
+} // namespace nn
+} // namespace mirage
+
+#endif // MIRAGE_NN_OPTIMIZER_H

@@ -1,0 +1,76 @@
+#ifndef MIRAGE_NN_TENSOR_H
+#define MIRAGE_NN_TENSOR_H
+
+/**
+ * @file
+ * Minimal dense FP32 tensor for the training framework: contiguous
+ * row-major storage with shape metadata. The framework keeps master
+ * weights in FP32 (paper Sec. III step 10 / V-A); all quantization happens
+ * inside the GEMM backends.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mirage {
+namespace nn {
+
+/** Dense row-major FP32 tensor. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Allocates a zero-filled tensor of the given shape. */
+    explicit Tensor(std::vector<int> shape);
+
+    /** Zero tensor helper. */
+    static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+    /** I.i.d. Gaussian tensor (used by initializers). */
+    static Tensor randn(std::vector<int> shape, Rng &rng, float stddev = 1.0f);
+
+    const std::vector<int> &shape() const { return shape_; }
+    int dim(size_t i) const;
+    size_t rank() const { return shape_.size(); }
+    int64_t size() const { return static_cast<int64_t>(data_.size()); }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+    std::vector<float> &vec() { return data_; }
+    const std::vector<float> &vec() const { return data_; }
+
+    float &operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+    float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+    /** Sets every element. */
+    void fill(float v);
+
+    /** Returns a copy with a new shape of identical element count. */
+    Tensor reshaped(std::vector<int> new_shape) const;
+
+    /** Element count implied by a shape vector. */
+    static int64_t elementCount(const std::vector<int> &shape);
+
+    /** Human-readable shape, e.g. "[32, 3, 16, 16]". */
+    std::string shapeString() const;
+
+  private:
+    std::vector<int> shape_;
+    std::vector<float> data_;
+};
+
+/** C = A * B with A (m x k) and B (k x n), plain FP32 (no backend). */
+std::vector<float> matmulFp32(const std::vector<float> &a,
+                              const std::vector<float> &b, int m, int k, int n);
+
+/** Row-major transpose: input (rows x cols) -> output (cols x rows). */
+std::vector<float> transposed(const std::vector<float> &a, int rows, int cols);
+
+} // namespace nn
+} // namespace mirage
+
+#endif // MIRAGE_NN_TENSOR_H

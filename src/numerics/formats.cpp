@@ -1,0 +1,110 @@
+#include "numerics/formats.h"
+
+#include <array>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace numerics {
+
+std::string
+toString(DataFormat f)
+{
+    switch (f) {
+      case DataFormat::FP32: return "FP32";
+      case DataFormat::BFLOAT16: return "bfloat16";
+      case DataFormat::HFP8: return "HFP8";
+      case DataFormat::INT12: return "INT12";
+      case DataFormat::INT8: return "INT8";
+      case DataFormat::FMAC: return "FMAC";
+      case DataFormat::MirageBfpRns: return "Mirage";
+    }
+    return "?";
+}
+
+std::span<const DataFormat>
+allFormats()
+{
+    static const std::array<DataFormat, 7> kAll = {
+        DataFormat::MirageBfpRns, DataFormat::FP32, DataFormat::BFLOAT16,
+        DataFormat::HFP8, DataFormat::INT12, DataFormat::INT8,
+        DataFormat::FMAC,
+    };
+    return kAll;
+}
+
+float
+toBfloat16(float v)
+{
+    if (!std::isfinite(v))
+        return v;
+    uint32_t bits = std::bit_cast<uint32_t>(v);
+    // Round-to-nearest-even on the 16 truncated mantissa bits.
+    const uint32_t rounding_bias = 0x7FFF + ((bits >> 16) & 1);
+    bits += rounding_bias;
+    bits &= 0xFFFF0000u;
+    return std::bit_cast<float>(bits);
+}
+
+float
+toMiniFloat(float v, int exp_bits, int man_bits, bool fn_variant)
+{
+    MIRAGE_ASSERT(exp_bits >= 2 && exp_bits <= 8, "bad exponent width");
+    MIRAGE_ASSERT(man_bits >= 1 && man_bits <= 23, "bad mantissa width");
+    if (v == 0.0f || !std::isfinite(v))
+        return v;
+
+    const int bias = (1 << (exp_bits - 1)) - 1;
+    const int e_min = 1 - bias; // smallest normal exponent
+    // IEEE-style reserves the all-ones exponent; the FN variant (E4M3)
+    // keeps it for normals and only reserves the NaN mantissa pattern.
+    const int e_max = (1 << exp_bits) - (fn_variant ? 1 : 2) - bias;
+    const double top_mantissa =
+        fn_variant ? (2.0 - std::ldexp(2.0, -man_bits))
+                   : (2.0 - std::ldexp(1.0, -man_bits));
+    const double max_mag = std::ldexp(top_mantissa, e_max);
+
+    const double av = std::fabs(v);
+    const double sign = (v < 0) ? -1.0 : 1.0;
+    if (av > max_mag)
+        return static_cast<float>(sign * max_mag); // saturate
+
+    int e = 0;
+    std::frexp(av, &e);
+    e -= 1; // value = f * 2^e with f in [1, 2)
+    const int q_exp = std::max(e, e_min); // subnormal alignment below e_min
+    const double scale = std::ldexp(1.0, q_exp - man_bits);
+    double q = std::nearbyint(av / scale); // round-to-nearest-even default
+    const double result = q * scale;
+    return static_cast<float>(sign * result);
+}
+
+float
+intQuantScale(std::span<const float> values, int bits)
+{
+    MIRAGE_ASSERT(bits >= 2 && bits <= 24, "bad integer bit width");
+    float max_abs = 0.0f;
+    for (float v : values)
+        max_abs = std::max(max_abs, std::fabs(v));
+    if (max_abs == 0.0f)
+        return 1.0f;
+    const float q_max = static_cast<float>((1 << (bits - 1)) - 1);
+    return max_abs / q_max;
+}
+
+int32_t
+intQuantize(float v, float scale, int bits)
+{
+    const int32_t q_max = (1 << (bits - 1)) - 1;
+    float q = std::nearbyint(v / scale);
+    if (q > static_cast<float>(q_max))
+        return q_max;
+    if (q < static_cast<float>(-q_max))
+        return -q_max;
+    return static_cast<int32_t>(q);
+}
+
+} // namespace numerics
+} // namespace mirage

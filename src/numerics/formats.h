@@ -1,0 +1,72 @@
+#ifndef MIRAGE_NUMERICS_FORMATS_H
+#define MIRAGE_NUMERICS_FORMATS_H
+
+/**
+ * @file
+ * Value-level emulation of the data formats Mirage is compared against
+ * (paper Sec. II-B, Table I/II): bfloat16, HFP8 (hybrid E4M3/E5M2), and
+ * symmetric per-tensor integer quantization (INT8/INT12). FMAC is BFP with
+ * stochastic rounding and is covered by the bfp module.
+ */
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace mirage {
+namespace numerics {
+
+/** Every MAC-unit data format evaluated in the paper. */
+enum class DataFormat
+{
+    FP32,
+    BFLOAT16,
+    HFP8,
+    INT12,
+    INT8,
+    FMAC,        ///< Variable-precision BFP with stochastic rounding [69].
+    MirageBfpRns ///< This paper: BFP(bm, g) over the RNS photonic core.
+};
+
+/** Human-readable format name as printed in the paper's tables. */
+std::string toString(DataFormat f);
+
+/** All formats, in Table II column order. */
+std::span<const DataFormat> allFormats();
+
+// --- bfloat16 ---------------------------------------------------------------
+
+/** Rounds an FP32 value to bfloat16 (round-to-nearest-even) and back. */
+float toBfloat16(float v);
+
+// --- HFP8 (hybrid FP8: E4M3 forward, E5M2 backward) -------------------------
+
+/**
+ * Generic binary-FP rounding: `exp_bits` exponent, `man_bits` mantissa.
+ * With `fn_variant` the all-ones exponent carries normals (only the NaN
+ * mantissa pattern is reserved), extending the max like E4M3's 448.
+ */
+float toMiniFloat(float v, int exp_bits, int man_bits,
+                  bool fn_variant = false);
+
+/** HFP8 forward-pass format: 1-4-3 (E4M3, FN variant, max 448). */
+inline float toHfp8Forward(float v) { return toMiniFloat(v, 4, 3, true); }
+
+/** HFP8 backward-pass format: 1-5-2 (E5M2). */
+inline float toHfp8Backward(float v) { return toMiniFloat(v, 5, 2); }
+
+// --- symmetric per-tensor integer quantization -------------------------------
+
+/** Scale for symmetric `bits`-bit quantization of a tensor. */
+float intQuantScale(std::span<const float> values, int bits);
+
+/** Quantizes one value with a precomputed scale; saturating. */
+int32_t intQuantize(float v, float scale, int bits);
+
+/** Dequantizes an integer back to real units. */
+inline float intDequantize(int32_t q, float scale) { return q * scale; }
+
+} // namespace numerics
+} // namespace mirage
+
+#endif // MIRAGE_NUMERICS_FORMATS_H

@@ -1,0 +1,135 @@
+#include "numerics/quantized_gemm.h"
+
+#include <cmath>
+
+#include "bfp/bfp_gemm.h"
+#include "common/logging.h"
+
+namespace mirage {
+namespace numerics {
+
+namespace {
+
+void
+checkCall(const GemmCall &call)
+{
+    MIRAGE_ASSERT(call.a && call.b, "GEMM operands must be set");
+    MIRAGE_ASSERT(call.m > 0 && call.k > 0 && call.n > 0, "bad GEMM dims");
+    MIRAGE_ASSERT(call.a->size() == static_cast<size_t>(call.m) * call.k,
+                  "A shape mismatch");
+    MIRAGE_ASSERT(call.b->size() == static_cast<size_t>(call.k) * call.n,
+                  "B shape mismatch");
+}
+
+/** FP32 GEMM over explicitly transformed operand copies. */
+std::vector<float>
+gemmTransformed(const GemmCall &call, const std::vector<float> &a,
+                const std::vector<float> &b)
+{
+    std::vector<float> c(static_cast<size_t>(call.m) * call.n, 0.0f);
+    for (int i = 0; i < call.m; ++i) {
+        for (int kk = 0; kk < call.k; ++kk) {
+            const float a_ik = a[static_cast<size_t>(i) * call.k + kk];
+            if (a_ik == 0.0f)
+                continue;
+            const float *b_row = &b[static_cast<size_t>(kk) * call.n];
+            float *c_row = &c[static_cast<size_t>(i) * call.n];
+            for (int j = 0; j < call.n; ++j)
+                c_row[j] += a_ik * b_row[j];
+        }
+    }
+    return c;
+}
+
+std::vector<float>
+transformAll(const std::vector<float> &v, float (*f)(float))
+{
+    std::vector<float> out(v.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        out[i] = f(v[i]);
+    return out;
+}
+
+std::vector<float>
+gemmIntQuant(const GemmCall &call, int bits)
+{
+    const float scale_a = intQuantScale(*call.a, bits);
+    const float scale_b = intQuantScale(*call.b, bits);
+
+    std::vector<int32_t> qa(call.a->size()), qb(call.b->size());
+    for (size_t i = 0; i < qa.size(); ++i)
+        qa[i] = intQuantize((*call.a)[i], scale_a, bits);
+    for (size_t i = 0; i < qb.size(); ++i)
+        qb[i] = intQuantize((*call.b)[i], scale_b, bits);
+
+    std::vector<float> c(static_cast<size_t>(call.m) * call.n);
+    for (int i = 0; i < call.m; ++i) {
+        for (int j = 0; j < call.n; ++j) {
+            int64_t acc = 0;
+            for (int kk = 0; kk < call.k; ++kk) {
+                acc += static_cast<int64_t>(
+                           qa[static_cast<size_t>(i) * call.k + kk]) *
+                       qb[static_cast<size_t>(kk) * call.n + j];
+            }
+            c[static_cast<size_t>(i) * call.n + j] =
+                static_cast<float>(acc) * scale_a * scale_b;
+        }
+    }
+    return c;
+}
+
+} // namespace
+
+std::vector<float>
+gemmFp32(const GemmCall &call)
+{
+    checkCall(call);
+    return gemmTransformed(call, *call.a, *call.b);
+}
+
+std::vector<float>
+formatGemm(DataFormat fmt, const GemmCall &call, const FormatGemmConfig &cfg)
+{
+    checkCall(call);
+    switch (fmt) {
+      case DataFormat::FP32:
+        return gemmTransformed(call, *call.a, *call.b);
+
+      case DataFormat::BFLOAT16:
+        return gemmTransformed(call, transformAll(*call.a, &toBfloat16),
+                               transformAll(*call.b, &toBfloat16));
+
+      case DataFormat::HFP8: {
+        auto a_q = transformAll(*call.a, call.a_is_grad ? &toHfp8Backward
+                                                        : &toHfp8Forward);
+        auto b_q = transformAll(*call.b, call.b_is_grad ? &toHfp8Backward
+                                                        : &toHfp8Forward);
+        return gemmTransformed(call, a_q, b_q);
+      }
+
+      case DataFormat::INT8:
+        return gemmIntQuant(call, cfg.int8_bits);
+
+      case DataFormat::INT12:
+        return gemmIntQuant(call, cfg.int12_bits);
+
+      case DataFormat::FMAC: {
+        bfp::BfpGemmOptions opts;
+        opts.config = cfg.fmac_bfp;
+        opts.rng = call.rng;
+        return bfp::bfpGemm(*call.a, *call.b, call.m, call.k, call.n, opts);
+      }
+
+      case DataFormat::MirageBfpRns: {
+        bfp::BfpGemmOptions opts;
+        opts.config = cfg.mirage_bfp;
+        opts.moduli = cfg.moduli;
+        opts.rng = call.rng;
+        return bfp::bfpGemm(*call.a, *call.b, call.m, call.k, call.n, opts);
+      }
+    }
+    MIRAGE_PANIC("unknown data format");
+}
+
+} // namespace numerics
+} // namespace mirage

@@ -1,0 +1,63 @@
+#ifndef MIRAGE_NUMERICS_QUANTIZED_GEMM_H
+#define MIRAGE_NUMERICS_QUANTIZED_GEMM_H
+
+/**
+ * @file
+ * Format-parameterized GEMM used by the DNN training framework: one entry
+ * point that evaluates C = A * B under any of the paper's data formats,
+ * including the Mirage BFP/RNS path. This is the single code path behind
+ * Table I — every format trains through the same harness.
+ */
+
+#include <optional>
+#include <vector>
+
+#include "bfp/bfp.h"
+#include "common/rng.h"
+#include "numerics/formats.h"
+#include "rns/moduli_set.h"
+
+namespace mirage {
+namespace numerics {
+
+/** Per-format tuning knobs. */
+struct FormatGemmConfig
+{
+    /// Mirage's BFP parameters (paper: bm=4, g=16). The paper states LSB
+    /// truncation; at this library's miniature benchmark scale truncation's
+    /// rounding bias stalls convergence (see EXPERIMENTS.md ablation), so
+    /// round-to-nearest — one extra LSB adder in hardware — is the default.
+    bfp::BfpConfig mirage_bfp{4, 16, bfp::Rounding::Nearest};
+    /// When set, Mirage chunk dots run through the RNS domain (transparent).
+    std::optional<rns::ModuliSet> moduli;
+    /// FMAC [69] emulation: BFP with stochastic rounding.
+    bfp::BfpConfig fmac_bfp{4, 16, bfp::Rounding::Stochastic};
+    /// Integer formats: quantize per tensor (true) — the paper's baselines.
+    int int8_bits = 8;
+    int int12_bits = 12;
+};
+
+/** One GEMM invocation: C[MxN] = A[MxK] * B[KxN], row-major FP32 views. */
+struct GemmCall
+{
+    const std::vector<float> *a = nullptr;
+    const std::vector<float> *b = nullptr;
+    int m = 0, k = 0, n = 0;
+    /// Marks operands that are loss gradients (HFP8 uses E5M2 for those).
+    bool a_is_grad = false;
+    bool b_is_grad = false;
+    /// Required by stochastic-rounding formats.
+    Rng *rng = nullptr;
+};
+
+/** Plain FP32 GEMM (FP32 accumulation), the accuracy reference. */
+std::vector<float> gemmFp32(const GemmCall &call);
+
+/** Dispatches a GEMM through the requested data format emulation. */
+std::vector<float> formatGemm(DataFormat fmt, const GemmCall &call,
+                              const FormatGemmConfig &cfg);
+
+} // namespace numerics
+} // namespace mirage
+
+#endif // MIRAGE_NUMERICS_QUANTIZED_GEMM_H

@@ -1,0 +1,54 @@
+#include "photonic/devices.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace mirage {
+namespace photonic {
+
+double
+maxPhaseShiftRad(uint64_t modulus)
+{
+    MIRAGE_ASSERT(modulus >= 2, "modulus must be >= 2");
+    const double m = static_cast<double>(modulus);
+    const double max_product = std::ceil((m - 1.0) * (m - 1.0) / 2.0);
+    return max_product * 2.0 * units::kPi / m;
+}
+
+double
+totalShifterLengthMm(const PhaseShifterSpec &ps, uint64_t modulus)
+{
+    // Eq. (11): L_total = (VpiL / Vbias) * (dPhi_max / pi).
+    const double vpi_l_v_mm = ps.vpi_l_v_cm * 10.0;
+    return (vpi_l_v_mm / ps.v_bias) * (maxPhaseShiftRad(modulus) / units::kPi);
+}
+
+double
+mmuLengthMm(const DeviceKit &kit, uint64_t modulus, int bits)
+{
+    MIRAGE_ASSERT(bits >= 1, "MMU needs at least one digit");
+    return totalShifterLengthMm(kit.phase_shifter, modulus) +
+           2.0 * bits * kit.mrr.diameterMm();
+}
+
+double
+unitVoltage(const PhaseShifterSpec &ps, uint64_t modulus)
+{
+    // V0 produces a 2 pi / m phase shift on the unit-length (L) segment;
+    // with binary-weighted segments summing to L_total over (2^b - 1) units,
+    // V0 = 2 * VpiL / (m * L_unit) by the pi * V * L / VpiL relation.
+    const double l_total_cm = totalShifterLengthMm(ps, modulus) / 10.0;
+    const double m = static_cast<double>(modulus);
+    const int bits = [] (uint64_t v) {
+        int b = 0;
+        while (v) { v >>= 1; ++b; }
+        return b;
+    }(modulus - 1);
+    const double l_unit_cm = l_total_cm / ((1 << bits) - 1);
+    return 2.0 * ps.vpi_l_v_cm / (m * l_unit_cm);
+}
+
+} // namespace photonic
+} // namespace mirage

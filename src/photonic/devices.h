@@ -1,0 +1,105 @@
+#ifndef MIRAGE_PHOTONIC_DEVICES_H
+#define MIRAGE_PHOTONIC_DEVICES_H
+
+/**
+ * @file
+ * Silicon-photonic device parameters (paper Sec. II-E1 and V-B1) and the
+ * geometry relations of the modular multiplication unit: Eq. (11) for total
+ * phase-shifter length and the resulting MMU footprint.
+ *
+ * Defaults are the paper's evaluation constants: NOEMS-class phase shifters
+ * with VpiL = 0.002 V*cm, 1.6 dB/mm loss and Vbias = 1.08 V; 10 um MRR
+ * switches with 0.2 dB coupled loss and 0.3 pW tuning power.
+ */
+
+#include <cstdint>
+
+namespace mirage {
+namespace photonic {
+
+/** Phase shifter (one MMU's binary-weighted segments share these). */
+struct PhaseShifterSpec
+{
+    double vpi_l_v_cm = 0.002;       ///< Modulation efficiency VpiL [V*cm].
+    double loss_db_per_mm = 1.6;     ///< Propagation loss.
+    double v_bias = 1.08;            ///< Maximum bias voltage [V].
+    double reprogram_time_s = 5e-9;  ///< Settling time per tile load.
+    double tuning_energy_j = 3e-15;  ///< Per-reprogram energy ("a few fJ/bit").
+};
+
+/** Micro-ring resonator switch. */
+struct MrrSpec
+{
+    double radius_um = 10.0;
+    double coupled_loss_db = 0.2;   ///< Insertion+propagation when coupled.
+    double through_loss_db = 0.01;  ///< Off-resonance pass-by loss.
+    double switch_power_w = 0.3e-12; ///< Electro-optic tuning power (0.3 pW).
+    double modulation_rate_hz = 10e9; ///< Tens of Gb/s switching [42].
+
+    /** Device diameter in millimeters (layout pitch along the bus). */
+    double diameterMm() const { return 2.0 * radius_um * 1e-3; }
+};
+
+/** 180-degree waveguide bend between cascaded shifter segments. */
+struct BendSpec
+{
+    double radius_um = 5.0;
+    double loss_db = 0.01;
+};
+
+/** Laser-to-chip coupler. */
+struct CouplerSpec
+{
+    double loss_db = 0.2;
+};
+
+/** Laser source. */
+struct LaserSpec
+{
+    double wall_plug_efficiency = 0.2;
+};
+
+/** Photodetector + TIA receive chain constants. */
+struct ReceiverChainSpec
+{
+    double responsivity_a_per_w = 1.1;
+    double tia_energy_per_bit_j = 57e-15;
+    double tia_feedback_ohm = 1.0e3;
+};
+
+/** Full device kit used to instantiate one Mirage photonic core. */
+struct DeviceKit
+{
+    PhaseShifterSpec phase_shifter;
+    MrrSpec mrr;
+    BendSpec bend;
+    CouplerSpec coupler;
+    LaserSpec laser;
+    ReceiverChainSpec receiver;
+};
+
+/**
+ * Maximum phase shift an MMU must reach for modulus m (Sec. IV-A1):
+ * ceil((m-1)^2 / 2) * (2 pi / m) radians, for operands mapped around zero.
+ */
+double maxPhaseShiftRad(uint64_t modulus);
+
+/**
+ * Eq. (11): total phase-shifter length [mm] to reach maxPhaseShiftRad(m)
+ * at full bias. For the paper's kit and m = 33 this evaluates to ~0.57 mm.
+ */
+double totalShifterLengthMm(const PhaseShifterSpec &ps, uint64_t modulus);
+
+/**
+ * Horizontal MMU footprint [mm]: the shifter segments plus two MRR switches
+ * per binary digit (paper: ~0.8 mm for m = 33).
+ */
+double mmuLengthMm(const DeviceKit &kit, uint64_t modulus, int bits);
+
+/** Unit voltage V0 = 2 Vpi / m giving a 2 pi / m shift on the L segment. */
+double unitVoltage(const PhaseShifterSpec &ps, uint64_t modulus);
+
+} // namespace photonic
+} // namespace mirage
+
+#endif // MIRAGE_PHOTONIC_DEVICES_H

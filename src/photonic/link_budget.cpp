@@ -1,0 +1,78 @@
+#include "photonic/link_budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analog/noise.h"
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace mirage {
+namespace photonic {
+
+double
+mmuLossDb(const DeviceKit &kit, uint64_t modulus, int bits, LossPolicy policy)
+{
+    MIRAGE_ASSERT(bits >= 1 && bits <= 24, "bad digit count");
+    const double l_total_mm =
+        totalShifterLengthMm(kit.phase_shifter, modulus);
+    const double units_total = static_cast<double>((uint64_t{1} << bits) - 1);
+
+    double loss = 2.0 * kit.bend.loss_db; // serpentine entry/exit bends
+    for (int d = 0; d < bits; ++d) {
+        const double seg_mm =
+            l_total_mm * static_cast<double>(uint64_t{1} << d) / units_total;
+        const double through = seg_mm * kit.phase_shifter.loss_db_per_mm +
+                               2.0 * kit.mrr.through_loss_db;
+        const double bypass = 2.0 * kit.mrr.coupled_loss_db;
+        switch (policy) {
+          case LossPolicy::AllThrough:
+            loss += through;
+            break;
+          case LossPolicy::WorstCasePerDigit:
+            loss += std::max(through, bypass);
+            break;
+          case LossPolicy::Average:
+            loss += 0.5 * (through + bypass);
+            break;
+        }
+    }
+    return loss;
+}
+
+double
+mdpuPathLossDb(const DeviceKit &kit, uint64_t modulus, int bits, int g,
+               LossPolicy policy)
+{
+    MIRAGE_ASSERT(g >= 1, "MDPU needs at least one MMU");
+    return g * mmuLossDb(kit, modulus, bits, policy) + kit.coupler.loss_db;
+}
+
+LinkBudget
+computeLinkBudget(const DeviceKit &kit, uint64_t modulus, int bits, int g,
+                  double bandwidth_hz, double snr_safety, LossPolicy policy)
+{
+    MIRAGE_ASSERT(snr_safety > 0, "SNR safety factor must be positive");
+    LinkBudget lb;
+    lb.mmu_loss_db = mmuLossDb(kit, modulus, bits, policy);
+    lb.path_loss_db = mdpuPathLossDb(kit, modulus, bits, g, policy);
+    // The ADC must distinguish m phase levels: SNR >= m (Sec. V-B1).
+    lb.target_snr = snr_safety * static_cast<double>(modulus);
+
+    analog::ReceiverSpec rx;
+    rx.bandwidth_hz = bandwidth_hz;
+    rx.tia_feedback_ohm = kit.receiver.tia_feedback_ohm;
+    rx.responsivity_a_per_w = kit.receiver.responsivity_a_per_w;
+    lb.photocurrent_a = analog::requiredPhotocurrent(lb.target_snr, rx);
+    lb.detector_power_w = analog::opticalPowerForCurrent(lb.photocurrent_a, rx);
+
+    const double attenuation = units::fromDb(lb.path_loss_db);
+    // Factor 2: the I/Q phase-detection setup needs two amplitude
+    // measurements and therefore twice the injected laser power (Sec. IV-A3).
+    lb.laser_optical_w = lb.detector_power_w * attenuation * 2.0;
+    lb.laser_wall_w = lb.laser_optical_w / kit.laser.wall_plug_efficiency;
+    return lb;
+}
+
+} // namespace photonic
+} // namespace mirage

@@ -1,0 +1,67 @@
+#ifndef MIRAGE_PHOTONIC_LINK_BUDGET_H
+#define MIRAGE_PHOTONIC_LINK_BUDGET_H
+
+/**
+ * @file
+ * Optical link budget for one MDPU channel (paper Sec. V-B1): accumulates
+ * all losses on the optical path and back-solves the laser power that keeps
+ * the detected SNR above the m phase levels the ADC must distinguish.
+ */
+
+#include <cstdint>
+
+#include "photonic/devices.h"
+
+namespace mirage {
+namespace photonic {
+
+/** Which optical path the loss model assumes. */
+enum class LossPolicy
+{
+    /// Light traverses every phase-shifter segment (paper's worst case,
+    /// Sec. VI-E: "the light goes through all the phase shifters").
+    AllThrough,
+    /// Per digit, the lossier of through-path and MRR-bypass is charged.
+    WorstCasePerDigit,
+    /// Per digit, the mean of through-path and bypass (random operands).
+    Average,
+};
+
+/** Result of the link-budget solve for a single MDPU optical channel. */
+struct LinkBudget
+{
+    double mmu_loss_db = 0.0;       ///< Loss per MMU under the policy.
+    double path_loss_db = 0.0;      ///< Full channel: g MMUs + coupler.
+    double target_snr = 0.0;        ///< Amplitude SNR goal (>= m).
+    double photocurrent_a = 0.0;    ///< Detector current meeting the SNR.
+    double detector_power_w = 0.0;  ///< Optical power at each detector.
+    double laser_optical_w = 0.0;   ///< Injected optical power (2x for I/Q).
+    double laser_wall_w = 0.0;      ///< Wall-plug power (efficiency-scaled).
+};
+
+/** Loss of one MMU [dB] for modulus m with `bits` binary digits. */
+double mmuLossDb(const DeviceKit &kit, uint64_t modulus, int bits,
+                 LossPolicy policy);
+
+/**
+ * End-to-end loss [dB] of one MDPU channel: g cascaded MMUs plus the
+ * laser-to-chip coupler. The I/Q detection split is accounted as the 2x
+ * laser power factor rather than a 3 dB loss (paper Sec. IV-A3).
+ */
+double mdpuPathLossDb(const DeviceKit &kit, uint64_t modulus, int bits, int g,
+                      LossPolicy policy);
+
+/**
+ * Solves the full link budget for one MDPU channel.
+ *
+ * @param bandwidth_hz detection bandwidth (photonic clock rate).
+ * @param snr_safety   multiplies the SNR >= m requirement (margin).
+ */
+LinkBudget computeLinkBudget(const DeviceKit &kit, uint64_t modulus, int bits,
+                             int g, double bandwidth_hz, double snr_safety,
+                             LossPolicy policy);
+
+} // namespace photonic
+} // namespace mirage
+
+#endif // MIRAGE_PHOTONIC_LINK_BUDGET_H

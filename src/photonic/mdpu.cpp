@@ -1,0 +1,118 @@
+#include "photonic/mdpu.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace mirage {
+namespace photonic {
+
+PhaseDetector::PhaseDetector(uint64_t modulus)
+    : modulus_(modulus),
+      phi0_(2.0 * units::kPi / static_cast<double>(modulus))
+{
+    MIRAGE_ASSERT(modulus >= 2, "modulus must be >= 2");
+}
+
+rns::Residue
+PhaseDetector::detectIdeal(double phase_rad) const
+{
+    // Round to the nearest level; phases are multiples of 2 pi / m up to
+    // floating-point accumulation error, so nearest-level rounding is exact
+    // for any realistic dot-product magnitude.
+    const double levels = phase_rad / phi0_;
+    const long long level = std::llround(levels);
+    const long long m = static_cast<long long>(modulus_);
+    long long r = level % m;
+    if (r < 0)
+        r += m;
+    return static_cast<rns::Residue>(r);
+}
+
+rns::Residue
+PhaseDetector::detectNoisy(double phase_rad, double photocurrent_a,
+                           double noise_sigma_a, Rng &rng) const
+{
+    MIRAGE_ASSERT(photocurrent_a > 0, "photocurrent must be positive");
+    // Two quadrature measurements with independent additive current noise
+    // (shot + thermal, folded into noise_sigma_a by the caller).
+    const double i_meas = photocurrent_a * std::cos(phase_rad) +
+                          rng.gaussian(0.0, noise_sigma_a);
+    const double q_meas = photocurrent_a * std::sin(phase_rad) +
+                          rng.gaussian(0.0, noise_sigma_a);
+    const double est_phase = std::atan2(q_meas, i_meas);
+    return detectIdeal(est_phase);
+}
+
+Mdpu::Mdpu(uint64_t modulus, int bits, int g)
+    : modulus_(modulus), bits_(bits), detector_(modulus)
+{
+    MIRAGE_ASSERT(g >= 1, "MDPU needs at least one MMU");
+    mmus_.reserve(static_cast<size_t>(g));
+    for (int i = 0; i < g; ++i)
+        mmus_.emplace_back(modulus, bits);
+}
+
+void
+Mdpu::programWeights(std::span<const rns::Residue> weights)
+{
+    MIRAGE_ASSERT(weights.size() <= mmus_.size(),
+                  "more weights than MMUs in the channel");
+    for (size_t i = 0; i < mmus_.size(); ++i)
+        mmus_[i].setWeight(i < weights.size() ? weights[i] : 0);
+}
+
+double
+Mdpu::totalPhase(std::span<const rns::Residue> x,
+                 const PhotonicNoiseConfig *noise, Rng *rng) const
+{
+    MIRAGE_ASSERT(x.size() <= mmus_.size(),
+                  "more inputs than MMUs in the channel");
+    double phase = 0.0;
+    const bool inject = noise != nullptr &&
+                        (noise->eps_ps > 0.0 || noise->eps_mrr > 0.0);
+    MIRAGE_ASSERT(!inject || rng != nullptr,
+                  "device-error injection requires an Rng");
+    for (size_t i = 0; i < mmus_.size(); ++i) {
+        const rns::Residue xi = i < x.size() ? x[i] : 0;
+        phase += inject ? mmus_[i].noisyPhase(xi, *noise, *rng)
+                        : mmus_[i].idealPhase(xi);
+    }
+    return phase;
+}
+
+rns::Residue
+Mdpu::dotIdeal(std::span<const rns::Residue> x) const
+{
+    uint64_t acc = 0;
+    for (size_t i = 0; i < x.size() && i < mmus_.size(); ++i)
+        acc += x[i] * mmus_[i].weight(); // exact: residues < 2^21
+    return acc % modulus_;
+}
+
+rns::Residue
+Mdpu::compute(std::span<const rns::Residue> x,
+              const PhotonicNoiseConfig *noise, double photocurrent_a,
+              double noise_sigma_a, Rng *rng) const
+{
+    const double phase = totalPhase(x, noise, rng);
+    if (noise != nullptr && noise->shot_thermal_enabled) {
+        MIRAGE_ASSERT(rng != nullptr, "shot/thermal noise requires an Rng");
+        return detector_.detectNoisy(phase, photocurrent_a, noise_sigma_a,
+                                     *rng);
+    }
+    return detector_.detectIdeal(phase);
+}
+
+uint64_t
+Mdpu::reprogramCount() const
+{
+    uint64_t total = 0;
+    for (const Mmu &mmu : mmus_)
+        total += mmu.reprogramCount();
+    return total;
+}
+
+} // namespace photonic
+} // namespace mirage

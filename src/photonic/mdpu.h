@@ -1,0 +1,105 @@
+#ifndef MIRAGE_PHOTONIC_MDPU_H
+#define MIRAGE_PHOTONIC_MDPU_H
+
+/**
+ * @file
+ * Modular Dot Product Unit (paper Sec. IV-A2) and the I/Q phase detection
+ * unit (Sec. IV-A3, Fig. 4b). An MDPU cascades g MMUs on one optical
+ * channel; the accumulated phase encodes the modular dot product, which the
+ * detector recovers from two quadrature amplitude measurements.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "photonic/mmu.h"
+#include "photonic/noise_model.h"
+
+namespace mirage {
+namespace photonic {
+
+/**
+ * Dual-quadrature phase detector: measures I = A cos(phi) and
+ * Q = A sin(phi) on two balanced photodetector pairs (the second after a
+ * pi/2 shift) and rounds atan2(Q, I) to the nearest of m phase levels.
+ */
+class PhaseDetector
+{
+  public:
+    explicit PhaseDetector(uint64_t modulus);
+
+    /** Noise-free detection: rounds the phase to the nearest level mod m. */
+    rns::Residue detectIdeal(double phase_rad) const;
+
+    /**
+     * Detection with additive Gaussian current noise of std dev
+     * `noise_sigma_a` on each quadrature, at signal amplitude
+     * `photocurrent_a`.
+     */
+    rns::Residue detectNoisy(double phase_rad, double photocurrent_a,
+                             double noise_sigma_a, Rng &rng) const;
+
+    uint64_t modulus() const { return modulus_; }
+
+  private:
+    uint64_t modulus_;
+    double phi0_; ///< 2 pi / m: angular spacing of the phase levels.
+};
+
+/**
+ * One optical channel of g cascaded MMUs plus its phase detector.
+ * Weights are programmed per tile; inputs stream through per cycle.
+ */
+class Mdpu
+{
+  public:
+    /**
+     * @param modulus the modulus this channel computes under.
+     * @param bits    binary digits per MMU (ceil(log2 m)).
+     * @param g       number of cascaded MMUs (dot-product length).
+     */
+    Mdpu(uint64_t modulus, int bits, int g);
+
+    /** Programs all g weights (shorter spans zero-fill the tail). */
+    void programWeights(std::span<const rns::Residue> weights);
+
+    /**
+     * Total accumulated phase for an input vector (length <= g; missing
+     * trailing inputs are treated as zero). Adds per-device errors when
+     * `noise` enables them.
+     */
+    double totalPhase(std::span<const rns::Residue> x,
+                      const PhotonicNoiseConfig *noise, Rng *rng) const;
+
+    /** Exact modular dot product (golden reference for this channel). */
+    rns::Residue dotIdeal(std::span<const rns::Residue> x) const;
+
+    /**
+     * Full analog pipeline: accumulate phase (with optional device errors),
+     * detect with optional shot/thermal noise at the given photocurrent.
+     */
+    rns::Residue compute(std::span<const rns::Residue> x,
+                         const PhotonicNoiseConfig *noise,
+                         double photocurrent_a, double noise_sigma_a,
+                         Rng *rng) const;
+
+    uint64_t modulus() const { return modulus_; }
+    int g() const { return static_cast<int>(mmus_.size()); }
+    int bits() const { return bits_; }
+
+    /** Cumulative reprogram events across all MMUs in this channel. */
+    uint64_t reprogramCount() const;
+
+  private:
+    uint64_t modulus_;
+    int bits_;
+    std::vector<Mmu> mmus_;
+    PhaseDetector detector_;
+};
+
+} // namespace photonic
+} // namespace mirage
+
+#endif // MIRAGE_PHOTONIC_MDPU_H

@@ -1,0 +1,61 @@
+#include "photonic/mmu.h"
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace mirage {
+namespace photonic {
+
+Mmu::Mmu(uint64_t modulus, int bits)
+    : modulus_(modulus),
+      bits_(bits),
+      phi0_(2.0 * units::kPi / static_cast<double>(modulus))
+{
+    MIRAGE_ASSERT(modulus >= 2, "modulus must be >= 2");
+    MIRAGE_ASSERT(bits >= 1 && bits <= 24, "bad digit count");
+    MIRAGE_ASSERT((uint64_t{1} << bits) >= modulus,
+                  "digit count cannot represent modulus range");
+}
+
+void
+Mmu::setWeight(rns::Residue w)
+{
+    MIRAGE_ASSERT(w < modulus_, "weight residue not reduced: ", w);
+    weight_ = w;
+    ++reprogram_count_;
+}
+
+double
+Mmu::idealPhase(rns::Residue x) const
+{
+    MIRAGE_ASSERT(x < modulus_, "input residue not reduced: ", x);
+    // Digit-sliced accumulation mirrors the hardware: each active digit d
+    // contributes 2^d * w unit shifts of 2 pi / m.
+    double phase = 0.0;
+    for (int d = 0; d < bits_; ++d) {
+        if ((x >> d) & 1)
+            phase += static_cast<double>(uint64_t{1} << d) *
+                     static_cast<double>(weight_) * phi0_;
+    }
+    return phase;
+}
+
+double
+Mmu::noisyPhase(rns::Residue x, const PhotonicNoiseConfig &noise,
+                Rng &rng) const
+{
+    double phase = idealPhase(x);
+    const double two_pi = 2.0 * units::kPi;
+    if (noise.eps_ps > 0.0)
+        phase += rng.gaussian(0.0, noise.eps_ps * two_pi);
+    if (noise.eps_mrr > 0.0) {
+        // Light interacts with two MRR switches per digit regardless of the
+        // route taken (Fig. 3c).
+        for (int d = 0; d < 2 * bits_; ++d)
+            phase += rng.gaussian(0.0, noise.eps_mrr * two_pi);
+    }
+    return phase;
+}
+
+} // namespace photonic
+} // namespace mirage

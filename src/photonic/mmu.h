@@ -1,0 +1,76 @@
+#ifndef MIRAGE_PHOTONIC_MMU_H
+#define MIRAGE_PHOTONIC_MMU_H
+
+/**
+ * @file
+ * Functional model of the Modular Multiplication Unit (paper Sec. IV-A1,
+ * Fig. 3): one operand (w) is encoded in the voltage applied to a bank of
+ * binary-weighted phase shifters, the other (x) digit-by-digit in MRR
+ * switches that route light through or around each segment. The optical
+ * phase accumulates 2 pi / m * (x * w) — inherently modular in 2 pi.
+ */
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "photonic/noise_model.h"
+#include "rns/modulus.h"
+
+namespace mirage {
+namespace photonic {
+
+/**
+ * One modular multiplier. Weight programming is explicit (and counted) so
+ * the dataflow models can verify their stationarity assumptions against the
+ * functional simulation.
+ */
+class Mmu
+{
+  public:
+    /**
+     * @param modulus modulus m; the unit applied voltage is set so the unit
+     *                segment shifts by 2 pi / m.
+     * @param bits    number of binary digits (MRR-switched segments).
+     */
+    Mmu(uint64_t modulus, int bits);
+
+    /** Programs the weight voltage (one reprogram event). w must be < m. */
+    void setWeight(rns::Residue w);
+
+    /** Currently programmed weight. */
+    rns::Residue weight() const { return weight_; }
+
+    /**
+     * Ideal (noise-free) phase contribution for input x:
+     * sum over active digits of 2^d * w * (2 pi / m), i.e. (2 pi / m) x w.
+     * Returned un-wrapped; accumulation along the MDPU wraps naturally.
+     */
+    double idealPhase(rns::Residue x) const;
+
+    /**
+     * Phase contribution with device-level encoding errors injected:
+     * a per-pass Gaussian phase error for the shifter bank (eps_ps) and for
+     * each of the 2*bits MRR interactions (eps_mrr), both in units of 2 pi
+     * (Sec. VI-E error model).
+     */
+    double noisyPhase(rns::Residue x, const PhotonicNoiseConfig &noise,
+                      Rng &rng) const;
+
+    uint64_t modulus() const { return modulus_; }
+    int bits() const { return bits_; }
+
+    /** Number of times the phase shifters were reprogrammed. */
+    uint64_t reprogramCount() const { return reprogram_count_; }
+
+  private:
+    uint64_t modulus_;
+    int bits_;
+    double phi0_;            ///< 2 pi / m.
+    rns::Residue weight_ = 0;
+    uint64_t reprogram_count_ = 0;
+};
+
+} // namespace photonic
+} // namespace mirage
+
+#endif // MIRAGE_PHOTONIC_MMU_H

@@ -1,0 +1,179 @@
+#include "photonic/mmvmu.h"
+
+#include <cmath>
+
+#include "analog/noise.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace mirage {
+namespace photonic {
+
+Mmvmu::Mmvmu(uint64_t modulus, int rows, int g, const DeviceKit &kit,
+             double bandwidth_hz, PhotonicNoiseConfig noise)
+    : modulus_(modulus), g_(g), noise_(noise)
+{
+    MIRAGE_ASSERT(rows >= 1, "MMVMU needs at least one MDPU row");
+    const int bits = bitsFor(modulus);
+    mdpus_.reserve(static_cast<size_t>(rows));
+    for (int r = 0; r < rows; ++r)
+        mdpus_.emplace_back(modulus, bits, g);
+    budget_ = computeLinkBudget(kit, modulus, bits, g, bandwidth_hz,
+                                noise.snr_safety, noise.loss_policy);
+
+    analog::ReceiverSpec rx;
+    rx.bandwidth_hz = bandwidth_hz;
+    rx.tia_feedback_ohm = kit.receiver.tia_feedback_ohm;
+    rx.responsivity_a_per_w = kit.receiver.responsivity_a_per_w;
+    noise_sigma_a_ = analog::totalNoiseSigma(budget_.photocurrent_a, rx);
+}
+
+void
+Mmvmu::programTile(std::span<const rns::Residue> tile, int tile_rows,
+                   int tile_cols)
+{
+    MIRAGE_ASSERT(tile_rows <= rows() && tile_cols <= g_,
+                  "tile exceeds array dimensions");
+    MIRAGE_ASSERT(tile.size() == static_cast<size_t>(tile_rows) * tile_cols,
+                  "tile shape mismatch");
+    std::vector<rns::Residue> row_buf(static_cast<size_t>(g_), 0);
+    for (int r = 0; r < rows(); ++r) {
+        if (r < tile_rows) {
+            for (int c = 0; c < g_; ++c)
+                row_buf[c] = (c < tile_cols)
+                                 ? tile[static_cast<size_t>(r) * tile_cols + c]
+                                 : 0;
+        } else {
+            std::fill(row_buf.begin(), row_buf.end(), 0);
+        }
+        mdpus_[static_cast<size_t>(r)].programWeights(row_buf);
+    }
+    ++stats_.tiles_programmed;
+}
+
+std::vector<rns::Residue>
+Mmvmu::mvm(std::span<const rns::Residue> x, Rng *rng)
+{
+    std::vector<rns::Residue> y(mdpus_.size());
+    const PhotonicNoiseConfig *noise =
+        noise_.anyEnabled() ? &noise_ : nullptr;
+    for (size_t r = 0; r < mdpus_.size(); ++r)
+        y[r] = mdpus_[r].compute(x, noise, budget_.photocurrent_a,
+                                 noise_sigma_a_, rng);
+    ++stats_.mvms_executed;
+    return y;
+}
+
+std::vector<rns::Residue>
+Mmvmu::mvmIdeal(std::span<const rns::Residue> x) const
+{
+    std::vector<rns::Residue> y(mdpus_.size());
+    for (size_t r = 0; r < mdpus_.size(); ++r)
+        y[r] = mdpus_[r].dotIdeal(x);
+    return y;
+}
+
+RnsMmvmu::RnsMmvmu(rns::ModuliSet set, int rows, int g, const DeviceKit &kit,
+                   double bandwidth_hz, PhotonicNoiseConfig noise)
+    : codec_(set), rows_(rows), g_(g)
+{
+    units_.reserve(set.count());
+    for (size_t i = 0; i < set.count(); ++i)
+        units_.emplace_back(set.modulus(i), rows, g, kit, bandwidth_hz, noise);
+}
+
+void
+RnsMmvmu::programTile(std::span<const int64_t> tile, int tile_rows,
+                      int tile_cols)
+{
+    MIRAGE_ASSERT(tile.size() == static_cast<size_t>(tile_rows) * tile_cols,
+                  "tile shape mismatch");
+    std::vector<rns::Residue> residues(tile.size());
+    for (size_t u = 0; u < units_.size(); ++u) {
+        const uint64_t m = set().modulus(u);
+        for (size_t i = 0; i < tile.size(); ++i)
+            residues[i] = rns::reduceSigned(tile[i], m);
+        units_[u].programTile(residues, tile_rows, tile_cols);
+    }
+}
+
+std::vector<int64_t>
+RnsMmvmu::mvm(std::span<const int64_t> x, Rng *rng)
+{
+    MIRAGE_ASSERT(static_cast<int>(x.size()) <= g_,
+                  "input vector longer than array width");
+    std::vector<rns::Residue> x_res(x.size());
+    std::vector<std::vector<rns::Residue>> outputs(units_.size());
+    for (size_t u = 0; u < units_.size(); ++u) {
+        const uint64_t m = set().modulus(u);
+        for (size_t i = 0; i < x.size(); ++i)
+            x_res[i] = rns::reduceSigned(x[i], m);
+        outputs[u] = units_[u].mvm(x_res, rng);
+    }
+
+    std::vector<int64_t> y(static_cast<size_t>(rows_));
+    rns::ResidueVector digits(units_.size());
+    for (int r = 0; r < rows_; ++r) {
+        for (size_t u = 0; u < units_.size(); ++u)
+            digits[u] = outputs[u][static_cast<size_t>(r)];
+        y[static_cast<size_t>(r)] = codec_.decode(digits);
+    }
+    return y;
+}
+
+double
+RnsMmvmu::laserWallPowerW() const
+{
+    double total = 0.0;
+    for (const Mmvmu &unit : units_)
+        total += unit.linkBudget().laser_wall_w * unit.rows();
+    return total;
+}
+
+std::vector<int64_t>
+photonicGemm(RnsMmvmu &array, const std::vector<int64_t> &a,
+             const std::vector<int64_t> &b, int m_rows, int k_depth,
+             int n_cols, Rng *rng)
+{
+    MIRAGE_ASSERT(a.size() == static_cast<size_t>(m_rows) * k_depth,
+                  "A shape mismatch");
+    MIRAGE_ASSERT(b.size() == static_cast<size_t>(k_depth) * n_cols,
+                  "B shape mismatch");
+    const int tile_rows = array.rows();
+    const int tile_cols = array.g();
+    std::vector<int64_t> c(static_cast<size_t>(m_rows) * n_cols, 0);
+
+    std::vector<int64_t> tile;
+    std::vector<int64_t> x(static_cast<size_t>(tile_cols));
+    for (int r0 = 0; r0 < m_rows; r0 += tile_rows) {
+        const int tr = std::min(tile_rows, m_rows - r0);
+        for (int k0 = 0; k0 < k_depth; k0 += tile_cols) {
+            const int tc = std::min(tile_cols, k_depth - k0);
+            // Load the A sub-tile as the stationary weights.
+            tile.assign(static_cast<size_t>(tr) * tc, 0);
+            for (int r = 0; r < tr; ++r)
+                for (int cidx = 0; cidx < tc; ++cidx)
+                    tile[static_cast<size_t>(r) * tc + cidx] =
+                        a[static_cast<size_t>(r0 + r) * k_depth + k0 + cidx];
+            array.programTile(tile, tr, tc);
+
+            // Stream the matching slice of every B column.
+            for (int j = 0; j < n_cols; ++j) {
+                x.assign(static_cast<size_t>(tile_cols), 0);
+                for (int cidx = 0; cidx < tc; ++cidx)
+                    x[static_cast<size_t>(cidx)] =
+                        b[static_cast<size_t>(k0 + cidx) * n_cols + j];
+                const std::vector<int64_t> y = array.mvm(x, rng);
+                // Accumulate partial outputs after reverse conversion
+                // (dataflow step 9).
+                for (int r = 0; r < tr; ++r)
+                    c[static_cast<size_t>(r0 + r) * n_cols + j] +=
+                        y[static_cast<size_t>(r)];
+            }
+        }
+    }
+    return c;
+}
+
+} // namespace photonic
+} // namespace mirage

@@ -1,0 +1,135 @@
+#ifndef MIRAGE_PHOTONIC_MMVMU_H
+#define MIRAGE_PHOTONIC_MMVMU_H
+
+/**
+ * @file
+ * Modular MVM Unit (MMVMU) and RNS-MMVMU (paper Sec. IV-A2, Fig. 4a): an
+ * MMVMU is `rows` MDPU channels sharing a broadcast input vector; an
+ * RNS-MMVMU instantiates one MMVMU per modulus and performs the n modular
+ * MVMs of one RNS MVM in parallel. A tiled signed-integer GEMM helper runs
+ * whole matrix products through the functional photonic pipeline.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "photonic/link_budget.h"
+#include "photonic/mdpu.h"
+#include "rns/conversion.h"
+#include "rns/moduli_set.h"
+
+namespace mirage {
+namespace photonic {
+
+/** Execution statistics of a photonic array (functional model). */
+struct ArrayStats
+{
+    uint64_t tiles_programmed = 0; ///< Weight-tile loads (5 ns events).
+    uint64_t mvms_executed = 0;    ///< Streamed MVM cycles (0.1 ns events).
+};
+
+/**
+ * One modular MVM unit: `rows` MDPUs x `g` MMUs for a single modulus.
+ * The link budget fixes the per-channel photocurrent used by noisy
+ * detection.
+ */
+class Mmvmu
+{
+  public:
+    /**
+     * @param modulus      the modulus of this unit.
+     * @param rows         number of MDPU channels (vertical array size).
+     * @param g            MMUs per channel (horizontal array size).
+     * @param kit          photonic device parameters (for the link budget).
+     * @param bandwidth_hz detection bandwidth (photonic clock).
+     * @param noise        imperfection injection configuration.
+     */
+    Mmvmu(uint64_t modulus, int rows, int g, const DeviceKit &kit,
+          double bandwidth_hz, PhotonicNoiseConfig noise);
+
+    /**
+     * Programs a weight tile (row-major rows x g; shorter tiles zero-fill).
+     * One tile load = one reprogram event on every MMU.
+     */
+    void programTile(std::span<const rns::Residue> tile, int tile_rows,
+                     int tile_cols);
+
+    /** Executes one modular MVM on the programmed tile. */
+    std::vector<rns::Residue> mvm(std::span<const rns::Residue> x, Rng *rng);
+
+    /** Exact modular MVM on the programmed tile (golden reference). */
+    std::vector<rns::Residue> mvmIdeal(std::span<const rns::Residue> x) const;
+
+    uint64_t modulus() const { return modulus_; }
+    int rows() const { return static_cast<int>(mdpus_.size()); }
+    int g() const { return g_; }
+    const LinkBudget &linkBudget() const { return budget_; }
+    const ArrayStats &stats() const { return stats_; }
+
+  private:
+    uint64_t modulus_;
+    int g_;
+    PhotonicNoiseConfig noise_;
+    std::vector<Mdpu> mdpus_;
+    LinkBudget budget_;
+    double noise_sigma_a_ = 0.0;
+    ArrayStats stats_;
+};
+
+/**
+ * One MMVMU per modulus: accepts signed integers, forward-converts them,
+ * runs the parallel modular MVMs, and reverse-converts the outputs
+ * (dataflow steps 3-7 of Fig. 2).
+ */
+class RnsMmvmu
+{
+  public:
+    RnsMmvmu(rns::ModuliSet set, int rows, int g, const DeviceKit &kit,
+             double bandwidth_hz, PhotonicNoiseConfig noise = {});
+
+    /** Programs a signed weight tile (row-major tile_rows x tile_cols). */
+    void programTile(std::span<const int64_t> tile, int tile_rows,
+                     int tile_cols);
+
+    /**
+     * One RNS MVM: forward conversion, n parallel modular MVMs, reverse
+     * conversion of each output element. Values must respect Eq. (13).
+     */
+    std::vector<int64_t> mvm(std::span<const int64_t> x, Rng *rng = nullptr);
+
+    const rns::ModuliSet &set() const { return codec_.set(); }
+    int rows() const { return rows_; }
+    int g() const { return g_; }
+
+    /** Per-modulus unit (for link-budget and stats inspection). */
+    const Mmvmu &unit(size_t i) const { return units_[i]; }
+    Mmvmu &unit(size_t i) { return units_[i]; }
+
+    /** Total laser wall-plug power across all channels of this array [W]. */
+    double laserWallPowerW() const;
+
+  private:
+    rns::RnsCodec codec_;
+    int rows_;
+    int g_;
+    std::vector<Mmvmu> units_;
+};
+
+/**
+ * Runs a full signed-integer GEMM C = A * B (A: MxK, B: KxN, row-major)
+ * through the photonic functional pipeline with weight-stationary tiling:
+ * A sub-tiles are programmed as weights, columns of B stream as inputs, and
+ * partial outputs are accumulated after reverse conversion (step 9).
+ */
+std::vector<int64_t> photonicGemm(RnsMmvmu &array,
+                                  const std::vector<int64_t> &a,
+                                  const std::vector<int64_t> &b,
+                                  int m_rows, int k_depth, int n_cols,
+                                  Rng *rng = nullptr);
+
+} // namespace photonic
+} // namespace mirage
+
+#endif // MIRAGE_PHOTONIC_MMVMU_H

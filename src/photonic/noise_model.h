@@ -1,0 +1,75 @@
+#ifndef MIRAGE_PHOTONIC_NOISE_MODEL_H
+#define MIRAGE_PHOTONIC_NOISE_MODEL_H
+
+/**
+ * @file
+ * Noise/error injection configuration for the functional photonic model and
+ * the Eq. (14) analytic bound on MDPU output phase error (paper Sec. VI-E).
+ */
+
+#include <cmath>
+
+#include "photonic/link_budget.h"
+
+namespace mirage {
+namespace photonic {
+
+/** What imperfections the functional simulation injects. */
+struct PhotonicNoiseConfig
+{
+    /// Shot + thermal noise at the phase detector (Sec. II-E2).
+    bool shot_thermal_enabled = false;
+    /// Multiplies the SNR >= m laser-sizing requirement.
+    double snr_safety = 1.0;
+    /// Per-MMU phase-shifter encoding error, std dev as a fraction of 2 pi
+    /// (paper's conservative bound: 2^-bDAC).
+    double eps_ps = 0.0;
+    /// Per-MRR-pass encoding error, std dev as a fraction of 2 pi
+    /// (paper's conservative bound: 0.3 %).
+    double eps_mrr = 0.0;
+    /// Loss model used when sizing the laser.
+    LossPolicy loss_policy = LossPolicy::AllThrough;
+
+    /** True when any imperfection is active. */
+    bool
+    anyEnabled() const
+    {
+        return shot_thermal_enabled || eps_ps > 0.0 || eps_mrr > 0.0;
+    }
+};
+
+/**
+ * Eq. (14): RMS output phase error of an h-long MDPU, in fractions of 2 pi:
+ * sqrt(h * eps_ps^2 + 2 h ceil(log2 m) * eps_mrr^2), worst case with light
+ * traversing every phase shifter.
+ */
+inline double
+outputPhaseErrorRms(int h, int bits_per_modulus, double eps_ps, double eps_mrr)
+{
+    return std::sqrt(h * eps_ps * eps_ps +
+                     2.0 * h * bits_per_modulus * eps_mrr * eps_mrr);
+}
+
+/**
+ * Smallest DAC precision whose encoding error keeps Eq. (14) below the
+ * 2^-b_out budget (paper Sec. VI-E finds bDAC >= 8 for h = 16): returns the
+ * minimal bdac in [1, 16] with outputPhaseErrorRms(h, bits, 2^-bdac,
+ * eps_mrr) <= 2^-b_out, or -1 when none suffices.
+ */
+inline int
+minimumDacBits(int h, int bits_per_modulus, double eps_mrr, int b_out)
+{
+    for (int bdac = 1; bdac <= 16; ++bdac) {
+        const double eps_ps = std::exp2(-bdac);
+        if (outputPhaseErrorRms(h, bits_per_modulus, eps_ps, eps_mrr) <=
+            std::exp2(-b_out)) {
+            return bdac;
+        }
+    }
+    return -1;
+}
+
+} // namespace photonic
+} // namespace mirage
+
+#endif // MIRAGE_PHOTONIC_NOISE_MODEL_H

@@ -1,0 +1,139 @@
+#include "rns/conversion.h"
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace rns {
+
+namespace {
+
+/** (a * b) mod m on 128-bit operands, with m < 2^127 / max(a). */
+uint128
+mulMod128(uint128 a, uint128 b, uint128 m)
+{
+    // Russian-peasant multiplication keeps intermediates below 2*m, which is
+    // safe because every modulus product we form fits in well under 127 bits.
+    uint128 result = 0;
+    a %= m;
+    while (b > 0) {
+        if (b & 1) {
+            result += a;
+            if (result >= m)
+                result -= m;
+        }
+        a <<= 1;
+        if (a >= m)
+            a -= m;
+        b >>= 1;
+    }
+    return result;
+}
+
+} // namespace
+
+RnsCodec::RnsCodec(ModuliSet set)
+    : set_(std::move(set))
+{
+    const size_t n = set_.count();
+    const uint128 big_m = set_.dynamicRange();
+
+    crt_weights_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        const uint64_t m_i = set_.modulus(i);
+        const uint128 big_m_i = big_m / m_i;
+        const uint64_t mi_mod = static_cast<uint64_t>(big_m_i % m_i);
+        const uint64_t t_i = invMod(mi_mod, m_i);
+        crt_weights_[i] = mulMod128(big_m_i, t_i, big_m);
+    }
+
+    mrc_inverses_.assign(n, std::vector<uint64_t>(n, 0));
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = i + 1; j < n; ++j)
+            mrc_inverses_[i][j] = invMod(set_.modulus(i) % set_.modulus(j),
+                                         set_.modulus(j));
+}
+
+ResidueVector
+RnsCodec::encode(int64_t x) const
+{
+    MIRAGE_ASSERT(set_.inSignedRange(x),
+                  "value ", x, " outside signed RNS range");
+    ResidueVector r(set_.count());
+    for (size_t i = 0; i < set_.count(); ++i)
+        r[i] = reduceSigned(x, set_.modulus(i));
+    return r;
+}
+
+ResidueVector
+RnsCodec::encodeUnsigned(uint64_t x) const
+{
+    MIRAGE_ASSERT(static_cast<uint128>(x) < set_.dynamicRange(),
+                  "value outside RNS dynamic range");
+    ResidueVector r(set_.count());
+    for (size_t i = 0; i < set_.count(); ++i)
+        r[i] = x % set_.modulus(i);
+    return r;
+}
+
+uint128
+RnsCodec::decodeUnsigned(const ResidueVector &r) const
+{
+    MIRAGE_ASSERT(r.size() == set_.count(), "residue vector size mismatch");
+    const uint128 big_m = set_.dynamicRange();
+    uint128 x = 0;
+    for (size_t i = 0; i < set_.count(); ++i) {
+        MIRAGE_ASSERT(r[i] < set_.modulus(i), "residue not reduced");
+        x += mulMod128(crt_weights_[i], r[i], big_m);
+        if (x >= big_m)
+            x -= big_m;
+    }
+    return x;
+}
+
+int64_t
+RnsCodec::toSigned(uint128 x) const
+{
+    const uint128 big_m = set_.dynamicRange();
+    MIRAGE_ASSERT(x < big_m, "value outside dynamic range");
+    if (x <= set_.psi())
+        return static_cast<int64_t>(x);
+    const uint128 mag = big_m - x;
+    return -static_cast<int64_t>(mag);
+}
+
+int64_t
+RnsCodec::decode(const ResidueVector &r) const
+{
+    return toSigned(decodeUnsigned(r));
+}
+
+int64_t
+RnsCodec::decodeMixedRadix(const ResidueVector &r) const
+{
+    MIRAGE_ASSERT(r.size() == set_.count(), "residue vector size mismatch");
+    const size_t n = set_.count();
+
+    // Mixed-radix digits: a_0 = r_0; a_j derived by peeling off previously
+    // resolved digits. X = a_0 + a_1*m_0 + a_2*m_0*m_1 + ...
+    std::vector<uint64_t> digits(n);
+    for (size_t j = 0; j < n; ++j) {
+        const uint64_t m_j = set_.modulus(j);
+        uint64_t v = r[j] % m_j;
+        for (size_t i = 0; i < j; ++i) {
+            v = subMod(v, digits[i] % m_j, m_j);
+            v = mulMod(v, mrc_inverses_[i][j], m_j);
+        }
+        digits[j] = v;
+    }
+
+    uint128 x = 0;
+    uint128 radix = 1;
+    for (size_t j = 0; j < n; ++j) {
+        x += radix * digits[j];
+        radix *= set_.modulus(j);
+    }
+    return toSigned(x);
+}
+
+} // namespace rns
+} // namespace mirage

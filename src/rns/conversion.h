@@ -1,0 +1,74 @@
+#ifndef MIRAGE_RNS_CONVERSION_H
+#define MIRAGE_RNS_CONVERSION_H
+
+/**
+ * @file
+ * Forward (binary -> residues) and reverse (residues -> binary) conversion.
+ *
+ * Two independent reverse algorithms are provided — the Chinese Remainder
+ * Theorem (Eq. (5) of the paper) and mixed-radix conversion — so that each
+ * can be property-tested against the other.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "rns/moduli_set.h"
+
+namespace mirage {
+namespace rns {
+
+/**
+ * Encoder/decoder between signed binary integers and residue vectors for a
+ * fixed moduli set. CRT constants (M_i, T_i of Eq. (5)) are precomputed at
+ * construction.
+ */
+class RnsCodec
+{
+  public:
+    /** Builds the codec and precomputes CRT and mixed-radix constants. */
+    explicit RnsCodec(ModuliSet set);
+
+    /** The moduli set this codec operates over. */
+    const ModuliSet &set() const { return set_; }
+
+    /**
+     * Forward conversion of a signed value: x is reduced into [0, M) and
+     * each residue x_i = |X|_{m_i} is emitted. Panics when |x| > psi, since
+     * such a value cannot be uniquely recovered.
+     */
+    ResidueVector encode(int64_t x) const;
+
+    /** Forward conversion of an unsigned value already in [0, M). */
+    ResidueVector encodeUnsigned(uint64_t x) const;
+
+    /**
+     * Reverse conversion via the CRT (Eq. (5)), mapping the result back to
+     * the symmetric signed range [-psi, psi].
+     */
+    int64_t decode(const ResidueVector &r) const;
+
+    /** Reverse conversion via the CRT without the signed mapping. */
+    uint128 decodeUnsigned(const ResidueVector &r) const;
+
+    /**
+     * Reverse conversion via mixed-radix digits — an independent algorithm
+     * used to cross-check the CRT path (uses only small-modulus ops).
+     */
+    int64_t decodeMixedRadix(const ResidueVector &r) const;
+
+    /** Maps an unsigned X in [0, M) to the symmetric signed range. */
+    int64_t toSigned(uint128 x) const;
+
+  private:
+    ModuliSet set_;
+    /// CRT weights w_i = (M_i * T_i) mod M, so X = sum(x_i * w_i) mod M.
+    std::vector<uint128> crt_weights_;
+    /// Inverses inv(m_i) mod m_j for i < j, used by mixed-radix conversion.
+    std::vector<std::vector<uint64_t>> mrc_inverses_;
+};
+
+} // namespace rns
+} // namespace mirage
+
+#endif // MIRAGE_RNS_CONVERSION_H

@@ -1,0 +1,128 @@
+#include "rns/modular_gemm.h"
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace rns {
+
+Residue
+modularDot(const Residue *a, const Residue *b, int len, uint64_t modulus)
+{
+    // Products of residues < 2^21 each and dot lengths < 2^22 stay exact in
+    // 64 bits, so we accumulate raw and reduce once for the common case.
+    const bool small = modulus < (uint64_t{1} << 21) && len < (1 << 22);
+    if (small) {
+        uint64_t acc = 0;
+        for (int i = 0; i < len; ++i)
+            acc += a[i] * b[i];
+        return acc % modulus;
+    }
+    Residue acc = 0;
+    for (int i = 0; i < len; ++i)
+        acc = addMod(acc, mulMod(a[i], b[i], modulus), modulus);
+    return acc;
+}
+
+void
+modularGemm(const std::vector<Residue> &a, const std::vector<Residue> &b,
+            std::vector<Residue> &c, int m_rows, int k_depth, int n_cols,
+            uint64_t modulus)
+{
+    MIRAGE_ASSERT(a.size() == static_cast<size_t>(m_rows) * k_depth,
+                  "A shape mismatch");
+    MIRAGE_ASSERT(b.size() == static_cast<size_t>(k_depth) * n_cols,
+                  "B shape mismatch");
+    c.assign(static_cast<size_t>(m_rows) * n_cols, 0);
+
+    // Row-major ikj loop: B rows are streamed, keeping accumulation exact in
+    // 64 bits with a periodic reduction.
+    const uint64_t reduce_every =
+        (modulus < (uint64_t{1} << 21)) ? (uint64_t{1} << 20) : 1;
+    for (int i = 0; i < m_rows; ++i) {
+        std::vector<uint64_t> acc(n_cols, 0);
+        uint64_t since_reduce = 0;
+        for (int k = 0; k < k_depth; ++k) {
+            const uint64_t a_ik = a[static_cast<size_t>(i) * k_depth + k];
+            const Residue *b_row = &b[static_cast<size_t>(k) * n_cols];
+            if (a_ik == 0)
+                continue;
+            for (int j = 0; j < n_cols; ++j)
+                acc[j] += a_ik * b_row[j];
+            if (++since_reduce >= reduce_every) {
+                for (int j = 0; j < n_cols; ++j)
+                    acc[j] %= modulus;
+                since_reduce = 0;
+            }
+        }
+        for (int j = 0; j < n_cols; ++j)
+            c[static_cast<size_t>(i) * n_cols + j] = acc[j] % modulus;
+    }
+}
+
+RnsGemmEngine::RnsGemmEngine(ModuliSet set, bool check_range)
+    : codec_(std::move(set)), check_range_(check_range)
+{
+}
+
+std::vector<std::vector<Residue>>
+RnsGemmEngine::forwardMatrix(const std::vector<int64_t> &values) const
+{
+    const ModuliSet &set = codec_.set();
+    std::vector<std::vector<Residue>> residues(
+        set.count(), std::vector<Residue>(values.size()));
+    for (size_t i = 0; i < set.count(); ++i) {
+        const uint64_t m = set.modulus(i);
+        for (size_t v = 0; v < values.size(); ++v)
+            residues[i][v] = reduceSigned(values[v], m);
+    }
+    return residues;
+}
+
+std::vector<int64_t>
+RnsGemmEngine::gemm(const std::vector<int64_t> &a, const std::vector<int64_t> &b,
+                    int m_rows, int k_depth, int n_cols) const
+{
+    const ModuliSet &set = codec_.set();
+    const auto a_res = forwardMatrix(a);
+    const auto b_res = forwardMatrix(b);
+
+    std::vector<std::vector<Residue>> c_res(set.count());
+    for (size_t i = 0; i < set.count(); ++i)
+        modularGemm(a_res[i], b_res[i], c_res[i], m_rows, k_depth, n_cols,
+                    set.modulus(i));
+
+    const size_t total = static_cast<size_t>(m_rows) * n_cols;
+    std::vector<int64_t> c(total);
+    ResidueVector digits(set.count());
+    for (size_t e = 0; e < total; ++e) {
+        for (size_t i = 0; i < set.count(); ++i)
+            digits[i] = c_res[i][e];
+        c[e] = codec_.decode(digits);
+    }
+
+    if (check_range_) {
+        // Cross-check against exact 64-bit integer accumulation: a mismatch
+        // means the output overflowed the RNS dynamic range, i.e. the caller
+        // violated Eq. (13).
+        for (int i = 0; i < m_rows; ++i) {
+            for (int j = 0; j < n_cols; ++j) {
+                int64_t exact = 0;
+                for (int k = 0; k < k_depth; ++k) {
+                    exact += a[static_cast<size_t>(i) * k_depth + k] *
+                             b[static_cast<size_t>(k) * n_cols + j];
+                }
+                if (exact != c[static_cast<size_t>(i) * n_cols + j]) {
+                    MIRAGE_FATAL("RNS dynamic range exceeded at (", i, ",", j,
+                                 "): exact=", exact, " rns=",
+                                 c[static_cast<size_t>(i) * n_cols + j],
+                                 " — moduli set too small for this workload",
+                                 " (Eq. 13)");
+                }
+            }
+        }
+    }
+    return c;
+}
+
+} // namespace rns
+} // namespace mirage

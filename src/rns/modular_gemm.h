@@ -1,0 +1,68 @@
+#ifndef MIRAGE_RNS_MODULAR_GEMM_H
+#define MIRAGE_RNS_MODULAR_GEMM_H
+
+/**
+ * @file
+ * Reference integer GEMM in the RNS domain (paper Sec. III): the signed
+ * operand matrices are forward-converted, one modular GEMM runs per modulus,
+ * and the residue outputs are reverse-converted. This is the bit-exact
+ * golden model that the photonic phase-domain simulation must match.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "rns/conversion.h"
+#include "rns/moduli_set.h"
+
+namespace mirage {
+namespace rns {
+
+/**
+ * C = A * B (mod m) on residue matrices stored row-major.
+ * A is MxK, B is KxN, C is MxN.
+ */
+void modularGemm(const std::vector<Residue> &a, const std::vector<Residue> &b,
+                 std::vector<Residue> &c, int m_rows, int k_depth, int n_cols,
+                 uint64_t modulus);
+
+/** Single modular dot product of two reduced residue vectors. */
+Residue modularDot(const Residue *a, const Residue *b, int len, uint64_t modulus);
+
+/**
+ * Signed integer GEMM executed residue-wise over a moduli set.
+ *
+ * The caller is responsible for Eq. (13): every output element must fit in
+ * [-psi, psi]. Violations are a *user* configuration error and are reported
+ * via fatal() when range checking is enabled.
+ */
+class RnsGemmEngine
+{
+  public:
+    /** @param check_range verify every output lies in [-psi, psi]. */
+    explicit RnsGemmEngine(ModuliSet set, bool check_range = true);
+
+    /** The moduli set in use. */
+    const ModuliSet &set() const { return codec_.set(); }
+
+    /**
+     * C = A * B on signed matrices (row-major; A MxK, B KxN, C MxN),
+     * computed as one modular GEMM per modulus plus reverse conversion.
+     */
+    std::vector<int64_t> gemm(const std::vector<int64_t> &a,
+                              const std::vector<int64_t> &b,
+                              int m_rows, int k_depth, int n_cols) const;
+
+    /** Forward-converts a signed matrix to one residue matrix per modulus. */
+    std::vector<std::vector<Residue>>
+    forwardMatrix(const std::vector<int64_t> &values) const;
+
+  private:
+    RnsCodec codec_;
+    bool check_range_;
+};
+
+} // namespace rns
+} // namespace mirage
+
+#endif // MIRAGE_RNS_MODULAR_GEMM_H

@@ -1,0 +1,89 @@
+#ifndef MIRAGE_RNS_MODULUS_H
+#define MIRAGE_RNS_MODULUS_H
+
+/**
+ * @file
+ * Primitive modular arithmetic on 64-bit residues. Products are formed in
+ * 128-bit intermediates so any modulus below 2^63 is safe.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace rns {
+
+/** A residue digit. Always held reduced: 0 <= r < m. */
+using Residue = uint64_t;
+
+/** A full residue vector: one digit per modulus of the owning set. */
+using ResidueVector = std::vector<Residue>;
+
+/** Unsigned 128-bit integer used for dynamic-range products. */
+using uint128 = unsigned __int128;
+
+/** (a + b) mod m for reduced operands. */
+inline Residue
+addMod(Residue a, Residue b, uint64_t m)
+{
+    Residue s = a + b;
+    if (s >= m || s < a)
+        s -= m;
+    return s;
+}
+
+/** (a - b) mod m for reduced operands. */
+inline Residue
+subMod(Residue a, Residue b, uint64_t m)
+{
+    return (a >= b) ? a - b : a + m - b;
+}
+
+/** (a * b) mod m via a 128-bit intermediate. */
+inline Residue
+mulMod(Residue a, Residue b, uint64_t m)
+{
+    return static_cast<Residue>((static_cast<uint128>(a) * b) % m);
+}
+
+/** Reduces a signed 64-bit value into [0, m). */
+inline Residue
+reduceSigned(int64_t x, uint64_t m)
+{
+    MIRAGE_ASSERT(m > 0, "modulus must be positive");
+    int64_t r = x % static_cast<int64_t>(m);
+    if (r < 0)
+        r += static_cast<int64_t>(m);
+    return static_cast<Residue>(r);
+}
+
+/**
+ * Modular multiplicative inverse of `a` mod `m` via the extended Euclidean
+ * algorithm. Panics when gcd(a, m) != 1 (the caller guarantees co-primality).
+ */
+inline uint64_t
+invMod(uint64_t a, uint64_t m)
+{
+    int64_t t = 0, new_t = 1;
+    int64_t r = static_cast<int64_t>(m), new_r = static_cast<int64_t>(a % m);
+    while (new_r != 0) {
+        int64_t q = r / new_r;
+        int64_t tmp = t - q * new_t;
+        t = new_t;
+        new_t = tmp;
+        tmp = r - q * new_r;
+        r = new_r;
+        new_r = tmp;
+    }
+    MIRAGE_ASSERT(r == 1, "invMod of non-coprime operands: ", a, " mod ", m);
+    if (t < 0)
+        t += static_cast<int64_t>(m);
+    return static_cast<uint64_t>(t);
+}
+
+} // namespace rns
+} // namespace mirage
+
+#endif // MIRAGE_RNS_MODULUS_H

@@ -1,0 +1,137 @@
+#include "rns/rrns.h"
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace rns {
+
+namespace {
+
+ModuliSet
+makeExtended(const ModuliSet &base, const std::vector<uint64_t> &redundant)
+{
+    std::vector<uint64_t> all = base.moduli();
+    all.insert(all.end(), redundant.begin(), redundant.end());
+    return ModuliSet(std::move(all)); // validates co-primality of the union
+}
+
+ModuliSet
+makeSubset(const ModuliSet &extended, size_t excluded)
+{
+    std::vector<uint64_t> subset;
+    for (size_t i = 0; i < extended.count(); ++i)
+        if (i != excluded)
+            subset.push_back(extended.modulus(i));
+    return ModuliSet(std::move(subset));
+}
+
+} // namespace
+
+RedundantRns::RedundantRns(ModuliSet base, std::vector<uint64_t> redundant)
+    : base_(std::move(base)),
+      extended_codec_(makeExtended(base_, redundant))
+{
+    if (redundant.empty())
+        MIRAGE_FATAL("RRNS requires at least one redundant modulus");
+    const ModuliSet &ext = extended_codec_.set();
+    subset_codecs_.reserve(ext.count());
+    for (size_t i = 0; i < ext.count(); ++i)
+        subset_codecs_.emplace_back(makeSubset(ext, i));
+}
+
+ResidueVector
+RedundantRns::encode(int64_t x) const
+{
+    MIRAGE_ASSERT(base_.inSignedRange(x), "value outside base RNS range");
+    return extended_codec_.encode(x);
+}
+
+bool
+RedundantRns::legitimate(uint128 x) const
+{
+    const uint128 m_ext = extendedSet().dynamicRange();
+    const uint128 psi = base_.psi();
+    return x <= psi || x >= m_ext - psi;
+}
+
+int64_t
+RedundantRns::extendedToSigned(uint128 x) const
+{
+    const uint128 m_ext = extendedSet().dynamicRange();
+    if (x <= base_.psi())
+        return static_cast<int64_t>(x);
+    return -static_cast<int64_t>(m_ext - x);
+}
+
+RrnsDecodeResult
+RedundantRns::decode(const ResidueVector &r) const
+{
+    const ModuliSet &ext = extendedSet();
+    MIRAGE_ASSERT(r.size() == ext.count(), "residue vector size mismatch");
+
+    RrnsDecodeResult result;
+    const uint128 full = extended_codec_.decodeUnsigned(r);
+    if (legitimate(full)) {
+        result.value = extendedToSigned(full);
+        return result;
+    }
+
+    result.error_detected = true;
+
+    // Leave-one-out search: the subset that excludes the faulty residue
+    // reconstructs a legitimate value consistent with every kept residue.
+    struct Candidate { int64_t value; size_t excluded; };
+    std::vector<Candidate> candidates;
+    for (size_t skip = 0; skip < ext.count(); ++skip) {
+        ResidueVector subset;
+        subset.reserve(ext.count() - 1);
+        for (size_t i = 0; i < ext.count(); ++i)
+            if (i != skip)
+                subset.push_back(r[i]);
+
+        const RnsCodec &codec = subset_codecs_[skip];
+        const uint128 x = codec.decodeUnsigned(subset);
+        const uint128 m_sub = codec.set().dynamicRange();
+        const uint128 psi = base_.psi();
+        const bool legit = x <= psi || x >= m_sub - psi;
+        if (!legit)
+            continue;
+        const int64_t signed_val =
+            (x <= psi) ? static_cast<int64_t>(x) : -static_cast<int64_t>(m_sub - x);
+
+        // The corrected value must reproduce all residues except the skipped
+        // one (which is presumed faulty).
+        bool consistent = true;
+        for (size_t i = 0; i < ext.count() && consistent; ++i) {
+            if (i == skip)
+                continue;
+            consistent = reduceSigned(signed_val, ext.modulus(i)) == r[i];
+        }
+        if (consistent)
+            candidates.push_back({signed_val, skip});
+    }
+
+    // All surviving candidates agreeing on one value means unambiguous
+    // correction (several subsets may exclude a non-faulty digit yet still
+    // reconstruct the same legitimate value).
+    if (!candidates.empty()) {
+        const int64_t v = candidates.front().value;
+        bool unanimous = true;
+        for (const Candidate &c : candidates)
+            unanimous = unanimous && c.value == v;
+        if (unanimous) {
+            result.value = v;
+            result.corrected = true;
+            for (const Candidate &c : candidates) {
+                // A digit is reported faulty when the corrected value
+                // disagrees with the received residue at that position.
+                if (reduceSigned(v, ext.modulus(c.excluded)) != r[c.excluded])
+                    result.faulty.push_back(c.excluded);
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace rns
+} // namespace mirage

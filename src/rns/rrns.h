@@ -1,0 +1,82 @@
+#ifndef MIRAGE_RNS_RRNS_H
+#define MIRAGE_RNS_RRNS_H
+
+/**
+ * @file
+ * Redundant RNS (RRNS) error detection and correction (paper Sec. VI-E):
+ * appending r redundant moduli to the base set lets the decoder detect up to
+ * r faulty residues and correct up to floor(r/2) of them by majority logic
+ * over subset reconstructions.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "rns/conversion.h"
+#include "rns/moduli_set.h"
+
+namespace mirage {
+namespace rns {
+
+/** Outcome of an RRNS decode. */
+struct RrnsDecodeResult
+{
+    int64_t value = 0;            ///< Best reconstruction (signed).
+    bool error_detected = false;  ///< Residues were inconsistent.
+    bool corrected = false;       ///< A consistent correction was found.
+    /// Indices (into the extended residue vector) diagnosed as faulty.
+    std::vector<size_t> faulty;
+};
+
+/**
+ * Redundant RNS codec: encodes over base + redundant moduli; decodes with
+ * single-residue error correction when enough redundancy exists.
+ */
+class RedundantRns
+{
+  public:
+    /**
+     * @param base       moduli carrying information; the legitimate range is
+     *                   the base set's [-psi, psi].
+     * @param redundant  extra co-prime moduli used purely for redundancy.
+     */
+    RedundantRns(ModuliSet base, std::vector<uint64_t> redundant);
+
+    /** Base (information) moduli set. */
+    const ModuliSet &baseSet() const { return base_; }
+
+    /** Extended set (base followed by redundant moduli). */
+    const ModuliSet &extendedSet() const { return extended_codec_.set(); }
+
+    /** Number of redundant moduli. */
+    size_t redundancy() const { return extendedSet().count() - base_.count(); }
+
+    /** Encodes a signed value in the base range over the extended set. */
+    ResidueVector encode(int64_t x) const;
+
+    /**
+     * Decodes with error detection/correction. A residue vector is
+     * *consistent* when the full-set reconstruction lies in the legitimate
+     * (base) range. On inconsistency, every leave-one-out subset is tried;
+     * a unique subset whose reconstruction is legitimate and agrees with all
+     * remaining residues identifies the faulty digit.
+     */
+    RrnsDecodeResult decode(const ResidueVector &r) const;
+
+  private:
+    /** True when an extended-range value X lies in the legitimate range. */
+    bool legitimate(uint128 x) const;
+
+    /** Maps a legitimate extended-range value to signed. */
+    int64_t extendedToSigned(uint128 x) const;
+
+    ModuliSet base_;
+    RnsCodec extended_codec_;
+    /// Leave-one-out codecs, index i excludes modulus i.
+    std::vector<RnsCodec> subset_codecs_;
+};
+
+} // namespace rns
+} // namespace mirage
+
+#endif // MIRAGE_RNS_RRNS_H

@@ -1,0 +1,116 @@
+#include "rns/special_converter.h"
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace rns {
+
+SpecialConverter::SpecialConverter(int k)
+    : k_(k),
+      mask_((k >= 1 && k <= 20) ? (uint64_t{1} << k) - 1 : 0),
+      m1_(mask_),
+      m2_(mask_ + 1),
+      m3_(m2_ + 1),
+      big_m_(m1_ * m2_ * m3_),
+      psi_((big_m_ - 1) / 2),
+      pair_w1_(0),
+      pair_w3_(0),
+      set_(ModuliSet::special(k))
+{
+    if (k < 2 || k > 20)
+        MIRAGE_FATAL("special converter requires 2 <= k <= 20, got ", k);
+
+    // CRT over the co-prime pair (m1, m3) with product m1*m3 = 2^{2k} - 1:
+    // Y = (y1 * w1 + y3 * w3) mod (m1 * m3).
+    const uint64_t pair_m = m1_ * m3_;
+    const uint64_t t1 = invMod(m3_ % m1_, m1_); // inv(m3) mod m1
+    const uint64_t t3 = invMod(m1_ % m3_, m3_); // inv(m1) mod m3
+    pair_w1_ = mulMod(m3_ % pair_m, t1, pair_m);
+    pair_w3_ = mulMod(m1_ % pair_m, t3, pair_m);
+}
+
+uint64_t
+SpecialConverter::modMersenne(uint64_t a) const
+{
+    // Sum the k-bit chunks with end-around carry: 2^k === 1 (mod 2^k - 1).
+    uint64_t s = 0;
+    while (a > 0) {
+        s += a & mask_;
+        a >>= k_;
+    }
+    // Folding strictly reduces any s >= 2^k; a final exact hit on m1 is the
+    // zero residue.
+    while (s > m1_)
+        s = (s & mask_) + (s >> k_);
+    return (s == m1_) ? 0 : s;
+}
+
+uint64_t
+SpecialConverter::modFermat(uint64_t a) const
+{
+    // Alternate-sign chunk folding: 2^k === -1 (mod 2^k + 1).
+    int64_t s = 0;
+    int sign = 1;
+    while (a > 0) {
+        s += sign * static_cast<int64_t>(a & mask_);
+        a >>= k_;
+        sign = -sign;
+    }
+    int64_t m = static_cast<int64_t>(m3_);
+    s %= m;
+    if (s < 0)
+        s += m;
+    return static_cast<uint64_t>(s);
+}
+
+ResidueVector
+SpecialConverter::forward(uint64_t a) const
+{
+    return {modMersenne(a), modPowerOfTwo(a), modFermat(a)};
+}
+
+ResidueVector
+SpecialConverter::forwardSigned(int64_t a) const
+{
+    MIRAGE_ASSERT(set_.inSignedRange(a), "value outside signed RNS range");
+    if (a >= 0)
+        return forward(static_cast<uint64_t>(a));
+    // X = a + M; compute residues of the magnitude and negate per modulus.
+    const uint64_t mag = static_cast<uint64_t>(-a);
+    ResidueVector r = forward(mag);
+    r[0] = (r[0] == 0) ? 0 : m1_ - r[0];
+    r[1] = (r[1] == 0) ? 0 : m2_ - r[1];
+    r[2] = (r[2] == 0) ? 0 : m3_ - r[2];
+    return r;
+}
+
+uint64_t
+SpecialConverter::reverse(const ResidueVector &r) const
+{
+    MIRAGE_ASSERT(r.size() == 3, "special set has exactly three residues");
+    const uint64_t r1 = r[0], r2 = r[1], r3 = r[2];
+    MIRAGE_ASSERT(r1 < m1_ && r2 < m2_ && r3 < m3_, "residue not reduced");
+
+    // X = r2 + 2^k * Y. Derive Y's residues over (m1, m3):
+    //   Y === (r1 - r2) * inv(2^k) === (r1 - r2)        (mod 2^k - 1)
+    //   Y === (r3 - r2) * inv(2^k) === (r2 - r3)        (mod 2^k + 1)
+    const uint64_t y1 = subMod(r1 % m1_, r2 % m1_, m1_);
+    const uint64_t y3 = subMod(r2 % m3_, r3 % m3_, m3_);
+
+    const uint64_t pair_m = m1_ * m3_;
+    uint64_t y = addMod(mulMod(pair_w1_, y1, pair_m),
+                        mulMod(pair_w3_, y3, pair_m), pair_m);
+    return r2 + (y << k_);
+}
+
+int64_t
+SpecialConverter::reverseSigned(const ResidueVector &r) const
+{
+    const uint64_t x = reverse(r);
+    if (x <= psi_)
+        return static_cast<int64_t>(x);
+    return static_cast<int64_t>(x) - static_cast<int64_t>(big_m_);
+}
+
+} // namespace rns
+} // namespace mirage

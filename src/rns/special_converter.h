@@ -1,0 +1,79 @@
+#ifndef MIRAGE_RNS_SPECIAL_CONVERTER_H
+#define MIRAGE_RNS_SPECIAL_CONVERTER_H
+
+/**
+ * @file
+ * Shift/add-only converters for the special moduli set {2^k-1, 2^k, 2^k+1}
+ * (paper Sec. IV-B, after Hiasat and Wang et al.). These model the cheap
+ * dedicated conversion circuits on Mirage's electronic chiplet: the forward
+ * direction folds k-bit chunks, the reverse direction is a two-level CRT that
+ * only ever manipulates (2k)-bit quantities.
+ */
+
+#include <cstdint>
+
+#include "rns/moduli_set.h"
+
+namespace mirage {
+namespace rns {
+
+/**
+ * Fast converter bound to one value of k. All operations stay in 64-bit
+ * words, mirroring the adder/shifter structure of the hardware unit.
+ */
+class SpecialConverter
+{
+  public:
+    /** Builds the converter for {2^k - 1, 2^k, 2^k + 1}. */
+    explicit SpecialConverter(int k);
+
+    /** The parameter k. */
+    int k() const { return k_; }
+
+    /** The matching validated ModuliSet (m1 = 2^k-1, m2 = 2^k, m3 = 2^k+1). */
+    const ModuliSet &set() const { return set_; }
+
+    /** |a| mod (2^k - 1) by end-around-carry folding of k-bit chunks. */
+    uint64_t modMersenne(uint64_t a) const;
+
+    /** |a| mod 2^k: a bit mask. */
+    uint64_t modPowerOfTwo(uint64_t a) const { return a & mask_; }
+
+    /** |a| mod (2^k + 1) by alternating-sign folding of k-bit chunks. */
+    uint64_t modFermat(uint64_t a) const;
+
+    /** Forward conversion of an unsigned value to the three residues. */
+    ResidueVector forward(uint64_t a) const;
+
+    /** Forward conversion of a signed value (two's-complement handling). */
+    ResidueVector forwardSigned(int64_t a) const;
+
+    /**
+     * Reverse conversion to the unsigned range [0, M). Implemented as the
+     * two-level scheme: X = r2 + 2^k * Y with Y recovered from the CRT pair
+     * (2^k - 1, 2^k + 1), using that 2^k === 1 mod (2^k-1) and
+     * 2^k === -1 mod (2^k+1).
+     */
+    uint64_t reverse(const ResidueVector &r) const;
+
+    /** Reverse conversion mapped to the symmetric signed range. */
+    int64_t reverseSigned(const ResidueVector &r) const;
+
+  private:
+    int k_;
+    uint64_t mask_;    ///< 2^k - 1
+    uint64_t m1_;      ///< 2^k - 1
+    uint64_t m2_;      ///< 2^k
+    uint64_t m3_;      ///< 2^k + 1
+    uint64_t big_m_;   ///< m1 * m2 * m3 = 2^{3k} - 2^k
+    uint64_t psi_;     ///< (M - 1) / 2
+    /// CRT reconstruction constants for the pair (m1, m3), modulo m1*m3.
+    uint64_t pair_w1_;
+    uint64_t pair_w3_;
+    ModuliSet set_;
+};
+
+} // namespace rns
+} // namespace mirage
+
+#endif // MIRAGE_RNS_SPECIAL_CONVERTER_H

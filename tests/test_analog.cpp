@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the analog substrate: Murmann converter-energy anchors and
+ * growth regimes (Fig. 1b), noise models (Eqs. 6-7), and the SNR-driven
+ * photocurrent solver used by the laser power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analog/converter_energy.h"
+#include "analog/noise.h"
+#include "common/units.h"
+
+namespace mirage {
+namespace analog {
+namespace {
+
+TEST(ConverterEnergy, MatchesSixBitAdcAnchor)
+{
+    // 23 mW / 24 GS/s ~ 0.958 pJ per conversion.
+    EXPECT_NEAR(adcEnergyPerConversion(6), 0.958e-12, 0.05e-12);
+}
+
+TEST(ConverterEnergy, MatchesOneNanojouleAt16Bits)
+{
+    // Paper Sec. II-C: a 16-bit conversion costs >= 1 nJ.
+    EXPECT_NEAR(adcEnergyPerConversion(16), 1.0e-9, 0.1e-9);
+}
+
+TEST(ConverterEnergy, TechLimitedRegimeDoublesPerBit)
+{
+    for (int b = 4; b < 12; ++b) {
+        const double ratio =
+            adcEnergyPerConversion(b + 1) / adcEnergyPerConversion(b);
+        EXPECT_NEAR(ratio, 2.0, 0.01) << "b=" << b;
+    }
+}
+
+TEST(ConverterEnergy, NoiseLimitedRegimeQuadruplesPerBit)
+{
+    for (int b = 17; b < 23; ++b) {
+        const double ratio =
+            adcEnergyPerConversion(b + 1) / adcEnergyPerConversion(b);
+        EXPECT_NEAR(ratio, 4.0, 0.05) << "b=" << b;
+    }
+}
+
+TEST(ConverterEnergy, DacTwoOrdersBelowAdc)
+{
+    for (int b : {4, 6, 8, 12, 16}) {
+        EXPECT_NEAR(dacEnergyPerConversion(b) / adcEnergyPerConversion(b),
+                    0.01, 1e-9)
+            << "b=" << b;
+    }
+}
+
+TEST(ConverterEnergy, MonotonicInBits)
+{
+    for (int b = 1; b < 24; ++b)
+        EXPECT_LT(adcEnergyPerConversion(b), adcEnergyPerConversion(b + 1));
+}
+
+TEST(ConverterSpec, PaperOperatingPoints)
+{
+    const ConverterSpec adc = mirageAdc6();
+    EXPECT_EQ(adc.bits, 6);
+    EXPECT_NEAR(adc.energyPerConversion(), 23e-3 / 24e9, 1e-15);
+    const ConverterSpec dac = mirageDac6();
+    EXPECT_NEAR(dac.energyPerConversion(), 136e-3 / 20e9, 1e-15);
+    EXPECT_NEAR(dac.area_mm2, 0.072, 1e-9);
+}
+
+TEST(ConverterSpec, BitScaling)
+{
+    const ConverterSpec dac5 = mirageDac6().scaledToBits(5);
+    EXPECT_NEAR(dac5.power_w, 136e-3 / 2.0, 1e-9);
+    const ConverterSpec dac8 = mirageDac8();
+    EXPECT_EQ(dac8.bits, 8);
+    EXPECT_NEAR(dac8.power_w, 136e-3 * 4.0, 1e-9);
+}
+
+TEST(Noise, ShotNoiseScalesWithSqrtCurrent)
+{
+    const double s1 = shotNoiseSigma(1e-6, 10e9);
+    const double s4 = shotNoiseSigma(4e-6, 10e9);
+    EXPECT_NEAR(s4 / s1, 2.0, 1e-9);
+}
+
+TEST(Noise, ShotNoiseFormula)
+{
+    // sqrt(2 * q * 1uA * 10 GHz)
+    const double expect =
+        std::sqrt(2.0 * units::kElementaryCharge * 1e-6 * 10e9);
+    EXPECT_NEAR(shotNoiseSigma(1e-6, 10e9), expect, 1e-15);
+}
+
+TEST(Noise, ThermalNoiseFormula)
+{
+    const double expect =
+        std::sqrt(4.0 * units::kBoltzmann * 300.0 * 10e9 / 1e3);
+    EXPECT_NEAR(thermalNoiseSigma(300.0, 1e3, 10e9), expect, 1e-18);
+}
+
+TEST(Noise, RequiredPhotocurrentAchievesTarget)
+{
+    const ReceiverSpec rx;
+    for (double snr : {8.0, 33.0, 65.0, 256.0}) {
+        const double i = requiredPhotocurrent(snr, rx);
+        EXPECT_NEAR(snrAtPhotocurrent(i, rx), snr, snr * 1e-9) << snr;
+        // Below the solution the SNR falls short.
+        EXPECT_LT(snrAtPhotocurrent(i * 0.9, rx), snr);
+    }
+}
+
+TEST(Noise, HigherSnrNeedsMorePower)
+{
+    const ReceiverSpec rx;
+    double prev = 0;
+    for (double snr : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+        const double i = requiredPhotocurrent(snr, rx);
+        EXPECT_GT(i, prev);
+        prev = i;
+    }
+}
+
+TEST(Noise, OpticalPowerConversion)
+{
+    ReceiverSpec rx;
+    rx.responsivity_a_per_w = 1.1; // paper Sec. V-B2
+    EXPECT_NEAR(opticalPowerForCurrent(1.1e-6, rx), 1e-6, 1e-15);
+}
+
+TEST(Noise, ThermalDominatesAtLowCurrent)
+{
+    const ReceiverSpec rx;
+    const double i = 1e-7;
+    EXPECT_GT(thermalNoiseSigma(rx.temperature_k, rx.tia_feedback_ohm,
+                                rx.bandwidth_hz),
+              shotNoiseSigma(i, rx.bandwidth_hz));
+}
+
+} // namespace
+} // namespace analog
+} // namespace mirage

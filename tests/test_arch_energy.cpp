@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the power/area/energy model against the paper's published
+ * anchors (Fig. 9, Table II) and for the iso-scaling policies (Fig. 8
+ * methodology). Where the paper's own constants are mutually inconsistent
+ * (ADC power share), the tests pin our documented honest accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/energy_model.h"
+#include "arch/iso_scaling.h"
+
+namespace mirage {
+namespace arch {
+namespace {
+
+MirageEnergyModel
+defaultModel()
+{
+    return MirageEnergyModel(MirageConfig{});
+}
+
+TEST(EnergyModel, AllComponentsPositive)
+{
+    const PowerBreakdown p = defaultModel().peakPower();
+    EXPECT_GT(p.laser_w, 0.0);
+    EXPECT_GT(p.mrr_tuning_w, 0.0);
+    EXPECT_GT(p.dac_w, 0.0);
+    EXPECT_GT(p.adc_w, 0.0);
+    EXPECT_GT(p.tia_w, 0.0);
+    EXPECT_GT(p.sram_w, 0.0);
+    EXPECT_GT(p.bfp_conv_w, 0.0);
+    EXPECT_GT(p.rns_conv_w, 0.0);
+    EXPECT_GT(p.accum_w, 0.0);
+    EXPECT_NEAR(p.total(), p.computeTotal() + p.sram_w, 1e-9);
+}
+
+TEST(EnergyModel, SramIsTheLargestConsumer)
+{
+    // Fig. 9: SRAM dominates peak power (61.9 % in the paper).
+    const PowerBreakdown p = defaultModel().peakPower();
+    for (double other : {p.laser_w, p.dac_w, p.tia_w, p.bfp_conv_w,
+                         p.rns_conv_w, p.accum_w, p.mrr_tuning_w}) {
+        EXPECT_GT(p.sram_w, other);
+    }
+    EXPECT_GT(p.sram_w / p.total(), 0.30);
+}
+
+TEST(EnergyModel, SramPowerNearPaperValue)
+{
+    // Paper: 61.9 % of 19.95 W ~ 12.3 W. The access energy constant was
+    // calibrated once to this anchor.
+    const PowerBreakdown p = defaultModel().peakPower();
+    EXPECT_NEAR(p.sram_w, 12.3, 2.5);
+}
+
+TEST(EnergyModel, MrrTuningIsNegligible)
+{
+    // 0.3 pW per MRR: even ~300k MRRs stay far below a milliwatt.
+    const PowerBreakdown p = defaultModel().peakPower();
+    EXPECT_LT(p.mrr_tuning_w, 1e-3);
+}
+
+TEST(EnergyModel, RnsConversionPowerNearPaperShare)
+{
+    // Paper: 6.2 % of 19.95 W ~ 1.24 W for the RNS converters.
+    const PowerBreakdown p = defaultModel().peakPower();
+    EXPECT_NEAR(p.rns_conv_w, 1.45, 0.6);
+}
+
+TEST(EnergyModel, AccumulatorPowerNearPaperShare)
+{
+    // Paper: 1.4 % of 19.95 W ~ 0.28 W.
+    const PowerBreakdown p = defaultModel().peakPower();
+    EXPECT_NEAR(p.accum_w, 0.28, 0.1);
+}
+
+TEST(EnergyModel, TotalPowerSamePowerOfTenAsPaper)
+{
+    // Paper total: 19.95 W. Our honest ADC accounting lands higher (the
+    // paper's 1.1 % converter share contradicts its own cited 6-bit ADC;
+    // see EXPERIMENTS.md), but the total must stay within the same decade.
+    const PowerBreakdown p = defaultModel().peakPower();
+    EXPECT_GT(p.total(), 10.0);
+    EXPECT_LT(p.total(), 60.0);
+}
+
+TEST(EnergyModel, AreaAnchors)
+{
+    const AreaBreakdown a = defaultModel().area();
+    // Photonic chiplet: paper reports 234 mm^2.
+    EXPECT_NEAR(a.photonic_mm2, 234.0, 40.0);
+    // SRAM macro area: 36 % of 476.6 ~ 171.6 mm^2 (24 MB at 40 nm).
+    EXPECT_NEAR(a.sram_mm2, 171.6, 10.0);
+    // ADC area: 1536 converters (9.7 % of 476.6 ~ 46 mm^2); ours scales
+    // 5-bit converters down, so allow the low side.
+    EXPECT_GT(a.adc_mm2, 25.0);
+    EXPECT_LT(a.adc_mm2, 50.0);
+    // DAC area: 256 DACs * 0.072 mm^2 ~ 18.4 mm^2.
+    EXPECT_NEAR(a.dac_mm2, 18.4, 4.0);
+    // Total in the neighbourhood of the paper's 476.6 mm^2.
+    EXPECT_NEAR(a.total(), 476.6, 80.0);
+    // 3D stacking: footprint = max(photonic, electronic) ~ 242.7 mm^2.
+    EXPECT_NEAR(a.stackedMm2(), 242.7, 40.0);
+}
+
+TEST(EnergyModel, EnergyPerMacBeatsEveryDigitalFpFormat)
+{
+    // Table II shape: Mirage's compute pJ/MAC must undercut FP32 (12.42),
+    // bfloat16 (3.20) and HFP8 (1.47) by a wide margin.
+    const MirageSummary s = defaultModel().summary();
+    EXPECT_LT(s.pj_per_mac, 1.47 / 2.0);
+    EXPECT_GT(s.pj_per_mac, 0.05); // sanity: not absurdly low
+}
+
+TEST(EnergyModel, LaserShareGrowsWithG)
+{
+    // Fig. 5b driver: larger g -> exponentially more laser power, while
+    // per-MAC digital costs amortize.
+    MirageConfig small;
+    small.g = 8;
+    MirageConfig big;
+    big.g = 32;
+    const PowerBreakdown ps = MirageEnergyModel(small).peakPower();
+    const PowerBreakdown pb = MirageEnergyModel(big).peakPower();
+    EXPECT_GT(pb.laser_w / pb.computeTotal(),
+              ps.laser_w / ps.computeTotal());
+}
+
+TEST(EnergyModel, GemmEnergyScalesWithTime)
+{
+    const MirageEnergyModel model = defaultModel();
+    GemmPerf p;
+    p.time_s = 1e-6;
+    const double e1 = model.gemmEnergyJ(p, false);
+    p.time_s = 2e-6;
+    EXPECT_NEAR(model.gemmEnergyJ(p, false), 2.0 * e1, 1e-12);
+    EXPECT_GT(model.gemmEnergyJ(p, true), model.gemmEnergyJ(p, false));
+}
+
+TEST(IsoScaling, IsoAreaMatchesMirageFootprint)
+{
+    const MirageSummary s = defaultModel().summary();
+    const SystolicConfig cfg =
+        scaledSystolic(IsoScenario::IsoArea, IsoEnergyPolicy::PowerBudget, s,
+                       numerics::DataFormat::INT12);
+    // INT12: 7.7e-4 mm^2/MAC; Mirage ~242 mm^2 -> ~315k MACs -> ~615
+    // arrays of 512.
+    EXPECT_NEAR(cfg.num_arrays, 615, 130);
+    EXPECT_NEAR(cfg.areaMm2(), s.area.stackedMm2(),
+                0.05 * s.area.stackedMm2());
+}
+
+TEST(IsoScaling, IsoAreaGivesCheapFormatsMoreUnits)
+{
+    const MirageSummary s = defaultModel().summary();
+    const SystolicConfig fp32 =
+        scaledSystolic(IsoScenario::IsoArea, IsoEnergyPolicy::PowerBudget, s,
+                       numerics::DataFormat::FP32);
+    const SystolicConfig int8 =
+        scaledSystolic(IsoScenario::IsoArea, IsoEnergyPolicy::PowerBudget, s,
+                       numerics::DataFormat::INT8);
+    EXPECT_GT(int8.macUnits(), 10 * fp32.macUnits());
+}
+
+TEST(IsoScalingDeath, IsoAreaUndefinedForFmac)
+{
+    // The paper omits FMAC from iso-area (no published area); so do we.
+    const MirageSummary s = defaultModel().summary();
+    EXPECT_EXIT(scaledSystolic(IsoScenario::IsoArea,
+                               IsoEnergyPolicy::PowerBudget, s,
+                               numerics::DataFormat::FMAC),
+                testing::ExitedWithCode(1), "area");
+}
+
+TEST(IsoScaling, IsoEnergyPowerBudgetMatchesComputePower)
+{
+    const MirageSummary s = defaultModel().summary();
+    const SystolicConfig cfg =
+        scaledSystolic(IsoScenario::IsoEnergy, IsoEnergyPolicy::PowerBudget,
+                       s, numerics::DataFormat::FMAC);
+    EXPECT_NEAR(cfg.computePowerW(), s.power.computeTotal(),
+                0.05 * s.power.computeTotal());
+}
+
+TEST(IsoScaling, EnergyRatioPolicyTracksEfficiencyGap)
+{
+    const MirageSummary s = defaultModel().summary();
+    const SystolicConfig fp32 =
+        scaledSystolic(IsoScenario::IsoEnergy, IsoEnergyPolicy::EnergyRatio,
+                       s, numerics::DataFormat::FP32);
+    const SystolicConfig fmac =
+        scaledSystolic(IsoScenario::IsoEnergy, IsoEnergyPolicy::EnergyRatio,
+                       s, numerics::DataFormat::FMAC);
+    // FP32 is far less efficient than Mirage -> far fewer units than FMAC.
+    EXPECT_LT(fp32.macUnits(), fmac.macUnits() / 10);
+}
+
+} // namespace
+} // namespace arch
+} // namespace mirage

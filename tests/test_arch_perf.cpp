@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the analytic performance models: Mirage tiling/latency math,
+ * systolic-array timing, dataflow asymmetries, and the utilization trends
+ * behind Fig. 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/config.h"
+#include "arch/perf_model.h"
+#include "arch/systolic.h"
+#include "models/zoo.h"
+
+namespace mirage {
+namespace arch {
+namespace {
+
+MirageConfig
+defaultConfig()
+{
+    return MirageConfig{};
+}
+
+TEST(MirageConfigTest, PaperDefaultsValidate)
+{
+    MirageConfig cfg = defaultConfig();
+    cfg.validate();
+    EXPECT_EQ(cfg.macsPerCycle(), 8 * 32 * 16);
+    EXPECT_NEAR(cfg.peakMacsPerSecond(), 40.96e12, 1e9);
+    EXPECT_NEAR(cfg.cycleTimeS(), 0.1e-9, 1e-15);
+    EXPECT_NEAR(cfg.tileLoadTimeS(), 5e-9, 1e-15);
+}
+
+TEST(MirageConfigDeath, RejectsEq13Violation)
+{
+    MirageConfig cfg = defaultConfig();
+    cfg.bm = 5; // needs k = 6 at g = 16
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "Eq");
+}
+
+TEST(MiragePerf, SingleTileLatency)
+{
+    const MirageConfig cfg = defaultConfig();
+    const MiragePerfModel model(cfg);
+    // One 32x16 tile streaming 100 vectors: 5 ns + 100 * 0.1 ns. Only one
+    // of the eight arrays is busy, so spatial utilization is 1/8.
+    const GemmPerf p = model.gemm({32, 16, 100}, Dataflow::DF1);
+    EXPECT_EQ(p.tiles, 1);
+    EXPECT_NEAR(p.time_s, 5e-9 + 100 * 0.1e-9, 1e-15);
+    EXPECT_NEAR(p.spatial_util, 1.0 / 8.0, 1e-12);
+    // Eight exact tiles saturate every array: full utilization.
+    const GemmPerf full = model.gemm({256, 16, 100}, Dataflow::DF1);
+    EXPECT_EQ(full.tiles, 8);
+    EXPECT_NEAR(full.spatial_util, 1.0, 1e-12);
+}
+
+TEST(MiragePerf, TileCountsAndWaves)
+{
+    const MirageConfig cfg = defaultConfig();
+    const MiragePerfModel model(cfg);
+    // M = 64 -> 2 row tiles; K = 64 -> 4 depth tiles; 8 tiles on 8 arrays
+    // -> one wave.
+    const GemmPerf p = model.gemm({64, 64, 256}, Dataflow::DF1);
+    EXPECT_EQ(p.tiles, 8);
+    EXPECT_NEAR(p.time_s, 5e-9 + 256 * 0.1e-9, 1e-15);
+    // 9 row tiles -> 36 tiles -> 5 waves.
+    const GemmPerf q = model.gemm({288, 64, 256}, Dataflow::DF1);
+    EXPECT_EQ(q.tiles, 36);
+    EXPECT_NEAR(q.time_s, 5.0 * (5e-9 + 256 * 0.1e-9), 1e-15);
+}
+
+TEST(MiragePerf, Df2IsTransposedDf1)
+{
+    const MirageConfig cfg = defaultConfig();
+    const MiragePerfModel model(cfg);
+    const GemmShape s{100, 300, 7000};
+    const GemmPerf df2 = model.gemm(s, Dataflow::DF2);
+    const GemmPerf df1_t = model.gemm(s.transposed(), Dataflow::DF1);
+    EXPECT_DOUBLE_EQ(df2.time_s, df1_t.time_s);
+    EXPECT_EQ(df2.tiles, df1_t.tiles);
+}
+
+TEST(MiragePerf, Df3Unsupported)
+{
+    const MiragePerfModel model(defaultConfig());
+    EXPECT_FALSE(model.gemm({32, 16, 100}, Dataflow::DF3).supported);
+}
+
+TEST(MiragePerf, DataflowAsymmetryFollowsShape)
+{
+    const MiragePerfModel model(defaultConfig());
+    // Tall-skinny vs short-wide: DF1 tiles over (M, K), streams N; DF2
+    // tiles over (N, K), streams M. With huge M and small N, DF2 must win.
+    const GemmShape tall{100000, 64, 32};
+    EXPECT_LT(model.gemm(tall, Dataflow::DF2).time_s,
+              model.gemm(tall, Dataflow::DF1).time_s);
+    const GemmShape wide{32, 64, 100000};
+    EXPECT_LT(model.gemm(wide, Dataflow::DF1).time_s,
+              model.gemm(wide, Dataflow::DF2).time_s);
+    // best() picks the winner.
+    EXPECT_EQ(model.best(tall).first, Dataflow::DF2);
+    EXPECT_EQ(model.best(wide).first, Dataflow::DF1);
+}
+
+TEST(MiragePerf, CountMultipliesTiles)
+{
+    const MiragePerfModel model(defaultConfig());
+    const GemmShape s{32, 16, 64};
+    const GemmPerf one = model.gemm(s, Dataflow::DF1, 1);
+    const GemmPerf many = model.gemm(s, Dataflow::DF1, 16);
+    EXPECT_EQ(many.tiles, 16 * one.tiles);
+    // 16 tiles across 8 arrays -> 2 waves.
+    EXPECT_NEAR(many.time_s, 2.0 * one.time_s, 1e-15);
+}
+
+TEST(MiragePerf, UtilizationDropsWithOversizedArrays)
+{
+    // Fig. 6a: once MDPU rows exceed typical layer dimensions, padding
+    // wastes slots and utilization falls.
+    const models::ModelShape net = models::alexNet();
+    const auto tasks = models::trainingTasks(net, 256);
+    double prev_util = 0.0;
+    bool declined = false;
+    for (int rows : {8, 32, 128, 512}) {
+        MirageConfig cfg;
+        cfg.mdpu_rows = rows;
+        const MiragePerfModel model(cfg);
+        double macs = 0.0, weighted = 0.0;
+        for (const auto &t : tasks) {
+            const GemmPerf p = model.gemm(t.shape, Dataflow::DF1, t.count);
+            macs += static_cast<double>(p.macs);
+            weighted += p.spatial_util * static_cast<double>(p.macs);
+        }
+        const double util = weighted / macs;
+        if (prev_util > 0 && util < prev_util - 0.05)
+            declined = true;
+        prev_util = util;
+    }
+    EXPECT_TRUE(declined);
+}
+
+TEST(SystolicSpecTest, TableIIConstants)
+{
+    const SystolicSpec fp32 = systolicSpec(numerics::DataFormat::FP32);
+    EXPECT_NEAR(fp32.pj_per_mac, 12.42, 1e-9);
+    EXPECT_NEAR(fp32.clock_hz, 500e6, 1);
+    const SystolicSpec int12 = systolicSpec(numerics::DataFormat::INT12);
+    EXPECT_NEAR(int12.pj_per_mac, 0.71, 1e-9);
+    EXPECT_NEAR(int12.clock_hz, 1e9, 1);
+    const SystolicSpec fmac = systolicSpec(numerics::DataFormat::FMAC);
+    EXPECT_NEAR(fmac.pj_per_mac, 0.11, 1e-9);
+    EXPECT_LT(fmac.mm2_per_mac, 0.0); // not reported in the paper
+}
+
+TEST(SystolicSpecDeath, MirageIsNotSystolic)
+{
+    EXPECT_EXIT(systolicSpec(numerics::DataFormat::MirageBfpRns),
+                testing::ExitedWithCode(1), "not a systolic");
+}
+
+TEST(SystolicPerf, AllDataflowsSupported)
+{
+    SystolicConfig cfg;
+    cfg.spec = systolicSpec(numerics::DataFormat::INT12);
+    const SystolicPerfModel model(cfg);
+    for (Dataflow df : {Dataflow::DF1, Dataflow::DF2, Dataflow::DF3}) {
+        const GemmPerf p = model.gemm({64, 64, 256}, df);
+        EXPECT_TRUE(p.supported);
+        EXPECT_GT(p.time_s, 0.0);
+    }
+}
+
+TEST(SystolicPerf, OutputStationaryWinsForDeepGemms)
+{
+    SystolicConfig cfg;
+    cfg.spec = systolicSpec(numerics::DataFormat::INT12);
+    cfg.num_arrays = 1; // single array: no wave parallelism to hide reloads
+    const SystolicPerfModel model(cfg);
+    // Deep K with small M, N: DF3 streams K once per output tile while
+    // DF1/DF2 reload tiles ceil(K/rows) times.
+    const GemmShape deep{16, 65536, 32};
+    const double t3 = model.gemm(deep, Dataflow::DF3).time_s;
+    EXPECT_LT(t3, model.gemm(deep, Dataflow::DF1).time_s);
+    EXPECT_LT(t3, model.gemm(deep, Dataflow::DF2).time_s);
+}
+
+TEST(SystolicPerf, MirageFasterThanSameGeometrySystolic)
+{
+    // Fig. 7a: Mirage at 10 GHz vs a 1 GHz systolic array of the same
+    // array size is roughly an order of magnitude faster per layer.
+    MirageConfig mcfg;
+    const MiragePerfModel mirage(mcfg);
+    SystolicConfig scfg;
+    scfg.spec = systolicSpec(numerics::DataFormat::INT12); // 1 GHz
+    scfg.rows = 16;
+    scfg.cols = 32;
+    scfg.num_arrays = 8;
+    const SystolicPerfModel sa(scfg);
+
+    const models::ModelShape net = models::alexNet();
+    for (const auto &task : models::trainingTasks(net, 256)) {
+        const double tm = mirage.best(task.shape, task.count).second.time_s;
+        const double ts = sa.best(task.shape, task.count).second.time_s;
+        EXPECT_LT(tm, ts) << task.layer;
+    }
+}
+
+TEST(SystolicPerf, ClockScalesLatency)
+{
+    SystolicConfig fast;
+    fast.spec = systolicSpec(numerics::DataFormat::INT8); // 1 GHz
+    SystolicConfig slow;
+    slow.spec = systolicSpec(numerics::DataFormat::FP32); // 500 MHz
+    const GemmShape s{128, 128, 1024};
+    const double t_fast =
+        SystolicPerfModel(fast).gemm(s, Dataflow::DF1).time_s;
+    const double t_slow =
+        SystolicPerfModel(slow).gemm(s, Dataflow::DF1).time_s;
+    EXPECT_NEAR(t_slow / t_fast, 2.0, 1e-9);
+}
+
+} // namespace
+} // namespace arch
+} // namespace mirage

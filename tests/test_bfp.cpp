@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for BFP encoding and the BFP GEMM: shared-exponent selection,
+ * rounding modes, quantization error bounds, and the key transparency
+ * property — routing chunk dot products through the RNS domain changes
+ * nothing (paper Sec. III / V-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bfp/bfp.h"
+#include "bfp/bfp_gemm.h"
+#include "common/rng.h"
+
+namespace mirage {
+namespace bfp {
+namespace {
+
+TEST(BfpBlock, SharedExponentIsMaxExponent)
+{
+    const BfpConfig cfg{4, 8, Rounding::Nearest};
+    std::vector<float> vals = {0.5f, -3.0f, 0.25f, 1.5f};
+    const BfpBlock block = encodeBlock(vals, cfg);
+    // max |v| = 3.0 -> exponent 2 (3.0 < 2^2).
+    EXPECT_EQ(block.exponent, 2);
+}
+
+TEST(BfpBlock, AllZeroGroup)
+{
+    const BfpConfig cfg{4, 8, Rounding::Truncate};
+    std::vector<float> vals(8, 0.0f);
+    const BfpBlock block = encodeBlock(vals, cfg);
+    for (auto m : block.mantissas)
+        EXPECT_EQ(m, 0);
+    const auto decoded = decodeBlock(block, cfg);
+    for (float v : decoded)
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(BfpBlock, ExactValuesSurviveRoundTrip)
+{
+    // Values already on the BFP grid must be unchanged by encode/decode.
+    // Max |v| = 1.0 pins the shared exponent to 1, so the grid is 2^(1-4).
+    const BfpConfig cfg{4, 4, Rounding::Nearest};
+    std::vector<float> vals = {1.0f, -0.75f, 0.5f, 0.875f}; // /8 grid at e=1
+    const BfpBlock block = encodeBlock(vals, cfg);
+    const auto decoded = decodeBlock(block, cfg);
+    for (size_t i = 0; i < vals.size(); ++i)
+        EXPECT_EQ(decoded[i], vals[i]) << i;
+}
+
+TEST(BfpBlock, MantissaRangeRespected)
+{
+    Rng rng(5);
+    const BfpConfig cfg{4, 16, Rounding::Nearest};
+    for (int t = 0; t < 200; ++t) {
+        std::vector<float> vals(16);
+        for (auto &v : vals)
+            v = static_cast<float>(rng.gaussian(0, 10));
+        const BfpBlock block = encodeBlock(vals, cfg);
+        // (bm+1)-bit two's complement: [-16, 15] for bm = 4.
+        for (auto q : block.mantissas) {
+            EXPECT_LE(q, 15);
+            EXPECT_GE(q, -16);
+        }
+    }
+}
+
+TEST(BfpBlock, QuantizationErrorBound)
+{
+    // |error| <= 2^(e - bm) per element: one mantissa ULP for nearest
+    // rounding is half that, truncation a full ULP.
+    Rng rng(6);
+    const BfpConfig cfg{4, 16, Rounding::Truncate};
+    for (int t = 0; t < 100; ++t) {
+        std::vector<float> vals(16);
+        for (auto &v : vals)
+            v = static_cast<float>(rng.gaussian(0, 2));
+        const BfpBlock block = encodeBlock(vals, cfg);
+        const double ulp = std::ldexp(1.0, block.exponent - cfg.bm);
+        for (size_t i = 0; i < vals.size(); ++i) {
+            const double err = std::fabs(block.decode(i, cfg.bm) - vals[i]);
+            EXPECT_LE(err, ulp * (1.0 + 1e-9)) << "i=" << i;
+        }
+    }
+}
+
+TEST(BfpBlock, TruncationRoundsTowardMinusInfinity)
+{
+    // Two's-complement LSB truncation == floor: decoded values never
+    // exceed the originals, for either sign.
+    const BfpConfig cfg{4, 4, Rounding::Truncate};
+    std::vector<float> vals = {0.99f, -0.99f, 0.33f, -0.33f};
+    const BfpBlock block = encodeBlock(vals, cfg);
+    for (size_t i = 0; i < vals.size(); ++i)
+        EXPECT_LE(block.decode(i, cfg.bm), vals[i]);
+    // Positive values shrink; negative values grow in magnitude.
+    EXPECT_LE(std::fabs(block.decode(0, cfg.bm)), 0.99f);
+    EXPECT_GE(std::fabs(block.decode(1, cfg.bm)), 0.99f);
+}
+
+TEST(BfpBlock, StochasticRoundingIsUnbiased)
+{
+    Rng rng(77);
+    const BfpConfig cfg{4, 1, Rounding::Stochastic};
+    const float v = 0.53f; // deliberately off-grid
+    double sum = 0;
+    const int n = 20000;
+    for (int t = 0; t < n; ++t) {
+        std::vector<float> vals = {v, 1.0f}; // second value pins exponent
+        BfpConfig cfg2{4, 2, Rounding::Stochastic};
+        const BfpBlock block = encodeBlock(vals, cfg2, &rng);
+        sum += block.decode(0, cfg2.bm);
+    }
+    EXPECT_NEAR(sum / n, v, 0.002);
+}
+
+TEST(BfpBlock, NearestMayRoundAwayButSaturates)
+{
+    // 0.97 at shared exponent 0 scales to 15.52 -> nearest would be 16,
+    // which exceeds bm=4 mantissa range and must saturate to 15.
+    const BfpConfig cfg{4, 2, Rounding::Nearest};
+    std::vector<float> vals = {0.97f, 0.999f};
+    const BfpBlock block = encodeBlock(vals, cfg);
+    EXPECT_EQ(block.mantissas[0], 15);
+    EXPECT_EQ(block.mantissas[1], 15);
+}
+
+TEST(BfpGemmTest, MatchesFp32OnGridValues)
+{
+    // Inputs representable exactly in BFP: GEMM must be exact.
+    const int m = 3, k = 8, n = 2;
+    std::vector<float> a(m * k), b(k * n);
+    for (int i = 0; i < m * k; ++i)
+        a[i] = static_cast<float>((i % 7) - 3) * 0.125f;
+    for (int i = 0; i < k * n; ++i)
+        b[i] = static_cast<float>((i % 5) - 2) * 0.25f;
+
+    BfpGemmOptions opts;
+    opts.config = {4, 4, Rounding::Nearest};
+    const auto c = bfpGemm(a, b, m, k, n, opts);
+    for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+            float expect = 0;
+            for (int kk = 0; kk < k; ++kk)
+                expect += a[i * k + kk] * b[kk * n + j];
+            EXPECT_NEAR(c[i * n + j], expect, 1e-6) << i << "," << j;
+        }
+    }
+}
+
+TEST(BfpGemmTest, RnsPathIsTransparent)
+{
+    // The paper's core numerical claim: with Eq. (13) satisfied, computing
+    // the chunk dot products in the RNS domain is bit-identical to the
+    // plain integer path.
+    Rng rng(31);
+    const int m = 6, k = 40, n = 5; // k not a multiple of g: tail groups
+    std::vector<float> a(m * k), b(k * n);
+    for (auto &v : a)
+        v = static_cast<float>(rng.gaussian(0, 1));
+    for (auto &v : b)
+        v = static_cast<float>(rng.gaussian(0, 1));
+
+    BfpGemmOptions plain;
+    plain.config = {4, 16, Rounding::Truncate};
+    BfpGemmOptions with_rns = plain;
+    with_rns.moduli = rns::ModuliSet::special(5);
+
+    const auto c_plain = bfpGemm(a, b, m, k, n, plain);
+    const auto c_rns = bfpGemm(a, b, m, k, n, with_rns);
+    ASSERT_EQ(c_plain.size(), c_rns.size());
+    for (size_t i = 0; i < c_plain.size(); ++i)
+        EXPECT_EQ(c_plain[i], c_rns[i]) << i; // bit-exact
+}
+
+TEST(BfpGemmTest, RnsTransparencyAcrossConfigs)
+{
+    Rng rng(32);
+    struct Case { int bm; int g; int k_set; };
+    for (const Case &c : {Case{3, 16, 4}, Case{4, 16, 5}, Case{5, 64, 6}}) {
+        const int m = 4, k = 2 * c.g + 3, n = 3;
+        std::vector<float> a(m * k), b(k * n);
+        for (auto &v : a)
+            v = static_cast<float>(rng.gaussian(0, 4));
+        for (auto &v : b)
+            v = static_cast<float>(rng.gaussian(0, 0.5));
+        BfpGemmOptions plain;
+        plain.config = {c.bm, c.g, Rounding::Truncate};
+        BfpGemmOptions with_rns = plain;
+        with_rns.moduli = rns::ModuliSet::special(c.k_set);
+        const auto c_plain = bfpGemm(a, b, m, k, n, plain);
+        const auto c_rns = bfpGemm(a, b, m, k, n, with_rns);
+        for (size_t i = 0; i < c_plain.size(); ++i)
+            ASSERT_EQ(c_plain[i], c_rns[i]) << "bm=" << c.bm << " i=" << i;
+    }
+}
+
+TEST(BfpGemmTest, QuantizationErrorShrinksWithMantissaBits)
+{
+    Rng rng(33);
+    const int m = 8, k = 64, n = 8;
+    std::vector<float> a(m * k), b(k * n);
+    for (auto &v : a)
+        v = static_cast<float>(rng.gaussian(0, 1));
+    for (auto &v : b)
+        v = static_cast<float>(rng.gaussian(0, 1));
+
+    std::vector<float> ref(static_cast<size_t>(m) * n, 0.0f);
+    for (int i = 0; i < m; ++i)
+        for (int j = 0; j < n; ++j)
+            for (int kk = 0; kk < k; ++kk)
+                ref[i * n + j] += a[i * k + kk] * b[kk * n + j];
+
+    double prev_err = 1e30;
+    for (int bm : {2, 4, 6, 8}) {
+        BfpGemmOptions opts;
+        opts.config = {bm, 16, Rounding::Nearest};
+        const auto c = bfpGemm(a, b, m, k, n, opts);
+        double err = 0;
+        for (size_t i = 0; i < c.size(); ++i)
+            err += std::fabs(c[i] - ref[i]);
+        EXPECT_LT(err, prev_err) << "bm=" << bm;
+        prev_err = err;
+    }
+}
+
+TEST(BfpGemmDeath, RejectsModuliTooSmallForConfig)
+{
+    std::vector<float> a(16, 1.0f), b(16, 1.0f);
+    BfpGemmOptions opts;
+    opts.config = {5, 16, Rounding::Truncate}; // needs k >= 6
+    opts.moduli = rns::ModuliSet::special(5);
+    EXPECT_EXIT(bfpGemm(a, b, 1, 16, 1, opts), testing::ExitedWithCode(1),
+                "Eq. 13");
+}
+
+TEST(BfpConfigTest, DotProductBits)
+{
+    // Eq. (13): 2*(bm+1) + log2(g) - 1.
+    EXPECT_EQ((BfpConfig{4, 16, Rounding::Truncate}).dotProductBits(), 13);
+    EXPECT_EQ((BfpConfig{5, 64, Rounding::Truncate}).dotProductBits(), 17);
+    EXPECT_EQ((BfpConfig{3, 16, Rounding::Truncate}).dotProductBits(), 11);
+}
+
+TEST(FakeQuantize, MatchesEncodeDecode)
+{
+    Rng rng(41);
+    const BfpConfig cfg{4, 16, Rounding::Truncate};
+    std::vector<float> vals(50);
+    for (auto &v : vals)
+        v = static_cast<float>(rng.gaussian(0, 3));
+    std::vector<float> copy = vals;
+    fakeQuantize(std::span<float>(copy), cfg);
+    // Re-quantizing is idempotent.
+    std::vector<float> twice = copy;
+    fakeQuantize(std::span<float>(twice), cfg);
+    for (size_t i = 0; i < copy.size(); ++i)
+        EXPECT_EQ(copy[i], twice[i]) << i;
+}
+
+} // namespace
+} // namespace bfp
+} // namespace mirage

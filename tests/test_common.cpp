@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the common utility layer: math helpers, RNG determinism,
+ * unit conversions, and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace mirage {
+namespace {
+
+TEST(MathUtil, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0);
+    EXPECT_EQ(ceilDiv(1, 4), 1);
+    EXPECT_EQ(ceilDiv(4, 4), 1);
+    EXPECT_EQ(ceilDiv(5, 4), 2);
+    EXPECT_EQ(ceilDiv(1023, 32), 32);
+    EXPECT_EQ(ceilDiv(1024, 32), 32);
+    EXPECT_EQ(ceilDiv(1025, 32), 33);
+}
+
+TEST(MathUtil, RoundUp)
+{
+    EXPECT_EQ(roundUp(0, 16), 0);
+    EXPECT_EQ(roundUp(1, 16), 16);
+    EXPECT_EQ(roundUp(16, 16), 16);
+    EXPECT_EQ(roundUp(17, 16), 32);
+}
+
+TEST(MathUtil, Ilog2)
+{
+    EXPECT_EQ(ilog2(1), 0);
+    EXPECT_EQ(ilog2(2), 1);
+    EXPECT_EQ(ilog2(3), 1);
+    EXPECT_EQ(ilog2(4), 2);
+    EXPECT_EQ(ilog2(uint64_t{1} << 40), 40);
+}
+
+TEST(MathUtil, BitsFor)
+{
+    EXPECT_EQ(bitsFor(1), 1);
+    EXPECT_EQ(bitsFor(2), 1);
+    EXPECT_EQ(bitsFor(3), 2);
+    EXPECT_EQ(bitsFor(31), 5);
+    EXPECT_EQ(bitsFor(32), 5);
+    EXPECT_EQ(bitsFor(33), 6); // ceil(log2 33) = 6 (paper Sec. V-B2)
+}
+
+TEST(MathUtil, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(32));
+    EXPECT_FALSE(isPowerOfTwo(33));
+}
+
+TEST(MathUtil, Gcd)
+{
+    EXPECT_EQ(gcd64(31, 32), 1u);
+    EXPECT_EQ(gcd64(32, 33), 1u);
+    EXPECT_EQ(gcd64(12, 18), 6u);
+    EXPECT_EQ(gcd64(0, 7), 7u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(99);
+    const uint64_t first = a.nextU64();
+    a.nextU64();
+    a.reseed(99);
+    EXPECT_EQ(a.nextU64(), first);
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.uniformInt(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(42);
+    double sum = 0, sum_sq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.gaussian(2.0, 3.0);
+        sum += v;
+        sum_sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.1);
+    EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Units, DbRoundTrip)
+{
+    EXPECT_NEAR(units::fromDb(units::toDb(123.0)), 123.0, 1e-9);
+    EXPECT_NEAR(units::toDb(10.0), 10.0, 1e-12);
+    EXPECT_NEAR(units::toDb(100.0), 20.0, 1e-12);
+}
+
+TEST(Units, TransmissionFromLoss)
+{
+    EXPECT_NEAR(units::transmissionFromLossDb(0.0), 1.0, 1e-12);
+    EXPECT_NEAR(units::transmissionFromLossDb(3.0103), 0.5, 1e-4);
+    EXPECT_NEAR(units::transmissionFromLossDb(10.0), 0.1, 1e-12);
+}
+
+TEST(Table, AlignsColumnsAndCountsRows)
+{
+    TablePrinter t({"a", "bbbb"});
+    t.addRow({"xx", "y"});
+    t.addRow({"1", "22"});
+    EXPECT_EQ(t.rowCount(), 2u);
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string s = oss.str();
+    EXPECT_NE(s.find("a   bbbb"), std::string::npos);
+    EXPECT_NE(s.find("xx  y"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    TablePrinter t({"h1", "h2"});
+    t.addRow({"v1", "v2"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "h1,h2\nv1,v2\n");
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatSig(1234.5, 3), "1.23e+03");
+}
+
+} // namespace
+} // namespace mirage

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Integration tests for the top-level MirageAccelerator API and the
+ * dataflow scheduler: emulated-vs-photonic equivalence, OPT policies, and
+ * the end-to-end performance report plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/mirage.h"
+#include "core/schedule.h"
+#include "models/trainable.h"
+#include "nn/data.h"
+#include "nn/model.h"
+
+namespace mirage {
+namespace core {
+namespace {
+
+TEST(Accelerator, EmulatedGemmApproximatesFp32)
+{
+    Rng rng(1);
+    MirageAccelerator acc;
+    const int m = 8, k = 48, n = 6;
+    std::vector<float> a(m * k), b(k * n);
+    for (auto &v : a)
+        v = static_cast<float>(rng.gaussian());
+    for (auto &v : b)
+        v = static_cast<float>(rng.gaussian());
+    const auto c = acc.gemm(a, b, m, k, n);
+    // BFP(4,16) truncation on unnormalized Gaussian data carries a real
+    // quantization error (that is the point of the format study); assert a
+    // bounded relative Frobenius error rather than elementwise closeness.
+    double err2 = 0.0, ref2 = 0.0;
+    for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+            float expect = 0;
+            for (int kk = 0; kk < k; ++kk)
+                expect += a[i * k + kk] * b[kk * n + j];
+            const double d = c[i * n + j] - expect;
+            err2 += d * d;
+            ref2 += static_cast<double>(expect) * expect;
+        }
+    }
+    EXPECT_LT(std::sqrt(err2), 0.35 * std::sqrt(ref2) + 1.0);
+    EXPECT_GT(std::sqrt(ref2), 1.0); // the check is not vacuous
+}
+
+TEST(Accelerator, PhotonicAndEmulatedPathsBitIdentical)
+{
+    // The flagship invariant at the API level: the full phase-domain
+    // pipeline (noise off) returns exactly the integer-emulated result.
+    Rng rng(2);
+    MirageAccelerator acc;
+    const int m = 5, k = 40, n = 4;
+    std::vector<float> a(m * k), b(k * n);
+    for (auto &v : a)
+        v = static_cast<float>(rng.gaussian());
+    for (auto &v : b)
+        v = static_cast<float>(rng.gaussian());
+    const auto emu = acc.gemm(a, b, m, k, n, ExecutionMode::Emulated);
+    const auto pho = acc.gemm(a, b, m, k, n, ExecutionMode::Photonic);
+    ASSERT_EQ(emu.size(), pho.size());
+    for (size_t i = 0; i < emu.size(); ++i)
+        EXPECT_EQ(emu[i], pho[i]) << i;
+}
+
+TEST(Accelerator, TrainingReportScalesWithBatch)
+{
+    MirageAccelerator acc;
+    const models::ModelShape net = models::alexNet();
+    const PerformanceReport r64 = acc.estimateTraining(net, 64);
+    const PerformanceReport r256 = acc.estimateTraining(net, 256);
+    EXPECT_EQ(r256.macs, 4 * r64.macs);
+    EXPECT_GT(r256.time_s, r64.time_s);
+    EXPECT_GT(r256.edp, r64.edp);
+    EXPECT_GT(r64.avg_spatial_util, 0.2);
+    EXPECT_LE(r64.avg_spatial_util, 1.0);
+}
+
+TEST(Accelerator, InferenceIsOneThirdOfTrainingMacs)
+{
+    MirageAccelerator acc;
+    const models::ModelShape net = models::resNet18();
+    const PerformanceReport inf = acc.estimateInference(net, 8);
+    const PerformanceReport trn = acc.estimateTraining(net, 8);
+    EXPECT_EQ(trn.macs, 3 * inf.macs);
+}
+
+TEST(Accelerator, SummaryConsistentWithConfig)
+{
+    MirageAccelerator acc;
+    const arch::MirageSummary s = acc.summary();
+    EXPECT_NEAR(s.peak_macs_per_s, 40.96e12, 1e9);
+    EXPECT_GT(s.pj_per_mac, 0.0);
+    EXPECT_GT(s.power.total(), s.power.computeTotal());
+}
+
+TEST(Schedule, Opt2NeverSlowerThanFixed)
+{
+    MirageAccelerator acc;
+    const auto tasks = models::trainingTasks(models::vgg16(), 32);
+    const arch::MiragePerfModel &pm = acc.perfModel();
+    const double t_opt2 =
+        scheduleMirage(pm, tasks, arch::DataflowPolicy::OPT2).total_time_s;
+    const double t_opt1 =
+        scheduleMirage(pm, tasks, arch::DataflowPolicy::OPT1).total_time_s;
+    const double t_df1 =
+        scheduleMirage(pm, tasks, arch::DataflowPolicy::FixedDF1)
+            .total_time_s;
+    const double t_df2 =
+        scheduleMirage(pm, tasks, arch::DataflowPolicy::FixedDF2)
+            .total_time_s;
+    EXPECT_LE(t_opt2, t_opt1 * (1 + 1e-12));
+    EXPECT_LE(t_opt1, std::min(t_df1, t_df2) * (1 + 1e-12));
+}
+
+TEST(Schedule, SystolicOpt2CoversDf3)
+{
+    arch::SystolicConfig cfg;
+    cfg.spec = arch::systolicSpec(numerics::DataFormat::INT12);
+    const arch::SystolicPerfModel sa(cfg);
+    const auto tasks = models::trainingTasks(models::alexNet(), 32);
+    const ScheduleResult r =
+        scheduleSystolic(sa, tasks, arch::DataflowPolicy::OPT2);
+    EXPECT_EQ(r.tasks.size(), tasks.size());
+    EXPECT_GT(r.total_time_s, 0.0);
+}
+
+TEST(ScheduleDeath, MirageRejectsDf3Policy)
+{
+    MirageAccelerator acc;
+    const auto tasks = models::trainingTasks(models::alexNet(), 8);
+    EXPECT_EXIT(scheduleMirage(acc.perfModel(), tasks,
+                               arch::DataflowPolicy::FixedDF3),
+                testing::ExitedWithCode(1), "DF3");
+}
+
+TEST(Accelerator, TrainingOnPhotonicBackendMatchesEmulated)
+{
+    // Whole-training-loop equivalence: every GEMM of every step routed
+    // through the simulated photonic array produces the same trajectory
+    // (losses and weights) as the integer-emulated backend.
+    const nn::Dataset all = nn::makeGaussianClusters(96, 3, 6, 3.0f, 77);
+    const nn::Dataset train = all.slice(0, 64);
+    const nn::Dataset test = all.slice(64, 32);
+
+    auto run = [&](core::ExecutionMode mode) {
+        core::MirageAccelerator acc;
+        Rng rng(5);
+        auto model = models::makeMlp(6, 8, 3, acc.backend(mode), rng);
+        nn::Sgd opt(0.05f);
+        nn::TrainConfig cfg;
+        cfg.epochs = 1;
+        cfg.batch_size = 16;
+        cfg.shuffle = false;
+        const nn::TrainResult r =
+            nn::trainClassifier(*model, opt, train, test, cfg);
+        std::vector<float> weights;
+        for (nn::Param *p : model->params())
+            weights.insert(weights.end(), p->value.vec().begin(),
+                           p->value.vec().end());
+        return std::make_pair(r, weights);
+    };
+
+    const auto [r_emu, w_emu] = run(core::ExecutionMode::Emulated);
+    const auto [r_pho, w_pho] = run(core::ExecutionMode::Photonic);
+    EXPECT_EQ(r_emu.epoch_loss[0], r_pho.epoch_loss[0]);
+    EXPECT_EQ(r_emu.final_test_accuracy, r_pho.final_test_accuracy);
+    ASSERT_EQ(w_emu.size(), w_pho.size());
+    for (size_t i = 0; i < w_emu.size(); ++i)
+        ASSERT_EQ(w_emu[i], w_pho[i]) << i;
+}
+
+TEST(Schedule, ReportsPerTaskChoices)
+{
+    MirageAccelerator acc;
+    const auto tasks = models::trainingTasks(models::alexNet(), 64);
+    const ScheduleResult r = scheduleMirage(acc.perfModel(), tasks,
+                                            arch::DataflowPolicy::OPT2);
+    ASSERT_EQ(r.tasks.size(), tasks.size());
+    double sum = 0.0;
+    for (const ScheduledTask &t : r.tasks) {
+        EXPECT_TRUE(t.dataflow == arch::Dataflow::DF1 ||
+                    t.dataflow == arch::Dataflow::DF2);
+        sum += t.perf.time_s;
+    }
+    EXPECT_NEAR(sum, r.total_time_s, 1e-12);
+}
+
+} // namespace
+} // namespace core
+} // namespace mirage

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the DNN shape zoo: layer counts and MAC totals against the
+ * published model sizes, plus the training-task expansion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+
+namespace mirage {
+namespace models {
+namespace {
+
+TEST(Zoo, AlexNetHasEightLayers)
+{
+    // Fig. 7a plots 8 AlexNet layers (5 conv + 3 FC).
+    EXPECT_EQ(alexNet().layers.size(), 8u);
+}
+
+TEST(Zoo, Vgg16HasSixteenLayers)
+{
+    EXPECT_EQ(vgg16().layers.size(), 16u); // 13 conv + 3 FC
+}
+
+TEST(Zoo, ResNet18LayerCount)
+{
+    // conv1 + 4 basic convs (layer1) + 3 stages x 5 (2 blocks + downsample)
+    // + fc = 21 GEMM layers.
+    EXPECT_EQ(resNet18().layers.size(), 21u);
+}
+
+TEST(Zoo, ResNet50LayerCount)
+{
+    // conv1 + 16 bottlenecks x 3 + 4 downsamples + fc = 54 GEMM layers.
+    EXPECT_EQ(resNet50().layers.size(), 54u);
+}
+
+TEST(Zoo, ForwardMacsMatchPublishedModelSizes)
+{
+    // Published single-sample forward MACs (ungrouped conv variants):
+    // AlexNet ~1.1 G, ResNet18 ~1.8 G, ResNet50 ~4.1 G, VGG16 ~15.5 G,
+    // MobileNetV2 ~0.3 G.
+    EXPECT_NEAR(static_cast<double>(alexNet().forwardMacs(1)), 1.1e9, 0.3e9);
+    EXPECT_NEAR(static_cast<double>(resNet18().forwardMacs(1)), 1.8e9,
+                0.3e9);
+    EXPECT_NEAR(static_cast<double>(resNet50().forwardMacs(1)), 4.1e9,
+                0.8e9);
+    EXPECT_NEAR(static_cast<double>(vgg16().forwardMacs(1)), 15.5e9, 1.5e9);
+    EXPECT_NEAR(static_cast<double>(mobileNetV2().forwardMacs(1)), 0.32e9,
+                0.15e9);
+}
+
+TEST(Zoo, YoloAndTransformerMacsPlausible)
+{
+    // YOLOv2 at 416x416: 10-20 GMAC; 12-layer/768-d transformer at seq 128:
+    // ~10-14 GMAC per sample.
+    const double yolo = static_cast<double>(yoloV2().forwardMacs(1));
+    EXPECT_GT(yolo, 8e9);
+    EXPECT_LT(yolo, 22e9);
+    const double tf = static_cast<double>(transformer().forwardMacs(1));
+    EXPECT_GT(tf, 8e9);
+    EXPECT_LT(tf, 16e9);
+}
+
+TEST(Zoo, TrainingMacsAreRoughlyThreeTimesForward)
+{
+    for (const ModelShape &m : allModels()) {
+        const double fwd = static_cast<double>(m.forwardMacs(4));
+        const double train = static_cast<double>(m.trainingMacs(4));
+        EXPECT_NEAR(train / fwd, 3.0, 1e-9) << m.name;
+    }
+}
+
+TEST(Zoo, MacsScaleLinearlyWithBatch)
+{
+    for (const ModelShape &m : allModels()) {
+        EXPECT_EQ(m.forwardMacs(8), 8 * m.forwardMacs(1)) << m.name;
+        EXPECT_EQ(m.trainingMacs(8), 8 * m.trainingMacs(1)) << m.name;
+    }
+}
+
+TEST(Zoo, TrainingTasksExpandThreePerLayer)
+{
+    const ModelShape m = alexNet();
+    const auto tasks = trainingTasks(m, 16);
+    EXPECT_EQ(tasks.size(), 3 * m.layers.size());
+    // The three ops of a layer permute the same MAC volume.
+    EXPECT_EQ(tasks[0].shape.macs(), tasks[1].shape.macs());
+    EXPECT_EQ(tasks[0].shape.macs(), tasks[2].shape.macs());
+    EXPECT_EQ(tasks[0].op, arch::TrainingOp::Forward);
+    EXPECT_EQ(tasks[1].op, arch::TrainingOp::InputGrad);
+    EXPECT_EQ(tasks[2].op, arch::TrainingOp::WeightGrad);
+}
+
+TEST(Zoo, AttentionTasksScaleCountWithBatch)
+{
+    const ModelShape m = transformer();
+    const auto tasks_b1 = inferenceTasks(m, 1);
+    const auto tasks_b4 = inferenceTasks(m, 4);
+    // Find the first attention-score task: its count (heads * batch)
+    // scales with batch while N (sequence) stays fixed.
+    for (size_t i = 0; i < tasks_b1.size(); ++i) {
+        if (tasks_b1[i].layer.find("scores") != std::string::npos) {
+            EXPECT_EQ(tasks_b4[i].count, 4 * tasks_b1[i].count);
+            EXPECT_EQ(tasks_b4[i].shape.n, tasks_b1[i].shape.n);
+            return;
+        }
+    }
+    FAIL() << "no attention-score task found";
+}
+
+TEST(Zoo, DepthwiseLayersUseInstanceCounts)
+{
+    const ModelShape m = mobileNetV2();
+    bool found = false;
+    for (const GemmLayer &layer : m.layers) {
+        if (layer.name.find(".dw") != std::string::npos) {
+            EXPECT_EQ(layer.m, 1);
+            EXPECT_EQ(layer.k, 9);
+            EXPECT_GT(layer.instances_per_sample, 1);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Zoo, AllModelsPresentInPaperOrder)
+{
+    const auto models = allModels();
+    ASSERT_EQ(models.size(), 7u);
+    EXPECT_EQ(models[0].name, "AlexNet");
+    EXPECT_EQ(models[6].name, "Transformer");
+}
+
+} // namespace
+} // namespace models
+} // namespace mirage

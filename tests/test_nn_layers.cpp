@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Numerical gradient checks for every layer type and unit tests for the
+ * loss/optimizer machinery. A layer whose backward pass disagrees with
+ * central-difference gradients would silently corrupt every accuracy
+ * experiment, so these are the framework's bedrock tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/attention.h"
+#include "nn/layers_basic.h"
+#include "nn/layers_conv.h"
+#include "nn/layers_norm.h"
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+
+namespace mirage {
+namespace nn {
+namespace {
+
+/** Scalar probe loss: L = sum_i c_i * y_i with fixed random weights c. */
+struct ProbeLoss
+{
+    Tensor c;
+
+    explicit
+    ProbeLoss(const Tensor &y, Rng &rng)
+    {
+        c = Tensor(y.shape());
+        for (int64_t i = 0; i < c.size(); ++i)
+            c[i] = static_cast<float>(rng.gaussian());
+    }
+
+    float
+    value(const Tensor &y) const
+    {
+        double s = 0.0;
+        for (int64_t i = 0; i < y.size(); ++i)
+            s += static_cast<double>(c[i]) * y[i];
+        return static_cast<float>(s);
+    }
+};
+
+/**
+ * Central-difference gradient check for `layer` on input `x`: verifies
+ * dL/dx and dL/dtheta for every parameter.
+ */
+void
+gradCheck(Layer &layer, Tensor x, double tol = 2e-2)
+{
+    Rng rng(1234);
+    Tensor y0 = layer.forward(x, true);
+    ProbeLoss probe(y0, rng);
+
+    // Analytic gradients.
+    for (Param *p : layer.params())
+        p->zeroGrad();
+    layer.forward(x, true);
+    const Tensor dx = layer.backward(probe.c);
+
+    const float eps = 1e-3f;
+    auto check = [&](float analytic, const std::function<void(float)> &set,
+                     float original, const char *what, int64_t idx) {
+        set(original + eps);
+        const float up = probe.value(layer.forward(x, true));
+        set(original - eps);
+        const float down = probe.value(layer.forward(x, true));
+        set(original);
+        const float numeric = (up - down) / (2.0f * eps);
+        const double bound =
+            tol * std::max(1.0, std::fabs(static_cast<double>(numeric)));
+        EXPECT_NEAR(analytic, numeric, bound) << what << "[" << idx << "]";
+    };
+
+    // Check a strided subset of input gradients (cost control).
+    const int64_t x_stride = std::max<int64_t>(1, x.size() / 24);
+    for (int64_t i = 0; i < x.size(); i += x_stride) {
+        const float orig = x[i];
+        check(dx[i], [&](float v) { x[i] = v; }, orig, "dx", i);
+    }
+
+    // Check a strided subset of every parameter's gradients.
+    for (Param *p : layer.params()) {
+        const int64_t stride = std::max<int64_t>(1, p->value.size() / 16);
+        for (int64_t i = 0; i < p->value.size(); i += stride) {
+            const float orig = p->value[i];
+            check(p->grad[i], [&](float v) { p->value[i] = v; }, orig,
+                  p->name.c_str(), i);
+        }
+    }
+}
+
+Tensor
+randomTensor(std::vector<int> shape, uint64_t seed, float stddev = 1.0f)
+{
+    Rng rng(seed);
+    return Tensor::randn(std::move(shape), rng, stddev);
+}
+
+TEST(GradCheck, Dense)
+{
+    Rng rng(1);
+    FormatBackend backend(numerics::DataFormat::FP32);
+    Dense layer(5, 4, &backend, rng);
+    gradCheck(layer, randomTensor({3, 5}, 2));
+}
+
+TEST(GradCheck, DenseRank3)
+{
+    Rng rng(1);
+    FormatBackend backend(numerics::DataFormat::FP32);
+    Dense layer(5, 4, &backend, rng);
+    gradCheck(layer, randomTensor({2, 3, 5}, 3));
+}
+
+TEST(GradCheck, Conv2d)
+{
+    Rng rng(2);
+    FormatBackend backend(numerics::DataFormat::FP32);
+    Conv2d layer(2, 3, 3, 1, 1, &backend, rng);
+    gradCheck(layer, randomTensor({2, 2, 5, 5}, 4));
+}
+
+TEST(GradCheck, Conv2dStride2NoPad)
+{
+    Rng rng(3);
+    FormatBackend backend(numerics::DataFormat::FP32);
+    Conv2d layer(2, 2, 3, 2, 0, &backend, rng);
+    gradCheck(layer, randomTensor({2, 2, 7, 7}, 5));
+}
+
+TEST(GradCheck, ReLU)
+{
+    ReLU layer;
+    gradCheck(layer, randomTensor({4, 6}, 6));
+}
+
+TEST(GradCheck, Gelu)
+{
+    Gelu layer;
+    gradCheck(layer, randomTensor({4, 6}, 7));
+}
+
+TEST(GradCheck, MaxPool)
+{
+    MaxPool2d layer;
+    gradCheck(layer, randomTensor({2, 2, 4, 4}, 8));
+}
+
+TEST(GradCheck, GlobalAvgPool)
+{
+    GlobalAvgPool layer;
+    gradCheck(layer, randomTensor({2, 3, 4, 4}, 9));
+}
+
+TEST(GradCheck, SequenceMeanPool)
+{
+    SequenceMeanPool layer;
+    gradCheck(layer, randomTensor({2, 5, 3}, 10));
+}
+
+TEST(GradCheck, BatchNorm)
+{
+    BatchNorm2d layer(3);
+    gradCheck(layer, randomTensor({4, 3, 3, 3}, 11), 4e-2);
+}
+
+TEST(GradCheck, LayerNorm)
+{
+    LayerNorm layer(6);
+    gradCheck(layer, randomTensor({4, 6}, 12), 4e-2);
+}
+
+TEST(GradCheck, MultiHeadAttention)
+{
+    Rng rng(13);
+    FormatBackend backend(numerics::DataFormat::FP32);
+    MultiHeadSelfAttention layer(4, 2, &backend, rng);
+    gradCheck(layer, randomTensor({2, 3, 4}, 14), 4e-2);
+}
+
+TEST(GradCheck, ResidualBlockWithShortcut)
+{
+    Rng rng(15);
+    FormatBackend backend(numerics::DataFormat::FP32);
+    auto main = std::make_unique<Sequential>();
+    main->emplace<Dense>(4, 4, &backend, rng);
+    main->emplace<ReLU>();
+    auto shortcut = std::make_unique<Sequential>();
+    shortcut->emplace<Dense>(4, 4, &backend, rng);
+    ResidualBlock layer(std::move(main), std::move(shortcut));
+    gradCheck(layer, randomTensor({3, 4}, 16));
+}
+
+TEST(GradCheck, SmallSequentialStack)
+{
+    Rng rng(17);
+    FormatBackend backend(numerics::DataFormat::FP32);
+    Sequential model;
+    model.emplace<Conv2d>(1, 2, 3, 1, 1, &backend, rng);
+    model.emplace<ReLU>();
+    model.emplace<MaxPool2d>();
+    model.emplace<Flatten>();
+    model.emplace<Dense>(2 * 2 * 2, 3, &backend, rng);
+    gradCheck(model, randomTensor({2, 1, 4, 4}, 18));
+}
+
+TEST(Loss, SoftmaxCrossEntropyMatchesHandComputation)
+{
+    Tensor logits({1, 3});
+    logits[0] = 1.0f;
+    logits[1] = 2.0f;
+    logits[2] = 3.0f;
+    const LossResult r = softmaxCrossEntropy(logits, {2});
+    // L = -log softmax_2 = log(e^1 + e^2 + e^3) - 3.
+    const double expect =
+        std::log(std::exp(1.0) + std::exp(2.0) + std::exp(3.0)) - 3.0;
+    EXPECT_NEAR(r.loss, expect, 1e-5);
+    // Gradient sums to zero and is negative only at the label.
+    EXPECT_LT(r.grad[2], 0.0f);
+    EXPECT_NEAR(r.grad[0] + r.grad[1] + r.grad[2], 0.0f, 1e-6);
+}
+
+TEST(Loss, SoftmaxGradientNumerical)
+{
+    Rng rng(19);
+    Tensor logits = Tensor::randn({3, 5}, rng);
+    const std::vector<int> labels = {1, 4, 0};
+    const LossResult r = softmaxCrossEntropy(logits, labels);
+    const float eps = 1e-3f;
+    for (int64_t i = 0; i < logits.size(); i += 2) {
+        const float orig = logits[i];
+        logits[i] = orig + eps;
+        const float up = softmaxCrossEntropy(logits, labels).loss;
+        logits[i] = orig - eps;
+        const float down = softmaxCrossEntropy(logits, labels).loss;
+        logits[i] = orig;
+        EXPECT_NEAR(r.grad[i], (up - down) / (2 * eps), 2e-3) << i;
+    }
+}
+
+TEST(Loss, MseAndArgmax)
+{
+    Tensor pred({2, 2});
+    pred[0] = 1.0f;
+    pred[1] = 3.0f;
+    pred[2] = 0.0f;
+    pred[3] = 5.0f;
+    Tensor target({2, 2});
+    target.fill(1.0f);
+    const LossResult r = meanSquaredError(pred, target);
+    EXPECT_NEAR(r.loss, (0 + 4 + 1 + 16) / 4.0, 1e-6);
+    const auto am = argmaxRows(pred);
+    EXPECT_EQ(am[0], 1);
+    EXPECT_EQ(am[1], 1);
+}
+
+TEST(Optimizer, SgdStepDirection)
+{
+    Param p;
+    p.value = Tensor({2});
+    p.value[0] = 1.0f;
+    p.value[1] = -1.0f;
+    p.grad = Tensor({2});
+    p.grad[0] = 0.5f;
+    p.grad[1] = -0.5f;
+    Sgd opt(0.1f);
+    opt.step({&p});
+    EXPECT_NEAR(p.value[0], 0.95f, 1e-6);
+    EXPECT_NEAR(p.value[1], -0.95f, 1e-6);
+}
+
+TEST(Optimizer, SgdMomentumAccumulates)
+{
+    Param p;
+    p.value = Tensor({1});
+    p.grad = Tensor({1});
+    p.grad[0] = 1.0f;
+    Sgd opt(0.1f, 0.9f);
+    opt.step({&p});
+    EXPECT_NEAR(p.value[0], -0.1f, 1e-6);
+    opt.step({&p}); // velocity = 0.9 * 1 + 1 = 1.9
+    EXPECT_NEAR(p.value[0], -0.1f - 0.19f, 1e-6);
+}
+
+TEST(Optimizer, AdamFirstStepIsLrSized)
+{
+    Param p;
+    p.value = Tensor({1});
+    p.grad = Tensor({1});
+    p.grad[0] = 3.0f; // any positive gradient: first Adam step ~ lr
+    Adam opt(0.01f);
+    opt.step({&p});
+    EXPECT_NEAR(p.value[0], -0.01f, 1e-4);
+}
+
+TEST(Optimizer, ZeroGradClears)
+{
+    Param p;
+    p.value = Tensor({2});
+    p.grad = Tensor({2});
+    p.grad.fill(3.0f);
+    Optimizer::zeroGrad({&p});
+    EXPECT_EQ(p.grad[0], 0.0f);
+    EXPECT_EQ(p.grad[1], 0.0f);
+}
+
+} // namespace
+} // namespace nn
+} // namespace mirage

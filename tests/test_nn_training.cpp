@@ -1,0 +1,197 @@
+/**
+ * @file
+ * End-to-end training tests: synthetic dataset generators, training-loop
+ * convergence under FP32, and the paper's central accuracy claim in
+ * miniature — training under Mirage's BFP/RNS numerics tracks FP32.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/trainable.h"
+#include "nn/data.h"
+#include "nn/gemm_backend.h"
+#include "nn/model.h"
+
+namespace mirage {
+namespace nn {
+namespace {
+
+TEST(Data, GaussianClustersShapeAndLabels)
+{
+    const Dataset ds = makeGaussianClusters(100, 4, 8, 3.0f, 1);
+    EXPECT_EQ(ds.size(), 100);
+    EXPECT_EQ(ds.inputs.shape(), (std::vector<int>{100, 8}));
+    EXPECT_EQ(ds.num_classes, 4);
+    for (int label : ds.labels) {
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label, 4);
+    }
+}
+
+TEST(Data, GaussianClustersDeterministicUnderSeed)
+{
+    const Dataset a = makeGaussianClusters(50, 3, 4, 2.0f, 42);
+    const Dataset b = makeGaussianClusters(50, 3, 4, 2.0f, 42);
+    for (int64_t i = 0; i < a.inputs.size(); ++i)
+        EXPECT_EQ(a.inputs[i], b.inputs[i]);
+    EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Data, PatternImagesShape)
+{
+    const Dataset ds = makePatternImages(20, 4, 16, 0.2f, 2);
+    EXPECT_EQ(ds.inputs.shape(), (std::vector<int>{20, 1, 16, 16}));
+}
+
+TEST(Data, MajoritySequencesLabelsAreTrueMajorities)
+{
+    const Dataset ds = makeMajoritySequences(50, 4, 12, 3);
+    EXPECT_EQ(ds.inputs.shape(), (std::vector<int>{50, 12, 4}));
+    for (int i = 0; i < ds.size(); ++i) {
+        // Recount the one-hot tokens; the label must be the majority.
+        std::vector<int> counts(4, 0);
+        for (int t = 0; t < 12; ++t)
+            for (int c = 0; c < 4; ++c)
+                if (ds.inputs[(static_cast<int64_t>(i) * 12 + t) * 4 + c] >
+                    0.5f)
+                    ++counts[static_cast<size_t>(c)];
+        const int label = ds.labels[static_cast<size_t>(i)];
+        for (int c = 0; c < 4; ++c)
+            EXPECT_LE(counts[static_cast<size_t>(c)],
+                      counts[static_cast<size_t>(label)]);
+    }
+}
+
+TEST(Data, SliceExtractsRows)
+{
+    const Dataset ds = makeGaussianClusters(30, 3, 4, 2.0f, 4);
+    const Dataset s = ds.slice(10, 5);
+    EXPECT_EQ(s.size(), 5);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(s.labels[static_cast<size_t>(i)],
+                  ds.labels[static_cast<size_t>(10 + i)]);
+        for (int d = 0; d < 4; ++d)
+            EXPECT_EQ(s.inputs[static_cast<int64_t>(i) * 4 + d],
+                      ds.inputs[static_cast<int64_t>(10 + i) * 4 + d]);
+    }
+}
+
+TEST(Training, MlpLearnsClustersFp32)
+{
+    Rng rng(10);
+    FormatBackend backend(numerics::DataFormat::FP32);
+    auto model = models::makeMlp(8, 32, 4, &backend, rng);
+    // One generation (one set of cluster centers), split train/test.
+    const Dataset all = makeGaussianClusters(600, 4, 8, 3.0f, 11);
+    const Dataset train = all.slice(0, 400);
+    const Dataset test = all.slice(400, 200);
+    Sgd opt(0.05f, 0.9f);
+    TrainConfig cfg;
+    cfg.epochs = 8;
+    cfg.batch_size = 32;
+    const TrainResult r = trainClassifier(*model, opt, train, test, cfg);
+    // The clusters overlap (margin 3, unit noise, dim 8), so the Bayes
+    // error keeps accuracy below ~0.9; well above the 0.25 chance floor.
+    EXPECT_GT(r.final_test_accuracy, 0.85f);
+    // Loss decreases over training.
+    EXPECT_LT(r.epoch_loss.back(), r.epoch_loss.front());
+}
+
+TEST(Training, MirageNumericsTrackFp32OnMlp)
+{
+    // The miniature Table I claim: training under BFP(4,16)+RNS reaches
+    // accuracy comparable to FP32 on the same task and seed.
+    const Dataset all = makeGaussianClusters(600, 4, 8, 3.0f, 21);
+    const Dataset train = all.slice(0, 400);
+    const Dataset test = all.slice(400, 200);
+
+    auto run = [&](numerics::DataFormat fmt) {
+        Rng rng(20);
+        numerics::FormatGemmConfig fc;
+        fc.moduli = rns::ModuliSet::special(5);
+        FormatBackend backend(fmt, fc);
+        auto model = models::makeMlp(8, 32, 4, &backend, rng);
+        Sgd opt(0.05f, 0.9f);
+        TrainConfig cfg;
+        cfg.epochs = 8;
+        cfg.batch_size = 32;
+        return trainClassifier(*model, opt, train, test, cfg)
+            .final_test_accuracy;
+    };
+
+    const float fp32 = run(numerics::DataFormat::FP32);
+    const float mirage = run(numerics::DataFormat::MirageBfpRns);
+    EXPECT_GT(fp32, 0.9f);
+    EXPECT_GT(mirage, fp32 - 0.05f);
+}
+
+TEST(Training, SmallCnnLearnsPatternsFp32)
+{
+    Rng rng(30);
+    FormatBackend backend(numerics::DataFormat::FP32);
+    auto model = models::makeSmallCnn(4, &backend, rng);
+    const Dataset train = makePatternImages(256, 4, 16, 0.3f, 31);
+    const Dataset test = makePatternImages(128, 4, 16, 0.3f, 32);
+    Sgd opt(0.02f, 0.9f);
+    TrainConfig cfg;
+    cfg.epochs = 6;
+    cfg.batch_size = 32;
+    const TrainResult r = trainClassifier(*model, opt, train, test, cfg);
+    EXPECT_GT(r.final_test_accuracy, 0.7f);
+}
+
+TEST(Training, TinyTransformerLearnsMajorityFp32)
+{
+    Rng rng(40);
+    FormatBackend backend(numerics::DataFormat::FP32);
+    auto model =
+        models::makeTinyTransformer(4, 4, 16, 2, 1, &backend, rng);
+    const Dataset train = makeMajoritySequences(384, 4, 12, 41);
+    const Dataset test = makeMajoritySequences(128, 4, 12, 42);
+    Adam opt(3e-3f);
+    TrainConfig cfg;
+    cfg.epochs = 8;
+    cfg.batch_size = 32;
+    const TrainResult r = trainClassifier(*model, opt, train, test, cfg);
+    EXPECT_GT(r.final_test_accuracy, 0.65f);
+}
+
+TEST(Training, LrScheduleApplies)
+{
+    Rng rng(50);
+    FormatBackend backend(numerics::DataFormat::FP32);
+    auto model = models::makeMlp(8, 16, 3, &backend, rng);
+    const Dataset all = makeGaussianClusters(180, 3, 8, 3.0f, 51);
+    const Dataset train = all.slice(0, 120);
+    const Dataset test = all.slice(120, 60);
+    Sgd opt(0.1f);
+    TrainConfig cfg;
+    cfg.epochs = 4;
+    cfg.batch_size = 16;
+    cfg.lr_schedule = {1.0f, 1.0f, 0.1f, 0.1f}; // paper-style /10 decay
+    const TrainResult r = trainClassifier(*model, opt, train, test, cfg);
+    EXPECT_NEAR(opt.lr(), 0.01f, 1e-5);
+    EXPECT_GT(r.final_test_accuracy, 0.8f);
+}
+
+TEST(Training, MiniResNetForwardBackwardRuns)
+{
+    // Full convergence is covered by the benches; here just verify the
+    // residual/batch-norm stack trains without shape or gradient errors.
+    Rng rng(60);
+    FormatBackend backend(numerics::DataFormat::FP32);
+    auto model = models::makeMiniResNet(4, &backend, rng);
+    const Dataset train = makePatternImages(64, 4, 16, 0.3f, 61);
+    const Dataset test = makePatternImages(32, 4, 16, 0.3f, 62);
+    Sgd opt(0.01f, 0.9f);
+    TrainConfig cfg;
+    cfg.epochs = 2;
+    cfg.batch_size = 16;
+    const TrainResult r = trainClassifier(*model, opt, train, test, cfg);
+    EXPECT_EQ(r.epoch_loss.size(), 2u);
+    EXPECT_GT(r.final_test_accuracy, 0.2f); // above chance floor
+}
+
+} // namespace
+} // namespace nn
+} // namespace mirage

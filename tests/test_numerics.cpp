@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the baseline data-format emulations: bfloat16 rounding, HFP8
+ * mini-float quantization, integer quantizers, and the format-dispatched
+ * GEMM used by the Table I accuracy harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "numerics/formats.h"
+#include "numerics/quantized_gemm.h"
+
+namespace mirage {
+namespace numerics {
+namespace {
+
+TEST(Bfloat16, ExactForRepresentableValues)
+{
+    for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -0.25f, 1.5f})
+        EXPECT_EQ(toBfloat16(v), v) << v;
+}
+
+TEST(Bfloat16, RoundsMantissaTo8Bits)
+{
+    // 1 + 2^-9 is not representable in bf16 (7 explicit mantissa bits);
+    // it must round to 1.0.
+    const float v = 1.0f + std::ldexp(1.0f, -9);
+    EXPECT_EQ(toBfloat16(v), 1.0f);
+    // 1 + 2^-7 is representable.
+    const float w = 1.0f + std::ldexp(1.0f, -7);
+    EXPECT_EQ(toBfloat16(w), w);
+}
+
+TEST(Bfloat16, RelativeErrorBounded)
+{
+    Rng rng(3);
+    for (int t = 0; t < 1000; ++t) {
+        const float v = static_cast<float>(rng.gaussian(0, 100));
+        const float q = toBfloat16(v);
+        if (v != 0.0f)
+            EXPECT_LE(std::fabs(q - v) / std::fabs(v), 1.0f / 128.0f);
+    }
+}
+
+TEST(MiniFloat, E4M3RepresentableValues)
+{
+    // E4M3 (FN variant): representable magnitudes include 1.0, 1.125 and
+    // the 448 maximum normal.
+    EXPECT_EQ(toHfp8Forward(1.0f), 1.0f);
+    EXPECT_EQ(toHfp8Forward(1.125f), 1.125f);
+    EXPECT_EQ(toHfp8Forward(448.0f), 448.0f);
+    // IEEE-style 1-4-3 (all-ones exponent reserved) tops out at 240.
+    EXPECT_EQ(toMiniFloat(448.0f, 4, 3, false), 240.0f);
+}
+
+TEST(MiniFloat, E4M3Saturates)
+{
+    EXPECT_EQ(toHfp8Forward(1e6f), 448.0f);
+    EXPECT_EQ(toHfp8Forward(-1e6f), -448.0f);
+}
+
+TEST(MiniFloat, E5M2DynamicRangeWiderThanE4M3)
+{
+    // E5M2 max normal = 57344; values above E4M3 max survive in E5M2.
+    EXPECT_EQ(toMiniFloat(49152.0f, 5, 2), 49152.0f);
+    EXPECT_EQ(toMiniFloat(1e9f, 5, 2), 57344.0f);
+}
+
+TEST(MiniFloat, SubnormalsFlushGracefully)
+{
+    // Below the smallest subnormal the value rounds to zero, not garbage.
+    const float tiny = 1e-12f;
+    const float q = toMiniFloat(tiny, 4, 3);
+    EXPECT_GE(q, 0.0f);
+    EXPECT_LT(q, 1e-8f);
+}
+
+TEST(MiniFloat, RoundTripIdempotent)
+{
+    Rng rng(4);
+    for (int t = 0; t < 500; ++t) {
+        const float v = static_cast<float>(rng.gaussian(0, 10));
+        const float q = toMiniFloat(v, 4, 3);
+        EXPECT_EQ(toMiniFloat(q, 4, 3), q);
+    }
+}
+
+TEST(IntQuant, ScaleAndSaturation)
+{
+    std::vector<float> vals = {-2.0f, 1.0f, 0.5f};
+    const float scale = intQuantScale(vals, 8);
+    EXPECT_FLOAT_EQ(scale, 2.0f / 127.0f);
+    EXPECT_EQ(intQuantize(2.0f, scale, 8), 127);
+    EXPECT_EQ(intQuantize(-2.0f, scale, 8), -127);
+    EXPECT_EQ(intQuantize(100.0f, scale, 8), 127); // saturate
+}
+
+TEST(IntQuant, ZeroTensor)
+{
+    std::vector<float> vals(4, 0.0f);
+    EXPECT_FLOAT_EQ(intQuantScale(vals, 8), 1.0f);
+    EXPECT_EQ(intQuantize(0.0f, 1.0f, 8), 0);
+}
+
+TEST(IntQuant, Int12FinerThanInt8)
+{
+    Rng rng(5);
+    std::vector<float> vals(256);
+    for (auto &v : vals)
+        v = static_cast<float>(rng.gaussian(0, 1));
+    const float s8 = intQuantScale(vals, 8);
+    const float s12 = intQuantScale(vals, 12);
+    double err8 = 0, err12 = 0;
+    for (float v : vals) {
+        err8 += std::fabs(intDequantize(intQuantize(v, s8, 8), s8) - v);
+        err12 += std::fabs(intDequantize(intQuantize(v, s12, 12), s12) - v);
+    }
+    EXPECT_LT(err12, err8 / 8.0); // ~16x finer grid
+}
+
+TEST(FormatNames, MatchPaperTables)
+{
+    EXPECT_EQ(toString(DataFormat::MirageBfpRns), "Mirage");
+    EXPECT_EQ(toString(DataFormat::BFLOAT16), "bfloat16");
+    EXPECT_EQ(toString(DataFormat::FMAC), "FMAC");
+    EXPECT_EQ(allFormats().size(), 7u);
+}
+
+class FormatGemmTest : public testing::TestWithParam<DataFormat>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        rng_ = std::make_unique<Rng>(99);
+        a_.resize(static_cast<size_t>(m_) * k_);
+        b_.resize(static_cast<size_t>(k_) * n_);
+        for (auto &v : a_)
+            v = static_cast<float>(rng_->gaussian(0, 1));
+        for (auto &v : b_)
+            v = static_cast<float>(rng_->gaussian(0, 1));
+        ref_.assign(static_cast<size_t>(m_) * n_, 0.0f);
+        for (int i = 0; i < m_; ++i)
+            for (int j = 0; j < n_; ++j)
+                for (int kk = 0; kk < k_; ++kk)
+                    ref_[i * n_ + j] += a_[i * k_ + kk] * b_[kk * n_ + j];
+    }
+
+    const int m_ = 6, k_ = 32, n_ = 4;
+    std::unique_ptr<Rng> rng_;
+    std::vector<float> a_, b_, ref_;
+};
+
+TEST_P(FormatGemmTest, ApproximatesFp32Reference)
+{
+    const DataFormat fmt = GetParam();
+    FormatGemmConfig cfg;
+    cfg.moduli = rns::ModuliSet::special(5);
+    GemmCall call;
+    call.a = &a_;
+    call.b = &b_;
+    call.m = m_;
+    call.k = k_;
+    call.n = n_;
+    call.rng = rng_.get();
+    const auto c = formatGemm(fmt, call, cfg);
+    ASSERT_EQ(c.size(), ref_.size());
+
+    // Tolerances reflect each format's precision; low-mantissa formats get
+    // a relative component (BFP truncation biases large sums toward zero).
+    double tol_abs = 0.0, tol_rel = 0.0;
+    switch (fmt) {
+      case DataFormat::FP32: tol_abs = 1e-6; break;
+      case DataFormat::BFLOAT16: tol_abs = 0.15; break;
+      case DataFormat::HFP8: tol_abs = 0.5; tol_rel = 0.05; break;
+      case DataFormat::INT12: tol_abs = 0.05; break;
+      case DataFormat::INT8: tol_abs = 0.3; break;
+      case DataFormat::FMAC: tol_abs = 1.0; tol_rel = 0.25; break;
+      case DataFormat::MirageBfpRns: tol_abs = 1.0; tol_rel = 0.25; break;
+    }
+    for (size_t i = 0; i < c.size(); ++i) {
+        EXPECT_NEAR(c[i], ref_[i], tol_abs + tol_rel * std::fabs(ref_[i]))
+            << toString(fmt) << " @" << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, FormatGemmTest,
+    testing::Values(DataFormat::FP32, DataFormat::BFLOAT16, DataFormat::HFP8,
+                    DataFormat::INT12, DataFormat::INT8, DataFormat::FMAC,
+                    DataFormat::MirageBfpRns),
+    [](const testing::TestParamInfo<DataFormat> &info) {
+        return toString(info.param);
+    });
+
+TEST(FormatGemm, Hfp8UsesWiderRangeForGradients)
+{
+    // A gradient tensor with magnitude above E4M3's max (448) must survive
+    // when flagged as a gradient (E5M2 path).
+    std::vector<float> a = {1000.0f};
+    std::vector<float> b = {1.0f};
+    FormatGemmConfig cfg;
+    GemmCall call;
+    call.a = &a;
+    call.b = &b;
+    call.m = 1;
+    call.k = 1;
+    call.n = 1;
+
+    call.a_is_grad = false;
+    const auto saturated = formatGemm(DataFormat::HFP8, call, cfg);
+    EXPECT_FLOAT_EQ(saturated[0], 448.0f);
+
+    call.a_is_grad = true;
+    const auto wide = formatGemm(DataFormat::HFP8, call, cfg);
+    EXPECT_FLOAT_EQ(wide[0], 1024.0f); // 1000 rounds to 1024 in E5M2
+}
+
+TEST(FormatGemm, MirageMatchesPlainBfpGemm)
+{
+    Rng rng(7);
+    std::vector<float> a(8 * 32), b(32 * 3);
+    for (auto &v : a)
+        v = static_cast<float>(rng.gaussian(0, 1));
+    for (auto &v : b)
+        v = static_cast<float>(rng.gaussian(0, 1));
+
+    FormatGemmConfig cfg_rns;
+    cfg_rns.moduli = rns::ModuliSet::special(5);
+    FormatGemmConfig cfg_plain; // no moduli: plain integer path
+
+    GemmCall call;
+    call.a = &a;
+    call.b = &b;
+    call.m = 8;
+    call.k = 32;
+    call.n = 3;
+
+    const auto c1 = formatGemm(DataFormat::MirageBfpRns, call, cfg_rns);
+    const auto c2 = formatGemm(DataFormat::MirageBfpRns, call, cfg_plain);
+    for (size_t i = 0; i < c1.size(); ++i)
+        EXPECT_EQ(c1[i], c2[i]) << i;
+}
+
+} // namespace
+} // namespace numerics
+} // namespace mirage

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for photonic device geometry (Eq. 11), the optical link budget, and
+ * the laser power solver — anchored against the paper's published values
+ * (0.57 mm shifter length and ~0.8 mm MMU for m = 33).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.h"
+#include "photonic/devices.h"
+#include "photonic/link_budget.h"
+#include "photonic/noise_model.h"
+
+namespace mirage {
+namespace photonic {
+namespace {
+
+TEST(Devices, MaxPhaseShift)
+{
+    // m = 33: ceil(32^2 / 2) * 2 pi / 33 = 512 * 2 pi / 33.
+    EXPECT_NEAR(maxPhaseShiftRad(33), 512.0 * 2.0 * units::kPi / 33.0, 1e-9);
+}
+
+TEST(Devices, ShifterLengthMatchesPaper)
+{
+    // Paper Sec. V-B1: ~0.57 mm for the largest modulus (33) with
+    // VpiL = 0.002 V*cm and Vbias = 1.08 V.
+    const PhaseShifterSpec ps;
+    EXPECT_NEAR(totalShifterLengthMm(ps, 33), 0.57, 0.01);
+}
+
+TEST(Devices, MmuLengthMatchesPaper)
+{
+    // Paper: ~0.8 mm horizontal MMU length for m = 33 with MRRs included.
+    const DeviceKit kit;
+    EXPECT_NEAR(mmuLengthMm(kit, 33, 6), 0.8, 0.05);
+}
+
+TEST(Devices, ShifterLengthGrowsWithModulus)
+{
+    const PhaseShifterSpec ps;
+    EXPECT_LT(totalShifterLengthMm(ps, 31), totalShifterLengthMm(ps, 33));
+    EXPECT_LT(totalShifterLengthMm(ps, 33), totalShifterLengthMm(ps, 65));
+}
+
+TEST(Devices, UnitVoltagePositiveAndScalesInverselyWithModulus)
+{
+    const PhaseShifterSpec ps;
+    const double v33 = unitVoltage(ps, 33);
+    EXPECT_GT(v33, 0.0);
+}
+
+TEST(LinkBudgetTest, MmuLossOrdering)
+{
+    const DeviceKit kit;
+    const double all_through = mmuLossDb(kit, 33, 6, LossPolicy::AllThrough);
+    const double worst = mmuLossDb(kit, 33, 6, LossPolicy::WorstCasePerDigit);
+    const double avg = mmuLossDb(kit, 33, 6, LossPolicy::Average);
+    EXPECT_GT(all_through, 0.0);
+    EXPECT_GE(worst, all_through); // worst-per-digit can only add loss
+    EXPECT_LE(avg, worst);
+}
+
+TEST(LinkBudgetTest, AllThroughLossNearPaperEstimate)
+{
+    // Full 0.57 mm at 1.6 dB/mm plus 12 MRR pass-bys and bends ~ 1.05 dB.
+    const DeviceKit kit;
+    const double loss = mmuLossDb(kit, 33, 6, LossPolicy::AllThrough);
+    EXPECT_NEAR(loss, 1.05, 0.1);
+}
+
+TEST(LinkBudgetTest, PathLossScalesWithG)
+{
+    const DeviceKit kit;
+    const double g8 = mdpuPathLossDb(kit, 33, 6, 8, LossPolicy::AllThrough);
+    const double g16 = mdpuPathLossDb(kit, 33, 6, 16, LossPolicy::AllThrough);
+    EXPECT_NEAR(g16 - g8, 8 * mmuLossDb(kit, 33, 6, LossPolicy::AllThrough),
+                1e-9);
+}
+
+TEST(LinkBudgetTest, LaserPowerExponentialInG)
+{
+    // Fig. 5b's driver: laser power rises exponentially with group size.
+    const DeviceKit kit;
+    double prev = 0.0;
+    for (int g : {4, 8, 16, 32, 64}) {
+        const LinkBudget lb = computeLinkBudget(kit, 33, 6, g, 10e9, 1.0,
+                                                LossPolicy::AllThrough);
+        EXPECT_GT(lb.laser_wall_w, prev);
+        prev = lb.laser_wall_w;
+    }
+    // Doubling g from 16 to 32 must cost much more than 2x in laser power.
+    const double p16 = computeLinkBudget(kit, 33, 6, 16, 10e9, 1.0,
+                                         LossPolicy::AllThrough).laser_wall_w;
+    const double p32 = computeLinkBudget(kit, 33, 6, 32, 10e9, 1.0,
+                                         LossPolicy::AllThrough).laser_wall_w;
+    EXPECT_GT(p32 / p16, 10.0);
+}
+
+TEST(LinkBudgetTest, SnrTargetTracksModulus)
+{
+    const DeviceKit kit;
+    const LinkBudget lb31 = computeLinkBudget(kit, 31, 5, 16, 10e9, 1.0,
+                                              LossPolicy::AllThrough);
+    const LinkBudget lb33 = computeLinkBudget(kit, 33, 6, 16, 10e9, 1.0,
+                                              LossPolicy::AllThrough);
+    EXPECT_NEAR(lb31.target_snr, 31.0, 1e-9);
+    EXPECT_NEAR(lb33.target_snr, 33.0, 1e-9);
+    EXPECT_GT(lb33.laser_wall_w, lb31.laser_wall_w);
+}
+
+TEST(LinkBudgetTest, ChannelLaserPowerPlausible)
+{
+    // Sanity window: per-channel wall-plug laser power for the paper
+    // configuration (m = 33, g = 16, 10 GHz) should be in the mW range —
+    // consistent with a ~2-5 W total across 768 channels (Fig. 9).
+    const DeviceKit kit;
+    const LinkBudget lb = computeLinkBudget(kit, 33, 6, 16, 10e9, 1.0,
+                                            LossPolicy::AllThrough);
+    EXPECT_GT(lb.laser_wall_w, 0.2e-3);
+    EXPECT_LT(lb.laser_wall_w, 50e-3);
+}
+
+TEST(NoiseModel, Eq14Formula)
+{
+    // h = 16, 6 bits, eps_ps = 2^-8, eps_mrr = 0.003.
+    const double rms = outputPhaseErrorRms(16, 6, std::exp2(-8), 0.003);
+    const double expect = std::sqrt(16.0 * std::exp2(-16.0) +
+                                    2.0 * 16.0 * 6.0 * 0.003 * 0.003);
+    EXPECT_NEAR(rms, expect, 1e-12);
+}
+
+TEST(NoiseModel, PaperFindsBdac8Sufficient)
+{
+    // Sec. VI-E concludes bDAC >= 8 satisfies dPhi_out <= 2^-b_out for
+    // b_out = log2(m) at h = 16. Note: at the paper's quoted eps_mrr bound
+    // of 0.3 % the MRR term *alone* exceeds the 2^-5 budget, so the
+    // conclusion only holds for tighter MRR errors (~0.1 %); we test the
+    // self-consistent operating point and document the discrepancy in
+    // EXPERIMENTS.md.
+    EXPECT_EQ(minimumDacBits(16, 6, 0.001, 5), 8);
+    // At the quoted 0.3 % bound no DAC precision suffices.
+    EXPECT_EQ(minimumDacBits(16, 6, 0.003, 5), -1);
+    // 6-bit DACs alone are insufficient for b_out = 5 at h = 16 — the
+    // paper's motivation to raise DAC precision to 8 bits.
+    const double rms6 = outputPhaseErrorRms(16, 6, std::exp2(-6), 0.001);
+    EXPECT_GT(rms6, std::exp2(-5));
+}
+
+TEST(NoiseModel, ErrorGrowsWithH)
+{
+    const double h16 = outputPhaseErrorRms(16, 6, 0.004, 0.003);
+    const double h64 = outputPhaseErrorRms(64, 6, 0.004, 0.003);
+    EXPECT_NEAR(h64 / h16, 2.0, 1e-9); // sqrt(4)
+}
+
+} // namespace
+} // namespace photonic
+} // namespace mirage
