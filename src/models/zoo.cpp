@@ -141,13 +141,16 @@ resNet18()
     m.layers.push_back(conv("conv1", 64, 3, 7, 112));
     // layer1: 2 basic blocks at 56x56, 64 channels.
     for (int b = 0; b < 2; ++b) {
-        m.layers.push_back(conv("l1b" + std::to_string(b) + ".c1", 64, 64, 3, 56));
-        m.layers.push_back(conv("l1b" + std::to_string(b) + ".c2", 64, 64, 3, 56));
+        std::string p = "l1b";
+        p += std::to_string(b);
+        m.layers.push_back(conv(p + ".c1", 64, 64, 3, 56));
+        m.layers.push_back(conv(p + ".c2", 64, 64, 3, 56));
     }
     // layer2-4: first block strides and downsamples via 1x1.
     struct Stage { int idx; int64_t ch; int64_t hw; };
     for (const Stage &s : {Stage{2, 128, 28}, Stage{3, 256, 14}, Stage{4, 512, 7}}) {
-        const std::string p = "l" + std::to_string(s.idx);
+        std::string p = "l";
+        p += std::to_string(s.idx);
         m.layers.push_back(conv(p + "b0.c1", s.ch, s.ch / 2, 3, s.hw));
         m.layers.push_back(conv(p + "b0.c2", s.ch, s.ch, 3, s.hw));
         m.layers.push_back(conv(p + "b0.down", s.ch, s.ch / 2, 1, s.hw));
@@ -173,8 +176,10 @@ resNet50()
     };
     for (const Stage &s : stages) {
         for (int b = 0; b < s.blocks; ++b) {
-            const std::string p =
-                "l" + std::to_string(s.idx) + "b" + std::to_string(b);
+            std::string p = "l";
+            p += std::to_string(s.idx);
+            p += "b";
+            p += std::to_string(b);
             const int64_t cin = (b == 0) ? s.in : s.out;
             m.layers.push_back(conv(p + ".c1", s.mid, cin, 1, s.hw));
             m.layers.push_back(conv(p + ".c2", s.mid, s.mid, 3, s.hw));

@@ -8,8 +8,10 @@ namespace mirage {
 namespace nn {
 
 MultiHeadSelfAttention::MultiHeadSelfAttention(int dim, int heads,
-                                               GemmBackend *backend, Rng &rng)
-    : dim_(dim), heads_(heads), head_dim_(dim / heads), backend_(backend)
+                                               GemmBackend *backend, Rng &rng,
+                                               bool causal)
+    : dim_(dim), heads_(heads), head_dim_(dim / heads), backend_(backend),
+      causal_(causal)
 {
     MIRAGE_ASSERT(backend_ != nullptr, "MHSA needs a GEMM backend");
     if (dim % heads != 0)
@@ -91,20 +93,24 @@ MultiHeadSelfAttention::forward(const Tensor &x, bool /*training*/)
             float *p_base =
                 &probs_[((static_cast<size_t>(b) * heads_ + h) * seq_) * seq_];
             for (int t = 0; t < seq_; ++t) {
+                // Causal masking restricts row t to positions u <= t; the
+                // masked probabilities stay exactly zero, so the backward
+                // pass needs no special casing (P = 0 kills dS there).
+                const int u_lim = causal_ ? t + 1 : seq_;
                 float max_v = -1e30f;
-                for (int u = 0; u < seq_; ++u)
+                for (int u = 0; u < u_lim; ++u)
                     max_v = std::max(max_v,
                                      scores[static_cast<size_t>(t) * seq_ + u] *
                                          inv_sqrt);
                 double denom = 0.0;
-                for (int u = 0; u < seq_; ++u) {
+                for (int u = 0; u < u_lim; ++u) {
                     const float e = std::exp(
                         scores[static_cast<size_t>(t) * seq_ + u] * inv_sqrt -
                         max_v);
                     p_base[static_cast<size_t>(t) * seq_ + u] = e;
                     denom += e;
                 }
-                for (int u = 0; u < seq_; ++u)
+                for (int u = 0; u < u_lim; ++u)
                     p_base[static_cast<size_t>(t) * seq_ + u] /=
                         static_cast<float>(denom);
             }

@@ -14,12 +14,15 @@
 namespace mirage {
 namespace nn {
 
-/** Multi-head self-attention over [B, T, D] inputs (no masking). */
+/**
+ * Multi-head self-attention over [B, T, D] inputs. Optionally causal:
+ * position t attends only to positions <= t (decoder-style masking).
+ */
 class MultiHeadSelfAttention : public Layer
 {
   public:
-    MultiHeadSelfAttention(int dim, int heads, GemmBackend *backend,
-                           Rng &rng);
+    MultiHeadSelfAttention(int dim, int heads, GemmBackend *backend, Rng &rng,
+                           bool causal = false);
 
     std::string name() const override { return "MHSA"; }
     Tensor forward(const Tensor &x, bool training) override;
@@ -31,6 +34,7 @@ class MultiHeadSelfAttention : public Layer
     int heads_;
     int head_dim_;
     GemmBackend *backend_;
+    bool causal_;
     Param wq_, wk_, wv_, wo_; ///< Each [D, D].
     // Forward context.
     Tensor cached_input_;     ///< [B, T, D]

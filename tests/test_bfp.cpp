@@ -13,10 +13,13 @@
 #include "bfp/bfp.h"
 #include "bfp/bfp_gemm.h"
 #include "common/rng.h"
+#include "test_support.h"
 
 namespace mirage {
 namespace bfp {
 namespace {
+
+using BfpSeeded = mirage::test::SeededTest;
 
 TEST(BfpBlock, SharedExponentIsMaxExponent)
 {
@@ -51,14 +54,11 @@ TEST(BfpBlock, ExactValuesSurviveRoundTrip)
         EXPECT_EQ(decoded[i], vals[i]) << i;
 }
 
-TEST(BfpBlock, MantissaRangeRespected)
+TEST_F(BfpSeeded, MantissaRangeRespected)
 {
-    Rng rng(5);
     const BfpConfig cfg{4, 16, Rounding::Nearest};
     for (int t = 0; t < 200; ++t) {
-        std::vector<float> vals(16);
-        for (auto &v : vals)
-            v = static_cast<float>(rng.gaussian(0, 10));
+        const auto vals = mirage::test::gaussianVector(rng, 16, 0, 10);
         const BfpBlock block = encodeBlock(vals, cfg);
         // (bm+1)-bit two's complement: [-16, 15] for bm = 4.
         for (auto q : block.mantissas) {
@@ -68,16 +68,13 @@ TEST(BfpBlock, MantissaRangeRespected)
     }
 }
 
-TEST(BfpBlock, QuantizationErrorBound)
+TEST_F(BfpSeeded, QuantizationErrorBound)
 {
     // |error| <= 2^(e - bm) per element: one mantissa ULP for nearest
     // rounding is half that, truncation a full ULP.
-    Rng rng(6);
     const BfpConfig cfg{4, 16, Rounding::Truncate};
     for (int t = 0; t < 100; ++t) {
-        std::vector<float> vals(16);
-        for (auto &v : vals)
-            v = static_cast<float>(rng.gaussian(0, 2));
+        const auto vals = mirage::test::gaussianVector(rng, 16, 0, 2);
         const BfpBlock block = encodeBlock(vals, cfg);
         const double ulp = std::ldexp(1.0, block.exponent - cfg.bm);
         for (size_t i = 0; i < vals.size(); ++i) {
@@ -101,10 +98,8 @@ TEST(BfpBlock, TruncationRoundsTowardMinusInfinity)
     EXPECT_GE(std::fabs(block.decode(1, cfg.bm)), 0.99f);
 }
 
-TEST(BfpBlock, StochasticRoundingIsUnbiased)
+TEST_F(BfpSeeded, StochasticRoundingIsUnbiased)
 {
-    Rng rng(77);
-    const BfpConfig cfg{4, 1, Rounding::Stochastic};
     const float v = 0.53f; // deliberately off-grid
     double sum = 0;
     const int n = 20000;
@@ -141,33 +136,24 @@ TEST(BfpGemmTest, MatchesFp32OnGridValues)
     BfpGemmOptions opts;
     opts.config = {4, 4, Rounding::Nearest};
     const auto c = bfpGemm(a, b, m, k, n, opts);
-    for (int i = 0; i < m; ++i) {
-        for (int j = 0; j < n; ++j) {
-            float expect = 0;
-            for (int kk = 0; kk < k; ++kk)
-                expect += a[i * k + kk] * b[kk * n + j];
-            EXPECT_NEAR(c[i * n + j], expect, 1e-6) << i << "," << j;
-        }
-    }
+    const auto ref = mirage::test::referenceGemm(a, b, m, k, n);
+    for (size_t i = 0; i < ref.size(); ++i)
+        EXPECT_NEAR(c[i], ref[i], 1e-6) << i;
 }
 
-TEST(BfpGemmTest, RnsPathIsTransparent)
+TEST_F(BfpSeeded, RnsPathIsTransparent)
 {
     // The paper's core numerical claim: with Eq. (13) satisfied, computing
     // the chunk dot products in the RNS domain is bit-identical to the
     // plain integer path.
-    Rng rng(31);
     const int m = 6, k = 40, n = 5; // k not a multiple of g: tail groups
-    std::vector<float> a(m * k), b(k * n);
-    for (auto &v : a)
-        v = static_cast<float>(rng.gaussian(0, 1));
-    for (auto &v : b)
-        v = static_cast<float>(rng.gaussian(0, 1));
+    const auto a = mirage::test::gaussianVector(rng, m * k);
+    const auto b = mirage::test::gaussianVector(rng, k * n);
 
     BfpGemmOptions plain;
     plain.config = {4, 16, Rounding::Truncate};
     BfpGemmOptions with_rns = plain;
-    with_rns.moduli = rns::ModuliSet::special(5);
+    with_rns.moduli = mirage::test::paperModuli();
 
     const auto c_plain = bfpGemm(a, b, m, k, n, plain);
     const auto c_rns = bfpGemm(a, b, m, k, n, with_rns);
@@ -176,17 +162,13 @@ TEST(BfpGemmTest, RnsPathIsTransparent)
         EXPECT_EQ(c_plain[i], c_rns[i]) << i; // bit-exact
 }
 
-TEST(BfpGemmTest, RnsTransparencyAcrossConfigs)
+TEST_F(BfpSeeded, RnsTransparencyAcrossConfigs)
 {
-    Rng rng(32);
     struct Case { int bm; int g; int k_set; };
     for (const Case &c : {Case{3, 16, 4}, Case{4, 16, 5}, Case{5, 64, 6}}) {
         const int m = 4, k = 2 * c.g + 3, n = 3;
-        std::vector<float> a(m * k), b(k * n);
-        for (auto &v : a)
-            v = static_cast<float>(rng.gaussian(0, 4));
-        for (auto &v : b)
-            v = static_cast<float>(rng.gaussian(0, 0.5));
+        const auto a = mirage::test::gaussianVector(rng, m * k, 0, 4);
+        const auto b = mirage::test::gaussianVector(rng, k * n, 0, 0.5);
         BfpGemmOptions plain;
         plain.config = {c.bm, c.g, Rounding::Truncate};
         BfpGemmOptions with_rns = plain;
@@ -198,21 +180,12 @@ TEST(BfpGemmTest, RnsTransparencyAcrossConfigs)
     }
 }
 
-TEST(BfpGemmTest, QuantizationErrorShrinksWithMantissaBits)
+TEST_F(BfpSeeded, QuantizationErrorShrinksWithMantissaBits)
 {
-    Rng rng(33);
     const int m = 8, k = 64, n = 8;
-    std::vector<float> a(m * k), b(k * n);
-    for (auto &v : a)
-        v = static_cast<float>(rng.gaussian(0, 1));
-    for (auto &v : b)
-        v = static_cast<float>(rng.gaussian(0, 1));
-
-    std::vector<float> ref(static_cast<size_t>(m) * n, 0.0f);
-    for (int i = 0; i < m; ++i)
-        for (int j = 0; j < n; ++j)
-            for (int kk = 0; kk < k; ++kk)
-                ref[i * n + j] += a[i * k + kk] * b[kk * n + j];
+    const auto a = mirage::test::gaussianVector(rng, m * k);
+    const auto b = mirage::test::gaussianVector(rng, k * n);
+    const auto ref = mirage::test::referenceGemm(a, b, m, k, n);
 
     double prev_err = 1e30;
     for (int bm : {2, 4, 6, 8}) {
@@ -232,7 +205,7 @@ TEST(BfpGemmDeath, RejectsModuliTooSmallForConfig)
     std::vector<float> a(16, 1.0f), b(16, 1.0f);
     BfpGemmOptions opts;
     opts.config = {5, 16, Rounding::Truncate}; // needs k >= 6
-    opts.moduli = rns::ModuliSet::special(5);
+    opts.moduli = mirage::test::paperModuli();
     EXPECT_EXIT(bfpGemm(a, b, 1, 16, 1, opts), testing::ExitedWithCode(1),
                 "Eq. 13");
 }
@@ -245,13 +218,10 @@ TEST(BfpConfigTest, DotProductBits)
     EXPECT_EQ((BfpConfig{3, 16, Rounding::Truncate}).dotProductBits(), 11);
 }
 
-TEST(FakeQuantize, MatchesEncodeDecode)
+TEST_F(BfpSeeded, FakeQuantizeMatchesEncodeDecode)
 {
-    Rng rng(41);
     const BfpConfig cfg{4, 16, Rounding::Truncate};
-    std::vector<float> vals(50);
-    for (auto &v : vals)
-        v = static_cast<float>(rng.gaussian(0, 3));
+    std::vector<float> vals = mirage::test::gaussianVector(rng, 50, 0, 3);
     std::vector<float> copy = vals;
     fakeQuantize(std::span<float>(copy), cfg);
     // Re-quantizing is idempotent.

@@ -13,52 +13,43 @@
 #include "models/trainable.h"
 #include "nn/data.h"
 #include "nn/model.h"
+#include "test_support.h"
 
 namespace mirage {
 namespace core {
 namespace {
 
-TEST(Accelerator, EmulatedGemmApproximatesFp32)
+using AcceleratorSeeded = mirage::test::SeededTest;
+
+TEST_F(AcceleratorSeeded, EmulatedGemmApproximatesFp32)
 {
-    Rng rng(1);
     MirageAccelerator acc;
     const int m = 8, k = 48, n = 6;
-    std::vector<float> a(m * k), b(k * n);
-    for (auto &v : a)
-        v = static_cast<float>(rng.gaussian());
-    for (auto &v : b)
-        v = static_cast<float>(rng.gaussian());
+    const auto a = mirage::test::gaussianVector(rng, m * k);
+    const auto b = mirage::test::gaussianVector(rng, k * n);
     const auto c = acc.gemm(a, b, m, k, n);
     // BFP(4,16) truncation on unnormalized Gaussian data carries a real
     // quantization error (that is the point of the format study); assert a
     // bounded relative Frobenius error rather than elementwise closeness.
+    const auto ref = mirage::test::referenceGemm(a, b, m, k, n);
     double err2 = 0.0, ref2 = 0.0;
-    for (int i = 0; i < m; ++i) {
-        for (int j = 0; j < n; ++j) {
-            float expect = 0;
-            for (int kk = 0; kk < k; ++kk)
-                expect += a[i * k + kk] * b[kk * n + j];
-            const double d = c[i * n + j] - expect;
-            err2 += d * d;
-            ref2 += static_cast<double>(expect) * expect;
-        }
+    for (size_t i = 0; i < ref.size(); ++i) {
+        const double d = c[i] - ref[i];
+        err2 += d * d;
+        ref2 += static_cast<double>(ref[i]) * ref[i];
     }
     EXPECT_LT(std::sqrt(err2), 0.35 * std::sqrt(ref2) + 1.0);
     EXPECT_GT(std::sqrt(ref2), 1.0); // the check is not vacuous
 }
 
-TEST(Accelerator, PhotonicAndEmulatedPathsBitIdentical)
+TEST_F(AcceleratorSeeded, PhotonicAndEmulatedPathsBitIdentical)
 {
     // The flagship invariant at the API level: the full phase-domain
     // pipeline (noise off) returns exactly the integer-emulated result.
-    Rng rng(2);
     MirageAccelerator acc;
     const int m = 5, k = 40, n = 4;
-    std::vector<float> a(m * k), b(k * n);
-    for (auto &v : a)
-        v = static_cast<float>(rng.gaussian());
-    for (auto &v : b)
-        v = static_cast<float>(rng.gaussian());
+    const auto a = mirage::test::gaussianVector(rng, m * k);
+    const auto b = mirage::test::gaussianVector(rng, k * n);
     const auto emu = acc.gemm(a, b, m, k, n, ExecutionMode::Emulated);
     const auto pho = acc.gemm(a, b, m, k, n, ExecutionMode::Photonic);
     ASSERT_EQ(emu.size(), pho.size());

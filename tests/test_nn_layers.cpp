@@ -9,7 +9,6 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <functional>
 
 #include "nn/attention.h"
 #include "nn/layers_basic.h"
@@ -18,89 +17,14 @@
 #include "nn/loss.h"
 #include "nn/model.h"
 #include "nn/optimizer.h"
+#include "test_support.h"
 
 namespace mirage {
 namespace nn {
 namespace {
 
-/** Scalar probe loss: L = sum_i c_i * y_i with fixed random weights c. */
-struct ProbeLoss
-{
-    Tensor c;
-
-    explicit
-    ProbeLoss(const Tensor &y, Rng &rng)
-    {
-        c = Tensor(y.shape());
-        for (int64_t i = 0; i < c.size(); ++i)
-            c[i] = static_cast<float>(rng.gaussian());
-    }
-
-    float
-    value(const Tensor &y) const
-    {
-        double s = 0.0;
-        for (int64_t i = 0; i < y.size(); ++i)
-            s += static_cast<double>(c[i]) * y[i];
-        return static_cast<float>(s);
-    }
-};
-
-/**
- * Central-difference gradient check for `layer` on input `x`: verifies
- * dL/dx and dL/dtheta for every parameter.
- */
-void
-gradCheck(Layer &layer, Tensor x, double tol = 2e-2)
-{
-    Rng rng(1234);
-    Tensor y0 = layer.forward(x, true);
-    ProbeLoss probe(y0, rng);
-
-    // Analytic gradients.
-    for (Param *p : layer.params())
-        p->zeroGrad();
-    layer.forward(x, true);
-    const Tensor dx = layer.backward(probe.c);
-
-    const float eps = 1e-3f;
-    auto check = [&](float analytic, const std::function<void(float)> &set,
-                     float original, const char *what, int64_t idx) {
-        set(original + eps);
-        const float up = probe.value(layer.forward(x, true));
-        set(original - eps);
-        const float down = probe.value(layer.forward(x, true));
-        set(original);
-        const float numeric = (up - down) / (2.0f * eps);
-        const double bound =
-            tol * std::max(1.0, std::fabs(static_cast<double>(numeric)));
-        EXPECT_NEAR(analytic, numeric, bound) << what << "[" << idx << "]";
-    };
-
-    // Check a strided subset of input gradients (cost control).
-    const int64_t x_stride = std::max<int64_t>(1, x.size() / 24);
-    for (int64_t i = 0; i < x.size(); i += x_stride) {
-        const float orig = x[i];
-        check(dx[i], [&](float v) { x[i] = v; }, orig, "dx", i);
-    }
-
-    // Check a strided subset of every parameter's gradients.
-    for (Param *p : layer.params()) {
-        const int64_t stride = std::max<int64_t>(1, p->value.size() / 16);
-        for (int64_t i = 0; i < p->value.size(); i += stride) {
-            const float orig = p->value[i];
-            check(p->grad[i], [&](float v) { p->value[i] = v; }, orig,
-                  p->name.c_str(), i);
-        }
-    }
-}
-
-Tensor
-randomTensor(std::vector<int> shape, uint64_t seed, float stddev = 1.0f)
-{
-    Rng rng(seed);
-    return Tensor::randn(std::move(shape), rng, stddev);
-}
+using mirage::test::gradCheck;
+using mirage::test::randomTensor;
 
 TEST(GradCheck, Dense)
 {

@@ -11,6 +11,7 @@
 #include "nn/data.h"
 #include "nn/gemm_backend.h"
 #include "nn/model.h"
+#include "test_support.h"
 
 namespace mirage {
 namespace nn {
@@ -108,7 +109,7 @@ TEST(Training, MirageNumericsTrackFp32OnMlp)
     auto run = [&](numerics::DataFormat fmt) {
         Rng rng(20);
         numerics::FormatGemmConfig fc;
-        fc.moduli = rns::ModuliSet::special(5);
+        fc.moduli = mirage::test::paperModuli();
         FormatBackend backend(fmt, fc);
         auto model = models::makeMlp(8, 32, 4, &backend, rng);
         Sgd opt(0.05f, 0.9f);

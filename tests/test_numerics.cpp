@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "numerics/formats.h"
 #include "numerics/quantized_gemm.h"
+#include "test_support.h"
 
 namespace mirage {
 namespace numerics {
@@ -20,7 +21,7 @@ namespace {
 TEST(Bfloat16, ExactForRepresentableValues)
 {
     for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -0.25f, 1.5f})
-        EXPECT_EQ(toBfloat16(v), v) << v;
+        EXPECT_TRUE(mirage::test::ulpClose(toBfloat16(v), v, 0)) << v;
 }
 
 TEST(Bfloat16, RoundsMantissaTo8Bits)
@@ -40,8 +41,9 @@ TEST(Bfloat16, RelativeErrorBounded)
     for (int t = 0; t < 1000; ++t) {
         const float v = static_cast<float>(rng.gaussian(0, 100));
         const float q = toBfloat16(v);
-        if (v != 0.0f)
-            EXPECT_LE(std::fabs(q - v) / std::fabs(v), 1.0f / 128.0f);
+        if (v != 0.0f) {
+            EXPECT_TRUE(mirage::test::relClose(q, v, 1.0 / 128.0)) << v;
+        }
     }
 }
 
@@ -142,11 +144,7 @@ class FormatGemmTest : public testing::TestWithParam<DataFormat>
             v = static_cast<float>(rng_->gaussian(0, 1));
         for (auto &v : b_)
             v = static_cast<float>(rng_->gaussian(0, 1));
-        ref_.assign(static_cast<size_t>(m_) * n_, 0.0f);
-        for (int i = 0; i < m_; ++i)
-            for (int j = 0; j < n_; ++j)
-                for (int kk = 0; kk < k_; ++kk)
-                    ref_[i * n_ + j] += a_[i * k_ + kk] * b_[kk * n_ + j];
+        ref_ = mirage::test::referenceGemm(a_, b_, m_, k_, n_);
     }
 
     const int m_ = 6, k_ = 32, n_ = 4;
@@ -158,7 +156,7 @@ TEST_P(FormatGemmTest, ApproximatesFp32Reference)
 {
     const DataFormat fmt = GetParam();
     FormatGemmConfig cfg;
-    cfg.moduli = rns::ModuliSet::special(5);
+    cfg.moduli = mirage::test::paperModuli();
     GemmCall call;
     call.a = &a_;
     call.b = &b_;
@@ -229,7 +227,7 @@ TEST(FormatGemm, MirageMatchesPlainBfpGemm)
         v = static_cast<float>(rng.gaussian(0, 1));
 
     FormatGemmConfig cfg_rns;
-    cfg_rns.moduli = rns::ModuliSet::special(5);
+    cfg_rns.moduli = mirage::test::paperModuli();
     FormatGemmConfig cfg_plain; // no moduli: plain integer path
 
     GemmCall call;

@@ -17,10 +17,13 @@
 #include "photonic/mmu.h"
 #include "photonic/mmvmu.h"
 #include "rns/modular_gemm.h"
+#include "test_support.h"
 
 namespace mirage {
 namespace photonic {
 namespace {
+
+using PhotonicSeeded = mirage::test::SeededTest;
 
 TEST(MmuTest, PaperWorkedExample)
 {
@@ -75,9 +78,8 @@ TEST(PhaseDetectorTest, IdealDetectionToleratesSmallPhaseError)
     }
 }
 
-TEST(PhaseDetectorTest, NoisyDetectionHighSnrIsExact)
+TEST_F(PhotonicSeeded, NoisyDetectionHighSnrIsExact)
 {
-    Rng rng(8);
     const PhaseDetector det(33);
     const double phi0 = 2.0 * units::kPi / 33.0;
     // SNR = 1e4: error probability is negligible.
@@ -101,9 +103,8 @@ TEST(PhaseDetectorTest, NoisyDetectionLowSnrMakesErrors)
     EXPECT_GT(errors, 50); // SNR ~ 3 for 33 levels must fail often
 }
 
-TEST(MdpuTest, MatchesIntegerModularDot)
+TEST_F(PhotonicSeeded, MdpuMatchesIntegerModularDot)
 {
-    Rng rng(10);
     for (uint64_t m : {31ull, 32ull, 33ull}) {
         const int bits = (m == 33) ? 6 : 5;
         Mdpu mdpu(m, bits, 16);
@@ -133,9 +134,8 @@ TEST(MdpuTest, ShortInputsZeroFill)
               (5u * 3u + 7u * 3u) % 31u);
 }
 
-TEST(MmvmuTest, MatchesIdealMvm)
+TEST_F(PhotonicSeeded, MmvmuMatchesIdealMvm)
 {
-    Rng rng(12);
     const DeviceKit kit;
     Mmvmu unit(33, 8, 16, kit, 10e9, PhotonicNoiseConfig{});
     std::vector<rns::Residue> tile(8 * 16);
@@ -152,55 +152,50 @@ TEST(MmvmuTest, MatchesIdealMvm)
     EXPECT_EQ(unit.stats().mvms_executed, 20u);
 }
 
-TEST(RnsMmvmuTest, SignedMvmRoundTrip)
+TEST_F(PhotonicSeeded, RnsMmvmuSignedMvmRoundTrip)
 {
-    Rng rng(13);
     const DeviceKit kit;
-    RnsMmvmu array(rns::ModuliSet::special(5), 8, 16, kit, 10e9);
+    RnsMmvmu array(mirage::test::paperModuli(), 8, 16, kit, 10e9);
     // bm = 4 mantissas: [-15, 15].
-    std::vector<int64_t> tile(8 * 16);
-    for (auto &v : tile)
-        v = rng.uniformInt(-15, 15);
+    const auto tile = mirage::test::randomIntVector(rng, 8 * 16, -15, 15);
     array.programTile(tile, 8, 16);
     for (int t = 0; t < 20; ++t) {
-        std::vector<int64_t> x(16);
-        for (auto &v : x)
-            v = rng.uniformInt(-15, 15);
+        const auto x = mirage::test::randomIntVector(rng, 16, -15, 15);
         const auto y = array.mvm(x);
-        for (int r = 0; r < 8; ++r) {
-            int64_t expect = 0;
-            for (int c = 0; c < 16; ++c)
-                expect += tile[static_cast<size_t>(r) * 16 + c] * x[c];
-            EXPECT_EQ(y[static_cast<size_t>(r)], expect) << "row " << r;
-        }
+        // The reference MVM is a 1-column GEMM with the tile as A.
+        const auto expect = mirage::test::referenceGemm(tile, x, 8, 16, 1);
+        for (int r = 0; r < 8; ++r)
+            EXPECT_EQ(y[static_cast<size_t>(r)],
+                      expect[static_cast<size_t>(r)])
+                << "row " << r;
     }
 }
 
-TEST(PhotonicGemmTest, MatchesRnsGemmEngineAndExactInt)
+TEST_F(PhotonicSeeded, PhotonicGemmMatchesRnsEngineAndExactInt)
 {
-    Rng rng(14);
-    const rns::ModuliSet set = rns::ModuliSet::special(5);
+    const rns::ModuliSet set = mirage::test::paperModuli();
     const DeviceKit kit;
     RnsMmvmu array(set, 4, 8, kit, 10e9); // small array forces tiling
     const int m = 9, k = 19, n = 5;      // deliberately non-multiples
-    std::vector<int64_t> a(m * k), b(k * n);
-    for (auto &v : a)
-        v = rng.uniformInt(-15, 15);
-    for (auto &v : b)
-        v = rng.uniformInt(-15, 15);
+    const auto a =
+        mirage::test::randomIntVector(rng, static_cast<size_t>(m) * k, -15, 15);
+    const auto b =
+        mirage::test::randomIntVector(rng, static_cast<size_t>(k) * n, -15, 15);
 
     const auto c_photonic = photonicGemm(array, a, b, m, k, n);
     const rns::RnsGemmEngine engine(set);
     const auto c_rns = engine.gemm(a, b, m, k, n);
+    const auto c_exact = mirage::test::referenceGemm(a, b, m, k, n);
     ASSERT_EQ(c_photonic.size(), c_rns.size());
-    for (size_t i = 0; i < c_photonic.size(); ++i)
+    for (size_t i = 0; i < c_photonic.size(); ++i) {
         EXPECT_EQ(c_photonic[i], c_rns[i]) << i;
+        EXPECT_EQ(c_photonic[i], c_exact[i]) << i;
+    }
 }
 
 TEST(PhotonicGemmTest, TileAndMvmCountsMatchAnalyticTiling)
 {
-    Rng rng(15);
-    const rns::ModuliSet set = rns::ModuliSet::special(5);
+    const rns::ModuliSet set = mirage::test::paperModuli();
     const DeviceKit kit;
     RnsMmvmu array(set, 4, 8, kit, 10e9);
     const int m = 9, k = 19, n = 5;

@@ -17,11 +17,14 @@
 #include "common/rng.h"
 #include "photonic/mmvmu.h"
 #include "rns/modular_gemm.h"
+#include "test_support.h"
 
 namespace mirage {
 namespace {
 
-TEST(Property, GenericModuliSetsRoundTrip)
+using PropertySeeded = mirage::test::SeededTest;
+
+TEST_F(PropertySeeded, GenericModuliSetsRoundTrip)
 {
     // Many co-prime sets of varied size and magnitude; encode/decode and
     // both reverse algorithms must agree everywhere.
@@ -30,7 +33,6 @@ TEST(Property, GenericModuliSetsRoundTrip)
         {64, 63, 65}, {128, 127, 129}, {255, 256, 257, 253},
         {1021, 1024, 1023}, {5, 7, 9, 11, 13, 16},
     };
-    Rng rng(1);
     for (const auto &moduli : sets) {
         const rns::RnsCodec codec{rns::ModuliSet(moduli)};
         const int64_t psi = static_cast<int64_t>(
@@ -44,12 +46,11 @@ TEST(Property, GenericModuliSetsRoundTrip)
     }
 }
 
-TEST(Property, RnsAdditionAndMultiplicationHomomorphism)
+TEST_F(PropertySeeded, RnsAdditionAndMultiplicationHomomorphism)
 {
     // The RNS is closed under + and * (Sec. II-D): componentwise modular
     // ops on residues equal encode(op(x, y)) while in range.
-    Rng rng(2);
-    const rns::RnsCodec codec{rns::ModuliSet::special(5)};
+    const rns::RnsCodec codec{mirage::test::paperModuli()};
     const rns::ModuliSet &set = codec.set();
     for (int t = 0; t < 2000; ++t) {
         const int64_t x = rng.uniformInt(-127, 127);
@@ -83,12 +84,10 @@ TEST_P(PhotonicEquivalenceSweep, GemmBitExact)
     const int bm = (k_param == 5) ? 4 : 5;
     const int64_t q_max = (1 << bm) - 1;
     const int m = rows + 3, k_depth = g + 5, n = 4; // force edge tiles
-    std::vector<int64_t> a(static_cast<size_t>(m) * k_depth);
-    std::vector<int64_t> b(static_cast<size_t>(k_depth) * n);
-    for (auto &v : a)
-        v = rng.uniformInt(-q_max, q_max);
-    for (auto &v : b)
-        v = rng.uniformInt(-q_max, q_max);
+    const auto a = mirage::test::randomIntVector(
+        rng, static_cast<size_t>(m) * k_depth, -q_max, q_max);
+    const auto b = mirage::test::randomIntVector(
+        rng, static_cast<size_t>(k_depth) * n, -q_max, q_max);
 
     const auto c_photonic = photonicGemm(array, a, b, m, k_depth, n);
     const rns::RnsGemmEngine engine(set, /*check_range=*/false);
@@ -105,17 +104,20 @@ INSTANTIATE_TEST_SUITE_P(
                     std::tuple<int, int, int>{6, 16, 32},
                     std::tuple<int, int, int>{7, 4, 8}),
     [](const testing::TestParamInfo<std::tuple<int, int, int>> &info) {
-        return "k" + std::to_string(std::get<0>(info.param)) + "_r" +
-               std::to_string(std::get<1>(info.param)) + "_g" +
-               std::to_string(std::get<2>(info.param));
+        std::string name = "k";
+        name += std::to_string(std::get<0>(info.param));
+        name += "_r";
+        name += std::to_string(std::get<1>(info.param));
+        name += "_g";
+        name += std::to_string(std::get<2>(info.param));
+        return name;
     });
 
-TEST(Property, BfpFuzzEncodeDecodeBounds)
+TEST_F(PropertySeeded, BfpFuzzEncodeDecodeBounds)
 {
     // For every (bm, g, rounding) and wild value scales: mantissas in
     // two's-complement range, reconstruction within one ULP of the shared
     // exponent, idempotent re-encoding.
-    Rng rng(3);
     for (int bm : {2, 3, 4, 5, 8}) {
         for (int g : {1, 3, 16, 33}) {
             for (bfp::Rounding mode :
@@ -141,10 +143,9 @@ TEST(Property, BfpFuzzEncodeDecodeBounds)
     }
 }
 
-TEST(Property, MirageLatencyMonotonicInShape)
+TEST_F(PropertySeeded, MirageLatencyMonotonicInShape)
 {
     const arch::MiragePerfModel model{arch::MirageConfig{}};
-    Rng rng(4);
     for (int t = 0; t < 200; ++t) {
         const arch::GemmShape s{rng.uniformInt(1, 2000),
                                 rng.uniformInt(1, 2000),

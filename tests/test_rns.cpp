@@ -13,10 +13,13 @@
 #include "rns/modular_gemm.h"
 #include "rns/moduli_set.h"
 #include "rns/modulus.h"
+#include "test_support.h"
 
 namespace mirage {
 namespace rns {
 namespace {
+
+using RnsSeeded = mirage::test::SeededTest;
 
 TEST(Modulus, AddSubMul)
 {
@@ -101,7 +104,7 @@ TEST(ModuliSetDeath, RejectsTrivialModulus)
 
 TEST(RnsCodec, EncodeDecodeRoundTripExhaustiveSmallSet)
 {
-    const RnsCodec codec{ModuliSet({3, 4, 5})}; // M = 60, psi = 29
+    const RnsCodec codec{mirage::test::tinyModuli()}; // M = 60, psi = 29
     for (int64_t x = -29; x <= 29; ++x) {
         const ResidueVector r = codec.encode(x);
         EXPECT_EQ(codec.decode(r), x);
@@ -118,9 +121,8 @@ TEST(RnsCodec, RoundTripSpecialSetBoundaries)
     }
 }
 
-TEST(RnsCodec, CrtMatchesMixedRadixRandomized)
+TEST_F(RnsSeeded, CrtMatchesMixedRadixRandomized)
 {
-    Rng rng(2024);
     for (int k : {4, 5, 6, 8}) {
         const RnsCodec codec{ModuliSet::special(k)};
         const int64_t psi = static_cast<int64_t>(codec.set().psi());
@@ -133,11 +135,10 @@ TEST(RnsCodec, CrtMatchesMixedRadixRandomized)
     }
 }
 
-TEST(RnsCodec, LargeGenericSet)
+TEST_F(RnsSeeded, LargeGenericSet)
 {
     // Five co-prime moduli, M ~ 2^38.
-    const RnsCodec codec{ModuliSet({251, 253, 255, 256, 257})};
-    Rng rng(7);
+    const RnsCodec codec{mirage::test::wideModuli()};
     const int64_t psi = static_cast<int64_t>(codec.set().psi());
     for (int t = 0; t < 1000; ++t) {
         const int64_t x = rng.uniformInt(-psi, psi);
@@ -156,24 +157,19 @@ TEST(RnsCodec, UnsignedDecode)
     }
 }
 
-TEST(ModularGemm, MatchesExactIntegerGemm)
+TEST_F(RnsSeeded, ModularGemmMatchesExactIntegerGemm)
 {
-    Rng rng(11);
-    const ModuliSet set = ModuliSet::special(5);
+    const ModuliSet set = mirage::test::paperModuli();
     const RnsGemmEngine engine(set);
     const int m = 5, k = 16, n = 7;
     // BFP mantissa range for bm=4: [-15, 15]; Eq. (13) guarantees fit.
-    std::vector<int64_t> a(m * k), b(k * n);
-    for (auto &v : a)
-        v = rng.uniformInt(-15, 15);
-    for (auto &v : b)
-        v = rng.uniformInt(-15, 15);
+    const auto a =
+        mirage::test::randomIntVector(rng, static_cast<size_t>(m) * k, -15, 15);
+    const auto b =
+        mirage::test::randomIntVector(rng, static_cast<size_t>(k) * n, -15, 15);
 
     const auto c = engine.gemm(a, b, m, k, n); // internally cross-checked
-    int64_t expect00 = 0;
-    for (int kk = 0; kk < k; ++kk)
-        expect00 += a[kk] * b[static_cast<size_t>(kk) * n];
-    EXPECT_EQ(c[0], expect00);
+    EXPECT_EQ(c, mirage::test::referenceGemm(a, b, m, k, n));
 }
 
 TEST(ModularGemmDeath, DetectsRangeOverflow)
@@ -188,9 +184,8 @@ TEST(ModularGemmDeath, DetectsRangeOverflow)
                 "dynamic range exceeded");
 }
 
-TEST(ModularDot, SmallAndLargeModulusPathsAgree)
+TEST_F(RnsSeeded, ModularDotSmallAndLargeModulusPathsAgree)
 {
-    Rng rng(3);
     const int len = 64;
     std::vector<Residue> a(len), b(len);
     const uint64_t small_m = 33;
@@ -227,18 +222,14 @@ TEST_P(RnsGemmSweep, ResidueGemmMatchesInt64)
     const RnsGemmEngine engine(set);
     const int m = 4, n = 3;
     const int64_t q_max = (1 << bm) - 1;
-    std::vector<int64_t> a(static_cast<size_t>(m) * g), b(static_cast<size_t>(g) * n);
-    for (auto &v : a)
-        v = rng.uniformInt(-q_max, q_max);
-    for (auto &v : b)
-        v = rng.uniformInt(-q_max, q_max);
-    // The engine cross-checks internally; just ensure it completes and the
-    // first element matches a hand accumulation.
+    const auto a = mirage::test::randomIntVector(
+        rng, static_cast<size_t>(m) * g, -q_max, q_max);
+    const auto b = mirage::test::randomIntVector(
+        rng, static_cast<size_t>(g) * n, -q_max, q_max);
+    // The engine also cross-checks internally; compare the whole result
+    // against the golden int64 GEMM.
     const auto c = engine.gemm(a, b, m, g, n);
-    int64_t expect = 0;
-    for (int kk = 0; kk < g; ++kk)
-        expect += a[kk] * b[static_cast<size_t>(kk) * n];
-    EXPECT_EQ(c[0], expect);
+    EXPECT_EQ(c, mirage::test::referenceGemm(a, b, m, g, n));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -250,8 +241,11 @@ INSTANTIATE_TEST_SUITE_P(
                     std::tuple<int, int>{5, 32}, std::tuple<int, int>{6, 16},
                     std::tuple<int, int>{6, 32}, std::tuple<int, int>{6, 64}),
     [](const testing::TestParamInfo<std::tuple<int, int>> &info) {
-        return "k" + std::to_string(std::get<0>(info.param)) + "_g" +
-               std::to_string(std::get<1>(info.param));
+        std::string name = "k";
+        name += std::to_string(std::get<0>(info.param));
+        name += "_g";
+        name += std::to_string(std::get<1>(info.param));
+        return name;
     });
 
 } // namespace

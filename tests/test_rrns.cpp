@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "rns/rrns.h"
+#include "test_support.h"
 
 namespace mirage {
 namespace rns {
@@ -18,7 +19,7 @@ RedundantRns
 makeDefaultRrns()
 {
     // Base set {31, 32, 33} plus redundant moduli co-prime to the rest.
-    return RedundantRns(ModuliSet::special(5), {35, 37});
+    return RedundantRns(mirage::test::paperModuli(), {35, 37});
 }
 
 TEST(Rrns, CleanDecode)
@@ -123,14 +124,14 @@ TEST(Rrns, DoubleErrorIsDetectedButNotMiscorrected)
 
 TEST(RrnsDeath, RequiresRedundantModuli)
 {
-    EXPECT_EXIT(RedundantRns(ModuliSet::special(5), {}),
+    EXPECT_EXIT(RedundantRns(mirage::test::paperModuli(), {}),
                 testing::ExitedWithCode(1), "redundant");
 }
 
 TEST(RrnsDeath, RejectsConflictingRedundantModuli)
 {
     // 34 = 2 * 17 shares a factor with 32.
-    EXPECT_EXIT(RedundantRns(ModuliSet::special(5), {34}),
+    EXPECT_EXIT(RedundantRns(mirage::test::paperModuli(), {34}),
                 testing::ExitedWithCode(1), "co-prime");
 }
 

@@ -10,10 +10,13 @@
 #include "common/rng.h"
 #include "rns/conversion.h"
 #include "rns/special_converter.h"
+#include "test_support.h"
 
 namespace mirage {
 namespace rns {
 namespace {
+
+using ConverterSeeded = mirage::test::SeededTest;
 
 TEST(SpecialConverter, ModMersenneBasics)
 {
@@ -68,9 +71,8 @@ TEST(SpecialConverter, SignedRoundTripExhaustiveK5)
         ASSERT_EQ(conv.reverseSigned(conv.forwardSigned(x)), x) << x;
 }
 
-TEST(SpecialConverter, AgreesWithGenericCodecRandomized)
+TEST_F(ConverterSeeded, AgreesWithGenericCodecRandomized)
 {
-    Rng rng(555);
     for (int k : {4, 5, 6, 8, 10}) {
         const SpecialConverter conv(k);
         const RnsCodec codec{ModuliSet::special(k)};
@@ -85,13 +87,12 @@ TEST(SpecialConverter, AgreesWithGenericCodecRandomized)
     }
 }
 
-TEST(SpecialConverter, HandlesLargeDotProductMagnitudes)
+TEST_F(ConverterSeeded, HandlesLargeDotProductMagnitudes)
 {
     // Forward conversion is applied to dot-product outputs up to the full
     // dynamic range in the hardware's reverse-conversion path; make sure
     // chunk folding handles many-chunk inputs (values >> M) as pure mod.
     const SpecialConverter conv(5);
-    Rng rng(9);
     for (int t = 0; t < 2000; ++t) {
         const uint64_t a = rng.nextU64() >> 8; // 56-bit values
         EXPECT_EQ(conv.modMersenne(a), a % 31u);
