@@ -127,6 +127,18 @@ main(int argc, char **argv)
         bench::emit(table, opts);
     }
 
+    std::cout << "=== Mirage absolute training throughput per step "
+                 "(macsPerSecond) ===\n";
+    TablePrinter tput({"model", "time(s)", "MACs", "MAC/s"});
+    for (const auto &net : models::allModels()) {
+        const core::PerformanceReport mrep = mirage.estimateTraining(net, batch);
+        mrep.validateUnits();
+        tput.addRow({net.name, formatSig(mrep.time_s, 3),
+                     std::to_string(mrep.macs),
+                     formatSig(mrep.macsPerSecond(), 4)});
+    }
+    bench::emit(tput, opts);
+
     std::cout
         << "Mirage reference: runtime/EDP/power computed with the component\n"
            "model (compute scope, no SRAM): power = "

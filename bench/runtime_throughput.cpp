@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Runtime engine throughput sweep: aggregate GEMM MAC/s across thread
+ * count x tile count x burst (batch) size, on emulated-mode BFP+RNS GEMM
+ * jobs. The speedup column is normalized to the 1-thread/1-tile row of
+ * the same burst size; on a machine with >= 8 cores the 8-thread rows
+ * should exceed 3x. Results are bit-identical across all configurations
+ * (verified by test_runtime / test_runtime_determinism), so this sweep is
+ * purely about wall-clock scaling.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/mirage.h"
+#include "runtime/engine.h"
+#include "runtime/thread_pool.h"
+
+namespace {
+
+using namespace mirage;
+using Clock = std::chrono::steady_clock;
+
+struct SweepPoint
+{
+    int threads = 1;
+    int tiles = 1;
+    int burst = 1; ///< GEMM jobs submitted per burst.
+};
+
+struct SweepResult
+{
+    double wall_s = 0.0;
+    double macs_per_s = 0.0;
+    double avg_latency_ms = 0.0;
+    double utilization = 0.0;
+    uint64_t batches = 0;
+};
+
+SweepResult
+runSweep(const SweepPoint &pt, int m, int k, int n, int bursts)
+{
+    runtime::ThreadPool::setGlobalThreads(pt.threads);
+    runtime::EngineConfig cfg;
+    cfg.tiles = pt.tiles;
+    cfg.max_batch = pt.burst > 1 ? pt.burst : 1;
+    cfg.queue_capacity = static_cast<size_t>(pt.burst) * 2 + 4;
+    runtime::RuntimeEngine engine(cfg);
+
+    // One shared operand set per shape keeps generation off the clock.
+    Rng rng(7);
+    runtime::GemmRequest proto;
+    proto.m = m;
+    proto.k = k;
+    proto.n = n;
+    proto.a.resize(static_cast<size_t>(m) * k);
+    proto.b.resize(static_cast<size_t>(k) * n);
+    for (auto &v : proto.a)
+        v = static_cast<float>(rng.gaussian());
+    for (auto &v : proto.b)
+        v = static_cast<float>(rng.gaussian());
+
+    const Clock::time_point t0 = Clock::now();
+    int64_t macs = 0;
+    double latency_sum = 0.0;
+    uint64_t jobs = 0;
+    for (int burst = 0; burst < bursts; ++burst) {
+        std::vector<std::future<runtime::GemmResult>> futs;
+        futs.reserve(static_cast<size_t>(pt.burst));
+        for (int j = 0; j < pt.burst; ++j)
+            futs.push_back(engine.submitGemm(proto));
+        for (auto &f : futs) {
+            const runtime::GemmResult res = f.get();
+            latency_sum += res.latency_s;
+            macs += static_cast<int64_t>(m) * k * n;
+            ++jobs;
+        }
+    }
+    engine.drain();
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    SweepResult out;
+    out.wall_s = wall;
+    out.macs_per_s = wall > 0 ? static_cast<double>(macs) / wall : 0.0;
+    out.avg_latency_ms =
+        jobs > 0 ? 1e3 * latency_sum / static_cast<double>(jobs) : 0.0;
+    const runtime::RuntimeReport rep = engine.report();
+    out.utilization = rep.utilization();
+    out.batches = rep.batches_dispatched;
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("runtime throughput",
+                  "parallel batched GEMM engine: threads x tiles x burst",
+                  opts);
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::cout << "hardware_concurrency: " << (hw == 0 ? 1 : hw) << "\n\n";
+
+    // Emulated-mode BFP+RNS GEMM jobs; --full uses the larger shape and a
+    // longer sweep so per-job overhead is fully amortized.
+    const int m = opts.full ? 192 : 96;
+    const int k = 64;
+    const int n = opts.full ? 96 : 48;
+    const int bursts = opts.full ? 4 : 2;
+
+    std::vector<int> thread_counts = {1, 2, 4, 8};
+    std::vector<int> tile_counts = opts.full ? std::vector<int>{1, 2, 4}
+                                             : std::vector<int>{1, 4};
+    std::vector<int> burst_sizes = opts.full ? std::vector<int>{1, 8, 32}
+                                             : std::vector<int>{8};
+
+    TablePrinter table({"threads", "tiles", "burst", "wall(ms)", "MAC/s",
+                        "speedup(x)", "avg lat(ms)", "util", "batches"});
+    for (int burst : burst_sizes) {
+        double baseline = 0.0;
+        for (int tiles : tile_counts) {
+            for (int threads : thread_counts) {
+                const SweepPoint pt{threads, tiles, burst};
+                const SweepResult res = runSweep(pt, m, k, n, bursts);
+                if (tiles == 1 && threads == 1)
+                    baseline = res.macs_per_s;
+                table.addRow({std::to_string(threads), std::to_string(tiles),
+                              std::to_string(burst),
+                              formatFixed(res.wall_s * 1e3, 1),
+                              formatSig(res.macs_per_s, 4),
+                              baseline > 0
+                                  ? formatFixed(res.macs_per_s / baseline, 2)
+                                  : "n/a",
+                              formatFixed(res.avg_latency_ms, 2),
+                              formatFixed(res.utilization, 2),
+                              std::to_string(res.batches)});
+            }
+        }
+    }
+    bench::emit(table, opts);
+    runtime::ThreadPool::setGlobalThreads(0);
+
+    std::cout
+        << "MAC/s follows core::PerformanceReport::macsPerSecond semantics\n"
+           "(MACs / wall seconds). Expectation on an >= 8-core host: the\n"
+           "8-thread, multi-tile rows reach >= 3x the 1-thread baseline;\n"
+           "single-core hosts show ~1x with the engine overhead visible in\n"
+           "the latency column. Results are bit-identical across every\n"
+           "configuration (see test_runtime_determinism).\n";
+    return 0;
+}

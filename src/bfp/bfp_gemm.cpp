@@ -6,9 +6,23 @@
 #include "common/math_util.h"
 #include "rns/conversion.h"
 #include "rns/modular_gemm.h"
+#include "runtime/thread_pool.h"
 
 namespace mirage {
 namespace bfp {
+
+namespace {
+
+/// Rows per parallelFor block. Fixed (never derived from the thread count)
+/// so the block decomposition — and with it every per-row Rng substream —
+/// is identical at every thread count. (Rng substreams are per-row, so the
+/// runtime::serialBelow small-workload collapse never changes results.)
+constexpr int64_t kEncodeGrain = 8;
+constexpr int64_t kComputeGrain = 2;
+constexpr int64_t kMinEncodeWork = 4096;
+constexpr int64_t kMinComputeWork = 16384;
+
+} // namespace
 
 BfpMatrix
 encodeRows(const std::vector<float> &a, int m_rows, int k_depth,
@@ -20,17 +34,35 @@ encodeRows(const std::vector<float> &a, int m_rows, int k_depth,
     out.rows = m_rows;
     out.g = cfg.g;
     out.chunk_count = static_cast<int>(ceilDiv(k_depth, cfg.g));
-    out.blocks.reserve(static_cast<size_t>(m_rows) * out.chunk_count);
-    for (int i = 0; i < m_rows; ++i) {
-        for (int c = 0; c < out.chunk_count; ++c) {
-            const int start = c * cfg.g;
-            const int len = std::min(cfg.g, k_depth - start);
-            std::span<const float> group(
-                &a[static_cast<size_t>(i) * k_depth + start],
-                static_cast<size_t>(len));
-            out.blocks.push_back(encodeBlock(group, cfg, rng));
+    out.blocks.resize(static_cast<size_t>(m_rows) * out.chunk_count);
+    // Stochastic rounding draws from a per-row substream (split of one base
+    // value drawn from the caller's rng), so encoding stays bit-identical
+    // for every thread count and deterministic rounding never consumes rng.
+    const bool stochastic =
+        rng != nullptr && cfg.rounding == Rounding::Stochastic;
+    const uint64_t base = stochastic ? rng->nextU64() : 0;
+    runtime::parallelFor(
+        m_rows,
+        runtime::serialBelow(m_rows, kEncodeGrain,
+                             static_cast<int64_t>(m_rows) * k_depth,
+                             kMinEncodeWork),
+        [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+            std::optional<Rng> row_rng;
+            if (stochastic)
+                row_rng.emplace(Rng::stream(base, static_cast<uint64_t>(i)));
+            Rng *row_rng_p = row_rng ? &*row_rng : nullptr;
+            for (int c = 0; c < out.chunk_count; ++c) {
+                const int start = c * cfg.g;
+                const int len = std::min(cfg.g, k_depth - start);
+                std::span<const float> group(
+                    &a[static_cast<size_t>(i) * k_depth + start],
+                    static_cast<size_t>(len));
+                out.blocks[static_cast<size_t>(i) * out.chunk_count + c] =
+                    encodeBlock(group, cfg, row_rng_p);
+            }
         }
-    }
+    });
     return out;
 }
 
@@ -44,19 +76,35 @@ encodeCols(const std::vector<float> &b, int k_depth, int n_cols,
     out.rows = n_cols;
     out.g = cfg.g;
     out.chunk_count = static_cast<int>(ceilDiv(k_depth, cfg.g));
-    out.blocks.reserve(static_cast<size_t>(n_cols) * out.chunk_count);
-    std::vector<float> group_buf(cfg.g);
-    for (int j = 0; j < n_cols; ++j) {
-        for (int c = 0; c < out.chunk_count; ++c) {
-            const int start = c * cfg.g;
-            const int len = std::min(cfg.g, k_depth - start);
-            for (int t = 0; t < len; ++t)
-                group_buf[t] = b[static_cast<size_t>(start + t) * n_cols + j];
-            std::span<const float> group(group_buf.data(),
-                                         static_cast<size_t>(len));
-            out.blocks.push_back(encodeBlock(group, cfg, rng));
+    out.blocks.resize(static_cast<size_t>(n_cols) * out.chunk_count);
+    const bool stochastic =
+        rng != nullptr && cfg.rounding == Rounding::Stochastic;
+    const uint64_t base = stochastic ? rng->nextU64() : 0;
+    runtime::parallelFor(
+        n_cols,
+        runtime::serialBelow(n_cols, kEncodeGrain,
+                             static_cast<int64_t>(k_depth) * n_cols,
+                             kMinEncodeWork),
+        [&](int64_t j0, int64_t j1) {
+        std::vector<float> group_buf(static_cast<size_t>(cfg.g));
+        for (int64_t j = j0; j < j1; ++j) {
+            std::optional<Rng> col_rng;
+            if (stochastic)
+                col_rng.emplace(Rng::stream(base, static_cast<uint64_t>(j)));
+            Rng *col_rng_p = col_rng ? &*col_rng : nullptr;
+            for (int c = 0; c < out.chunk_count; ++c) {
+                const int start = c * cfg.g;
+                const int len = std::min(cfg.g, k_depth - start);
+                for (int t = 0; t < len; ++t)
+                    group_buf[static_cast<size_t>(t)] =
+                        b[static_cast<size_t>(start + t) * n_cols + j];
+                std::span<const float> group(group_buf.data(),
+                                             static_cast<size_t>(len));
+                out.blocks[static_cast<size_t>(j) * out.chunk_count + c] =
+                    encodeBlock(group, cfg, col_rng_p);
+            }
         }
-    }
+    });
     return out;
 }
 
@@ -110,27 +158,37 @@ bfpGemm(const std::vector<float> &a, const std::vector<float> &b,
     const int chunks = a_enc.chunk_count;
     const int bm = opts.config.bm;
     std::vector<float> c(static_cast<size_t>(m_rows) * n_cols, 0.0f);
-    for (int i = 0; i < m_rows; ++i) {
-        for (int j = 0; j < n_cols; ++j) {
-            float acc = 0.0f; // FP32 partial-output accumulation (step 9)
-            for (int ch = 0; ch < chunks; ++ch) {
-                const BfpBlock &blk_a =
-                    a_enc.blocks[static_cast<size_t>(i) * chunks + ch];
-                const BfpBlock &blk_b =
-                    b_enc.blocks[static_cast<size_t>(j) * chunks + ch];
-                int64_t isum;
-                if (codec) {
-                    isum = rnsChunkDot(blk_a, blk_b, *codec);
-                } else {
-                    isum = blockDot(blk_a, blk_b, bm).integer_sum;
+    // Output rows are independent and rng-free; the per-element chunk
+    // accumulation order below is unchanged, so the parallel result is
+    // bit-identical to serial execution.
+    runtime::parallelFor(
+        m_rows,
+        runtime::serialBelow(m_rows, kComputeGrain,
+                             static_cast<int64_t>(m_rows) * k_depth * n_cols,
+                             kMinComputeWork),
+        [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            for (int j = 0; j < n_cols; ++j) {
+                float acc = 0.0f; // FP32 partial-output accumulation (step 9)
+                for (int ch = 0; ch < chunks; ++ch) {
+                    const BfpBlock &blk_a =
+                        a_enc.blocks[static_cast<size_t>(i) * chunks + ch];
+                    const BfpBlock &blk_b =
+                        b_enc.blocks[static_cast<size_t>(j) * chunks + ch];
+                    int64_t isum;
+                    if (codec) {
+                        isum = rnsChunkDot(blk_a, blk_b, *codec);
+                    } else {
+                        isum = blockDot(blk_a, blk_b, bm).integer_sum;
+                    }
+                    acc += static_cast<float>(
+                        std::ldexp(static_cast<double>(isum),
+                                   blk_a.exponent + blk_b.exponent - 2 * bm));
                 }
-                acc += static_cast<float>(
-                    std::ldexp(static_cast<double>(isum),
-                               blk_a.exponent + blk_b.exponent - 2 * bm));
+                c[static_cast<size_t>(i) * n_cols + j] = acc;
             }
-            c[static_cast<size_t>(i) * n_cols + j] = acc;
         }
-    }
+    });
     return c;
 }
 

@@ -1,9 +1,28 @@
 #include "core/mirage.h"
 
+#include <cmath>
+
 #include "common/logging.h"
 
 namespace mirage {
 namespace core {
+
+void
+PerformanceReport::validateUnits() const
+{
+    MIRAGE_ASSERT(time_s >= 0.0 && macs >= 0, "negative time or MAC count");
+    MIRAGE_ASSERT(compute_power_w >= 0.0, "negative compute power");
+    MIRAGE_ASSERT(total_power_w >= compute_power_w,
+                  "total power [W] must include the compute scope");
+    const double expect_energy = compute_power_w * time_s;
+    MIRAGE_ASSERT(std::fabs(energy_j - expect_energy) <=
+                      1e-9 * std::max(1.0, std::fabs(expect_energy)),
+                  "energy_j must equal compute_power_w * time_s [J]");
+    const double expect_edp = energy_j * time_s;
+    MIRAGE_ASSERT(std::fabs(edp - expect_edp) <=
+                      1e-9 * std::max(1.0, std::fabs(expect_edp)),
+                  "edp must equal energy_j * time_s [J*s]");
+}
 
 MirageAccelerator::MirageAccelerator(arch::MirageConfig cfg)
     : cfg_(std::move(cfg)), perf_(cfg_), energy_(cfg_)
@@ -49,6 +68,7 @@ MirageAccelerator::report(const models::ModelShape &model,
     rep.total_power_w = power.total();
     rep.energy_j = rep.compute_power_w * rep.time_s;
     rep.edp = rep.energy_j * rep.time_s;
+    rep.validateUnits();
     return rep;
 }
 

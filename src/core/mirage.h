@@ -33,23 +33,39 @@ enum class ExecutionMode
     Photonic,
 };
 
-/** Estimated execution of one model (training step or inference pass). */
+/**
+ * Estimated execution of one model (training step or inference pass).
+ *
+ * Unit contract (single source of truth — validateUnits() asserts it):
+ * every field is SI. `time_s` is seconds, the power fields are watts,
+ * `energy_j` is joules and MUST equal compute_power_w * time_s (the
+ * Fig. 8 compute scope — SRAM is excluded from energy on purpose), and
+ * `edp` is joule-seconds and MUST equal energy_j * time_s.
+ */
 struct PerformanceReport
 {
     std::string model_name;
     double time_s = 0.0;
     int64_t macs = 0;
     double avg_spatial_util = 0.0;
-    double compute_power_w = 0.0; ///< Non-SRAM power (Fig. 8 scope).
-    double total_power_w = 0.0;   ///< Including SRAM (Fig. 9 scope).
-    double energy_j = 0.0;        ///< compute_power_w * time_s.
-    double edp = 0.0;             ///< energy_j * time_s.
+    double compute_power_w = 0.0; ///< Non-SRAM power [W] (Fig. 8 scope).
+    double total_power_w = 0.0;   ///< Including SRAM [W] (Fig. 9 scope).
+    double energy_j = 0.0;        ///< compute_power_w * time_s [J].
+    double edp = 0.0;             ///< energy_j * time_s [J*s].
 
     /** Effective throughput [MAC/s]. */
     double macsPerSecond() const
     {
         return time_s > 0 ? static_cast<double>(macs) / time_s : 0.0;
     }
+
+    /**
+     * Panics unless the unit contract above holds (energy_j and edp
+     * consistent with time_s and compute_power_w, totals ordered). Called
+     * by every report producer; benchmarks may call it on hand-built
+     * reports too.
+     */
+    void validateUnits() const;
 };
 
 /** The Mirage accelerator: numerics + performance + power in one handle. */

@@ -20,7 +20,18 @@
 namespace mirage {
 namespace nn {
 
-/** Abstract GEMM executor: C[m x n] = A[m x k] * B[k x n], row-major. */
+/**
+ * Abstract GEMM executor: C[m x n] = A[m x k] * B[k x n], row-major.
+ *
+ * Threading contract: a backend instance supports ONE caller at a time
+ * (backends hold mutable state — an Rng stream, photonic array stats).
+ * Internally every implementation parallelizes its hot loops over the
+ * global runtime::ThreadPool (rows, moduli, MDPU channels), so layers and
+ * models speed up transparently with the pool's thread count while staying
+ * bit-identical to serial execution (see runtime/thread_pool.h). For
+ * concurrent callers, give each its own backend — e.g. one accelerator
+ * tile per runtime::RuntimeEngine worker.
+ */
 class GemmBackend
 {
   public:

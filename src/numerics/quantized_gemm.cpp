@@ -4,11 +4,28 @@
 
 #include "bfp/bfp_gemm.h"
 #include "common/logging.h"
+#include "runtime/thread_pool.h"
 
 namespace mirage {
 namespace numerics {
 
 namespace {
+
+/// Output rows per parallelFor block (fixed — see thread_pool.h). Each row
+/// keeps its serial accumulation order, so parallel results stay
+/// bit-identical.
+constexpr int64_t kRowGrain = 2;
+/// Below this approximate MAC count the loops run serially (no sync cost).
+constexpr int64_t kMinParallelWork = 16384;
+
+int64_t
+gemmGrain(const GemmCall &call)
+{
+    return runtime::serialBelow(call.m, kRowGrain,
+                                static_cast<int64_t>(call.m) * call.k *
+                                    call.n,
+                                kMinParallelWork);
+}
 
 void
 checkCall(const GemmCall &call)
@@ -27,17 +44,19 @@ gemmTransformed(const GemmCall &call, const std::vector<float> &a,
                 const std::vector<float> &b)
 {
     std::vector<float> c(static_cast<size_t>(call.m) * call.n, 0.0f);
-    for (int i = 0; i < call.m; ++i) {
-        for (int kk = 0; kk < call.k; ++kk) {
-            const float a_ik = a[static_cast<size_t>(i) * call.k + kk];
-            if (a_ik == 0.0f)
-                continue;
-            const float *b_row = &b[static_cast<size_t>(kk) * call.n];
-            float *c_row = &c[static_cast<size_t>(i) * call.n];
-            for (int j = 0; j < call.n; ++j)
-                c_row[j] += a_ik * b_row[j];
+    runtime::parallelFor(call.m, gemmGrain(call), [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            for (int kk = 0; kk < call.k; ++kk) {
+                const float a_ik = a[static_cast<size_t>(i) * call.k + kk];
+                if (a_ik == 0.0f)
+                    continue;
+                const float *b_row = &b[static_cast<size_t>(kk) * call.n];
+                float *c_row = &c[static_cast<size_t>(i) * call.n];
+                for (int j = 0; j < call.n; ++j)
+                    c_row[j] += a_ik * b_row[j];
+            }
         }
-    }
+    });
     return c;
 }
 
@@ -63,18 +82,20 @@ gemmIntQuant(const GemmCall &call, int bits)
         qb[i] = intQuantize((*call.b)[i], scale_b, bits);
 
     std::vector<float> c(static_cast<size_t>(call.m) * call.n);
-    for (int i = 0; i < call.m; ++i) {
-        for (int j = 0; j < call.n; ++j) {
-            int64_t acc = 0;
-            for (int kk = 0; kk < call.k; ++kk) {
-                acc += static_cast<int64_t>(
-                           qa[static_cast<size_t>(i) * call.k + kk]) *
-                       qb[static_cast<size_t>(kk) * call.n + j];
+    runtime::parallelFor(call.m, gemmGrain(call), [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            for (int j = 0; j < call.n; ++j) {
+                int64_t acc = 0;
+                for (int kk = 0; kk < call.k; ++kk) {
+                    acc += static_cast<int64_t>(
+                               qa[static_cast<size_t>(i) * call.k + kk]) *
+                           qb[static_cast<size_t>(kk) * call.n + j];
+                }
+                c[static_cast<size_t>(i) * call.n + j] =
+                    static_cast<float>(acc) * scale_a * scale_b;
             }
-            c[static_cast<size_t>(i) * call.n + j] =
-                static_cast<float>(acc) * scale_a * scale_b;
         }
-    }
+    });
     return c;
 }
 

@@ -1,13 +1,31 @@
 #include "photonic/mmvmu.h"
 
 #include <cmath>
+#include <optional>
 
 #include "analog/noise.h"
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "runtime/thread_pool.h"
 
 namespace mirage {
 namespace photonic {
+
+namespace {
+
+/// MDPU rows per parallelFor block (fixed — see thread_pool.h). The paper's
+/// MMVMU drives all rows simultaneously off one broadcast input; the host
+/// model mirrors that row-level parallelism.
+constexpr int64_t kRowGrain = 8;
+
+/// Work cutoffs below which the loops run serially (runtime::serialBelow):
+/// phase accumulation/detection is expensive per element, weight copies are
+/// cheap, so the thresholds differ.
+constexpr int64_t kMinMvmWork = 1024;
+constexpr int64_t kMinProgramWork = 8192;
+constexpr int64_t kMinDecodeWork = 512;
+
+} // namespace
 
 Mmvmu::Mmvmu(uint64_t modulus, int rows, int g, const DeviceKit &kit,
              double bandwidth_hz, PhotonicNoiseConfig noise)
@@ -36,18 +54,26 @@ Mmvmu::programTile(std::span<const rns::Residue> tile, int tile_rows,
                   "tile exceeds array dimensions");
     MIRAGE_ASSERT(tile.size() == static_cast<size_t>(tile_rows) * tile_cols,
                   "tile shape mismatch");
-    std::vector<rns::Residue> row_buf(static_cast<size_t>(g_), 0);
-    for (int r = 0; r < rows(); ++r) {
-        if (r < tile_rows) {
-            for (int c = 0; c < g_; ++c)
-                row_buf[c] = (c < tile_cols)
-                                 ? tile[static_cast<size_t>(r) * tile_cols + c]
-                                 : 0;
-        } else {
-            std::fill(row_buf.begin(), row_buf.end(), 0);
+    runtime::parallelFor(
+        rows(),
+        runtime::serialBelow(rows(), kRowGrain,
+                             static_cast<int64_t>(rows()) * g_,
+                             kMinProgramWork),
+        [&](int64_t r0, int64_t r1) {
+        std::vector<rns::Residue> row_buf(static_cast<size_t>(g_), 0);
+        for (int64_t r = r0; r < r1; ++r) {
+            if (r < tile_rows) {
+                for (int c = 0; c < g_; ++c)
+                    row_buf[static_cast<size_t>(c)] =
+                        (c < tile_cols)
+                            ? tile[static_cast<size_t>(r) * tile_cols + c]
+                            : 0;
+            } else {
+                std::fill(row_buf.begin(), row_buf.end(), 0);
+            }
+            mdpus_[static_cast<size_t>(r)].programWeights(row_buf);
         }
-        mdpus_[static_cast<size_t>(r)].programWeights(row_buf);
-    }
+    });
     ++stats_.tiles_programmed;
 }
 
@@ -57,9 +83,28 @@ Mmvmu::mvm(std::span<const rns::Residue> x, Rng *rng)
     std::vector<rns::Residue> y(mdpus_.size());
     const PhotonicNoiseConfig *noise =
         noise_.anyEnabled() ? &noise_ : nullptr;
-    for (size_t r = 0; r < mdpus_.size(); ++r)
-        y[r] = mdpus_[r].compute(x, noise, budget_.photocurrent_a,
-                                 noise_sigma_a_, rng);
+    // Rows are independent optical channels. With noise on, each row draws
+    // from its own substream (split of one base value from the caller's
+    // rng), so noisy results are bit-identical at every thread count.
+    const bool noisy = noise != nullptr && rng != nullptr;
+    const uint64_t base = noisy ? rng->nextU64() : 0;
+    const int64_t row_count = static_cast<int64_t>(mdpus_.size());
+    runtime::parallelFor(
+        row_count,
+        runtime::serialBelow(row_count, kRowGrain, row_count * g_,
+                             kMinMvmWork),
+        [&](int64_t r0, int64_t r1) {
+            for (int64_t r = r0; r < r1; ++r) {
+                std::optional<Rng> row_rng;
+                if (noisy)
+                    row_rng.emplace(
+                        Rng::stream(base, static_cast<uint64_t>(r)));
+                y[static_cast<size_t>(r)] =
+                    mdpus_[static_cast<size_t>(r)].compute(
+                        x, noise, budget_.photocurrent_a, noise_sigma_a_,
+                        row_rng ? &*row_rng : nullptr);
+            }
+        });
     ++stats_.mvms_executed;
     return y;
 }
@@ -75,7 +120,7 @@ Mmvmu::mvmIdeal(std::span<const rns::Residue> x) const
 
 RnsMmvmu::RnsMmvmu(rns::ModuliSet set, int rows, int g, const DeviceKit &kit,
                    double bandwidth_hz, PhotonicNoiseConfig noise)
-    : codec_(set), rows_(rows), g_(g)
+    : codec_(set), rows_(rows), g_(g), noisy_(noise.anyEnabled())
 {
     units_.reserve(set.count());
     for (size_t i = 0; i < set.count(); ++i)
@@ -88,13 +133,24 @@ RnsMmvmu::programTile(std::span<const int64_t> tile, int tile_rows,
 {
     MIRAGE_ASSERT(tile.size() == static_cast<size_t>(tile_rows) * tile_cols,
                   "tile shape mismatch");
-    std::vector<rns::Residue> residues(tile.size());
-    for (size_t u = 0; u < units_.size(); ++u) {
-        const uint64_t m = set().modulus(u);
-        for (size_t i = 0; i < tile.size(); ++i)
-            residues[i] = rns::reduceSigned(tile[i], m);
-        units_[u].programTile(residues, tile_rows, tile_cols);
-    }
+    // One modular unit per modulus; the paper programs them in parallel
+    // (Fig. 2 step 3) and so does the host model.
+    const int64_t unit_count = static_cast<int64_t>(units_.size());
+    runtime::parallelFor(
+        unit_count,
+        runtime::serialBelow(unit_count, 1,
+                             unit_count * static_cast<int64_t>(tile.size()),
+                             kMinProgramWork),
+        [&](int64_t u0, int64_t u1) {
+            std::vector<rns::Residue> residues(tile.size());
+            for (int64_t u = u0; u < u1; ++u) {
+                const uint64_t m = set().modulus(static_cast<size_t>(u));
+                for (size_t i = 0; i < tile.size(); ++i)
+                    residues[i] = rns::reduceSigned(tile[i], m);
+                units_[static_cast<size_t>(u)].programTile(residues, tile_rows,
+                                                           tile_cols);
+            }
+        });
 }
 
 std::vector<int64_t>
@@ -102,22 +158,49 @@ RnsMmvmu::mvm(std::span<const int64_t> x, Rng *rng)
 {
     MIRAGE_ASSERT(static_cast<int>(x.size()) <= g_,
                   "input vector longer than array width");
-    std::vector<rns::Residue> x_res(x.size());
     std::vector<std::vector<rns::Residue>> outputs(units_.size());
-    for (size_t u = 0; u < units_.size(); ++u) {
-        const uint64_t m = set().modulus(u);
-        for (size_t i = 0; i < x.size(); ++i)
-            x_res[i] = rns::reduceSigned(x[i], m);
-        outputs[u] = units_[u].mvm(x_res, rng);
-    }
+    // The n modular MVMs of one RNS MVM run in parallel across units
+    // (paper Sec. IV-A2); with noise on, every unit gets its own
+    // deterministic substream so results are thread-count invariant. With
+    // noise off, the caller's rng is left untouched (no draws).
+    const bool noisy = noisy_ && rng != nullptr;
+    const uint64_t base = noisy ? rng->nextU64() : 0;
+    const int64_t unit_count = static_cast<int64_t>(units_.size());
+    runtime::parallelFor(
+        unit_count,
+        runtime::serialBelow(unit_count, 1,
+                             unit_count * rows_ * static_cast<int64_t>(g_),
+                             kMinMvmWork),
+        [&](int64_t u0, int64_t u1) {
+            std::vector<rns::Residue> x_res(x.size());
+            for (int64_t u = u0; u < u1; ++u) {
+                const uint64_t m = set().modulus(static_cast<size_t>(u));
+                for (size_t i = 0; i < x.size(); ++i)
+                    x_res[i] = rns::reduceSigned(x[i], m);
+                std::optional<Rng> unit_rng;
+                if (noisy)
+                    unit_rng.emplace(
+                        Rng::stream(base, static_cast<uint64_t>(u)));
+                outputs[static_cast<size_t>(u)] =
+                    units_[static_cast<size_t>(u)].mvm(
+                        x_res, unit_rng ? &*unit_rng : nullptr);
+            }
+        });
 
     std::vector<int64_t> y(static_cast<size_t>(rows_));
-    rns::ResidueVector digits(units_.size());
-    for (int r = 0; r < rows_; ++r) {
-        for (size_t u = 0; u < units_.size(); ++u)
-            digits[u] = outputs[u][static_cast<size_t>(r)];
-        y[static_cast<size_t>(r)] = codec_.decode(digits);
-    }
+    runtime::parallelFor(
+        rows_,
+        runtime::serialBelow(rows_, kRowGrain,
+                             rows_ * static_cast<int64_t>(units_.size()),
+                             kMinDecodeWork),
+        [&](int64_t r0, int64_t r1) {
+        rns::ResidueVector digits(units_.size());
+        for (int64_t r = r0; r < r1; ++r) {
+            for (size_t u = 0; u < units_.size(); ++u)
+                digits[u] = outputs[u][static_cast<size_t>(r)];
+            y[static_cast<size_t>(r)] = codec_.decode(digits);
+        }
+    });
     return y;
 }
 

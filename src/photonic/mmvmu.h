@@ -114,6 +114,7 @@ class RnsMmvmu
     rns::RnsCodec codec_;
     int rows_;
     int g_;
+    bool noisy_; ///< Any noise enabled: only then does mvm consume rng.
     std::vector<Mmvmu> units_;
 };
 

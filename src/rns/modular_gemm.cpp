@@ -1,9 +1,22 @@
 #include "rns/modular_gemm.h"
 
 #include "common/logging.h"
+#include "runtime/thread_pool.h"
 
 namespace mirage {
 namespace rns {
+
+namespace {
+
+/// Output rows per parallelFor block (fixed — see thread_pool.h for the
+/// determinism contract). Integer arithmetic is exact, so row-parallel
+/// execution is trivially bit-identical to serial.
+constexpr int64_t kRowGrain = 4;
+constexpr int64_t kDecodeGrain = 256;
+/// Below this approximate op count the loops run serially (no sync cost).
+constexpr int64_t kMinParallelWork = 16384;
+
+} // namespace
 
 Residue
 modularDot(const Residue *a, const Residue *b, int len, uint64_t modulus)
@@ -35,28 +48,38 @@ modularGemm(const std::vector<Residue> &a, const std::vector<Residue> &b,
     c.assign(static_cast<size_t>(m_rows) * n_cols, 0);
 
     // Row-major ikj loop: B rows are streamed, keeping accumulation exact in
-    // 64 bits with a periodic reduction.
+    // 64 bits with a periodic reduction. Output rows are independent, so
+    // they shard across the thread pool.
     const uint64_t reduce_every =
         (modulus < (uint64_t{1} << 21)) ? (uint64_t{1} << 20) : 1;
-    for (int i = 0; i < m_rows; ++i) {
-        std::vector<uint64_t> acc(n_cols, 0);
-        uint64_t since_reduce = 0;
-        for (int k = 0; k < k_depth; ++k) {
-            const uint64_t a_ik = a[static_cast<size_t>(i) * k_depth + k];
-            const Residue *b_row = &b[static_cast<size_t>(k) * n_cols];
-            if (a_ik == 0)
-                continue;
-            for (int j = 0; j < n_cols; ++j)
-                acc[j] += a_ik * b_row[j];
-            if (++since_reduce >= reduce_every) {
+    runtime::parallelFor(
+        m_rows,
+        runtime::serialBelow(m_rows, kRowGrain,
+                             static_cast<int64_t>(m_rows) * k_depth * n_cols,
+                             kMinParallelWork),
+        [&](int64_t i0, int64_t i1) {
+        std::vector<uint64_t> acc(static_cast<size_t>(n_cols), 0);
+        for (int64_t i = i0; i < i1; ++i) {
+            std::fill(acc.begin(), acc.end(), 0);
+            uint64_t since_reduce = 0;
+            for (int k = 0; k < k_depth; ++k) {
+                const uint64_t a_ik = a[static_cast<size_t>(i) * k_depth + k];
+                const Residue *b_row = &b[static_cast<size_t>(k) * n_cols];
+                if (a_ik == 0)
+                    continue;
                 for (int j = 0; j < n_cols; ++j)
-                    acc[j] %= modulus;
-                since_reduce = 0;
+                    acc[static_cast<size_t>(j)] += a_ik * b_row[j];
+                if (++since_reduce >= reduce_every) {
+                    for (int j = 0; j < n_cols; ++j)
+                        acc[static_cast<size_t>(j)] %= modulus;
+                    since_reduce = 0;
+                }
             }
+            for (int j = 0; j < n_cols; ++j)
+                c[static_cast<size_t>(i) * n_cols + j] =
+                    acc[static_cast<size_t>(j)] % modulus;
         }
-        for (int j = 0; j < n_cols; ++j)
-            c[static_cast<size_t>(i) * n_cols + j] = acc[j] % modulus;
-    }
+    });
 }
 
 RnsGemmEngine::RnsGemmEngine(ModuliSet set, bool check_range)
@@ -93,12 +116,21 @@ RnsGemmEngine::gemm(const std::vector<int64_t> &a, const std::vector<int64_t> &b
 
     const size_t total = static_cast<size_t>(m_rows) * n_cols;
     std::vector<int64_t> c(total);
-    ResidueVector digits(set.count());
-    for (size_t e = 0; e < total; ++e) {
-        for (size_t i = 0; i < set.count(); ++i)
-            digits[i] = c_res[i][e];
-        c[e] = codec_.decode(digits);
-    }
+    // CRT reverse conversion is per-element pure (decode is const), so the
+    // output vector shards across the pool.
+    runtime::parallelFor(
+        static_cast<int64_t>(total),
+        runtime::serialBelow(static_cast<int64_t>(total), kDecodeGrain,
+                             static_cast<int64_t>(total * set.count()),
+                             kMinParallelWork),
+        [&](int64_t e0, int64_t e1) {
+            ResidueVector digits(set.count());
+            for (int64_t e = e0; e < e1; ++e) {
+                for (size_t i = 0; i < set.count(); ++i)
+                    digits[i] = c_res[i][static_cast<size_t>(e)];
+                c[static_cast<size_t>(e)] = codec_.decode(digits);
+            }
+        });
 
     if (check_range_) {
         // Cross-check against exact 64-bit integer accumulation: a mismatch

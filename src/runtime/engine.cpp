@@ -1,0 +1,494 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <variant>
+
+#include "common/logging.h"
+#include "runtime/thread_pool.h"
+
+namespace mirage {
+namespace runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0, Clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+double
+RuntimeReport::avgLatencySeconds() const
+{
+    return jobs_completed > 0
+               ? total_latency_s / static_cast<double>(jobs_completed)
+               : 0.0;
+}
+
+double
+RuntimeReport::throughputMacsPerSecond() const
+{
+    return wall_time_s > 0
+               ? static_cast<double>(gemm_macs) / wall_time_s
+               : 0.0;
+}
+
+double
+RuntimeReport::utilization() const
+{
+    if (wall_time_s <= 0 || tiles <= 0)
+        return 0.0;
+    return busy_time_s / (wall_time_s * tiles);
+}
+
+// ---------------------------------------------------------------------------
+// Job representation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct GemmJob
+{
+    GemmRequest req;
+    std::promise<GemmResult> promise;
+    Clock::time_point submitted;
+};
+
+struct EstimateJob
+{
+    models::ModelShape model;
+    int64_t batch = 1;
+    bool training = false;
+    std::promise<core::PerformanceReport> promise;
+    Clock::time_point submitted;
+};
+
+struct TaskJob
+{
+    std::function<void(core::MirageAccelerator &, Rng &)> fn;
+    std::promise<void> promise;
+    Clock::time_point submitted;
+};
+
+using Job = std::variant<GemmJob, EstimateJob, TaskJob>;
+
+/** One contiguous row range of one batched GEMM job. */
+struct Shard
+{
+    size_t job = 0;      ///< Index into the dispatch group.
+    int row_begin = 0;   ///< First A/C row of this shard.
+    int row_end = 0;     ///< One past the last row.
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Engine internals
+// ---------------------------------------------------------------------------
+
+struct RuntimeEngine::Impl
+{
+    /** One logical accelerator tile. Only one shard runs on a tile at a
+     *  time, so the accelerator's mutable backends need no locking. */
+    struct Tile
+    {
+        core::MirageAccelerator accel;
+        Rng rng;
+
+        Tile(const arch::MirageConfig &cfg, Rng stream)
+            : accel(cfg), rng(stream)
+        {
+        }
+    };
+
+    explicit Impl(EngineConfig config) : cfg(std::move(config))
+    {
+        MIRAGE_ASSERT(cfg.tiles >= 1, "engine needs at least one tile");
+        MIRAGE_ASSERT(cfg.queue_capacity >= 1, "queue capacity must be >= 1");
+        MIRAGE_ASSERT(cfg.max_batch >= 1, "max_batch must be >= 1");
+        const Rng root(cfg.seed);
+        tiles.reserve(static_cast<size_t>(cfg.tiles));
+        for (int t = 0; t < cfg.tiles; ++t) {
+            tiles.push_back(std::make_unique<Tile>(
+                cfg.accel, root.split(static_cast<uint64_t>(t))));
+        }
+        start = Clock::now();
+        stats.tiles = cfg.tiles;
+        dispatcher = std::thread([this] { dispatchLoop(); });
+    }
+
+    ~Impl()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            stop = true;
+        }
+        not_empty.notify_all();
+        dispatcher.join();
+    }
+
+    void
+    enqueue(Job job)
+    {
+        std::unique_lock<std::mutex> lk(mu);
+        MIRAGE_ASSERT(!stop, "submit on a stopped RuntimeEngine");
+        not_full.wait(lk,
+                      [this] { return queue.size() < cfg.queue_capacity; });
+        queue.push_back(std::move(job));
+        ++stats.jobs_submitted;
+        stats.max_queue_depth = std::max(stats.max_queue_depth, queue.size());
+        lk.unlock();
+        not_empty.notify_one();
+    }
+
+    void
+    dispatchLoop()
+    {
+        for (;;) {
+            std::unique_lock<std::mutex> lk(mu);
+            not_empty.wait(lk, [this] { return stop || !queue.empty(); });
+            if (queue.empty()) {
+                if (stop)
+                    return;
+                continue;
+            }
+            Job first = std::move(queue.front());
+            queue.pop_front();
+
+            if (std::holds_alternative<GemmJob>(first)) {
+                // Fuse queued GEMM jobs with the same contraction depth and
+                // output width into one dispatch group (stable order).
+                std::vector<GemmJob> group;
+                group.push_back(std::move(std::get<GemmJob>(first)));
+                const int k = group.front().req.k;
+                const int n = group.front().req.n;
+                for (auto it = queue.begin();
+                     it != queue.end() &&
+                     group.size() < static_cast<size_t>(cfg.max_batch);) {
+                    GemmJob *g = std::get_if<GemmJob>(&*it);
+                    if (g != nullptr && g->req.k == k && g->req.n == n) {
+                        group.push_back(std::move(*g));
+                        it = queue.erase(it);
+                    } else {
+                        ++it;
+                    }
+                }
+                in_flight += group.size();
+                lk.unlock();
+                not_full.notify_all();
+                executeGemmGroup(std::move(group));
+            } else {
+                in_flight += 1;
+                lk.unlock();
+                not_full.notify_all();
+                executeSingle(std::move(first));
+            }
+        }
+    }
+
+    /**
+     * Executes a dispatch group: every job's rows are cut into at most
+     * `tiles` shards, shards are assigned round-robin, and each tile runs
+     * its shards sequentially while tiles run in parallel on the global
+     * pool. Row sharding is exact — every output element is produced by
+     * the same per-element computation as an unsharded run.
+     */
+    void
+    executeGemmGroup(std::vector<GemmJob> group)
+    {
+        const Clock::time_point dispatch_start = Clock::now();
+        const int tile_count = cfg.tiles;
+
+        // Shard plan: prefer job-level parallelism — row-splitting a job
+        // means every shard re-encodes the job's full B operand, so rows
+        // are only split when the fused group alone cannot fill the tiles.
+        const int shards_per_job = std::max(
+            1, tile_count / static_cast<int>(group.size()));
+        std::vector<std::vector<float>> results(group.size());
+        std::vector<Shard> shards;
+        for (size_t j = 0; j < group.size(); ++j) {
+            const GemmRequest &req = group[j].req;
+            results[j].assign(static_cast<size_t>(req.m) * req.n, 0.0f);
+            const int rows_per_shard =
+                std::max(1, (req.m + shards_per_job - 1) / shards_per_job);
+            for (int r0 = 0; r0 < req.m; r0 += rows_per_shard) {
+                shards.push_back({j, r0,
+                                  std::min(req.m, r0 + rows_per_shard)});
+            }
+        }
+
+        // shard s runs on tile s % tiles; one parallelFor block per tile
+        // keeps each accelerator single-threaded while tiles overlap.
+        std::vector<int> job_shards(group.size(), 0);
+        for (const Shard &s : shards)
+            ++job_shards[s.job];
+        std::vector<double> tile_busy(static_cast<size_t>(tile_count), 0.0);
+
+        std::exception_ptr error;
+        try {
+            ThreadPool::global().parallelFor(
+                tile_count, 1, [&](int64_t t0, int64_t t1) {
+                    for (int64_t t = t0; t < t1; ++t) {
+                        const Clock::time_point tile_start = Clock::now();
+                        bool ran = false;
+                        for (size_t s = static_cast<size_t>(t);
+                             s < shards.size();
+                             s += static_cast<size_t>(tile_count)) {
+                            runShard(group, shards[s],
+                                     *tiles[static_cast<size_t>(t)], results);
+                            ran = true;
+                        }
+                        if (ran) {
+                            tile_busy[static_cast<size_t>(t)] =
+                                secondsSince(tile_start, Clock::now());
+                        }
+                    }
+                });
+        } catch (...) {
+            error = std::current_exception();
+        }
+
+        // Fulfill promises before publishing completion, so drain() never
+        // unblocks while a future is still pending.
+        const Clock::time_point end = Clock::now();
+        for (size_t j = 0; j < group.size(); ++j) {
+            if (error) {
+                group[j].promise.set_exception(error);
+                continue;
+            }
+            GemmResult res;
+            res.c = std::move(results[j]);
+            res.latency_s = secondsSince(group[j].submitted, end);
+            res.queue_s = secondsSince(group[j].submitted, dispatch_start);
+            res.shards = job_shards[j];
+            group[j].promise.set_value(std::move(res));
+        }
+
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            ++stats.batches_dispatched;
+            stats.largest_batch =
+                std::max<uint64_t>(stats.largest_batch, group.size());
+            for (double b : tile_busy)
+                stats.busy_time_s += b;
+            for (size_t j = 0; j < group.size(); ++j) {
+                const GemmRequest &req = group[j].req;
+                const double latency = secondsSince(group[j].submitted, end);
+                ++stats.jobs_completed;
+                ++stats.gemm_jobs;
+                stats.gemm_macs += static_cast<int64_t>(req.m) * req.k * req.n;
+                stats.total_latency_s += latency;
+                stats.max_latency_s = std::max(stats.max_latency_s, latency);
+            }
+            in_flight -= group.size();
+        }
+        idle.notify_all();
+    }
+
+    void
+    runShard(std::vector<GemmJob> &group, const Shard &shard, Tile &tile,
+             std::vector<std::vector<float>> &results)
+    {
+        const GemmRequest &req = group[shard.job].req;
+        const int rows = shard.row_end - shard.row_begin;
+        const std::vector<float> a_slice(
+            req.a.begin() +
+                static_cast<ptrdiff_t>(shard.row_begin) * req.k,
+            req.a.begin() + static_cast<ptrdiff_t>(shard.row_end) * req.k);
+        const std::vector<float> c_slice =
+            tile.accel.gemm(a_slice, req.b, rows, req.k, req.n, cfg.mode);
+        std::copy(c_slice.begin(), c_slice.end(),
+                  results[shard.job].begin() +
+                      static_cast<ptrdiff_t>(shard.row_begin) * req.n);
+    }
+
+    void
+    executeSingle(Job job)
+    {
+        Tile &tile = *tiles[next_tile];
+        next_tile = (next_tile + 1) % tiles.size();
+        const Clock::time_point exec_start = Clock::now();
+
+        // Job failures travel through the future, never up the dispatcher
+        // thread; the promise is fulfilled before completion is published
+        // so drain() implies every future is ready.
+        if (EstimateJob *est = std::get_if<EstimateJob>(&job)) {
+            try {
+                const core::PerformanceReport rep =
+                    est->training
+                        ? tile.accel.estimateTraining(est->model, est->batch)
+                        : tile.accel.estimateInference(est->model,
+                                                       est->batch);
+                est->promise.set_value(rep);
+            } catch (...) {
+                est->promise.set_exception(std::current_exception());
+            }
+            finishSingle(exec_start, est->submitted, est->training
+                                                        ? JobKind::Training
+                                                        : JobKind::Inference);
+        } else {
+            TaskJob &task = std::get<TaskJob>(job);
+            try {
+                task.fn(tile.accel, tile.rng);
+                task.promise.set_value();
+            } catch (...) {
+                task.promise.set_exception(std::current_exception());
+            }
+            finishSingle(exec_start, task.submitted, JobKind::Task);
+        }
+    }
+
+    enum class JobKind
+    {
+        Inference,
+        Training,
+        Task
+    };
+
+    void
+    finishSingle(Clock::time_point exec_start, Clock::time_point submitted,
+                 JobKind kind)
+    {
+        const Clock::time_point end = Clock::now();
+        const double latency = secondsSince(submitted, end);
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            ++stats.jobs_completed;
+            switch (kind) {
+              case JobKind::Inference: ++stats.inference_jobs; break;
+              case JobKind::Training: ++stats.training_jobs; break;
+              case JobKind::Task: ++stats.task_jobs; break;
+            }
+            stats.busy_time_s += secondsSince(exec_start, end);
+            stats.total_latency_s += latency;
+            stats.max_latency_s = std::max(stats.max_latency_s, latency);
+            in_flight -= 1;
+        }
+        idle.notify_all();
+    }
+
+    EngineConfig cfg;
+    std::vector<std::unique_ptr<Tile>> tiles;
+
+    mutable std::mutex mu;
+    std::condition_variable not_empty;
+    std::condition_variable not_full;
+    std::condition_variable idle;
+    std::deque<Job> queue;
+    size_t in_flight = 0;
+    bool stop = false;
+
+    RuntimeReport stats; ///< Guarded by mu (wall_time_s filled on read).
+    Clock::time_point start;
+    size_t next_tile = 0; ///< Round-robin tile for non-GEMM jobs.
+
+    std::thread dispatcher;
+};
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+RuntimeEngine::RuntimeEngine(EngineConfig cfg)
+    : impl_(std::make_unique<Impl>(std::move(cfg)))
+{
+}
+
+RuntimeEngine::~RuntimeEngine() = default;
+
+const EngineConfig &
+RuntimeEngine::config() const
+{
+    return impl_->cfg;
+}
+
+std::future<GemmResult>
+RuntimeEngine::submitGemm(GemmRequest req)
+{
+    MIRAGE_ASSERT(req.m > 0 && req.k > 0 && req.n > 0, "bad GEMM dims");
+    MIRAGE_ASSERT(req.a.size() == static_cast<size_t>(req.m) * req.k,
+                  "A shape mismatch");
+    MIRAGE_ASSERT(req.b.size() == static_cast<size_t>(req.k) * req.n,
+                  "B shape mismatch");
+    GemmJob job;
+    job.req = std::move(req);
+    job.submitted = Clock::now();
+    std::future<GemmResult> fut = job.promise.get_future();
+    impl_->enqueue(std::move(job));
+    return fut;
+}
+
+std::future<core::PerformanceReport>
+RuntimeEngine::submitInference(models::ModelShape model, int64_t batch)
+{
+    EstimateJob job;
+    job.model = std::move(model);
+    job.batch = batch;
+    job.training = false;
+    job.submitted = Clock::now();
+    std::future<core::PerformanceReport> fut = job.promise.get_future();
+    impl_->enqueue(std::move(job));
+    return fut;
+}
+
+std::future<core::PerformanceReport>
+RuntimeEngine::submitTraining(models::ModelShape model, int64_t batch)
+{
+    EstimateJob job;
+    job.model = std::move(model);
+    job.batch = batch;
+    job.training = true;
+    job.submitted = Clock::now();
+    std::future<core::PerformanceReport> fut = job.promise.get_future();
+    impl_->enqueue(std::move(job));
+    return fut;
+}
+
+std::future<void>
+RuntimeEngine::submitTask(
+    std::function<void(core::MirageAccelerator &, Rng &)> task)
+{
+    TaskJob job;
+    job.fn = std::move(task);
+    job.submitted = Clock::now();
+    std::future<void> fut = job.promise.get_future();
+    impl_->enqueue(std::move(job));
+    return fut;
+}
+
+void
+RuntimeEngine::drain()
+{
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    impl_->idle.wait(lk, [this] {
+        return impl_->queue.empty() && impl_->in_flight == 0;
+    });
+}
+
+size_t
+RuntimeEngine::queueDepth() const
+{
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    return impl_->queue.size();
+}
+
+RuntimeReport
+RuntimeEngine::report() const
+{
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    RuntimeReport rep = impl_->stats;
+    rep.wall_time_s = secondsSince(impl_->start, Clock::now());
+    return rep;
+}
+
+} // namespace runtime
+} // namespace mirage

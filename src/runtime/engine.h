@@ -1,0 +1,156 @@
+#ifndef MIRAGE_RUNTIME_ENGINE_H
+#define MIRAGE_RUNTIME_ENGINE_H
+
+/**
+ * @file
+ * RuntimeEngine: an asynchronous, batched execution runtime in front of N
+ * logical accelerator tiles. Each tile owns a full MirageAccelerator (its
+ * numerics backends plus the analytic performance/power models) and a
+ * deterministic per-tile Rng stream (Rng::split of the engine seed).
+ *
+ * Jobs — single GEMMs, inference passes and training steps over the
+ * models::zoo shapes, or arbitrary per-tile tasks — enter through a
+ * thread-safe bounded queue (submission blocks when the queue is full,
+ * which is the engine's backpressure signal) and complete through
+ * std::future. A dispatcher thread fuses compatible GEMM jobs (equal K and
+ * N) into one batch, shards the batch's rows across the tiles, and runs
+ * the shards on the global ThreadPool; inside each shard the per-format
+ * GEMM hot paths parallelize further over rows/moduli. Non-GEMM jobs run
+ * FIFO on the dispatcher thread itself (they are lightweight analytic
+ * estimates or caller-supplied tasks; a long task therefore delays jobs
+ * queued behind it).
+ *
+ * Determinism: with rounding-deterministic numerics (the default Mirage
+ * BFP+RNS configuration rounds to nearest and draws no randomness) every
+ * job's result is bit-identical to a serial single-tile run, independent
+ * of thread count, tile count, or how jobs were batched — row sharding
+ * never changes the per-element accumulation order.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/mirage.h"
+#include "models/zoo.h"
+
+namespace mirage {
+namespace runtime {
+
+/** Engine configuration. */
+struct EngineConfig
+{
+    /// Logical accelerator tiles (each a MirageAccelerator + Rng stream).
+    int tiles = 2;
+    /// Bounded job-queue capacity; submit*() blocks while the queue is full.
+    size_t queue_capacity = 64;
+    /// Maximum number of compatible GEMM jobs fused into one dispatch.
+    int max_batch = 4;
+    /// Root seed: tile t draws from Rng(seed).split(t).
+    uint64_t seed = 0x4d495241u;
+    /// Numerics used by GEMM jobs (Emulated: BFP+RNS integer emulation).
+    core::ExecutionMode mode = core::ExecutionMode::Emulated;
+    /// Configuration applied to every tile's accelerator.
+    arch::MirageConfig accel;
+};
+
+/** One asynchronous GEMM request: C[m x n] = A[m x k] * B[k x n]. */
+struct GemmRequest
+{
+    std::vector<float> a;
+    std::vector<float> b;
+    int m = 0, k = 0, n = 0;
+};
+
+/** Completed GEMM: the result matrix plus per-job timing. */
+struct GemmResult
+{
+    std::vector<float> c;
+    double latency_s = 0.0; ///< Submit-to-completion wall time [s].
+    double queue_s = 0.0;   ///< Portion spent waiting in the queue [s].
+    int shards = 0;         ///< Row shards the job was split into.
+};
+
+/** Aggregate engine statistics; all durations are wall-clock seconds. */
+struct RuntimeReport
+{
+    uint64_t jobs_submitted = 0;
+    uint64_t jobs_completed = 0;
+    uint64_t gemm_jobs = 0;
+    uint64_t inference_jobs = 0;
+    uint64_t training_jobs = 0;
+    uint64_t task_jobs = 0;
+    uint64_t batches_dispatched = 0; ///< GEMM dispatch groups executed.
+    uint64_t largest_batch = 0;      ///< Most GEMM jobs fused in one group.
+    int64_t gemm_macs = 0;           ///< Sum of m*k*n over completed GEMMs.
+    double wall_time_s = 0.0;        ///< Engine lifetime so far.
+    double busy_time_s = 0.0;        ///< Sum of per-tile busy seconds.
+    double total_latency_s = 0.0;    ///< Sum of per-job latencies.
+    double max_latency_s = 0.0;
+    size_t max_queue_depth = 0;
+    int tiles = 0;
+
+    /** Mean submit-to-completion latency per job [s]. */
+    double avgLatencySeconds() const;
+
+    /** Aggregate GEMM throughput [MAC/s] over the engine lifetime. */
+    double throughputMacsPerSecond() const;
+
+    /** Mean fraction of tiles busy: busy / (wall * tiles), in [0, 1]. */
+    double utilization() const;
+};
+
+/**
+ * The runtime engine. Construction spins up the dispatcher; destruction
+ * drains every queued job (all futures complete) and joins.
+ */
+class RuntimeEngine
+{
+  public:
+    explicit RuntimeEngine(EngineConfig cfg = {});
+    ~RuntimeEngine();
+
+    RuntimeEngine(const RuntimeEngine &) = delete;
+    RuntimeEngine &operator=(const RuntimeEngine &) = delete;
+
+    const EngineConfig &config() const;
+
+    /** Queues one GEMM; blocks while the queue is full (backpressure). */
+    std::future<GemmResult> submitGemm(GemmRequest req);
+
+    /** Queues a full inference-pass estimate for a zoo model shape. */
+    std::future<core::PerformanceReport>
+    submitInference(models::ModelShape model, int64_t batch);
+
+    /** Queues a training-step estimate (3 GEMMs/layer) for a zoo model. */
+    std::future<core::PerformanceReport>
+    submitTraining(models::ModelShape model, int64_t batch);
+
+    /**
+     * Queues an arbitrary task that runs on one tile with exclusive access
+     * to its accelerator and its deterministic per-tile Rng stream.
+     */
+    std::future<void>
+    submitTask(std::function<void(core::MirageAccelerator &, Rng &)> task);
+
+    /** Blocks until every submitted job has completed. */
+    void drain();
+
+    /** Jobs currently waiting in the queue (excludes in-flight jobs). */
+    size_t queueDepth() const;
+
+    /** Snapshot of the aggregate statistics. */
+    RuntimeReport report() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace runtime
+} // namespace mirage
+
+#endif // MIRAGE_RUNTIME_ENGINE_H

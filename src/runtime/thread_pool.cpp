@@ -1,0 +1,240 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace runtime {
+
+namespace {
+
+int
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("MIRAGE_THREADS")) {
+        const int n = std::atoi(env);
+        if (n >= 1)
+            return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::mutex g_global_mu;
+
+/**
+ * The global pool is deliberately leaked: a static destructor would join
+ * worker threads at exit(), which deadlocks in fork()ed children (gtest
+ * death tests, daemonized tools) where those threads do not exist. The OS
+ * reclaims everything at process exit anyway. The pointer is atomic so the
+ * hot-path lookup never takes g_global_mu (workers holding a mutex across
+ * fork() would deadlock children).
+ */
+std::atomic<ThreadPool *> g_global_pool{nullptr};
+
+/** True in a fork()ed child of the process that created `pool_pid`. */
+bool
+inForkedChild(int64_t pool_pid)
+{
+#ifndef _WIN32
+    return static_cast<int64_t>(getpid()) != pool_pid;
+#else
+    (void)pool_pid;
+    return false;
+#endif
+}
+
+int64_t
+currentPid()
+{
+#ifndef _WIN32
+    return static_cast<int64_t>(getpid());
+#else
+    return 0;
+#endif
+}
+
+/**
+ * Shared state of one parallelFor call: an atomic block counter claimed by
+ * the caller and its helper tasks. Held by shared_ptr because helper tasks
+ * may still sit in the queue after the caller has returned (they find no
+ * blocks left and exit immediately).
+ */
+struct ForState
+{
+    int64_t n = 0;
+    int64_t grain = 1;
+    int64_t blocks = 0;
+    std::function<void(int64_t, int64_t)> body;
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> done{0};
+    std::atomic<bool> failed{false};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+
+    void
+    runBlocks()
+    {
+        for (;;) {
+            const int64_t b = next.fetch_add(1, std::memory_order_relaxed);
+            if (b >= blocks)
+                return;
+            // After a failure, stop executing bodies (mirroring the serial
+            // path, which stops at the throw); blocks already in flight on
+            // other threads still finish. Claimed blocks are still counted
+            // so the caller wakes.
+            if (!failed.load(std::memory_order_acquire)) {
+                const int64_t begin = b * grain;
+                const int64_t end = std::min(n, begin + grain);
+                try {
+                    body(begin, end);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lk(mu);
+                    if (!error)
+                        error = std::current_exception();
+                    failed.store(true, std::memory_order_release);
+                }
+            }
+            if (done.fetch_add(1) + 1 == blocks) {
+                // Notify under the mutex so the waiting caller cannot miss
+                // the final wakeup between its predicate check and wait.
+                std::lock_guard<std::mutex> lk(mu);
+                done_cv.notify_all();
+            }
+        }
+    }
+};
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads) : owner_pid_(currentPid())
+{
+    if (threads <= 0)
+        threads = defaultThreadCount();
+    workers_.reserve(static_cast<size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submitDetached(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        MIRAGE_ASSERT(!stop_, "submit on a stopped ThreadPool");
+        tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+            if (tasks_.empty())
+                return; // stop_ set and queue drained
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(int64_t n, int64_t grain,
+                        const std::function<void(int64_t, int64_t)> &body)
+{
+    if (n <= 0)
+        return;
+    MIRAGE_ASSERT(grain >= 1, "parallelFor grain must be >= 1");
+    const int64_t blocks = (n + grain - 1) / grain;
+
+    // Serial fast path: identical block decomposition, zero synchronization.
+    // Also taken in fork()ed children (death tests), where this pool's
+    // worker threads do not exist.
+    if (size() <= 1 || blocks == 1 || inForkedChild(owner_pid_)) {
+        for (int64_t b = 0; b < blocks; ++b)
+            body(b * grain, std::min(n, (b + 1) * grain));
+        return;
+    }
+
+    auto state = std::make_shared<ForState>();
+    state->n = n;
+    state->grain = grain;
+    state->blocks = blocks;
+    state->body = body;
+
+    const int64_t helpers = std::min<int64_t>(size(), blocks) - 1;
+    for (int64_t h = 0; h < helpers; ++h)
+        submitDetached([state] { state->runBlocks(); });
+
+    state->runBlocks();
+    {
+        std::unique_lock<std::mutex> lk(state->mu);
+        state->done_cv.wait(
+            lk, [&] { return state->done.load() == state->blocks; });
+    }
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    ThreadPool *pool = g_global_pool.load(std::memory_order_acquire);
+    if (pool != nullptr)
+        return *pool;
+    std::lock_guard<std::mutex> lk(g_global_mu);
+    pool = g_global_pool.load(std::memory_order_relaxed);
+    if (pool == nullptr) {
+        pool = new ThreadPool();
+        g_global_pool.store(pool, std::memory_order_release);
+    }
+    return *pool;
+}
+
+void
+ThreadPool::setGlobalThreads(int threads)
+{
+    ThreadPool *fresh = new ThreadPool(threads);
+    ThreadPool *old = nullptr;
+    {
+        std::lock_guard<std::mutex> lk(g_global_mu);
+        old = g_global_pool.load(std::memory_order_relaxed);
+        g_global_pool.store(fresh, std::memory_order_release);
+    }
+    delete old; // drains and joins the replaced pool's live workers
+}
+
+void
+parallelFor(int64_t n, int64_t grain,
+            const std::function<void(int64_t, int64_t)> &body)
+{
+    ThreadPool::global().parallelFor(n, grain, body);
+}
+
+} // namespace runtime
+} // namespace mirage

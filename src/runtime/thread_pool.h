@@ -1,0 +1,131 @@
+#ifndef MIRAGE_RUNTIME_THREAD_POOL_H
+#define MIRAGE_RUNTIME_THREAD_POOL_H
+
+/**
+ * @file
+ * Host-side execution resources for the simulator: a ThreadPool plus a
+ * deterministic parallelFor. Mirage is a spatially parallel machine (many
+ * MMVMUs operate simultaneously, paper Sec. IV/VI); the host simulator
+ * mirrors that with data-parallel loops over independent rows, moduli and
+ * tiles.
+ *
+ * Determinism contract: parallelFor always decomposes [0, n) into the same
+ * fixed-grain blocks regardless of the worker count — including the serial
+ * fast path — so callers that seed one Rng substream per row or block (see
+ * Rng::split) produce bit-identical results at every thread count.
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace mirage {
+namespace runtime {
+
+/**
+ * A fixed-size worker pool with a FIFO task queue.
+ *
+ * parallelFor is cooperative: the calling thread claims blocks alongside
+ * the workers, so nested parallelFor calls (e.g. an engine tile running a
+ * row-parallel GEMM) can never deadlock — a caller whose helpers are all
+ * busy simply executes every block itself.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; <= 0 picks the machine default
+     *  (MIRAGE_THREADS env var when set, else hardware_concurrency). */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /** Enqueues fire-and-forget work. */
+    void submitDetached(std::function<void()> task);
+
+    /** Enqueues a callable and returns a future for its result. */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task =
+            std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        submitDetached([task]() { (*task)(); });
+        return fut;
+    }
+
+    /**
+     * Runs body(begin, end) over the fixed-grain block decomposition of
+     * [0, n): block b covers [b*grain, min(n, (b+1)*grain)). Blocks are
+     * identical for every thread count (callers may derive a block id as
+     * begin / grain). Blocks execute on the workers and the calling
+     * thread; the call returns when all blocks have finished. The first
+     * exception thrown by body is rethrown on the caller; blocks not yet
+     * started when it was thrown are skipped (as in serial execution,
+     * which stops at the throw), while blocks already in flight finish.
+     */
+    void parallelFor(int64_t n, int64_t grain,
+                     const std::function<void(int64_t, int64_t)> &body);
+
+    /**
+     * The process-wide pool used by the parallelized GEMM hot paths.
+     * Created on first use, sized by MIRAGE_THREADS when set, else
+     * hardware_concurrency.
+     */
+    static ThreadPool &global();
+
+    /**
+     * Replaces the global pool with one of `threads` workers (the old pool
+     * drains and joins first). Must not race with in-flight parallel work;
+     * intended for benchmark/test sweeps over thread counts.
+     */
+    static void setGlobalThreads(int threads);
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> tasks_;
+    std::vector<std::thread> workers_;
+    bool stop_ = false;
+    /// Pid at construction: fork()ed children (e.g. gtest death tests) do
+    /// not inherit the workers, so parallelFor runs serially there.
+    int64_t owner_pid_ = 0;
+};
+
+/** parallelFor on the global pool — the hot-path entry point. */
+void parallelFor(int64_t n, int64_t grain,
+                 const std::function<void(int64_t, int64_t)> &body);
+
+/**
+ * Returns `grain` when `work` (an approximate per-call operation count) is
+ * worth farming out, else `n` — which collapses the loop into one block so
+ * parallelFor takes its zero-synchronization serial path. Safe wherever
+ * results do not depend on the block decomposition: rng-free loops, or
+ * per-item Rng::stream substreams (every parallel hot path in this
+ * library qualifies).
+ */
+inline int64_t
+serialBelow(int64_t n, int64_t grain, int64_t work, int64_t min_work)
+{
+    return work < min_work ? n : grain;
+}
+
+} // namespace runtime
+} // namespace mirage
+
+#endif // MIRAGE_RUNTIME_THREAD_POOL_H

@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Runtime subsystem tests: ThreadPool / parallelFor semantics, Rng::split
+ * stream independence, RuntimeEngine job futures, GEMM batching and row
+ * sharding, queue backpressure, and the engine's bit-identical-to-serial
+ * guarantee for GEMM and inference jobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/mirage.h"
+#include "models/zoo.h"
+#include "runtime/engine.h"
+#include "runtime/thread_pool.h"
+#include "test_support.h"
+
+namespace {
+
+using namespace mirage;
+
+/** Restores the global pool to the machine default when a test exits. */
+struct GlobalThreadsGuard
+{
+    explicit GlobalThreadsGuard(int threads)
+    {
+        runtime::ThreadPool::setGlobalThreads(threads);
+    }
+    ~GlobalThreadsGuard() { runtime::ThreadPool::setGlobalThreads(0); }
+};
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, SubmitReturnsFutureResult)
+{
+    runtime::ThreadPool pool(4);
+    std::future<int> f = pool.submit([] { return 41 + 1; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    runtime::ThreadPool pool(4);
+    const int64_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, 7, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i)
+            hits[static_cast<size_t>(i)].fetch_add(1);
+    });
+    for (int64_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForBlockDecompositionIsThreadCountInvariant)
+{
+    // Blocks must be [b*grain, min(n, (b+1)*grain)) regardless of workers.
+    auto blocksOf = [](runtime::ThreadPool &pool, int64_t n, int64_t grain) {
+        std::mutex mu;
+        std::set<std::pair<int64_t, int64_t>> blocks;
+        pool.parallelFor(n, grain, [&](int64_t b, int64_t e) {
+            std::lock_guard<std::mutex> lk(mu);
+            blocks.insert({b, e});
+        });
+        return blocks;
+    };
+    runtime::ThreadPool serial(1), wide(8);
+    EXPECT_EQ(blocksOf(serial, 103, 10), blocksOf(wide, 103, 10));
+    EXPECT_EQ(blocksOf(serial, 8, 16), blocksOf(wide, 8, 16));
+}
+
+TEST(ThreadPool, ParallelForHandlesEmptyAndTinyRanges)
+{
+    runtime::ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, 4, [&](int64_t, int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(1, 4, [&](int64_t b, int64_t e) {
+        EXPECT_EQ(b, 0);
+        EXPECT_EQ(e, 1);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions)
+{
+    runtime::ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(64, 1,
+                                  [&](int64_t b, int64_t) {
+                                      if (b == 13)
+                                          throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes)
+{
+    runtime::ThreadPool pool(2); // fewer workers than outer blocks
+    std::atomic<int64_t> sum{0};
+    pool.parallelFor(8, 1, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+            pool.parallelFor(16, 4, [&](int64_t ib, int64_t ie) {
+                sum.fetch_add(ie - ib);
+            });
+        }
+    });
+    EXPECT_EQ(sum.load(), 8 * 16);
+}
+
+// ---------------------------------------------------------------------------
+// Rng::split
+// ---------------------------------------------------------------------------
+
+TEST(RngSplit, StreamsAreDeterministicAndDistinct)
+{
+    Rng root(1234);
+    Rng a = root.split(0);
+    Rng b = root.split(1);
+    Rng a_again = Rng(1234).split(0);
+    EXPECT_EQ(a.nextU64(), a_again.nextU64());
+    EXPECT_NE(a.nextU64(), b.nextU64());
+    EXPECT_NE(Rng(1234).split(0).nextU64(), Rng(1235).split(0).nextU64());
+}
+
+TEST(RngSplit, SplitIgnoresParentConsumptionState)
+{
+    Rng root(77);
+    const uint64_t before = root.split(5).nextU64();
+    root.nextU64();
+    root.gaussian();
+    const uint64_t after = root.split(5).nextU64();
+    EXPECT_EQ(before, after);
+}
+
+TEST(RngSplit, ChildStreamsLookIndependent)
+{
+    // Means of distinct substreams should scatter around 0.5.
+    Rng root(99);
+    double grand = 0.0;
+    for (uint64_t s = 0; s < 16; ++s) {
+        Rng child = root.split(s);
+        double mean = 0.0;
+        for (int i = 0; i < 256; ++i)
+            mean += child.uniformReal();
+        grand += mean / 256.0;
+    }
+    EXPECT_NEAR(grand / 16.0, 0.5, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// RuntimeEngine
+// ---------------------------------------------------------------------------
+
+runtime::GemmRequest
+makeRequest(Rng &rng, int m, int k, int n)
+{
+    runtime::GemmRequest req;
+    req.m = m;
+    req.k = k;
+    req.n = n;
+    req.a = mirage::test::gaussianVector(rng, static_cast<size_t>(m) * k);
+    req.b = mirage::test::gaussianVector(rng, static_cast<size_t>(k) * n);
+    return req;
+}
+
+class RuntimeEngineTest : public mirage::test::SeededTest
+{
+};
+
+TEST_F(RuntimeEngineTest, GemmJobMatchesDirectAcceleratorCall)
+{
+    runtime::EngineConfig cfg;
+    cfg.tiles = 2;
+    runtime::RuntimeEngine engine(cfg);
+
+    runtime::GemmRequest req = makeRequest(rng, 13, 32, 5);
+    const runtime::GemmRequest copy = req;
+    std::future<runtime::GemmResult> fut = engine.submitGemm(std::move(req));
+
+    core::MirageAccelerator direct;
+    const std::vector<float> expect =
+        direct.gemm(copy.a, copy.b, copy.m, copy.k, copy.n);
+
+    const runtime::GemmResult res = fut.get();
+    ASSERT_EQ(res.c.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_EQ(res.c[i], expect[i]) << "element " << i;
+    EXPECT_GT(res.latency_s, 0.0);
+    EXPECT_GE(res.shards, 1);
+}
+
+TEST_F(RuntimeEngineTest, ParallelShardedResultsAreBitIdenticalToSerial)
+{
+    // The same jobs through (1 tile, 1 thread) and (4 tiles, 8 threads)
+    // must produce byte-identical outputs.
+    std::vector<runtime::GemmRequest> reqs;
+    for (int i = 0; i < 6; ++i)
+        reqs.push_back(makeRequest(rng, 9 + 3 * i, 32, 6));
+
+    auto runAll = [&](int tiles, int threads) {
+        GlobalThreadsGuard guard(threads);
+        runtime::EngineConfig cfg;
+        cfg.tiles = tiles;
+        cfg.max_batch = 3;
+        runtime::RuntimeEngine engine(cfg);
+        std::vector<std::future<runtime::GemmResult>> futs;
+        for (const auto &r : reqs)
+            futs.push_back(engine.submitGemm(r));
+        std::vector<std::vector<float>> out;
+        for (auto &f : futs)
+            out.push_back(f.get().c);
+        return out;
+    };
+
+    const auto serial = runAll(1, 1);
+    const auto parallel = runAll(4, 8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t j = 0; j < serial.size(); ++j) {
+        ASSERT_EQ(serial[j].size(), parallel[j].size());
+        for (size_t i = 0; i < serial[j].size(); ++i)
+            EXPECT_EQ(serial[j][i], parallel[j][i])
+                << "job " << j << " element " << i;
+    }
+}
+
+TEST_F(RuntimeEngineTest, InferenceAndTrainingJobsMatchDirectEstimates)
+{
+    runtime::RuntimeEngine engine;
+    const models::ModelShape net = models::alexNet();
+    auto inf = engine.submitInference(net, 16);
+    auto trn = engine.submitTraining(net, 16);
+
+    core::MirageAccelerator direct;
+    const core::PerformanceReport inf_direct = direct.estimateInference(net, 16);
+    const core::PerformanceReport trn_direct = direct.estimateTraining(net, 16);
+
+    const core::PerformanceReport inf_res = inf.get();
+    const core::PerformanceReport trn_res = trn.get();
+    EXPECT_EQ(inf_res.time_s, inf_direct.time_s);
+    EXPECT_EQ(inf_res.macs, inf_direct.macs);
+    EXPECT_EQ(inf_res.energy_j, inf_direct.energy_j);
+    EXPECT_EQ(trn_res.time_s, trn_direct.time_s);
+    EXPECT_EQ(trn_res.macs, trn_direct.macs);
+    EXPECT_EQ(trn_res.edp, trn_direct.edp);
+    inf_res.validateUnits();
+    trn_res.validateUnits();
+}
+
+TEST_F(RuntimeEngineTest, PerJobStatsAddUp)
+{
+    runtime::EngineConfig cfg;
+    cfg.tiles = 2;
+    runtime::RuntimeEngine engine(cfg);
+
+    const int jobs = 5, m = 8, k = 16, n = 4;
+    std::vector<std::future<runtime::GemmResult>> futs;
+    for (int j = 0; j < jobs; ++j)
+        futs.push_back(engine.submitGemm(makeRequest(rng, m, k, n)));
+    auto inf = engine.submitInference(models::transformer(), 8);
+    double latency_sum = 0.0;
+    for (auto &f : futs)
+        latency_sum += f.get().latency_s;
+    inf.get();
+    engine.drain();
+
+    const runtime::RuntimeReport rep = engine.report();
+    EXPECT_EQ(rep.jobs_submitted, static_cast<uint64_t>(jobs) + 1);
+    EXPECT_EQ(rep.jobs_completed, static_cast<uint64_t>(jobs) + 1);
+    EXPECT_EQ(rep.gemm_jobs, static_cast<uint64_t>(jobs));
+    EXPECT_EQ(rep.inference_jobs, 1u);
+    EXPECT_EQ(rep.gemm_macs, static_cast<int64_t>(jobs) * m * k * n);
+    EXPECT_GE(rep.batches_dispatched, 1u);
+    EXPECT_LE(rep.batches_dispatched, static_cast<uint64_t>(jobs));
+    EXPECT_GT(rep.total_latency_s, 0.0);
+    // Futures observe per-job latency at a slightly earlier timestamp than
+    // the engine's aggregate, so the sum is a lower bound.
+    EXPECT_LE(latency_sum, rep.total_latency_s + 1e-6);
+    EXPECT_GT(rep.wall_time_s, 0.0);
+    EXPECT_GE(rep.utilization(), 0.0);
+    EXPECT_LE(rep.utilization(), 1.0 + 1e-9);
+    EXPECT_GT(rep.throughputMacsPerSecond(), 0.0);
+    EXPECT_GT(rep.avgLatencySeconds(), 0.0);
+    EXPECT_GE(rep.max_latency_s, rep.avgLatencySeconds());
+}
+
+TEST_F(RuntimeEngineTest, CompatibleGemmJobsAreBatched)
+{
+    runtime::EngineConfig cfg;
+    cfg.tiles = 2;
+    cfg.max_batch = 4;
+    cfg.queue_capacity = 32;
+    runtime::RuntimeEngine engine(cfg);
+
+    // Hold the dispatcher on a gate so all GEMM jobs are queued before any
+    // dispatch decision is made, then count dispatch groups.
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    auto gate_job = engine.submitTask(
+        [opened](core::MirageAccelerator &, Rng &) { opened.wait(); });
+
+    std::vector<std::future<runtime::GemmResult>> futs;
+    for (int j = 0; j < 8; ++j)
+        futs.push_back(engine.submitGemm(makeRequest(rng, 6, 16, 4)));
+    gate.set_value();
+    for (auto &f : futs)
+        f.get();
+    gate_job.get();
+    engine.drain();
+
+    const runtime::RuntimeReport rep = engine.report();
+    EXPECT_EQ(rep.gemm_jobs, 8u);
+    EXPECT_EQ(rep.batches_dispatched, 2u); // 8 jobs fused 4 at a time
+    EXPECT_EQ(rep.largest_batch, 4u);
+}
+
+TEST_F(RuntimeEngineTest, FullQueueBlocksSubmissionUntilSpaceFrees)
+{
+    runtime::EngineConfig cfg;
+    cfg.tiles = 1;
+    cfg.queue_capacity = 2;
+    runtime::RuntimeEngine engine(cfg);
+
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    auto gate_job = engine.submitTask(
+        [opened](core::MirageAccelerator &, Rng &) { opened.wait(); });
+    // Fill the queue behind the in-flight gate job.
+    auto q1 = engine.submitTask([](core::MirageAccelerator &, Rng &) {});
+    auto q2 = engine.submitTask([](core::MirageAccelerator &, Rng &) {});
+    ASSERT_EQ(engine.queueDepth(), 2u);
+
+    std::atomic<bool> third_submitted{false};
+    std::thread producer([&] {
+        auto q3 = engine.submitTask([](core::MirageAccelerator &, Rng &) {});
+        third_submitted.store(true);
+        q3.get();
+    });
+
+    // The producer must be stuck in submitTask while the queue is full.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    EXPECT_FALSE(third_submitted.load());
+    EXPECT_EQ(engine.queueDepth(), 2u);
+
+    gate.set_value();
+    producer.join();
+    EXPECT_TRUE(third_submitted.load());
+    gate_job.get();
+    q1.get();
+    q2.get();
+    engine.drain();
+    const runtime::RuntimeReport rep = engine.report();
+    EXPECT_EQ(rep.task_jobs, 4u);
+    EXPECT_EQ(rep.max_queue_depth, 2u);
+}
+
+TEST_F(RuntimeEngineTest, PerTileRngStreamsAreDeterministicAndDistinct)
+{
+    runtime::EngineConfig cfg;
+    cfg.tiles = 2;
+    cfg.seed = 4321;
+    auto firstDrawPerTile = [&cfg]() {
+        runtime::RuntimeEngine engine(cfg);
+        std::vector<uint64_t> draws;
+        std::mutex mu;
+        std::vector<std::future<void>> futs;
+        // Tasks round-robin over tiles, so two tasks touch both tiles.
+        for (int t = 0; t < cfg.tiles; ++t) {
+            futs.push_back(engine.submitTask(
+                [&](core::MirageAccelerator &, Rng &tile_rng) {
+                    std::lock_guard<std::mutex> lk(mu);
+                    draws.push_back(tile_rng.split(0).nextU64());
+                }));
+        }
+        for (auto &f : futs)
+            f.get();
+        return draws;
+    };
+    const std::vector<uint64_t> run1 = firstDrawPerTile();
+    const std::vector<uint64_t> run2 = firstDrawPerTile();
+    ASSERT_EQ(run1.size(), 2u);
+    EXPECT_EQ(run1, run2);       // deterministic across engine instances
+    EXPECT_NE(run1[0], run1[1]); // distinct across tiles
+}
+
+TEST_F(RuntimeEngineTest, ThrowingTaskDeliversExceptionThroughFuture)
+{
+    runtime::RuntimeEngine engine;
+    auto bad = engine.submitTask([](core::MirageAccelerator &, Rng &) {
+        throw std::runtime_error("job failed");
+    });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // The dispatcher must survive a throwing job and keep serving.
+    auto ok = engine.submitGemm(makeRequest(rng, 4, 16, 4));
+    EXPECT_EQ(ok.get().c.size(), 4u * 4u);
+    engine.drain();
+    EXPECT_EQ(engine.report().jobs_completed, 2u);
+}
+
+TEST_F(RuntimeEngineTest, DestructorDrainsOutstandingJobs)
+{
+    std::future<runtime::GemmResult> fut;
+    {
+        runtime::RuntimeEngine engine;
+        fut = engine.submitGemm(makeRequest(rng, 12, 16, 4));
+    } // destructor must complete the job, not abandon the promise
+    EXPECT_EQ(fut.get().c.size(), 12u * 4u);
+}
+
+} // namespace
