@@ -4,13 +4,20 @@
 /**
  * @file
  * Shared helpers for the table/figure reproduction harnesses: flag parsing
- * (--full for paper-scale sweeps, --csv for machine-readable output) and a
- * banner that states which paper artifact a binary regenerates.
+ * (--full for paper-scale sweeps, --csv for machine-readable output,
+ * --json <path> for perf-trajectory files), a banner that states which
+ * paper artifact a binary regenerates, and a JSON report writer so BENCH_*
+ * results can accumulate across commits.
  */
 
+#include <cctype>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/table.h"
 
@@ -20,8 +27,9 @@ namespace bench {
 /** Command-line options shared by every harness. */
 struct BenchOptions
 {
-    bool full = false; ///< Paper-scale sweep instead of the quick default.
-    bool csv = false;  ///< CSV instead of aligned tables.
+    bool full = false;     ///< Paper-scale sweep instead of the quick default.
+    bool csv = false;      ///< CSV instead of aligned tables.
+    std::string json_path; ///< --json <path>: machine-readable result file.
 
     static BenchOptions
     parse(int argc, char **argv)
@@ -32,11 +40,18 @@ struct BenchOptions
                 opts.full = true;
             else if (std::strcmp(argv[i], "--csv") == 0)
                 opts.csv = true;
-            else if (std::strcmp(argv[i], "--help") == 0) {
+            else if (std::strcmp(argv[i], "--json") == 0) {
+                if (i + 1 >= argc) {
+                    std::cerr << "--json needs a file path\n";
+                    std::exit(2);
+                }
+                opts.json_path = argv[++i];
+            } else if (std::strcmp(argv[i], "--help") == 0) {
                 std::cout << "usage: " << argv[0]
-                          << " [--full] [--csv]\n"
-                             "  --full  paper-scale sweep (slower)\n"
-                             "  --csv   machine-readable output\n";
+                          << " [--full] [--csv] [--json <path>]\n"
+                             "  --full         paper-scale sweep (slower)\n"
+                             "  --csv          machine-readable output\n"
+                             "  --json <path>  write results as JSON\n";
                 std::exit(0);
             }
         }
@@ -66,6 +81,144 @@ emit(const TablePrinter &table, const BenchOptions &opts)
         table.print(std::cout);
     std::cout << "\n";
 }
+
+namespace detail {
+
+/**
+ * True when `s` matches the JSON number grammar exactly:
+ * -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?. Stricter than strtod,
+ * which also accepts "+5", ".5", "5.", "inf" — none of which are valid
+ * JSON literals and would corrupt the --json document if left unquoted.
+ */
+inline bool
+looksNumeric(const std::string &s)
+{
+    size_t i = 0;
+    const size_t n = s.size();
+    const auto digits = [&] {
+        const size_t start = i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(s[i])))
+            ++i;
+        return i > start;
+    };
+    if (i < n && s[i] == '-')
+        ++i;
+    if (i < n && s[i] == '0')
+        ++i; // a leading zero must stand alone ("0", "0.5")
+    else if (!digits())
+        return false;
+    if (i < n && s[i] == '.') {
+        ++i;
+        if (!digits())
+            return false;
+    }
+    if (i < n && (s[i] == 'e' || s[i] == 'E')) {
+        ++i;
+        if (i < n && (s[i] == '+' || s[i] == '-'))
+            ++i;
+        if (!digits())
+            return false;
+    }
+    return i == n && n > 0;
+}
+
+inline void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default: os << c;
+        }
+    }
+    os << '"';
+}
+
+} // namespace detail
+
+/**
+ * Accumulates named tables and writes one JSON document:
+ *
+ *   {"bench": "<name>", "mode": "quick"|"full",
+ *    "results": {"<table name>": [{"<col>": <cell>, ...}, ...], ...}}
+ *
+ * Cells that parse as numbers are emitted unquoted, so downstream
+ * tooling can chart perf trajectories without re-parsing strings.
+ */
+class JsonReport
+{
+  public:
+    /** Registers a table under `name` (copied). */
+    void
+    add(std::string name, const TablePrinter &table)
+    {
+        sections_.emplace_back(std::move(name), table);
+    }
+
+    /** Writes the document; returns false (with a warning) on I/O error. */
+    bool
+    write(const std::string &path, const std::string &bench_name,
+          const BenchOptions &opts) const
+    {
+        std::ofstream os(path);
+        if (!os) {
+            std::cerr << "warning: cannot write JSON report to '" << path
+                      << "'\n";
+            return false;
+        }
+        os << "{\n  \"bench\": ";
+        detail::jsonEscape(os, bench_name);
+        os << ",\n  \"mode\": \"" << (opts.full ? "full" : "quick")
+           << "\",\n  \"results\": {";
+        for (size_t s = 0; s < sections_.size(); ++s) {
+            const auto &[name, table] = sections_[s];
+            os << (s ? ",\n    " : "\n    ");
+            detail::jsonEscape(os, name);
+            os << ": [";
+            const auto &headers = table.headers();
+            for (size_t r = 0; r < table.rows().size(); ++r) {
+                const auto &row = table.rows()[r];
+                os << (r ? ",\n      {" : "\n      {");
+                for (size_t c = 0; c < headers.size() && c < row.size();
+                     ++c) {
+                    if (c)
+                        os << ", ";
+                    detail::jsonEscape(os, headers[c]);
+                    os << ": ";
+                    if (detail::looksNumeric(row[c]))
+                        os << row[c];
+                    else
+                        detail::jsonEscape(os, row[c]);
+                }
+                os << "}";
+            }
+            os << "\n    ]";
+        }
+        os << "\n  }\n}\n";
+        return os.good();
+    }
+
+    /** write() to opts.json_path when --json was given; else a no-op. */
+    bool
+    writeIfRequested(const std::string &bench_name,
+                     const BenchOptions &opts) const
+    {
+        if (opts.json_path.empty())
+            return true;
+        const bool ok = write(opts.json_path, bench_name, opts);
+        if (ok)
+            std::cout << "JSON results written to " << opts.json_path
+                      << "\n";
+        return ok;
+    }
+
+  private:
+    std::vector<std::pair<std::string, TablePrinter>> sections_;
+};
 
 } // namespace bench
 } // namespace mirage

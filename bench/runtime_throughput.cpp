@@ -146,6 +146,9 @@ main(int argc, char **argv)
         }
     }
     bench::emit(table, opts);
+    bench::JsonReport json;
+    json.add("throughput_sweep", table);
+    json.writeIfRequested("runtime_throughput", opts);
     runtime::ThreadPool::setGlobalThreads(0);
 
     std::cout

@@ -202,5 +202,29 @@ MirageEnergyModel::gemmEnergyJ(const GemmPerf &perf, bool include_sram) const
     return power * perf.time_s;
 }
 
+double
+MirageEnergyModel::programmingEnergyPerElementJ() const
+{
+    const rns::ModuliSet set = cfg_.moduliSet();
+    const analog::ConverterSpec dac_ref = analog::mirageDac6();
+    double e = 0.0;
+    for (size_t mi = 0; mi < set.count(); ++mi) {
+        const int bits = cfg_.dac_bits_override > 0 ? cfg_.dac_bits_override
+                                                    : set.converterBits(mi);
+        e += dac_ref.scaledToBits(bits).energyPerConversion();
+        e += cfg_.devices.phase_shifter.tuning_energy_j;
+        e += cfg_.digital.bns_rns_energy_pj * units::kPico;
+    }
+    return e;
+}
+
+double
+MirageEnergyModel::programmingEnergyJ(int64_t weight_elements) const
+{
+    MIRAGE_ASSERT(weight_elements >= 0, "negative weight element count");
+    return static_cast<double>(weight_elements) *
+           programmingEnergyPerElementJ();
+}
+
 } // namespace arch
 } // namespace mirage

@@ -105,6 +105,18 @@ class MirageEnergyModel
      */
     double gemmEnergyJ(const GemmPerf &perf, bool include_sram) const;
 
+    /**
+     * Energy [J] of programming one stationary weight value into an MMVMU:
+     * per residue channel, one weight-DAC conversion, one phase-shifter
+     * electro-optic reprogram, and one forward BNS->RNS conversion. This
+     * is the per-element cost the serving weight cache amortizes across
+     * requests that reuse an already-programmed model.
+     */
+    double programmingEnergyPerElementJ() const;
+
+    /** Programming energy [J] for `weight_elements` stationary weights. */
+    double programmingEnergyJ(int64_t weight_elements) const;
+
     const MirageConfig &config() const { return cfg_; }
 
   private:

@@ -75,6 +75,19 @@ MiragePerfModel::gemm(const GemmShape &shape, Dataflow df, int64_t count) const
     return perf;
 }
 
+double
+MiragePerfModel::programmingTimeS(int64_t weight_elements) const
+{
+    MIRAGE_ASSERT(weight_elements >= 0, "negative weight element count");
+    if (weight_elements == 0)
+        return 0.0;
+    const int64_t per_tile =
+        static_cast<int64_t>(cfg_.mdpu_rows) * cfg_.g;
+    const int64_t tiles = ceilDiv(weight_elements, per_tile);
+    const int64_t waves = ceilDiv(tiles, static_cast<int64_t>(cfg_.num_arrays));
+    return static_cast<double>(waves) * cfg_.tileLoadTimeS();
+}
+
 std::pair<Dataflow, GemmPerf>
 MiragePerfModel::best(const GemmShape &shape, int64_t count) const
 {

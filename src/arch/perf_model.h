@@ -71,6 +71,14 @@ class MiragePerfModel
     std::pair<Dataflow, GemmPerf> best(const GemmShape &shape,
                                        int64_t count = 1) const;
 
+    /**
+     * Time [s] to program `weight_elements` stationary weight values into
+     * the phase shifters: elements fill (mdpu_rows x g) tiles, `num_arrays`
+     * tiles program in parallel, and each wave costs one reprogram latency.
+     * This is the cold-start cost the serving weight cache avoids on a hit.
+     */
+    double programmingTimeS(int64_t weight_elements) const;
+
     const MirageConfig &config() const { return cfg_; }
 
   private:

@@ -38,6 +38,15 @@ class TablePrinter
     /** Number of data rows added so far. */
     size_t rowCount() const { return rows_.size(); }
 
+    /** Column headers (for machine-readable emitters). */
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    /** Data rows (for machine-readable emitters). */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;

@@ -57,6 +57,15 @@ ModelShape::trainingMacs(int64_t batch) const
     return total;
 }
 
+int64_t
+ModelShape::weightElements() const
+{
+    int64_t total = 0;
+    for (const GemmLayer &layer : layers)
+        total += layer.m * layer.k * layer.instances_per_sample;
+    return total;
+}
+
 std::vector<GemmTask>
 trainingTasks(const ModelShape &model, int64_t batch)
 {

@@ -45,6 +45,13 @@ struct ModelShape
 
     /** Total MACs of one training step (3 GEMMs per layer). */
     int64_t trainingMacs(int64_t batch) const;
+
+    /**
+     * Stationary weight values across all layers (m*k per GEMM instance):
+     * what must be programmed into the MMVMU phase shifters before this
+     * model can stream inferences (serving cold-start cost).
+     */
+    int64_t weightElements() const;
 };
 
 /** One schedulable GEMM: shape + repeat count. */

@@ -30,6 +30,13 @@ struct Param
     void zeroGrad() { grad.fill(0.0f); }
 };
 
+/** A parameter together with its unique path inside a model tree. */
+struct NamedParam
+{
+    std::string path; ///< e.g. "l3.dense.weight" in a Sequential.
+    Param *param = nullptr;
+};
+
 /** Base class for all layers. */
 class Layer
 {
@@ -50,6 +57,29 @@ class Layer
 
     /** Trainable parameters (empty for stateless layers). */
     virtual std::vector<Param *> params() { return {}; }
+
+    /**
+     * Appends this layer's parameters to `out` with `prefix`-qualified
+     * paths. Containers (Sequential, ResidualBlock) override this to
+     * recurse with position-derived prefixes, so every parameter of a
+     * model tree gets a unique, structure-stable path — the identity the
+     * serve/ checkpoint format keys tensors by.
+     */
+    virtual void
+    appendNamedParams(const std::string &prefix, std::vector<NamedParam> &out)
+    {
+        for (Param *p : params())
+            out.push_back({prefix + p->name, p});
+    }
+
+    /** All parameters of this (sub)tree with unique paths. */
+    std::vector<NamedParam>
+    namedParams()
+    {
+        std::vector<NamedParam> out;
+        appendNamedParams("", out);
+        return out;
+    }
 };
 
 } // namespace nn

@@ -45,6 +45,16 @@ Sequential::params()
     return all;
 }
 
+void
+Sequential::appendNamedParams(const std::string &prefix,
+                              std::vector<NamedParam> &out)
+{
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        layers_[i]->appendNamedParams(
+            prefix + "l" + std::to_string(i) + ".", out);
+    }
+}
+
 ResidualBlock::ResidualBlock(std::unique_ptr<Layer> main,
                              std::unique_ptr<Layer> shortcut)
     : main_(std::move(main)), shortcut_(std::move(shortcut))
@@ -87,6 +97,15 @@ ResidualBlock::params()
         all.insert(all.end(), p.begin(), p.end());
     }
     return all;
+}
+
+void
+ResidualBlock::appendNamedParams(const std::string &prefix,
+                                 std::vector<NamedParam> &out)
+{
+    main_->appendNamedParams(prefix + "main.", out);
+    if (shortcut_)
+        shortcut_->appendNamedParams(prefix + "shortcut.", out);
 }
 
 float

@@ -39,6 +39,8 @@ class Sequential : public Layer
     Tensor forward(const Tensor &x, bool training) override;
     Tensor backward(const Tensor &grad_out) override;
     std::vector<Param *> params() override;
+    void appendNamedParams(const std::string &prefix,
+                           std::vector<NamedParam> &out) override;
 
     size_t layerCount() const { return layers_.size(); }
 
@@ -60,6 +62,8 @@ class ResidualBlock : public Layer
     Tensor forward(const Tensor &x, bool training) override;
     Tensor backward(const Tensor &grad_out) override;
     std::vector<Param *> params() override;
+    void appendNamedParams(const std::string &prefix,
+                           std::vector<NamedParam> &out) override;
 
   private:
     std::unique_ptr<Layer> main_;

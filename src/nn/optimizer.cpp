@@ -39,6 +39,30 @@ Sgd::step(const std::vector<Param *> &params)
     }
 }
 
+std::vector<std::string>
+Sgd::stateSlots() const
+{
+    return momentum_ != 0.0f ? std::vector<std::string>{"velocity"}
+                             : std::vector<std::string>{};
+}
+
+std::vector<float>
+Sgd::stateSlot(const Param *p, const std::string &slot) const
+{
+    MIRAGE_ASSERT(slot == "velocity", "unknown SGD state slot: ", slot);
+    const auto it = velocity_.find(const_cast<Param *>(p));
+    return it != velocity_.end() ? it->second : std::vector<float>{};
+}
+
+void
+Sgd::setStateSlot(Param *p, const std::string &slot, std::vector<float> data)
+{
+    MIRAGE_ASSERT(slot == "velocity", "unknown SGD state slot: ", slot);
+    MIRAGE_ASSERT(data.size() == static_cast<size_t>(p->value.size()),
+                  "SGD velocity size mismatch for ", p->name);
+    velocity_[p] = std::move(data);
+}
+
 Adam::Adam(float lr, float beta1, float beta2, float eps)
     : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps)
 {
@@ -69,6 +93,32 @@ Adam::step(const std::vector<Param *> &params)
                 lr_ * mhat / (std::sqrt(vhat) + eps_));
         }
     }
+}
+
+std::vector<std::string>
+Adam::stateSlots() const
+{
+    return {"m", "v"};
+}
+
+std::vector<float>
+Adam::stateSlot(const Param *p, const std::string &slot) const
+{
+    MIRAGE_ASSERT(slot == "m" || slot == "v",
+                  "unknown Adam state slot: ", slot);
+    const auto &map = slot == "m" ? m_ : v_;
+    const auto it = map.find(const_cast<Param *>(p));
+    return it != map.end() ? it->second : std::vector<float>{};
+}
+
+void
+Adam::setStateSlot(Param *p, const std::string &slot, std::vector<float> data)
+{
+    MIRAGE_ASSERT(slot == "m" || slot == "v",
+                  "unknown Adam state slot: ", slot);
+    MIRAGE_ASSERT(data.size() == static_cast<size_t>(p->value.size()),
+                  "Adam ", slot, " size mismatch for ", p->name);
+    (slot == "m" ? m_ : v_)[p] = std::move(data);
 }
 
 } // namespace nn

@@ -9,6 +9,7 @@
  * the paper's training recipes (Sec. VI-B).
  */
 
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +29,44 @@ class Optimizer
 
     /** Zeroes all gradients. */
     static void zeroGrad(const std::vector<Param *> &params);
+
+    // --- checkpointing hooks (serve/checkpoint.cpp) --------------------
+    // Optimizer state is keyed internally by Param*, which does not
+    // survive a process restart; these hooks expose it per parameter so a
+    // checkpoint can store it under the parameter's path instead.
+
+    /** Identifier written into checkpoints ("sgd", "adam"). */
+    virtual std::string typeName() const = 0;
+
+    /** Names of the per-parameter state slots (e.g. {"m", "v"}). */
+    virtual std::vector<std::string> stateSlots() const { return {}; }
+
+    /**
+     * Copy of one state slot for `p`; empty when the slot has not been
+     * materialized yet (no step taken on this parameter).
+     */
+    virtual std::vector<float>
+    stateSlot(const Param *p, const std::string &slot) const
+    {
+        (void)p;
+        (void)slot;
+        return {};
+    }
+
+    /** Installs one state slot for `p` (restore path). */
+    virtual void
+    setStateSlot(Param *p, const std::string &slot, std::vector<float> data)
+    {
+        (void)p;
+        (void)slot;
+        (void)data;
+    }
+
+    /** Global step counter (Adam's bias-correction t; 0 when unused). */
+    virtual int64_t stepCount() const { return 0; }
+
+    /** Restores the global step counter. */
+    virtual void setStepCount(int64_t t) { (void)t; }
 };
 
 /** Stochastic gradient descent with classical momentum. */
@@ -40,6 +79,13 @@ class Sgd : public Optimizer
 
     float lr() const { return lr_; }
     void setLr(float lr) { lr_ = lr; }
+
+    std::string typeName() const override { return "sgd"; }
+    std::vector<std::string> stateSlots() const override;
+    std::vector<float> stateSlot(const Param *p,
+                                 const std::string &slot) const override;
+    void setStateSlot(Param *p, const std::string &slot,
+                      std::vector<float> data) override;
 
   private:
     float lr_;
@@ -59,6 +105,15 @@ class Adam : public Optimizer
 
     float lr() const { return lr_; }
     void setLr(float lr) { lr_ = lr; }
+
+    std::string typeName() const override { return "adam"; }
+    std::vector<std::string> stateSlots() const override;
+    std::vector<float> stateSlot(const Param *p,
+                                 const std::string &slot) const override;
+    void setStateSlot(Param *p, const std::string &slot,
+                      std::vector<float> data) override;
+    int64_t stepCount() const override { return t_; }
+    void setStepCount(int64_t t) override { t_ = t; }
 
   private:
     float lr_, beta1_, beta2_, eps_;

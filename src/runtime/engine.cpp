@@ -5,6 +5,8 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <variant>
 
@@ -25,6 +27,19 @@ secondsSince(Clock::time_point t0, Clock::time_point t1)
 }
 
 } // namespace
+
+void
+EngineConfig::validate() const
+{
+    if (tiles <= 0)
+        throw std::invalid_argument(
+            "EngineConfig.tiles must be >= 1, got " + std::to_string(tiles));
+    if (queue_capacity == 0)
+        throw std::invalid_argument("EngineConfig.queue_capacity must be >= 1");
+    if (max_batch <= 0)
+        throw std::invalid_argument("EngineConfig.max_batch must be >= 1, got " +
+                                    std::to_string(max_batch));
+}
 
 double
 RuntimeReport::avgLatencySeconds() const
@@ -112,9 +127,7 @@ struct RuntimeEngine::Impl
 
     explicit Impl(EngineConfig config) : cfg(std::move(config))
     {
-        MIRAGE_ASSERT(cfg.tiles >= 1, "engine needs at least one tile");
-        MIRAGE_ASSERT(cfg.queue_capacity >= 1, "queue capacity must be >= 1");
-        MIRAGE_ASSERT(cfg.max_batch >= 1, "max_batch must be >= 1");
+        cfg.validate();
         const Rng root(cfg.seed);
         tiles.reserve(static_cast<size_t>(cfg.tiles));
         for (int t = 0; t < cfg.tiles; ++t) {

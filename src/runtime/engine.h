@@ -55,6 +55,14 @@ struct EngineConfig
     core::ExecutionMode mode = core::ExecutionMode::Emulated;
     /// Configuration applied to every tile's accelerator.
     arch::MirageConfig accel;
+
+    /**
+     * Throws std::invalid_argument naming the offending knob when
+     * tiles <= 0, queue_capacity == 0, or max_batch <= 0. RuntimeEngine
+     * construction calls this, so invalid configurations fail fast with a
+     * catchable error instead of whatever follows downstream.
+     */
+    void validate() const;
 };
 
 /** One asynchronous GEMM request: C[m x n] = A[m x k] * B[k x n]. */

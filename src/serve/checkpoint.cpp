@@ -1,0 +1,411 @@
+#include "serve/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+namespace mirage {
+namespace serve {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'I', 'R', 'C', 'K', 'P', 'T', '\0'};
+
+// --- little-endian primitives ------------------------------------------
+// The writers emit bytes explicitly so checkpoints are portable across
+// host endianness; the readers bounds-check every access and throw
+// CheckpointError instead of reading past the buffer.
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putI32(std::vector<uint8_t> &out, int32_t v)
+{
+    putU32(out, static_cast<uint32_t>(v));
+}
+
+void
+putF32(std::vector<uint8_t> &out, float v)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU32(out, bits);
+}
+
+void
+putString(std::vector<uint8_t> &out, const std::string &s)
+{
+    putU32(out, static_cast<uint32_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+/** Bounds-checked cursor over a byte buffer. */
+class Reader
+{
+  public:
+    Reader(const uint8_t *data, size_t size) : data_(data), size_(size) {}
+
+    uint32_t
+    u32()
+    {
+        need(4);
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        need(8);
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    int32_t i32() { return static_cast<int32_t>(u32()); }
+
+    float
+    f32()
+    {
+        const uint32_t bits = u32();
+        float v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    string()
+    {
+        const uint32_t len = u32();
+        need(len);
+        std::string s(reinterpret_cast<const char *>(data_ + pos_), len);
+        pos_ += len;
+        return s;
+    }
+
+    size_t remaining() const { return size_ - pos_; }
+
+  private:
+    void
+    need(size_t n) const
+    {
+        if (size_ - pos_ < n)
+            throw CheckpointError("checkpoint truncated: need " +
+                                  std::to_string(n) + " bytes, have " +
+                                  std::to_string(size_ - pos_));
+    }
+
+    const uint8_t *data_;
+    size_t size_;
+    size_t pos_ = 0;
+};
+
+uint64_t
+fnv1a(const uint8_t *data, size_t size)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (size_t i = 0; i < size; ++i) {
+        h ^= data[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+void
+putTensor(std::vector<uint8_t> &out, const TensorRecord &t)
+{
+    putString(out, t.name);
+    putU32(out, static_cast<uint32_t>(t.shape.size()));
+    int64_t expect = 1;
+    for (int d : t.shape) {
+        putI32(out, d);
+        expect *= d;
+    }
+    if (expect != t.size())
+        throw CheckpointError("tensor '" + t.name +
+                              "': shape/data size mismatch");
+    for (float v : t.data)
+        putF32(out, v);
+}
+
+TensorRecord
+readTensor(Reader &r)
+{
+    TensorRecord t;
+    t.name = r.string();
+    const uint32_t rank = r.u32();
+    if (rank > 16)
+        throw CheckpointError("tensor '" + t.name + "': implausible rank " +
+                              std::to_string(rank));
+    // Elements can never exceed the bytes left in the buffer; bounding
+    // each partial product by that also rules out multiply overflow from
+    // crafted dimensions.
+    const uint64_t max_count = r.remaining() / 4;
+    uint64_t count = 1;
+    t.shape.reserve(rank);
+    for (uint32_t i = 0; i < rank; ++i) {
+        const int32_t d = r.i32();
+        if (d < 0)
+            throw CheckpointError("tensor '" + t.name +
+                                  "': negative dimension");
+        if (d != 0 && count > max_count / static_cast<uint64_t>(d))
+            throw CheckpointError("tensor '" + t.name +
+                                  "': data exceeds checkpoint size");
+        t.shape.push_back(d);
+        count *= static_cast<uint64_t>(d);
+    }
+    if (count > max_count)
+        throw CheckpointError("tensor '" + t.name +
+                              "': data exceeds checkpoint size");
+    t.data.resize(static_cast<size_t>(count));
+    for (auto &v : t.data)
+        v = r.f32();
+    return t;
+}
+
+} // namespace
+
+const TensorRecord *
+Checkpoint::find(const std::string &name) const
+{
+    for (const TensorRecord &t : tensors)
+        if (t.name == name)
+            return &t;
+    return nullptr;
+}
+
+int64_t
+Checkpoint::parameterCount() const
+{
+    int64_t total = 0;
+    for (const TensorRecord &t : tensors)
+        total += t.size();
+    return total;
+}
+
+Checkpoint
+snapshot(nn::Layer &model, const std::string &model_name,
+         const nn::Optimizer *opt)
+{
+    Checkpoint ckpt;
+    ckpt.model_name = model_name;
+
+    std::set<std::string> seen;
+    const std::vector<nn::NamedParam> params = model.namedParams();
+    ckpt.tensors.reserve(params.size());
+    for (const nn::NamedParam &np : params) {
+        if (!seen.insert(np.path).second)
+            throw CheckpointError("duplicate parameter path '" + np.path +
+                                  "' in model '" + model_name + "'");
+        TensorRecord t;
+        t.name = np.path;
+        t.shape = np.param->value.shape();
+        t.data = np.param->value.vec();
+        ckpt.tensors.push_back(std::move(t));
+    }
+
+    if (opt != nullptr) {
+        ckpt.optimizer_type = opt->typeName();
+        ckpt.optimizer_step = opt->stepCount();
+        for (const nn::NamedParam &np : params) {
+            for (const std::string &slot : opt->stateSlots()) {
+                std::vector<float> data = opt->stateSlot(np.param, slot);
+                if (data.empty())
+                    continue; // slot not materialized yet
+                TensorRecord t;
+                t.name = np.path + "/" + slot;
+                t.shape = {static_cast<int>(data.size())};
+                t.data = std::move(data);
+                ckpt.optimizer_state.push_back(std::move(t));
+            }
+        }
+    }
+    return ckpt;
+}
+
+void
+restore(const Checkpoint &ckpt, nn::Layer &model, nn::Optimizer *opt)
+{
+    const std::vector<nn::NamedParam> params = model.namedParams();
+    if (params.size() != ckpt.tensors.size())
+        throw CheckpointError(
+            "model has " + std::to_string(params.size()) +
+            " parameters but checkpoint '" + ckpt.model_name + "' has " +
+            std::to_string(ckpt.tensors.size()));
+
+    for (const nn::NamedParam &np : params) {
+        const TensorRecord *t = ckpt.find(np.path);
+        if (t == nullptr)
+            throw CheckpointError("parameter '" + np.path +
+                                  "' missing from checkpoint '" +
+                                  ckpt.model_name + "'");
+        if (t->shape != np.param->value.shape())
+            throw CheckpointError(
+                "parameter '" + np.path + "' shape mismatch: model " +
+                np.param->value.shapeString() + ", checkpoint has " +
+                std::to_string(t->size()) + " elements");
+        np.param->value.vec() = t->data;
+    }
+
+    if (opt != nullptr && !ckpt.optimizer_type.empty()) {
+        if (opt->typeName() != ckpt.optimizer_type)
+            throw CheckpointError("checkpoint optimizer is '" +
+                                  ckpt.optimizer_type + "' but restoring '" +
+                                  opt->typeName() + "'");
+        opt->setStepCount(ckpt.optimizer_step);
+        for (const TensorRecord &t : ckpt.optimizer_state) {
+            const size_t sep = t.name.rfind('/');
+            if (sep == std::string::npos)
+                throw CheckpointError("malformed optimizer record '" +
+                                      t.name + "'");
+            const std::string path = t.name.substr(0, sep);
+            const std::string slot = t.name.substr(sep + 1);
+            nn::Param *target = nullptr;
+            for (const nn::NamedParam &np : params)
+                if (np.path == path) {
+                    target = np.param;
+                    break;
+                }
+            if (target == nullptr)
+                throw CheckpointError("optimizer state '" + t.name +
+                                      "' refers to unknown parameter");
+            if (t.size() != target->value.size())
+                throw CheckpointError("optimizer state '" + t.name +
+                                      "' size mismatch");
+            opt->setStateSlot(target, slot, t.data);
+        }
+    }
+}
+
+std::vector<uint8_t>
+serialize(const Checkpoint &ckpt)
+{
+    std::vector<uint8_t> body;
+    putString(body, ckpt.model_name);
+    putU32(body, static_cast<uint32_t>(ckpt.tensors.size()));
+    for (const TensorRecord &t : ckpt.tensors)
+        putTensor(body, t);
+    putString(body, ckpt.optimizer_type);
+    putU64(body, static_cast<uint64_t>(ckpt.optimizer_step));
+    putU32(body, static_cast<uint32_t>(ckpt.optimizer_state.size()));
+    for (const TensorRecord &t : ckpt.optimizer_state)
+        putTensor(body, t);
+
+    std::vector<uint8_t> out;
+    out.reserve(body.size() + 28);
+    // Byte-wise append: a range insert from the char array trips GCC 12's
+    // -Wstringop-overflow false positive (same story as models/zoo PR 1).
+    for (char c : kMagic)
+        out.push_back(static_cast<uint8_t>(c));
+    putU32(out, kFormatVersion);
+    putU64(out, body.size());
+    out.insert(out.end(), body.begin(), body.end());
+    putU64(out, fnv1a(body.data(), body.size()));
+    return out;
+}
+
+Checkpoint
+deserialize(const std::vector<uint8_t> &bytes)
+{
+    if (bytes.size() < sizeof(kMagic) + 12 ||
+        std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+        throw CheckpointError("not a Mirage checkpoint (bad magic)");
+    Reader r(bytes.data() + sizeof(kMagic), bytes.size() - sizeof(kMagic));
+    const uint32_t version = r.u32();
+    if (version == 0 || version > kFormatVersion)
+        throw CheckpointError("unsupported checkpoint format version " +
+                              std::to_string(version));
+    const uint64_t body_len = r.u64();
+    // Subtraction, not addition: `body_len + 8` could wrap for a crafted
+    // length and pass the check with a huge body_len.
+    if (r.remaining() < 8 || body_len != r.remaining() - 8)
+        throw CheckpointError("checkpoint length mismatch: header says " +
+                              std::to_string(body_len) + " body bytes, file has " +
+                              std::to_string(r.remaining()) + " (+8 checksum)");
+
+    const uint8_t *body = bytes.data() + sizeof(kMagic) + 12;
+    Reader br(body, static_cast<size_t>(body_len));
+    Checkpoint ckpt;
+    ckpt.version = version;
+    ckpt.model_name = br.string();
+    const uint32_t tensor_count = br.u32();
+    ckpt.tensors.reserve(tensor_count);
+    for (uint32_t i = 0; i < tensor_count; ++i)
+        ckpt.tensors.push_back(readTensor(br));
+    ckpt.optimizer_type = br.string();
+    ckpt.optimizer_step = static_cast<int64_t>(br.u64());
+    const uint32_t state_count = br.u32();
+    ckpt.optimizer_state.reserve(state_count);
+    for (uint32_t i = 0; i < state_count; ++i)
+        ckpt.optimizer_state.push_back(readTensor(br));
+    if (br.remaining() != 0)
+        throw CheckpointError("trailing bytes inside checkpoint body");
+
+    Reader cr(body + body_len, 8);
+    const uint64_t stored = cr.u64();
+    const uint64_t computed = fnv1a(body, static_cast<size_t>(body_len));
+    if (stored != computed)
+        throw CheckpointError("checkpoint checksum mismatch (corrupt file)");
+    return ckpt;
+}
+
+void
+saveFile(const Checkpoint &ckpt, const std::string &path)
+{
+    const std::vector<uint8_t> bytes = serialize(ckpt);
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        throw CheckpointError("cannot open '" + tmp + "' for writing");
+    const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    const bool flushed = std::fclose(f) == 0;
+    if (written != bytes.size() || !flushed) {
+        std::remove(tmp.c_str());
+        throw CheckpointError("short write to '" + tmp + "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw CheckpointError("cannot rename '" + tmp + "' to '" + path +
+                              "'");
+    }
+}
+
+Checkpoint
+loadFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        throw CheckpointError("cannot open checkpoint '" + path + "'");
+    std::vector<uint8_t> bytes;
+    uint8_t buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    const bool error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (error)
+        throw CheckpointError("I/O error reading '" + path + "'");
+    return deserialize(bytes);
+}
+
+} // namespace serve
+} // namespace mirage

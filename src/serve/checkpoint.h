@@ -1,0 +1,119 @@
+#ifndef MIRAGE_SERVE_CHECKPOINT_H
+#define MIRAGE_SERVE_CHECKPOINT_H
+
+/**
+ * @file
+ * Versioned, endian-safe binary checkpoint format for trained models.
+ *
+ * A checkpoint captures a model's parameters (keyed by their unique
+ * Layer::namedParams path) and, optionally, optimizer state (per-parameter
+ * slots plus the global step counter), so training survives a process
+ * restart and the serving repository can load models by file.
+ *
+ * Wire format (all integers little-endian regardless of host endianness):
+ *
+ *   8 bytes  magic "MIRCKPT\0"
+ *   u32      format version (kFormatVersion)
+ *   u64      body length [bytes]
+ *   body     model name, tensor records, optimizer section
+ *   u64      FNV-1a checksum of the body bytes
+ *
+ * Every tensor record is {string name, u32 rank, i32 dims..., f32 data...}.
+ * Floats are stored as IEEE-754 bit patterns, so a save -> load round trip
+ * is bit-exact and a restored model's forward pass is bit-identical to the
+ * saved one (with the deterministic default numerics).
+ *
+ * All errors (I/O, corruption, model/checkpoint mismatch) are reported as
+ * CheckpointError — never process exit — because serving must survive a
+ * bad file.
+ */
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+#include "nn/optimizer.h"
+
+namespace mirage {
+namespace serve {
+
+/** Raised on malformed files, I/O failures, and shape mismatches. */
+class CheckpointError : public std::runtime_error
+{
+  public:
+    explicit CheckpointError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Current wire-format version. */
+inline constexpr uint32_t kFormatVersion = 1;
+
+/** One named tensor (a parameter or an optimizer state slot). */
+struct TensorRecord
+{
+    std::string name;
+    std::vector<int> shape;
+    std::vector<float> data;
+
+    int64_t size() const { return static_cast<int64_t>(data.size()); }
+};
+
+/** An in-memory checkpoint: model parameters plus optional optimizer state. */
+struct Checkpoint
+{
+    uint32_t version = kFormatVersion;
+    std::string model_name;
+    std::vector<TensorRecord> tensors;
+
+    /// Optimizer::typeName() of the snapshotted optimizer; empty when the
+    /// checkpoint carries no optimizer state.
+    std::string optimizer_type;
+    int64_t optimizer_step = 0;
+    /// State slots named "<param path>/<slot>", e.g. "l0.dense.weight/m".
+    std::vector<TensorRecord> optimizer_state;
+
+    /** Record by name, or nullptr. */
+    const TensorRecord *find(const std::string &name) const;
+
+    /** Total parameter elements across all tensors. */
+    int64_t parameterCount() const;
+};
+
+/**
+ * Captures `model`'s parameters (and `opt`'s state when given) into an
+ * in-memory checkpoint. Parameter paths must be unique; duplicates throw.
+ */
+Checkpoint snapshot(nn::Layer &model, const std::string &model_name,
+                    const nn::Optimizer *opt = nullptr);
+
+/**
+ * Restores a checkpoint into `model` (and `opt` when given). The model
+ * must have exactly the checkpoint's parameter set (same paths, same
+ * shapes); any mismatch throws CheckpointError with the offending path.
+ * Restoring optimizer state into an optimizer of a different typeName
+ * throws; restoring a parameter-only checkpoint with `opt != nullptr` is
+ * allowed and leaves the optimizer untouched.
+ */
+void restore(const Checkpoint &ckpt, nn::Layer &model,
+             nn::Optimizer *opt = nullptr);
+
+/** Serializes to the wire format described above. */
+std::vector<uint8_t> serialize(const Checkpoint &ckpt);
+
+/** Parses the wire format; throws CheckpointError on any corruption. */
+Checkpoint deserialize(const std::vector<uint8_t> &bytes);
+
+/** serialize() to a file (atomic: writes "<path>.tmp" then renames). */
+void saveFile(const Checkpoint &ckpt, const std::string &path);
+
+/** deserialize() from a file. */
+Checkpoint loadFile(const std::string &path);
+
+} // namespace serve
+} // namespace mirage
+
+#endif // MIRAGE_SERVE_CHECKPOINT_H

@@ -1,0 +1,303 @@
+#include "serve/repository.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace serve {
+
+// ---------------------------------------------------------------------------
+// ModelRepository
+// ---------------------------------------------------------------------------
+
+ModelRepository::ModelRepository(arch::MirageConfig accel_cfg, uint64_t seed)
+    : accel_cfg_(accel_cfg), seed_(seed)
+{
+    accel_cfg_.validate();
+}
+
+int
+ModelRepository::publishEntry(std::shared_ptr<ServedModel> entry)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto &versions = table_[entry->name];
+    const int version =
+        versions.empty() ? 1 : versions.back()->version + 1;
+    entry->version = version;
+    versions.push_back(std::move(entry));
+    return version;
+}
+
+int
+ModelRepository::publishShape(const std::string &name,
+                              models::ModelShape shape)
+{
+    if (name.empty())
+        throw std::invalid_argument("served model needs a non-empty name");
+    auto entry = std::make_shared<ServedModel>();
+    entry->name = name;
+    entry->shape = std::move(shape);
+    return publishEntry(std::move(entry));
+}
+
+std::shared_ptr<ServedModel>
+ModelRepository::buildFunctionalEntry(const std::string &name,
+                                      models::ModelShape shape,
+                                      const ModelFactory &factory)
+{
+    if (name.empty())
+        throw std::invalid_argument("served model needs a non-empty name");
+    if (!factory)
+        throw std::invalid_argument(
+            "publishing a functional model needs a factory");
+    auto entry = std::make_shared<ServedModel>();
+    entry->name = name;
+    entry->shape = std::move(shape);
+    entry->accel = std::make_shared<core::MirageAccelerator>(accel_cfg_);
+    uint64_t entry_id;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        entry_id = entries_created_++;
+    }
+    Rng rng = Rng(seed_).split(entry_id);
+    entry->net = factory(entry->accel->backend(), rng);
+    if (entry->net == nullptr)
+        throw std::invalid_argument("model factory returned null for '" +
+                                    name + "'");
+    return entry;
+}
+
+int
+ModelRepository::publishModel(const std::string &name,
+                              models::ModelShape shape,
+                              const ModelFactory &factory)
+{
+    return publishEntry(buildFunctionalEntry(name, std::move(shape), factory));
+}
+
+int
+ModelRepository::publishCheckpoint(const std::string &name,
+                                   const Checkpoint &ckpt,
+                                   models::ModelShape shape,
+                                   const ModelFactory &factory)
+{
+    // Restore BEFORE publishing: once the entry is in the table it is the
+    // acquire() target, and a hot-swap under live traffic must never let
+    // a request observe factory-initialized weights.
+    std::shared_ptr<ServedModel> entry =
+        buildFunctionalEntry(name, std::move(shape), factory);
+    restore(ckpt, *entry->net, nullptr);
+    return publishEntry(std::move(entry));
+}
+
+int
+ModelRepository::publishCheckpointFile(const std::string &name,
+                                       const std::string &path,
+                                       models::ModelShape shape,
+                                       const ModelFactory &factory)
+{
+    return publishCheckpoint(name, loadFile(path), std::move(shape), factory);
+}
+
+std::shared_ptr<ServedModel>
+ModelRepository::acquire(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = table_.find(name);
+    if (it == table_.end() || it->second.empty())
+        throw std::out_of_range("no served model named '" + name + "'");
+    return it->second.back();
+}
+
+std::shared_ptr<ServedModel>
+ModelRepository::acquire(const std::string &name, int version) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = table_.find(name);
+    if (it != table_.end()) {
+        for (const auto &entry : it->second)
+            if (entry->version == version)
+                return entry;
+    }
+    throw std::out_of_range("no served model '" + name + "' version " +
+                            std::to_string(version));
+}
+
+int
+ModelRepository::currentVersion(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = table_.find(name);
+    return it == table_.end() || it->second.empty()
+               ? 0
+               : it->second.back()->version;
+}
+
+void
+ModelRepository::notifyRetired(const ServedModel &entry)
+{
+    for (const auto &[id, listener] : listeners_)
+        listener(entry);
+}
+
+size_t
+ModelRepository::retireOldVersions(const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = table_.find(name);
+    if (it == table_.end() || it->second.size() <= 1)
+        return 0;
+    const size_t old = it->second.size() - 1;
+    for (size_t i = 0; i < old; ++i)
+        notifyRetired(*it->second[i]);
+    it->second.erase(it->second.begin(), it->second.end() - 1);
+    retired_ += old;
+    return old;
+}
+
+bool
+ModelRepository::retire(const std::string &name, int version)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = table_.find(name);
+    if (it == table_.end())
+        return false;
+    auto &versions = it->second;
+    const auto pos = std::find_if(
+        versions.begin(), versions.end(),
+        [version](const auto &e) { return e->version == version; });
+    if (pos == versions.end())
+        return false;
+    notifyRetired(**pos);
+    versions.erase(pos);
+    if (versions.empty())
+        table_.erase(it);
+    ++retired_;
+    return true;
+}
+
+uint64_t
+ModelRepository::addRetireListener(RetireListener fn)
+{
+    if (!fn)
+        throw std::invalid_argument("retire listener must be callable");
+    std::lock_guard<std::mutex> lk(mu_);
+    const uint64_t id = next_listener_id_++;
+    listeners_[id] = std::move(fn);
+    return id;
+}
+
+void
+ModelRepository::removeRetireListener(uint64_t id)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    listeners_.erase(id);
+}
+
+size_t
+ModelRepository::liveVersions(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = table_.find(name);
+    return it == table_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string>
+ModelRepository::modelNames() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<std::string> names;
+    names.reserve(table_.size());
+    for (const auto &[name, versions] : table_)
+        if (!versions.empty())
+            names.push_back(name);
+    return names;
+}
+
+uint64_t
+ModelRepository::retiredCount() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return retired_;
+}
+
+// ---------------------------------------------------------------------------
+// WeightCache
+// ---------------------------------------------------------------------------
+
+WeightCache::WeightCache(int tiles, const arch::MirageConfig &cfg)
+    : slots_(static_cast<size_t>(std::max(tiles, 0))), perf_(cfg),
+      energy_(cfg)
+{
+    if (tiles <= 0)
+        throw std::invalid_argument("WeightCache needs at least one tile");
+}
+
+TileProgramCost
+WeightCache::acquire(const std::string &key, int64_t weight_elements)
+{
+    if (key.empty())
+        throw std::invalid_argument("WeightCache key must be non-empty");
+    std::lock_guard<std::mutex> lk(mu_);
+    ++clock_;
+
+    TileProgramCost cost;
+    // Hit: any tile already programmed with this model.
+    for (size_t t = 0; t < slots_.size(); ++t) {
+        if (slots_[t].key == key) {
+            slots_[t].last_use = clock_;
+            cost.tile = static_cast<int>(t);
+            cost.hit = true;
+            ++stats_.hits;
+            return cost;
+        }
+    }
+
+    // Miss: take an empty slot if one exists, else evict the LRU tile.
+    size_t victim = 0;
+    for (size_t t = 0; t < slots_.size(); ++t) {
+        if (slots_[t].key.empty()) {
+            victim = t;
+            break;
+        }
+        if (slots_[t].last_use < slots_[victim].last_use)
+            victim = t;
+    }
+    if (!slots_[victim].key.empty())
+        ++stats_.evictions;
+    slots_[victim].key = key;
+    slots_[victim].last_use = clock_;
+
+    cost.tile = static_cast<int>(victim);
+    cost.hit = false;
+    cost.time_s = perf_.programmingTimeS(weight_elements);
+    cost.energy_j = energy_.programmingEnergyJ(weight_elements);
+    ++stats_.misses;
+    stats_.programming_time_s += cost.time_s;
+    stats_.programming_energy_j += cost.energy_j;
+    return cost;
+}
+
+void
+WeightCache::invalidate(const std::string &key)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (Slot &slot : slots_) {
+        if (slot.key == key) {
+            slot.key.clear();
+            slot.last_use = 0;
+        }
+    }
+}
+
+WeightCache::Stats
+WeightCache::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+} // namespace serve
+} // namespace mirage

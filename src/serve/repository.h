@@ -1,0 +1,244 @@
+#ifndef MIRAGE_SERVE_REPOSITORY_H
+#define MIRAGE_SERVE_REPOSITORY_H
+
+/**
+ * @file
+ * ModelRepository: versioned, ref-counted served-model entries, and the
+ * LRU weight-programming cache that makes Mirage's serving economics
+ * visible.
+ *
+ * Photonic MMVMU weight programming (DAC conversions + phase-shifter
+ * reprogramming) dominates the serving energy budget, so the cache tracks
+ * which model's weights are currently programmed on each engine tile and
+ * charges the arch::MirageEnergyModel / MiragePerfModel reprogramming
+ * cost only on a miss — requests that reuse a programmed model stream at
+ * marginal cost.
+ *
+ * Hot-swap protocol: publish a new version (becomes the acquire target
+ * immediately), let in-flight requests drain (their shared_ptr keeps the
+ * old entry alive), then retireOldVersions() to drop the table references.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "arch/energy_model.h"
+#include "arch/perf_model.h"
+#include "core/mirage.h"
+#include "models/zoo.h"
+#include "serve/checkpoint.h"
+
+namespace mirage {
+namespace serve {
+
+/**
+ * Builds a functional network on the given backend; used to reconstruct a
+ * model architecture before restoring checkpoint weights into it.
+ */
+using ModelFactory = std::function<std::unique_ptr<nn::Sequential>(
+    nn::GemmBackend *, Rng &)>;
+
+/**
+ * One immutable served version of a model. Shape-only entries support
+ * analytic serving (latency/energy estimates); entries with a net also
+ * run real forward passes through the accelerator numerics.
+ */
+struct ServedModel
+{
+    std::string name;
+    int version = 1;
+    models::ModelShape shape;
+
+    /// Accelerator owning the net's GEMM backend (null for shape-only).
+    std::shared_ptr<core::MirageAccelerator> accel;
+    /// Functional network (null for shape-only entries).
+    std::shared_ptr<nn::Sequential> net;
+    /// Serializes functional forwards: layers cache activations, so one
+    /// micro-batch runs through the net at a time.
+    std::mutex exec_mu;
+
+    bool functional() const { return net != nullptr; }
+
+    /** Weight values that must be programmed before serving this entry. */
+    int64_t weightElements() const { return shape.weightElements(); }
+
+    /** Cache identity: one tile residency slot per (name, version). */
+    std::string cacheKey() const
+    {
+        return name + "@v" + std::to_string(version);
+    }
+};
+
+/**
+ * Versioned model table. All methods are thread-safe; acquire() returns
+ * shared ownership, so a retired version stays usable until the last
+ * in-flight request drops it.
+ */
+class ModelRepository
+{
+  public:
+    /**
+     * @param accel_cfg configuration for the per-entry accelerators that
+     *                  back functional models (same config the serving
+     *                  engine tiles use, so estimates agree).
+     * @param seed      root seed for factory weight initialization;
+     *                  entry e draws from Rng(seed).split(e).
+     */
+    explicit ModelRepository(arch::MirageConfig accel_cfg = {},
+                             uint64_t seed = 0x53455256u);
+
+    /** Publishes an analytic (shape-only) entry; returns its version. */
+    int publishShape(const std::string &name, models::ModelShape shape);
+
+    /**
+     * Publishes a functional entry: builds the net via `factory` on a
+     * fresh accelerator-backed GEMM backend. Returns the version.
+     */
+    int publishModel(const std::string &name, models::ModelShape shape,
+                     const ModelFactory &factory);
+
+    /**
+     * Publishes a functional entry and restores `ckpt` into it; the
+     * factory must produce the architecture the checkpoint was saved
+     * from (restore throws CheckpointError otherwise).
+     */
+    int publishCheckpoint(const std::string &name, const Checkpoint &ckpt,
+                          models::ModelShape shape,
+                          const ModelFactory &factory);
+
+    /** publishCheckpoint() from a file saved with serve::saveFile. */
+    int publishCheckpointFile(const std::string &name,
+                              const std::string &path,
+                              models::ModelShape shape,
+                              const ModelFactory &factory);
+
+    /** Newest live version; throws std::out_of_range for unknown names. */
+    std::shared_ptr<ServedModel> acquire(const std::string &name) const;
+
+    /** A specific live version; throws std::out_of_range when absent. */
+    std::shared_ptr<ServedModel> acquire(const std::string &name,
+                                         int version) const;
+
+    /** Newest live version number; 0 when the name is unknown. */
+    int currentVersion(const std::string &name) const;
+
+    /** Drops every version of `name` older than the newest (hot-swap
+     *  retirement); returns how many were retired. */
+    size_t retireOldVersions(const std::string &name);
+
+    /** Drops one version from the table; false when absent. */
+    bool retire(const std::string &name, int version);
+
+    /** Live versions of `name` still in the table. */
+    size_t liveVersions(const std::string &name) const;
+
+    /** Sorted names with at least one live version. */
+    std::vector<std::string> modelNames() const;
+
+    /** Total versions retired over the repository lifetime. */
+    uint64_t retiredCount() const;
+
+    /**
+     * Callback invoked for each version dropped by retire() /
+     * retireOldVersions(). Runs under the repository lock: listeners must
+     * not call back into the repository. The InferenceServer registers
+     * one to invalidate the retired version's WeightCache residency, so
+     * retired models stop occupying tile slots.
+     */
+    using RetireListener = std::function<void(const ServedModel &)>;
+
+    /** Registers a listener; returns an id for removeRetireListener(). */
+    uint64_t addRetireListener(RetireListener fn);
+
+    /** Unregisters; no callback runs after this returns. */
+    void removeRetireListener(uint64_t id);
+
+    const arch::MirageConfig &acceleratorConfig() const { return accel_cfg_; }
+
+  private:
+    std::shared_ptr<ServedModel>
+    buildFunctionalEntry(const std::string &name, models::ModelShape shape,
+                         const ModelFactory &factory);
+    int publishEntry(std::shared_ptr<ServedModel> entry);
+    void notifyRetired(const ServedModel &entry); ///< Caller holds mu_.
+
+    mutable std::mutex mu_;
+    arch::MirageConfig accel_cfg_;
+    uint64_t seed_;
+    uint64_t entries_created_ = 0;
+    uint64_t retired_ = 0;
+    std::map<std::string, std::vector<std::shared_ptr<ServedModel>>> table_;
+    std::map<uint64_t, RetireListener> listeners_;
+    uint64_t next_listener_id_ = 1;
+};
+
+/** Outcome of mapping one micro-batch onto an engine tile. */
+struct TileProgramCost
+{
+    int tile = -1;
+    bool hit = false;      ///< Model weights were already programmed.
+    double time_s = 0.0;   ///< Reprogramming latency charged (0 on hit).
+    double energy_j = 0.0; ///< Reprogramming energy charged (0 on hit).
+};
+
+/**
+ * LRU weight-programming cache: one slot per engine tile, keyed by
+ * ServedModel::cacheKey(). acquire() prefers a tile that already holds
+ * the model (hit, zero cost); otherwise it evicts the least-recently-used
+ * tile and charges the full reprogramming cost from the arch models.
+ * Thread-safe.
+ */
+class WeightCache
+{
+  public:
+    WeightCache(int tiles, const arch::MirageConfig &cfg);
+
+    /** Picks a tile for one micro-batch of `key` and returns the cost. */
+    TileProgramCost acquire(const std::string &key, int64_t weight_elements);
+
+    /** Forgets `key` everywhere (hot-swap retirement). */
+    void invalidate(const std::string &key);
+
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t evictions = 0; ///< Misses that displaced a programmed model.
+        double programming_time_s = 0.0;
+        double programming_energy_j = 0.0;
+
+        double
+        hitRate() const
+        {
+            const uint64_t total = hits + misses;
+            return total > 0 ? static_cast<double>(hits) / total : 0.0;
+        }
+    };
+
+    Stats stats() const;
+    int tiles() const { return static_cast<int>(slots_.size()); }
+
+  private:
+    struct Slot
+    {
+        std::string key; ///< Empty: nothing programmed yet.
+        uint64_t last_use = 0;
+    };
+
+    mutable std::mutex mu_;
+    std::vector<Slot> slots_;
+    uint64_t clock_ = 0;
+    Stats stats_;
+    arch::MiragePerfModel perf_;
+    arch::MirageEnergyModel energy_;
+};
+
+} // namespace serve
+} // namespace mirage
+
+#endif // MIRAGE_SERVE_REPOSITORY_H

@@ -1,0 +1,580 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0, Clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/** Nearest-rank percentile of an ascending-sorted sample vector. */
+double
+percentile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+    const size_t idx = static_cast<size_t>(std::max(rank, 1.0)) - 1;
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+LatencySummary
+summarize(std::vector<double> samples)
+{
+    LatencySummary s;
+    s.count = samples.size();
+    if (samples.empty())
+        return s;
+    std::sort(samples.begin(), samples.end());
+    double sum = 0.0;
+    for (double v : samples)
+        sum += v;
+    s.mean_s = sum / static_cast<double>(samples.size());
+    s.p50_s = percentile(samples, 0.50);
+    s.p95_s = percentile(samples, 0.95);
+    s.p99_s = percentile(samples, 0.99);
+    s.max_s = samples.back();
+    return s;
+}
+
+} // namespace
+
+const char *
+toString(SloClass slo)
+{
+    switch (slo) {
+      case SloClass::Interactive: return "interactive";
+      case SloClass::Batch: return "batch";
+    }
+    return "?";
+}
+
+void
+ServerConfig::validate() const
+{
+    if (max_batch <= 0)
+        throw std::invalid_argument("ServerConfig.max_batch must be >= 1");
+    if (queue_capacity == 0)
+        throw std::invalid_argument(
+            "ServerConfig.queue_capacity must be >= 1");
+    for (const SloPolicy *p : {&interactive, &batch}) {
+        if (p->max_delay_s < 0.0 || p->deadline_s <= 0.0)
+            throw std::invalid_argument(
+                "SloPolicy needs max_delay_s >= 0 and deadline_s > 0");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server internals
+// ---------------------------------------------------------------------------
+
+struct InferenceServer::Impl
+{
+    struct Pending
+    {
+        InferenceRequest req;
+        std::promise<InferenceReply> promise;
+        Clock::time_point submitted;
+        int64_t samples = 1;
+    };
+
+    /** Requests batch only within one (model, class, input signature). */
+    struct Group
+    {
+        std::string model;
+        SloClass slo = SloClass::Interactive;
+        std::deque<Pending> pending;
+    };
+
+    Impl(ModelRepository &repo_in, runtime::RuntimeEngine &engine_in,
+         ServerConfig config)
+        : repo(repo_in), engine(engine_in), cfg(config),
+          cache(engine_in.config().tiles, engine_in.config().accel)
+    {
+        cfg.validate();
+        stats.batch_size_hist.assign(
+            static_cast<size_t>(cfg.max_batch) + 1, 0);
+        // Retired versions must stop occupying tile residency slots, or
+        // every hot-swap would permanently shrink the weight cache.
+        retire_listener = repo.addRetireListener(
+            [this](const ServedModel &m) { cache.invalidate(m.cacheKey()); });
+        start = Clock::now();
+        try {
+            batcher = std::thread([this] { batchLoop(); });
+        } catch (...) {
+            repo.removeRetireListener(retire_listener);
+            throw;
+        }
+    }
+
+    ~Impl() { repo.removeRetireListener(retire_listener); }
+
+    std::string
+    groupKey(const InferenceRequest &req) const
+    {
+        // Input signature: trailing dims only, so requests with different
+        // sample counts still fuse; analytic (empty-input) requests form
+        // their own group per model/class.
+        std::string sig = "[";
+        const auto &shape = req.input.shape();
+        for (size_t i = 1; i < shape.size(); ++i)
+            sig += std::to_string(shape[i]) + ",";
+        sig += "]";
+        return req.model + "\x1f" +
+               std::to_string(static_cast<int>(req.slo)) + "\x1f" + sig;
+    }
+
+    std::future<InferenceReply>
+    submit(InferenceRequest req)
+    {
+        if (req.model.empty())
+            throw std::invalid_argument("request needs a model name");
+        const bool has_input = req.input.size() > 0;
+        if (has_input && req.input.rank() < 2)
+            throw std::invalid_argument(
+                "functional inputs must be [samples, features...]; got " +
+                req.input.shapeString());
+        if (!has_input && req.samples < 1)
+            throw std::invalid_argument("analytic request needs samples >= 1");
+        if (req.deadline_s < 0.0)
+            throw std::invalid_argument("deadline_s must be >= 0");
+
+        Pending p;
+        p.samples = has_input ? req.input.dim(0) : req.samples;
+        p.submitted = Clock::now();
+        std::future<InferenceReply> fut = p.promise.get_future();
+
+        std::unique_lock<std::mutex> lk(mu);
+        ++stats.submitted;
+        if (stop_accepting || pending_total >= cfg.queue_capacity) {
+            ++stats.rejected;
+            lk.unlock();
+            p.promise.set_exception(std::make_exception_ptr(
+                std::runtime_error(stop_accepting
+                                       ? "server is shut down"
+                                       : "admission queue full")));
+            return fut;
+        }
+        const std::string key = groupKey(req);
+        Group &group = groups[key];
+        if (group.pending.empty()) {
+            group.model = req.model;
+            group.slo = req.slo;
+        }
+        p.req = std::move(req);
+        group.pending.push_back(std::move(p));
+        ++pending_total;
+        lk.unlock();
+        wake.notify_one();
+        return fut;
+    }
+
+    /** True when `group` must flush now (full, due, or shutting down). */
+    bool
+    due(const Group &group, Clock::time_point now) const
+    {
+        if (group.pending.empty())
+            return false;
+        if (stop_accepting ||
+            group.pending.size() >= static_cast<size_t>(cfg.max_batch))
+            return true;
+        const double waited =
+            secondsSince(group.pending.front().submitted, now);
+        return waited >= cfg.policy(group.slo).max_delay_s;
+    }
+
+    void
+    batchLoop()
+    {
+        std::unique_lock<std::mutex> lk(mu);
+        for (;;) {
+            const Clock::time_point now = Clock::now();
+
+            // Pick the due group; interactive before batch, then oldest
+            // request first (priority dequeue).
+            std::string pick;
+            Clock::time_point pick_oldest{};
+            bool pick_interactive = false;
+            for (const auto &[key, group] : groups) {
+                if (!due(group, now))
+                    continue;
+                const bool inter = group.slo == SloClass::Interactive;
+                const Clock::time_point oldest =
+                    group.pending.front().submitted;
+                if (pick.empty() || (inter && !pick_interactive) ||
+                    (inter == pick_interactive && oldest < pick_oldest)) {
+                    pick = key;
+                    pick_oldest = oldest;
+                    pick_interactive = inter;
+                }
+            }
+
+            if (!pick.empty()) {
+                dispatch(lk, groups.find(pick));
+                continue; // re-evaluate with fresh `now`
+            }
+
+            if (stop_accepting && pending_total == 0)
+                return;
+
+            // Sleep until the earliest flush deadline (or a submission).
+            Clock::time_point next = now + std::chrono::seconds(1);
+            bool have_deadline = false;
+            for (const auto &[key, group] : groups) {
+                if (group.pending.empty())
+                    continue;
+                const double delay = cfg.policy(group.slo).max_delay_s;
+                const Clock::time_point t =
+                    group.pending.front().submitted +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(delay));
+                if (!have_deadline || t < next) {
+                    next = t;
+                    have_deadline = true;
+                }
+            }
+            if (have_deadline)
+                wake.wait_until(lk, next);
+            else
+                wake.wait(lk);
+        }
+    }
+
+    /** Pops up to max_batch requests from `it` and runs them as one
+     *  engine job. Called with `lk` held; returns with it held. */
+    void
+    dispatch(std::unique_lock<std::mutex> &lk,
+             std::map<std::string, Group>::iterator it)
+    {
+        Group &group = it->second;
+        auto batch = std::make_shared<std::vector<Pending>>();
+        const size_t take = std::min(group.pending.size(),
+                                     static_cast<size_t>(cfg.max_batch));
+        batch->reserve(take);
+        for (size_t i = 0; i < take; ++i) {
+            batch->push_back(std::move(group.pending.front()));
+            group.pending.pop_front();
+        }
+        if (group.pending.empty())
+            groups.erase(it);
+        pending_total -= take;
+        in_flight += take;
+        const std::string model = batch->front().req.model;
+        const SloClass slo = batch->front().req.slo;
+        lk.unlock();
+
+        const Clock::time_point dispatched = Clock::now();
+        std::shared_ptr<ServedModel> entry;
+        try {
+            entry = repo.acquire(model);
+        } catch (...) {
+            failBatch(*batch, std::current_exception());
+            lk.lock();
+            return;
+        }
+
+        int64_t total_samples = 0;
+        for (const Pending &p : *batch)
+            total_samples += p.samples;
+        const TileProgramCost cost =
+            cache.acquire(entry->cacheKey(), entry->weightElements());
+
+        // submitTask blocks on engine backpressure — intended: a saturated
+        // engine pushes back into the batcher, which keeps admitting up to
+        // queue_capacity and then rejects.
+        engine.submitTask([this, batch, entry, cost, slo, total_samples,
+                           dispatched](core::MirageAccelerator &accel, Rng &) {
+            execute(*batch, *entry, cost, slo, total_samples, dispatched,
+                    accel);
+        });
+        lk.lock();
+    }
+
+    void
+    execute(std::vector<Pending> &batch, ServedModel &entry,
+            const TileProgramCost &cost, SloClass slo, int64_t total_samples,
+            Clock::time_point dispatched, core::MirageAccelerator &accel)
+    {
+        std::exception_ptr error;
+        nn::Tensor outputs;
+        core::PerformanceReport report;
+        try {
+            if (!entry.shape.layers.empty()) {
+                report = accel.estimateInference(entry.shape,
+                                                 std::max<int64_t>(
+                                                     total_samples, 1));
+            }
+            if (entry.functional()) {
+                outputs = runForward(batch, entry);
+            } else {
+                for (const Pending &p : batch) {
+                    if (p.req.input.size() > 0)
+                        throw std::invalid_argument(
+                            "model '" + entry.name +
+                            "' is shape-only; functional input rejected");
+                }
+            }
+        } catch (...) {
+            error = std::current_exception();
+        }
+
+        const Clock::time_point end = Clock::now();
+        const double batch_time_s = report.time_s + cost.time_s;
+        const double batch_energy_j = report.energy_j + cost.energy_j;
+        const int64_t out_row =
+            entry.functional() && total_samples > 0
+                ? outputs.size() / total_samples
+                : 0;
+
+        std::vector<double> latencies;
+        latencies.reserve(batch.size());
+        uint64_t misses = 0;
+        int64_t row = 0;
+        for (Pending &p : batch) {
+            if (error) {
+                p.promise.set_exception(error);
+                continue;
+            }
+            InferenceReply reply;
+            reply.version = entry.version;
+            reply.tile = cost.tile;
+            reply.batch_size = static_cast<int>(batch.size());
+            reply.cache_hit = cost.hit;
+            reply.queue_s = secondsSince(p.submitted, dispatched);
+            reply.latency_s = secondsSince(p.submitted, end);
+            reply.model_time_s = batch_time_s;
+            reply.energy_j =
+                total_samples > 0
+                    ? batch_energy_j * static_cast<double>(p.samples) /
+                          static_cast<double>(total_samples)
+                    : 0.0;
+            if (entry.functional()) {
+                std::vector<int> shape = outputs.shape();
+                shape[0] = static_cast<int>(p.samples);
+                nn::Tensor out(shape);
+                std::copy(outputs.data() + row * out_row,
+                          outputs.data() + (row + p.samples) * out_row,
+                          out.data());
+                row += p.samples;
+                reply.output = std::move(out);
+            }
+            const double deadline = p.req.deadline_s > 0.0
+                                        ? p.req.deadline_s
+                                        : cfg.policy(slo).deadline_s;
+            reply.deadline_met = reply.latency_s <= deadline;
+            if (!reply.deadline_met)
+                ++misses;
+            latencies.push_back(reply.latency_s);
+            p.promise.set_value(std::move(reply));
+        }
+
+        {
+            std::lock_guard<std::mutex> slk(mu);
+            in_flight -= batch.size();
+            if (error) {
+                stats.failed += batch.size();
+                // Notify under the lock: this runs on the engine's
+                // dispatcher thread, and a drain()er may destroy the
+                // server the moment it observes in_flight == 0 — holding
+                // mu until notify_all returns keeps `idle` alive.
+            } else {
+                ++stats.batches;
+                const size_t b =
+                    std::min(batch.size(), stats.batch_size_hist.size() - 1);
+                ++stats.batch_size_hist[b];
+                stats.completed += batch.size();
+                if (slo == SloClass::Interactive) {
+                    stats.interactive_completed += batch.size();
+                    interactive_samples.insert(interactive_samples.end(),
+                                               latencies.begin(),
+                                               latencies.end());
+                } else {
+                    stats.batch_completed += batch.size();
+                    batch_samples.insert(batch_samples.end(),
+                                         latencies.begin(), latencies.end());
+                }
+                stats.deadline_misses += misses;
+                cost.hit ? ++stats.cache_hits : ++stats.cache_misses;
+                stats.energy_j += batch_energy_j;
+                stats.programming_energy_j += cost.energy_j;
+            }
+            idle.notify_all();
+        }
+    }
+
+    /** Concatenates the batch's inputs, runs one forward pass, returns
+     *  the stacked outputs. Caller splits rows back per request. */
+    nn::Tensor
+    runForward(std::vector<Pending> &batch, ServedModel &entry)
+    {
+        const std::vector<int> &first = batch.front().req.input.shape();
+        if (first.empty())
+            throw std::invalid_argument("model '" + entry.name +
+                                        "' is functional; request "
+                                        "carried no input tensor");
+        int64_t total = 0;
+        for (const Pending &p : batch)
+            total += p.samples;
+        std::vector<int> shape = first;
+        shape[0] = static_cast<int>(total);
+        nn::Tensor stacked(shape);
+        const int64_t row = stacked.size() / total;
+        int64_t offset = 0;
+        for (const Pending &p : batch) {
+            std::copy(p.req.input.data(),
+                      p.req.input.data() + p.req.input.size(),
+                      stacked.data() + offset);
+            offset += p.req.input.size();
+        }
+        MIRAGE_ASSERT(offset == total * row, "stacked input size mismatch");
+
+        std::lock_guard<std::mutex> elk(entry.exec_mu);
+        return entry.net->forward(stacked, /*training=*/false);
+    }
+
+    void
+    failBatch(std::vector<Pending> &batch, std::exception_ptr error)
+    {
+        for (Pending &p : batch)
+            p.promise.set_exception(error);
+        {
+            // Notify under the lock (see execute()): the server may be
+            // destroyed as soon as a drain()er sees in_flight == 0.
+            std::lock_guard<std::mutex> lk(mu);
+            in_flight -= batch.size();
+            stats.failed += batch.size();
+            idle.notify_all();
+        }
+    }
+
+    void
+    drain()
+    {
+        std::unique_lock<std::mutex> lk(mu);
+        idle.wait(lk,
+                  [this] { return pending_total == 0 && in_flight == 0; });
+    }
+
+    void
+    shutdown()
+    {
+        std::lock_guard<std::mutex> slk(shutdown_mu);
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            stop_accepting = true;
+        }
+        wake.notify_all();
+        if (batcher.joinable())
+            batcher.join();
+        drain();
+    }
+
+    ServerStats
+    snapshot() const
+    {
+        std::unique_lock<std::mutex> lk(mu);
+        ServerStats out = stats;
+        std::vector<double> inter = interactive_samples;
+        std::vector<double> batchv = batch_samples;
+        lk.unlock();
+        out.wall_time_s = secondsSince(start, Clock::now());
+        out.interactive_latency = summarize(std::move(inter));
+        out.batch_latency = summarize(std::move(batchv));
+        return out;
+    }
+
+    ModelRepository &repo;
+    runtime::RuntimeEngine &engine;
+    ServerConfig cfg;
+    WeightCache cache;
+    uint64_t retire_listener = 0;
+
+    mutable std::mutex mu;
+    std::mutex shutdown_mu; ///< Serializes shutdown() calls.
+    std::condition_variable wake; ///< Batcher wake-ups.
+    std::condition_variable idle; ///< drain() wake-ups.
+    std::map<std::string, Group> groups;
+    size_t pending_total = 0;
+    size_t in_flight = 0;
+    bool stop_accepting = false;
+
+    ServerStats stats; ///< Guarded by mu (wall/latency filled on read).
+    std::vector<double> interactive_samples;
+    std::vector<double> batch_samples;
+    Clock::time_point start;
+
+    std::thread batcher;
+};
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+InferenceServer::InferenceServer(ModelRepository &repo,
+                                 runtime::RuntimeEngine &engine,
+                                 ServerConfig cfg)
+    : impl_(std::make_unique<Impl>(repo, engine, cfg))
+{
+}
+
+InferenceServer::~InferenceServer()
+{
+    impl_->shutdown();
+}
+
+std::future<InferenceReply>
+InferenceServer::submit(InferenceRequest req)
+{
+    return impl_->submit(std::move(req));
+}
+
+void
+InferenceServer::drain()
+{
+    impl_->drain();
+}
+
+void
+InferenceServer::shutdown()
+{
+    impl_->shutdown();
+}
+
+ServerStats
+InferenceServer::stats() const
+{
+    return impl_->snapshot();
+}
+
+const ServerConfig &
+InferenceServer::config() const
+{
+    return impl_->cfg;
+}
+
+const WeightCache &
+InferenceServer::weightCache() const
+{
+    return impl_->cache;
+}
+
+} // namespace serve
+} // namespace mirage

@@ -1,0 +1,204 @@
+#ifndef MIRAGE_SERVE_SERVER_H
+#define MIRAGE_SERVE_SERVER_H
+
+/**
+ * @file
+ * InferenceServer: an SLO-aware admission front-end over the
+ * runtime::RuntimeEngine.
+ *
+ * Requests name a model in a ModelRepository and carry an SLO class.
+ * A batcher thread groups compatible requests (same model, same class)
+ * into micro-batches and flushes a group when it reaches `max_batch`
+ * requests or its oldest request has waited the class's `max_delay` —
+ * whichever comes first; interactive groups dispatch before batch-class
+ * groups. Each micro-batch is mapped onto an engine tile through the
+ * WeightCache (charging MMVMU reprogramming cost only on a miss) and
+ * executed as one engine job; per-request replies report wall latency,
+ * the simulated accelerator time/energy share, and whether the request's
+ * deadline held.
+ *
+ * Determinism: functional models run serially through their entry's
+ * accelerator numerics, so per-request outputs are bit-identical across
+ * thread counts, tile counts, and micro-batch compositions (rows are
+ * independent in every GEMM hot path).
+ */
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "runtime/engine.h"
+#include "serve/repository.h"
+
+namespace mirage {
+namespace serve {
+
+/** Service classes with distinct batching and deadline policies. */
+enum class SloClass
+{
+    Interactive, ///< Tight flush delay, tight deadline; dispatched first.
+    Batch,       ///< Throughput-oriented: longer batching window.
+};
+
+const char *toString(SloClass slo);
+
+/** Per-class policy. All durations are wall-clock seconds. */
+struct SloPolicy
+{
+    /// Max time a request may wait for batch-mates before its group is
+    /// flushed (the batching-vs-latency knob).
+    double max_delay_s = 0.002;
+    /// End-to-end latency target used for deadline accounting.
+    double deadline_s = 0.050;
+};
+
+/** Server configuration. */
+struct ServerConfig
+{
+    /// Micro-batch size cap (requests fused into one engine job).
+    int max_batch = 8;
+    /// Admission bound across all pending groups; beyond it submissions
+    /// are rejected (the future carries the error).
+    size_t queue_capacity = 1024;
+    SloPolicy interactive{0.002, 0.050};
+    SloPolicy batch{0.050, 1.0};
+
+    /** Throws std::invalid_argument on non-positive knobs. */
+    void validate() const;
+
+    const SloPolicy &policy(SloClass slo) const
+    {
+        return slo == SloClass::Interactive ? interactive : batch;
+    }
+};
+
+/** One inference request. */
+struct InferenceRequest
+{
+    std::string model;
+    SloClass slo = SloClass::Interactive;
+    /// Functional entries: input rows [samples, features...]; must be
+    /// empty for shape-only (analytic) entries.
+    nn::Tensor input;
+    /// Analytic entries: samples this request represents. Ignored for
+    /// functional entries (the input's leading dimension counts).
+    int64_t samples = 1;
+    /// Overrides the class deadline when positive [s].
+    double deadline_s = 0.0;
+};
+
+/** Per-request reply. */
+struct InferenceReply
+{
+    nn::Tensor output;        ///< Empty for analytic entries.
+    int version = 0;          ///< Served model version.
+    int tile = -1;            ///< Engine tile the batch was mapped onto.
+    int batch_size = 0;       ///< Requests fused into the micro-batch.
+    bool cache_hit = false;   ///< Weights were already programmed.
+    double queue_s = 0.0;     ///< Admission-to-dispatch wall time.
+    double latency_s = 0.0;   ///< Admission-to-completion wall time.
+    double model_time_s = 0;  ///< Simulated accelerator time incl. any
+                              ///< reprogramming (whole micro-batch).
+    double energy_j = 0.0;    ///< This request's energy share incl. its
+                              ///< share of any reprogramming cost.
+    bool deadline_met = true; ///< latency_s <= effective deadline.
+};
+
+/** Exact latency digest computed from sorted samples. */
+struct LatencySummary
+{
+    uint64_t count = 0;
+    double mean_s = 0.0;
+    double p50_s = 0.0;
+    double p95_s = 0.0;
+    double p99_s = 0.0;
+    double max_s = 0.0;
+};
+
+/** Aggregate serving statistics. */
+struct ServerStats
+{
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t rejected = 0; ///< Admission-queue overflow or shutdown.
+    uint64_t failed = 0;   ///< Completed exceptionally (e.g. bad model).
+    uint64_t interactive_completed = 0;
+    uint64_t batch_completed = 0;
+    uint64_t deadline_misses = 0;
+    uint64_t batches = 0; ///< Micro-batches dispatched.
+    /// batch_size_hist[b] = micro-batches holding exactly b requests
+    /// (index 0 unused).
+    std::vector<uint64_t> batch_size_hist;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    double energy_j = 0.0;             ///< Total including reprogramming.
+    double programming_energy_j = 0.0; ///< Reprogramming share.
+    double wall_time_s = 0.0;
+    LatencySummary interactive_latency;
+    LatencySummary batch_latency;
+
+    double cacheHitRate() const
+    {
+        const uint64_t total = cache_hits + cache_misses;
+        return total > 0 ? static_cast<double>(cache_hits) / total : 0.0;
+    }
+
+    double energyPerRequestJ() const
+    {
+        return completed > 0 ? energy_j / static_cast<double>(completed)
+                             : 0.0;
+    }
+};
+
+/**
+ * The serving front-end. Construction starts the batcher thread;
+ * destruction performs a graceful shutdown (pending requests complete).
+ * The repository and engine are borrowed and must outlive the server —
+ * declare the server last so it shuts down first.
+ */
+class InferenceServer
+{
+  public:
+    InferenceServer(ModelRepository &repo, runtime::RuntimeEngine &engine,
+                    ServerConfig cfg = {});
+    ~InferenceServer();
+
+    InferenceServer(const InferenceServer &) = delete;
+    InferenceServer &operator=(const InferenceServer &) = delete;
+
+    /**
+     * Admits one request. Rejection (queue full, server shut down) and
+     * execution failures are delivered through the future as exceptions.
+     */
+    std::future<InferenceReply> submit(InferenceRequest req);
+
+    /** Blocks until every admitted request has completed. */
+    void drain();
+
+    /**
+     * Graceful shutdown: stops admissions, flushes every pending group
+     * immediately, waits for in-flight batches, joins the batcher.
+     * Idempotent; the destructor calls it.
+     */
+    void shutdown();
+
+    /** Snapshot of the aggregate statistics. */
+    ServerStats stats() const;
+
+    const ServerConfig &config() const;
+
+    /** The tile weight-programming cache (shared with stats reporting). */
+    const WeightCache &weightCache() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace serve
+} // namespace mirage
+
+#endif // MIRAGE_SERVE_SERVER_H

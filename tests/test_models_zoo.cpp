@@ -125,6 +125,54 @@ TEST(Zoo, DepthwiseLayersUseInstanceCounts)
     EXPECT_TRUE(found);
 }
 
+TEST(Zoo, TrainingMacsAreExactlyThreeTimesForwardAtEveryBatch)
+{
+    // Exact integer identity, not a ratio: every training op permutes the
+    // same (m, k, n) volume, so trainingMacs == 3 * forwardMacs holds
+    // exactly for every model and batch size.
+    for (const ModelShape &m : allModels()) {
+        for (int64_t batch : {1, 2, 7, 32, 256}) {
+            EXPECT_EQ(m.trainingMacs(batch), 3 * m.forwardMacs(batch))
+                << m.name << " batch " << batch;
+        }
+    }
+}
+
+TEST(Zoo, BatchScalingHoldsForBothBatchInNModes)
+{
+    // batch_in_n = true multiplies N; false multiplies the instance
+    // count. Either way MACs are linear in batch and training is 3x.
+    GemmLayer in_n{"conv", 32, 27, 196, 1, true};
+    GemmLayer in_count{"scores", 128, 64, 128, 12, false};
+    const ModelShape mixed{"mixed", {in_n, in_count}};
+
+    for (int64_t batch : {1, 3, 16}) {
+        EXPECT_EQ(mixed.forwardMacs(batch), batch * mixed.forwardMacs(1));
+        EXPECT_EQ(mixed.trainingMacs(batch), 3 * mixed.forwardMacs(batch));
+    }
+
+    // The two modes place batch differently in the expanded tasks.
+    const auto tasks = inferenceTasks(mixed, 5);
+    ASSERT_EQ(tasks.size(), 2u);
+    EXPECT_EQ(tasks[0].shape.n, 196 * 5); // batch_in_n: N = spatial * B
+    EXPECT_EQ(tasks[0].count, 1);
+    EXPECT_EQ(tasks[1].shape.n, 128); // attention: N = sequence
+    EXPECT_EQ(tasks[1].count, 12 * 5); // count = instances * B
+}
+
+TEST(Zoo, WeightElementsAreBatchIndependentAndMatchLayerSums)
+{
+    GemmLayer fc{"fc", 10, 20, 1, 1, true};
+    GemmLayer dw{"dw", 1, 9, 49, 64, true};
+    const ModelShape m{"tiny", {fc, dw}};
+    EXPECT_EQ(m.weightElements(), 10 * 20 + 1 * 9 * 64);
+
+    // Sanity on a real model: ResNet18 holds ~11M weights.
+    const int64_t resnet = resNet18().weightElements();
+    EXPECT_GT(resnet, int64_t{8} * 1000 * 1000);
+    EXPECT_LT(resnet, int64_t{15} * 1000 * 1000);
+}
+
 TEST(Zoo, AllModelsPresentInPaperOrder)
 {
     const auto models = allModels();

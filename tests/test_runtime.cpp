@@ -178,6 +178,47 @@ class RuntimeEngineTest : public mirage::test::SeededTest
 {
 };
 
+TEST_F(RuntimeEngineTest, InvalidConfigurationsThrowWithClearMessages)
+{
+    const auto message = [](auto make_config) -> std::string {
+        try {
+            runtime::RuntimeEngine engine(make_config());
+        } catch (const std::invalid_argument &e) {
+            return e.what();
+        }
+        return "";
+    };
+
+    for (int tiles : {0, -1, -7}) {
+        const std::string what = message([tiles] {
+            runtime::EngineConfig cfg;
+            cfg.tiles = tiles;
+            return cfg;
+        });
+        EXPECT_NE(what.find("tiles"), std::string::npos) << what;
+    }
+    EXPECT_NE(message([] {
+                  runtime::EngineConfig cfg;
+                  cfg.queue_capacity = 0;
+                  return cfg;
+              }).find("queue_capacity"),
+              std::string::npos);
+    for (int max_batch : {0, -3}) {
+        const std::string what = message([max_batch] {
+            runtime::EngineConfig cfg;
+            cfg.max_batch = max_batch;
+            return cfg;
+        });
+        EXPECT_NE(what.find("max_batch"), std::string::npos) << what;
+    }
+
+    // validate() is also callable directly and passes on the defaults.
+    EXPECT_NO_THROW(runtime::EngineConfig{}.validate());
+    runtime::EngineConfig bad;
+    bad.tiles = 0;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
 TEST_F(RuntimeEngineTest, GemmJobMatchesDirectAcceleratorCall)
 {
     runtime::EngineConfig cfg;

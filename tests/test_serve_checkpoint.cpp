@@ -1,0 +1,324 @@
+/**
+ * @file
+ * serve/checkpoint tests: named-parameter enumeration, bit-exact
+ * save -> load round trips (in memory and through a file), optimizer
+ * state round trips, corruption detection, and mismatch errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/mirage.h"
+#include "models/trainable.h"
+#include "nn/data.h"
+#include "serve/checkpoint.h"
+#include "test_support.h"
+
+namespace {
+
+using namespace mirage;
+
+/** Temp file that deletes itself. */
+struct TempFile
+{
+    std::string path;
+    explicit TempFile(const std::string &name)
+        : path(::testing::TempDir() + name)
+    {
+    }
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+/** A small MLP on the accelerator backend with per-test-seeded weights. */
+struct CheckpointTest : test::SeededTest
+{
+    CheckpointTest() : accel(arch::MirageConfig{})
+    {
+        net = models::makeMlp(12, 16, 4, accel.backend(), rng);
+    }
+
+    nn::Tensor
+    randomInput(int batch)
+    {
+        nn::Tensor x({batch, 12});
+        for (int64_t i = 0; i < x.size(); ++i)
+            x[i] = static_cast<float>(rng.gaussian());
+        return x;
+    }
+
+    core::MirageAccelerator accel;
+    std::unique_ptr<nn::Sequential> net;
+};
+
+TEST_F(CheckpointTest, NamedParamPathsAreUniqueAndStructureStable)
+{
+    const std::vector<nn::NamedParam> params = net->namedParams();
+    ASSERT_FALSE(params.empty());
+    std::set<std::string> paths;
+    for (const nn::NamedParam &np : params) {
+        ASSERT_NE(np.param, nullptr);
+        EXPECT_TRUE(paths.insert(np.path).second)
+            << "duplicate path " << np.path;
+        // Sequential prefixes are positional: "l<i>.<layer param name>".
+        EXPECT_EQ(np.path[0], 'l');
+    }
+    EXPECT_EQ(params.size(), net->params().size());
+}
+
+TEST_F(CheckpointTest, ResidualBlockPathsCoverBothbranches)
+{
+    core::MirageAccelerator a2{arch::MirageConfig{}};
+    nn::Sequential model;
+    auto main_path = std::make_unique<nn::Sequential>();
+    main_path->emplace<nn::Dense>(8, 8, a2.backend(), rng);
+    auto shortcut = std::make_unique<nn::Sequential>();
+    shortcut->emplace<nn::Dense>(8, 8, a2.backend(), rng, false);
+    model.add(std::make_unique<nn::ResidualBlock>(std::move(main_path),
+                                                  std::move(shortcut)));
+    const std::vector<nn::NamedParam> params = model.namedParams();
+    std::set<std::string> paths;
+    for (const auto &np : params)
+        paths.insert(np.path);
+    EXPECT_TRUE(paths.count("l0.main.l0.dense.weight"));
+    EXPECT_TRUE(paths.count("l0.main.l0.dense.bias"));
+    EXPECT_TRUE(paths.count("l0.shortcut.l0.dense.weight"));
+}
+
+TEST_F(CheckpointTest, SerializeDeserializeRoundTripIsExact)
+{
+    const serve::Checkpoint ckpt = serve::snapshot(*net, "mlp");
+    const std::vector<uint8_t> bytes = serve::serialize(ckpt);
+    const serve::Checkpoint back = serve::deserialize(bytes);
+
+    EXPECT_EQ(back.model_name, "mlp");
+    EXPECT_EQ(back.version, serve::kFormatVersion);
+    ASSERT_EQ(back.tensors.size(), ckpt.tensors.size());
+    for (size_t i = 0; i < ckpt.tensors.size(); ++i) {
+        EXPECT_EQ(back.tensors[i].name, ckpt.tensors[i].name);
+        EXPECT_EQ(back.tensors[i].shape, ckpt.tensors[i].shape);
+        // Bit-exact float round trip.
+        EXPECT_EQ(back.tensors[i].data, ckpt.tensors[i].data);
+    }
+}
+
+TEST_F(CheckpointTest, SaveLoadForwardIsBitIdentical)
+{
+    const nn::Tensor x = randomInput(5);
+    const nn::Tensor before = net->forward(x, false);
+
+    TempFile file("ckpt_roundtrip.mirckpt");
+    serve::saveFile(serve::snapshot(*net, "mlp"), file.path);
+
+    // A fresh net with different init weights, restored from the file.
+    core::MirageAccelerator accel2{arch::MirageConfig{}};
+    Rng other(rng.seed() + 1);
+    std::unique_ptr<nn::Sequential> net2 =
+        models::makeMlp(12, 16, 4, accel2.backend(), other);
+    serve::restore(serve::loadFile(file.path), *net2);
+
+    const nn::Tensor after = net2->forward(x, false);
+    ASSERT_EQ(after.size(), before.size());
+    for (int64_t i = 0; i < before.size(); ++i)
+        EXPECT_EQ(after[i], before[i]) << "output " << i;
+}
+
+TEST_F(CheckpointTest, OptimizerStateRoundTripsThroughTraining)
+{
+    // A couple of Adam steps materialize m/v and the step counter.
+    nn::Adam opt(1e-3f);
+    const std::vector<nn::Param *> params = net->params();
+    for (int step = 0; step < 3; ++step) {
+        nn::Optimizer::zeroGrad(params);
+        const nn::Tensor x = randomInput(4);
+        const nn::Tensor logits = net->forward(x, true);
+        const nn::LossResult loss =
+            nn::softmaxCrossEntropy(logits, {0, 1, 2, 3});
+        net->backward(loss.grad);
+        opt.step(params);
+    }
+
+    const serve::Checkpoint ckpt = serve::snapshot(*net, "mlp", &opt);
+    EXPECT_EQ(ckpt.optimizer_type, "adam");
+    EXPECT_EQ(ckpt.optimizer_step, 3);
+    EXPECT_FALSE(ckpt.optimizer_state.empty());
+
+    // Restore into a fresh net + fresh optimizer; continue training in
+    // both and verify the trajectories stay bit-identical.
+    core::MirageAccelerator accel2{arch::MirageConfig{}};
+    Rng other(rng.seed() + 99);
+    std::unique_ptr<nn::Sequential> net2 =
+        models::makeMlp(12, 16, 4, accel2.backend(), other);
+    nn::Adam opt2(1e-3f);
+    serve::restore(serve::deserialize(serve::serialize(ckpt)), *net2, &opt2);
+    EXPECT_EQ(opt2.stepCount(), 3);
+
+    const std::vector<nn::Param *> params2 = net2->params();
+    for (int step = 0; step < 2; ++step) {
+        const nn::Tensor x = randomInput(4);
+        for (auto *ps : {&params, &params2})
+            nn::Optimizer::zeroGrad(*ps);
+        const nn::Tensor l1 = net->forward(x, true);
+        const nn::Tensor l2 = net2->forward(x, true);
+        const nn::LossResult r1 = nn::softmaxCrossEntropy(l1, {3, 2, 1, 0});
+        const nn::LossResult r2 = nn::softmaxCrossEntropy(l2, {3, 2, 1, 0});
+        net->backward(r1.grad);
+        net2->backward(r2.grad);
+        opt.step(params);
+        opt2.step(params2);
+    }
+    const std::vector<nn::NamedParam> a = net->namedParams();
+    const std::vector<nn::NamedParam> b = net2->namedParams();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].param->value.vec(), b[i].param->value.vec())
+            << "diverged at " << a[i].path;
+}
+
+TEST_F(CheckpointTest, SgdVelocityRoundTrips)
+{
+    nn::Sgd opt(0.1f, 0.9f);
+    const std::vector<nn::Param *> params = net->params();
+    nn::Optimizer::zeroGrad(params);
+    const nn::Tensor x = randomInput(2);
+    const nn::Tensor logits = net->forward(x, true);
+    net->backward(nn::softmaxCrossEntropy(logits, {0, 1}).grad);
+    opt.step(params);
+
+    const serve::Checkpoint ckpt = serve::snapshot(*net, "mlp", &opt);
+    EXPECT_EQ(ckpt.optimizer_type, "sgd");
+    EXPECT_EQ(ckpt.optimizer_state.size(), params.size());
+
+    nn::Sgd opt2(0.1f, 0.9f);
+    serve::restore(ckpt, *net, &opt2);
+    for (const nn::NamedParam &np : net->namedParams()) {
+        EXPECT_EQ(opt2.stateSlot(np.param, "velocity"),
+                  opt.stateSlot(np.param, "velocity"))
+            << np.path;
+    }
+}
+
+TEST_F(CheckpointTest, RestoringIntoWrongOptimizerTypeThrows)
+{
+    nn::Sgd sgd(0.1f, 0.9f);
+    const std::vector<nn::Param *> params = net->params();
+    nn::Optimizer::zeroGrad(params);
+    const nn::Tensor logits = net->forward(randomInput(2), true);
+    net->backward(nn::softmaxCrossEntropy(logits, {0, 1}).grad);
+    sgd.step(params);
+    const serve::Checkpoint ckpt = serve::snapshot(*net, "mlp", &sgd);
+
+    nn::Adam adam(1e-3f);
+    EXPECT_THROW(serve::restore(ckpt, *net, &adam), serve::CheckpointError);
+}
+
+TEST_F(CheckpointTest, RestoringIntoMismatchedArchitectureThrows)
+{
+    const serve::Checkpoint ckpt = serve::snapshot(*net, "mlp");
+
+    core::MirageAccelerator accel2{arch::MirageConfig{}};
+    Rng other(123);
+    std::unique_ptr<nn::Sequential> wider =
+        models::makeMlp(12, 24, 4, accel2.backend(), other);
+    EXPECT_THROW(serve::restore(ckpt, *wider), serve::CheckpointError);
+}
+
+TEST_F(CheckpointTest, CorruptionIsDetected)
+{
+    std::vector<uint8_t> bytes =
+        serve::serialize(serve::snapshot(*net, "mlp"));
+
+    // Flip one payload byte: checksum must catch it.
+    std::vector<uint8_t> flipped = bytes;
+    flipped[flipped.size() / 2] ^= 0x40;
+    EXPECT_THROW(serve::deserialize(flipped), serve::CheckpointError);
+
+    // Truncation.
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.end() - 9);
+    EXPECT_THROW(serve::deserialize(truncated), serve::CheckpointError);
+
+    // Bad magic.
+    std::vector<uint8_t> wrong = bytes;
+    wrong[0] = 'X';
+    EXPECT_THROW(serve::deserialize(wrong), serve::CheckpointError);
+
+    // Unsupported future version.
+    std::vector<uint8_t> future_version = bytes;
+    future_version[8] = 99;
+    EXPECT_THROW(serve::deserialize(future_version),
+                 serve::CheckpointError);
+}
+
+TEST_F(CheckpointTest, MissingFileThrows)
+{
+    EXPECT_THROW(serve::loadFile("/nonexistent/ckpt.bin"),
+                 serve::CheckpointError);
+}
+
+// Little-endian writers mirroring the wire format, for crafting
+// adversarial inputs the serializer itself would never produce.
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+std::vector<uint8_t>
+craftedFile(uint64_t body_len, const std::vector<uint8_t> &body_and_rest)
+{
+    std::vector<uint8_t> bytes = {'M', 'I', 'R', 'C', 'K', 'P', 'T', '\0'};
+    putU32(bytes, serve::kFormatVersion);
+    putU64(bytes, body_len);
+    bytes.insert(bytes.end(), body_and_rest.begin(), body_and_rest.end());
+    return bytes;
+}
+
+TEST_F(CheckpointTest, CraftedBodyLengthCannotWrapAroundTheSizeCheck)
+{
+    // body_len chosen so body_len + 8 wraps to the 0 bytes remaining: an
+    // additive length check would accept this and read out of bounds.
+    EXPECT_THROW(serve::deserialize(craftedFile(0xFFFFFFFFFFFFFFF8ull, {})),
+                 serve::CheckpointError);
+    EXPECT_THROW(serve::deserialize(craftedFile(0xFFFFFFFFFFFFFFFFull,
+                                                {0, 0, 0})),
+                 serve::CheckpointError);
+}
+
+TEST_F(CheckpointTest, CraftedTensorDimensionsCannotOverflowElementCount)
+{
+    // A tensor claiming 2^31-1 x 2^31-1 x 2^31-1 elements: the partial
+    // products overflow int64; the reader must reject it as oversized
+    // instead of wrapping to a small count.
+    std::vector<uint8_t> body;
+    putU32(body, 1); // model name "m"
+    body.push_back('m');
+    putU32(body, 1); // one tensor
+    putU32(body, 1); // tensor name "t"
+    body.push_back('t');
+    putU32(body, 3); // rank 3
+    for (int i = 0; i < 3; ++i)
+        putU32(body, 0x7FFFFFFFu);
+    // No data bytes: the size guard must fire before any read.
+    std::vector<uint8_t> rest = body;
+    uint64_t checksum = 1469598103934665603ull;
+    for (uint8_t b : body) {
+        checksum ^= b;
+        checksum *= 1099511628211ull;
+    }
+    putU64(rest, checksum);
+    EXPECT_THROW(serve::deserialize(craftedFile(body.size(), rest)),
+                 serve::CheckpointError);
+}
+
+} // namespace

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * serve/repository tests: versioned publish/acquire, hot-swap and
+ * retirement semantics (ref-counted entries survive retirement), the
+ * checkpoint publish path, and the LRU weight-programming cache's
+ * hit/miss/eviction accounting against the arch cost models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "models/trainable.h"
+#include "models/zoo.h"
+#include "serve/repository.h"
+#include "test_support.h"
+
+namespace {
+
+using namespace mirage;
+
+models::ModelShape
+tinyShape(const std::string &name, int64_t m = 8, int64_t k = 8)
+{
+    models::ModelShape shape;
+    shape.name = name;
+    shape.layers = {{"fc", m, k, 1, 1, true}};
+    return shape;
+}
+
+serve::ModelFactory
+mlpFactory(int in, int hidden, int classes)
+{
+    return [=](nn::GemmBackend *backend, Rng &rng) {
+        return models::makeMlp(in, hidden, classes, backend, rng);
+    };
+}
+
+TEST(ModelRepository, PublishAcquireRoundTrip)
+{
+    serve::ModelRepository repo;
+    EXPECT_EQ(repo.currentVersion("resnet"), 0);
+    EXPECT_EQ(repo.publishShape("resnet", models::resNet18()), 1);
+    EXPECT_EQ(repo.currentVersion("resnet"), 1);
+
+    const auto entry = repo.acquire("resnet");
+    EXPECT_EQ(entry->name, "resnet");
+    EXPECT_EQ(entry->version, 1);
+    EXPECT_FALSE(entry->functional());
+    EXPECT_EQ(entry->weightElements(),
+              models::resNet18().weightElements());
+    EXPECT_EQ(repo.modelNames(), std::vector<std::string>{"resnet"});
+}
+
+TEST(ModelRepository, AcquireUnknownThrows)
+{
+    serve::ModelRepository repo;
+    EXPECT_THROW(repo.acquire("ghost"), std::out_of_range);
+    EXPECT_THROW(repo.acquire("ghost", 1), std::out_of_range);
+}
+
+TEST(ModelRepository, HotSwapKeepsOldVersionAliveUntilReleased)
+{
+    serve::ModelRepository repo;
+    repo.publishShape("m", tinyShape("m"));
+    const auto v1 = repo.acquire("m");
+
+    EXPECT_EQ(repo.publishShape("m", tinyShape("m", 16, 16)), 2);
+    EXPECT_EQ(repo.acquire("m")->version, 2);
+    EXPECT_EQ(repo.liveVersions("m"), 2u);
+
+    // Retire the old table reference; the in-flight shared_ptr still works.
+    EXPECT_EQ(repo.retireOldVersions("m"), 1u);
+    EXPECT_EQ(repo.liveVersions("m"), 1u);
+    EXPECT_EQ(repo.retiredCount(), 1u);
+    EXPECT_EQ(v1->version, 1);
+    EXPECT_EQ(v1->shape.layers[0].m, 8);
+    EXPECT_THROW(repo.acquire("m", 1), std::out_of_range);
+
+    // Version numbers keep increasing after retirement.
+    EXPECT_EQ(repo.publishShape("m", tinyShape("m")), 3);
+}
+
+TEST(ModelRepository, RetireRemovesSpecificVersion)
+{
+    serve::ModelRepository repo;
+    repo.publishShape("m", tinyShape("m"));
+    repo.publishShape("m", tinyShape("m"));
+    EXPECT_FALSE(repo.retire("m", 7));
+    EXPECT_TRUE(repo.retire("m", 2));
+    EXPECT_EQ(repo.currentVersion("m"), 1);
+    EXPECT_TRUE(repo.retire("m", 1));
+    EXPECT_EQ(repo.currentVersion("m"), 0);
+    EXPECT_TRUE(repo.modelNames().empty());
+}
+
+TEST(ModelRepository, FunctionalPublishBuildsDeterministicNet)
+{
+    serve::ModelRepository repo;
+    models::ModelShape shape = tinyShape("mlp", 4, 6);
+    repo.publishModel("mlp", shape, mlpFactory(6, 8, 4));
+    const auto entry = repo.acquire("mlp");
+    ASSERT_TRUE(entry->functional());
+    ASSERT_NE(entry->accel, nullptr);
+    EXPECT_FALSE(entry->net->namedParams().empty());
+}
+
+TEST(ModelRepository, CheckpointPublishRestoresWeights)
+{
+    // Train-free check: snapshot a source net, publish it into a repo,
+    // and verify the served net produces the source's exact outputs.
+    core::MirageAccelerator accel{arch::MirageConfig{}};
+    Rng rng(42);
+    std::unique_ptr<nn::Sequential> source =
+        models::makeMlp(6, 8, 4, accel.backend(), rng);
+    const serve::Checkpoint ckpt = serve::snapshot(*source, "mlp");
+
+    serve::ModelRepository repo;
+    repo.publishCheckpoint("mlp", ckpt, tinyShape("mlp", 4, 6),
+                           mlpFactory(6, 8, 4));
+    const auto entry = repo.acquire("mlp");
+
+    nn::Tensor x({3, 6});
+    Rng data_rng(7);
+    for (int64_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>(data_rng.gaussian());
+    const nn::Tensor expect = source->forward(x, false);
+    const nn::Tensor got = entry->net->forward(x, false);
+    ASSERT_EQ(got.size(), expect.size());
+    for (int64_t i = 0; i < expect.size(); ++i)
+        EXPECT_EQ(got[i], expect[i]);
+}
+
+TEST(ModelRepository, CheckpointPublishWithWrongFactoryThrows)
+{
+    core::MirageAccelerator accel{arch::MirageConfig{}};
+    Rng rng(42);
+    std::unique_ptr<nn::Sequential> source =
+        models::makeMlp(6, 8, 4, accel.backend(), rng);
+    const serve::Checkpoint ckpt = serve::snapshot(*source, "mlp");
+
+    serve::ModelRepository repo;
+    EXPECT_THROW(repo.publishCheckpoint("mlp", ckpt, tinyShape("mlp"),
+                                        mlpFactory(6, 32, 4)),
+                 serve::CheckpointError);
+}
+
+// ---------------------------------------------------------------------------
+// WeightCache
+// ---------------------------------------------------------------------------
+
+TEST(WeightCache, MissChargesArchModelCostAndHitIsFree)
+{
+    const arch::MirageConfig cfg;
+    serve::WeightCache cache(2, cfg);
+    const int64_t elems = models::alexNet().weightElements();
+
+    const serve::TileProgramCost miss = cache.acquire("alex@v1", elems);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_GE(miss.tile, 0);
+    EXPECT_LT(miss.tile, 2);
+    EXPECT_DOUBLE_EQ(miss.time_s,
+                     arch::MiragePerfModel(cfg).programmingTimeS(elems));
+    EXPECT_DOUBLE_EQ(miss.energy_j,
+                     arch::MirageEnergyModel(cfg).programmingEnergyJ(elems));
+    EXPECT_GT(miss.energy_j, 0.0);
+    EXPECT_GT(miss.time_s, 0.0);
+
+    const serve::TileProgramCost hit = cache.acquire("alex@v1", elems);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.tile, miss.tile);
+    EXPECT_DOUBLE_EQ(hit.time_s, 0.0);
+    EXPECT_DOUBLE_EQ(hit.energy_j, 0.0);
+
+    const serve::WeightCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.evictions, 0u);
+    EXPECT_DOUBLE_EQ(stats.programming_energy_j, miss.energy_j);
+}
+
+TEST(WeightCache, LruEvictionPicksLeastRecentlyUsedTile)
+{
+    serve::WeightCache cache(2, arch::MirageConfig{});
+    const serve::TileProgramCost a = cache.acquire("a", 100);
+    const serve::TileProgramCost b = cache.acquire("b", 100);
+    EXPECT_NE(a.tile, b.tile); // empty slot preferred over eviction
+
+    cache.acquire("a", 100);                               // a is now MRU
+    const serve::TileProgramCost c = cache.acquire("c", 100);
+    EXPECT_EQ(c.tile, b.tile); // b was LRU
+    EXPECT_TRUE(cache.acquire("a", 100).hit);
+    EXPECT_FALSE(cache.acquire("b", 100).hit); // b was evicted
+    EXPECT_EQ(cache.stats().evictions, 2u);    // c evicted b, b evicted a|c
+}
+
+TEST(WeightCache, InvalidateForgetsRetiredVersionEverywhere)
+{
+    serve::WeightCache cache(3, arch::MirageConfig{});
+    cache.acquire("m@v1", 64);
+    EXPECT_TRUE(cache.acquire("m@v1", 64).hit);
+    cache.invalidate("m@v1");
+    EXPECT_FALSE(cache.acquire("m@v1", 64).hit);
+}
+
+TEST(WeightCache, ZeroTilesRejected)
+{
+    EXPECT_THROW(serve::WeightCache(0, arch::MirageConfig{}),
+                 std::invalid_argument);
+}
+
+TEST(WeightCache, DistinctVersionsAreDistinctResidencies)
+{
+    serve::WeightCache cache(2, arch::MirageConfig{});
+    cache.acquire("m@v1", 64);
+    EXPECT_FALSE(cache.acquire("m@v2", 64).hit);
+    EXPECT_TRUE(cache.acquire("m@v1", 64).hit);
+}
+
+} // namespace

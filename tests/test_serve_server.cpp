@@ -1,0 +1,388 @@
+/**
+ * @file
+ * serve/server tests: functional and analytic request round trips,
+ * flush-on-full and flush-on-delay micro-batching, SLO-class accounting,
+ * weight-cache amortization through the serving path, admission control,
+ * graceful shutdown, hot-swap, and the serve-path determinism guarantee
+ * (identical per-request outputs across tile/thread/batching configs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "models/trainable.h"
+#include "models/zoo.h"
+#include "runtime/engine.h"
+#include "runtime/thread_pool.h"
+#include "serve/checkpoint.h"
+#include "serve/repository.h"
+#include "serve/server.h"
+#include "test_support.h"
+
+namespace {
+
+using namespace mirage;
+
+constexpr int kIn = 6, kHidden = 8, kClasses = 4;
+
+models::ModelShape
+mlpShape(const std::string &name)
+{
+    models::ModelShape shape;
+    shape.name = name;
+    shape.layers = {{"fc1", kHidden, kIn, 1, 1, true},
+                    {"fc2", kHidden, kHidden, 1, 1, true},
+                    {"fc3", kClasses, kHidden, 1, 1, true}};
+    return shape;
+}
+
+serve::ModelFactory
+mlpFactory()
+{
+    return [](nn::GemmBackend *backend, Rng &rng) {
+        return models::makeMlp(kIn, kHidden, kClasses, backend, rng);
+    };
+}
+
+nn::Tensor
+inputRows(Rng &rng, int rows)
+{
+    nn::Tensor x({rows, kIn});
+    for (int64_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>(rng.gaussian());
+    return x;
+}
+
+struct ServeTest : test::SeededTest
+{
+    /** A source net whose checkpoint seeds every served repository, so
+     *  different server configs serve identical weights. */
+    ServeTest() : accel(arch::MirageConfig{})
+    {
+        Rng net_rng(0xC0FFEEu);
+        source = models::makeMlp(kIn, kHidden, kClasses, accel.backend(),
+                                 net_rng);
+        ckpt = serve::snapshot(*source, "mlp");
+    }
+
+    core::MirageAccelerator accel;
+    std::unique_ptr<nn::Sequential> source;
+    serve::Checkpoint ckpt;
+};
+
+TEST_F(ServeTest, FunctionalRequestMatchesDirectForward)
+{
+    serve::ModelRepository repo;
+    repo.publishCheckpoint("mlp", ckpt, mlpShape("mlp"), mlpFactory());
+    runtime::RuntimeEngine engine;
+    serve::InferenceServer server(repo, engine);
+
+    serve::InferenceRequest req;
+    req.model = "mlp";
+    req.input = inputRows(rng, 3);
+    const nn::Tensor expect = source->forward(req.input, false);
+
+    serve::InferenceReply reply = server.submit(std::move(req)).get();
+    ASSERT_EQ(reply.output.size(), expect.size());
+    for (int64_t i = 0; i < expect.size(); ++i)
+        EXPECT_EQ(reply.output[i], expect[i]);
+    EXPECT_EQ(reply.version, 1);
+    EXPECT_GE(reply.batch_size, 1);
+    EXPECT_FALSE(reply.cache_hit); // first touch programs the weights
+    EXPECT_GT(reply.energy_j, 0.0);
+    EXPECT_GT(reply.model_time_s, 0.0);
+    EXPECT_GE(reply.latency_s, reply.queue_s);
+}
+
+TEST_F(ServeTest, AnalyticRequestsReportModeledCost)
+{
+    serve::ModelRepository repo;
+    repo.publishShape("resnet", models::resNet18());
+    runtime::RuntimeEngine engine;
+    serve::InferenceServer server(repo, engine);
+
+    serve::InferenceRequest req;
+    req.model = "resnet";
+    req.slo = serve::SloClass::Batch;
+    req.samples = 4;
+    serve::InferenceReply first = server.submit(req).get();
+    EXPECT_EQ(first.output.size(), 0);
+    EXPECT_FALSE(first.cache_hit);
+    EXPECT_GT(first.energy_j, 0.0);
+    EXPECT_GT(first.model_time_s, 0.0);
+
+    serve::InferenceReply second = server.submit(req).get();
+    EXPECT_TRUE(second.cache_hit);
+    // A cache hit pays no reprogramming: strictly cheaper and faster.
+    EXPECT_LT(second.energy_j, first.energy_j);
+    EXPECT_LT(second.model_time_s, first.model_time_s);
+
+    // Replies resolve before the stats critical section; drain() orders
+    // this thread after it.
+    server.drain();
+    const serve::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed, 2u);
+    EXPECT_EQ(stats.batch_completed, 2u);
+    EXPECT_EQ(stats.interactive_completed, 0u);
+    EXPECT_EQ(stats.cache_hits, 1u);
+    EXPECT_EQ(stats.cache_misses, 1u);
+    EXPECT_GT(stats.programming_energy_j, 0.0);
+}
+
+TEST_F(ServeTest, FullGroupFlushesWithoutWaitingForMaxDelay)
+{
+    serve::ModelRepository repo;
+    repo.publishShape("m", mlpShape("m"));
+    runtime::RuntimeEngine engine;
+    serve::ServerConfig cfg;
+    cfg.max_batch = 4;
+    // A flush delay far beyond the test timeout: only the full-batch
+    // trigger can flush this group promptly.
+    cfg.batch = {30.0, 60.0};
+    serve::InferenceServer server(repo, engine, cfg);
+
+    std::vector<std::future<serve::InferenceReply>> futs;
+    for (int i = 0; i < 4; ++i) {
+        serve::InferenceRequest req;
+        req.model = "m";
+        req.slo = serve::SloClass::Batch;
+        futs.push_back(server.submit(std::move(req)));
+    }
+    for (auto &f : futs) {
+        const serve::InferenceReply reply = f.get();
+        EXPECT_EQ(reply.batch_size, 4);
+    }
+    server.drain();
+    const serve::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.batches, 1u);
+    ASSERT_GT(stats.batch_size_hist.size(), 4u);
+    EXPECT_EQ(stats.batch_size_hist[4], 1u);
+}
+
+TEST_F(ServeTest, LoneRequestFlushesAfterMaxDelay)
+{
+    serve::ModelRepository repo;
+    repo.publishShape("m", mlpShape("m"));
+    runtime::RuntimeEngine engine;
+    serve::ServerConfig cfg;
+    cfg.max_batch = 64;
+    cfg.interactive = {0.002, 0.5};
+    serve::InferenceServer server(repo, engine, cfg);
+
+    serve::InferenceRequest req;
+    req.model = "m";
+    const serve::InferenceReply reply = server.submit(std::move(req)).get();
+    EXPECT_EQ(reply.batch_size, 1);
+    // The group had to age past max_delay before flushing.
+    EXPECT_GE(reply.queue_s, cfg.interactive.max_delay_s * 0.5);
+    EXPECT_TRUE(reply.deadline_met);
+}
+
+TEST_F(ServeTest, BatchSizeHistogramAddsUpToCompletedRequests)
+{
+    serve::ModelRepository repo;
+    repo.publishShape("a", mlpShape("a"));
+    repo.publishShape("b", models::alexNet());
+    runtime::RuntimeEngine engine;
+    serve::InferenceServer server(repo, engine);
+
+    std::vector<std::future<serve::InferenceReply>> futs;
+    for (int i = 0; i < 17; ++i) {
+        serve::InferenceRequest req;
+        req.model = i % 3 == 0 ? "a" : "b";
+        req.slo = i % 2 == 0 ? serve::SloClass::Interactive
+                             : serve::SloClass::Batch;
+        futs.push_back(server.submit(std::move(req)));
+    }
+    for (auto &f : futs)
+        f.get();
+    server.drain();
+
+    const serve::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed, 17u);
+    uint64_t weighted = 0, batches = 0;
+    for (size_t b = 0; b < stats.batch_size_hist.size(); ++b) {
+        weighted += b * stats.batch_size_hist[b];
+        batches += stats.batch_size_hist[b];
+    }
+    EXPECT_EQ(weighted, stats.completed);
+    EXPECT_EQ(batches, stats.batches);
+    EXPECT_EQ(stats.interactive_latency.count +
+                  stats.batch_latency.count,
+              stats.completed);
+    EXPECT_GE(stats.interactive_latency.p99_s,
+              stats.interactive_latency.p50_s);
+}
+
+TEST_F(ServeTest, UnknownModelFailsTheFuture)
+{
+    serve::ModelRepository repo;
+    runtime::RuntimeEngine engine;
+    serve::InferenceServer server(repo, engine);
+
+    serve::InferenceRequest req;
+    req.model = "ghost";
+    auto fut = server.submit(std::move(req));
+    EXPECT_THROW(fut.get(), std::out_of_range);
+    server.drain();
+    EXPECT_EQ(server.stats().failed, 1u);
+    EXPECT_EQ(server.stats().completed, 0u);
+}
+
+TEST_F(ServeTest, MalformedRequestsAreRejectedSynchronously)
+{
+    serve::ModelRepository repo;
+    runtime::RuntimeEngine engine;
+    serve::InferenceServer server(repo, engine);
+
+    serve::InferenceRequest no_model;
+    EXPECT_THROW(server.submit(std::move(no_model)), std::invalid_argument);
+
+    serve::InferenceRequest rank1;
+    rank1.model = "m";
+    rank1.input = nn::Tensor({kIn});
+    rank1.input.fill(1.0f);
+    EXPECT_THROW(server.submit(std::move(rank1)), std::invalid_argument);
+
+    serve::InferenceRequest zero_samples;
+    zero_samples.model = "m";
+    zero_samples.samples = 0;
+    EXPECT_THROW(server.submit(std::move(zero_samples)),
+                 std::invalid_argument);
+}
+
+TEST_F(ServeTest, SubmitAfterShutdownIsRejectedThroughTheFuture)
+{
+    serve::ModelRepository repo;
+    repo.publishShape("m", mlpShape("m"));
+    runtime::RuntimeEngine engine;
+    serve::InferenceServer server(repo, engine);
+    server.shutdown();
+    server.shutdown(); // idempotent
+
+    serve::InferenceRequest req;
+    req.model = "m";
+    auto fut = server.submit(std::move(req));
+    EXPECT_THROW(fut.get(), std::runtime_error);
+    EXPECT_EQ(server.stats().rejected, 1u);
+}
+
+TEST_F(ServeTest, ShutdownFlushesPendingRequests)
+{
+    serve::ModelRepository repo;
+    repo.publishShape("m", mlpShape("m"));
+    runtime::RuntimeEngine engine;
+    serve::ServerConfig cfg;
+    cfg.max_batch = 64;
+    cfg.batch = {30.0, 60.0}; // would wait ~forever without shutdown
+    std::vector<std::future<serve::InferenceReply>> futs;
+    {
+        serve::InferenceServer server(repo, engine, cfg);
+        for (int i = 0; i < 3; ++i) {
+            serve::InferenceRequest req;
+            req.model = "m";
+            req.slo = serve::SloClass::Batch;
+            futs.push_back(server.submit(std::move(req)));
+        }
+        // Destructor shutdown must flush and complete all three.
+    }
+    for (auto &f : futs)
+        EXPECT_EQ(f.get().batch_size, 3);
+}
+
+TEST_F(ServeTest, HotSwapServesNewVersionToNewRequests)
+{
+    serve::ModelRepository repo;
+    repo.publishCheckpoint("mlp", ckpt, mlpShape("mlp"), mlpFactory());
+    runtime::EngineConfig ecfg;
+    ecfg.tiles = 1; // single residency slot, to observe invalidation
+    runtime::RuntimeEngine engine(ecfg);
+    serve::InferenceServer server(repo, engine);
+
+    serve::InferenceRequest req;
+    req.model = "mlp";
+    req.input = inputRows(rng, 1);
+    EXPECT_EQ(server.submit(req).get().version, 1);
+
+    repo.publishModel("mlp", mlpShape("mlp"), mlpFactory());
+    repo.retireOldVersions("mlp");
+    EXPECT_EQ(server.submit(req).get().version, 2);
+
+    // Retirement invalidated v1's tile residency: v2's miss filled an
+    // empty slot instead of evicting a live one.
+    server.drain();
+    const serve::WeightCache::Stats cache = server.weightCache().stats();
+    EXPECT_EQ(cache.misses, 2u);
+    EXPECT_EQ(cache.evictions, 0u);
+}
+
+TEST_F(ServeTest, ConfigValidationRejectsBadKnobs)
+{
+    serve::ModelRepository repo;
+    runtime::RuntimeEngine engine;
+    for (auto broken : {[] { serve::ServerConfig c; c.max_batch = 0; return c; }(),
+                        [] { serve::ServerConfig c; c.queue_capacity = 0; return c; }(),
+                        [] { serve::ServerConfig c; c.interactive.deadline_s = 0; return c; }(),
+                        [] { serve::ServerConfig c; c.batch.max_delay_s = -1; return c; }()}) {
+        EXPECT_THROW(serve::InferenceServer(repo, engine, broken),
+                     std::invalid_argument);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: identical per-request outputs across serving configurations
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, ServePathIsDeterministicAcrossTilesThreadsAndBatching)
+{
+    // The same 6 requests served under radically different configurations
+    // (1 tile/1-thread/no batching vs 4 tiles/4 threads/full batching)
+    // must produce bit-identical outputs, equal to the direct forward.
+    std::vector<nn::Tensor> inputs;
+    for (int i = 0; i < 6; ++i)
+        inputs.push_back(inputRows(rng, 1 + i % 3));
+    std::vector<nn::Tensor> expect;
+    for (const nn::Tensor &x : inputs)
+        expect.push_back(source->forward(x, false));
+
+    struct Config
+    {
+        int threads, tiles, max_batch;
+    };
+    for (const Config &c : {Config{1, 1, 1}, Config{4, 4, 8}}) {
+        runtime::ThreadPool::setGlobalThreads(c.threads);
+        serve::ModelRepository repo;
+        repo.publishCheckpoint("mlp", ckpt, mlpShape("mlp"), mlpFactory());
+        runtime::EngineConfig ecfg;
+        ecfg.tiles = c.tiles;
+        runtime::RuntimeEngine engine(ecfg);
+        serve::ServerConfig scfg;
+        scfg.max_batch = c.max_batch;
+        serve::InferenceServer server(repo, engine, scfg);
+
+        std::vector<std::future<serve::InferenceReply>> futs;
+        for (const nn::Tensor &x : inputs) {
+            serve::InferenceRequest req;
+            req.model = "mlp";
+            req.input = x;
+            futs.push_back(server.submit(std::move(req)));
+        }
+        for (size_t i = 0; i < futs.size(); ++i) {
+            const serve::InferenceReply reply = futs[i].get();
+            ASSERT_EQ(reply.output.size(), expect[i].size());
+            for (int64_t j = 0; j < expect[i].size(); ++j)
+                EXPECT_EQ(reply.output[j], expect[i][j])
+                    << "config {" << c.threads << "," << c.tiles << ","
+                    << c.max_batch << "} request " << i << " element " << j;
+        }
+    }
+    runtime::ThreadPool::setGlobalThreads(0);
+}
+
+} // namespace
