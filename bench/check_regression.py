@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Perf-smoke regression gate for the committed benchmark baselines.
+
+Raw benchmark times are machine-dependent, so this tool only compares
+*relative* shapes that survive a hardware change:
+
+* micro_kernels (google-benchmark JSON): each kernel's cpu_time is
+  normalized by the geometric mean of all kernels shared with the
+  baseline.  A kernel whose normalized time grew by more than
+  --max-slowdown vs. the baseline's normalized time has regressed
+  relative to its peers — the classic "one kernel fell off a cliff"
+  signature — regardless of how fast the machine is overall.
+
+* runtime_throughput (bench_util JsonReport): the speedup(x) column is
+  already self-normalized (vs. the 1-thread/1-tile row of the same burst
+  size).  A row's speedup may exceed the baseline freely (more cores),
+  but falling below baseline_speedup / --max-slowdown fails: engine
+  scaling broke.
+
+Usage:
+  check_regression.py \
+      --baseline-micro bench/baselines/BENCH_micro_kernels.json \
+      --current-micro micro.json \
+      --baseline-runtime bench/baselines/BENCH_runtime_throughput.json \
+      --current-runtime runtime.json \
+      [--max-slowdown 2.0]
+
+Exits non-zero when any check fails.  Either pair may be omitted.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_micro(path):
+    """name -> cpu_time from a google-benchmark JSON report."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        out[bench["name"]] = float(bench["cpu_time"])
+    return out
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def check_micro(baseline_path, current_path, max_slowdown):
+    base = load_micro(baseline_path)
+    cur = load_micro(current_path)
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("FAIL micro: no shared kernels between baseline and current")
+        return False
+    for name in sorted(set(base) ^ set(cur)):
+        print(f"note  micro: {name} present in only one report; skipped")
+    base_ref = geomean([base[n] for n in shared])
+    cur_ref = geomean([cur[n] for n in shared])
+    ok = True
+    for name in shared:
+        rel = (cur[name] / cur_ref) / (base[name] / base_ref)
+        status = "ok  "
+        if rel > max_slowdown:
+            status = "FAIL"
+            ok = False
+        print(f"{status}  micro: {name}: normalized time ratio {rel:.2f}x"
+              f" (limit {max_slowdown:.2f}x)")
+    return ok
+
+
+def load_runtime(path):
+    """(threads, tiles, burst) -> speedup(x) from a JsonReport document."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = doc.get("results", {}).get("throughput_sweep", [])
+    out = {}
+    for row in rows:
+        try:
+            key = (int(row["threads"]), int(row["tiles"]), int(row["burst"]))
+            out[key] = float(row["speedup(x)"])
+        except (KeyError, TypeError, ValueError):
+            continue  # e.g. the "n/a" baseline row
+    return out
+
+
+def check_runtime(baseline_path, current_path, max_slowdown):
+    base = load_runtime(baseline_path)
+    cur = load_runtime(current_path)
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("FAIL runtime: no shared sweep rows between baseline and"
+              " current")
+        return False
+    ok = True
+    for key in shared:
+        floor = base[key] / max_slowdown
+        status = "ok  "
+        if cur[key] < floor:
+            status = "FAIL"
+            ok = False
+        threads, tiles, burst = key
+        print(f"{status}  runtime: threads={threads} tiles={tiles}"
+              f" burst={burst}: speedup {cur[key]:.2f}x"
+              f" (baseline {base[key]:.2f}x, floor {floor:.2f}x)")
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-micro")
+    parser.add_argument("--current-micro")
+    parser.add_argument("--baseline-runtime")
+    parser.add_argument("--current-runtime")
+    parser.add_argument("--max-slowdown", type=float, default=2.0)
+    args = parser.parse_args()
+
+    ok = True
+    ran = False
+    if args.baseline_micro and args.current_micro:
+        ran = True
+        ok &= check_micro(args.baseline_micro, args.current_micro,
+                          args.max_slowdown)
+    if args.baseline_runtime and args.current_runtime:
+        ran = True
+        ok &= check_runtime(args.baseline_runtime, args.current_runtime,
+                            args.max_slowdown)
+    if not ran:
+        print("nothing to check: pass --baseline-*/--current-* pairs")
+        return 2
+    print("perf smoke:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,10 @@
 
 #include "bfp/bfp_gemm.h"
 #include "common/rng.h"
+#include "nn/gemm_backend.h"
+#include "nn/layers_conv.h"
+#include "nn/tensor.h"
+#include "numerics/quantized_gemm.h"
 #include "photonic/mmvmu.h"
 #include "rns/modular_gemm.h"
 #include "rns/special_converter.h"
@@ -67,7 +71,7 @@ BM_ModularGemm(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
 }
-BENCHMARK(BM_ModularGemm)->Arg(32)->Arg(64);
+BENCHMARK(BM_ModularGemm)->Arg(32)->Arg(64)->Arg(256);
 
 void
 BM_BfpEncode(benchmark::State &state)
@@ -105,7 +109,84 @@ BM_BfpRnsGemm(benchmark::State &state)
         benchmark::DoNotOptimize(bfp::bfpGemm(a, b, n, n, n, opts));
     state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
 }
-BENCHMARK(BM_BfpRnsGemm)->Arg(32)->Arg(64);
+BENCHMARK(BM_BfpRnsGemm)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_Fp32Gemm(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Rng rng(8);
+    std::vector<float> a(static_cast<size_t>(n) * n),
+        b(static_cast<size_t>(n) * n), c(static_cast<size_t>(n) * n);
+    for (auto &v : a)
+        v = static_cast<float>(rng.gaussian());
+    for (auto &v : b)
+        v = static_cast<float>(rng.gaussian());
+    numerics::GemmCall call;
+    call.a = a;
+    call.b = b;
+    call.m = n;
+    call.k = n;
+    call.n = n;
+    for (auto _ : state) {
+        numerics::gemmFp32(call, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_Fp32Gemm)->Arg(64)->Arg(256);
+
+/**
+ * Training-representative convolution (CIFAR-class interior layer):
+ * batch 8, 16 -> 32 channels, 16x16 images, 3x3 stride-1 pad-1, through
+ * the FP32 reference backend (im2col + one batched GEMM).
+ */
+nn::Tensor
+convInput(Rng &rng)
+{
+    nn::Tensor x({8, 16, 16, 16});
+    for (int64_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>(rng.gaussian());
+    return x;
+}
+
+void
+BM_ConvForward(benchmark::State &state)
+{
+    Rng rng(9);
+    nn::FormatBackend backend(numerics::DataFormat::FP32);
+    nn::Conv2d conv(16, 32, 3, 1, 1, &backend, rng);
+    const nn::Tensor x = convInput(rng);
+    for (auto _ : state) {
+        nn::Tensor y = conv.forward(x, true);
+        benchmark::DoNotOptimize(y.data());
+    }
+    // MACs per forward: out_ch * (in_ch * k * k) * batch * out_h * out_w.
+    state.SetItemsProcessed(state.iterations() * 32 * (16 * 9) *
+                            (8 * 16 * 16));
+}
+BENCHMARK(BM_ConvForward);
+
+void
+BM_ConvBackward(benchmark::State &state)
+{
+    Rng rng(10);
+    nn::FormatBackend backend(numerics::DataFormat::FP32);
+    nn::Conv2d conv(16, 32, 3, 1, 1, &backend, rng);
+    const nn::Tensor x = convInput(rng);
+    nn::Tensor y = conv.forward(x, true);
+    nn::Tensor dy(y.shape());
+    for (int64_t i = 0; i < dy.size(); ++i)
+        dy[i] = static_cast<float>(rng.gaussian(0.0, 0.01));
+    for (auto _ : state) {
+        nn::Tensor dx = conv.backward(dy);
+        benchmark::DoNotOptimize(dx.data());
+    }
+    // Backward executes the dW and dX GEMMs: ~2x the forward MACs.
+    state.SetItemsProcessed(state.iterations() * 2 * 32 * (16 * 9) *
+                            (8 * 16 * 16));
+}
+BENCHMARK(BM_ConvBackward);
 
 void
 BM_PhotonicMvm(benchmark::State &state)

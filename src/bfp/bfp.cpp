@@ -79,15 +79,15 @@ roundMantissa(double scaled, Rounding mode, Rng *rng)
 
 } // namespace
 
-BfpBlock
-encodeBlock(std::span<const float> values, const BfpConfig &cfg, Rng *rng)
+int
+encodeGroupInto(std::span<const float> values, const BfpConfig &cfg,
+                std::span<int32_t> mantissas, Rng *rng)
 {
     cfg.validate();
     MIRAGE_ASSERT(values.size() <= static_cast<size_t>(cfg.g),
                   "group larger than configured size");
-
-    BfpBlock block;
-    block.mantissas.resize(values.size(), 0);
+    MIRAGE_ASSERT(mantissas.size() >= values.size(),
+                  "mantissa buffer too small");
 
     int shared = INT32_MIN;
     for (float v : values) {
@@ -97,10 +97,10 @@ encodeBlock(std::span<const float> values, const BfpConfig &cfg, Rng *rng)
             shared = std::max(shared, valueExponent(v));
     }
     if (shared == INT32_MIN) { // all-zero group
-        block.exponent = 0;
-        return block;
+        for (size_t i = 0; i < values.size(); ++i)
+            mantissas[i] = 0;
+        return 0;
     }
-    block.exponent = shared;
 
     // value = q * 2^(e - bm)  =>  q = value * 2^(bm - e). The mantissa is a
     // (bm+1)-bit two's-complement integer: [-2^bm, 2^bm - 1].
@@ -114,8 +114,17 @@ encodeBlock(std::span<const float> values, const BfpConfig &cfg, Rng *rng)
             q = q_max;
         if (q < q_min)
             q = q_min;
-        block.mantissas[i] = q;
+        mantissas[i] = q;
     }
+    return shared;
+}
+
+BfpBlock
+encodeBlock(std::span<const float> values, const BfpConfig &cfg, Rng *rng)
+{
+    BfpBlock block;
+    block.mantissas.resize(values.size(), 0);
+    block.exponent = encodeGroupInto(values, cfg, block.mantissas, rng);
     return block;
 }
 

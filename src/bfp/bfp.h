@@ -70,6 +70,14 @@ struct BfpBlock
 BfpBlock encodeBlock(std::span<const float> values, const BfpConfig &cfg,
                      Rng *rng = nullptr);
 
+/**
+ * Allocation-free core of encodeBlock: writes values.size() mantissas into
+ * `mantissas` (first values.size() elements; the caller owns any padding)
+ * and returns the shared exponent. Bit-identical to encodeBlock.
+ */
+int encodeGroupInto(std::span<const float> values, const BfpConfig &cfg,
+                    std::span<int32_t> mantissas, Rng *rng = nullptr);
+
 /** Decodes a whole block back to floats (the "fake quantization" view). */
 std::vector<float> decodeBlock(const BfpBlock &block, const BfpConfig &cfg);
 

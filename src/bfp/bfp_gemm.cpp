@@ -22,6 +22,11 @@ constexpr int64_t kComputeGrain = 2;
 constexpr int64_t kMinEncodeWork = 4096;
 constexpr int64_t kMinComputeWork = 16384;
 
+/// Output-column tile of the compute loop: keeps the streamed B residue
+/// panel L1/L2-resident for large n. Tiling never reorders the per-element
+/// chunk accumulation, so results are unaffected.
+constexpr int kColTile = 64;
+
 } // namespace
 
 BfpMatrix
@@ -108,87 +113,300 @@ encodeCols(const std::vector<float> &b, int k_depth, int n_cols,
     return out;
 }
 
+BfpPackedMatrix
+encodeRowsPacked(std::span<const float> a, int m_rows, int k_depth,
+                 const BfpConfig &cfg, Workspace &ws, Rng *rng)
+{
+    MIRAGE_ASSERT(a.size() == static_cast<size_t>(m_rows) * k_depth,
+                  "matrix shape mismatch");
+    BfpPackedMatrix out;
+    out.rows = m_rows;
+    out.g = cfg.g;
+    out.chunk_count = static_cast<int>(ceilDiv(k_depth, cfg.g));
+    const size_t blocks = static_cast<size_t>(m_rows) * out.chunk_count;
+    out.mantissas = ws.zeroed<int32_t>(blocks * cfg.g);
+    out.exponents = ws.alloc<int32_t>(blocks);
+    const bool stochastic =
+        rng != nullptr && cfg.rounding == Rounding::Stochastic;
+    const uint64_t base = stochastic ? rng->nextU64() : 0;
+    runtime::parallelFor(
+        m_rows,
+        runtime::serialBelow(m_rows, kEncodeGrain,
+                             static_cast<int64_t>(m_rows) * k_depth,
+                             kMinEncodeWork),
+        [&](int64_t r0, int64_t r1) {
+            for (int64_t i = r0; i < r1; ++i) {
+                std::optional<Rng> row_rng;
+                if (stochastic)
+                    row_rng.emplace(
+                        Rng::stream(base, static_cast<uint64_t>(i)));
+                Rng *row_rng_p = row_rng ? &*row_rng : nullptr;
+                for (int c = 0; c < out.chunk_count; ++c) {
+                    const int start = c * cfg.g;
+                    const int len = std::min(cfg.g, k_depth - start);
+                    const size_t blk =
+                        static_cast<size_t>(i) * out.chunk_count + c;
+                    out.exponents[blk] = encodeGroupInto(
+                        a.subspan(static_cast<size_t>(i) * k_depth + start,
+                                  static_cast<size_t>(len)),
+                        cfg,
+                        out.mantissas.subspan(blk * cfg.g,
+                                              static_cast<size_t>(len)),
+                        row_rng_p);
+                }
+            }
+        });
+    return out;
+}
+
+BfpPackedMatrix
+encodeColsPacked(std::span<const float> b, int k_depth, int n_cols,
+                 const BfpConfig &cfg, Workspace &ws, Rng *rng)
+{
+    MIRAGE_ASSERT(b.size() == static_cast<size_t>(k_depth) * n_cols,
+                  "matrix shape mismatch");
+    BfpPackedMatrix out;
+    out.rows = n_cols;
+    out.g = cfg.g;
+    out.chunk_count = static_cast<int>(ceilDiv(k_depth, cfg.g));
+    const size_t blocks = static_cast<size_t>(n_cols) * out.chunk_count;
+    out.mantissas = ws.zeroed<int32_t>(blocks * cfg.g);
+    out.exponents = ws.alloc<int32_t>(blocks);
+    const bool stochastic =
+        rng != nullptr && cfg.rounding == Rounding::Stochastic;
+    const uint64_t base = stochastic ? rng->nextU64() : 0;
+    runtime::parallelFor(
+        n_cols,
+        runtime::serialBelow(n_cols, kEncodeGrain,
+                             static_cast<int64_t>(k_depth) * n_cols,
+                             kMinEncodeWork),
+        [&](int64_t j0, int64_t j1) {
+            Workspace &tws = threadWorkspace();
+            Workspace::Scope tscope(tws);
+            std::span<float> group_buf =
+                tws.alloc<float>(static_cast<size_t>(cfg.g));
+            for (int64_t j = j0; j < j1; ++j) {
+                std::optional<Rng> col_rng;
+                if (stochastic)
+                    col_rng.emplace(
+                        Rng::stream(base, static_cast<uint64_t>(j)));
+                Rng *col_rng_p = col_rng ? &*col_rng : nullptr;
+                for (int c = 0; c < out.chunk_count; ++c) {
+                    const int start = c * cfg.g;
+                    const int len = std::min(cfg.g, k_depth - start);
+                    for (int t = 0; t < len; ++t)
+                        group_buf[static_cast<size_t>(t)] =
+                            b[static_cast<size_t>(start + t) * n_cols + j];
+                    const size_t blk =
+                        static_cast<size_t>(j) * out.chunk_count + c;
+                    out.exponents[blk] = encodeGroupInto(
+                        std::span<const float>(group_buf.data(),
+                                               static_cast<size_t>(len)),
+                        cfg,
+                        out.mantissas.subspan(blk * cfg.g,
+                                              static_cast<size_t>(len)),
+                        col_rng_p);
+                }
+            }
+        });
+    return out;
+}
+
 namespace {
 
 /**
- * Chunk dot product through the RNS domain: forward-convert both mantissa
- * vectors, modular-MAC per modulus, reverse-convert. Numerically exact as
- * long as Eq. (13) holds (checked at configuration time).
+ * True when every chunk dot over this set can accumulate raw 64-bit
+ * products without overflow (the modularDot small-path bound).
  */
-int64_t
-rnsChunkDot(const BfpBlock &a, const BfpBlock &b, const rns::RnsCodec &codec)
+bool
+rawAccumulationSafe(const rns::ModuliSet &set, int g)
 {
-    const rns::ModuliSet &set = codec.set();
-    rns::ResidueVector acc(set.count(), 0);
-    for (size_t mi = 0; mi < set.count(); ++mi) {
-        const uint64_t m = set.modulus(mi);
-        uint64_t sum = 0;
-        for (size_t t = 0; t < a.mantissas.size(); ++t) {
-            const uint64_t ra = rns::reduceSigned(a.mantissas[t], m);
-            const uint64_t rb = rns::reduceSigned(b.mantissas[t], m);
-            sum += ra * rb; // m < 2^21 and g <= 2^20: exact in 64 bits
-        }
-        acc[mi] = sum % m;
-    }
-    return codec.decode(acc);
+    if (g >= (1 << 22))
+        return false;
+    for (size_t i = 0; i < set.count(); ++i)
+        if (set.modulus(i) >= (uint64_t{1} << 21))
+            return false;
+    return true;
+}
+
+/**
+ * Forward-converts a packed mantissa plane to per-modulus residue planes
+ * (uint32, layout identical to the mantissa plane). Doing this once per
+ * matrix instead of once per (i, j, chunk) triple is the key win: the old
+ * path re-reduced every A-row chunk n_cols times.
+ */
+std::span<uint32_t>
+residuePlanes(const BfpPackedMatrix &m, const rns::ModuliSet &set,
+              Workspace &ws)
+{
+    const size_t plane =
+        static_cast<size_t>(m.rows) * m.chunk_count * m.g;
+    std::span<uint32_t> planes = ws.alloc<uint32_t>(set.count() * plane);
+    runtime::parallelFor(
+        m.rows,
+        runtime::serialBelow(m.rows, kEncodeGrain,
+                             static_cast<int64_t>(set.count()) * plane,
+                             kMinEncodeWork),
+        [&](int64_t r0, int64_t r1) {
+            const size_t row_elems =
+                static_cast<size_t>(m.chunk_count) * m.g;
+            for (size_t mi = 0; mi < set.count(); ++mi) {
+                const uint64_t mod = set.modulus(mi);
+                uint32_t *dst = &planes[mi * plane];
+                for (int64_t r = r0; r < r1; ++r)
+                    for (size_t e = 0; e < row_elems; ++e) {
+                        const size_t idx =
+                            static_cast<size_t>(r) * row_elems + e;
+                        dst[idx] = static_cast<uint32_t>(
+                            rns::reduceSigned(m.mantissas[idx], mod));
+                    }
+            }
+        });
+    return planes;
 }
 
 } // namespace
 
-std::vector<float>
-bfpGemm(const std::vector<float> &a, const std::vector<float> &b,
-        int m_rows, int k_depth, int n_cols, const BfpGemmOptions &opts)
+void
+bfpGemm(std::span<const float> a, std::span<const float> b,
+        std::span<float> c, int m_rows, int k_depth, int n_cols,
+        const BfpConfig &cfg, const rns::RnsCodec *codec, Rng *rng)
 {
-    opts.config.validate();
-    if (opts.moduli &&
-        !opts.moduli->canHoldDotProduct(opts.config.bm, opts.config.g)) {
+    cfg.validate();
+    MIRAGE_ASSERT(c.size() == static_cast<size_t>(m_rows) * n_cols,
+                  "C shape mismatch");
+    if (codec && !codec->set().canHoldDotProduct(cfg.bm, cfg.g)) {
         MIRAGE_FATAL("moduli set (log2 M = ",
-                     opts.moduli->log2DynamicRange(),
-                     ") cannot hold BFP dot products of bm=", opts.config.bm,
-                     " g=", opts.config.g, " (Eq. 13)");
+                     codec->set().log2DynamicRange(),
+                     ") cannot hold BFP dot products of bm=", cfg.bm,
+                     " g=", cfg.g, " (Eq. 13)");
     }
 
-    const BfpMatrix a_enc = encodeRows(a, m_rows, k_depth, opts.config, opts.rng);
-    const BfpMatrix b_enc = encodeCols(b, k_depth, n_cols, opts.config, opts.rng);
-
-    std::optional<rns::RnsCodec> codec;
-    if (opts.moduli)
-        codec.emplace(*opts.moduli);
+    // Encodings and residue planes live in the caller's arena for the
+    // duration of this GEMM; the rng base draws happen in the same order
+    // (rows, then cols) as the legacy BfpMatrix path, so stochastic
+    // rounding is bit-identical to it.
+    Workspace &ws = threadWorkspace();
+    Workspace::Scope scope(ws);
+    const BfpPackedMatrix a_enc =
+        encodeRowsPacked(a, m_rows, k_depth, cfg, ws, rng);
+    const BfpPackedMatrix b_enc =
+        encodeColsPacked(b, k_depth, n_cols, cfg, ws, rng);
 
     const int chunks = a_enc.chunk_count;
-    const int bm = opts.config.bm;
-    std::vector<float> c(static_cast<size_t>(m_rows) * n_cols, 0.0f);
+    const int g = cfg.g;
+    const int bm = cfg.bm;
+
+    // With a codec, forward-convert both packed planes once up front; every
+    // chunk dot then runs over small cache-resident uint32 residues.
+    const bool raw_safe = codec && rawAccumulationSafe(codec->set(), g);
+    std::span<uint32_t> a_planes, b_planes;
+    if (raw_safe) {
+        a_planes = residuePlanes(a_enc, codec->set(), ws);
+        b_planes = residuePlanes(b_enc, codec->set(), ws);
+    }
+    const size_t a_plane_sz = static_cast<size_t>(m_rows) * chunks * g;
+    const size_t b_plane_sz = static_cast<size_t>(n_cols) * chunks * g;
+
     // Output rows are independent and rng-free; the per-element chunk
     // accumulation order below is unchanged, so the parallel result is
-    // bit-identical to serial execution.
+    // bit-identical to serial execution (and to the legacy block path).
     runtime::parallelFor(
         m_rows,
         runtime::serialBelow(m_rows, kComputeGrain,
                              static_cast<int64_t>(m_rows) * k_depth * n_cols,
                              kMinComputeWork),
         [&](int64_t i0, int64_t i1) {
-        for (int64_t i = i0; i < i1; ++i) {
-            for (int j = 0; j < n_cols; ++j) {
-                float acc = 0.0f; // FP32 partial-output accumulation (step 9)
-                for (int ch = 0; ch < chunks; ++ch) {
-                    const BfpBlock &blk_a =
-                        a_enc.blocks[static_cast<size_t>(i) * chunks + ch];
-                    const BfpBlock &blk_b =
-                        b_enc.blocks[static_cast<size_t>(j) * chunks + ch];
-                    int64_t isum;
-                    if (codec) {
-                        isum = rnsChunkDot(blk_a, blk_b, *codec);
-                    } else {
-                        isum = blockDot(blk_a, blk_b, bm).integer_sum;
+        Workspace &tws = threadWorkspace();
+        Workspace::Scope tscope(tws);
+        const size_t n_moduli = codec ? codec->set().count() : 0;
+        std::span<rns::Residue> digits = tws.alloc<rns::Residue>(n_moduli);
+        for (int jt0 = 0; jt0 < n_cols; jt0 += kColTile) {
+            const int jt1 = std::min(jt0 + kColTile, n_cols);
+            for (int64_t i = i0; i < i1; ++i) {
+                for (int j = jt0; j < jt1; ++j) {
+                    float acc = 0.0f; // FP32 partial-output accumulation
+                    for (int ch = 0; ch < chunks; ++ch) {
+                        const size_t a_off =
+                            (static_cast<size_t>(i) * chunks + ch) *
+                            static_cast<size_t>(g);
+                        const size_t b_off =
+                            (static_cast<size_t>(j) * chunks + ch) *
+                            static_cast<size_t>(g);
+                        int64_t isum;
+                        if (raw_safe) {
+                            for (size_t mi = 0; mi < n_moduli; ++mi) {
+                                const uint32_t *ra =
+                                    &a_planes[mi * a_plane_sz + a_off];
+                                const uint32_t *rb =
+                                    &b_planes[mi * b_plane_sz + b_off];
+                                uint64_t sum = 0;
+                                for (int t = 0; t < g; ++t)
+                                    sum += static_cast<uint64_t>(ra[t]) *
+                                           rb[t];
+                                digits[mi] =
+                                    sum % codec->set().modulus(mi);
+                            }
+                            isum = codec->decode(digits);
+                        } else if (codec) {
+                            // Oversized moduli: fully reduced dot per
+                            // modulus straight off the mantissas.
+                            const rns::ModuliSet &set = codec->set();
+                            for (size_t mi = 0; mi < n_moduli; ++mi) {
+                                const uint64_t mod = set.modulus(mi);
+                                rns::Residue sum = 0;
+                                for (int t = 0; t < g; ++t)
+                                    sum = rns::addMod(
+                                        sum,
+                                        rns::mulMod(
+                                            rns::reduceSigned(
+                                                a_enc.mantissas[a_off + t],
+                                                mod),
+                                            rns::reduceSigned(
+                                                b_enc.mantissas[b_off + t],
+                                                mod),
+                                            mod),
+                                        mod);
+                                digits[mi] = sum;
+                            }
+                            isum = codec->decode(digits);
+                        } else {
+                            int64_t sum = 0;
+                            const int32_t *ma = &a_enc.mantissas[a_off];
+                            const int32_t *mb = &b_enc.mantissas[b_off];
+                            for (int t = 0; t < g; ++t)
+                                sum += static_cast<int64_t>(ma[t]) * mb[t];
+                            isum = sum;
+                        }
+                        acc += static_cast<float>(std::ldexp(
+                            static_cast<double>(isum),
+                            a_enc.exponent(static_cast<int>(i), ch) +
+                                b_enc.exponent(j, ch) - 2 * bm));
                     }
-                    acc += static_cast<float>(
-                        std::ldexp(static_cast<double>(isum),
-                                   blk_a.exponent + blk_b.exponent - 2 * bm));
+                    c[static_cast<size_t>(i) * n_cols + j] = acc;
                 }
-                c[static_cast<size_t>(i) * n_cols + j] = acc;
             }
         }
     });
+}
+
+void
+bfpGemm(std::span<const float> a, std::span<const float> b,
+        std::span<float> c, int m_rows, int k_depth, int n_cols,
+        const BfpGemmOptions &opts)
+{
+    bfpGemm(a, b, c, m_rows, k_depth, n_cols, opts.config,
+            opts.moduli ? &rns::cachedCodec(*opts.moduli) : nullptr,
+            opts.rng);
+}
+
+std::vector<float>
+bfpGemm(const std::vector<float> &a, const std::vector<float> &b,
+        int m_rows, int k_depth, int n_cols, const BfpGemmOptions &opts)
+{
+    std::vector<float> c(static_cast<size_t>(m_rows) * n_cols);
+    bfpGemm(std::span<const float>(a), std::span<const float>(b),
+            std::span<float>(c), m_rows, k_depth, n_cols, opts);
     return c;
 }
 

@@ -15,9 +15,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "bfp/bfp.h"
+#include "common/workspace.h"
+#include "rns/conversion.h"
 #include "rns/moduli_set.h"
 
 namespace mirage {
@@ -37,11 +40,32 @@ struct BfpGemmOptions
 /**
  * C = A * B where A is MxK and B is KxN, all row-major FP32.
  * A's rows and B's columns are BFP-grouped along K in chunks of cfg.g.
+ *
+ * The span overload writes into caller-provided storage (size m*n) and
+ * stages every temporary — packed encodings, per-modulus residue planes,
+ * CRT digits — in Workspace arenas, so warm steady-state calls perform no
+ * heap allocation. The vector overload is a thin allocating wrapper;
+ * results are bit-identical between the two.
  */
+void bfpGemm(std::span<const float> a, std::span<const float> b,
+             std::span<float> c, int m_rows, int k_depth, int n_cols,
+             const BfpGemmOptions &opts);
+
 std::vector<float> bfpGemm(const std::vector<float> &a,
                            const std::vector<float> &b,
                            int m_rows, int k_depth, int n_cols,
                            const BfpGemmOptions &opts);
+
+/**
+ * Core kernel behind both overloads: a non-null `codec` routes every chunk
+ * dot product through the RNS domain. Callers that execute many GEMMs over
+ * one moduli set pass a cached codec (rns::cachedCodec) so per-call setup
+ * allocates nothing.
+ */
+void bfpGemm(std::span<const float> a, std::span<const float> b,
+             std::span<float> c, int m_rows, int k_depth, int n_cols,
+             const BfpConfig &cfg, const rns::RnsCodec *codec,
+             Rng *rng = nullptr);
 
 /**
  * Pre-encoded BFP view of a matrix: rows (or columns) cut into K-chunks.
@@ -63,6 +87,46 @@ BfpMatrix encodeRows(const std::vector<float> &a, int m_rows, int k_depth,
 /** Encodes matrix columns (KxN, row-major) into K-chunk groups. */
 BfpMatrix encodeCols(const std::vector<float> &b, int k_depth, int n_cols,
                      const BfpConfig &cfg, Rng *rng = nullptr);
+
+/**
+ * Flat, workspace-backed BFP encoding: mantissas stored [row][chunk][g]
+ * with zero-padded tails (padding contributes nothing to integer dots) and
+ * one exponent per (row, chunk). This is the hot-path representation — one
+ * arena allocation instead of one heap vector per block — and it encodes
+ * bit-identically to the BfpBlock form (same per-row Rng substreams).
+ */
+struct BfpPackedMatrix
+{
+    int rows = 0;
+    int chunk_count = 0;
+    int g = 0;
+    std::span<int32_t> mantissas; ///< rows * chunk_count * g, zero-padded.
+    std::span<int32_t> exponents; ///< rows * chunk_count.
+
+    /** Mantissa group of (row, chunk): g elements. */
+    const int32_t *
+    chunk(int row, int c) const
+    {
+        return &mantissas[(static_cast<size_t>(row) * chunk_count + c) * g];
+    }
+
+    /** Shared exponent of (row, chunk). */
+    int
+    exponent(int row, int c) const
+    {
+        return exponents[static_cast<size_t>(row) * chunk_count + c];
+    }
+};
+
+/** Packed encodeRows: scratch comes from (and stays valid inside) `ws`. */
+BfpPackedMatrix encodeRowsPacked(std::span<const float> a, int m_rows,
+                                 int k_depth, const BfpConfig &cfg,
+                                 Workspace &ws, Rng *rng = nullptr);
+
+/** Packed encodeCols: scratch comes from (and stays valid inside) `ws`. */
+BfpPackedMatrix encodeColsPacked(std::span<const float> b, int k_depth,
+                                 int n_cols, const BfpConfig &cfg,
+                                 Workspace &ws, Rng *rng = nullptr);
 
 } // namespace bfp
 } // namespace mirage

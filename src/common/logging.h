@@ -86,4 +86,17 @@ panic(const char *file, int line, Args &&...args)
         } \
     } while (false)
 
+/**
+ * Debug-build-only assertion for checks too expensive for release hot
+ * loops (e.g. per-call overflow-bound proofs in modularDot). Compiled out
+ * under NDEBUG; the condition must be side-effect free.
+ */
+#ifdef NDEBUG
+#define MIRAGE_DASSERT(cond, ...) \
+    do { \
+    } while (false)
+#else
+#define MIRAGE_DASSERT(cond, ...) MIRAGE_ASSERT(cond, ##__VA_ARGS__)
+#endif
+
 #endif // MIRAGE_COMMON_LOGGING_H

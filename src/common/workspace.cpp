@@ -1,0 +1,135 @@
+#include "common/workspace.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mirage {
+
+namespace {
+
+/// First-block floor: one page-ish chunk so tiny ops never chain blocks.
+constexpr size_t kMinBlockBytes = size_t{64} * 1024;
+
+size_t
+roundUpAligned(size_t bytes)
+{
+    return (bytes + Workspace::kAlignment - 1) & ~(Workspace::kAlignment - 1);
+}
+
+} // namespace
+
+Workspace::Workspace(size_t initial_bytes)
+{
+    if (initial_bytes > 0) {
+        Block b;
+        b.size = roundUpAligned(initial_bytes);
+        b.data = std::make_unique<std::byte[]>(b.size);
+        blocks_.push_back(std::move(b));
+        ++growth_count_;
+    }
+}
+
+size_t
+Workspace::usedInActive() const
+{
+    return blocks_.empty() ? 0 : blocks_[active_].used;
+}
+
+std::byte *
+Workspace::allocBytes(size_t bytes)
+{
+    bytes = roundUpAligned(bytes);
+    // Bump inside the active block when it fits.
+    if (!blocks_.empty()) {
+        Block &b = blocks_[active_];
+        if (b.size - b.used >= bytes) {
+            std::byte *p = b.data.get() + b.used;
+            b.used += bytes;
+            return p;
+        }
+        // Walk forward into already-grown blocks (kept from a previous cold
+        // pass that has not consolidated yet).
+        while (active_ + 1 < blocks_.size()) {
+            Block &next = blocks_[++active_];
+            MIRAGE_ASSERT(next.used == 0, "workspace block chain corrupted");
+            if (next.size >= bytes) {
+                next.used = bytes;
+                return next.data.get();
+            }
+        }
+    }
+    // Grow geometrically past the total current capacity so block counts
+    // stay logarithmic in peak demand.
+    Block b;
+    b.size = std::max({bytes, kMinBlockBytes, 2 * capacityBytes()});
+    b.data = std::make_unique<std::byte[]>(b.size);
+    b.used = bytes;
+    ++growth_count_;
+    blocks_.push_back(std::move(b));
+    active_ = blocks_.size() - 1;
+    return blocks_.back().data.get();
+}
+
+void
+Workspace::release(size_t block, size_t used)
+{
+    if (blocks_.empty())
+        return;
+    MIRAGE_ASSERT(block <= active_, "workspace scopes released out of order");
+    for (size_t i = block + 1; i <= active_; ++i)
+        blocks_[i].used = 0;
+    blocks_[block].used = used;
+    active_ = block;
+    // Outermost release: fold every block into one arena sized for the whole
+    // pass, so the next pass bumps inside a single resident block.
+    if (block == 0 && used == 0 && blocks_.size() > 1) {
+        const size_t total = capacityBytes();
+        blocks_.clear();
+        Block b;
+        b.size = total;
+        b.data = std::make_unique<std::byte[]>(b.size);
+        ++growth_count_;
+        blocks_.push_back(std::move(b));
+        active_ = 0;
+    }
+}
+
+void
+Workspace::reset()
+{
+    if (blocks_.empty())
+        return;
+    for (Block &b : blocks_)
+        b.used = 0;
+    active_ = 0;
+    if (blocks_.size() > 1)
+        release(0, 0); // consolidate
+}
+
+size_t
+Workspace::bytesInUse() const
+{
+    size_t total = 0;
+    for (const Block &b : blocks_)
+        total += b.used;
+    return total;
+}
+
+size_t
+Workspace::capacityBytes() const
+{
+    size_t total = 0;
+    for (const Block &b : blocks_)
+        total += b.size;
+    return total;
+}
+
+Workspace &
+threadWorkspace()
+{
+    static thread_local Workspace ws;
+    return ws;
+}
+
+} // namespace mirage

@@ -1,0 +1,157 @@
+#ifndef MIRAGE_COMMON_WORKSPACE_H
+#define MIRAGE_COMMON_WORKSPACE_H
+
+/**
+ * @file
+ * Bump-pointer scratch arena for the numeric hot paths.
+ *
+ * Every GEMM in the stack (format emulation, BFP encode, RNS conversion,
+ * photonic staging, layer forward/backward temporaries) needs short-lived
+ * buffers whose sizes repeat step after step. Allocating them from the
+ * general-purpose heap puts the allocator on the critical path of every
+ * training step; a Workspace instead hands out typed spans from a growable
+ * arena that is rewound — not freed — when an operation ends, so steady-state
+ * execution performs zero heap allocations (see README "Performance & memory
+ * model", verified by tests/test_alloc_guard.cpp).
+ *
+ * Ownership contract:
+ *  - per-call scratch (operand transforms, staging tiles, accumulators)
+ *    comes from a Workspace under a Workspace::Scope;
+ *  - state that must survive between calls (a layer's forward cache used by
+ *    backward, programmed photonic weights) stays in member containers whose
+ *    capacity is reused across steps.
+ *
+ * Thread safety: a Workspace serves ONE thread. Parallel regions use
+ * threadWorkspace(), which returns this thread's private arena — the global
+ * runtime::ThreadPool keeps its workers alive across operations, so their
+ * arenas warm up once and are reused for the life of the process.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace mirage {
+
+/**
+ * Growable bump-pointer arena. alloc() bumps a cursor inside the current
+ * block; when a block is exhausted a geometrically larger one is appended
+ * (spans already handed out stay valid — blocks never move). When the
+ * outermost Scope releases, multiple blocks consolidate into one, so after
+ * warm-up every operation runs inside a single resident block and the
+ * growth counter stops moving.
+ */
+class Workspace
+{
+  public:
+    /// Every allocation is aligned to this boundary.
+    static constexpr size_t kAlignment = alignof(std::max_align_t);
+
+    /** @param initial_bytes size of the first block (0 = allocate lazily). */
+    explicit Workspace(size_t initial_bytes = 0);
+
+    Workspace(const Workspace &) = delete;
+    Workspace &operator=(const Workspace &) = delete;
+
+    /**
+     * Uninitialized scratch for `n` elements of T. The span stays valid
+     * until the enclosing Scope releases (or reset() is called). T must be
+     * trivially copyable/destructible — the arena never runs constructors.
+     */
+    template <typename T>
+    std::span<T>
+    alloc(size_t n)
+    {
+        static_assert(std::is_trivially_copyable_v<T> &&
+                          std::is_trivially_destructible_v<T>,
+                      "Workspace only holds trivial types");
+        static_assert(alignof(T) <= kAlignment, "over-aligned type");
+        if (n == 0)
+            return {};
+        return {reinterpret_cast<T *>(allocBytes(n * sizeof(T))), n};
+    }
+
+    /** alloc() followed by zero-fill. */
+    template <typename T>
+    std::span<T>
+    zeroed(size_t n)
+    {
+        std::span<T> s = alloc<T>(n);
+        if (!s.empty())
+            std::memset(s.data(), 0, s.size_bytes());
+        return s;
+    }
+
+    /**
+     * Rewinds the whole arena (all scratch invalidated) and consolidates
+     * multiple blocks into one. Capacity is retained, so the next warm pass
+     * allocates nothing.
+     */
+    void reset();
+
+    /** Bytes currently handed out. */
+    size_t bytesInUse() const;
+
+    /** Total backing capacity across all blocks. */
+    size_t capacityBytes() const;
+
+    /**
+     * Number of backing-buffer heap allocations performed over the arena's
+     * lifetime. Flat between two points in time == those operations ran
+     * allocation-free out of this arena.
+     */
+    uint64_t growthCount() const { return growth_count_; }
+
+    /**
+     * RAII rewind marker: scratch allocated after construction is released
+     * on destruction. Scopes nest (layer -> backend -> kernel); the
+     * outermost release triggers block consolidation.
+     */
+    class Scope
+    {
+      public:
+        explicit Scope(Workspace &ws)
+            : ws_(ws), block_(ws.active_), used_(ws.usedInActive())
+        {
+        }
+        ~Scope() { ws_.release(block_, used_); }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        Workspace &ws_;
+        size_t block_;
+        size_t used_;
+    };
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<std::byte[]> data;
+        size_t size = 0;
+        size_t used = 0;
+    };
+
+    std::byte *allocBytes(size_t bytes);
+    void release(size_t block, size_t used);
+    size_t usedInActive() const;
+
+    std::vector<Block> blocks_;
+    size_t active_ = 0;
+    uint64_t growth_count_ = 0;
+};
+
+/**
+ * This thread's private scratch arena, created on first use. The hot-path
+ * entry point: kernels and layers open a Workspace::Scope on it and draw
+ * every temporary from there.
+ */
+Workspace &threadWorkspace();
+
+} // namespace mirage
+
+#endif // MIRAGE_COMMON_WORKSPACE_H

@@ -44,6 +44,14 @@ MirageAccelerator::gemm(const std::vector<float> &a,
     return backend(mode)->gemm(a, b, m, k, n, false, false);
 }
 
+void
+MirageAccelerator::gemm(std::span<const float> a, std::span<const float> b,
+                        std::span<float> out, int m, int k, int n,
+                        ExecutionMode mode)
+{
+    backend(mode)->gemm(a, b, m, k, n, false, false, out);
+}
+
 nn::GemmBackend *
 MirageAccelerator::backend(ExecutionMode mode)
 {

@@ -10,6 +10,7 @@
  */
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "arch/config.h"
@@ -84,6 +85,14 @@ class MirageAccelerator
     std::vector<float> gemm(const std::vector<float> &a,
                             const std::vector<float> &b, int m, int k, int n,
                             ExecutionMode mode = ExecutionMode::Emulated);
+
+    /**
+     * Span overload writing into caller storage (m*n elements); the
+     * allocation-free hot path used by the runtime engine's shard loop.
+     */
+    void gemm(std::span<const float> a, std::span<const float> b,
+              std::span<float> out, int m, int k, int n,
+              ExecutionMode mode = ExecutionMode::Emulated);
 
     /**
      * A GEMM backend bound to this accelerator's numerics, for plugging

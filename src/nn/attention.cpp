@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/workspace.h"
 
 namespace mirage {
 namespace nn {
@@ -31,10 +32,9 @@ namespace {
 
 /** Extracts head h of row-major [B*T, D] into [T, dh] for sample b. */
 void
-sliceHead(const std::vector<float> &src, int b, int h, int seq, int dim,
-          int head_dim, std::vector<float> &dst)
+sliceHead(std::span<const float> src, int b, int h, int seq, int dim,
+          int head_dim, std::span<float> dst)
 {
-    dst.resize(static_cast<size_t>(seq) * head_dim);
     for (int t = 0; t < seq; ++t)
         for (int d = 0; d < head_dim; ++d)
             dst[static_cast<size_t>(t) * head_dim + d] =
@@ -44,8 +44,8 @@ sliceHead(const std::vector<float> &src, int b, int h, int seq, int dim,
 
 /** Adds [T, dh] back into head h of [B*T, D]. */
 void
-scatterHead(const std::vector<float> &src, int b, int h, int seq, int dim,
-            int head_dim, std::vector<float> &dst)
+scatterHead(std::span<const float> src, int b, int h, int seq, int dim,
+            int head_dim, std::span<float> dst)
 {
     for (int t = 0; t < seq; ++t)
         for (int d = 0; d < head_dim; ++d)
@@ -64,31 +64,48 @@ MultiHeadSelfAttention::forward(const Tensor &x, bool /*training*/)
     batch_ = x.dim(0);
     seq_ = x.dim(1);
     const int rows = batch_ * seq_;
+    const size_t dd = static_cast<size_t>(dim_) * dim_;
+
+    // Per-call scratch lives in this thread's arena; q_/k_/v_/probs_/ctx_
+    // are members because backward consumes them (resize reuses capacity,
+    // so steady-state steps do not touch the heap for them either).
+    Workspace &ws = threadWorkspace();
+    Workspace::Scope scope(ws);
 
     // Projections: (B*T x D) * (D x D).
-    const std::vector<float> wq_t = transposed(wq_.value.vec(), dim_, dim_);
-    const std::vector<float> wk_t = transposed(wk_.value.vec(), dim_, dim_);
-    const std::vector<float> wv_t = transposed(wv_.value.vec(), dim_, dim_);
-    q_ = backend_->gemm(x.vec(), wq_t, rows, dim_, dim_, false, false);
-    k_ = backend_->gemm(x.vec(), wk_t, rows, dim_, dim_, false, false);
-    v_ = backend_->gemm(x.vec(), wv_t, rows, dim_, dim_, false, false);
+    std::span<float> w_t = ws.alloc<float>(dd);
+    q_.resize(static_cast<size_t>(rows) * dim_);
+    k_.resize(static_cast<size_t>(rows) * dim_);
+    v_.resize(static_cast<size_t>(rows) * dim_);
+    transposeInto(wq_.value.vec(), dim_, dim_, w_t);
+    backend_->gemm(x.vec(), w_t, rows, dim_, dim_, false, false, q_);
+    transposeInto(wk_.value.vec(), dim_, dim_, w_t);
+    backend_->gemm(x.vec(), w_t, rows, dim_, dim_, false, false, k_);
+    transposeInto(wv_.value.vec(), dim_, dim_, w_t);
+    backend_->gemm(x.vec(), w_t, rows, dim_, dim_, false, false, v_);
 
     probs_.assign(static_cast<size_t>(batch_) * heads_ * seq_ * seq_, 0.0f);
     ctx_.assign(static_cast<size_t>(rows) * dim_, 0.0f);
     const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(head_dim_));
 
-    std::vector<float> qh, kh, vh;
+    const size_t head_sz = static_cast<size_t>(seq_) * head_dim_;
     for (int b = 0; b < batch_; ++b) {
         for (int h = 0; h < heads_; ++h) {
+            Workspace::Scope head_scope(ws);
+            std::span<float> qh = ws.alloc<float>(head_sz);
+            std::span<float> kh = ws.alloc<float>(head_sz);
+            std::span<float> vh = ws.alloc<float>(head_sz);
             sliceHead(q_, b, h, seq_, dim_, head_dim_, qh);
             sliceHead(k_, b, h, seq_, dim_, head_dim_, kh);
             sliceHead(v_, b, h, seq_, dim_, head_dim_, vh);
 
             // Scores = Q K^T / sqrt(dh): (T x dh) * (dh x T).
-            const std::vector<float> kh_t = transposed(kh, seq_, head_dim_);
-            std::vector<float> scores = backend_->gemm(qh, kh_t, seq_,
-                                                       head_dim_, seq_, false,
-                                                       false);
+            std::span<float> kh_t = ws.alloc<float>(head_sz);
+            transposeInto(kh, seq_, head_dim_, kh_t);
+            std::span<float> scores =
+                ws.alloc<float>(static_cast<size_t>(seq_) * seq_);
+            backend_->gemm(qh, kh_t, seq_, head_dim_, seq_, false, false,
+                           scores);
             // Row softmax (FP32, like all nonlinearities in the paper).
             float *p_base =
                 &probs_[((static_cast<size_t>(b) * heads_ + h) * seq_) * seq_];
@@ -115,19 +132,21 @@ MultiHeadSelfAttention::forward(const Tensor &x, bool /*training*/)
                         static_cast<float>(denom);
             }
 
-            // Context = P V : (T x T) * (T x dh).
-            std::vector<float> probs_head(
-                p_base, p_base + static_cast<size_t>(seq_) * seq_);
-            const std::vector<float> ctx_head = backend_->gemm(
-                probs_head, vh, seq_, seq_, head_dim_, false, false);
+            // Context = P V : (T x T) * (T x dh). P is read in place from
+            // the member buffer — no per-head copy.
+            const std::span<const float> probs_head(
+                p_base, static_cast<size_t>(seq_) * seq_);
+            std::span<float> ctx_head = ws.alloc<float>(head_sz);
+            backend_->gemm(probs_head, vh, seq_, seq_, head_dim_, false,
+                           false, ctx_head);
             scatterHead(ctx_head, b, h, seq_, dim_, head_dim_, ctx_);
         }
     }
 
     // Output projection.
-    const std::vector<float> wo_t = transposed(wo_.value.vec(), dim_, dim_);
+    transposeInto(wo_.value.vec(), dim_, dim_, w_t);
     Tensor y({batch_, seq_, dim_});
-    y.vec() = backend_->gemm(ctx_, wo_t, rows, dim_, dim_, false, false);
+    backend_->gemm(ctx_, w_t, rows, dim_, dim_, false, false, y.vec());
     return y;
 }
 
@@ -137,50 +156,65 @@ MultiHeadSelfAttention::backward(const Tensor &grad_out)
     const int rows = batch_ * seq_;
     MIRAGE_ASSERT(grad_out.size() == static_cast<int64_t>(rows) * dim_,
                   "MHSA backward shape mismatch");
+    const size_t dd = static_cast<size_t>(dim_) * dim_;
+    const size_t rd = static_cast<size_t>(rows) * dim_;
+
+    Workspace &ws = threadWorkspace();
+    Workspace::Scope scope(ws);
 
     // d ctx = dY * Wo ; dWo = dY^T * ctx.
-    std::vector<float> d_ctx = backend_->gemm(grad_out.vec(), wo_.value.vec(),
-                                              rows, dim_, dim_, true, false);
+    std::span<float> d_ctx = ws.alloc<float>(rd);
+    backend_->gemm(grad_out.vec(), wo_.value.vec(), rows, dim_, dim_, true,
+                   false, d_ctx);
     {
-        const std::vector<float> dy_t =
-            transposed(grad_out.vec(), rows, dim_);
-        const std::vector<float> dwo =
-            backend_->gemm(dy_t, ctx_, dim_, rows, dim_, true, false);
+        Workspace::Scope proj_scope(ws);
+        std::span<float> dy_t = ws.alloc<float>(rd);
+        transposeInto(grad_out.vec(), rows, dim_, dy_t);
+        std::span<float> dwo = ws.alloc<float>(dd);
+        backend_->gemm(dy_t, ctx_, dim_, rows, dim_, true, false, dwo);
         for (int64_t i = 0; i < wo_.grad.size(); ++i)
             wo_.grad[i] += dwo[static_cast<size_t>(i)];
     }
 
-    std::vector<float> dq(static_cast<size_t>(rows) * dim_, 0.0f);
-    std::vector<float> dk(static_cast<size_t>(rows) * dim_, 0.0f);
-    std::vector<float> dv(static_cast<size_t>(rows) * dim_, 0.0f);
+    std::span<float> dq = ws.zeroed<float>(rd);
+    std::span<float> dk = ws.zeroed<float>(rd);
+    std::span<float> dv = ws.zeroed<float>(rd);
     const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(head_dim_));
 
-    std::vector<float> qh, kh, vh, d_ctx_h;
+    const size_t head_sz = static_cast<size_t>(seq_) * head_dim_;
+    const size_t tt = static_cast<size_t>(seq_) * seq_;
     for (int b = 0; b < batch_; ++b) {
         for (int h = 0; h < heads_; ++h) {
+            Workspace::Scope head_scope(ws);
+            std::span<float> qh = ws.alloc<float>(head_sz);
+            std::span<float> kh = ws.alloc<float>(head_sz);
+            std::span<float> vh = ws.alloc<float>(head_sz);
+            std::span<float> d_ctx_h = ws.alloc<float>(head_sz);
             sliceHead(q_, b, h, seq_, dim_, head_dim_, qh);
             sliceHead(k_, b, h, seq_, dim_, head_dim_, kh);
             sliceHead(v_, b, h, seq_, dim_, head_dim_, vh);
             sliceHead(d_ctx, b, h, seq_, dim_, head_dim_, d_ctx_h);
-            const float *p_base =
-                &probs_[((static_cast<size_t>(b) * heads_ + h) * seq_) * seq_];
-            const std::vector<float> probs_head(
-                p_base, p_base + static_cast<size_t>(seq_) * seq_);
+            const std::span<const float> probs_head(
+                &probs_[((static_cast<size_t>(b) * heads_ + h) * seq_) *
+                        seq_],
+                tt);
 
             // dV = P^T * d_ctx : (T x T)^T * (T x dh).
-            const std::vector<float> probs_t =
-                transposed(probs_head, seq_, seq_);
-            const std::vector<float> dv_head = backend_->gemm(
-                probs_t, d_ctx_h, seq_, seq_, head_dim_, false, true);
+            std::span<float> probs_t = ws.alloc<float>(tt);
+            transposeInto(probs_head, seq_, seq_, probs_t);
+            std::span<float> dv_head = ws.alloc<float>(head_sz);
+            backend_->gemm(probs_t, d_ctx_h, seq_, seq_, head_dim_, false,
+                           true, dv_head);
             scatterHead(dv_head, b, h, seq_, dim_, head_dim_, dv);
 
             // dP = d_ctx * V^T : (T x dh) * (dh x T).
-            const std::vector<float> vh_t = transposed(vh, seq_, head_dim_);
-            std::vector<float> dp = backend_->gemm(d_ctx_h, vh_t, seq_,
-                                                   head_dim_, seq_, true,
-                                                   false);
+            std::span<float> vh_t = ws.alloc<float>(head_sz);
+            transposeInto(vh, seq_, head_dim_, vh_t);
+            std::span<float> dp = ws.alloc<float>(tt);
+            backend_->gemm(d_ctx_h, vh_t, seq_, head_dim_, seq_, true, false,
+                           dp);
             // Softmax backward: dS = P o (dP - rowsum(dP o P)).
-            std::vector<float> ds(static_cast<size_t>(seq_) * seq_);
+            std::span<float> ds = ws.alloc<float>(tt);
             for (int t = 0; t < seq_; ++t) {
                 double dot = 0.0;
                 for (int u = 0; u < seq_; ++u)
@@ -194,29 +228,36 @@ MultiHeadSelfAttention::backward(const Tensor &grad_out)
             }
 
             // dQ = dS * K ; dK = dS^T * Q.
-            const std::vector<float> dq_head =
-                backend_->gemm(ds, kh, seq_, seq_, head_dim_, true, false);
+            std::span<float> dq_head = ws.alloc<float>(head_sz);
+            backend_->gemm(ds, kh, seq_, seq_, head_dim_, true, false,
+                           dq_head);
             scatterHead(dq_head, b, h, seq_, dim_, head_dim_, dq);
-            const std::vector<float> ds_t = transposed(ds, seq_, seq_);
-            const std::vector<float> dk_head =
-                backend_->gemm(ds_t, qh, seq_, seq_, head_dim_, true, false);
+            std::span<float> ds_t = ws.alloc<float>(tt);
+            transposeInto(ds, seq_, seq_, ds_t);
+            std::span<float> dk_head = ws.alloc<float>(head_sz);
+            backend_->gemm(ds_t, qh, seq_, seq_, head_dim_, true, false,
+                           dk_head);
             scatterHead(dk_head, b, h, seq_, dim_, head_dim_, dk);
         }
     }
 
     // Back through the projections: dX accumulates from Q, K, V paths.
     Tensor grad_in({batch_, seq_, dim_});
-    struct Path { const std::vector<float> *d; Param *w; };
-    for (const Path &path : {Path{&dq, &wq_}, Path{&dk, &wk_}, Path{&dv, &wv_}}) {
+    struct Path { std::span<const float> d; Param *w; };
+    for (const Path &path : {Path{dq, &wq_}, Path{dk, &wk_}, Path{dv, &wv_}}) {
+        Workspace::Scope path_scope(ws);
         // dX += dProj * W.
-        const std::vector<float> dx_part = backend_->gemm(
-            *path.d, path.w->value.vec(), rows, dim_, dim_, true, false);
+        std::span<float> dx_part = ws.alloc<float>(rd);
+        backend_->gemm(path.d, path.w->value.vec(), rows, dim_, dim_, true,
+                       false, dx_part);
         for (int64_t i = 0; i < grad_in.size(); ++i)
             grad_in[i] += dx_part[static_cast<size_t>(i)];
         // dW = dProj^T * X.
-        const std::vector<float> dproj_t = transposed(*path.d, rows, dim_);
-        const std::vector<float> dw = backend_->gemm(
-            dproj_t, cached_input_.vec(), dim_, rows, dim_, true, false);
+        std::span<float> dproj_t = ws.alloc<float>(rd);
+        transposeInto(path.d, rows, dim_, dproj_t);
+        std::span<float> dw = ws.alloc<float>(dd);
+        backend_->gemm(dproj_t, cached_input_.vec(), dim_, rows, dim_, true,
+                       false, dw);
         for (int64_t i = 0; i < path.w->grad.size(); ++i)
             path.w->grad[i] += dw[static_cast<size_t>(i)];
     }

@@ -1,9 +1,11 @@
 #include "nn/gemm_backend.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "bfp/bfp_gemm.h"
 #include "common/logging.h"
+#include "common/workspace.h"
 
 namespace mirage {
 namespace nn {
@@ -20,20 +22,21 @@ FormatBackend::name() const
     return numerics::toString(format_);
 }
 
-std::vector<float>
-FormatBackend::gemm(const std::vector<float> &a, const std::vector<float> &b,
-                    int m, int k, int n, bool a_is_grad, bool b_is_grad)
+void
+FormatBackend::gemm(std::span<const float> a, std::span<const float> b,
+                    int m, int k, int n, bool a_is_grad, bool b_is_grad,
+                    std::span<float> out)
 {
     numerics::GemmCall call;
-    call.a = &a;
-    call.b = &b;
+    call.a = a;
+    call.b = b;
     call.m = m;
     call.k = k;
     call.n = n;
     call.a_is_grad = a_is_grad;
     call.b_is_grad = b_is_grad;
     call.rng = &rng_;
-    return numerics::formatGemm(format_, call, cfg_);
+    numerics::formatGemm(format_, call, cfg_, out);
 }
 
 PhotonicBackend::PhotonicBackend(int cfg_bm, int cfg_g, int moduli_k, int rows,
@@ -58,22 +61,33 @@ PhotonicBackend::name() const
     return noisy_ ? "Mirage-photonic(noisy)" : "Mirage-photonic";
 }
 
-std::vector<float>
-PhotonicBackend::gemm(const std::vector<float> &a, const std::vector<float> &b,
+void
+PhotonicBackend::gemm(std::span<const float> a, std::span<const float> b,
                       int m, int k, int n, bool /*a_is_grad*/,
-                      bool /*b_is_grad*/)
+                      bool /*b_is_grad*/, std::span<float> out)
 {
+    MIRAGE_ASSERT(out.size() == static_cast<size_t>(m) * n,
+                  "C shape mismatch");
     // BFP-encode exactly as the dataflow prescribes (Fig. 2 steps 1-2):
-    // A rows and B columns grouped along the contraction dimension.
-    const bfp::BfpMatrix a_enc = bfp::encodeRows(a, m, k, bfp_cfg_);
-    const bfp::BfpMatrix b_enc = bfp::encodeCols(b, k, n, bfp_cfg_);
+    // A rows and B columns grouped along the contraction dimension, into
+    // packed workspace-backed form (zero-padded tails stream as zeros, just
+    // like the legacy per-block staging did).
+    Workspace &ws = threadWorkspace();
+    Workspace::Scope scope(ws);
+    const bfp::BfpPackedMatrix a_enc =
+        bfp::encodeRowsPacked(a, m, k, bfp_cfg_, ws);
+    const bfp::BfpPackedMatrix b_enc =
+        bfp::encodeColsPacked(b, k, n, bfp_cfg_, ws);
     const int chunks = a_enc.chunk_count;
     const int rows = array_.rows();
+    const int g = bfp_cfg_.g;
     const int bm = bfp_cfg_.bm;
 
-    std::vector<float> c(static_cast<size_t>(m) * n, 0.0f);
-    std::vector<int64_t> tile;
-    std::vector<int64_t> x(static_cast<size_t>(bfp_cfg_.g));
+    std::fill(out.begin(), out.end(), 0.0f);
+    std::span<int64_t> tile =
+        ws.alloc<int64_t>(static_cast<size_t>(rows) * g);
+    std::span<int64_t> x = ws.alloc<int64_t>(static_cast<size_t>(g));
+    std::span<int64_t> y = ws.alloc<int64_t>(static_cast<size_t>(rows));
     Rng *rng = noisy_ ? &rng_ : nullptr;
 
     // Weight-stationary mapping (DF1): mantissa tiles from A are programmed
@@ -81,37 +95,31 @@ PhotonicBackend::gemm(const std::vector<float> &a, const std::vector<float> &b,
     for (int r0 = 0; r0 < m; r0 += rows) {
         const int tr = std::min(rows, m - r0);
         for (int ch = 0; ch < chunks; ++ch) {
-            tile.assign(static_cast<size_t>(tr) * bfp_cfg_.g, 0);
+            std::span<int64_t> t = tile.first(static_cast<size_t>(tr) * g);
             for (int r = 0; r < tr; ++r) {
-                const bfp::BfpBlock &blk =
-                    a_enc.blocks[static_cast<size_t>(r0 + r) * chunks + ch];
-                for (size_t t = 0; t < blk.mantissas.size(); ++t)
-                    tile[static_cast<size_t>(r) * bfp_cfg_.g + t] =
-                        blk.mantissas[t];
+                const int32_t *src = a_enc.chunk(r0 + r, ch);
+                for (int c = 0; c < g; ++c)
+                    t[static_cast<size_t>(r) * g + c] = src[c];
             }
-            array_.programTile(tile, tr, bfp_cfg_.g);
+            array_.programTile(t, tr, g);
 
             for (int j = 0; j < n; ++j) {
-                const bfp::BfpBlock &blk =
-                    b_enc.blocks[static_cast<size_t>(j) * chunks + ch];
-                x.assign(static_cast<size_t>(bfp_cfg_.g), 0);
-                for (size_t t = 0; t < blk.mantissas.size(); ++t)
-                    x[t] = blk.mantissas[t];
-                const std::vector<int64_t> y = array_.mvm(x, rng);
+                const int32_t *src = b_enc.chunk(j, ch);
+                for (int c = 0; c < g; ++c)
+                    x[static_cast<size_t>(c)] = src[c];
+                array_.mvm(x, rng, y);
                 for (int r = 0; r < tr; ++r) {
-                    const bfp::BfpBlock &a_blk =
-                        a_enc.blocks[static_cast<size_t>(r0 + r) * chunks + ch];
                     // Partial outputs accumulate in FP32 after reverse
                     // conversion and exponent reconstruction (steps 7-9).
-                    c[static_cast<size_t>(r0 + r) * n + j] +=
+                    out[static_cast<size_t>(r0 + r) * n + j] +=
                         static_cast<float>(std::ldexp(
                             static_cast<double>(y[static_cast<size_t>(r)]),
-                            a_blk.exponent + blk.exponent - 2 * bm));
+                            a_enc.exponent(r0 + r, ch) + b_enc.exponent(j, ch) -
+                                2 * bm));
                 }
             }
         }
     }
-    return c;
 }
 
 std::unique_ptr<GemmBackend>

@@ -10,6 +10,7 @@
  */
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -41,12 +42,31 @@ class GemmBackend
     virtual std::string name() const = 0;
 
     /**
-     * Executes the GEMM. `a_is_grad` / `b_is_grad` mark loss-gradient
-     * operands (HFP8 switches to its wide-range backward format for them).
+     * Executes the GEMM into caller-provided storage (`out` has m*n
+     * elements). `a_is_grad` / `b_is_grad` mark loss-gradient operands
+     * (HFP8 switches to its wide-range backward format for them).
+     *
+     * This is the hot-path entry point: implementations draw their scratch
+     * from Workspace arenas and perform no heap allocation once warm, so
+     * layers that keep `out` in reused storage get allocation-free steps.
      */
-    virtual std::vector<float> gemm(const std::vector<float> &a,
-                                    const std::vector<float> &b, int m, int k,
-                                    int n, bool a_is_grad, bool b_is_grad) = 0;
+    virtual void gemm(std::span<const float> a, std::span<const float> b,
+                      int m, int k, int n, bool a_is_grad, bool b_is_grad,
+                      std::span<float> out) = 0;
+
+    /**
+     * Allocating convenience wrapper over the span overload; bit-identical
+     * results.
+     */
+    std::vector<float>
+    gemm(const std::vector<float> &a, const std::vector<float> &b, int m,
+         int k, int n, bool a_is_grad, bool b_is_grad)
+    {
+        std::vector<float> c(static_cast<size_t>(m) * n);
+        gemm(std::span<const float>(a), std::span<const float>(b), m, k, n,
+             a_is_grad, b_is_grad, c);
+        return c;
+    }
 };
 
 /** Value-level emulation backend for any paper data format. */
@@ -57,9 +77,10 @@ class FormatBackend : public GemmBackend
                   numerics::FormatGemmConfig cfg = {}, uint64_t seed = 1);
 
     std::string name() const override;
-    std::vector<float> gemm(const std::vector<float> &a,
-                            const std::vector<float> &b, int m, int k, int n,
-                            bool a_is_grad, bool b_is_grad) override;
+    using GemmBackend::gemm;
+    void gemm(std::span<const float> a, std::span<const float> b, int m,
+              int k, int n, bool a_is_grad, bool b_is_grad,
+              std::span<float> out) override;
 
     numerics::DataFormat format() const { return format_; }
 
@@ -91,9 +112,10 @@ class PhotonicBackend : public GemmBackend
                     uint64_t seed = 1);
 
     std::string name() const override;
-    std::vector<float> gemm(const std::vector<float> &a,
-                            const std::vector<float> &b, int m, int k, int n,
-                            bool a_is_grad, bool b_is_grad) override;
+    using GemmBackend::gemm;
+    void gemm(std::span<const float> a, std::span<const float> b, int m,
+              int k, int n, bool a_is_grad, bool b_is_grad,
+              std::span<float> out) override;
 
     /** The simulated array (stats, link budgets). */
     const photonic::RnsMmvmu &array() const { return array_; }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/workspace.h"
 
 namespace mirage {
 namespace nn {
@@ -34,13 +35,18 @@ Dense::forward(const Tensor &x, bool /*training*/)
     const int batch = static_cast<int>(x.size() / in_);
     cached_input_ = x.reshaped({batch, in_});
 
-    // y[b, o] = sum_i x[b, i] * W[o, i]: C = X * W^T.
-    const std::vector<float> w_t = transposed(weight_.value.vec(), out_, in_);
+    // y[b, o] = sum_i x[b, i] * W[o, i]: C = X * W^T. The transposed
+    // weight view is per-call scratch from this thread's arena.
+    Workspace &ws = threadWorkspace();
+    Workspace::Scope scope(ws);
+    std::span<float> w_t =
+        ws.alloc<float>(static_cast<size_t>(out_) * in_);
+    transposeInto(weight_.value.vec(), out_, in_, w_t);
     std::vector<int> out_shape = input_shape_;
     out_shape.back() = out_;
     Tensor y(out_shape);
-    y.vec() = backend_->gemm(cached_input_.vec(), w_t, batch, in_, out_,
-                             false, false);
+    backend_->gemm(cached_input_.vec(), w_t, batch, in_, out_, false, false,
+                   y.vec());
     if (has_bias_) {
         for (int b = 0; b < batch; ++b)
             for (int o = 0; o < out_; ++o)
@@ -56,17 +62,21 @@ Dense::backward(const Tensor &grad_out)
     MIRAGE_ASSERT(grad_out.size() == static_cast<int64_t>(batch) * out_,
                   "Dense backward shape mismatch");
     const Tensor dy = grad_out.reshaped({batch, out_});
+    Workspace &ws = threadWorkspace();
+    Workspace::Scope scope(ws);
 
     // dX = dY * W  : (batch x out) * (out x in).
     Tensor grad_in(input_shape_);
-    grad_in.vec() = backend_->gemm(dy.vec(), weight_.value.vec(), batch,
-                                   out_, in_, true, false);
+    backend_->gemm(dy.vec(), weight_.value.vec(), batch, out_, in_, true,
+                   false, grad_in.vec());
 
     // dW = dY^T * X : (out x batch) * (batch x in).
-    const std::vector<float> dy_t = transposed(dy.vec(), batch, out_);
-    const std::vector<float> dw =
-        backend_->gemm(dy_t, cached_input_.vec(), out_, batch, in_, true,
-                       false);
+    std::span<float> dy_t =
+        ws.alloc<float>(static_cast<size_t>(batch) * out_);
+    transposeInto(dy.vec(), batch, out_, dy_t);
+    std::span<float> dw = ws.alloc<float>(static_cast<size_t>(out_) * in_);
+    backend_->gemm(dy_t, cached_input_.vec(), out_, batch, in_, true, false,
+                   dw);
     for (int64_t i = 0; i < weight_.grad.size(); ++i)
         weight_.grad[i] += dw[static_cast<size_t>(i)];
 

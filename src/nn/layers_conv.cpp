@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/workspace.h"
 
 namespace mirage {
 namespace nn {
@@ -42,7 +43,7 @@ im2colSample(const float *x, int ch, int h, int w, int kernel, int stride,
 
 /** col2im scatter-add: the adjoint of im2colSample. */
 void
-col2imSample(const std::vector<float> &cols, int ch, int h, int w, int kernel,
+col2imSample(std::span<const float> cols, int ch, int h, int w, int kernel,
              int stride, int pad, int out_h, int out_w, float *dx,
              int total_cols, int col0)
 {
@@ -112,6 +113,9 @@ Conv2d::forward(const Tensor &x, bool /*training*/)
     const int k_dim = in_ch_ * kernel_ * kernel_;
     const int p = out_h_ * out_w_;
     const int total_cols = cached_batch_ * p;
+    // The im2col matrix is a member so (a) backward reuses it and (b) its
+    // capacity survives across steps — assign() only reallocates when the
+    // shape grows, so steady-state training re-fills the same buffer.
     cached_cols_.assign(static_cast<size_t>(k_dim) * total_cols, 0.0f);
     const int64_t sample_sz =
         static_cast<int64_t>(in_ch_) * cached_h_ * cached_w_;
@@ -121,10 +125,14 @@ Conv2d::forward(const Tensor &x, bool /*training*/)
                      total_cols, b * p);
     }
 
-    // Y(mat) = W(out x K) * cols(K x B*P)  — one GEMM for the whole batch.
-    const std::vector<float> y_mat = backend_->gemm(
-        weight_.value.vec(), cached_cols_, out_ch_, k_dim, total_cols, false,
-        false);
+    // Y(mat) = W(out x K) * cols(K x B*P)  — one GEMM for the whole batch,
+    // staged through this thread's arena.
+    Workspace &ws = threadWorkspace();
+    Workspace::Scope scope(ws);
+    std::span<float> y_mat =
+        ws.alloc<float>(static_cast<size_t>(out_ch_) * total_cols);
+    backend_->gemm(weight_.value.vec(), cached_cols_, out_ch_, k_dim,
+                   total_cols, false, false, y_mat);
 
     Tensor y({cached_batch_, out_ch_, out_h_, out_w_});
     for (int b = 0; b < cached_batch_; ++b) {
@@ -150,8 +158,14 @@ Conv2d::backward(const Tensor &grad_out)
                       grad_out.dim(2) == out_h_ && grad_out.dim(3) == out_w_,
                   "Conv2d backward shape mismatch");
 
+    // All backward temporaries are per-call scratch from this thread's
+    // arena; only cached_cols_ (filled by forward) persists.
+    Workspace &ws = threadWorkspace();
+    Workspace::Scope scope(ws);
+
     // Repack dY to (out x B*P) to mirror the forward layout.
-    std::vector<float> dy_mat(static_cast<size_t>(out_ch_) * total_cols);
+    std::span<float> dy_mat =
+        ws.alloc<float>(static_cast<size_t>(out_ch_) * total_cols);
     for (int b = 0; b < cached_batch_; ++b)
         for (int o = 0; o < out_ch_; ++o)
             for (int i = 0; i < p; ++i)
@@ -159,11 +173,13 @@ Conv2d::backward(const Tensor &grad_out)
                     grad_out[((static_cast<int64_t>(b) * out_ch_ + o) * p) + i];
 
     // dW = dY * cols^T : (out x B*P) * (B*P x K).
-    const std::vector<float> cols_t =
-        transposed(cached_cols_, k_dim, total_cols);
-    const std::vector<float> dw = backend_->gemm(dy_mat, cols_t, out_ch_,
-                                                 total_cols, k_dim, true,
-                                                 false);
+    std::span<float> cols_t =
+        ws.alloc<float>(static_cast<size_t>(k_dim) * total_cols);
+    transposeInto(cached_cols_, k_dim, total_cols, cols_t);
+    std::span<float> dw =
+        ws.alloc<float>(static_cast<size_t>(out_ch_) * k_dim);
+    backend_->gemm(dy_mat, cols_t, out_ch_, total_cols, k_dim, true, false,
+                   dw);
     for (int64_t i = 0; i < weight_.grad.size(); ++i)
         weight_.grad[i] += dw[static_cast<size_t>(i)];
 
@@ -177,10 +193,13 @@ Conv2d::backward(const Tensor &grad_out)
     }
 
     // dcols = W^T * dY : (K x out) * (out x B*P).
-    const std::vector<float> w_t =
-        transposed(weight_.value.vec(), out_ch_, k_dim);
-    const std::vector<float> dcols =
-        backend_->gemm(w_t, dy_mat, k_dim, out_ch_, total_cols, false, true);
+    std::span<float> w_t =
+        ws.alloc<float>(static_cast<size_t>(out_ch_) * k_dim);
+    transposeInto(weight_.value.vec(), out_ch_, k_dim, w_t);
+    std::span<float> dcols =
+        ws.alloc<float>(static_cast<size_t>(k_dim) * total_cols);
+    backend_->gemm(w_t, dy_mat, k_dim, out_ch_, total_cols, false, true,
+                   dcols);
 
     Tensor grad_in({cached_batch_, in_ch_, cached_h_, cached_w_});
     const int64_t sample_sz =

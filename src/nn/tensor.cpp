@@ -92,14 +92,22 @@ matmulFp32(const std::vector<float> &a, const std::vector<float> &b, int m,
 std::vector<float>
 transposed(const std::vector<float> &a, int rows, int cols)
 {
+    std::vector<float> t(a.size());
+    transposeInto(a, rows, cols, t);
+    return t;
+}
+
+void
+transposeInto(std::span<const float> a, int rows, int cols,
+              std::span<float> out)
+{
     MIRAGE_ASSERT(a.size() == static_cast<size_t>(rows) * cols,
                   "transpose shape mismatch");
-    std::vector<float> t(a.size());
+    MIRAGE_ASSERT(out.size() == a.size(), "transpose output size mismatch");
     for (int r = 0; r < rows; ++r)
         for (int c = 0; c < cols; ++c)
-            t[static_cast<size_t>(c) * rows + r] =
+            out[static_cast<size_t>(c) * rows + r] =
                 a[static_cast<size_t>(r) * cols + c];
-    return t;
 }
 
 } // namespace nn

@@ -10,6 +10,7 @@
  */
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,13 @@ std::vector<float> matmulFp32(const std::vector<float> &a,
 
 /** Row-major transpose: input (rows x cols) -> output (cols x rows). */
 std::vector<float> transposed(const std::vector<float> &a, int rows, int cols);
+
+/**
+ * Transpose into caller storage (size rows * cols) — the allocation-free
+ * variant used by layer hot paths with Workspace scratch as destination.
+ */
+void transposeInto(std::span<const float> a, int rows, int cols,
+                   std::span<float> out);
 
 } // namespace nn
 } // namespace mirage

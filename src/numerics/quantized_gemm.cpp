@@ -1,9 +1,12 @@
 #include "numerics/quantized_gemm.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "bfp/bfp_gemm.h"
 #include "common/logging.h"
+#include "common/workspace.h"
 #include "runtime/thread_pool.h"
 
 namespace mirage {
@@ -18,6 +21,13 @@ constexpr int64_t kRowGrain = 2;
 /// Below this approximate MAC count the loops run serially (no sync cost).
 constexpr int64_t kMinParallelWork = 16384;
 
+/// Register/cache blocking of the reference kernels: kRowBlock output rows
+/// share every B load, and the j loop is tiled so the accumulator panel
+/// stays in L1. Each (i, j) element still accumulates over k in ascending
+/// order, so blocking changes nothing numerically.
+constexpr int kRowBlock = 4;
+constexpr int kColTile = 256;
+
 int64_t
 gemmGrain(const GemmCall &call)
 {
@@ -30,126 +40,208 @@ gemmGrain(const GemmCall &call)
 void
 checkCall(const GemmCall &call)
 {
-    MIRAGE_ASSERT(call.a && call.b, "GEMM operands must be set");
     MIRAGE_ASSERT(call.m > 0 && call.k > 0 && call.n > 0, "bad GEMM dims");
-    MIRAGE_ASSERT(call.a->size() == static_cast<size_t>(call.m) * call.k,
+    MIRAGE_ASSERT(call.a.size() == static_cast<size_t>(call.m) * call.k,
                   "A shape mismatch");
-    MIRAGE_ASSERT(call.b->size() == static_cast<size_t>(call.k) * call.n,
+    MIRAGE_ASSERT(call.b.size() == static_cast<size_t>(call.k) * call.n,
                   "B shape mismatch");
 }
 
-/** FP32 GEMM over explicitly transformed operand copies. */
-std::vector<float>
-gemmTransformed(const GemmCall &call, const std::vector<float> &a,
-                const std::vector<float> &b)
+/**
+ * Blocked panel kernel shared by the FP32 and integer reference paths:
+ * out[i][j] = sum_k a[i][k] * b[k][j] with Acc-typed accumulation, k
+ * ascending per element. Rows [i0, i1) of the output are produced; the
+ * accumulator panel comes from the executing thread's workspace.
+ */
+template <typename T, typename Acc, typename Out, typename Store>
+void
+gemmPanelRows(const T *a, const T *b, Out *out, int64_t i0, int64_t i1,
+              int k_depth, int n_cols, Store store)
 {
-    std::vector<float> c(static_cast<size_t>(call.m) * call.n, 0.0f);
-    runtime::parallelFor(call.m, gemmGrain(call), [&](int64_t i0, int64_t i1) {
-        for (int64_t i = i0; i < i1; ++i) {
-            for (int kk = 0; kk < call.k; ++kk) {
-                const float a_ik = a[static_cast<size_t>(i) * call.k + kk];
-                if (a_ik == 0.0f)
-                    continue;
-                const float *b_row = &b[static_cast<size_t>(kk) * call.n];
-                float *c_row = &c[static_cast<size_t>(i) * call.n];
-                for (int j = 0; j < call.n; ++j)
-                    c_row[j] += a_ik * b_row[j];
+    Workspace &ws = threadWorkspace();
+    Workspace::Scope scope(ws);
+    const int jtile = std::min(kColTile, n_cols);
+    Acc *acc = ws.alloc<Acc>(static_cast<size_t>(kRowBlock) * jtile).data();
+    for (int64_t ib = i0; ib < i1; ib += kRowBlock) {
+        const int rows = static_cast<int>(std::min<int64_t>(kRowBlock, i1 - ib));
+        for (int j0 = 0; j0 < n_cols; j0 += kColTile) {
+            const int jt = std::min(kColTile, n_cols - j0);
+            std::memset(acc, 0, static_cast<size_t>(rows) * jt * sizeof(Acc));
+            for (int k = 0; k < k_depth; ++k) {
+                const T *b_row = &b[static_cast<size_t>(k) * n_cols + j0];
+                const T a0 = a[static_cast<size_t>(ib + 0) * k_depth + k];
+                const T a1 = rows > 1
+                                 ? a[static_cast<size_t>(ib + 1) * k_depth + k]
+                                 : T{};
+                const T a2 = rows > 2
+                                 ? a[static_cast<size_t>(ib + 2) * k_depth + k]
+                                 : T{};
+                const T a3 = rows > 3
+                                 ? a[static_cast<size_t>(ib + 3) * k_depth + k]
+                                 : T{};
+                if (rows == kRowBlock && a0 != T{} && a1 != T{} &&
+                    a2 != T{} && a3 != T{}) {
+                    Acc *r0 = acc;
+                    Acc *r1 = acc + jt;
+                    Acc *r2 = acc + 2 * jt;
+                    Acc *r3 = acc + 3 * jt;
+                    for (int j = 0; j < jt; ++j) {
+                        const Acc bv = static_cast<Acc>(b_row[j]);
+                        r0[j] += static_cast<Acc>(a0) * bv;
+                        r1[j] += static_cast<Acc>(a1) * bv;
+                        r2[j] += static_cast<Acc>(a2) * bv;
+                        r3[j] += static_cast<Acc>(a3) * bv;
+                    }
+                } else {
+                    // Mixed/sparse case keeps the legacy per-row zero skip
+                    // (also dodges 0 * inf surprises in FP32).
+                    for (int r = 0; r < rows; ++r) {
+                        const T a_ik =
+                            a[static_cast<size_t>(ib + r) * k_depth + k];
+                        if (a_ik == T{})
+                            continue;
+                        Acc *row = acc + static_cast<size_t>(r) * jt;
+                        for (int j = 0; j < jt; ++j)
+                            row[j] += static_cast<Acc>(a_ik) *
+                                      static_cast<Acc>(b_row[j]);
+                    }
+                }
             }
+            for (int r = 0; r < rows; ++r)
+                for (int j = 0; j < jt; ++j)
+                    out[static_cast<size_t>(ib + r) * n_cols + j0 + j] =
+                        store(acc[static_cast<size_t>(r) * jt + j]);
         }
-    });
-    return c;
+    }
 }
 
-std::vector<float>
-transformAll(const std::vector<float> &v, float (*f)(float))
+/** FP32 GEMM over explicitly transformed operand views. */
+void
+gemmTransformed(const GemmCall &call, const float *a, const float *b,
+                std::span<float> out)
 {
-    std::vector<float> out(v.size());
+    runtime::parallelFor(call.m, gemmGrain(call), [&](int64_t i0, int64_t i1) {
+        gemmPanelRows<float, float>(a, b, out.data(), i0, i1, call.k, call.n,
+                                    [](float v) { return v; });
+    });
+}
+
+std::span<float>
+transformAll(std::span<const float> v, float (*f)(float), Workspace &ws)
+{
+    std::span<float> out = ws.alloc<float>(v.size());
     for (size_t i = 0; i < v.size(); ++i)
         out[i] = f(v[i]);
     return out;
 }
 
-std::vector<float>
-gemmIntQuant(const GemmCall &call, int bits)
+void
+gemmIntQuant(const GemmCall &call, int bits, std::span<float> out)
 {
-    const float scale_a = intQuantScale(*call.a, bits);
-    const float scale_b = intQuantScale(*call.b, bits);
+    const float scale_a = intQuantScale(call.a, bits);
+    const float scale_b = intQuantScale(call.b, bits);
 
-    std::vector<int32_t> qa(call.a->size()), qb(call.b->size());
+    Workspace &ws = threadWorkspace();
+    Workspace::Scope scope(ws);
+    std::span<int32_t> qa = ws.alloc<int32_t>(call.a.size());
+    std::span<int32_t> qb = ws.alloc<int32_t>(call.b.size());
     for (size_t i = 0; i < qa.size(); ++i)
-        qa[i] = intQuantize((*call.a)[i], scale_a, bits);
+        qa[i] = intQuantize(call.a[i], scale_a, bits);
     for (size_t i = 0; i < qb.size(); ++i)
-        qb[i] = intQuantize((*call.b)[i], scale_b, bits);
+        qb[i] = intQuantize(call.b[i], scale_b, bits);
 
-    std::vector<float> c(static_cast<size_t>(call.m) * call.n);
+    // Keep the legacy rounding association ((v * scale_a) * scale_b) so
+    // dequantized outputs stay bit-identical to the pre-blocking kernel.
     runtime::parallelFor(call.m, gemmGrain(call), [&](int64_t i0, int64_t i1) {
-        for (int64_t i = i0; i < i1; ++i) {
-            for (int j = 0; j < call.n; ++j) {
-                int64_t acc = 0;
-                for (int kk = 0; kk < call.k; ++kk) {
-                    acc += static_cast<int64_t>(
-                               qa[static_cast<size_t>(i) * call.k + kk]) *
-                           qb[static_cast<size_t>(kk) * call.n + j];
-                }
-                c[static_cast<size_t>(i) * call.n + j] =
-                    static_cast<float>(acc) * scale_a * scale_b;
-            }
-        }
+        gemmPanelRows<int32_t, int64_t>(
+            qa.data(), qb.data(), out.data(), i0, i1, call.k, call.n,
+            [scale_a, scale_b](int64_t v) {
+                return static_cast<float>(v) * scale_a * scale_b;
+            });
     });
-    return c;
 }
 
 } // namespace
 
+void
+gemmFp32(const GemmCall &call, std::span<float> out)
+{
+    checkCall(call);
+    MIRAGE_ASSERT(out.size() == static_cast<size_t>(call.m) * call.n,
+                  "C shape mismatch");
+    gemmTransformed(call, call.a.data(), call.b.data(), out);
+}
+
 std::vector<float>
 gemmFp32(const GemmCall &call)
 {
+    std::vector<float> c(static_cast<size_t>(call.m) * call.n);
+    gemmFp32(call, c);
+    return c;
+}
+
+void
+formatGemm(DataFormat fmt, const GemmCall &call, const FormatGemmConfig &cfg,
+           std::span<float> out)
+{
     checkCall(call);
-    return gemmTransformed(call, *call.a, *call.b);
+    MIRAGE_ASSERT(out.size() == static_cast<size_t>(call.m) * call.n,
+                  "C shape mismatch");
+    Workspace &ws = threadWorkspace();
+    switch (fmt) {
+      case DataFormat::FP32:
+        gemmTransformed(call, call.a.data(), call.b.data(), out);
+        return;
+
+      case DataFormat::BFLOAT16: {
+        Workspace::Scope scope(ws);
+        const std::span<float> a_q = transformAll(call.a, &toBfloat16, ws);
+        const std::span<float> b_q = transformAll(call.b, &toBfloat16, ws);
+        gemmTransformed(call, a_q.data(), b_q.data(), out);
+        return;
+      }
+
+      case DataFormat::HFP8: {
+        Workspace::Scope scope(ws);
+        const std::span<float> a_q = transformAll(
+            call.a, call.a_is_grad ? &toHfp8Backward : &toHfp8Forward, ws);
+        const std::span<float> b_q = transformAll(
+            call.b, call.b_is_grad ? &toHfp8Backward : &toHfp8Forward, ws);
+        gemmTransformed(call, a_q.data(), b_q.data(), out);
+        return;
+      }
+
+      case DataFormat::INT8:
+        gemmIntQuant(call, cfg.int8_bits, out);
+        return;
+
+      case DataFormat::INT12:
+        gemmIntQuant(call, cfg.int12_bits, out);
+        return;
+
+      case DataFormat::FMAC:
+        bfp::bfpGemm(call.a, call.b, out, call.m, call.k, call.n,
+                     cfg.fmac_bfp, nullptr, call.rng);
+        return;
+
+      case DataFormat::MirageBfpRns:
+        // The cached codec keeps per-call setup allocation-free (the
+        // ModuliSet itself is never copied on this path).
+        bfp::bfpGemm(call.a, call.b, out, call.m, call.k, call.n,
+                     cfg.mirage_bfp,
+                     cfg.moduli ? &rns::cachedCodec(*cfg.moduli) : nullptr,
+                     call.rng);
+        return;
+    }
+    MIRAGE_PANIC("unknown data format");
 }
 
 std::vector<float>
 formatGemm(DataFormat fmt, const GemmCall &call, const FormatGemmConfig &cfg)
 {
-    checkCall(call);
-    switch (fmt) {
-      case DataFormat::FP32:
-        return gemmTransformed(call, *call.a, *call.b);
-
-      case DataFormat::BFLOAT16:
-        return gemmTransformed(call, transformAll(*call.a, &toBfloat16),
-                               transformAll(*call.b, &toBfloat16));
-
-      case DataFormat::HFP8: {
-        auto a_q = transformAll(*call.a, call.a_is_grad ? &toHfp8Backward
-                                                        : &toHfp8Forward);
-        auto b_q = transformAll(*call.b, call.b_is_grad ? &toHfp8Backward
-                                                        : &toHfp8Forward);
-        return gemmTransformed(call, a_q, b_q);
-      }
-
-      case DataFormat::INT8:
-        return gemmIntQuant(call, cfg.int8_bits);
-
-      case DataFormat::INT12:
-        return gemmIntQuant(call, cfg.int12_bits);
-
-      case DataFormat::FMAC: {
-        bfp::BfpGemmOptions opts;
-        opts.config = cfg.fmac_bfp;
-        opts.rng = call.rng;
-        return bfp::bfpGemm(*call.a, *call.b, call.m, call.k, call.n, opts);
-      }
-
-      case DataFormat::MirageBfpRns: {
-        bfp::BfpGemmOptions opts;
-        opts.config = cfg.mirage_bfp;
-        opts.moduli = cfg.moduli;
-        opts.rng = call.rng;
-        return bfp::bfpGemm(*call.a, *call.b, call.m, call.k, call.n, opts);
-      }
-    }
-    MIRAGE_PANIC("unknown data format");
+    std::vector<float> c(static_cast<size_t>(call.m) * call.n);
+    formatGemm(fmt, call, cfg, c);
+    return c;
 }
 
 } // namespace numerics

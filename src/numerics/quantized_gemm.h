@@ -10,6 +10,7 @@
  */
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "bfp/bfp.h"
@@ -37,11 +38,15 @@ struct FormatGemmConfig
     int int12_bits = 12;
 };
 
-/** One GEMM invocation: C[MxN] = A[MxK] * B[KxN], row-major FP32 views. */
+/**
+ * One GEMM invocation: C[MxN] = A[MxK] * B[KxN], row-major FP32 views.
+ * The operand spans alias caller storage (vectors convert implicitly) and
+ * must stay valid for the duration of the call.
+ */
 struct GemmCall
 {
-    const std::vector<float> *a = nullptr;
-    const std::vector<float> *b = nullptr;
+    std::span<const float> a;
+    std::span<const float> b;
     int m = 0, k = 0, n = 0;
     /// Marks operands that are loss gradients (HFP8 uses E5M2 for those).
     bool a_is_grad = false;
@@ -50,10 +55,19 @@ struct GemmCall
     Rng *rng = nullptr;
 };
 
-/** Plain FP32 GEMM (FP32 accumulation), the accuracy reference. */
+/**
+ * Plain FP32 GEMM (FP32 accumulation), the accuracy reference. The span
+ * overload writes into caller storage (size m*n) and draws every
+ * temporary from the executing thread's Workspace — allocation-free once
+ * warm. The kernels are register/cache blocked; per-element accumulation
+ * order is unchanged, so results are bit-identical to the naive loops.
+ */
+void gemmFp32(const GemmCall &call, std::span<float> out);
 std::vector<float> gemmFp32(const GemmCall &call);
 
 /** Dispatches a GEMM through the requested data format emulation. */
+void formatGemm(DataFormat fmt, const GemmCall &call,
+                const FormatGemmConfig &cfg, std::span<float> out);
 std::vector<float> formatGemm(DataFormat fmt, const GemmCall &call,
                               const FormatGemmConfig &cfg);
 

@@ -1,11 +1,13 @@
 #include "photonic/mmvmu.h"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 
 #include "analog/noise.h"
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "common/workspace.h"
 #include "runtime/thread_pool.h"
 
 namespace mirage {
@@ -60,7 +62,10 @@ Mmvmu::programTile(std::span<const rns::Residue> tile, int tile_rows,
                              static_cast<int64_t>(rows()) * g_,
                              kMinProgramWork),
         [&](int64_t r0, int64_t r1) {
-        std::vector<rns::Residue> row_buf(static_cast<size_t>(g_), 0);
+        Workspace &tws = threadWorkspace();
+        Workspace::Scope tscope(tws);
+        std::span<rns::Residue> row_buf =
+            tws.zeroed<rns::Residue>(static_cast<size_t>(g_));
         for (int64_t r = r0; r < r1; ++r) {
             if (r < tile_rows) {
                 for (int c = 0; c < g_; ++c)
@@ -77,10 +82,11 @@ Mmvmu::programTile(std::span<const rns::Residue> tile, int tile_rows,
     ++stats_.tiles_programmed;
 }
 
-std::vector<rns::Residue>
-Mmvmu::mvm(std::span<const rns::Residue> x, Rng *rng)
+void
+Mmvmu::mvm(std::span<const rns::Residue> x, Rng *rng,
+           std::span<rns::Residue> y)
 {
-    std::vector<rns::Residue> y(mdpus_.size());
+    MIRAGE_ASSERT(y.size() == mdpus_.size(), "output size mismatch");
     const PhotonicNoiseConfig *noise =
         noise_.anyEnabled() ? &noise_ : nullptr;
     // Rows are independent optical channels. With noise on, each row draws
@@ -106,6 +112,13 @@ Mmvmu::mvm(std::span<const rns::Residue> x, Rng *rng)
             }
         });
     ++stats_.mvms_executed;
+}
+
+std::vector<rns::Residue>
+Mmvmu::mvm(std::span<const rns::Residue> x, Rng *rng)
+{
+    std::vector<rns::Residue> y(mdpus_.size());
+    mvm(x, rng, y);
     return y;
 }
 
@@ -142,7 +155,10 @@ RnsMmvmu::programTile(std::span<const int64_t> tile, int tile_rows,
                              unit_count * static_cast<int64_t>(tile.size()),
                              kMinProgramWork),
         [&](int64_t u0, int64_t u1) {
-            std::vector<rns::Residue> residues(tile.size());
+            Workspace &tws = threadWorkspace();
+            Workspace::Scope tscope(tws);
+            std::span<rns::Residue> residues =
+                tws.alloc<rns::Residue>(tile.size());
             for (int64_t u = u0; u < u1; ++u) {
                 const uint64_t m = set().modulus(static_cast<size_t>(u));
                 for (size_t i = 0; i < tile.size(); ++i)
@@ -153,12 +169,20 @@ RnsMmvmu::programTile(std::span<const int64_t> tile, int tile_rows,
         });
 }
 
-std::vector<int64_t>
-RnsMmvmu::mvm(std::span<const int64_t> x, Rng *rng)
+void
+RnsMmvmu::mvm(std::span<const int64_t> x, Rng *rng, std::span<int64_t> y)
 {
     MIRAGE_ASSERT(static_cast<int>(x.size()) <= g_,
                   "input vector longer than array width");
-    std::vector<std::vector<rns::Residue>> outputs(units_.size());
+    MIRAGE_ASSERT(y.size() == static_cast<size_t>(rows_),
+                  "output size mismatch");
+    // Per-unit output staging lives in the calling thread's arena; units
+    // write disjoint sub-spans, so the parallel loop below is race-free.
+    Workspace &ws = threadWorkspace();
+    Workspace::Scope scope(ws);
+    const size_t rows = static_cast<size_t>(rows_);
+    std::span<rns::Residue> outputs =
+        ws.alloc<rns::Residue>(units_.size() * rows);
     // The n modular MVMs of one RNS MVM run in parallel across units
     // (paper Sec. IV-A2); with noise on, every unit gets its own
     // deterministic substream so results are thread-count invariant. With
@@ -172,7 +196,10 @@ RnsMmvmu::mvm(std::span<const int64_t> x, Rng *rng)
                              unit_count * rows_ * static_cast<int64_t>(g_),
                              kMinMvmWork),
         [&](int64_t u0, int64_t u1) {
-            std::vector<rns::Residue> x_res(x.size());
+            Workspace &tws = threadWorkspace();
+            Workspace::Scope tscope(tws);
+            std::span<rns::Residue> x_res =
+                tws.alloc<rns::Residue>(x.size());
             for (int64_t u = u0; u < u1; ++u) {
                 const uint64_t m = set().modulus(static_cast<size_t>(u));
                 for (size_t i = 0; i < x.size(); ++i)
@@ -181,26 +208,35 @@ RnsMmvmu::mvm(std::span<const int64_t> x, Rng *rng)
                 if (noisy)
                     unit_rng.emplace(
                         Rng::stream(base, static_cast<uint64_t>(u)));
-                outputs[static_cast<size_t>(u)] =
-                    units_[static_cast<size_t>(u)].mvm(
-                        x_res, unit_rng ? &*unit_rng : nullptr);
+                units_[static_cast<size_t>(u)].mvm(
+                    x_res, unit_rng ? &*unit_rng : nullptr,
+                    outputs.subspan(static_cast<size_t>(u) * rows, rows));
             }
         });
 
-    std::vector<int64_t> y(static_cast<size_t>(rows_));
     runtime::parallelFor(
         rows_,
         runtime::serialBelow(rows_, kRowGrain,
                              rows_ * static_cast<int64_t>(units_.size()),
                              kMinDecodeWork),
         [&](int64_t r0, int64_t r1) {
-        rns::ResidueVector digits(units_.size());
+        Workspace &tws = threadWorkspace();
+        Workspace::Scope tscope(tws);
+        std::span<rns::Residue> digits =
+            tws.alloc<rns::Residue>(units_.size());
         for (int64_t r = r0; r < r1; ++r) {
             for (size_t u = 0; u < units_.size(); ++u)
-                digits[u] = outputs[u][static_cast<size_t>(r)];
+                digits[u] = outputs[u * rows + static_cast<size_t>(r)];
             y[static_cast<size_t>(r)] = codec_.decode(digits);
         }
     });
+}
+
+std::vector<int64_t>
+RnsMmvmu::mvm(std::span<const int64_t> x, Rng *rng)
+{
+    std::vector<int64_t> y(static_cast<size_t>(rows_));
+    mvm(x, rng, y);
     return y;
 }
 
@@ -226,27 +262,33 @@ photonicGemm(RnsMmvmu &array, const std::vector<int64_t> &a,
     const int tile_cols = array.g();
     std::vector<int64_t> c(static_cast<size_t>(m_rows) * n_cols, 0);
 
-    std::vector<int64_t> tile;
-    std::vector<int64_t> x(static_cast<size_t>(tile_cols));
+    // Tile/input/output staging lives in this thread's arena for the whole
+    // GEMM (programTile and mvm open their own nested scopes below it).
+    Workspace &ws = threadWorkspace();
+    Workspace::Scope scope(ws);
+    std::span<int64_t> tile =
+        ws.alloc<int64_t>(static_cast<size_t>(tile_rows) * tile_cols);
+    std::span<int64_t> x = ws.alloc<int64_t>(static_cast<size_t>(tile_cols));
+    std::span<int64_t> y = ws.alloc<int64_t>(static_cast<size_t>(tile_rows));
     for (int r0 = 0; r0 < m_rows; r0 += tile_rows) {
         const int tr = std::min(tile_rows, m_rows - r0);
         for (int k0 = 0; k0 < k_depth; k0 += tile_cols) {
             const int tc = std::min(tile_cols, k_depth - k0);
             // Load the A sub-tile as the stationary weights.
-            tile.assign(static_cast<size_t>(tr) * tc, 0);
+            std::span<int64_t> t = tile.first(static_cast<size_t>(tr) * tc);
             for (int r = 0; r < tr; ++r)
                 for (int cidx = 0; cidx < tc; ++cidx)
-                    tile[static_cast<size_t>(r) * tc + cidx] =
+                    t[static_cast<size_t>(r) * tc + cidx] =
                         a[static_cast<size_t>(r0 + r) * k_depth + k0 + cidx];
-            array.programTile(tile, tr, tc);
+            array.programTile(t, tr, tc);
 
             // Stream the matching slice of every B column.
             for (int j = 0; j < n_cols; ++j) {
-                x.assign(static_cast<size_t>(tile_cols), 0);
                 for (int cidx = 0; cidx < tc; ++cidx)
                     x[static_cast<size_t>(cidx)] =
                         b[static_cast<size_t>(k0 + cidx) * n_cols + j];
-                const std::vector<int64_t> y = array.mvm(x, rng);
+                std::fill(x.begin() + tc, x.end(), 0);
+                array.mvm(x, rng, y);
                 // Accumulate partial outputs after reverse conversion
                 // (dataflow step 9).
                 for (int r = 0; r < tr; ++r)

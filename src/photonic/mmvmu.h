@@ -56,7 +56,15 @@ class Mmvmu
     void programTile(std::span<const rns::Residue> tile, int tile_rows,
                      int tile_cols);
 
-    /** Executes one modular MVM on the programmed tile. */
+    /**
+     * Executes one modular MVM on the programmed tile into caller storage
+     * (`y` has rows() elements). Allocation-free: staging comes from the
+     * executing threads' Workspace arenas.
+     */
+    void mvm(std::span<const rns::Residue> x, Rng *rng,
+             std::span<rns::Residue> y);
+
+    /** Allocating convenience wrapper over the span overload. */
     std::vector<rns::Residue> mvm(std::span<const rns::Residue> x, Rng *rng);
 
     /** Exact modular MVM on the programmed tile (golden reference). */
@@ -96,7 +104,12 @@ class RnsMmvmu
     /**
      * One RNS MVM: forward conversion, n parallel modular MVMs, reverse
      * conversion of each output element. Values must respect Eq. (13).
+     * The span overload writes into caller storage (rows() elements) and
+     * stages everything in Workspace arenas — allocation-free once warm.
      */
+    void mvm(std::span<const int64_t> x, Rng *rng, std::span<int64_t> y);
+
+    /** Allocating convenience wrapper over the span overload. */
     std::vector<int64_t> mvm(std::span<const int64_t> x, Rng *rng = nullptr);
 
     const rns::ModuliSet &set() const { return codec_.set(); }

@@ -1,5 +1,9 @@
 #include "rns/conversion.h"
 
+#include <map>
+#include <memory>
+#include <mutex>
+
 #include "common/logging.h"
 
 namespace mirage {
@@ -76,7 +80,7 @@ RnsCodec::encodeUnsigned(uint64_t x) const
 }
 
 uint128
-RnsCodec::decodeUnsigned(const ResidueVector &r) const
+RnsCodec::decodeUnsigned(std::span<const Residue> r) const
 {
     MIRAGE_ASSERT(r.size() == set_.count(), "residue vector size mismatch");
     const uint128 big_m = set_.dynamicRange();
@@ -102,7 +106,7 @@ RnsCodec::toSigned(uint128 x) const
 }
 
 int64_t
-RnsCodec::decode(const ResidueVector &r) const
+RnsCodec::decode(std::span<const Residue> r) const
 {
     return toSigned(decodeUnsigned(r));
 }
@@ -133,6 +137,23 @@ RnsCodec::decodeMixedRadix(const ResidueVector &r) const
         radix *= set_.modulus(j);
     }
     return toSigned(x);
+}
+
+const RnsCodec &
+cachedCodec(const ModuliSet &set)
+{
+    static std::mutex mu;
+    // Leaked on purpose (see ThreadPool::global for the rationale): the
+    // codecs are process-lifetime constants.
+    static auto *cache =
+        new std::map<std::vector<uint64_t>, std::unique_ptr<RnsCodec>>();
+    std::lock_guard<std::mutex> lk(mu);
+    auto it = cache->find(set.moduli());
+    if (it == cache->end())
+        it = cache
+                 ->emplace(set.moduli(), std::make_unique<RnsCodec>(set))
+                 .first;
+    return *it->second;
 }
 
 } // namespace rns

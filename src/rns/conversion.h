@@ -11,6 +11,7 @@
  */
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "rns/moduli_set.h"
@@ -44,12 +45,14 @@ class RnsCodec
 
     /**
      * Reverse conversion via the CRT (Eq. (5)), mapping the result back to
-     * the symmetric signed range [-psi, psi].
+     * the symmetric signed range [-psi, psi]. Accepts any contiguous digit
+     * view (a ResidueVector converts implicitly), so hot loops can decode
+     * straight out of workspace scratch without building a vector.
      */
-    int64_t decode(const ResidueVector &r) const;
+    int64_t decode(std::span<const Residue> r) const;
 
     /** Reverse conversion via the CRT without the signed mapping. */
-    uint128 decodeUnsigned(const ResidueVector &r) const;
+    uint128 decodeUnsigned(std::span<const Residue> r) const;
 
     /**
      * Reverse conversion via mixed-radix digits — an independent algorithm
@@ -67,6 +70,14 @@ class RnsCodec
     /// Inverses inv(m_i) mod m_j for i < j, used by mixed-radix conversion.
     std::vector<std::vector<uint64_t>> mrc_inverses_;
 };
+
+/**
+ * Process-wide codec cache keyed by the moduli vector. Hot paths that are
+ * handed a ModuliSet per call (e.g. formatGemm) use this instead of
+ * rebuilding CRT constants — a cache hit performs no heap allocation.
+ * Thread-safe; cached codecs live for the process lifetime.
+ */
+const RnsCodec &cachedCodec(const ModuliSet &set);
 
 } // namespace rns
 } // namespace mirage

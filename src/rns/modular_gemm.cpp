@@ -1,6 +1,10 @@
 #include "rns/modular_gemm.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/logging.h"
+#include "common/workspace.h"
 #include "runtime/thread_pool.h"
 
 namespace mirage {
@@ -16,6 +20,74 @@ constexpr int64_t kDecodeGrain = 256;
 /// Below this approximate op count the loops run serially (no sync cost).
 constexpr int64_t kMinParallelWork = 16384;
 
+/// Register-blocked kernel shape: kRowBlock output rows share every load of
+/// a B-row segment, and the j loop is tiled so the accumulator panel stays
+/// in L1. Blocking only regroups exact integer arithmetic, so results are
+/// bit-identical to the naive loop.
+constexpr int kRowBlock = 4;
+constexpr int kColTile = 256;
+
+/// How many raw products a < 2^21 modulus can accumulate in 64 bits before
+/// a reduction is needed: (2^21 - 1)^2 * 2^20 < 2^63.
+constexpr uint64_t kSmallModulusReduceEvery = uint64_t{1} << 20;
+
+/**
+ * One i-block x j-tile panel: acc[r][j] += a[ib+r][k] * b[k][j0+j] over all
+ * k, with periodic reductions. `acc` is row-major ib_rows x jt.
+ */
+void
+gemmPanel(const Residue *a, const Residue *b, Residue *c, int ib, int ib_rows,
+          int j0, int jt, int k_depth, int n_cols, uint64_t modulus,
+          uint64_t reduce_every, uint64_t *acc)
+{
+    std::memset(acc, 0,
+                static_cast<size_t>(ib_rows) * jt * sizeof(uint64_t));
+    uint64_t since_reduce = 0;
+    for (int k = 0; k < k_depth; ++k) {
+        const Residue *b_row = &b[static_cast<size_t>(k) * n_cols + j0];
+        if (ib_rows == kRowBlock) {
+            // 4-row unrolled hot case: each B element loaded once feeds
+            // four accumulator rows.
+            const uint64_t a0 = a[static_cast<size_t>(ib + 0) * k_depth + k];
+            const uint64_t a1 = a[static_cast<size_t>(ib + 1) * k_depth + k];
+            const uint64_t a2 = a[static_cast<size_t>(ib + 2) * k_depth + k];
+            const uint64_t a3 = a[static_cast<size_t>(ib + 3) * k_depth + k];
+            if ((a0 | a1 | a2 | a3) != 0) {
+                uint64_t *r0 = acc;
+                uint64_t *r1 = acc + jt;
+                uint64_t *r2 = acc + 2 * jt;
+                uint64_t *r3 = acc + 3 * jt;
+                for (int j = 0; j < jt; ++j) {
+                    const uint64_t bv = b_row[j];
+                    r0[j] += a0 * bv;
+                    r1[j] += a1 * bv;
+                    r2[j] += a2 * bv;
+                    r3[j] += a3 * bv;
+                }
+            }
+        } else {
+            for (int r = 0; r < ib_rows; ++r) {
+                const uint64_t a_ik =
+                    a[static_cast<size_t>(ib + r) * k_depth + k];
+                if (a_ik == 0)
+                    continue;
+                uint64_t *row = acc + static_cast<size_t>(r) * jt;
+                for (int j = 0; j < jt; ++j)
+                    row[j] += a_ik * b_row[j];
+            }
+        }
+        if (++since_reduce >= reduce_every) {
+            for (int e = 0; e < ib_rows * jt; ++e)
+                acc[e] %= modulus;
+            since_reduce = 0;
+        }
+    }
+    for (int r = 0; r < ib_rows; ++r)
+        for (int j = 0; j < jt; ++j)
+            c[static_cast<size_t>(ib + r) * n_cols + j0 + j] =
+                acc[static_cast<size_t>(r) * jt + j] % modulus;
+}
+
 } // namespace
 
 Residue
@@ -25,6 +97,17 @@ modularDot(const Residue *a, const Residue *b, int len, uint64_t modulus)
     // 64 bits, so we accumulate raw and reduce once for the common case.
     const bool small = modulus < (uint64_t{1} << 21) && len < (1 << 22);
     if (small) {
+        // Prove the bound the fast path relies on instead of trusting the
+        // magic constants: len products of (modulus-1)^2 must fit in 64
+        // bits. (m-1)^2 <= (2^21-1)^2 < 2^42 and len < 2^22, so the product
+        // stays below 2^64 — but if either constant above is ever loosened,
+        // this catches it in debug builds.
+        MIRAGE_DASSERT(
+            modulus <= 1 ||
+                static_cast<uint64_t>(len) <=
+                    UINT64_MAX / ((modulus - 1) * (modulus - 1)),
+            "modularDot fast path would overflow: len=", len,
+            " modulus=", modulus);
         uint64_t acc = 0;
         for (int i = 0; i < len; ++i)
             acc += a[i] * b[i];
@@ -37,49 +120,82 @@ modularDot(const Residue *a, const Residue *b, int len, uint64_t modulus)
 }
 
 void
-modularGemm(const std::vector<Residue> &a, const std::vector<Residue> &b,
-            std::vector<Residue> &c, int m_rows, int k_depth, int n_cols,
+modularGemm(std::span<const Residue> a, std::span<const Residue> b,
+            std::span<Residue> c, int m_rows, int k_depth, int n_cols,
             uint64_t modulus)
 {
     MIRAGE_ASSERT(a.size() == static_cast<size_t>(m_rows) * k_depth,
                   "A shape mismatch");
     MIRAGE_ASSERT(b.size() == static_cast<size_t>(k_depth) * n_cols,
                   "B shape mismatch");
-    c.assign(static_cast<size_t>(m_rows) * n_cols, 0);
+    MIRAGE_ASSERT(c.size() == static_cast<size_t>(m_rows) * n_cols,
+                  "C shape mismatch");
 
-    // Row-major ikj loop: B rows are streamed, keeping accumulation exact in
-    // 64 bits with a periodic reduction. Output rows are independent, so
-    // they shard across the thread pool.
-    const uint64_t reduce_every =
-        (modulus < (uint64_t{1} << 21)) ? (uint64_t{1} << 20) : 1;
+    if (modulus >= (uint64_t{1} << 32)) {
+        // Huge moduli: acc + (m-1)^2 no longer fits 64 bits, so take the
+        // fully reduced (and slow) path. Not a Mirage configuration — the
+        // paper's special sets stay far below this.
+        runtime::parallelFor(
+            m_rows,
+            runtime::serialBelow(m_rows, kRowGrain,
+                                 static_cast<int64_t>(m_rows) * k_depth *
+                                     n_cols,
+                                 kMinParallelWork),
+            [&](int64_t i0, int64_t i1) {
+                for (int64_t i = i0; i < i1; ++i)
+                    for (int j = 0; j < n_cols; ++j) {
+                        Residue acc = 0;
+                        for (int k = 0; k < k_depth; ++k)
+                            acc = addMod(
+                                acc,
+                                mulMod(a[static_cast<size_t>(i) * k_depth + k],
+                                       b[static_cast<size_t>(k) * n_cols + j],
+                                       modulus),
+                                modulus);
+                        c[static_cast<size_t>(i) * n_cols + j] = acc;
+                    }
+            });
+        return;
+    }
+
+    // Raw 64-bit accumulation with periodic reduction: small moduli reduce
+    // every 2^20 additions, larger (< 2^32) ones after every addition.
+    const uint64_t reduce_every = (modulus < (uint64_t{1} << 21))
+                                      ? kSmallModulusReduceEvery
+                                      : 1;
     runtime::parallelFor(
         m_rows,
         runtime::serialBelow(m_rows, kRowGrain,
                              static_cast<int64_t>(m_rows) * k_depth * n_cols,
                              kMinParallelWork),
         [&](int64_t i0, int64_t i1) {
-        std::vector<uint64_t> acc(static_cast<size_t>(n_cols), 0);
-        for (int64_t i = i0; i < i1; ++i) {
-            std::fill(acc.begin(), acc.end(), 0);
-            uint64_t since_reduce = 0;
-            for (int k = 0; k < k_depth; ++k) {
-                const uint64_t a_ik = a[static_cast<size_t>(i) * k_depth + k];
-                const Residue *b_row = &b[static_cast<size_t>(k) * n_cols];
-                if (a_ik == 0)
-                    continue;
-                for (int j = 0; j < n_cols; ++j)
-                    acc[static_cast<size_t>(j)] += a_ik * b_row[j];
-                if (++since_reduce >= reduce_every) {
-                    for (int j = 0; j < n_cols; ++j)
-                        acc[static_cast<size_t>(j)] %= modulus;
-                    since_reduce = 0;
+            Workspace &ws = threadWorkspace();
+            Workspace::Scope scope(ws);
+            uint64_t *acc =
+                ws.alloc<uint64_t>(static_cast<size_t>(kRowBlock) *
+                                   std::min(kColTile, n_cols))
+                    .data();
+            for (int64_t ib = i0; ib < i1; ib += kRowBlock) {
+                const int ib_rows =
+                    static_cast<int>(std::min<int64_t>(kRowBlock, i1 - ib));
+                for (int j0 = 0; j0 < n_cols; j0 += kColTile) {
+                    const int jt = std::min(kColTile, n_cols - j0);
+                    gemmPanel(a.data(), b.data(), c.data(),
+                              static_cast<int>(ib), ib_rows, j0, jt, k_depth,
+                              n_cols, modulus, reduce_every, acc);
                 }
             }
-            for (int j = 0; j < n_cols; ++j)
-                c[static_cast<size_t>(i) * n_cols + j] =
-                    acc[static_cast<size_t>(j)] % modulus;
-        }
-    });
+        });
+}
+
+void
+modularGemm(const std::vector<Residue> &a, const std::vector<Residue> &b,
+            std::vector<Residue> &c, int m_rows, int k_depth, int n_cols,
+            uint64_t modulus)
+{
+    c.resize(static_cast<size_t>(m_rows) * n_cols);
+    modularGemm(std::span<const Residue>(a), std::span<const Residue>(b),
+                std::span<Residue>(c), m_rows, k_depth, n_cols, modulus);
 }
 
 RnsGemmEngine::RnsGemmEngine(ModuliSet set, bool check_range)
@@ -101,33 +217,54 @@ RnsGemmEngine::forwardMatrix(const std::vector<int64_t> &values) const
     return residues;
 }
 
-std::vector<int64_t>
-RnsGemmEngine::gemm(const std::vector<int64_t> &a, const std::vector<int64_t> &b,
-                    int m_rows, int k_depth, int n_cols) const
+void
+RnsGemmEngine::gemm(std::span<const int64_t> a, std::span<const int64_t> b,
+                    std::span<int64_t> c, int m_rows, int k_depth,
+                    int n_cols) const
 {
     const ModuliSet &set = codec_.set();
-    const auto a_res = forwardMatrix(a);
-    const auto b_res = forwardMatrix(b);
+    const size_t count = set.count();
+    const size_t total = static_cast<size_t>(m_rows) * n_cols;
+    MIRAGE_ASSERT(c.size() == total, "C shape mismatch");
 
-    std::vector<std::vector<Residue>> c_res(set.count());
-    for (size_t i = 0; i < set.count(); ++i)
-        modularGemm(a_res[i], b_res[i], c_res[i], m_rows, k_depth, n_cols,
+    // All staging (forward residue matrices, per-modulus outputs) lives in
+    // this thread's arena for the duration of the call.
+    Workspace &ws = threadWorkspace();
+    Workspace::Scope scope(ws);
+    std::span<Residue> a_res = ws.alloc<Residue>(count * a.size());
+    std::span<Residue> b_res = ws.alloc<Residue>(count * b.size());
+    std::span<Residue> c_res = ws.alloc<Residue>(count * total);
+    for (size_t i = 0; i < count; ++i) {
+        const uint64_t m = set.modulus(i);
+        Residue *ar = &a_res[i * a.size()];
+        for (size_t v = 0; v < a.size(); ++v)
+            ar[v] = reduceSigned(a[v], m);
+        Residue *br = &b_res[i * b.size()];
+        for (size_t v = 0; v < b.size(); ++v)
+            br[v] = reduceSigned(b[v], m);
+    }
+
+    for (size_t i = 0; i < count; ++i)
+        modularGemm(a_res.subspan(i * a.size(), a.size()),
+                    b_res.subspan(i * b.size(), b.size()),
+                    c_res.subspan(i * total, total), m_rows, k_depth, n_cols,
                     set.modulus(i));
 
-    const size_t total = static_cast<size_t>(m_rows) * n_cols;
-    std::vector<int64_t> c(total);
     // CRT reverse conversion is per-element pure (decode is const), so the
-    // output vector shards across the pool.
+    // output vector shards across the pool; digit staging comes from each
+    // executing thread's own arena.
     runtime::parallelFor(
         static_cast<int64_t>(total),
         runtime::serialBelow(static_cast<int64_t>(total), kDecodeGrain,
-                             static_cast<int64_t>(total * set.count()),
+                             static_cast<int64_t>(total * count),
                              kMinParallelWork),
         [&](int64_t e0, int64_t e1) {
-            ResidueVector digits(set.count());
+            Workspace &tws = threadWorkspace();
+            Workspace::Scope tscope(tws);
+            std::span<Residue> digits = tws.alloc<Residue>(count);
             for (int64_t e = e0; e < e1; ++e) {
-                for (size_t i = 0; i < set.count(); ++i)
-                    digits[i] = c_res[i][static_cast<size_t>(e)];
+                for (size_t i = 0; i < count; ++i)
+                    digits[i] = c_res[i * total + static_cast<size_t>(e)];
                 c[static_cast<size_t>(e)] = codec_.decode(digits);
             }
         });
@@ -153,6 +290,16 @@ RnsGemmEngine::gemm(const std::vector<int64_t> &a, const std::vector<int64_t> &b
             }
         }
     }
+}
+
+std::vector<int64_t>
+RnsGemmEngine::gemm(const std::vector<int64_t> &a,
+                    const std::vector<int64_t> &b, int m_rows, int k_depth,
+                    int n_cols) const
+{
+    std::vector<int64_t> c(static_cast<size_t>(m_rows) * n_cols);
+    gemm(std::span<const int64_t>(a), std::span<const int64_t>(b),
+         std::span<int64_t>(c), m_rows, k_depth, n_cols);
     return c;
 }
 

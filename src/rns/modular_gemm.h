@@ -10,6 +10,7 @@
  */
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "rns/conversion.h"
@@ -20,8 +21,19 @@ namespace rns {
 
 /**
  * C = A * B (mod m) on residue matrices stored row-major.
- * A is MxK, B is KxN, C is MxN.
+ * A is MxK, B is KxN, C is MxN (c must be pre-sized to m*n).
+ *
+ * The kernel is register/cache blocked (4-row x 256-column panels) and
+ * draws its accumulators from the executing thread's Workspace, so the
+ * steady state performs no heap allocation. Blocking only regroups exact
+ * integer arithmetic — results are bit-identical to the naive triple loop
+ * at every thread count.
  */
+void modularGemm(std::span<const Residue> a, std::span<const Residue> b,
+                 std::span<Residue> c, int m_rows, int k_depth, int n_cols,
+                 uint64_t modulus);
+
+/** Vector convenience wrapper: resizes `c` and calls the span kernel. */
 void modularGemm(const std::vector<Residue> &a, const std::vector<Residue> &b,
                  std::vector<Residue> &c, int m_rows, int k_depth, int n_cols,
                  uint64_t modulus);
@@ -48,7 +60,14 @@ class RnsGemmEngine
     /**
      * C = A * B on signed matrices (row-major; A MxK, B KxN, C MxN),
      * computed as one modular GEMM per modulus plus reverse conversion.
+     * All staging (residue matrices, CRT digits) comes from the executing
+     * thread's Workspace — allocation-free once warm.
      */
+    void gemm(std::span<const int64_t> a, std::span<const int64_t> b,
+              std::span<int64_t> c, int m_rows, int k_depth,
+              int n_cols) const;
+
+    /** Allocating convenience wrapper over the span overload. */
     std::vector<int64_t> gemm(const std::vector<int64_t> &a,
                               const std::vector<int64_t> &b,
                               int m_rows, int k_depth, int n_cols) const;

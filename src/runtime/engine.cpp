@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -313,15 +314,18 @@ struct RuntimeEngine::Impl
     {
         const GemmRequest &req = group[shard.job].req;
         const int rows = shard.row_end - shard.row_begin;
-        const std::vector<float> a_slice(
-            req.a.begin() +
-                static_cast<ptrdiff_t>(shard.row_begin) * req.k,
-            req.a.begin() + static_cast<ptrdiff_t>(shard.row_end) * req.k);
-        const std::vector<float> c_slice =
-            tile.accel.gemm(a_slice, req.b, rows, req.k, req.n, cfg.mode);
-        std::copy(c_slice.begin(), c_slice.end(),
-                  results[shard.job].begin() +
-                      static_cast<ptrdiff_t>(shard.row_begin) * req.n);
+        // Shard rows are contiguous, so both the A slice and the C slice
+        // are zero-copy views — the accelerator writes its output straight
+        // into the caller-visible result buffer.
+        const std::span<const float> a_slice(
+            req.a.data() + static_cast<size_t>(shard.row_begin) * req.k,
+            static_cast<size_t>(rows) * req.k);
+        const std::span<float> c_slice(
+            results[shard.job].data() +
+                static_cast<size_t>(shard.row_begin) * req.n,
+            static_cast<size_t>(rows) * req.n);
+        tile.accel.gemm(a_slice, req.b, c_slice, rows, req.k, req.n,
+                        cfg.mode);
     }
 
     void

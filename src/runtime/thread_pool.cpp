@@ -175,7 +175,7 @@ ThreadPool::parallelFor(int64_t n, int64_t grain,
     // Serial fast path: identical block decomposition, zero synchronization.
     // Also taken in fork()ed children (death tests), where this pool's
     // worker threads do not exist.
-    if (size() <= 1 || blocks == 1 || inForkedChild(owner_pid_)) {
+    if (runsSerially(blocks)) {
         for (int64_t b = 0; b < blocks; ++b)
             body(b * grain, std::min(n, (b + 1) * grain));
         return;
@@ -199,6 +199,12 @@ ThreadPool::parallelFor(int64_t n, int64_t grain,
     }
     if (state->error)
         std::rethrow_exception(state->error);
+}
+
+bool
+ThreadPool::runsSerially(int64_t blocks) const
+{
+    return size() <= 1 || blocks == 1 || inForkedChild(owner_pid_);
 }
 
 ThreadPool &
@@ -227,13 +233,6 @@ ThreadPool::setGlobalThreads(int threads)
         g_global_pool.store(fresh, std::memory_order_release);
     }
     delete old; // drains and joins the replaced pool's live workers
-}
-
-void
-parallelFor(int64_t n, int64_t grain,
-            const std::function<void(int64_t, int64_t)> &body)
-{
-    ThreadPool::global().parallelFor(n, grain, body);
 }
 
 } // namespace runtime

@@ -15,8 +15,11 @@
  * Rng::split) produce bit-identical results at every thread count.
  */
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
+
+#include "common/logging.h"
 #include <deque>
 #include <functional>
 #include <future>
@@ -81,6 +84,15 @@ class ThreadPool
                      const std::function<void(int64_t, int64_t)> &body);
 
     /**
+     * True when a loop of `blocks` blocks would take the serial fast path
+     * (single worker, single block, or a fork()ed child). Exposed so the
+     * template parallelFor below can run that path inline — without
+     * constructing a std::function, which would put one type-erasure heap
+     * allocation on every hot-path call.
+     */
+    bool runsSerially(int64_t blocks) const;
+
+    /**
      * The process-wide pool used by the parallelized GEMM hot paths.
      * Created on first use, sized by MIRAGE_THREADS when set, else
      * hardware_concurrency.
@@ -107,9 +119,33 @@ class ThreadPool
     int64_t owner_pid_ = 0;
 };
 
-/** parallelFor on the global pool — the hot-path entry point. */
-void parallelFor(int64_t n, int64_t grain,
-                 const std::function<void(int64_t, int64_t)> &body);
+/**
+ * parallelFor on the global pool — the hot-path entry point. A template so
+ * the serial fast path (one worker, one block, fork()ed child) invokes the
+ * body directly: no std::function is materialized and the call performs
+ * zero heap allocations, which is what keeps warm single-block kernels —
+ * and every kernel under MIRAGE_THREADS=1 — allocation-free (see
+ * tests/test_alloc_guard.cpp). The block decomposition is identical to the
+ * pool's own parallelFor, preserving the determinism contract above.
+ */
+template <typename Body>
+inline void
+parallelFor(int64_t n, int64_t grain, Body &&body)
+{
+    if (n <= 0)
+        return;
+    MIRAGE_ASSERT(grain >= 1, "parallelFor grain must be >= 1");
+    const int64_t blocks = (n + grain - 1) / grain;
+    ThreadPool &pool = ThreadPool::global();
+    if (pool.runsSerially(blocks)) {
+        for (int64_t b = 0; b < blocks; ++b)
+            body(b * grain, std::min(n, (b + 1) * grain));
+        return;
+    }
+    pool.parallelFor(n, grain,
+                     std::function<void(int64_t, int64_t)>(
+                         std::forward<Body>(body)));
+}
 
 /**
  * Returns `grain` when `work` (an approximate per-call operation count) is

@@ -158,8 +158,8 @@ TEST_P(FormatGemmTest, ApproximatesFp32Reference)
     FormatGemmConfig cfg;
     cfg.moduli = mirage::test::paperModuli();
     GemmCall call;
-    call.a = &a_;
-    call.b = &b_;
+    call.a = a_;
+    call.b = b_;
     call.m = m_;
     call.k = k_;
     call.n = n_;
@@ -202,8 +202,8 @@ TEST(FormatGemm, Hfp8UsesWiderRangeForGradients)
     std::vector<float> b = {1.0f};
     FormatGemmConfig cfg;
     GemmCall call;
-    call.a = &a;
-    call.b = &b;
+    call.a = a;
+    call.b = b;
     call.m = 1;
     call.k = 1;
     call.n = 1;
@@ -231,8 +231,8 @@ TEST(FormatGemm, MirageMatchesPlainBfpGemm)
     FormatGemmConfig cfg_plain; // no moduli: plain integer path
 
     GemmCall call;
-    call.a = &a;
-    call.b = &b;
+    call.a = a;
+    call.b = b;
     call.m = 8;
     call.k = 32;
     call.n = 3;

