@@ -17,13 +17,22 @@ Raw benchmark times are machine-dependent, so this tool only compares
   but falling below baseline_speedup / --max-slowdown fails: engine
   scaling broke.
 
+* train_soak (bench_util JsonReport): the j_per_sample column is
+  analytic (MiragePerfModel/MirageEnergyModel), hence machine-
+  independent.  Each (model, replicas, eff_batch) row must match the
+  baseline within --train-tolerance relative error in either direction;
+  a drift means the energy/perf accounting or the trainer's step
+  structure changed, which deserves a deliberate baseline update.
+
 Usage:
   check_regression.py \
       --baseline-micro bench/baselines/BENCH_micro_kernels.json \
       --current-micro micro.json \
       --baseline-runtime bench/baselines/BENCH_runtime_throughput.json \
       --current-runtime runtime.json \
-      [--max-slowdown 2.0]
+      --baseline-train bench/baselines/BENCH_train_soak.json \
+      --current-train train.json \
+      [--max-slowdown 2.0] [--train-tolerance 0.01]
 
 Exits non-zero when any check fails.  Either pair may be omitted.
 """
@@ -110,13 +119,60 @@ def check_runtime(baseline_path, current_path, max_slowdown):
     return ok
 
 
+def load_train(path):
+    """(model, replicas, eff_batch) -> j_per_sample from a JsonReport."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = doc.get("results", {}).get("train_sweep", [])
+    out = {}
+    for row in rows:
+        try:
+            key = (str(row["model"]), int(row["replicas"]),
+                   int(row["eff_batch"]))
+            out[key] = float(row["j_per_sample"])
+        except (KeyError, TypeError, ValueError):
+            continue
+    return out
+
+
+def check_train(baseline_path, current_path, tolerance):
+    base = load_train(baseline_path)
+    cur = load_train(current_path)
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("FAIL train: no shared sweep rows between baseline and"
+              " current")
+        return False
+    for key in sorted(set(base) ^ set(cur)):
+        print(f"note  train: row {key} present in only one report; skipped")
+    ok = True
+    for key in shared:
+        if base[key] == 0.0:
+            rel = 0.0 if cur[key] == 0.0 else float("inf")
+        else:
+            rel = abs(cur[key] / base[key] - 1.0)
+        status = "ok  "
+        if rel > tolerance:
+            status = "FAIL"
+            ok = False
+        model, replicas, eff_batch = key
+        print(f"{status}  train: model={model} replicas={replicas}"
+              f" eff_batch={eff_batch}: J/sample {cur[key]:.4e}"
+              f" (baseline {base[key]:.4e}, drift {rel * 100:.2f}%,"
+              f" limit {tolerance * 100:.2f}%)")
+    return ok
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline-micro")
     parser.add_argument("--current-micro")
     parser.add_argument("--baseline-runtime")
     parser.add_argument("--current-runtime")
+    parser.add_argument("--baseline-train")
+    parser.add_argument("--current-train")
     parser.add_argument("--max-slowdown", type=float, default=2.0)
+    parser.add_argument("--train-tolerance", type=float, default=0.01)
     args = parser.parse_args()
 
     ok = True
@@ -129,6 +185,10 @@ def main():
         ran = True
         ok &= check_runtime(args.baseline_runtime, args.current_runtime,
                             args.max_slowdown)
+    if args.baseline_train and args.current_train:
+        ran = True
+        ok &= check_train(args.baseline_train, args.current_train,
+                          args.train_tolerance)
     if not ran:
         print("nothing to check: pass --baseline-*/--current-* pairs")
         return 2

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Training-runtime soak: sweeps the data-parallel Trainer over replica
+ * count x micro-batch x model and reports measured throughput
+ * (samples/s, wall ms/step) next to the modeled accelerator cost
+ * (ms/step and J/sample through MiragePerfModel/MirageEnergyModel).
+ *
+ * The modeled columns are analytic — machine-independent — so the
+ * committed baseline gates them tightly in CI (check_regression.py
+ * --baseline-train): an accounting change in the perf/energy models or
+ * in the trainer's step structure shows up as a J/sample shift even on a
+ * noisy runner. speedup(x) is measured and reported for eyeballs only.
+ */
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "models/trainable.h"
+#include "nn/data.h"
+#include "serve/repository.h"
+#include "train/trainer.h"
+
+using namespace mirage;
+
+namespace {
+
+struct ModelSpec
+{
+    std::string name;
+    serve::ModelFactory factory;
+    models::ModelShape shape;
+    nn::Dataset data;
+    int micro_batch = 8;
+};
+
+constexpr int kClasses = 4;
+
+ModelSpec
+mlpSpec()
+{
+    constexpr int kIn = 16, kHidden = 32;
+    ModelSpec spec;
+    spec.name = "mlp";
+    spec.factory = [](nn::GemmBackend *backend, Rng &rng) {
+        return models::makeMlp(kIn, kHidden, kClasses, backend, rng);
+    };
+    spec.shape.name = "mlp";
+    spec.shape.layers = {{"fc1", kHidden, kIn, 1, 1, true},
+                         {"fc2", kHidden, kHidden, 1, 1, true},
+                         {"fc3", kClasses, kHidden, 1, 1, true}};
+    spec.data = nn::makeGaussianClusters(512, kClasses, kIn, 3.0f, 41);
+    spec.micro_batch = 8;
+    return spec;
+}
+
+ModelSpec
+cnnSpec()
+{
+    ModelSpec spec;
+    spec.name = "small_cnn";
+    spec.factory = [](nn::GemmBackend *backend, Rng &rng) {
+        return models::makeSmallCnn(kClasses, backend, rng);
+    };
+    // Im2col shapes of makeSmallCnn on [B, 1, 16, 16] inputs.
+    spec.shape.name = "small_cnn";
+    spec.shape.layers = {{"conv1", 8, 9, 256, 1, true},
+                         {"conv2", 16, 72, 64, 1, true},
+                         {"fc1", 64, 256, 1, 1, true},
+                         {"fc2", kClasses, 64, 1, 1, true}};
+    spec.data = nn::makePatternImages(256, kClasses, 16, 0.3f, 42);
+    spec.micro_batch = 4;
+    return spec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("train_soak",
+                  "data-parallel training throughput and modeled J/sample",
+                  opts);
+
+    std::vector<ModelSpec> specs;
+    specs.push_back(mlpSpec());
+    if (opts.full)
+        specs.push_back(cnnSpec());
+
+    const std::vector<int> replica_counts = {1, 2, 4};
+    const int64_t steps = opts.full ? 120 : 30;
+
+    TablePrinter table({"model", "replicas", "micro_batch", "eff_batch",
+                        "steps", "wall_ms_per_step", "samples_s",
+                        "speedup(x)", "modeled_ms_per_step",
+                        "j_per_sample"});
+    bench::JsonReport json;
+
+    for (const ModelSpec &spec : specs) {
+        double base_samples_s = 0.0;
+        for (const int replicas : replica_counts) {
+            train::TrainerConfig cfg;
+            cfg.replicas = replicas;
+            cfg.micro_batch = spec.micro_batch;
+            cfg.shards_per_step = 4;
+            cfg.seed = 7;
+            cfg.shape = spec.shape;
+            train::Trainer trainer(spec.factory,
+                                   std::make_unique<nn::Sgd>(0.05f, 0.9f),
+                                   cfg);
+            // Enough target epochs that max_steps is the binding limit.
+            const train::TrainReport report =
+                trainer.run(spec.data, nullptr, /*target_epochs=*/1000,
+                            steps);
+            if (replicas == 1)
+                base_samples_s = report.samples_per_s;
+            const double speedup = base_samples_s > 0.0
+                                       ? report.samples_per_s / base_samples_s
+                                       : 0.0;
+            table.addRow(
+                {spec.name, std::to_string(replicas),
+                 std::to_string(spec.micro_batch),
+                 std::to_string(cfg.effectiveBatch()),
+                 std::to_string(report.steps_run),
+                 formatFixed(report.wall_s /
+                                 static_cast<double>(report.steps_run) * 1e3,
+                             3),
+                 formatFixed(report.samples_per_s, 0),
+                 formatFixed(speedup, 2),
+                 formatSig(report.modeled_step_time_s * 1e3, 6),
+                 formatSig(report.modeledJoulesPerSample(), 6)});
+        }
+    }
+
+    bench::emit(table, opts);
+    json.add("train_sweep", table);
+    if (!json.writeIfRequested("train_soak", opts))
+        return 1;
+    return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/logging.h"
 #include "common/units.h"
@@ -139,6 +140,117 @@ makeMajoritySequences(int samples, int classes, int seq_len, uint64_t seed)
         ds.labels[static_cast<size_t>(i)] = best;
     }
     return ds;
+}
+
+BatchIterator::BatchIterator(const Dataset &data, int batch_size,
+                             uint64_t seed, bool shuffle, bool drop_last)
+    : data_(&data), batch_size_(batch_size), seed_(seed), shuffle_(shuffle),
+      drop_last_(drop_last)
+{
+    MIRAGE_ASSERT(batch_size_ >= 1, "batch_size must be >= 1");
+    MIRAGE_ASSERT(data.size() >= 1, "cannot iterate an empty dataset");
+    setEpoch(0);
+}
+
+int64_t
+BatchIterator::batchesPerEpoch() const
+{
+    const int64_t n = data_->size();
+    return drop_last_ ? n / batch_size_
+                      : (n + batch_size_ - 1) / batch_size_;
+}
+
+void
+BatchIterator::setEpoch(int64_t epoch)
+{
+    epoch_ = epoch;
+    cursor_ = 0;
+    order_.resize(static_cast<size_t>(data_->size()));
+    std::iota(order_.begin(), order_.end(), 0);
+    if (shuffle_) {
+        // Rng::stream: the shuffle is a function of (seed, epoch) only, so
+        // epochs can be replayed out of order (resume) and never depend on
+        // how much of an earlier epoch was consumed.
+        Rng rng = Rng::stream(seed_, static_cast<uint64_t>(epoch));
+        std::shuffle(order_.begin(), order_.end(), rng.engine());
+    }
+}
+
+void
+BatchIterator::setCursor(int64_t batch_index)
+{
+    MIRAGE_ASSERT(batch_index >= 0 && batch_index <= batchesPerEpoch(),
+                  "cursor ", batch_index, " outside epoch of ",
+                  batchesPerEpoch(), " batches");
+    cursor_ = batch_index;
+}
+
+bool
+BatchIterator::next(Dataset &out)
+{
+    if (cursor_ >= batchesPerEpoch())
+        return false;
+    batchInto(cursor_, out); // reuses out's buffers in the steady state
+    ++cursor_;
+    return true;
+}
+
+std::vector<int>
+BatchIterator::batchIndices(int64_t index) const
+{
+    MIRAGE_ASSERT(index >= 0 && index < batchesPerEpoch(),
+                  "batch index ", index, " outside epoch of ",
+                  batchesPerEpoch(), " batches");
+    const int64_t begin = index * batch_size_;
+    const int64_t end =
+        std::min<int64_t>(begin + batch_size_, data_->size());
+    return std::vector<int>(order_.begin() + begin, order_.begin() + end);
+}
+
+Dataset
+BatchIterator::batch(int64_t index) const
+{
+    Dataset out;
+    batchInto(index, out);
+    return out;
+}
+
+void
+BatchIterator::batchInto(int64_t index, Dataset &out) const
+{
+    MIRAGE_ASSERT(index >= 0 && index < batchesPerEpoch(),
+                  "batch index ", index, " outside epoch of ",
+                  batchesPerEpoch(), " batches");
+    const int64_t begin = index * batch_size_;
+    const int64_t end =
+        std::min<int64_t>(begin + batch_size_, data_->size());
+    const int count = static_cast<int>(end - begin);
+    const int64_t row_len = data_->inputs.size() / data_->size();
+
+    // Reuse out.inputs when its shape already matches (all dims, not just
+    // the element count: [4,2,3] and [4,3,2] agree on both).
+    const std::vector<int> &src_shape = data_->inputs.shape();
+    const std::vector<int> &out_shape = out.inputs.shape();
+    const bool fits =
+        out_shape.size() == src_shape.size() && !out_shape.empty() &&
+        out_shape[0] == count &&
+        std::equal(out_shape.begin() + 1, out_shape.end(),
+                   src_shape.begin() + 1);
+    if (!fits) {
+        std::vector<int> shape = src_shape;
+        shape[0] = count;
+        out.inputs = Tensor(std::move(shape));
+    }
+    out.num_classes = data_->num_classes;
+    out.labels.clear();
+    out.labels.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        const int src = order_[static_cast<size_t>(begin + i)];
+        for (int64_t j = 0; j < row_len; ++j)
+            out.inputs[static_cast<int64_t>(i) * row_len + j] =
+                data_->inputs[static_cast<int64_t>(src) * row_len + j];
+        out.labels.push_back(data_->labels[static_cast<size_t>(src)]);
+    }
 }
 
 } // namespace nn

@@ -57,6 +57,85 @@ Dataset makePatternImages(int samples, int classes, int size, float noise,
 Dataset makeMajoritySequences(int samples, int classes, int seq_len,
                               uint64_t seed);
 
+/**
+ * Seeded, epoch-deterministic mini-batch iterator.
+ *
+ * Epoch e draws its shuffle from Rng::stream(seed, e) — a pure function of
+ * (seed, epoch), never of how much of a previous epoch was consumed — so
+ * the sample order of any epoch can be reconstructed from (seed, epoch,
+ * cursor) alone. That property is what makes mid-epoch checkpoint-resume
+ * and replica sharding exact: every consumer that agrees on (seed, epoch)
+ * sees the same batches, and batch b of an epoch can be fetched at random
+ * access by any replica.
+ *
+ * With drop_last (the train/ default) every batch has exactly batch_size
+ * rows and the ragged tail of the epoch is skipped; without it the final
+ * batch is smaller (the classic eval/trainClassifier semantics).
+ */
+class BatchIterator
+{
+  public:
+    /**
+     * @param data       dataset iterated over (borrowed; must outlive the
+     *                   iterator).
+     * @param batch_size rows per batch (>= 1).
+     * @param seed       base seed; epoch e shuffles with Rng::stream(seed, e).
+     * @param shuffle    false: identity order every epoch.
+     * @param drop_last  true: only full batches, ragged tail skipped.
+     */
+    BatchIterator(const Dataset &data, int batch_size, uint64_t seed,
+                  bool shuffle = true, bool drop_last = false);
+
+    /** Batches in one epoch (floor with drop_last, else ceil). */
+    int64_t batchesPerEpoch() const;
+
+    /** Re-shuffles for `epoch` and rewinds the cursor to batch 0. */
+    void setEpoch(int64_t epoch);
+
+    int64_t epoch() const { return epoch_; }
+
+    /** Next batch index the sequential next() will produce. */
+    int64_t cursor() const { return cursor_; }
+
+    /** Repositions the sequential cursor (checkpoint-resume). */
+    void setCursor(int64_t batch_index);
+
+    /**
+     * Copies the next batch of the current epoch into `out`; false (and
+     * `out` untouched) once the epoch is exhausted.
+     */
+    bool next(Dataset &out);
+
+    /** Random-access copy of batch `index` of the current epoch. */
+    Dataset batch(int64_t index) const;
+
+    /**
+     * batch() into caller storage: when `out` already has the right
+     * shape (the steady state of a training loop reusing one scratch
+     * Dataset per replica) no heap allocation happens.
+     */
+    void batchInto(int64_t index, Dataset &out) const;
+
+    /**
+     * Dataset row indices making up batch `index` — the identity the
+     * replica-sharding tests partition-check against.
+     */
+    std::vector<int> batchIndices(int64_t index) const;
+
+    int batchSize() const { return batch_size_; }
+    uint64_t seed() const { return seed_; }
+
+  private:
+    const Dataset *data_;
+    int batch_size_;
+    uint64_t seed_;
+    bool shuffle_;
+    bool drop_last_;
+    int64_t epoch_ = 0;
+    int64_t cursor_ = 0;
+    std::vector<int> order_; ///< Sample order of the current epoch.
+};
+
 } // namespace nn
 } // namespace mirage
 

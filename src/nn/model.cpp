@@ -1,7 +1,6 @@
 #include "nn/model.h"
 
 #include <algorithm>
-#include <numeric>
 
 #include "common/logging.h"
 
@@ -131,18 +130,9 @@ trainClassifier(Layer &model, Optimizer &opt, const Dataset &train,
 {
     MIRAGE_ASSERT(cfg.epochs >= 1 && cfg.batch_size >= 1, "bad train config");
     TrainResult result;
-    Rng shuffle_rng(cfg.shuffle_seed);
-    std::vector<int> order(static_cast<size_t>(train.size()));
-    std::iota(order.begin(), order.end(), 0);
+    BatchIterator batches_it(train, cfg.batch_size, cfg.shuffle_seed,
+                             cfg.shuffle, /*drop_last=*/false);
     const std::vector<Param *> params = model.params();
-
-    // Base learning rate captured for schedule scaling.
-    auto scaled_lr = [&](Optimizer &o, float scale) {
-        if (auto *sgd = dynamic_cast<Sgd *>(&o))
-            sgd->setLr(sgd->lr() * scale);
-        else if (auto *adam = dynamic_cast<Adam *>(&o))
-            adam->setLr(adam->lr() * scale);
-    };
 
     float prev_scale = 1.0f;
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
@@ -150,32 +140,15 @@ trainClassifier(Layer &model, Optimizer &opt, const Dataset &train,
             const float scale =
                 cfg.lr_schedule[std::min<size_t>(epoch,
                                                  cfg.lr_schedule.size() - 1)];
-            scaled_lr(opt, scale / prev_scale);
+            opt.setLr(opt.lr() * scale / prev_scale);
             prev_scale = scale;
         }
-        if (cfg.shuffle)
-            std::shuffle(order.begin(), order.end(), shuffle_rng.engine());
+        batches_it.setEpoch(epoch);
 
         double epoch_loss = 0.0;
         int batches = 0, correct = 0;
-        for (int begin = 0; begin < train.size(); begin += cfg.batch_size) {
-            const int count = std::min(cfg.batch_size, train.size() - begin);
-            // Gather the shuffled batch.
-            Dataset batch;
-            batch.num_classes = train.num_classes;
-            std::vector<int> shape = train.inputs.shape();
-            shape[0] = count;
-            batch.inputs = Tensor(shape);
-            const int64_t row = train.inputs.size() / train.size();
-            for (int i = 0; i < count; ++i) {
-                const int src = order[static_cast<size_t>(begin + i)];
-                for (int64_t j = 0; j < row; ++j)
-                    batch.inputs[static_cast<int64_t>(i) * row + j] =
-                        train.inputs[static_cast<int64_t>(src) * row + j];
-                batch.labels.push_back(
-                    train.labels[static_cast<size_t>(src)]);
-            }
-
+        Dataset batch;
+        while (batches_it.next(batch)) {
             Optimizer::zeroGrad(params);
             const Tensor logits = model.forward(batch.inputs, true);
             const LossResult loss = softmaxCrossEntropy(logits, batch.labels);
@@ -185,9 +158,8 @@ trainClassifier(Layer &model, Optimizer &opt, const Dataset &train,
             epoch_loss += loss.loss;
             ++batches;
             const std::vector<int> pred = argmaxRows(logits);
-            for (int i = 0; i < count; ++i)
-                correct += (pred[static_cast<size_t>(i)] ==
-                            batch.labels[static_cast<size_t>(i)]);
+            for (size_t i = 0; i < batch.labels.size(); ++i)
+                correct += (pred[i] == batch.labels[i]);
         }
         result.epoch_loss.push_back(
             static_cast<float>(epoch_loss / std::max(1, batches)));

@@ -30,6 +30,16 @@ class Optimizer
     /** Zeroes all gradients. */
     static void zeroGrad(const std::vector<Param *> &params);
 
+    // --- learning-rate hooks (train/schedule.cpp) ----------------------
+    // Schedules scale the learning rate through the base class so the
+    // training loops need no per-optimizer dynamic_cast.
+
+    /** Current learning rate. */
+    virtual float lr() const = 0;
+
+    /** Replaces the learning rate (schedules call this every step). */
+    virtual void setLr(float lr) = 0;
+
     // --- checkpointing hooks (serve/checkpoint.cpp) --------------------
     // Optimizer state is keyed internally by Param*, which does not
     // survive a process restart; these hooks expose it per parameter so a
@@ -77,8 +87,8 @@ class Sgd : public Optimizer
 
     void step(const std::vector<Param *> &params) override;
 
-    float lr() const { return lr_; }
-    void setLr(float lr) { lr_ = lr; }
+    float lr() const override { return lr_; }
+    void setLr(float lr) override { lr_ = lr; }
 
     std::string typeName() const override { return "sgd"; }
     std::vector<std::string> stateSlots() const override;
@@ -103,8 +113,8 @@ class Adam : public Optimizer
 
     void step(const std::vector<Param *> &params) override;
 
-    float lr() const { return lr_; }
-    void setLr(float lr) { lr_ = lr; }
+    float lr() const override { return lr_; }
+    void setLr(float lr) override { lr_ = lr; }
 
     std::string typeName() const override { return "adam"; }
     std::vector<std::string> stateSlots() const override;

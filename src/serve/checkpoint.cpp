@@ -184,6 +184,19 @@ readTensor(Reader &r)
 
 } // namespace
 
+int64_t
+Checkpoint::meta(const std::string &key, int64_t fallback) const
+{
+    const auto it = metadata.find(key);
+    return it != metadata.end() ? it->second : fallback;
+}
+
+bool
+Checkpoint::hasMeta(const std::string &key) const
+{
+    return metadata.count(key) != 0;
+}
+
 const TensorRecord *
 Checkpoint::find(const std::string &name) const
 {
@@ -309,6 +322,13 @@ serialize(const Checkpoint &ckpt)
     putU32(body, static_cast<uint32_t>(ckpt.optimizer_state.size()));
     for (const TensorRecord &t : ckpt.optimizer_state)
         putTensor(body, t);
+    // v2 metadata section; std::map iterates in sorted key order, so the
+    // byte stream is deterministic for a given metadata set.
+    putU32(body, static_cast<uint32_t>(ckpt.metadata.size()));
+    for (const auto &[key, value] : ckpt.metadata) {
+        putString(body, key);
+        putU64(body, static_cast<uint64_t>(value));
+    }
 
     std::vector<uint8_t> out;
     out.reserve(body.size() + 28);
@@ -331,9 +351,14 @@ deserialize(const std::vector<uint8_t> &bytes)
         throw CheckpointError("not a Mirage checkpoint (bad magic)");
     Reader r(bytes.data() + sizeof(kMagic), bytes.size() - sizeof(kMagic));
     const uint32_t version = r.u32();
-    if (version == 0 || version > kFormatVersion)
-        throw CheckpointError("unsupported checkpoint format version " +
-                              std::to_string(version));
+    if (version != kFormatVersion)
+        throw CheckpointError(
+            "unsupported checkpoint format version " +
+            std::to_string(version) + " (this build reads only version " +
+            std::to_string(kFormatVersion) +
+            (version < kFormatVersion
+                 ? "; older files lack the resume-metadata section)"
+                 : ")"));
     const uint64_t body_len = r.u64();
     // Subtraction, not addition: `body_len + 8` could wrap for a crafted
     // length and pass the check with a huge body_len.
@@ -357,6 +382,13 @@ deserialize(const std::vector<uint8_t> &bytes)
     ckpt.optimizer_state.reserve(state_count);
     for (uint32_t i = 0; i < state_count; ++i)
         ckpt.optimizer_state.push_back(readTensor(br));
+    const uint32_t meta_count = br.u32();
+    for (uint32_t i = 0; i < meta_count; ++i) {
+        std::string key = br.string();
+        const int64_t value = static_cast<int64_t>(br.u64());
+        if (!ckpt.metadata.emplace(std::move(key), value).second)
+            throw CheckpointError("duplicate metadata key in checkpoint");
+    }
     if (br.remaining() != 0)
         throw CheckpointError("trailing bytes inside checkpoint body");
 

@@ -29,6 +29,7 @@
  */
 
 #include <cstdint>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -49,8 +50,14 @@ class CheckpointError : public std::runtime_error
     }
 };
 
-/** Current wire-format version. */
-inline constexpr uint32_t kFormatVersion = 1;
+/**
+ * Current wire-format version. v2 added the metadata section (trainer
+ * resume state); earlier versions cannot express it, so deserialize()
+ * rejects any version other than the current one — a checkpoint that
+ * silently lost its resume state would break the train/ bit-exact-resume
+ * contract.
+ */
+inline constexpr uint32_t kFormatVersion = 2;
 
 /** One named tensor (a parameter or an optimizer state slot). */
 struct TensorRecord
@@ -75,6 +82,20 @@ struct Checkpoint
     int64_t optimizer_step = 0;
     /// State slots named "<param path>/<slot>", e.g. "l0.dense.weight/m".
     std::vector<TensorRecord> optimizer_state;
+
+    /// Auxiliary integer state (v2+), serialized in sorted key order. The
+    /// train/ subsystem stores everything a bit-exact resume needs beyond
+    /// parameters and optimizer slots here: "train/step", "train/epoch",
+    /// "train/cursor", the data-shuffle RNG base seed ("train/data_seed",
+    /// a uint64 bit pattern), and the base learning rate as IEEE-754 bits
+    /// ("train/base_lr_bits"). Doubles/uint64s are stored bit-cast.
+    std::map<std::string, int64_t> metadata;
+
+    /** Metadata value, or `fallback` when the key is absent. */
+    int64_t meta(const std::string &key, int64_t fallback = 0) const;
+
+    /** True when the key is present. */
+    bool hasMeta(const std::string &key) const;
 
     /** Record by name, or nullptr. */
     const TensorRecord *find(const std::string &name) const;

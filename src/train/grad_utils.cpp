@@ -1,0 +1,86 @@
+#include "train/grad_utils.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace train {
+
+double
+globalGradNorm(std::span<const float> grads)
+{
+    double sum_sq = 0.0;
+    for (const float g : grads)
+        sum_sq += static_cast<double>(g) * static_cast<double>(g);
+    return std::sqrt(sum_sq);
+}
+
+double
+globalGradNorm(const std::vector<nn::Param *> &params)
+{
+    double sum_sq = 0.0;
+    for (const nn::Param *p : params)
+        for (int64_t i = 0; i < p->grad.size(); ++i)
+            sum_sq += static_cast<double>(p->grad[i]) *
+                      static_cast<double>(p->grad[i]);
+    return std::sqrt(sum_sq);
+}
+
+namespace {
+
+/** Scale factor for one clip decision; 1.0 when no scaling is needed. */
+float
+clipScale(double norm, double max_norm)
+{
+    MIRAGE_ASSERT(max_norm > 0.0, "clip max_norm must be > 0");
+    if (!(norm > max_norm)) // inclusive boundary; also rejects NaN norms
+        return 1.0f;
+    return static_cast<float>(max_norm / norm);
+}
+
+} // namespace
+
+double
+clipGradNorm(std::span<float> grads, double max_norm)
+{
+    const double norm = globalGradNorm(grads);
+    const float scale = clipScale(norm, max_norm);
+    if (scale != 1.0f)
+        for (float &g : grads)
+            g *= scale;
+    return norm;
+}
+
+double
+clipGradNorm(const std::vector<nn::Param *> &params, double max_norm)
+{
+    const double norm = globalGradNorm(params);
+    const float scale = clipScale(norm, max_norm);
+    if (scale != 1.0f)
+        for (nn::Param *p : params)
+            for (int64_t i = 0; i < p->grad.size(); ++i)
+                p->grad[i] *= scale;
+    return norm;
+}
+
+bool
+allFinite(std::span<const float> grads)
+{
+    for (const float g : grads)
+        if (!std::isfinite(g))
+            return false;
+    return true;
+}
+
+void
+assertFiniteGrads(std::span<const float> grads, const char *what)
+{
+    MIRAGE_DASSERT(allFinite(grads),
+                   "non-finite gradient (NaN/Inf) detected at ", what);
+    (void)grads; // NDEBUG: DASSERT compiles out
+    (void)what;
+}
+
+} // namespace train
+} // namespace mirage

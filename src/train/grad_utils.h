@@ -1,0 +1,54 @@
+#ifndef MIRAGE_TRAIN_GRAD_UTILS_H
+#define MIRAGE_TRAIN_GRAD_UTILS_H
+
+/**
+ * @file
+ * Gradient hygiene for the training orchestrator: global-norm clipping
+ * (the standard max-norm recipe: scale every gradient by max_norm / norm
+ * when the global L2 norm exceeds max_norm) and a finite-value guard that
+ * catches NaN/Inf gradients at the step boundary, where the offending
+ * layer is still identifiable, instead of letting them poison the weights.
+ *
+ * All reductions accumulate in double over a fixed serial order, so the
+ * results are deterministic and independent of replica/thread count.
+ */
+
+#include <span>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace mirage {
+namespace train {
+
+/** Global L2 norm over a flat gradient vector. */
+double globalGradNorm(std::span<const float> grads);
+
+/** Global L2 norm across every parameter's gradient, in params order. */
+double globalGradNorm(const std::vector<nn::Param *> &params);
+
+/**
+ * Clips `grads` in place to a global L2 norm of at most `max_norm` and
+ * returns the pre-clip norm. A norm exactly equal to max_norm is NOT
+ * scaled (the boundary is inclusive); max_norm must be > 0.
+ */
+double clipGradNorm(std::span<float> grads, double max_norm);
+
+/** clipGradNorm over every parameter's gradient as one global vector. */
+double clipGradNorm(const std::vector<nn::Param *> &params, double max_norm);
+
+/** True when every element is finite (no NaN/Inf). */
+bool allFinite(std::span<const float> grads);
+
+/**
+ * Debug-build guard: MIRAGE_DASSERTs that `grads` contains no NaN/Inf,
+ * reporting `what` (e.g. the training-step index) in the failure message.
+ * Compiled out under NDEBUG like every MIRAGE_DASSERT; callers that need
+ * the check in release builds use allFinite() directly.
+ */
+void assertFiniteGrads(std::span<const float> grads, const char *what);
+
+} // namespace train
+} // namespace mirage
+
+#endif // MIRAGE_TRAIN_GRAD_UTILS_H

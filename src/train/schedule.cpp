@@ -1,0 +1,100 @@
+#include "train/schedule.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace mirage {
+namespace train {
+
+double
+LrSchedule::scale(int64_t step) const
+{
+    if (warmup_steps > 0 && step < warmup_steps) {
+        return static_cast<double>(step + 1) /
+               static_cast<double>(warmup_steps);
+    }
+    const int64_t t = step - warmup_steps;
+    switch (policy) {
+      case Policy::Constant:
+        return 1.0;
+      case Policy::StepDecay:
+        // A clean abort instead of an integer-division SIGFPE when the
+        // schedule was hand-built without validate().
+        MIRAGE_ASSERT(decay_every >= 1,
+                      "StepDecay schedule used without decay_every set");
+        return std::pow(gamma, static_cast<double>(t / decay_every));
+      case Policy::Cosine: {
+        const int64_t horizon = total_steps - warmup_steps;
+        MIRAGE_ASSERT(horizon >= 1,
+                      "Cosine schedule used without total_steps set");
+        if (t >= horizon)
+            return min_scale;
+        const double progress =
+            static_cast<double>(t) / static_cast<double>(horizon);
+        return min_scale +
+               (1.0 - min_scale) * 0.5 * (1.0 + std::cos(units::kPi * progress));
+      }
+    }
+    return 1.0; // unreachable; silences -Wreturn-type
+}
+
+void
+LrSchedule::validate() const
+{
+    if (warmup_steps < 0)
+        throw std::invalid_argument("LrSchedule: warmup_steps must be >= 0");
+    if (policy == Policy::StepDecay) {
+        if (decay_every <= 0)
+            throw std::invalid_argument(
+                "LrSchedule: StepDecay needs decay_every >= 1");
+        if (gamma <= 0.0 || gamma > 1.0)
+            throw std::invalid_argument(
+                "LrSchedule: StepDecay gamma must be in (0, 1]");
+    }
+    if (policy == Policy::Cosine) {
+        if (total_steps <= warmup_steps)
+            throw std::invalid_argument(
+                "LrSchedule: Cosine needs total_steps > warmup_steps");
+        if (min_scale < 0.0 || min_scale > 1.0)
+            throw std::invalid_argument(
+                "LrSchedule: Cosine min_scale must be in [0, 1]");
+    }
+}
+
+LrSchedule
+LrSchedule::constant(int64_t warmup_steps)
+{
+    LrSchedule s;
+    s.policy = Policy::Constant;
+    s.warmup_steps = warmup_steps;
+    return s;
+}
+
+LrSchedule
+LrSchedule::stepDecay(int64_t decay_every, double gamma, int64_t warmup_steps)
+{
+    LrSchedule s;
+    s.policy = Policy::StepDecay;
+    s.decay_every = decay_every;
+    s.gamma = gamma;
+    s.warmup_steps = warmup_steps;
+    return s;
+}
+
+LrSchedule
+LrSchedule::cosine(int64_t total_steps, double min_scale, int64_t warmup_steps)
+{
+    LrSchedule s;
+    s.policy = Policy::Cosine;
+    s.total_steps = total_steps;
+    s.min_scale = min_scale;
+    s.warmup_steps = warmup_steps;
+    return s;
+}
+
+} // namespace train
+} // namespace mirage

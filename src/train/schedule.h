@@ -1,0 +1,65 @@
+#ifndef MIRAGE_TRAIN_SCHEDULE_H
+#define MIRAGE_TRAIN_SCHEDULE_H
+
+/**
+ * @file
+ * Learning-rate schedules for the training orchestrator. A schedule is a
+ * pure function of the global optimizer step — no hidden state — so a
+ * resumed run recomputes exactly the rate an uninterrupted run would have
+ * used at the same step (the trainer's bit-exact-resume contract), and an
+ * N-replica run sees the same rate as a 1-replica run.
+ *
+ * The scale is applied through the Optimizer::setLr hook as
+ * base_lr * scale(step), covering the paper's recipes (Sec. VI-B: step
+ * decay for the CNNs, warmup for the transformer) plus cosine annealing.
+ */
+
+#include <cstdint>
+
+namespace mirage {
+namespace train {
+
+/**
+ * Piecewise schedule: an optional linear warmup ramp followed by one decay
+ * policy. scale(step) is in (0, 1] and multiplies the optimizer's base
+ * learning rate.
+ */
+struct LrSchedule
+{
+    enum class Policy
+    {
+        Constant,  ///< scale = 1 after warmup.
+        StepDecay, ///< scale = gamma^(t / decay_every) after warmup.
+        Cosine,    ///< half-cosine from 1 to min_scale over total_steps.
+    };
+
+    Policy policy = Policy::Constant;
+    /// Steps of linear warmup: scale ramps (step+1)/warmup_steps before
+    /// the decay policy takes over (t below counts post-warmup steps).
+    int64_t warmup_steps = 0;
+    // StepDecay knobs.
+    int64_t decay_every = 0;
+    double gamma = 0.1;
+    // Cosine knobs: total_steps is the whole schedule length INCLUDING
+    // warmup — annealing runs over steps [warmup_steps, total_steps) and
+    // holds min_scale afterwards.
+    int64_t total_steps = 0;
+    double min_scale = 0.0;
+
+    /** Learning-rate multiplier at global step `step` (0-based). */
+    double scale(int64_t step) const;
+
+    /** Throws std::invalid_argument naming the offending knob. */
+    void validate() const;
+
+    static LrSchedule constant(int64_t warmup_steps = 0);
+    static LrSchedule stepDecay(int64_t decay_every, double gamma,
+                                int64_t warmup_steps = 0);
+    static LrSchedule cosine(int64_t total_steps, double min_scale = 0.0,
+                             int64_t warmup_steps = 0);
+};
+
+} // namespace train
+} // namespace mirage
+
+#endif // MIRAGE_TRAIN_SCHEDULE_H

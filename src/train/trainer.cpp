@@ -1,0 +1,499 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "nn/loss.h"
+#include "runtime/thread_pool.h"
+#include "train/grad_utils.h"
+
+namespace mirage {
+namespace train {
+
+namespace {
+
+// Metadata keys of the checkpoint resume section (format v2).
+constexpr const char *kMetaStep = "train/step";
+constexpr const char *kMetaEpoch = "train/epoch";
+constexpr const char *kMetaCursor = "train/cursor";
+constexpr const char *kMetaDataSeed = "train/data_seed";
+constexpr const char *kMetaDataSize = "train/data_size";
+constexpr const char *kMetaMicroBatch = "train/micro_batch";
+constexpr const char *kMetaShards = "train/shards_per_step";
+constexpr const char *kMetaAccum = "train/accum_rounds";
+constexpr const char *kMetaBaseLrBits = "train/base_lr_bits";
+constexpr const char *kMetaClipNormBits = "train/clip_norm_bits";
+constexpr const char *kMetaExecMode = "train/exec_mode";
+constexpr const char *kMetaSchedPolicy = "train/sched_policy";
+constexpr const char *kMetaSchedWarmup = "train/sched_warmup";
+constexpr const char *kMetaSchedDecayEvery = "train/sched_decay_every";
+constexpr const char *kMetaSchedGammaBits = "train/sched_gamma_bits";
+constexpr const char *kMetaSchedTotalSteps = "train/sched_total_steps";
+constexpr const char *kMetaSchedMinScaleBits = "train/sched_min_scale_bits";
+
+// Stream ids of the trainer's Rng::split children (arbitrary, fixed).
+constexpr uint64_t kDataStream = 0xda7a;
+constexpr uint64_t kInitStream = 0x1417;
+
+} // namespace
+
+void
+TrainerConfig::validate() const
+{
+    if (replicas < 1)
+        throw std::invalid_argument("TrainerConfig: replicas must be >= 1");
+    if (micro_batch < 1)
+        throw std::invalid_argument("TrainerConfig: micro_batch must be >= 1");
+    if (shards_per_step < 1)
+        throw std::invalid_argument(
+            "TrainerConfig: shards_per_step must be >= 1");
+    if (accum_rounds < 1)
+        throw std::invalid_argument(
+            "TrainerConfig: accum_rounds must be >= 1");
+    if (clip_norm < 0.0)
+        throw std::invalid_argument("TrainerConfig: clip_norm must be >= 0");
+    if (checkpoint_every_steps < 0)
+        throw std::invalid_argument(
+            "TrainerConfig: checkpoint_every_steps must be >= 0");
+    if (publish_to != nullptr && publish_name.empty())
+        throw std::invalid_argument(
+            "TrainerConfig: publish_to needs a publish_name");
+    schedule.validate();
+}
+
+/** One model replica: a full network on its own accelerator. */
+struct Trainer::Replica
+{
+    std::unique_ptr<core::MirageAccelerator> accel;
+    std::unique_ptr<nn::Sequential> net;
+    std::vector<nn::Param *> params;
+};
+
+Trainer::Trainer(serve::ModelFactory factory,
+                 std::unique_ptr<nn::Optimizer> opt, TrainerConfig cfg)
+    : cfg_(std::move(cfg)), factory_(std::move(factory)), opt_(std::move(opt))
+{
+    cfg_.validate();
+    if (!factory_)
+        throw std::invalid_argument("Trainer: model factory is empty");
+    if (opt_ == nullptr)
+        throw std::invalid_argument("Trainer: optimizer is null");
+    base_lr_ = opt_->lr();
+    data_seed_ = Rng::stream(cfg_.seed, kDataStream).seed();
+    const uint64_t init_seed = Rng::stream(cfg_.seed, kInitStream).seed();
+
+    replicas_.reserve(static_cast<size_t>(cfg_.replicas));
+    for (int r = 0; r < cfg_.replicas; ++r) {
+        auto rep = std::make_unique<Replica>();
+        rep->accel = std::make_unique<core::MirageAccelerator>(cfg_.accel);
+        // Every replica draws from a fresh stream at the SAME seed: the
+        // replicas must start bit-identical, or shard placement would
+        // leak into the result.
+        Rng init(init_seed);
+        rep->net = factory_(rep->accel->backend(cfg_.mode), init);
+        if (rep->net == nullptr)
+            throw std::invalid_argument("Trainer: factory returned null");
+        rep->params = rep->net->params();
+        replicas_.push_back(std::move(rep));
+    }
+
+    flat_size_ = 0;
+    for (const nn::Param *p : replicas_[0]->params)
+        flat_size_ += p->value.size();
+
+    shard_grads_.assign(
+        static_cast<size_t>(cfg_.shards_per_step),
+        std::vector<float>(static_cast<size_t>(flat_size_)));
+    shard_loss_.assign(static_cast<size_t>(cfg_.shards_per_step), 0.0f);
+    shard_correct_.assign(static_cast<size_t>(cfg_.shards_per_step), 0);
+    step_grad_.assign(static_cast<size_t>(flat_size_), 0.0f);
+    shard_batch_.resize(static_cast<size_t>(cfg_.replicas));
+}
+
+Trainer::~Trainer() = default;
+
+nn::Sequential &
+Trainer::net()
+{
+    return *replicas_[0]->net;
+}
+
+std::string
+Trainer::modelName() const
+{
+    if (!cfg_.publish_name.empty())
+        return cfg_.publish_name;
+    if (!cfg_.shape.name.empty())
+        return cfg_.shape.name;
+    return "trainer-model";
+}
+
+double
+Trainer::scheduledLr() const
+{
+    return static_cast<double>(base_lr_) * cfg_.schedule.scale(step_);
+}
+
+void
+Trainer::broadcastFromReplica0()
+{
+    const std::vector<nn::Param *> &master = replicas_[0]->params;
+    for (size_t r = 1; r < replicas_.size(); ++r) {
+        const std::vector<nn::Param *> &dst = replicas_[r]->params;
+        MIRAGE_ASSERT(dst.size() == master.size(),
+                      "replica parameter lists diverged");
+        for (size_t i = 0; i < master.size(); ++i)
+            dst[i]->value.vec() = master[i]->value.vec();
+    }
+}
+
+void
+Trainer::trainStep(const nn::BatchIterator &it, TrainReport &report,
+                   double &epoch_loss, int64_t &epoch_correct)
+{
+    const int S = cfg_.shards_per_step;
+    const int A = cfg_.accum_rounds;
+    const int R = cfg_.replicas;
+    const int64_t n = flat_size_;
+    const auto compute_t0 = std::chrono::steady_clock::now();
+
+    std::fill(step_grad_.begin(), step_grad_.end(), 0.0f);
+    double step_loss = 0.0;
+    int64_t step_correct = 0;
+
+    for (int a = 0; a < A; ++a) {
+        const int64_t round_base = cursor_ + static_cast<int64_t>(a) * S;
+        // Replica r executes shard q of the round when q % R == r, each on
+        // its own model copy; writes go to disjoint shard slots, and the
+        // parallelFor join orders them before the reduction below.
+        runtime::parallelFor(R, 1, [&](int64_t begin, int64_t end) {
+            for (int64_t r = begin; r < end; ++r) {
+                Replica &rep = *replicas_[r];
+                nn::Dataset &shard = shard_batch_[static_cast<size_t>(r)];
+                for (int q = static_cast<int>(r); q < S; q += R) {
+                    it.batchInto(round_base + q, shard);
+                    nn::Optimizer::zeroGrad(rep.params);
+                    const nn::Tensor logits =
+                        rep.net->forward(shard.inputs, /*training=*/true);
+                    const nn::LossResult loss =
+                        nn::softmaxCrossEntropy(logits, shard.labels);
+                    rep.net->backward(loss.grad);
+
+                    float *dst = shard_grads_[static_cast<size_t>(q)].data();
+                    int64_t off = 0;
+                    for (const nn::Param *p : rep.params) {
+                        const float *src = p->grad.data();
+                        std::copy(src, src + p->grad.size(), dst + off);
+                        off += p->grad.size();
+                    }
+                    shard_loss_[static_cast<size_t>(q)] = loss.loss;
+                    // Inline argmax (argmaxRows semantics, ties low): no
+                    // per-shard prediction vector on the hot path.
+                    const int classes =
+                        static_cast<int>(logits.shape().back());
+                    int correct = 0;
+                    for (size_t i = 0; i < shard.labels.size(); ++i) {
+                        const int64_t base =
+                            static_cast<int64_t>(i) * classes;
+                        int best = 0;
+                        for (int c = 1; c < classes; ++c)
+                            if (logits[base + c] > logits[base + best])
+                                best = c;
+                        correct += (best == shard.labels[i]);
+                    }
+                    shard_correct_[static_cast<size_t>(q)] = correct;
+                }
+            }
+        });
+
+        // Fixed binary-tree reduction over the shard index — the shape
+        // depends only on S, never on the replica count, so the FP32
+        // accumulation order (and hence every rounded bit) matches the
+        // 1-replica run.
+        for (int stride = 1; stride < S; stride *= 2) {
+            for (int i = 0; i + stride < S; i += 2 * stride) {
+                float *acc = shard_grads_[static_cast<size_t>(i)].data();
+                const float *src =
+                    shard_grads_[static_cast<size_t>(i + stride)].data();
+                for (int64_t e = 0; e < n; ++e)
+                    acc[e] += src[e];
+            }
+        }
+        const float *round_sum = shard_grads_[0].data();
+        for (int64_t e = 0; e < n; ++e)
+            step_grad_[static_cast<size_t>(e)] += round_sum[e];
+        for (int q = 0; q < S; ++q) {
+            step_loss += shard_loss_[static_cast<size_t>(q)];
+            step_correct += shard_correct_[static_cast<size_t>(q)];
+        }
+    }
+
+    // Each shard gradient is a mean over micro_batch rows; the global
+    // mean over the effective batch is the shard sum / (S * A).
+    const float inv = 1.0f / static_cast<float>(S * A);
+    for (float &g : step_grad_)
+        g *= inv;
+
+    assertFiniteGrads(step_grad_, "the optimizer-step boundary");
+    double norm;
+    if (cfg_.clip_norm > 0.0) {
+        norm = clipGradNorm(std::span<float>(step_grad_), cfg_.clip_norm);
+        if (norm > cfg_.clip_norm)
+            ++report.clipped_steps;
+    } else {
+        norm = globalGradNorm(std::span<const float>(step_grad_));
+    }
+    report.max_grad_norm = std::max(report.max_grad_norm, norm);
+
+    // Scatter the reduced gradient into replica 0 and step the master.
+    int64_t off = 0;
+    for (nn::Param *p : replicas_[0]->params) {
+        std::copy(step_grad_.data() + off,
+                  step_grad_.data() + off + p->grad.size(), p->grad.data());
+        off += p->grad.size();
+    }
+    const double lr = scheduledLr();
+    opt_->setLr(static_cast<float>(lr));
+    opt_->step(replicas_[0]->params);
+    broadcastFromReplica0();
+
+    ++step_;
+    cursor_ += static_cast<int64_t>(S) * A;
+    // Compute time only: the checkpoint/publish I/O below is excluded so
+    // TrainReport::samples_per_s reports sustained training throughput.
+    step_wall_s_ += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - compute_t0)
+                        .count();
+    const float mean_loss =
+        static_cast<float>(step_loss / static_cast<double>(S * A));
+    report.step_loss.push_back(mean_loss);
+    report.step_lr.push_back(static_cast<float>(lr));
+    epoch_loss += step_loss;
+    epoch_correct += step_correct;
+
+    if (cfg_.checkpoint_every_steps > 0 &&
+        step_ % cfg_.checkpoint_every_steps == 0) {
+        if (!cfg_.checkpoint_path.empty()) {
+            saveCheckpoint(cfg_.checkpoint_path);
+            ++report.checkpoints_written;
+        }
+        if (cfg_.publish_to != nullptr)
+            report.last_published_version = publishNow();
+    }
+}
+
+TrainReport
+Trainer::run(const nn::Dataset &train, const nn::Dataset *test,
+             int target_epochs, int64_t max_steps)
+{
+    // Continuing a run (including one restored from a checkpoint) on a
+    // different dataset would replay different batches and silently break
+    // the bit-exact-resume contract; the row count is the cheap identity
+    // check (the seed check in loadCheckpoint covers the shuffle stream).
+    if ((step_ > 0 || epoch_ > 0 || cursor_ > 0) && data_size_ != 0 &&
+        data_size_ != train.size())
+        throw serve::CheckpointError(
+            "Trainer::run: resuming with a dataset of " +
+            std::to_string(train.size()) + " rows, but training so far "
+            "used " + std::to_string(data_size_) +
+            "; the continued run would not be bit-identical");
+    data_size_ = train.size();
+
+    const int64_t shards_per_opt_step =
+        static_cast<int64_t>(cfg_.shards_per_step) * cfg_.accum_rounds;
+    nn::BatchIterator it(train, cfg_.micro_batch, data_seed_,
+                         /*shuffle=*/true, /*drop_last=*/true);
+    const int64_t batches_per_epoch = it.batchesPerEpoch();
+    if (batches_per_epoch < shards_per_opt_step)
+        throw std::invalid_argument(
+            "Trainer::run: dataset of " + std::to_string(train.size()) +
+            " rows cannot fill one optimizer step of " +
+            std::to_string(cfg_.effectiveBatch()) + " samples");
+    // Whole optimizer steps only; the epoch's ragged tail is skipped.
+    const int64_t usable =
+        (batches_per_epoch / shards_per_opt_step) * shards_per_opt_step;
+
+    TrainReport report;
+    const int64_t start_step = step_;
+    if (!cfg_.shape.layers.empty()) {
+        const core::PerformanceReport perf =
+            replicas_[0]->accel->estimateTraining(cfg_.shape,
+                                                  cfg_.effectiveBatch());
+        report.modeled_step_time_s = perf.time_s;
+        report.modeled_step_energy_j = perf.energy_j;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    step_wall_s_ = 0.0;
+    while (epoch_ < target_epochs) {
+        it.setEpoch(epoch_);
+        double epoch_loss = 0.0;
+        int64_t epoch_correct = 0;
+        const int64_t epoch_start_cursor = cursor_;
+        while (cursor_ + shards_per_opt_step <= usable &&
+               (max_steps == 0 || step_ - start_step < max_steps))
+            trainStep(it, report, epoch_loss, epoch_correct);
+        const bool stopped_early =
+            max_steps > 0 && step_ - start_step >= max_steps &&
+            cursor_ + shards_per_opt_step <= usable;
+
+        if (stopped_early)
+            break; // mid-epoch: epoch_/cursor_ stay put for the checkpoint
+
+        const int64_t shards_done = cursor_ - epoch_start_cursor;
+        if (shards_done == 0) {
+            // Only reachable by resuming a checkpoint written at an exact
+            // epoch boundary: the epoch was already complete, so roll over
+            // without recording a spurious all-zero metrics entry.
+            ++epoch_;
+            cursor_ = 0;
+            continue;
+        }
+        const int64_t samples_done = shards_done * cfg_.micro_batch;
+        report.epoch_loss.push_back(static_cast<float>(
+            epoch_loss / static_cast<double>(shards_done)));
+        report.epoch_train_acc.push_back(static_cast<float>(epoch_correct) /
+                                         static_cast<float>(samples_done));
+        if (test != nullptr)
+            report.epoch_test_acc.push_back(
+                nn::evaluateAccuracy(net(), *test));
+        if (cfg_.verbose) {
+            MIRAGE_INFORM("train epoch ", epoch_, ": loss=",
+                          report.epoch_loss.back(), " train_acc=",
+                          report.epoch_train_acc.back(), " step=", step_);
+        }
+        ++epoch_;
+        cursor_ = 0;
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    report.steps_run = step_ - start_step;
+    report.final_step = step_;
+    report.samples_seen = report.steps_run * cfg_.effectiveBatch();
+    report.wall_s = wall;
+    report.samples_per_s =
+        step_wall_s_ > 0.0
+            ? static_cast<double>(report.samples_seen) / step_wall_s_
+            : 0.0;
+    report.modeled_time_s =
+        report.modeled_step_time_s * static_cast<double>(report.steps_run);
+    report.modeled_energy_j =
+        report.modeled_step_energy_j * static_cast<double>(report.steps_run);
+    if (test != nullptr)
+        report.final_test_accuracy = nn::evaluateAccuracy(net(), *test);
+    return report;
+}
+
+serve::Checkpoint
+Trainer::makeCheckpoint()
+{
+    serve::Checkpoint ckpt =
+        serve::snapshot(*replicas_[0]->net, modelName(), opt_.get());
+    ckpt.metadata[kMetaStep] = step_;
+    ckpt.metadata[kMetaEpoch] = epoch_;
+    ckpt.metadata[kMetaCursor] = cursor_;
+    ckpt.metadata[kMetaDataSeed] = std::bit_cast<int64_t>(data_seed_);
+    ckpt.metadata[kMetaDataSize] = data_size_;
+    ckpt.metadata[kMetaMicroBatch] = cfg_.micro_batch;
+    ckpt.metadata[kMetaShards] = cfg_.shards_per_step;
+    ckpt.metadata[kMetaAccum] = cfg_.accum_rounds;
+    ckpt.metadata[kMetaBaseLrBits] =
+        std::bit_cast<int64_t>(static_cast<double>(base_lr_));
+    ckpt.metadata[kMetaClipNormBits] = std::bit_cast<int64_t>(cfg_.clip_norm);
+    ckpt.metadata[kMetaExecMode] = static_cast<int64_t>(cfg_.mode);
+    ckpt.metadata[kMetaSchedPolicy] =
+        static_cast<int64_t>(cfg_.schedule.policy);
+    ckpt.metadata[kMetaSchedWarmup] = cfg_.schedule.warmup_steps;
+    ckpt.metadata[kMetaSchedDecayEvery] = cfg_.schedule.decay_every;
+    ckpt.metadata[kMetaSchedGammaBits] =
+        std::bit_cast<int64_t>(cfg_.schedule.gamma);
+    ckpt.metadata[kMetaSchedTotalSteps] = cfg_.schedule.total_steps;
+    ckpt.metadata[kMetaSchedMinScaleBits] =
+        std::bit_cast<int64_t>(cfg_.schedule.min_scale);
+    return ckpt;
+}
+
+void
+Trainer::saveCheckpoint(const std::string &path)
+{
+    serve::saveFile(makeCheckpoint(), path);
+}
+
+void
+Trainer::loadCheckpoint(const serve::Checkpoint &ckpt)
+{
+    if (!ckpt.hasMeta(kMetaStep))
+        throw serve::CheckpointError(
+            "checkpoint '" + ckpt.model_name +
+            "' carries no trainer resume metadata (not written by a "
+            "Trainer?)");
+    // Everything that shapes the post-resume trajectory must match, or
+    // the continued run could not be bit-identical to an uninterrupted
+    // one: the whole micro-batch split (a different split replays
+    // different shard contents and a different reduction tree, and the
+    // cursor is counted in micro-batches), the clip norm, the execution
+    // mode (numerics), and the full LR schedule.
+    const auto checkMeta = [&](const char *key, int64_t configured) {
+        if (ckpt.meta(key) != configured)
+            throw serve::CheckpointError(
+                "checkpoint " + std::string(key) + " is " +
+                std::to_string(ckpt.meta(key)) + " but this trainer uses " +
+                std::to_string(configured) +
+                "; a resumed run would not be bit-identical");
+    };
+    checkMeta(kMetaMicroBatch, cfg_.micro_batch);
+    checkMeta(kMetaShards, cfg_.shards_per_step);
+    checkMeta(kMetaAccum, cfg_.accum_rounds);
+    checkMeta(kMetaClipNormBits, std::bit_cast<int64_t>(cfg_.clip_norm));
+    checkMeta(kMetaExecMode, static_cast<int64_t>(cfg_.mode));
+    checkMeta(kMetaSchedPolicy, static_cast<int64_t>(cfg_.schedule.policy));
+    checkMeta(kMetaSchedWarmup, cfg_.schedule.warmup_steps);
+    checkMeta(kMetaSchedDecayEvery, cfg_.schedule.decay_every);
+    checkMeta(kMetaSchedGammaBits, std::bit_cast<int64_t>(cfg_.schedule.gamma));
+    checkMeta(kMetaSchedTotalSteps, cfg_.schedule.total_steps);
+    checkMeta(kMetaSchedMinScaleBits,
+              std::bit_cast<int64_t>(cfg_.schedule.min_scale));
+    if (std::bit_cast<uint64_t>(ckpt.meta(kMetaDataSeed)) != data_seed_)
+        throw serve::CheckpointError(
+            "checkpoint data-shuffle stream differs from this trainer's "
+            "(different TrainerConfig::seed); resume would replay "
+            "different batches");
+    if (ckpt.meta(kMetaBaseLrBits) !=
+        std::bit_cast<int64_t>(static_cast<double>(base_lr_)))
+        throw serve::CheckpointError(
+            "checkpoint base learning rate differs from this trainer's "
+            "optimizer; resume would not be bit-identical");
+
+    serve::restore(ckpt, *replicas_[0]->net, opt_.get());
+    step_ = ckpt.meta(kMetaStep);
+    epoch_ = ckpt.meta(kMetaEpoch);
+    cursor_ = ckpt.meta(kMetaCursor);
+    // Dataset identity is checked against this at the next run() call,
+    // where the dataset is actually in hand.
+    data_size_ = ckpt.meta(kMetaDataSize, 0);
+    broadcastFromReplica0();
+}
+
+void
+Trainer::loadCheckpointFile(const std::string &path)
+{
+    loadCheckpoint(serve::loadFile(path));
+}
+
+int
+Trainer::publishNow()
+{
+    if (cfg_.publish_to == nullptr)
+        throw std::logic_error(
+            "Trainer::publishNow: no publish_to repository configured");
+    return cfg_.publish_to->publishCheckpoint(
+        cfg_.publish_name, makeCheckpoint(), cfg_.shape, factory_);
+}
+
+} // namespace train
+} // namespace mirage

@@ -1,0 +1,255 @@
+#ifndef MIRAGE_TRAIN_TRAINER_H
+#define MIRAGE_TRAIN_TRAINER_H
+
+/**
+ * @file
+ * Deterministic data-parallel training orchestrator.
+ *
+ * The Trainer runs synchronous data-parallel training of any models::
+ * network across N replicas, each a full model copy on its own
+ * MirageAccelerator. Every optimizer step consumes a fixed micro-batch
+ * structure — shards_per_step micro-batches per accumulation round,
+ * accum_rounds rounds per step — that is independent of the replica
+ * count; replicas execute shard q of a round when q % replicas == their
+ * index, and shard gradients are combined by a fixed binary-tree
+ * reduction over the shard index. Because the tree shape, the shard
+ * contents (BatchIterator is a pure function of seed/epoch/index) and the
+ * per-shard numerics (deterministic at any thread count, PR 2) never
+ * depend on N, an N-replica run is bit-identical to a 1-replica run at
+ * the same effective batch size.
+ *
+ * Around that core: gradient accumulation, global-norm clipping with a
+ * debug NaN/Inf guard, LrSchedule-driven learning rates through the
+ * Optimizer::setLr hook, periodic checkpointing through serve/checkpoint
+ * with bit-exact mid-run resume (optimizer state, schedule step, epoch
+ * and batch cursor, and the data-shuffle RNG stream base all round-trip
+ * through the v2 metadata section), and an optional train->serve bridge
+ * that hot-publishes each checkpoint into a serve::ModelRepository for
+ * zero-downtime model refresh.
+ *
+ * Determinism scope: the contract covers model parameters and optimizer
+ * state. Non-parameter layer buffers that integrate a replica's local
+ * shard stream (BatchNorm running statistics) follow whichever shards a
+ * replica happened to execute, exactly as in any synchronous-DP system;
+ * checkpoints and evaluation read replica 0.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/config.h"
+#include "core/mirage.h"
+#include "models/zoo.h"
+#include "nn/data.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+#include "serve/checkpoint.h"
+#include "serve/repository.h"
+#include "train/schedule.h"
+
+namespace mirage {
+namespace train {
+
+/** Trainer configuration. */
+struct TrainerConfig
+{
+    /// Model replicas (one full model + accelerator each).
+    int replicas = 1;
+    /// Rows per micro-batch (shard); every shard has exactly this many.
+    int micro_batch = 16;
+    /// Micro-batches per accumulation round; fixed w.r.t. replicas, so it
+    /// also bounds the useful replica count (extras idle).
+    int shards_per_step = 1;
+    /// Accumulation rounds per optimizer step.
+    int accum_rounds = 1;
+    /// Global-norm gradient clip; 0 disables.
+    double clip_norm = 0.0;
+    /// Learning-rate schedule applied as base_lr * scale(step).
+    LrSchedule schedule;
+    /// Root seed: data shuffling and weight init derive split streams.
+    uint64_t seed = 0x54524149u; // 'TRAI'
+    /// Numerics for every replica's GEMMs.
+    core::ExecutionMode mode = core::ExecutionMode::Emulated;
+    /// Configuration for each replica's accelerator.
+    arch::MirageConfig accel;
+
+    /// Checkpoint file written every checkpoint_every_steps optimizer
+    /// steps (and publish, when a repository is wired). Empty: never.
+    std::string checkpoint_path;
+    int64_t checkpoint_every_steps = 0;
+
+    /// Train->serve bridge: when set, every checkpoint boundary also
+    /// hot-publishes the current weights into this repository under
+    /// publish_name (borrowed; must outlive the trainer).
+    serve::ModelRepository *publish_to = nullptr;
+    std::string publish_name;
+
+    /// Analytic layer shapes for modeled accelerator time/energy per step
+    /// (MiragePerfModel/MirageEnergyModel); empty layers: skip modeling.
+    models::ModelShape shape;
+
+    bool verbose = false;
+
+    /** Samples consumed per optimizer step. */
+    int64_t effectiveBatch() const
+    {
+        return static_cast<int64_t>(micro_batch) * shards_per_step *
+               accum_rounds;
+    }
+
+    /** Throws std::invalid_argument naming the offending knob. */
+    void validate() const;
+};
+
+/** Metrics of one run() call plus cumulative modeled accelerator cost. */
+struct TrainReport
+{
+    std::vector<float> epoch_loss;      ///< Mean shard loss per epoch.
+    std::vector<float> epoch_train_acc; ///< Training accuracy per epoch.
+    std::vector<float> epoch_test_acc;  ///< Only when a test set is given.
+    std::vector<float> step_loss;       ///< Mean shard loss per step.
+    std::vector<float> step_lr;         ///< Scheduled rate used per step.
+
+    int64_t steps_run = 0;     ///< Optimizer steps executed by this run().
+    int64_t final_step = 0;    ///< Trainer's global step after the run.
+    int64_t samples_seen = 0;  ///< steps_run * effectiveBatch().
+    double wall_s = 0.0;       ///< Wall-clock seconds of this run().
+    /// Sustained training throughput: samples over the seconds spent in
+    /// compute (excludes per-epoch test evaluation and checkpoint I/O).
+    double samples_per_s = 0.0;
+
+    /// Modeled accelerator cost of one optimizer step (effective-batch
+    /// training step through MiragePerfModel/MirageEnergyModel); zero
+    /// when TrainerConfig::shape is empty.
+    double modeled_step_time_s = 0.0;
+    double modeled_step_energy_j = 0.0;
+    double modeled_time_s = 0.0;   ///< modeled_step_time_s * steps_run.
+    double modeled_energy_j = 0.0; ///< modeled_step_energy_j * steps_run.
+
+    double max_grad_norm = 0.0;  ///< Largest pre-clip global norm seen.
+    uint64_t clipped_steps = 0;  ///< Steps whose gradient was rescaled.
+    int checkpoints_written = 0; ///< Files saved by this run().
+    int last_published_version = 0; ///< 0 when nothing was published.
+    float final_test_accuracy = 0.0f;
+
+    /** Modeled energy per sample [J]; 0 without a shape. */
+    double
+    modeledJoulesPerSample() const
+    {
+        return samples_seen > 0
+                   ? modeled_energy_j / static_cast<double>(samples_seen)
+                   : 0.0;
+    }
+};
+
+/** The data-parallel training orchestrator. */
+class Trainer
+{
+  public:
+    /**
+     * Builds `cfg.replicas` model replicas via `factory` (each on its own
+     * accelerator; all replicas share one init stream so their weights
+     * start bit-identical) and takes ownership of the optimizer, whose
+     * current lr() becomes the schedule's base rate.
+     */
+    Trainer(serve::ModelFactory factory, std::unique_ptr<nn::Optimizer> opt,
+            TrainerConfig cfg);
+    ~Trainer();
+
+    Trainer(const Trainer &) = delete;
+    Trainer &operator=(const Trainer &) = delete;
+
+    /**
+     * Trains on `train` until `target_epochs` full epochs have been
+     * completed (an absolute count: a trainer resumed at epoch 2 runs
+     * epochs 2..target_epochs-1, continuing mid-epoch from its cursor).
+     * The ragged tail of an epoch that cannot fill a whole optimizer step
+     * is skipped. `test` (optional) is evaluated after every epoch.
+     *
+     * `max_steps` > 0 stops this call after that many optimizer steps —
+     * possibly mid-epoch, which is exactly the state checkpoint-resume
+     * restores bit-exactly (save, rebuild, loadCheckpoint, run again).
+     */
+    TrainReport run(const nn::Dataset &train, const nn::Dataset *test,
+                    int target_epochs, int64_t max_steps = 0);
+
+    /** Snapshot of replica 0 + optimizer + resume metadata. */
+    serve::Checkpoint makeCheckpoint();
+
+    /** makeCheckpoint() to a file via serve::saveFile. */
+    void saveCheckpoint(const std::string &path);
+
+    /**
+     * Restores parameters, optimizer state and the training position
+     * (step/epoch/cursor) into this trainer and re-broadcasts to every
+     * replica. Throws CheckpointError when the checkpoint lacks trainer
+     * metadata or was produced under a different effective batch size,
+     * data seed, or base learning rate — configurations whose resumed run
+     * could not be bit-identical to the uninterrupted one. The dataset's
+     * row count is validated at the next run() call (when the dataset is
+     * in hand); the replica count may differ freely.
+     */
+    void loadCheckpoint(const serve::Checkpoint &ckpt);
+
+    /** loadCheckpoint() from a file via serve::loadFile. */
+    void loadCheckpointFile(const std::string &path);
+
+    /**
+     * Hot-publishes the current weights into cfg.publish_to immediately;
+     * returns the new version. Throws std::logic_error when no repository
+     * is configured.
+     */
+    int publishNow();
+
+    /** Replica 0's network (the master copy). */
+    nn::Sequential &net();
+
+    nn::Optimizer &optimizer() { return *opt_; }
+    const TrainerConfig &config() const { return cfg_; }
+
+    int64_t globalStep() const { return step_; }
+    int64_t epochIndex() const { return epoch_; }
+    /** Micro-batches consumed within the current epoch. */
+    int64_t cursorBatch() const { return cursor_; }
+    /** Learning rate the next step will use: base_lr * scale(step). */
+    double scheduledLr() const;
+
+  private:
+    struct Replica;
+
+    std::string modelName() const;
+    void broadcastFromReplica0();
+    void trainStep(const nn::BatchIterator &it, TrainReport &report,
+                   double &epoch_loss, int64_t &epoch_correct);
+
+    TrainerConfig cfg_;
+    serve::ModelFactory factory_;
+    std::unique_ptr<nn::Optimizer> opt_;
+    float base_lr_ = 0.0f;
+    uint64_t data_seed_ = 0;
+
+    std::vector<std::unique_ptr<Replica>> replicas_;
+    int64_t flat_size_ = 0; ///< Total parameter elements per replica.
+
+    // Per-shard scratch, sized once: grads (flat), loss, correct counts.
+    std::vector<std::vector<float>> shard_grads_;
+    std::vector<float> shard_loss_;
+    std::vector<int> shard_correct_;
+    std::vector<float> step_grad_; ///< Accumulated mean gradient.
+    /// One reusable batch per replica (BatchIterator::batchInto target),
+    /// so steady-state steps add no allocator traffic of their own.
+    std::vector<nn::Dataset> shard_batch_;
+
+    int64_t step_ = 0;   ///< Optimizer steps since construction/restore.
+    int64_t epoch_ = 0;  ///< Current epoch index.
+    int64_t cursor_ = 0; ///< Micro-batches consumed in the current epoch.
+    int64_t data_size_ = 0; ///< Rows of the last run() dataset (0: none).
+    double step_wall_s_ = 0.0; ///< Wall seconds inside compute, this run.
+};
+
+} // namespace train
+} // namespace mirage
+
+#endif // MIRAGE_TRAIN_TRAINER_H

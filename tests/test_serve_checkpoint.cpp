@@ -252,6 +252,45 @@ TEST_F(CheckpointTest, CorruptionIsDetected)
                  serve::CheckpointError);
 }
 
+TEST_F(CheckpointTest, OldFormatVersionIsRejected)
+{
+    // A v1 file (pre-metadata) must be rejected, not silently read with
+    // its resume state missing: a Trainer resumed from it could not be
+    // bit-identical. Byte 8 is the LSB of the little-endian version word.
+    ASSERT_GE(serve::kFormatVersion, 2u);
+    const std::vector<uint8_t> bytes =
+        serve::serialize(serve::snapshot(*net, "mlp"));
+    std::vector<uint8_t> old_version = bytes;
+    old_version[8] = 1;
+    try {
+        serve::deserialize(old_version);
+        FAIL() << "v1 checkpoint was accepted";
+    } catch (const serve::CheckpointError &e) {
+        EXPECT_NE(std::string(e.what()).find("version 1"),
+                  std::string::npos)
+            << "error should name the offending version: " << e.what();
+    }
+}
+
+TEST_F(CheckpointTest, MetadataRoundTripsBitExactly)
+{
+    serve::Checkpoint ckpt = serve::snapshot(*net, "mlp");
+    ckpt.metadata["train/step"] = 42;
+    ckpt.metadata["train/epoch"] = 3;
+    ckpt.metadata["train/data_seed"] =
+        static_cast<int64_t>(0xDEADBEEFCAFEF00Dull); // u64 bit pattern
+    ckpt.metadata["train/negative"] = -7;
+
+    const serve::Checkpoint back =
+        serve::deserialize(serve::serialize(ckpt));
+    EXPECT_EQ(back.metadata, ckpt.metadata);
+    EXPECT_EQ(back.meta("train/step"), 42);
+    EXPECT_EQ(back.meta("train/negative"), -7);
+    EXPECT_EQ(back.meta("absent", -1), -1);
+    EXPECT_TRUE(back.hasMeta("train/epoch"));
+    EXPECT_FALSE(back.hasMeta("train/missing"));
+}
+
 TEST_F(CheckpointTest, MissingFileThrows)
 {
     EXPECT_THROW(serve::loadFile("/nonexistent/ckpt.bin"),

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * The train/ determinism contract: an N-replica data-parallel run is
+ * bit-identical to a 1-replica run at the same effective batch size
+ * (N in {1, 2, 4}), a run interrupted mid-epoch and resumed from its
+ * checkpoint finishes bit-identical to an uninterrupted run — even when
+ * the resumed trainer uses a different replica count — and all of it is
+ * invariant to the host thread count. These are the guarantees that let
+ * the orchestrator scale across accelerator tiles without changing any
+ * experiment's numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "models/trainable.h"
+#include "nn/data.h"
+#include "runtime/thread_pool.h"
+#include "serve/checkpoint.h"
+#include "train/trainer.h"
+#include "test_support.h"
+
+namespace {
+
+using namespace mirage;
+
+constexpr int kIn = 8, kHidden = 16, kClasses = 3;
+
+serve::ModelFactory
+mlpFactory()
+{
+    return [](nn::GemmBackend *backend, Rng &rng) {
+        return models::makeMlp(kIn, kHidden, kClasses, backend, rng);
+    };
+}
+
+serve::ModelFactory
+cnnFactory()
+{
+    return [](nn::GemmBackend *backend, Rng &rng) {
+        return models::makeSmallCnn(kClasses, backend, rng);
+    };
+}
+
+nn::Dataset
+mlpData()
+{
+    return nn::makeGaussianClusters(96, kClasses, kIn, 3.0f, 71);
+}
+
+train::TrainerConfig
+mlpConfig(int replicas)
+{
+    train::TrainerConfig cfg;
+    cfg.replicas = replicas;
+    cfg.micro_batch = 8;
+    cfg.shards_per_step = 4;
+    cfg.seed = 2024;
+    return cfg;
+}
+
+/** Flattened parameter values of the trainer's master replica. */
+std::vector<float>
+flatParams(train::Trainer &trainer)
+{
+    std::vector<float> out;
+    for (nn::Param *p : trainer.net().params())
+        for (int64_t i = 0; i < p->value.size(); ++i)
+            out.push_back(p->value[i]);
+    return out;
+}
+
+void
+expectBitIdentical(const std::vector<float> &a, const std::vector<float> &b,
+                   const char *what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    ASSERT_FALSE(a.empty()) << what;
+    for (size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << what << ": weight " << i;
+}
+
+class TrainDeterminism : public mirage::test::SeededTest
+{
+};
+
+TEST_F(TrainDeterminism, OneVsTwoVsFourReplicasBitIdentical)
+{
+    const nn::Dataset data = mlpData();
+    std::vector<std::vector<float>> results;
+    for (const int replicas : {1, 2, 4}) {
+        train::Trainer trainer(
+            mlpFactory(), std::make_unique<nn::Sgd>(0.05f, 0.9f),
+            mlpConfig(replicas));
+        trainer.run(data, nullptr, /*target_epochs=*/2);
+        results.push_back(flatParams(trainer));
+    }
+    expectBitIdentical(results[0], results[1], "1 vs 2 replicas");
+    expectBitIdentical(results[0], results[2], "1 vs 4 replicas");
+}
+
+TEST_F(TrainDeterminism, ReplicasBitIdenticalWithClippingAndAccumulation)
+{
+    const nn::Dataset data = mlpData();
+    std::vector<std::vector<float>> results;
+    for (const int replicas : {1, 2}) {
+        train::TrainerConfig cfg = mlpConfig(replicas);
+        cfg.accum_rounds = 2;
+        cfg.clip_norm = 0.5; // low enough to engage on real gradients
+        cfg.schedule = train::LrSchedule::cosine(/*total_steps=*/6, 0.1,
+                                                 /*warmup_steps=*/2);
+        train::Trainer trainer(mlpFactory(),
+                               std::make_unique<nn::Adam>(0.01f), cfg);
+        const train::TrainReport report =
+            trainer.run(data, nullptr, /*target_epochs=*/2);
+        if (replicas == 1) {
+            EXPECT_GT(report.clipped_steps, 0u)
+                << "clip_norm chosen too high to exercise clipping";
+        }
+        results.push_back(flatParams(trainer));
+    }
+    expectBitIdentical(results[0], results[1],
+                       "1 vs 2 replicas (clip + accum)");
+}
+
+TEST_F(TrainDeterminism, SmallCnnReplicasBitIdentical)
+{
+    const nn::Dataset data = nn::makePatternImages(32, kClasses, 16, 0.3f, 5);
+    std::vector<std::vector<float>> results;
+    for (const int replicas : {1, 2}) {
+        train::TrainerConfig cfg;
+        cfg.replicas = replicas;
+        cfg.micro_batch = 4;
+        cfg.shards_per_step = 2;
+        cfg.seed = 99;
+        train::Trainer trainer(cnnFactory(),
+                               std::make_unique<nn::Sgd>(0.01f), cfg);
+        trainer.run(data, nullptr, /*target_epochs=*/1);
+        results.push_back(flatParams(trainer));
+    }
+    expectBitIdentical(results[0], results[1], "CNN 1 vs 2 replicas");
+}
+
+TEST_F(TrainDeterminism, ResumeFromMidEpochCheckpointBitIdentical)
+{
+    const nn::Dataset data = mlpData();
+    const std::string path = "test_train_resume.mirckpt";
+
+    // Uninterrupted reference: 2 epochs = 6 optimizer steps.
+    train::Trainer reference(mlpFactory(),
+                             std::make_unique<nn::Sgd>(0.05f, 0.9f),
+                             mlpConfig(1));
+    reference.run(data, nullptr, 2);
+
+    // Interrupted run: stop after 2 of the 3 steps of epoch 0 (mid-epoch),
+    // checkpoint, throw the trainer away.
+    {
+        train::Trainer interrupted(mlpFactory(),
+                                   std::make_unique<nn::Sgd>(0.05f, 0.9f),
+                                   mlpConfig(1));
+        interrupted.run(data, nullptr, 2, /*max_steps=*/2);
+        EXPECT_EQ(interrupted.globalStep(), 2);
+        EXPECT_EQ(interrupted.epochIndex(), 0);
+        EXPECT_GT(interrupted.cursorBatch(), 0); // genuinely mid-epoch
+        interrupted.saveCheckpoint(path);
+    }
+
+    // Resume in a fresh trainer ("new process") and finish.
+    train::Trainer resumed(mlpFactory(),
+                           std::make_unique<nn::Sgd>(0.05f, 0.9f),
+                           mlpConfig(1));
+    resumed.loadCheckpointFile(path);
+    EXPECT_EQ(resumed.globalStep(), 2);
+    resumed.run(data, nullptr, 2);
+    EXPECT_EQ(resumed.globalStep(), reference.globalStep());
+
+    auto a = flatParams(reference);
+    auto b = flatParams(resumed);
+    expectBitIdentical(a, b, "uninterrupted vs resumed");
+    std::remove(path.c_str());
+}
+
+TEST_F(TrainDeterminism, ResumeWithDifferentReplicaCountBitIdentical)
+{
+    const nn::Dataset data = mlpData();
+    const std::string path = "test_train_resume_n.mirckpt";
+
+    train::Trainer reference(mlpFactory(), std::make_unique<nn::Sgd>(0.05f),
+                             mlpConfig(4));
+    reference.run(data, nullptr, 2);
+
+    {
+        train::Trainer first(mlpFactory(), std::make_unique<nn::Sgd>(0.05f),
+                             mlpConfig(1));
+        first.run(data, nullptr, 2, /*max_steps=*/4); // stops inside epoch 1
+        EXPECT_EQ(first.epochIndex(), 1);
+        first.saveCheckpoint(path);
+    }
+
+    // The replica count is execution placement, not model state: a run
+    // started on 1 replica may resume on 2 and still match 4.
+    train::Trainer resumed(mlpFactory(), std::make_unique<nn::Sgd>(0.05f),
+                           mlpConfig(2));
+    resumed.loadCheckpointFile(path);
+    resumed.run(data, nullptr, 2);
+
+    auto a = flatParams(reference);
+    auto b = flatParams(resumed);
+    expectBitIdentical(a, b, "4-replica vs 1-then-2-replica resume");
+    std::remove(path.c_str());
+}
+
+TEST_F(TrainDeterminism, TrainingIsThreadCountInvariant)
+{
+    const nn::Dataset data = mlpData();
+    auto trained = [&] {
+        train::Trainer trainer(mlpFactory(),
+                               std::make_unique<nn::Sgd>(0.05f, 0.9f),
+                               mlpConfig(2));
+        trainer.run(data, nullptr, 1);
+        return flatParams(trainer);
+    };
+    runtime::ThreadPool::setGlobalThreads(1);
+    const std::vector<float> serial = trained();
+    runtime::ThreadPool::setGlobalThreads(8);
+    const std::vector<float> parallel = trained();
+    runtime::ThreadPool::setGlobalThreads(0);
+    expectBitIdentical(serial, parallel, "1 vs 8 threads");
+}
+
+} // namespace
