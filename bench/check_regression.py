@@ -32,7 +32,14 @@ Usage:
       --current-runtime runtime.json \
       --baseline-train bench/baselines/BENCH_train_soak.json \
       --current-train train.json \
-      [--max-slowdown 2.0] [--train-tolerance 0.01]
+      [--max-slowdown 2.0] [--train-tolerance 0.01] \
+      [--min-speedup 8:1:1.0]
+
+A baseline entry missing from the current report is an explicit failure
+(a benchmark that silently disappears would otherwise turn the gate
+vacuously green); entries new in the current report are noted but not
+gated.  --min-speedup THREADS:TILES:FLOOR (repeatable) additionally
+asserts an absolute scaling floor on the current runtime report.
 
 Exits non-zero when any check fails.  Either pair may be omitted.
 """
@@ -59,6 +66,23 @@ def geomean(values):
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def missing_keys(kind, base, cur):
+    """Baseline entries absent from the current report are a hard failure:
+    a benchmark that silently disappeared (renamed, crashed, filtered out)
+    would otherwise make the gate vacuously green.  Entries only in the
+    current report are new benchmarks awaiting a baseline refresh — noted,
+    not failed."""
+    ok = True
+    for key in sorted(set(base) - set(cur)):
+        print(f"FAIL  {kind}: baseline entry {key!r} missing from current"
+              f" report — benchmark removed or renamed? refresh the"
+              f" baseline deliberately if so")
+        ok = False
+    for key in sorted(set(cur) - set(base)):
+        print(f"note  {kind}: {key!r} is new (not in baseline); not gated")
+    return ok
+
+
 def check_micro(baseline_path, current_path, max_slowdown):
     base = load_micro(baseline_path)
     cur = load_micro(current_path)
@@ -66,11 +90,9 @@ def check_micro(baseline_path, current_path, max_slowdown):
     if not shared:
         print("FAIL micro: no shared kernels between baseline and current")
         return False
-    for name in sorted(set(base) ^ set(cur)):
-        print(f"note  micro: {name} present in only one report; skipped")
+    ok = missing_keys("micro", base, cur)
     base_ref = geomean([base[n] for n in shared])
     cur_ref = geomean([cur[n] for n in shared])
-    ok = True
     for name in shared:
         rel = (cur[name] / cur_ref) / (base[name] / base_ref)
         status = "ok  "
@@ -105,7 +127,7 @@ def check_runtime(baseline_path, current_path, max_slowdown):
         print("FAIL runtime: no shared sweep rows between baseline and"
               " current")
         return False
-    ok = True
+    ok = missing_keys("runtime", base, cur)
     for key in shared:
         floor = base[key] / max_slowdown
         status = "ok  "
@@ -143,9 +165,7 @@ def check_train(baseline_path, current_path, tolerance):
         print("FAIL train: no shared sweep rows between baseline and"
               " current")
         return False
-    for key in sorted(set(base) ^ set(cur)):
-        print(f"note  train: row {key} present in only one report; skipped")
-    ok = True
+    ok = missing_keys("train", base, cur)
     for key in shared:
         if base[key] == 0.0:
             rel = 0.0 if cur[key] == 0.0 else float("inf")
@@ -163,6 +183,42 @@ def check_train(baseline_path, current_path, tolerance):
     return ok
 
 
+def check_min_speedup(current_path, specs):
+    """Absolute scaling floors on the current runtime report, independent of
+    any baseline.  Each spec is "threads:tiles:floor"; the best speedup(x)
+    across burst sizes for that (threads, tiles) pair must be >= floor.
+    Catches a dispatch path that serializes outright — e.g. 8 threads
+    running no faster than 1 — which a relative baseline check can miss
+    once the broken number gets committed as the baseline."""
+    cur = load_runtime(current_path)
+    ok = True
+    for spec in specs:
+        try:
+            threads_s, tiles_s, floor_s = spec.split(":")
+            threads, tiles, floor = int(threads_s), int(tiles_s), \
+                float(floor_s)
+        except ValueError:
+            print(f"FAIL  floor: bad --min-speedup spec {spec!r}"
+                  f" (want THREADS:TILES:FLOOR)")
+            ok = False
+            continue
+        speedups = [v for (t, ti, _b), v in cur.items()
+                    if t == threads and ti == tiles]
+        if not speedups:
+            print(f"FAIL  floor: no rows with threads={threads}"
+                  f" tiles={tiles} in current runtime report")
+            ok = False
+            continue
+        best = max(speedups)
+        status = "ok  "
+        if best < floor:
+            status = "FAIL"
+            ok = False
+        print(f"{status}  floor: threads={threads} tiles={tiles}: best"
+              f" speedup {best:.2f}x (floor {floor:.2f}x)")
+    return ok
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline-micro")
@@ -173,6 +229,11 @@ def main():
     parser.add_argument("--current-train")
     parser.add_argument("--max-slowdown", type=float, default=2.0)
     parser.add_argument("--train-tolerance", type=float, default=0.01)
+    parser.add_argument("--min-speedup", action="append", default=[],
+                        metavar="THREADS:TILES:FLOOR",
+                        help="absolute floor on the current runtime"
+                             " report's best speedup(x) for a"
+                             " (threads, tiles) pair; repeatable")
     args = parser.parse_args()
 
     ok = True
@@ -189,6 +250,14 @@ def main():
         ran = True
         ok &= check_train(args.baseline_train, args.current_train,
                           args.train_tolerance)
+    if args.min_speedup:
+        if not args.current_runtime:
+            print("FAIL floor: --min-speedup needs --current-runtime")
+            ran = True
+            ok = False
+        else:
+            ran = True
+            ok &= check_min_speedup(args.current_runtime, args.min_speedup)
     if not ran:
         print("nothing to check: pass --baseline-*/--current-* pairs")
         return 2

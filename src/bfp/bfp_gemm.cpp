@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "common/simd.h"
 #include "rns/conversion.h"
 #include "rns/modular_gemm.h"
 #include "runtime/thread_pool.h"
@@ -18,9 +19,14 @@ namespace {
 /// is identical at every thread count. (Rng substreams are per-row, so the
 /// runtime::serialBelow small-workload collapse never changes results.)
 constexpr int64_t kEncodeGrain = 8;
-constexpr int64_t kComputeGrain = 2;
-constexpr int64_t kMinEncodeWork = 4096;
-constexpr int64_t kMinComputeWork = 16384;
+constexpr int64_t kComputeGrain = 4;
+/// Serial-below cutoffs. Encoding costs tens of cycles per element and the
+/// compute loop a few per MAC; below these counts the work finishes faster
+/// than the workers wake. (They were 4096/16384 — low enough that tiny
+/// layers paid dispatch overhead for microseconds of work, a measurable
+/// part of the historical multi-thread slowdown.)
+constexpr int64_t kMinEncodeWork = 16384;
+constexpr int64_t kMinComputeWork = 65536;
 
 /// Output-column tile of the compute loop: keeps the streamed B residue
 /// panel L1/L2-resident for large n. Tiling never reorders the per-element
@@ -340,12 +346,11 @@ bfpGemm(std::span<const float> a, std::span<const float> b,
                                     &a_planes[mi * a_plane_sz + a_off];
                                 const uint32_t *rb =
                                     &b_planes[mi * b_plane_sz + b_off];
-                                uint64_t sum = 0;
-                                for (int t = 0; t < g; ++t)
-                                    sum += static_cast<uint64_t>(ra[t]) *
-                                           rb[t];
-                                digits[mi] =
-                                    sum % codec->set().modulus(mi);
+                                // Exact u32xu32->u64 dot (residues < 2^21,
+                                // g < 2^22 — rawAccumulationSafe); the simd
+                                // kernel sums the same uint64 terms.
+                                digits[mi] = simd::dotU32U64(ra, rb, g) %
+                                             codec->set().modulus(mi);
                             }
                             isum = codec->decode(digits);
                         } else if (codec) {
@@ -371,12 +376,11 @@ bfpGemm(std::span<const float> a, std::span<const float> b,
                             }
                             isum = codec->decode(digits);
                         } else {
-                            int64_t sum = 0;
-                            const int32_t *ma = &a_enc.mantissas[a_off];
-                            const int32_t *mb = &b_enc.mantissas[b_off];
-                            for (int t = 0; t < g; ++t)
-                                sum += static_cast<int64_t>(ma[t]) * mb[t];
-                            isum = sum;
+                            // Exact i32xi32->i64 dot; mantissas are <= bm
+                            // bits so the accumulation cannot overflow.
+                            isum = simd::dotI32I64(&a_enc.mantissas[a_off],
+                                                   &b_enc.mantissas[b_off],
+                                                   g);
                         }
                         acc += static_cast<float>(std::ldexp(
                             static_cast<double>(isum),

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <type_traits>
 
 #include "bfp/bfp_gemm.h"
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/workspace.h"
 #include "runtime/thread_pool.h"
 
@@ -16,10 +18,15 @@ namespace {
 
 /// Output rows per parallelFor block (fixed — see thread_pool.h). Each row
 /// keeps its serial accumulation order, so parallel results stay
-/// bit-identical.
-constexpr int64_t kRowGrain = 2;
+/// bit-identical. A multiple of kRowBlock: smaller grains chopped blocks
+/// below the 4-row register-blocked fast path, so parallel runs fell back
+/// to the slow per-row kernel — one of the causes of the multi-thread
+/// slowdown this grain used to have at 2.
+constexpr int64_t kRowGrain = 8;
 /// Below this approximate MAC count the loops run serially (no sync cost).
-constexpr int64_t kMinParallelWork = 16384;
+/// ~64k MACs is a few microseconds of compute — dispatch below that costs
+/// more than it buys.
+constexpr int64_t kMinParallelWork = 65536;
 
 /// Register/cache blocking of the reference kernels: kRowBlock output rows
 /// share every B load, and the j loop is tiled so the accumulator panel
@@ -67,43 +74,49 @@ gemmPanelRows(const T *a, const T *b, Out *out, int64_t i0, int64_t i1,
         for (int j0 = 0; j0 < n_cols; j0 += kColTile) {
             const int jt = std::min(kColTile, n_cols - j0);
             std::memset(acc, 0, static_cast<size_t>(rows) * jt * sizeof(Acc));
-            for (int k = 0; k < k_depth; ++k) {
-                const T *b_row = &b[static_cast<size_t>(k) * n_cols + j0];
-                const T a0 = a[static_cast<size_t>(ib + 0) * k_depth + k];
-                const T a1 = rows > 1
-                                 ? a[static_cast<size_t>(ib + 1) * k_depth + k]
-                                 : T{};
-                const T a2 = rows > 2
-                                 ? a[static_cast<size_t>(ib + 2) * k_depth + k]
-                                 : T{};
-                const T a3 = rows > 3
-                                 ? a[static_cast<size_t>(ib + 3) * k_depth + k]
-                                 : T{};
-                if (rows == kRowBlock && a0 != T{} && a1 != T{} &&
-                    a2 != T{} && a3 != T{}) {
-                    Acc *r0 = acc;
-                    Acc *r1 = acc + jt;
-                    Acc *r2 = acc + 2 * jt;
-                    Acc *r3 = acc + 3 * jt;
-                    for (int j = 0; j < jt; ++j) {
-                        const Acc bv = static_cast<Acc>(b_row[j]);
-                        r0[j] += static_cast<Acc>(a0) * bv;
-                        r1[j] += static_cast<Acc>(a1) * bv;
-                        r2[j] += static_cast<Acc>(a2) * bv;
-                        r3[j] += static_cast<Acc>(a3) * bv;
-                    }
-                } else {
-                    // Mixed/sparse case keeps the legacy per-row zero skip
-                    // (also dodges 0 * inf surprises in FP32).
+            constexpr bool kHasPanelKernel =
+                (std::is_same_v<T, float> && std::is_same_v<Acc, float>) ||
+                (std::is_same_v<T, int32_t> && std::is_same_v<Acc, int64_t>);
+            if (rows == kRowBlock && kHasPanelKernel) {
+                // Register-tiled simd panel over the whole k loop — the
+                // accumulator tile stays in vector registers instead of
+                // round-tripping L1 per k step. Bit-identical to the
+                // per-k loop below: each element gets one multiply + one
+                // add per nonzero a[i][k], k ascending, no FMA
+                // contraction (common/simd.h).
+                if constexpr (std::is_same_v<T, float> &&
+                              std::is_same_v<Acc, float>) {
+                    simd::gemmPanel4F32(&a[static_cast<size_t>(ib) * k_depth],
+                                        k_depth, &b[j0], n_cols, k_depth, acc,
+                                        jt);
+                } else if constexpr (std::is_same_v<T, int32_t> &&
+                                     std::is_same_v<Acc, int64_t>) {
+                    simd::gemmPanel4I32I64(
+                        &a[static_cast<size_t>(ib) * k_depth], k_depth,
+                        &b[j0], n_cols, k_depth, acc, jt);
+                }
+            } else {
+                // Short row tail: per-k, per-row axpy with the legacy zero
+                // skip (which also dodges 0 * inf surprises in FP32).
+                for (int k = 0; k < k_depth; ++k) {
+                    const T *b_row = &b[static_cast<size_t>(k) * n_cols + j0];
                     for (int r = 0; r < rows; ++r) {
                         const T a_ik =
                             a[static_cast<size_t>(ib + r) * k_depth + k];
                         if (a_ik == T{})
                             continue;
                         Acc *row = acc + static_cast<size_t>(r) * jt;
-                        for (int j = 0; j < jt; ++j)
-                            row[j] += static_cast<Acc>(a_ik) *
-                                      static_cast<Acc>(b_row[j]);
+                        if constexpr (std::is_same_v<T, float> &&
+                                      std::is_same_v<Acc, float>) {
+                            simd::axpyF32(a_ik, b_row, row, jt);
+                        } else if constexpr (std::is_same_v<T, int32_t> &&
+                                             std::is_same_v<Acc, int64_t>) {
+                            simd::axpyI32I64(a_ik, b_row, row, jt);
+                        } else {
+                            for (int j = 0; j < jt; ++j)
+                                row[j] += static_cast<Acc>(a_ik) *
+                                          static_cast<Acc>(b_row[j]);
+                        }
                     }
                 }
             }

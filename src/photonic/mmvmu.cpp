@@ -22,10 +22,13 @@ constexpr int64_t kRowGrain = 8;
 
 /// Work cutoffs below which the loops run serially (runtime::serialBelow):
 /// phase accumulation/detection is expensive per element, weight copies are
-/// cheap, so the thresholds differ.
-constexpr int64_t kMinMvmWork = 1024;
-constexpr int64_t kMinProgramWork = 8192;
-constexpr int64_t kMinDecodeWork = 512;
+/// cheap, so the thresholds differ. Raised from 1024/8192/512 — those were
+/// low enough that single-tile MVMs woke the whole pool for work that
+/// finishes in a few microseconds, part of the historical multi-thread
+/// slowdown.
+constexpr int64_t kMinMvmWork = 8192;
+constexpr int64_t kMinProgramWork = 16384;
+constexpr int64_t kMinDecodeWork = 4096;
 
 } // namespace
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/workspace.h"
 #include "runtime/thread_pool.h"
 
@@ -14,11 +15,14 @@ namespace {
 
 /// Output rows per parallelFor block (fixed — see thread_pool.h for the
 /// determinism contract). Integer arithmetic is exact, so row-parallel
-/// execution is trivially bit-identical to serial.
-constexpr int64_t kRowGrain = 4;
+/// execution is trivially bit-identical to serial. A multiple of kRowBlock
+/// so every parallel block runs the 4-row unrolled panel (a grain of 4
+/// left odd-sized tail blocks on the slow path under parallel splits).
+constexpr int64_t kRowGrain = 8;
 constexpr int64_t kDecodeGrain = 256;
 /// Below this approximate op count the loops run serially (no sync cost).
-constexpr int64_t kMinParallelWork = 16384;
+/// ~64k ops is a few microseconds — not worth waking workers for.
+constexpr int64_t kMinParallelWork = 65536;
 
 /// Register-blocked kernel shape: kRowBlock output rows share every load of
 /// a B-row segment, and the j loop is tiled so the accumulator panel stays
@@ -42,44 +46,44 @@ gemmPanel(const Residue *a, const Residue *b, Residue *c, int ib, int ib_rows,
 {
     std::memset(acc, 0,
                 static_cast<size_t>(ib_rows) * jt * sizeof(uint64_t));
-    uint64_t since_reduce = 0;
-    for (int k = 0; k < k_depth; ++k) {
-        const Residue *b_row = &b[static_cast<size_t>(k) * n_cols + j0];
-        if (ib_rows == kRowBlock) {
-            // 4-row unrolled hot case: each B element loaded once feeds
-            // four accumulator rows.
-            const uint64_t a0 = a[static_cast<size_t>(ib + 0) * k_depth + k];
-            const uint64_t a1 = a[static_cast<size_t>(ib + 1) * k_depth + k];
-            const uint64_t a2 = a[static_cast<size_t>(ib + 2) * k_depth + k];
-            const uint64_t a3 = a[static_cast<size_t>(ib + 3) * k_depth + k];
-            if ((a0 | a1 | a2 | a3) != 0) {
-                uint64_t *r0 = acc;
-                uint64_t *r1 = acc + jt;
-                uint64_t *r2 = acc + 2 * jt;
-                uint64_t *r3 = acc + 3 * jt;
-                for (int j = 0; j < jt; ++j) {
-                    const uint64_t bv = b_row[j];
-                    r0[j] += a0 * bv;
-                    r1[j] += a1 * bv;
-                    r2[j] += a2 * bv;
-                    r3[j] += a3 * bv;
-                }
-            }
-        } else {
+    if (ib_rows == kRowBlock && reduce_every > 1) {
+        // Register-tiled simd panel (common/simd.h): the accumulator tile
+        // lives in vector registers across each segment instead of
+        // round-tripping L1 per k step. Segments are capped at
+        // reduce_every k-steps with a reduction between them — the same
+        // overflow bound the per-k loop enforced; all arithmetic is exact
+        // (residues < modulus < 2^32, 32x32->64 lane products), so the
+        // result is bit-identical to the loop below.
+        for (int k0 = 0; k0 < k_depth;) {
+            const int seg = static_cast<int>(std::min<uint64_t>(
+                reduce_every, static_cast<uint64_t>(k_depth - k0)));
+            simd::gemmPanel4U64Lo32(
+                &a[static_cast<size_t>(ib) * k_depth + k0], k_depth,
+                &b[static_cast<size_t>(k0) * n_cols + j0], n_cols, seg, acc,
+                jt);
+            k0 += seg;
+            if (k0 < k_depth)
+                for (int e = 0; e < ib_rows * jt; ++e)
+                    acc[e] %= modulus;
+        }
+    } else {
+        // Short row tails and fully-reduced (reduce_every == 1) moduli.
+        uint64_t since_reduce = 0;
+        for (int k = 0; k < k_depth; ++k) {
+            const Residue *b_row = &b[static_cast<size_t>(k) * n_cols + j0];
             for (int r = 0; r < ib_rows; ++r) {
                 const uint64_t a_ik =
                     a[static_cast<size_t>(ib + r) * k_depth + k];
                 if (a_ik == 0)
                     continue;
-                uint64_t *row = acc + static_cast<size_t>(r) * jt;
-                for (int j = 0; j < jt; ++j)
-                    row[j] += a_ik * b_row[j];
+                simd::axpyU64Lo32(a_ik, b_row,
+                                  acc + static_cast<size_t>(r) * jt, jt);
             }
-        }
-        if (++since_reduce >= reduce_every) {
-            for (int e = 0; e < ib_rows * jt; ++e)
-                acc[e] %= modulus;
-            since_reduce = 0;
+            if (++since_reduce >= reduce_every) {
+                for (int e = 0; e < ib_rows * jt; ++e)
+                    acc[e] %= modulus;
+                since_reduce = 0;
+            }
         }
     }
     for (int r = 0; r < ib_rows; ++r)
@@ -108,10 +112,7 @@ modularDot(const Residue *a, const Residue *b, int len, uint64_t modulus)
                     UINT64_MAX / ((modulus - 1) * (modulus - 1)),
             "modularDot fast path would overflow: len=", len,
             " modulus=", modulus);
-        uint64_t acc = 0;
-        for (int i = 0; i < len; ++i)
-            acc += a[i] * b[i];
-        return acc % modulus;
+        return simd::dotU64Lo32(a, b, len) % modulus;
     }
     Residue acc = 0;
     for (int i = 0; i < len; ++i)

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 
 #ifndef _WIN32
@@ -15,13 +17,48 @@ namespace runtime {
 
 namespace {
 
+/** Polite spin: keeps the core's pipeline from hammering the cache line
+ *  while another thread updates it. Falls back to a scheduler yield off
+ *  x86 (and after long spins, see spinWait). */
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/** Spins until pred() holds: a short pause burst for the common
+ *  sub-microsecond case, then scheduler yields so a single-core host (or
+ *  an oversubscribed one) lets the thread we are waiting on run. */
+template <typename Pred>
+inline void
+spinWait(Pred pred)
+{
+    for (int i = 0; i < 128; ++i) {
+        if (pred())
+            return;
+        cpuRelax();
+    }
+    while (!pred())
+        std::this_thread::yield();
+}
+
 int
 defaultThreadCount()
 {
     if (const char *env = std::getenv("MIRAGE_THREADS")) {
-        const int n = std::atoi(env);
+        std::string error;
+        const int n = ThreadPool::parseThreadsEnv(env, &error);
         if (n >= 1)
             return n;
+        // A mis-set MIRAGE_THREADS used to be silently ignored, which made
+        // "MIRAGE_THREADS=8x" benchmark runs report hardware_concurrency
+        // numbers as if they were 8-thread numbers. Be loud about it.
+        MIRAGE_WARN("ignoring MIRAGE_THREADS=\"", env, "\" (", error,
+                    "); falling back to hardware_concurrency");
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : static_cast<int>(hw);
@@ -38,6 +75,16 @@ std::mutex g_global_mu;
  * fork() would deadlock children).
  */
 std::atomic<ThreadPool *> g_global_pool{nullptr};
+
+/**
+ * Pools replaced by setGlobalThreads, shut down but never freed (guarded
+ * by g_global_mu). A caller that grabbed ThreadPool::global() before a
+ * swap may still hold the reference, so deleting the old pool was a
+ * use-after-free; a shut-down pool is inert (serial parallelFor, inline
+ * submits) and costs only its empty shell. Leaked for the same reason as
+ * g_global_pool.
+ */
+std::vector<ThreadPool *> *g_retired_pools = nullptr;
 
 /** True in a fork()ed child of the process that created `pool_pid`. */
 bool
@@ -61,64 +108,51 @@ currentPid()
 #endif
 }
 
-/**
- * Shared state of one parallelFor call: an atomic block counter claimed by
- * the caller and its helper tasks. Held by shared_ptr because helper tasks
- * may still sit in the queue after the caller has returned (they find no
- * blocks left and exit immediately).
- */
-struct ForState
-{
-    int64_t n = 0;
-    int64_t grain = 1;
-    int64_t blocks = 0;
-    std::function<void(int64_t, int64_t)> body;
-    std::atomic<int64_t> next{0};
-    std::atomic<int64_t> done{0};
-    std::atomic<bool> failed{false};
-    std::mutex mu;
-    std::condition_variable done_cv;
-    std::exception_ptr error;
+} // namespace
 
-    void
-    runBlocks()
-    {
-        for (;;) {
-            const int64_t b = next.fetch_add(1, std::memory_order_relaxed);
-            if (b >= blocks)
-                return;
-            // After a failure, stop executing bodies (mirroring the serial
-            // path, which stops at the throw); blocks already in flight on
-            // other threads still finish. Claimed blocks are still counted
-            // so the caller wakes.
-            if (!failed.load(std::memory_order_acquire)) {
-                const int64_t begin = b * grain;
-                const int64_t end = std::min(n, begin + grain);
-                try {
-                    body(begin, end);
-                } catch (...) {
-                    std::lock_guard<std::mutex> lk(mu);
-                    if (!error)
-                        error = std::current_exception();
-                    failed.store(true, std::memory_order_release);
-                }
-            }
-            if (done.fetch_add(1) + 1 == blocks) {
-                // Notify under the mutex so the waiting caller cannot miss
-                // the final wakeup between its predicate check and wait.
+namespace detail {
+
+bool
+ForLoop::runBlocks()
+{
+    bool claimed = false;
+    for (;;) {
+        const int64_t b = next.fetch_add(1, std::memory_order_relaxed);
+        if (b >= blocks)
+            return claimed;
+        claimed = true;
+        // After a failure, stop executing bodies (mirroring the serial
+        // path, which stops at the throw); blocks already in flight on
+        // other threads still finish. Claimed blocks are still counted
+        // so the caller wakes.
+        if (!failed.load(std::memory_order_acquire)) {
+            const int64_t begin = b * grain;
+            const int64_t end = std::min(n, begin + grain);
+            try {
+                invoke(ctx, begin, end);
+            } catch (...) {
                 std::lock_guard<std::mutex> lk(mu);
-                done_cv.notify_all();
+                if (!error)
+                    error = std::current_exception();
+                failed.store(true, std::memory_order_release);
             }
         }
+        if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == blocks) {
+            // Notify under the mutex so a waiting caller cannot miss the
+            // final wakeup between its predicate check and wait.
+            std::lock_guard<std::mutex> lk(mu);
+            done_cv.notify_all();
+        }
     }
-};
+}
 
-} // namespace
+} // namespace detail
 
 ThreadPool::ThreadPool(int threads) : owner_pid_(currentPid())
 {
     if (threads <= 0)
         threads = defaultThreadCount();
+    size_.store(threads, std::memory_order_relaxed);
     workers_.reserve(static_cast<size_t>(threads));
     for (int i = 0; i < threads; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -126,12 +160,25 @@ ThreadPool::ThreadPool(int threads) : owner_pid_(currentPid())
 
 ThreadPool::~ThreadPool()
 {
+    shutdown();
+}
+
+void
+ThreadPool::shutdown()
+{
+    std::vector<std::thread> workers;
     {
         std::lock_guard<std::mutex> lk(mu_);
+        if (stop_ && workers_.empty())
+            return; // idempotent
         stop_ = true;
+        workers.swap(workers_);
     }
+    // Degrade new parallelFor calls to the serial path immediately; the
+    // exiting workers still drain anything already published.
+    size_.store(0, std::memory_order_release);
     cv_.notify_all();
-    for (std::thread &w : workers_)
+    for (std::thread &w : workers)
         w.join();
 }
 
@@ -140,65 +187,134 @@ ThreadPool::submitDetached(std::function<void()> task)
 {
     {
         std::lock_guard<std::mutex> lk(mu_);
-        MIRAGE_ASSERT(!stop_, "submit on a stopped ThreadPool");
-        tasks_.push_back(std::move(task));
+        if (!stop_) {
+            tasks_.push_back(std::move(task));
+            cv_.notify_one();
+            return;
+        }
     }
-    cv_.notify_one();
+    // Shut-down pool (e.g. a stale reference to a replaced global pool):
+    // run inline so the caller's future still completes.
+    task();
 }
 
 void
 ThreadPool::workerLoop()
 {
     for (;;) {
-        std::function<void()> task;
-        {
-            std::unique_lock<std::mutex> lk(mu_);
-            cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
-            if (tasks_.empty())
-                return; // stop_ set and queue drained
-            task = std::move(tasks_.front());
-            tasks_.pop_front();
+        // Snapshot the wake epoch BEFORE scanning: if a loop is published
+        // after this load, either the slot store is already visible to the
+        // scan below (publish stores the slot before bumping the epoch
+        // with release semantics) or the epoch comparison in the cv
+        // predicate differs and we re-scan instead of sleeping.
+        const uint64_t seen = wake_epoch_.load(std::memory_order_acquire);
+
+        bool worked = true;
+        while (worked) {
+            worked = false;
+            // Broadcast slots first — parallelFor is the latency-critical
+            // path. One relaxed load per empty slot.
+            for (LoopSlot &slot : slots_) {
+                if (slot.loop.load(std::memory_order_relaxed) == nullptr)
+                    continue;
+                slot.visitors.fetch_add(1, std::memory_order_acq_rel);
+                detail::ForLoop *loop =
+                    slot.loop.load(std::memory_order_acquire);
+                if (loop != nullptr && loop->runBlocks())
+                    worked = true;
+                slot.visitors.fetch_sub(1, std::memory_order_release);
+            }
+            // Then the coarse task queue (engine shards, detached jobs).
+            std::function<void()> task;
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                if (!tasks_.empty()) {
+                    task = std::move(tasks_.front());
+                    tasks_.pop_front();
+                }
+            }
+            if (task) {
+                task();
+                worked = true;
+            }
         }
-        task();
+
+        std::unique_lock<std::mutex> lk(mu_);
+        if (stop_ && tasks_.empty())
+            return;
+        cv_.wait(lk, [&] {
+            return stop_ || !tasks_.empty() ||
+                   wake_epoch_.load(std::memory_order_relaxed) != seen;
+        });
+        if (stop_ && tasks_.empty())
+            return;
     }
 }
 
 void
-ThreadPool::parallelFor(int64_t n, int64_t grain,
-                        const std::function<void(int64_t, int64_t)> &body)
+ThreadPool::runLoop(detail::ForLoop &loop)
 {
-    if (n <= 0)
-        return;
-    MIRAGE_ASSERT(grain >= 1, "parallelFor grain must be >= 1");
-    const int64_t blocks = (n + grain - 1) / grain;
-
-    // Serial fast path: identical block decomposition, zero synchronization.
-    // Also taken in fork()ed children (death tests), where this pool's
-    // worker threads do not exist.
-    if (runsSerially(blocks)) {
-        for (int64_t b = 0; b < blocks; ++b)
-            body(b * grain, std::min(n, (b + 1) * grain));
-        return;
+    // Publish the loop in a free broadcast slot. No free slot (> kLoopSlots
+    // concurrent parallelFors, i.e. deep nesting) is not an error: the
+    // caller below simply runs every block itself, which is the same
+    // deterministic decomposition.
+    LoopSlot *slot = nullptr;
+    for (LoopSlot &s : slots_) {
+        detail::ForLoop *expected = nullptr;
+        if (s.loop.compare_exchange_strong(expected, &loop,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+            slot = &s;
+            break;
+        }
+    }
+    if (slot != nullptr) {
+        {
+            // The epoch bump must happen under mu_: workers check it in
+            // the cv predicate, and bumping outside the mutex could land
+            // between a worker's predicate check and its sleep.
+            std::lock_guard<std::mutex> lk(mu_);
+            wake_epoch_.fetch_add(1, std::memory_order_release);
+        }
+        cv_.notify_all();
     }
 
-    auto state = std::make_shared<ForState>();
-    state->n = n;
-    state->grain = grain;
-    state->blocks = blocks;
-    state->body = body;
+    // The caller always participates — this is what makes nested
+    // parallelFor deadlock-free regardless of worker availability.
+    loop.runBlocks();
 
-    const int64_t helpers = std::min<int64_t>(size(), blocks) - 1;
-    for (int64_t h = 0; h < helpers; ++h)
-        submitDetached([state] { state->runBlocks(); });
-
-    state->runBlocks();
-    {
-        std::unique_lock<std::mutex> lk(state->mu);
-        state->done_cv.wait(
-            lk, [&] { return state->done.load() == state->blocks; });
+    // Wait for straggler blocks claimed by workers. The common case (the
+    // caller ran the tail block) is already done; otherwise spin briefly —
+    // blocks are microseconds — before paying for a cv sleep.
+    if (loop.done.load(std::memory_order_acquire) != loop.blocks) {
+        for (int i = 0;
+             i < 256 &&
+             loop.done.load(std::memory_order_acquire) != loop.blocks;
+             ++i)
+            cpuRelax();
+        if (loop.done.load(std::memory_order_acquire) != loop.blocks) {
+            std::unique_lock<std::mutex> lk(loop.mu);
+            loop.done_cv.wait(lk, [&] {
+                return loop.done.load(std::memory_order_acquire) ==
+                       loop.blocks;
+            });
+        }
     }
-    if (state->error)
-        std::rethrow_exception(state->error);
+
+    // Retire the slot: unpublish, then wait out any worker still inside
+    // its visit window (it bumped visitors, may be about to load the
+    // pointer). Only after visitors drains is the stack-resident loop safe
+    // to destroy. The window is tiny: by now every block is done, so a
+    // visiting worker's runBlocks returns after one fetch_add.
+    if (slot != nullptr) {
+        slot->loop.store(nullptr, std::memory_order_release);
+        spinWait([&] {
+            return slot->visitors.load(std::memory_order_acquire) == 0;
+        });
+    }
+
+    if (loop.error)
+        std::rethrow_exception(loop.error);
 }
 
 bool
@@ -232,7 +348,42 @@ ThreadPool::setGlobalThreads(int threads)
         old = g_global_pool.load(std::memory_order_relaxed);
         g_global_pool.store(fresh, std::memory_order_release);
     }
-    delete old; // drains and joins the replaced pool's live workers
+    if (old != nullptr) {
+        // Quiesce the replaced pool but never delete it: a concurrent
+        // thread may already hold the reference global() returned before
+        // the swap. See g_retired_pools.
+        old->shutdown();
+        std::lock_guard<std::mutex> lk(g_global_mu);
+        if (g_retired_pools == nullptr)
+            g_retired_pools = new std::vector<ThreadPool *>();
+        g_retired_pools->push_back(old);
+    }
+}
+
+int
+ThreadPool::parseThreadsEnv(const char *value, std::string *error)
+{
+    const auto fail = [&](const char *why) {
+        if (error != nullptr)
+            *error = why;
+        return 0;
+    };
+    if (value == nullptr || *value == '\0')
+        return fail("empty value");
+    errno = 0;
+    char *end = nullptr;
+    const long n = std::strtol(value, &end, 10);
+    if (end == value)
+        return fail("not a number");
+    while (*end == ' ' || *end == '\t')
+        ++end;
+    if (*end != '\0')
+        return fail("trailing garbage after the number");
+    if (errno == ERANGE || n > INT_MAX)
+        return fail("out of range");
+    if (n <= 0)
+        return fail("thread count must be >= 1");
+    return static_cast<int>(n);
 }
 
 } // namespace runtime

@@ -118,6 +118,125 @@ TEST(ThreadPool, NestedParallelForCompletes)
     EXPECT_EQ(sum.load(), 8 * 16);
 }
 
+TEST(ThreadPool, DeeplyNestedParallelForSaturatesBroadcastSlotsSafely)
+{
+    // Three levels of nesting from every outer block: far more concurrent
+    // loops than broadcast slots. Loops that find no free slot must run
+    // caller-only and still cover every index exactly once.
+    runtime::ThreadPool pool(4);
+    std::atomic<int64_t> sum{0};
+    pool.parallelFor(6, 1, [&](int64_t, int64_t) {
+        pool.parallelFor(6, 1, [&](int64_t, int64_t) {
+            pool.parallelFor(12, 3, [&](int64_t ib, int64_t ie) {
+                sum.fetch_add(ie - ib);
+            });
+        });
+    });
+    EXPECT_EQ(sum.load(), 6 * 6 * 12);
+}
+
+TEST(ThreadPool, ExceptionsPropagateToTheRightCallerUnderContention)
+{
+    // Many external threads run parallelFor on one pool at once; odd
+    // callers throw. Each caller must observe exactly its own outcome:
+    // throwers get their exception, the rest complete every index.
+    runtime::ThreadPool pool(4);
+    const int callers = 12;
+    std::vector<std::thread> threads;
+    std::vector<int> outcome(callers, -1); // 0 = clean, 1 = caught
+    std::vector<int64_t> covered(callers, 0);
+    for (int c = 0; c < callers; ++c) {
+        threads.emplace_back([&, c] {
+            for (int rep = 0; rep < 20; ++rep) {
+                int64_t local = 0;
+                try {
+                    pool.parallelFor(64, 4, [&](int64_t b, int64_t e) {
+                        if (c % 2 == 1 && b == 32)
+                            throw std::runtime_error("caller " +
+                                                     std::to_string(c));
+                        local += e - b;
+                    });
+                    outcome[static_cast<size_t>(c)] = 0;
+                    covered[static_cast<size_t>(c)] = local;
+                } catch (const std::runtime_error &e) {
+                    outcome[static_cast<size_t>(c)] = 1;
+                    // The exception must be this caller's own, not one
+                    // leaked across loops sharing the pool.
+                    EXPECT_EQ(std::string(e.what()),
+                              "caller " + std::to_string(c));
+                }
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    for (int c = 0; c < callers; ++c) {
+        EXPECT_EQ(outcome[static_cast<size_t>(c)], c % 2) << "caller " << c;
+        if (c % 2 == 0) {
+            EXPECT_EQ(covered[static_cast<size_t>(c)], 64) << "caller " << c;
+        }
+    }
+}
+
+TEST(ThreadPool, SetGlobalThreadsWhileOtherThreadsUseTheGlobalPool)
+{
+    // Regression test for a latent use-after-free: setGlobalThreads used
+    // to delete the old pool while another thread could still hold the
+    // ThreadPool::global() reference. Retired pools are now kept alive
+    // (inert: serial parallelFor, inline submits), so hammering the
+    // global pool while it is being replaced must be clean under
+    // ThreadSanitizer/AddressSanitizer.
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> users;
+    for (int u = 0; u < 3; ++u) {
+        users.emplace_back([&] {
+            while (!stop.load()) {
+                runtime::ThreadPool &pool = runtime::ThreadPool::global();
+                std::atomic<int64_t> sum{0};
+                pool.parallelFor(64, 4, [&](int64_t b, int64_t e) {
+                    sum.fetch_add(e - b);
+                });
+                EXPECT_EQ(sum.load(), 64);
+                pool.submit([] { return 1; }).get();
+            }
+        });
+    }
+    for (int swap = 0; swap < 10; ++swap)
+        runtime::ThreadPool::setGlobalThreads(1 + swap % 4);
+    stop.store(true);
+    for (auto &t : users)
+        t.join();
+    runtime::ThreadPool::setGlobalThreads(0);
+}
+
+TEST(ThreadPool, ShutdownDegradesToSerialButStaysUsable)
+{
+    runtime::ThreadPool pool(4);
+    pool.shutdown();
+    EXPECT_EQ(pool.size(), 0);
+    int64_t sum = 0;
+    pool.parallelFor(32, 4, [&](int64_t b, int64_t e) { sum += e - b; });
+    EXPECT_EQ(sum, 32);
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+    pool.shutdown(); // idempotent
+}
+
+TEST(ThreadPool, ParseThreadsEnvAcceptsOnlyPositiveIntegers)
+{
+    using runtime::ThreadPool;
+    EXPECT_EQ(ThreadPool::parseThreadsEnv("1"), 1);
+    EXPECT_EQ(ThreadPool::parseThreadsEnv("8"), 8);
+    EXPECT_EQ(ThreadPool::parseThreadsEnv(" 16 "), 16);
+
+    std::string error;
+    for (const char *bad : {"", "abc", "4x", "x4", "0", "-3", "3.5",
+                            "99999999999999999999", "  "}) {
+        error.clear();
+        EXPECT_EQ(ThreadPool::parseThreadsEnv(bad, &error), 0) << bad;
+        EXPECT_FALSE(error.empty()) << bad;
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Rng::split
 // ---------------------------------------------------------------------------

@@ -49,7 +49,7 @@ TEST_F(RuntimeDeterminism, BfpRnsGemmIsThreadCountInvariant)
 {
     // Large enough that the compute loop is above the serialBelow cutoff:
     // the 8-thread run genuinely executes in parallel.
-    const int m = 32, k = 48, n = 16;
+    const int m = 48, k = 48, n = 32;
     const auto a = mirage::test::gaussianVector(rng, static_cast<size_t>(m) * k);
     const auto b = mirage::test::gaussianVector(rng, static_cast<size_t>(k) * n);
 
@@ -68,7 +68,7 @@ TEST_F(RuntimeDeterminism, StochasticRoundingGemmIsThreadCountInvariant)
     // Stochastic rounding draws randomness, yet per-row Rng::split streams
     // make the result a function of the seed only, not the thread count.
     // m*k exceeds the encode cutoff, so parallel encoding really runs.
-    const int m = 96, k = 48, n = 8;
+    const int m = 192, k = 96, n = 8;
     const auto a = mirage::test::gaussianVector(rng, static_cast<size_t>(m) * k);
     const auto b = mirage::test::gaussianVector(rng, static_cast<size_t>(k) * n);
 
@@ -86,7 +86,7 @@ TEST_F(RuntimeDeterminism, StochasticRoundingGemmIsThreadCountInvariant)
 
 TEST_F(RuntimeDeterminism, ModularGemmIsThreadCountInvariant)
 {
-    const int m = 32, k = 40, n = 16; // above the serialBelow cutoff
+    const int m = 64, k = 40, n = 32; // above the serialBelow cutoff
     const auto a = mirage::test::randomIntVector(
         rng, static_cast<size_t>(m) * k, 0, 30);
     const auto b = mirage::test::randomIntVector(
@@ -107,15 +107,16 @@ TEST_F(RuntimeDeterminism, NoisyPhotonicMvmIsThreadCountInvariant)
     photonic::PhotonicNoiseConfig noise;
     noise.eps_ps = std::exp2(-9);
     noise.eps_mrr = 0.0005;
-    // 64 rows x g=16 puts the row loop above the serialBelow cutoff.
+    // 128 rows x g=64 puts both the per-unit loop and each unit's row loop
+    // above the serialBelow cutoffs.
     const auto tile =
-        mirage::test::randomIntVector(rng, 64 * 16, -15, 15);
-    const auto x = mirage::test::randomIntVector(rng, 16, -15, 15);
+        mirage::test::randomIntVector(rng, 128 * 64, -15, 15);
+    const auto x = mirage::test::randomIntVector(rng, 64, -15, 15);
 
     auto [serial, parallel] = atThreadCounts([&] {
-        photonic::RnsMmvmu array(mirage::test::paperModuli(), 64, 16,
+        photonic::RnsMmvmu array(mirage::test::paperModuli(), 128, 64,
                                  photonic::DeviceKit{}, 10e9, noise);
-        array.programTile(tile, 64, 16);
+        array.programTile(tile, 128, 64);
         Rng noise_rng(5150);
         std::vector<std::vector<int64_t>> outs;
         for (int rep = 0; rep < 3; ++rep)
