@@ -83,6 +83,13 @@ std::atomic<ThreadPool *> g_global_pool{nullptr};
  * use-after-free; a shut-down pool is inert (serial parallelFor, inline
  * submits) and costs only its empty shell. Leaked for the same reason as
  * g_global_pool.
+ *
+ * Growth is unbounded: each setGlobalThreads call retains one shell (a
+ * few KiB — mutex, empty deque, slot array; no threads). Reclaiming them
+ * safely would need a grace period proving no thread still holds a
+ * global() reference (epoch/RCU or shared_ptr ownership), which is not
+ * worth the hot-path cost for an API meant for benchmark/test sweeps.
+ * See the setGlobalThreads doc comment for the caller-facing contract.
  */
 std::vector<ThreadPool *> *g_retired_pools = nullptr;
 
@@ -194,7 +201,10 @@ ThreadPool::submitDetached(std::function<void()> task)
         }
     }
     // Shut-down pool (e.g. a stale reference to a replaced global pool):
-    // run inline so the caller's future still completes.
+    // run inline so the caller's future still completes. mu_ is already
+    // released here so pool state cannot deadlock, but the task runs on
+    // the *calling* thread — see the reentrancy note on submitDetached()
+    // in the header.
     task();
 }
 
@@ -217,9 +227,17 @@ ThreadPool::workerLoop()
             for (LoopSlot &slot : slots_) {
                 if (slot.loop.load(std::memory_order_relaxed) == nullptr)
                     continue;
-                slot.visitors.fetch_add(1, std::memory_order_acq_rel);
+                // Retirement handshake, worker half. This is a Dekker
+                // pattern against runLoop's retirement (store loop=nullptr,
+                // then load visitors): both sides must be seq_cst so that
+                // at least one of them observes the other's write. With
+                // plain release/acquire the caller could see visitors==0
+                // before this increment became visible while we still see
+                // the stale non-null pointer — and then dereference the
+                // caller's already-destroyed stack-resident loop.
+                slot.visitors.fetch_add(1, std::memory_order_seq_cst);
                 detail::ForLoop *loop =
-                    slot.loop.load(std::memory_order_acquire);
+                    slot.loop.load(std::memory_order_seq_cst);
                 if (loop != nullptr && loop->runBlocks())
                     worked = true;
                 slot.visitors.fetch_sub(1, std::memory_order_release);
@@ -306,10 +324,20 @@ ThreadPool::runLoop(detail::ForLoop &loop)
     // pointer). Only after visitors drains is the stack-resident loop safe
     // to destroy. The window is tiny: by now every block is done, so a
     // visiting worker's runBlocks returns after one fetch_add.
+    //
+    // Retirement handshake, caller half — the store and the load must be
+    // seq_cst (Dekker pattern, see workerLoop): in the seq_cst total order
+    // either a visiting worker's fetch_add precedes this store (then the
+    // spin below sees visitors != 0 and waits for its matching
+    // release-fetch_sub, which orders the worker's loop accesses before
+    // our return) or this store precedes the fetch_add (then the worker's
+    // seq_cst pointer re-load sees nullptr and never touches the loop).
+    // With only release/acquire neither side is forced to see the other's
+    // write and the worker can run a destroyed stack-resident loop.
     if (slot != nullptr) {
-        slot->loop.store(nullptr, std::memory_order_release);
+        slot->loop.store(nullptr, std::memory_order_seq_cst);
         spinWait([&] {
-            return slot->visitors.load(std::memory_order_acquire) == 0;
+            return slot->visitors.load(std::memory_order_seq_cst) == 0;
         });
     }
 

@@ -103,10 +103,20 @@ class ThreadPool
     /** Enqueues fire-and-forget work. On a pool that has been shut down
      *  the task runs inline on the calling thread instead — a stale
      *  reference to a replaced global pool degrades gracefully rather
-     *  than deadlocking on workers that no longer exist. */
+     *  than deadlocking on workers that no longer exist.
+     *
+     *  Reentrancy hazard of that degradation: the inline task runs on the
+     *  *calling* thread (after all pool-internal locks are released), so a
+     *  caller that holds a lock the task also acquires self-deadlocks, and
+     *  a caller that assumes the task runs asynchronously reenters its own
+     *  code. Do not submit under locks the task may take, and do not rely
+     *  on submit() returning before the task starts. */
     void submitDetached(std::function<void()> task);
 
-    /** Enqueues a callable and returns a future for its result. */
+    /** Enqueues a callable and returns a future for its result. Inherits
+     *  submitDetached's shut-down-pool behavior: on a stopped pool the
+     *  task runs inline on the calling thread before submit() returns (see
+     *  the reentrancy note there). */
     template <typename F>
     auto
     submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
@@ -187,7 +197,12 @@ class ThreadPool
      * may still hold the reference, and deleting the object under it was a
      * latent use-after-free. A retired pool is inert — parallelFor runs
      * serially, submits run inline — so stale references stay safe.
-     * Intended for benchmark/test sweeps over thread counts.
+     *
+     * Cost: every call permanently retains the replaced pool's shell (its
+     * mutex, empty task deque, and slot array — a few KiB; the worker
+     * threads themselves are joined). Growth is unbounded by design, so
+     * this is for benchmark/test sweeps over thread counts — do not call
+     * it from steady-state production loops.
      */
     static void setGlobalThreads(int threads);
 

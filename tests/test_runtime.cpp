@@ -148,16 +148,19 @@ TEST(ThreadPool, ExceptionsPropagateToTheRightCallerUnderContention)
     for (int c = 0; c < callers; ++c) {
         threads.emplace_back([&, c] {
             for (int rep = 0; rep < 20; ++rep) {
-                int64_t local = 0;
+                // Atomic: blocks of one loop run concurrently on the
+                // caller and the workers, so a plain accumulator would be
+                // a data race in the test body itself.
+                std::atomic<int64_t> local{0};
                 try {
                     pool.parallelFor(64, 4, [&](int64_t b, int64_t e) {
                         if (c % 2 == 1 && b == 32)
                             throw std::runtime_error("caller " +
                                                      std::to_string(c));
-                        local += e - b;
+                        local.fetch_add(e - b);
                     });
                     outcome[static_cast<size_t>(c)] = 0;
-                    covered[static_cast<size_t>(c)] = local;
+                    covered[static_cast<size_t>(c)] = local.load();
                 } catch (const std::runtime_error &e) {
                     outcome[static_cast<size_t>(c)] = 1;
                     // The exception must be this caller's own, not one
@@ -176,6 +179,39 @@ TEST(ThreadPool, ExceptionsPropagateToTheRightCallerUnderContention)
             EXPECT_EQ(covered[static_cast<size_t>(c)], 64) << "caller " << c;
         }
     }
+}
+
+TEST(ThreadPool, ShortLoopRetirementIsRaceFreeUnderContention)
+{
+    // Regression test for a store-buffer (Dekker) race in slot retirement:
+    // runLoop stored loop=nullptr and spin-waited on visitors==0 with only
+    // release/acquire ordering, so the caller could observe visitors==0
+    // before a worker's fetch_add became visible while that worker still
+    // saw the stale non-null pointer — and then ran blocks of a ForLoop
+    // whose stack frame was already destroyed. Both halves of the
+    // handshake are now seq_cst. Hammer the window: many caller threads
+    // issue the shortest possible broadcast loops (2 blocks — the caller
+    // usually drains both itself, so retirement races a worker that is
+    // mid-visit with no blocks left) against workers that are constantly
+    // rescanning because every other slot is churning too. Each loop's
+    // accumulator lives on the caller's stack next to the ForLoop, so a
+    // late worker touching a retired loop is a use-after-free that TSan
+    // and ASan both catch.
+    runtime::ThreadPool pool(4);
+    std::vector<std::thread> callers;
+    for (int c = 0; c < 4; ++c) {
+        callers.emplace_back([&] {
+            for (int rep = 0; rep < 3000; ++rep) {
+                std::atomic<int64_t> sum{0};
+                pool.parallelFor(2, 1, [&](int64_t b, int64_t e) {
+                    sum.fetch_add(e - b);
+                });
+                ASSERT_EQ(sum.load(), 2);
+            }
+        });
+    }
+    for (auto &t : callers)
+        t.join();
 }
 
 TEST(ThreadPool, SetGlobalThreadsWhileOtherThreadsUseTheGlobalPool)
