@@ -5,9 +5,10 @@
  * @file
  * Shared helpers for the table/figure reproduction harnesses: flag parsing
  * (--full for paper-scale sweeps, --csv for machine-readable output,
- * --json <path> for perf-trajectory files), a banner that states which
- * paper artifact a binary regenerates, and a JSON report writer so BENCH_*
- * results can accumulate across commits.
+ * --json <path> for perf-trajectory files, --trace/--metrics for
+ * observability exports), a banner that states which paper artifact a
+ * binary regenerates, and a JSON report writer so BENCH_* results can
+ * accumulate across commits.
  */
 
 #include <cctype>
@@ -20,6 +21,8 @@
 #include <vector>
 
 #include "common/table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mirage {
 namespace bench {
@@ -30,6 +33,11 @@ struct BenchOptions
     bool full = false;     ///< Paper-scale sweep instead of the quick default.
     bool csv = false;      ///< CSV instead of aligned tables.
     std::string json_path; ///< --json <path>: machine-readable result file.
+    /// --trace <path>: enable span recording and export a Chrome trace
+    /// (Perfetto-loadable) at the end of the run (see writeObsOutputs).
+    std::string trace_path;
+    /// --metrics <path>: dump the MetricsRegistry as JSON at the end.
+    std::string metrics_path;
 
     static BenchOptions
     parse(int argc, char **argv)
@@ -46,18 +54,59 @@ struct BenchOptions
                     std::exit(2);
                 }
                 opts.json_path = argv[++i];
+            } else if (std::strcmp(argv[i], "--trace") == 0) {
+                if (i + 1 >= argc) {
+                    std::cerr << "--trace needs a file path\n";
+                    std::exit(2);
+                }
+                opts.trace_path = argv[++i];
+            } else if (std::strcmp(argv[i], "--metrics") == 0) {
+                if (i + 1 >= argc) {
+                    std::cerr << "--metrics needs a file path\n";
+                    std::exit(2);
+                }
+                opts.metrics_path = argv[++i];
             } else if (std::strcmp(argv[i], "--help") == 0) {
                 std::cout << "usage: " << argv[0]
-                          << " [--full] [--csv] [--json <path>]\n"
-                             "  --full         paper-scale sweep (slower)\n"
-                             "  --csv          machine-readable output\n"
-                             "  --json <path>  write results as JSON\n";
+                          << " [--full] [--csv] [--json <path>]"
+                             " [--trace <path>] [--metrics <path>]\n"
+                             "  --full           paper-scale sweep (slower)\n"
+                             "  --csv            machine-readable output\n"
+                             "  --json <path>    write results as JSON\n"
+                             "  --trace <path>   record spans, export a "
+                             "Chrome trace JSON\n"
+                             "  --metrics <path> dump the metrics registry "
+                             "as JSON\n";
                 std::exit(0);
             }
         }
+        // Arm tracing up front so the whole run is captured.
+        if (!opts.trace_path.empty())
+            obs::setTraceEnabled(true);
         return opts;
     }
 };
+
+/**
+ * Writes the observability artifacts requested via --trace/--metrics.
+ * Call once at the end of main, after the workload drained. Returns
+ * false when a requested file could not be written.
+ */
+inline bool
+writeObsOutputs(const BenchOptions &opts)
+{
+    bool ok = true;
+    if (!opts.trace_path.empty()) {
+        ok = obs::writeChromeTraceFile(opts.trace_path) && ok;
+        std::cout << "Chrome trace written to " << opts.trace_path << "\n";
+    }
+    if (!opts.metrics_path.empty()) {
+        ok = obs::MetricsRegistry::global().writeJsonFile(opts.metrics_path) &&
+             ok;
+        std::cout << "metrics dump written to " << opts.metrics_path << "\n";
+    }
+    return ok;
+}
 
 /** Prints the artifact banner. */
 inline void

@@ -33,7 +33,9 @@ Usage:
       --baseline-train bench/baselines/BENCH_train_soak.json \
       --current-train train.json \
       [--max-slowdown 2.0] [--train-tolerance 0.01] \
-      [--min-speedup 8:1:1.0]
+      [--min-speedup 8:1:1.0] \
+      [--current-metrics metrics.json --counter-min KEY:FLOOR \
+       --counter-ratio-min A:B:FLOOR]
 
 A baseline entry missing from the current report is an explicit failure
 (a benchmark that silently disappears would otherwise turn the gate
@@ -219,6 +221,72 @@ def check_min_speedup(current_path, specs):
     return ok
 
 
+def load_metrics_counters(path):
+    """name -> value from a MetricsRegistry::writeJsonFile dump."""
+    with open(path) as f:
+        doc = json.load(f)
+    return {str(k): float(v)
+            for k, v in doc.get("counters", {}).items()}
+
+
+def check_counters(metrics_path, mins, ratio_mins):
+    """Absolute floors on an obs metrics dump (--metrics output).  Each
+    --counter-min is KEY:FLOOR (counter value >= FLOOR); each
+    --counter-ratio-min is A:B:FLOOR (A / (A + B) >= FLOOR, e.g. a cache
+    hit-rate floor from hits/misses counters).  Counter values depend on
+    batching and cache timing, so floors should be loose sanity bounds —
+    "the instrumentation is alive and the subsystem ran" — not tight
+    perf gates."""
+    try:
+        counters = load_metrics_counters(metrics_path)
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
+        print(f"FAIL  counters: cannot load {metrics_path}: {exc}")
+        return False
+    ok = True
+    for spec in mins:
+        try:
+            key, floor_s = spec.rsplit(":", 1)
+            floor = float(floor_s)
+        except ValueError:
+            print(f"FAIL  counters: bad --counter-min spec {spec!r}"
+                  f" (want KEY:FLOOR)")
+            ok = False
+            continue
+        if key not in counters:
+            print(f"FAIL  counters: {key!r} not in {metrics_path}")
+            ok = False
+            continue
+        status = "ok  "
+        if counters[key] < floor:
+            status = "FAIL"
+            ok = False
+        print(f"{status}  counters: {key} = {counters[key]:g}"
+              f" (floor {floor:g})")
+    for spec in ratio_mins:
+        try:
+            a_key, b_key, floor_s = spec.rsplit(":", 2)
+            floor = float(floor_s)
+        except ValueError:
+            print(f"FAIL  counters: bad --counter-ratio-min spec {spec!r}"
+                  f" (want A:B:FLOOR)")
+            ok = False
+            continue
+        missing = [k for k in (a_key, b_key) if k not in counters]
+        if missing:
+            print(f"FAIL  counters: {missing!r} not in {metrics_path}")
+            ok = False
+            continue
+        total = counters[a_key] + counters[b_key]
+        ratio = counters[a_key] / total if total > 0 else 0.0
+        status = "ok  "
+        if ratio < floor:
+            status = "FAIL"
+            ok = False
+        print(f"{status}  counters: {a_key} / ({a_key} + {b_key})"
+              f" = {ratio:.3f} (floor {floor:.3f})")
+    return ok
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline-micro")
@@ -234,6 +302,17 @@ def main():
                         help="absolute floor on the current runtime"
                              " report's best speedup(x) for a"
                              " (threads, tiles) pair; repeatable")
+    parser.add_argument("--current-metrics",
+                        help="obs metrics JSON dump (--metrics output)"
+                             " for the --counter-* checks")
+    parser.add_argument("--counter-min", action="append", default=[],
+                        metavar="KEY:FLOOR",
+                        help="counter value floor in --current-metrics;"
+                             " repeatable")
+    parser.add_argument("--counter-ratio-min", action="append", default=[],
+                        metavar="A:B:FLOOR",
+                        help="floor on A / (A + B) for two counters in"
+                             " --current-metrics; repeatable")
     args = parser.parse_args()
 
     ok = True
@@ -258,6 +337,15 @@ def main():
         else:
             ran = True
             ok &= check_min_speedup(args.current_runtime, args.min_speedup)
+    if args.counter_min or args.counter_ratio_min:
+        ran = True
+        if not args.current_metrics:
+            print("FAIL counters: --counter-min/--counter-ratio-min need"
+                  " --current-metrics")
+            ok = False
+        else:
+            ok &= check_counters(args.current_metrics, args.counter_min,
+                                 args.counter_ratio_min)
     if not ran:
         print("nothing to check: pass --baseline-*/--current-* pairs")
         return 2

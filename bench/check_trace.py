@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Structural validator for the Chrome traces exported by --trace.
+
+Checks that a trace produced by obs::writeChromeTraceFile is something
+Perfetto / chrome://tracing will actually load and that the span
+structure is sane:
+
+* the file is valid JSON with a non-empty "traceEvents" array,
+* every event is a complete event ("ph": "X") with a non-empty name,
+  numeric ts >= 0 and dur >= 0, and integer pid/tid,
+* within each (pid, tid) timeline the events nest: replaying them in
+  start order against a stack, every event fits inside its enclosing
+  open span (up to --epsilon-us of clock slack, since start/end pairs
+  come from separate steady_clock reads),
+* every --require name appears at least once (comma-separated list,
+  repeatable) — this is how CI pins the instrumentation points that
+  must not silently disappear from serve_soak/train_soak.
+
+Usage:
+  check_trace.py TRACE.json [--require serve.admit,serve.flush]
+                            [--epsilon-us 0.001]
+
+Exits non-zero on any failure, printing each violation.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def fail(msg):
+    print(f"FAIL  {msg}")
+    return False
+
+
+def validate_events(events):
+    ok = True
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            ok = fail(f"{where}: not an object")
+            continue
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            ok = fail(f"{where}: missing or empty name")
+        if ev.get("ph") != "X":
+            ok = fail(f"{where} ({name!r}): ph is {ev.get('ph')!r},"
+                      f" expected complete event 'X'")
+        for key in ("ts", "dur"):
+            val = ev.get(key)
+            if not isinstance(val, (int, float)) or isinstance(val, bool) \
+                    or val < 0:
+                ok = fail(f"{where} ({name!r}): {key} is {val!r},"
+                          f" expected number >= 0")
+        for key in ("pid", "tid"):
+            val = ev.get(key)
+            if not isinstance(val, int) or isinstance(val, bool):
+                ok = fail(f"{where} ({name!r}): {key} is {val!r},"
+                          f" expected integer")
+    return ok
+
+
+def check_nesting(events, epsilon_us):
+    """Spans come from RAII guards, so within one thread they must nest:
+    sort by start (ties: longer span first, so the enclosing span opens
+    before its children), replay against a stack, and require each event
+    to end within the innermost open span, modulo epsilon of slack for
+    the independent steady_clock reads at start and end."""
+    ok = True
+    by_tid = collections.defaultdict(list)
+    for ev in events:
+        if isinstance(ev, dict) and isinstance(ev.get("ts"), (int, float)):
+            by_tid[(ev.get("pid"), ev.get("tid"))].append(ev)
+    for (pid, tid), evs in sorted(by_tid.items(), key=str):
+        evs.sort(key=lambda e: (e["ts"], -e.get("dur", 0)))
+        stack = []  # (name, end_ts)
+        for ev in evs:
+            start = ev["ts"]
+            end = start + ev.get("dur", 0)
+            while stack and stack[-1][1] <= start + epsilon_us:
+                stack.pop()
+            if stack and end > stack[-1][1] + epsilon_us:
+                ok = fail(
+                    f"tid {tid}: {ev['name']!r} [{start:.3f},"
+                    f" {end:.3f}]us overlaps enclosing"
+                    f" {stack[-1][0]!r} ending at {stack[-1][1]:.3f}us")
+            stack.append((ev["name"], end))
+    return ok
+
+
+def check_required(events, required):
+    ok = True
+    names = {ev.get("name") for ev in events if isinstance(ev, dict)}
+    for name in required:
+        if name not in names:
+            ok = fail(f"required span {name!r} not present in trace")
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace JSON to validate")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME[,NAME...]",
+                        help="span names that must appear; repeatable,"
+                             " comma-separated")
+    parser.add_argument("--epsilon-us", type=float, default=0.001,
+                        help="clock slack allowed in the nesting check")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"FAIL  cannot load {args.trace}: {exc}")
+        return 1
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print(f"FAIL  {args.trace}: traceEvents missing or empty")
+        return 1
+
+    required = [name for spec in args.require
+                for name in spec.split(",") if name]
+
+    ok = validate_events(events)
+    ok &= check_nesting(events, args.epsilon_us)
+    ok &= check_required(events, required)
+
+    names = collections.Counter(
+        ev.get("name") for ev in events if isinstance(ev, dict))
+    tids = {(ev.get("pid"), ev.get("tid"))
+            for ev in events if isinstance(ev, dict)}
+    print(f"{args.trace}: {len(events)} events, {len(names)} span names,"
+          f" {len(tids)} threads")
+    for name, count in names.most_common():
+        print(f"  {name}: {count}")
+    print("trace check:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

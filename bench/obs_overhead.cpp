@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Observability-overhead micro-benchmark: ns per record for the three
+ * hot-path primitives (Counter::add, Histogram::record, TraceSpan) with
+ * the layer enabled and disabled, at 1 and 8 threads.
+ *
+ * The numbers quantify the cost budget the obs layer promises:
+ *   - disabled primitives collapse to one relaxed atomic load and a
+ *     branch (single-digit ns; asserted <= ~30 ns by test_obs),
+ *   - enabled counters/histograms are one relaxed fetch_add on a
+ *     per-thread shard (no contention at 8 threads),
+ *   - enabled spans pay two steady_clock reads plus a ring-buffer write.
+ *
+ * Every loop body touches an atomic (the enabled()/traceEnabled() gate
+ * at minimum), so the compiler cannot elide the measured work. Timing
+ * is wall-clock over a fixed iteration count; on
+ * the multi-thread rows every thread runs the full count and the table
+ * reports per-record cost (threads * iters / wall).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace mirage;
+using Clock = std::chrono::steady_clock;
+
+/** Runs `fn(iters)` on `threads` threads; returns ns per call. */
+template <typename Fn>
+double
+measure(int threads, uint64_t iters, Fn fn)
+{
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&] {
+            ready.fetch_add(1);
+            while (!go.load(std::memory_order_acquire))
+                std::this_thread::yield();
+            fn(iters);
+        });
+    }
+    while (ready.load() != threads)
+        std::this_thread::yield();
+    const Clock::time_point t0 = Clock::now();
+    go.store(true, std::memory_order_release);
+    for (auto &w : workers)
+        w.join();
+    const double wall_ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+    return wall_ns / static_cast<double>(iters) /
+           static_cast<double>(threads);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("obs overhead",
+                  "ns/record for counters, histograms, and trace spans",
+                  opts);
+
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    obs::Counter &counter = reg.counter("bench.obs.counter");
+    obs::Histogram &hist = reg.histogram("bench.obs.hist");
+
+    const uint64_t iters = opts.full ? 20'000'000 : 2'000'000;
+    // Span iterations are scaled down: two clock reads per span make it
+    // ~20x a counter add, and the ring wraps anyway.
+    const uint64_t span_iters = iters / 10;
+    const std::vector<int> thread_counts = {1, 8};
+
+    const auto counter_loop = [&](uint64_t n) {
+        for (uint64_t i = 0; i < n; ++i)
+            counter.add(1);
+    };
+    const auto hist_loop = [&](uint64_t n) {
+        for (uint64_t i = 0; i < n; ++i)
+            hist.record(i & 0xffff);
+    };
+    const auto span_loop = [&](uint64_t n) {
+        for (uint64_t i = 0; i < n; ++i) {
+            MIRAGE_SPAN("bench.obs.span");
+        }
+    };
+
+    TablePrinter table(
+        {"primitive", "state", "threads", "iters/thread", "ns/record"});
+    for (const bool enabled : {true, false}) {
+        obs::setEnabled(enabled);
+        obs::setTraceEnabled(enabled);
+        const char *state = enabled ? "enabled" : "disabled";
+        for (int threads : thread_counts) {
+            table.addRow({"counter.add", state, std::to_string(threads),
+                          std::to_string(iters),
+                          formatFixed(measure(threads, iters, counter_loop),
+                                      2)});
+            table.addRow({"histogram.record", state,
+                          std::to_string(threads), std::to_string(iters),
+                          formatFixed(measure(threads, iters, hist_loop),
+                                      2)});
+            table.addRow(
+                {"trace.span", state, std::to_string(threads),
+                 std::to_string(span_iters),
+                 formatFixed(measure(threads, span_iters, span_loop), 2)});
+        }
+    }
+    obs::setEnabled(true);
+    obs::setTraceEnabled(false);
+    obs::clearTrace();
+
+    bench::emit(table, opts);
+    bench::JsonReport json;
+    json.add("obs_overhead", table);
+    if (!json.writeIfRequested("obs_overhead", opts))
+        return 1;
+
+    std::cout
+        << "Disabled rows are the cost every uninstrumented run pays: one\n"
+           "relaxed load and a predicted branch. Enabled counter/histogram\n"
+           "rows should stay flat from 1 to 8 threads (per-thread shards,\n"
+           "no cache-line ping-pong); the span row is dominated by the two\n"
+           "steady_clock reads.\n";
+    return 0;
+}

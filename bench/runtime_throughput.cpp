@@ -149,6 +149,7 @@ main(int argc, char **argv)
     bench::JsonReport json;
     json.add("throughput_sweep", table);
     json.writeIfRequested("runtime_throughput", opts);
+    bench::writeObsOutputs(opts);
     runtime::ThreadPool::setGlobalThreads(0);
 
     std::cout

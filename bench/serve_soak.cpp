@@ -268,6 +268,8 @@ main(int argc, char **argv)
     json.add("soak_sweep", sweep);
     json.add("cache_amortization", cache);
     json.writeIfRequested("serve_soak", opts);
+    if (!bench::writeObsOutputs(opts))
+        return 1;
 
     std::cout
         << "Interactive p50/p95/p99 are wall-clock latencies; the batcher\n"

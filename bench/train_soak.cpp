@@ -140,5 +140,7 @@ main(int argc, char **argv)
     json.add("train_sweep", table);
     if (!json.writeIfRequested("train_soak", opts))
         return 1;
+    if (!bench::writeObsOutputs(opts))
+        return 1;
     return 0;
 }

@@ -1,9 +1,125 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <cctype>
 #include <cstdlib>
 #include <iostream>
 
 namespace mirage {
+
+namespace {
+
+/// -1 = uninitialized (read MIRAGE_LOG_LEVEL on first use), else a
+/// LogLevel value. Relaxed: the threshold is advisory, not a sync point.
+std::atomic<int> g_log_level{-1};
+
+/// Non-fatal log sink; nullptr means std::cerr. Swapped only by tests.
+std::atomic<std::ostream *> g_log_stream{nullptr};
+
+std::ostream &
+logStream()
+{
+    std::ostream *os = g_log_stream.load(std::memory_order_acquire);
+    return os != nullptr ? *os : std::cerr;
+}
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+    case LogLevel::Error:
+        return "error";
+    case LogLevel::Warn:
+        return "warn";
+    case LogLevel::Info:
+        return "info";
+    case LogLevel::Debug:
+        return "debug";
+    }
+    return "?";
+}
+
+int
+initLogLevelFromEnv()
+{
+    // Default first so a parse warning below cannot recurse into init.
+    int expected = -1;
+    g_log_level.compare_exchange_strong(expected,
+                                        static_cast<int>(LogLevel::Info),
+                                        std::memory_order_relaxed);
+    const char *env = std::getenv("MIRAGE_LOG_LEVEL");
+    if (env != nullptr) {
+        LogLevel parsed = LogLevel::Info;
+        std::string error;
+        if (parseLogLevel(env, &parsed, &error)) {
+            g_log_level.store(static_cast<int>(parsed),
+                              std::memory_order_relaxed);
+        } else {
+            // Loud on garbage, like MIRAGE_THREADS: never silently change
+            // verbosity on a typo.
+            MIRAGE_WARN("ignoring MIRAGE_LOG_LEVEL: ", error);
+        }
+    }
+    return g_log_level.load(std::memory_order_relaxed);
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    int level = g_log_level.load(std::memory_order_relaxed);
+    if (level < 0)
+        level = initLogLevelFromEnv();
+    return static_cast<LogLevel>(level);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) <= static_cast<int>(logLevel());
+}
+
+bool
+parseLogLevel(const char *value, LogLevel *out, std::string *error)
+{
+    const auto fail = [&](const std::string &why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
+    if (value == nullptr || value[0] == '\0')
+        return fail("empty value (expected error|warn|info|debug or 0-3)");
+    std::string lower;
+    for (const char *p = value; *p != '\0'; ++p)
+        lower.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+    if (lower == "error" || lower == "0") {
+        *out = LogLevel::Error;
+        return true;
+    }
+    if (lower == "warn" || lower == "warning" || lower == "1") {
+        *out = LogLevel::Warn;
+        return true;
+    }
+    if (lower == "info" || lower == "2") {
+        *out = LogLevel::Info;
+        return true;
+    }
+    if (lower == "debug" || lower == "3") {
+        *out = LogLevel::Debug;
+        return true;
+    }
+    return fail("unrecognized level '" + std::string(value) +
+                "' (expected error|warn|info|debug or 0-3)");
+}
+
 namespace detail {
 
 void
@@ -21,15 +137,22 @@ panicImpl(const char *file, int line, const std::string &msg)
 }
 
 void
-warnImpl(const char *file, int line, const std::string &msg)
+logImpl(LogLevel level, const char *file, int line, const std::string &msg)
 {
-    std::cerr << "warn: " << msg << " (" << file << ":" << line << ")" << std::endl;
+    std::ostream &os = logStream();
+    // Info keeps the historical bare format; the other levels carry a
+    // source location so they can be traced back.
+    if (level == LogLevel::Info)
+        os << "info: " << msg << std::endl;
+    else
+        os << levelName(level) << ": " << msg << " (" << file << ":" << line
+           << ")" << std::endl;
 }
 
-void
-informImpl(const std::string &msg)
+std::ostream *
+setLogStream(std::ostream *os)
 {
-    std::cerr << "info: " << msg << std::endl;
+    return g_log_stream.exchange(os, std::memory_order_acq_rel);
 }
 
 } // namespace detail

@@ -1,0 +1,284 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mirage {
+namespace obs {
+
+namespace {
+
+constexpr size_t kDefaultBufferCapacity = size_t{1} << 15;
+
+/// -1 = uninitialized (read MIRAGE_TRACE on first query), else 0/1.
+std::atomic<int> g_trace_enabled{-1};
+std::atomic<size_t> g_buffer_capacity{kDefaultBufferCapacity};
+
+struct TraceEvent
+{
+    const char *name = nullptr;
+    uint64_t start_ns = 0;
+    uint64_t dur_ns = 0;
+};
+
+/** One thread's ring. The owning thread appends under `mu`; the exporter
+ *  snapshots under the same mutex, so export during live recording is
+ *  race-free (the lock is uncontended in steady state — each thread owns
+ *  its ring). */
+struct TraceBuffer
+{
+    explicit TraceBuffer(size_t capacity) : events(capacity) {}
+
+    std::mutex mu;
+    std::vector<TraceEvent> events;
+    size_t head = 0;       ///< next write index
+    size_t filled = 0;     ///< valid events (<= events.size())
+    uint64_t dropped = 0;  ///< events overwritten by wrap-around
+    int tid = 0;           ///< registration order, stable across clears
+};
+
+struct TraceRegistry
+{
+    std::mutex mu;
+    std::vector<TraceBuffer *> buffers; // leaked: threads may outlive main
+};
+
+TraceRegistry &
+registry()
+{
+    static TraceRegistry *r = new TraceRegistry();
+    return *r;
+}
+
+TraceBuffer *
+registerBuffer()
+{
+    TraceRegistry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto *buf = new TraceBuffer(g_buffer_capacity.load(
+        std::memory_order_relaxed));
+    buf->tid = static_cast<int>(r.buffers.size());
+    r.buffers.push_back(buf);
+    return buf;
+}
+
+TraceBuffer *
+threadBuffer()
+{
+    thread_local TraceBuffer *buf = registerBuffer();
+    return buf;
+}
+
+/// Export path from a path-valued MIRAGE_TRACE; leaked for atexit safety.
+std::string *g_exit_path = nullptr;
+
+void
+exportAtExit()
+{
+    if (g_exit_path != nullptr)
+        writeChromeTraceFile(*g_exit_path);
+}
+
+void
+initTraceFromEnv()
+{
+    const char *env = std::getenv("MIRAGE_TRACE");
+    int init = 0;
+    if (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0 &&
+        std::strcmp(env, "false") != 0 && std::strcmp(env, "off") != 0) {
+        init = 1;
+        if (std::strcmp(env, "1") != 0 && std::strcmp(env, "true") != 0 &&
+            std::strcmp(env, "on") != 0) {
+            // Path-valued: also export the trace there at process exit.
+            g_exit_path = new std::string(env);
+            std::atexit(exportAtExit);
+        }
+    }
+    int expected = -1;
+    g_trace_enabled.compare_exchange_strong(expected, init,
+                                            std::memory_order_relaxed);
+}
+
+/** Microseconds with fixed 3-decimal nanosecond fraction, printed from
+ *  integers so the validator can parse timestamps exactly. */
+void
+writeMicros(std::ostream &os, uint64_t ns)
+{
+    char frac[8];
+    std::snprintf(frac, sizeof(frac), "%03u",
+                  static_cast<unsigned>(ns % 1000));
+    os << (ns / 1000) << '.' << frac;
+}
+
+} // namespace
+
+bool
+traceEnabled()
+{
+    int state = g_trace_enabled.load(std::memory_order_relaxed);
+    if (state < 0) {
+        initTraceFromEnv();
+        state = g_trace_enabled.load(std::memory_order_relaxed);
+    }
+    return state != 0;
+}
+
+void
+setTraceEnabled(bool on)
+{
+    // Consume MIRAGE_TRACE before overriding: a path-valued variable
+    // registers its atexit export during init, and that registration must
+    // survive programs that also toggle tracing explicitly.
+    if (g_trace_enabled.load(std::memory_order_relaxed) < 0)
+        initTraceFromEnv();
+    g_trace_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void
+setTraceBufferCapacity(size_t events)
+{
+    if (events == 0)
+        events = kDefaultBufferCapacity;
+    g_buffer_capacity.store(events, std::memory_order_relaxed);
+}
+
+uint64_t
+traceDropped()
+{
+    TraceRegistry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    uint64_t total = 0;
+    for (TraceBuffer *buf : r.buffers) {
+        std::lock_guard<std::mutex> buf_lock(buf->mu);
+        total += buf->dropped;
+    }
+    return total;
+}
+
+void
+clearTrace()
+{
+    TraceRegistry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (TraceBuffer *buf : r.buffers) {
+        std::lock_guard<std::mutex> buf_lock(buf->mu);
+        buf->head = 0;
+        buf->filled = 0;
+        buf->dropped = 0;
+    }
+}
+
+namespace detail {
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+recordSpan(const char *name, uint64_t start_ns, uint64_t end_ns)
+{
+    TraceBuffer *buf = threadBuffer();
+    std::lock_guard<std::mutex> lock(buf->mu);
+    TraceEvent &ev = buf->events[buf->head];
+    if (buf->filled == buf->events.size())
+        ++buf->dropped;
+    else
+        ++buf->filled;
+    ev.name = name;
+    ev.start_ns = start_ns;
+    ev.dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+    buf->head = (buf->head + 1) % buf->events.size();
+}
+
+} // namespace detail
+
+void
+writeChromeTrace(std::ostream &os)
+{
+    // Snapshot every ring under its lock, then serialize lock-free.
+    struct Snap
+    {
+        int tid;
+        std::vector<TraceEvent> events;
+    };
+    std::vector<Snap> snaps;
+    {
+        TraceRegistry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        snaps.reserve(r.buffers.size());
+        for (TraceBuffer *buf : r.buffers) {
+            std::lock_guard<std::mutex> buf_lock(buf->mu);
+            if (buf->filled == 0)
+                continue;
+            Snap snap;
+            snap.tid = buf->tid;
+            snap.events.reserve(buf->filled);
+            // Oldest-first: when full, the oldest event sits at head.
+            const size_t cap = buf->events.size();
+            const size_t start =
+                buf->filled == cap ? buf->head : 0;
+            for (size_t i = 0; i < buf->filled; ++i)
+                snap.events.push_back(buf->events[(start + i) % cap]);
+            snaps.push_back(std::move(snap));
+        }
+    }
+
+    uint64_t t0 = UINT64_MAX;
+    for (const Snap &snap : snaps)
+        for (const TraceEvent &ev : snap.events)
+            t0 = std::min(t0, ev.start_ns);
+    if (t0 == UINT64_MAX)
+        t0 = 0;
+
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    bool first = true;
+    for (const Snap &snap : snaps) {
+        for (const TraceEvent &ev : snap.events) {
+            os << (first ? "\n" : ",\n");
+            os << "  {\"name\": \"" << ev.name
+               << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << snap.tid
+               << ", \"ts\": ";
+            writeMicros(os, ev.start_ns - t0);
+            os << ", \"dur\": ";
+            writeMicros(os, ev.dur_ns);
+            os << "}";
+            first = false;
+        }
+    }
+    os << "\n]}\n";
+}
+
+bool
+writeChromeTraceFile(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        MIRAGE_WARN("obs: cannot open trace export path '", path, "'");
+        return false;
+    }
+    writeChromeTrace(os);
+    os.flush();
+    if (!os) {
+        MIRAGE_WARN("obs: failed writing trace to '", path, "'");
+        return false;
+    }
+    return true;
+}
+
+} // namespace obs
+} // namespace mirage

@@ -1,0 +1,113 @@
+#ifndef MIRAGE_OBS_TRACE_H
+#define MIRAGE_OBS_TRACE_H
+
+/**
+ * @file
+ * RAII trace spans feeding per-thread ring buffers, exported as Chrome
+ * trace-event JSON (loadable in Perfetto / chrome://tracing).
+ *
+ * A TraceSpan samples the monotonic clock at construction and destruction
+ * and appends one fixed-size event to the calling thread's ring buffer.
+ * RAII scoping guarantees spans on one thread are properly nested, which
+ * is what bench/check_trace.py validates. Span names must be string
+ * literals (or otherwise outlive the export): the event stores the
+ * pointer, not a copy, so recording never allocates.
+ *
+ * Gating: tracing defaults off. MIRAGE_TRACE enables it — "1"/"true"/"on"
+ * turn it on; any other non-empty, non-"0"/"false"/"off" value is treated
+ * as an output path, turning tracing on AND exporting the trace there at
+ * process exit. setTraceEnabled() flips it at runtime. A disabled span is
+ * one relaxed load plus a branch — a few ns, asserted in tests.
+ *
+ * Determinism: clock samples go only into the ring buffers, never into
+ * numeric state, so enabling tracing cannot perturb results (the
+ * 1-vs-8-thread bit-equality suites run with tracing on).
+ *
+ * Rings hold the most recent kDefaultBufferCapacity events per thread;
+ * older events are overwritten and tallied in traceDropped().
+ */
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace mirage {
+namespace obs {
+
+/** True when span recording is on (MIRAGE_TRACE, default off). */
+bool traceEnabled();
+
+/** Flips span recording at runtime (overrides MIRAGE_TRACE). */
+void setTraceEnabled(bool on);
+
+/** Events per newly created per-thread ring (existing rings keep their
+ *  size); 0 restores the default. Exposed so tests can exercise
+ *  wrap-around cheaply. */
+void setTraceBufferCapacity(size_t events);
+
+/** Total events overwritten by ring wrap-around since the last clear. */
+uint64_t traceDropped();
+
+/** Drops every buffered event (buffers stay registered). Tests/benches. */
+void clearTrace();
+
+/** Writes all buffered spans as Chrome trace-event JSON ("ph":"X"
+ *  complete events; ts/dur in microseconds, normalized so the earliest
+ *  event starts at 0; tid = thread registration order). */
+void writeChromeTrace(std::ostream &os);
+
+/** writeChromeTrace to `path`; returns false (and warns) on I/O failure. */
+bool writeChromeTraceFile(const std::string &path);
+
+namespace detail {
+
+/** Monotonic nanoseconds (steady_clock). */
+uint64_t nowNs();
+
+/** Appends one complete event to the calling thread's ring buffer,
+ *  creating and registering the ring on first use (the only allocating
+ *  path — warm threads record allocation-free). */
+void recordSpan(const char *name, uint64_t start_ns, uint64_t end_ns);
+
+} // namespace detail
+
+/**
+ * RAII scope timer. Constructing with tracing disabled is a no-op (name_
+ * stays null); the destructor records only when the constructor armed it,
+ * so a span straddling a setTraceEnabled(false) still completes cleanly.
+ */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char *name)
+    {
+        if (traceEnabled()) {
+            name_ = name;
+            start_ns_ = detail::nowNs();
+        }
+    }
+
+    ~TraceSpan()
+    {
+        if (name_ != nullptr)
+            detail::recordSpan(name_, start_ns_, detail::nowNs());
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    const char *name_ = nullptr;
+    uint64_t start_ns_ = 0;
+};
+
+} // namespace obs
+} // namespace mirage
+
+/// Scoped span with a unique variable name; `name` must be a literal.
+#define MIRAGE_SPAN_CAT2(a, b) a##b
+#define MIRAGE_SPAN_CAT(a, b) MIRAGE_SPAN_CAT2(a, b)
+#define MIRAGE_SPAN(name)                                                      \
+    ::mirage::obs::TraceSpan MIRAGE_SPAN_CAT(mirage_span_, __LINE__)(name)
+
+#endif // MIRAGE_OBS_TRACE_H

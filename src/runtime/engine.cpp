@@ -12,6 +12,8 @@
 #include <variant>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 
 namespace mirage {
@@ -26,6 +28,43 @@ secondsSince(Clock::time_point t0, Clock::time_point t1)
 {
     return std::chrono::duration<double>(t1 - t0).count();
 }
+
+/** Pre-registered engine metric handles: resolved once (magic static), so
+ *  record sites never touch the registry map. Clock samples recorded here
+ *  are the same ones RuntimeReport already takes — observability adds no
+ *  new wall-clock reads to numeric state. */
+struct EngineObs
+{
+    obs::Counter &jobs_submitted;
+    obs::Counter &jobs_completed;
+    obs::Counter &batches;
+    obs::Counter &fused_jobs;
+    obs::Counter &shards;
+    obs::Counter &macs;
+    obs::Counter &modeled_ns;
+    obs::Counter &modeled_nj;
+    obs::Gauge &queue_depth;
+    obs::Histogram &job_latency_ns;
+    obs::Histogram &batch_jobs;
+
+    static EngineObs &
+    get()
+    {
+        static auto &reg = obs::MetricsRegistry::global();
+        static EngineObs o{reg.counter("engine.jobs_submitted"),
+                           reg.counter("engine.jobs_completed"),
+                           reg.counter("engine.batches"),
+                           reg.counter("engine.fused_jobs"),
+                           reg.counter("engine.shards"),
+                           reg.counter("engine.macs"),
+                           reg.counter("engine.modeled_ns"),
+                           reg.counter("engine.modeled_nj"),
+                           reg.gauge("engine.queue_depth"),
+                           reg.histogram("engine.job_latency_ns"),
+                           reg.histogram("engine.batch_jobs")};
+        return o;
+    }
+};
 
 } // namespace
 
@@ -131,9 +170,14 @@ struct RuntimeEngine::Impl
         cfg.validate();
         const Rng root(cfg.seed);
         tiles.reserve(static_cast<size_t>(cfg.tiles));
+        tile_macs.reserve(static_cast<size_t>(cfg.tiles));
         for (int t = 0; t < cfg.tiles; ++t) {
             tiles.push_back(std::make_unique<Tile>(
                 cfg.accel, root.split(static_cast<uint64_t>(t))));
+            // Per-tile MAC counters, registered up front so the shard hot
+            // path only does a relaxed fetch_add.
+            tile_macs.push_back(&obs::MetricsRegistry::global().counter(
+                "engine.tile" + std::to_string(t) + ".macs"));
         }
         start = Clock::now();
         stats.tiles = cfg.tiles;
@@ -160,8 +204,10 @@ struct RuntimeEngine::Impl
         queue.push_back(std::move(job));
         ++stats.jobs_submitted;
         stats.max_queue_depth = std::max(stats.max_queue_depth, queue.size());
+        EngineObs::get().queue_depth.set(static_cast<int64_t>(queue.size()));
         lk.unlock();
         not_empty.notify_one();
+        EngineObs::get().jobs_submitted.add(1);
     }
 
     void
@@ -182,26 +228,34 @@ struct RuntimeEngine::Impl
                 // Fuse queued GEMM jobs with the same contraction depth and
                 // output width into one dispatch group (stable order).
                 std::vector<GemmJob> group;
-                group.push_back(std::move(std::get<GemmJob>(first)));
-                const int k = group.front().req.k;
-                const int n = group.front().req.n;
-                for (auto it = queue.begin();
-                     it != queue.end() &&
-                     group.size() < static_cast<size_t>(cfg.max_batch);) {
-                    GemmJob *g = std::get_if<GemmJob>(&*it);
-                    if (g != nullptr && g->req.k == k && g->req.n == n) {
-                        group.push_back(std::move(*g));
-                        it = queue.erase(it);
-                    } else {
-                        ++it;
+                {
+                    MIRAGE_SPAN("engine.fuse");
+                    group.push_back(std::move(std::get<GemmJob>(first)));
+                    const int k = group.front().req.k;
+                    const int n = group.front().req.n;
+                    for (auto it = queue.begin();
+                         it != queue.end() &&
+                         group.size() < static_cast<size_t>(cfg.max_batch);) {
+                        GemmJob *g = std::get_if<GemmJob>(&*it);
+                        if (g != nullptr && g->req.k == k && g->req.n == n) {
+                            group.push_back(std::move(*g));
+                            it = queue.erase(it);
+                        } else {
+                            ++it;
+                        }
                     }
                 }
                 in_flight += group.size();
+                EngineObs::get().queue_depth.set(
+                    static_cast<int64_t>(queue.size()));
                 lk.unlock();
                 not_full.notify_all();
+                EngineObs::get().fused_jobs.add(group.size() - 1);
                 executeGemmGroup(std::move(group));
             } else {
                 in_flight += 1;
+                EngineObs::get().queue_depth.set(
+                    static_cast<int64_t>(queue.size()));
                 lk.unlock();
                 not_full.notify_all();
                 executeSingle(std::move(first));
@@ -219,6 +273,7 @@ struct RuntimeEngine::Impl
     void
     executeGemmGroup(std::vector<GemmJob> group)
     {
+        MIRAGE_SPAN("engine.batch");
         const Clock::time_point dispatch_start = Clock::now();
         const int tile_count = cfg.tiles;
 
@@ -252,13 +307,15 @@ struct RuntimeEngine::Impl
             ThreadPool::global().parallelFor(
                 tile_count, 1, [&](int64_t t0, int64_t t1) {
                     for (int64_t t = t0; t < t1; ++t) {
+                        MIRAGE_SPAN("engine.tile");
                         const Clock::time_point tile_start = Clock::now();
                         bool ran = false;
                         for (size_t s = static_cast<size_t>(t);
                              s < shards.size();
                              s += static_cast<size_t>(tile_count)) {
                             runShard(group, shards[s],
-                                     *tiles[static_cast<size_t>(t)], results);
+                                     *tiles[static_cast<size_t>(t)],
+                                     static_cast<size_t>(t), results);
                             ran = true;
                         }
                         if (ran) {
@@ -302,18 +359,29 @@ struct RuntimeEngine::Impl
                 stats.gemm_macs += static_cast<int64_t>(req.m) * req.k * req.n;
                 stats.total_latency_s += latency;
                 stats.max_latency_s = std::max(stats.max_latency_s, latency);
+                EngineObs::get().job_latency_ns.recordNanosOf(latency);
             }
             in_flight -= group.size();
         }
+        EngineObs::get().batches.add(1);
+        EngineObs::get().batch_jobs.record(group.size());
+        EngineObs::get().jobs_completed.add(group.size());
         idle.notify_all();
     }
 
     void
     runShard(std::vector<GemmJob> &group, const Shard &shard, Tile &tile,
-             std::vector<std::vector<float>> &results)
+             size_t tile_index, std::vector<std::vector<float>> &results)
     {
+        MIRAGE_SPAN("engine.shard");
         const GemmRequest &req = group[shard.job].req;
         const int rows = shard.row_end - shard.row_begin;
+        const uint64_t shard_macs = static_cast<uint64_t>(rows) *
+                                    static_cast<uint64_t>(req.k) *
+                                    static_cast<uint64_t>(req.n);
+        EngineObs::get().shards.add(1);
+        EngineObs::get().macs.add(shard_macs);
+        tile_macs[tile_index]->add(shard_macs);
         // Shard rows are contiguous, so both the A slice and the C slice
         // are zero-copy views — the accelerator writes its output straight
         // into the caller-visible result buffer.
@@ -339,12 +407,18 @@ struct RuntimeEngine::Impl
         // thread; the promise is fulfilled before completion is published
         // so drain() implies every future is ready.
         if (EstimateJob *est = std::get_if<EstimateJob>(&job)) {
+            MIRAGE_SPAN("engine.estimate");
             try {
                 const core::PerformanceReport rep =
                     est->training
                         ? tile.accel.estimateTraining(est->model, est->batch)
                         : tile.accel.estimateInference(est->model,
                                                        est->batch);
+                // Fold the modeled photonic cost into the registry: what
+                // the perf/energy models predicted this job would cost on
+                // the accelerator, in integer nanoseconds/nanojoules.
+                EngineObs::get().modeled_ns.add(obs::toNanos(rep.time_s));
+                EngineObs::get().modeled_nj.add(obs::toNanos(rep.energy_j));
                 est->promise.set_value(rep);
             } catch (...) {
                 est->promise.set_exception(std::current_exception());
@@ -353,6 +427,7 @@ struct RuntimeEngine::Impl
                                                         ? JobKind::Training
                                                         : JobKind::Inference);
         } else {
+            MIRAGE_SPAN("engine.task");
             TaskJob &task = std::get<TaskJob>(job);
             try {
                 task.fn(tile.accel, tile.rng);
@@ -390,11 +465,15 @@ struct RuntimeEngine::Impl
             stats.max_latency_s = std::max(stats.max_latency_s, latency);
             in_flight -= 1;
         }
+        EngineObs::get().jobs_completed.add(1);
+        EngineObs::get().job_latency_ns.recordNanosOf(latency);
         idle.notify_all();
     }
 
     EngineConfig cfg;
     std::vector<std::unique_ptr<Tile>> tiles;
+    /// Per-tile MAC counters (registry-owned), parallel to `tiles`.
+    std::vector<obs::Counter *> tile_macs;
 
     mutable std::mutex mu;
     std::condition_variable not_empty;

@@ -11,6 +11,7 @@
 #endif
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace mirage {
 namespace runtime {
@@ -77,21 +78,24 @@ std::mutex g_global_mu;
 std::atomic<ThreadPool *> g_global_pool{nullptr};
 
 /**
- * Pools replaced by setGlobalThreads, shut down but never freed (guarded
- * by g_global_mu). A caller that grabbed ThreadPool::global() before a
- * swap may still hold the reference, so deleting the old pool was a
- * use-after-free; a shut-down pool is inert (serial parallelFor, inline
- * submits) and costs only its empty shell. Leaked for the same reason as
- * g_global_pool.
- *
- * Growth is unbounded: each setGlobalThreads call retains one shell (a
- * few KiB — mutex, empty deque, slot array; no threads). Reclaiming them
- * safely would need a grace period proving no thread still holds a
- * global() reference (epoch/RCU or shared_ptr ownership), which is not
- * worth the hot-path cost for an API meant for benchmark/test sweeps.
- * See the setGlobalThreads doc comment for the caller-facing contract.
+ * Pools replaced by setGlobalThreads, shut down and retained for a grace
+ * window (guarded by g_global_mu). A caller that grabbed
+ * ThreadPool::global() before a swap may still hold the reference, so
+ * deleting the old pool immediately was a use-after-free; a shut-down
+ * pool is inert (serial parallelFor, inline submits) and costs only its
+ * empty shell, so it is kept until kMaxRetiredPools further swaps have
+ * completed. Each swap creates and joins worker threads (milliseconds),
+ * while global() callers re-fetch the pointer per parallelFor call
+ * (microseconds), so by the time a pool falls off the end of the list it
+ * is fully quiesced: no live reference can plausibly span the window.
+ * Callers that cache a global() reference across that many swaps are out
+ * of contract — see the setGlobalThreads doc comment.
  */
 std::vector<ThreadPool *> *g_retired_pools = nullptr;
+
+/** Retired-pool count mirror for the obs gauge; updated under g_global_mu
+ *  but readable without it. */
+std::atomic<size_t> g_retired_count{0};
 
 /** True in a fork()ed child of the process that created `pool_pid`. */
 bool
@@ -272,6 +276,14 @@ ThreadPool::workerLoop()
 void
 ThreadPool::runLoop(detail::ForLoop &loop)
 {
+    // Threaded dispatches only — the serial fast path in parallelFor never
+    // reaches here, so MIRAGE_THREADS=1 hot loops stay untouched. The
+    // handle is resolved once (magic static); recording is one relaxed
+    // fetch_add.
+    static obs::Counter &loop_dispatches =
+        obs::MetricsRegistry::global().counter("runtime.pool.loops");
+    loop_dispatches.add(1);
+
     // Publish the loop in a free broadcast slot. No free slot (> kLoopSlots
     // concurrent parallelFors, i.e. deep nesting) is not an error: the
     // caller below simply runs every block itself, which is the same
@@ -377,15 +389,32 @@ ThreadPool::setGlobalThreads(int threads)
         g_global_pool.store(fresh, std::memory_order_release);
     }
     if (old != nullptr) {
-        // Quiesce the replaced pool but never delete it: a concurrent
-        // thread may already hold the reference global() returned before
-        // the swap. See g_retired_pools.
+        // Quiesce the replaced pool, then park it on the retired list for
+        // a grace window instead of deleting it under a possibly live
+        // reference. See g_retired_pools.
         old->shutdown();
         std::lock_guard<std::mutex> lk(g_global_mu);
         if (g_retired_pools == nullptr)
             g_retired_pools = new std::vector<ThreadPool *>();
         g_retired_pools->push_back(old);
+        // Free the oldest shells beyond the cap: they were shut down
+        // kMaxRetiredPools swaps ago (each swap spawns and joins threads),
+        // so any in-contract reference to them has long since drained.
+        while (g_retired_pools->size() > kMaxRetiredPools) {
+            delete g_retired_pools->front();
+            g_retired_pools->erase(g_retired_pools->begin());
+        }
+        g_retired_count.store(g_retired_pools->size(),
+                              std::memory_order_relaxed);
     }
+    obs::MetricsRegistry::global().gauge("runtime.retired_pools").set(
+        static_cast<int64_t>(g_retired_count.load(std::memory_order_relaxed)));
+}
+
+size_t
+ThreadPool::retiredPoolCount()
+{
+    return g_retired_count.load(std::memory_order_relaxed);
 }
 
 int

@@ -192,19 +192,30 @@ class ThreadPool
 
     /**
      * Replaces the global pool with one of `threads` workers. The old pool
-     * is shut down (workers join, queue drains) and then *retired, never
-     * freed*: a thread that grabbed `ThreadPool::global()` before the swap
-     * may still hold the reference, and deleting the object under it was a
-     * latent use-after-free. A retired pool is inert — parallelFor runs
-     * serially, submits run inline — so stale references stay safe.
+     * is shut down (workers join, queue drains) and then *retired*: a
+     * thread that grabbed `ThreadPool::global()` before the swap may still
+     * hold the reference, and deleting the object under it would be a
+     * use-after-free. A retired pool is inert — parallelFor runs serially,
+     * submits run inline — so stale references stay safe.
      *
-     * Cost: every call permanently retains the replaced pool's shell (its
-     * mutex, empty task deque, and slot array — a few KiB; the worker
-     * threads themselves are joined). Growth is unbounded by design, so
-     * this is for benchmark/test sweeps over thread counts — do not call
-     * it from steady-state production loops.
+     * Retired shells (mutex, empty task deque, slot array — a few KiB;
+     * the worker threads themselves are joined) are kept for a grace
+     * window of kMaxRetiredPools subsequent swaps and then freed, so the
+     * list no longer grows without bound. Contract: a cached global()
+     * reference must not be used across kMaxRetiredPools or more
+     * setGlobalThreads calls — code that re-fetches global() per call
+     * (runtime::parallelFor and every hot path in this library) is always
+     * in contract. The retired count is exported as the obs gauge
+     * `runtime.retired_pools`. This API is for benchmark/test sweeps over
+     * thread counts — do not call it from steady-state production loops.
      */
     static void setGlobalThreads(int threads);
+
+    /// Retired shells kept after a setGlobalThreads swap (grace window).
+    static constexpr size_t kMaxRetiredPools = 8;
+
+    /** Current number of retained retired pools. Exposed for tests. */
+    static size_t retiredPoolCount();
 
     /**
      * Parses a MIRAGE_THREADS-style string. Returns the thread count for a

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace mirage {
 namespace serve {
@@ -235,6 +236,34 @@ WeightCache::WeightCache(int tiles, const arch::MirageConfig &cfg)
         throw std::invalid_argument("WeightCache needs at least one tile");
 }
 
+namespace {
+
+/** Weight-cache hardware counters: the modeled photonic reprogramming
+ *  cost (MZI/ring reprogram time and energy) surfaced as integer
+ *  nanosecond/nanojoule counters alongside hit/miss/eviction tallies. */
+struct CacheObs
+{
+    obs::Counter &hits;
+    obs::Counter &misses;
+    obs::Counter &evictions;
+    obs::Counter &reprogram_ns;
+    obs::Counter &reprogram_nj;
+
+    static CacheObs &
+    get()
+    {
+        static auto &reg = obs::MetricsRegistry::global();
+        static CacheObs o{reg.counter("serve.cache.hits"),
+                          reg.counter("serve.cache.misses"),
+                          reg.counter("serve.cache.evictions"),
+                          reg.counter("serve.cache.reprogram_ns"),
+                          reg.counter("serve.cache.reprogram_nj")};
+        return o;
+    }
+};
+
+} // namespace
+
 TileProgramCost
 WeightCache::acquire(const std::string &key, int64_t weight_elements)
 {
@@ -251,6 +280,7 @@ WeightCache::acquire(const std::string &key, int64_t weight_elements)
             cost.tile = static_cast<int>(t);
             cost.hit = true;
             ++stats_.hits;
+            CacheObs::get().hits.add(1);
             return cost;
         }
     }
@@ -265,8 +295,10 @@ WeightCache::acquire(const std::string &key, int64_t weight_elements)
         if (slots_[t].last_use < slots_[victim].last_use)
             victim = t;
     }
-    if (!slots_[victim].key.empty())
+    if (!slots_[victim].key.empty()) {
         ++stats_.evictions;
+        CacheObs::get().evictions.add(1);
+    }
     slots_[victim].key = key;
     slots_[victim].last_use = clock_;
 
@@ -277,6 +309,9 @@ WeightCache::acquire(const std::string &key, int64_t weight_elements)
     ++stats_.misses;
     stats_.programming_time_s += cost.time_s;
     stats_.programming_energy_j += cost.energy_j;
+    CacheObs::get().misses.add(1);
+    CacheObs::get().reprogram_ns.add(obs::toNanos(cost.time_s));
+    CacheObs::get().reprogram_nj.add(obs::toNanos(cost.energy_j));
     return cost;
 }
 

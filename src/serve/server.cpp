@@ -11,6 +11,8 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mirage {
 namespace serve {
@@ -24,6 +26,42 @@ secondsSince(Clock::time_point t0, Clock::time_point t1)
 {
     return std::chrono::duration<double>(t1 - t0).count();
 }
+
+/** Pre-registered server metric handles (magic static; no registry-map
+ *  lookups on the request path). Every duration recorded here reuses a
+ *  clock sample the server already takes for ServerStats. */
+struct ServerObs
+{
+    obs::Counter &submitted;
+    obs::Counter &rejected;
+    obs::Counter &completed;
+    obs::Counter &failed;
+    obs::Counter &batches;
+    obs::Counter &deadline_misses;
+    obs::Gauge &pending;
+    obs::Histogram &queue_ns;
+    obs::Histogram &batch_size;
+    obs::Histogram &latency_interactive_ns;
+    obs::Histogram &latency_batch_ns;
+
+    static ServerObs &
+    get()
+    {
+        static auto &reg = obs::MetricsRegistry::global();
+        static ServerObs o{reg.counter("serve.submitted"),
+                           reg.counter("serve.rejected"),
+                           reg.counter("serve.completed"),
+                           reg.counter("serve.failed"),
+                           reg.counter("serve.batches"),
+                           reg.counter("serve.deadline_misses"),
+                           reg.gauge("serve.pending"),
+                           reg.histogram("serve.queue_ns"),
+                           reg.histogram("serve.batch_size"),
+                           reg.histogram("serve.latency.interactive_ns"),
+                           reg.histogram("serve.latency.batch_ns")};
+        return o;
+    }
+};
 
 /** Nearest-rank percentile of an ascending-sorted sample vector. */
 double
@@ -145,6 +183,7 @@ struct InferenceServer::Impl
     std::future<InferenceReply>
     submit(InferenceRequest req)
     {
+        MIRAGE_SPAN("serve.admit");
         if (req.model.empty())
             throw std::invalid_argument("request needs a model name");
         const bool has_input = req.input.size() > 0;
@@ -164,9 +203,11 @@ struct InferenceServer::Impl
 
         std::unique_lock<std::mutex> lk(mu);
         ++stats.submitted;
+        ServerObs::get().submitted.add(1);
         if (stop_accepting || pending_total >= cfg.queue_capacity) {
             ++stats.rejected;
             lk.unlock();
+            ServerObs::get().rejected.add(1);
             p.promise.set_exception(std::make_exception_ptr(
                 std::runtime_error(stop_accepting
                                        ? "server is shut down"
@@ -182,6 +223,7 @@ struct InferenceServer::Impl
         p.req = std::move(req);
         group.pending.push_back(std::move(p));
         ++pending_total;
+        ServerObs::get().pending.set(static_cast<int64_t>(pending_total));
         lk.unlock();
         wake.notify_one();
         return fut;
@@ -264,6 +306,7 @@ struct InferenceServer::Impl
     dispatch(std::unique_lock<std::mutex> &lk,
              std::map<std::string, Group>::iterator it)
     {
+        MIRAGE_SPAN("serve.flush");
         Group &group = it->second;
         auto batch = std::make_shared<std::vector<Pending>>();
         const size_t take = std::min(group.pending.size(),
@@ -277,6 +320,7 @@ struct InferenceServer::Impl
             groups.erase(it);
         pending_total -= take;
         in_flight += take;
+        ServerObs::get().pending.set(static_cast<int64_t>(pending_total));
         const std::string model = batch->front().req.model;
         const SloClass slo = batch->front().req.slo;
         lk.unlock();
@@ -299,12 +343,17 @@ struct InferenceServer::Impl
 
         // submitTask blocks on engine backpressure — intended: a saturated
         // engine pushes back into the batcher, which keeps admitting up to
-        // queue_capacity and then rejects.
-        engine.submitTask([this, batch, entry, cost, slo, total_samples,
-                           dispatched](core::MirageAccelerator &accel, Rng &) {
-            execute(*batch, *entry, cost, slo, total_samples, dispatched,
-                    accel);
-        });
+        // queue_capacity and then rejects. The enqueue span makes that
+        // backpressure stall visible on the batcher's timeline.
+        {
+            MIRAGE_SPAN("serve.enqueue");
+            engine.submitTask([this, batch, entry, cost, slo, total_samples,
+                               dispatched](core::MirageAccelerator &accel,
+                                           Rng &) {
+                execute(*batch, *entry, cost, slo, total_samples, dispatched,
+                        accel);
+            });
+        }
         lk.lock();
     }
 
@@ -313,6 +362,7 @@ struct InferenceServer::Impl
             const TileProgramCost &cost, SloClass slo, int64_t total_samples,
             Clock::time_point dispatched, core::MirageAccelerator &accel)
     {
+        MIRAGE_SPAN("serve.execute");
         std::exception_ptr error;
         nn::Tensor outputs;
         core::PerformanceReport report;
@@ -348,6 +398,11 @@ struct InferenceServer::Impl
         latencies.reserve(batch.size());
         uint64_t misses = 0;
         int64_t row = 0;
+        MIRAGE_SPAN("serve.reply");
+        obs::Histogram &latency_hist =
+            slo == SloClass::Interactive
+                ? ServerObs::get().latency_interactive_ns
+                : ServerObs::get().latency_batch_ns;
         for (Pending &p : batch) {
             if (error) {
                 p.promise.set_exception(error);
@@ -383,6 +438,8 @@ struct InferenceServer::Impl
             if (!reply.deadline_met)
                 ++misses;
             latencies.push_back(reply.latency_s);
+            ServerObs::get().queue_ns.recordNanosOf(reply.queue_s);
+            latency_hist.recordNanosOf(reply.latency_s);
             p.promise.set_value(std::move(reply));
         }
 
@@ -391,6 +448,7 @@ struct InferenceServer::Impl
             in_flight -= batch.size();
             if (error) {
                 stats.failed += batch.size();
+                ServerObs::get().failed.add(batch.size());
                 // Notify under the lock: this runs on the engine's
                 // dispatcher thread, and a drain()er may destroy the
                 // server the moment it observes in_flight == 0 — holding
@@ -415,6 +473,10 @@ struct InferenceServer::Impl
                 cost.hit ? ++stats.cache_hits : ++stats.cache_misses;
                 stats.energy_j += batch_energy_j;
                 stats.programming_energy_j += cost.energy_j;
+                ServerObs::get().batches.add(1);
+                ServerObs::get().batch_size.record(batch.size());
+                ServerObs::get().completed.add(batch.size());
+                ServerObs::get().deadline_misses.add(misses);
             }
             idle.notify_all();
         }
@@ -461,6 +523,7 @@ struct InferenceServer::Impl
             std::lock_guard<std::mutex> lk(mu);
             in_flight -= batch.size();
             stats.failed += batch.size();
+            ServerObs::get().failed.add(batch.size());
             idle.notify_all();
         }
     }

@@ -7,6 +7,8 @@
 
 #include "common/logging.h"
 #include "nn/loss.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 #include "train/grad_utils.h"
 
@@ -14,6 +16,38 @@ namespace mirage {
 namespace train {
 
 namespace {
+
+/** Pre-registered trainer metric handles (magic static). Everything
+ *  recorded on the step path is a relaxed atomic op: the steady-state
+ *  training step stays zero-alloc (tests/test_alloc_guard.cpp) and the
+ *  wall-clock sample reused for train.step_ns is the one trainStep
+ *  already takes for TrainReport. */
+struct TrainObs
+{
+    obs::Counter &steps;
+    obs::Counter &samples;
+    obs::Counter &clipped_steps;
+    obs::Counter &checkpoints;
+    obs::Counter &publishes;
+    obs::Counter &modeled_ns;
+    obs::Counter &modeled_nj;
+    obs::Histogram &step_ns;
+
+    static TrainObs &
+    get()
+    {
+        static auto &reg = obs::MetricsRegistry::global();
+        static TrainObs o{reg.counter("train.steps"),
+                          reg.counter("train.samples"),
+                          reg.counter("train.clipped_steps"),
+                          reg.counter("train.checkpoints"),
+                          reg.counter("train.publishes"),
+                          reg.counter("train.modeled_ns"),
+                          reg.counter("train.modeled_nj"),
+                          reg.histogram("train.step_ns")};
+        return o;
+    }
+};
 
 // Metadata keys of the checkpoint resume section (format v2).
 constexpr const char *kMetaStep = "train/step";
@@ -154,6 +188,7 @@ void
 Trainer::trainStep(const nn::BatchIterator &it, TrainReport &report,
                    double &epoch_loss, int64_t &epoch_correct)
 {
+    MIRAGE_SPAN("train.step");
     const int S = cfg_.shards_per_step;
     const int A = cfg_.accum_rounds;
     const int R = cfg_.replicas;
@@ -171,6 +206,7 @@ Trainer::trainStep(const nn::BatchIterator &it, TrainReport &report,
         // parallelFor join orders them before the reduction below.
         runtime::parallelFor(R, 1, [&](int64_t begin, int64_t end) {
             for (int64_t r = begin; r < end; ++r) {
+                MIRAGE_SPAN("train.shard");
                 Replica &rep = *replicas_[r];
                 nn::Dataset &shard = shard_batch_[static_cast<size_t>(r)];
                 for (int q = static_cast<int>(r); q < S; q += R) {
@@ -213,6 +249,7 @@ Trainer::trainStep(const nn::BatchIterator &it, TrainReport &report,
         // depends only on S, never on the replica count, so the FP32
         // accumulation order (and hence every rounded bit) matches the
         // 1-replica run.
+        MIRAGE_SPAN("train.reduce");
         for (int stride = 1; stride < S; stride *= 2) {
             for (int i = 0; i + stride < S; i += 2 * stride) {
                 float *acc = shard_grads_[static_cast<size_t>(i)].data();
@@ -237,36 +274,49 @@ Trainer::trainStep(const nn::BatchIterator &it, TrainReport &report,
     for (float &g : step_grad_)
         g *= inv;
 
-    assertFiniteGrads(step_grad_, "the optimizer-step boundary");
-    double norm;
-    if (cfg_.clip_norm > 0.0) {
-        norm = clipGradNorm(std::span<float>(step_grad_), cfg_.clip_norm);
-        if (norm > cfg_.clip_norm)
-            ++report.clipped_steps;
-    } else {
-        norm = globalGradNorm(std::span<const float>(step_grad_));
-    }
-    report.max_grad_norm = std::max(report.max_grad_norm, norm);
+    double lr = 0.0;
+    {
+        MIRAGE_SPAN("train.optimizer");
+        assertFiniteGrads(step_grad_, "the optimizer-step boundary");
+        double norm;
+        if (cfg_.clip_norm > 0.0) {
+            norm = clipGradNorm(std::span<float>(step_grad_), cfg_.clip_norm);
+            if (norm > cfg_.clip_norm) {
+                ++report.clipped_steps;
+                TrainObs::get().clipped_steps.add(1);
+            }
+        } else {
+            norm = globalGradNorm(std::span<const float>(step_grad_));
+        }
+        report.max_grad_norm = std::max(report.max_grad_norm, norm);
 
-    // Scatter the reduced gradient into replica 0 and step the master.
-    int64_t off = 0;
-    for (nn::Param *p : replicas_[0]->params) {
-        std::copy(step_grad_.data() + off,
-                  step_grad_.data() + off + p->grad.size(), p->grad.data());
-        off += p->grad.size();
+        // Scatter the reduced gradient into replica 0 and step the master.
+        int64_t off = 0;
+        for (nn::Param *p : replicas_[0]->params) {
+            std::copy(step_grad_.data() + off,
+                      step_grad_.data() + off + p->grad.size(),
+                      p->grad.data());
+            off += p->grad.size();
+        }
+        lr = scheduledLr();
+        opt_->setLr(static_cast<float>(lr));
+        opt_->step(replicas_[0]->params);
+        broadcastFromReplica0();
     }
-    const double lr = scheduledLr();
-    opt_->setLr(static_cast<float>(lr));
-    opt_->step(replicas_[0]->params);
-    broadcastFromReplica0();
 
     ++step_;
     cursor_ += static_cast<int64_t>(S) * A;
     // Compute time only: the checkpoint/publish I/O below is excluded so
     // TrainReport::samples_per_s reports sustained training throughput.
-    step_wall_s_ += std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - compute_t0)
-                        .count();
+    const double step_dt = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - compute_t0)
+                               .count();
+    step_wall_s_ += step_dt;
+    TrainObs::get().steps.add(1);
+    TrainObs::get().samples.add(static_cast<uint64_t>(cfg_.effectiveBatch()));
+    TrainObs::get().step_ns.recordNanosOf(step_dt);
+    TrainObs::get().modeled_ns.add(obs::toNanos(report.modeled_step_time_s));
+    TrainObs::get().modeled_nj.add(obs::toNanos(report.modeled_step_energy_j));
     const float mean_loss =
         static_cast<float>(step_loss / static_cast<double>(S * A));
     report.step_loss.push_back(mean_loss);
@@ -277,11 +327,16 @@ Trainer::trainStep(const nn::BatchIterator &it, TrainReport &report,
     if (cfg_.checkpoint_every_steps > 0 &&
         step_ % cfg_.checkpoint_every_steps == 0) {
         if (!cfg_.checkpoint_path.empty()) {
+            MIRAGE_SPAN("train.checkpoint");
             saveCheckpoint(cfg_.checkpoint_path);
             ++report.checkpoints_written;
+            TrainObs::get().checkpoints.add(1);
         }
-        if (cfg_.publish_to != nullptr)
+        if (cfg_.publish_to != nullptr) {
+            MIRAGE_SPAN("train.publish");
             report.last_published_version = publishNow();
+            TrainObs::get().publishes.add(1);
+        }
     }
 }
 

@@ -1,13 +1,16 @@
 /**
  * @file
  * Unit tests for the common utility layer: math helpers, RNG determinism,
- * unit conversions, and the table printer.
+ * unit conversions, the table printer, and the leveled logging macros.
  */
 
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <utility>
 
+#include "common/logging.h"
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -152,6 +155,106 @@ TEST(Table, FormatHelpers)
 {
     EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
     EXPECT_EQ(formatSig(1234.5, 3), "1.23e+03");
+}
+
+// ---------------------------------------------------------------------------
+// Leveled logging
+// ---------------------------------------------------------------------------
+
+/** Captures MIRAGE_LOG output and restores level + sink on scope exit. */
+struct LogCapture
+{
+    LogCapture() : prev_level(logLevel())
+    {
+        prev_stream = detail::setLogStream(&os);
+    }
+    ~LogCapture()
+    {
+        detail::setLogStream(prev_stream);
+        setLogLevel(prev_level);
+    }
+    std::string text() const { return os.str(); }
+
+    std::ostringstream os;
+    LogLevel prev_level;
+    std::ostream *prev_stream;
+};
+
+TEST(Logging, ParseLogLevelAcceptsNamesAndNumbers)
+{
+    LogLevel out = LogLevel::Info;
+    const std::pair<const char *, LogLevel> good[] = {
+        {"error", LogLevel::Error}, {"0", LogLevel::Error},
+        {"warn", LogLevel::Warn},   {"WARNING", LogLevel::Warn},
+        {"1", LogLevel::Warn},      {"info", LogLevel::Info},
+        {"Info", LogLevel::Info},   {"2", LogLevel::Info},
+        {"debug", LogLevel::Debug}, {"DEBUG", LogLevel::Debug},
+        {"3", LogLevel::Debug},
+    };
+    for (const auto &[value, expected] : good) {
+        EXPECT_TRUE(parseLogLevel(value, &out)) << value;
+        EXPECT_EQ(out, expected) << value;
+    }
+
+    std::string error;
+    for (const char *bad : {"", "verbose", "4", "-1", "1.5", "warn "}) {
+        error.clear();
+        EXPECT_FALSE(parseLogLevel(bad, &out, &error)) << bad;
+        EXPECT_FALSE(error.empty()) << bad;
+    }
+    EXPECT_FALSE(parseLogLevel(nullptr, &out, &error));
+}
+
+TEST(Logging, ThresholdFiltersBySeverity)
+{
+    LogCapture capture;
+    setLogLevel(LogLevel::Warn);
+    EXPECT_TRUE(logEnabled(LogLevel::Error));
+    EXPECT_TRUE(logEnabled(LogLevel::Warn));
+    EXPECT_FALSE(logEnabled(LogLevel::Info));
+    EXPECT_FALSE(logEnabled(LogLevel::Debug));
+
+    MIRAGE_LOG(Error, "e-message");
+    MIRAGE_LOG(Warn, "w-message");
+    MIRAGE_LOG(Info, "i-message");
+    MIRAGE_LOG(Debug, "d-message");
+    const std::string text = capture.text();
+    EXPECT_NE(text.find("error: e-message"), std::string::npos) << text;
+    EXPECT_NE(text.find("warn: w-message"), std::string::npos);
+    EXPECT_EQ(text.find("i-message"), std::string::npos);
+    EXPECT_EQ(text.find("d-message"), std::string::npos);
+}
+
+TEST(Logging, InfoKeepsBareFormatOthersCarrySourceLocation)
+{
+    LogCapture capture;
+    setLogLevel(LogLevel::Debug);
+    MIRAGE_INFORM("plain status");
+    MIRAGE_WARN("watch out");
+    MIRAGE_LOG(Debug, "details");
+    const std::string text = capture.text();
+    EXPECT_NE(text.find("info: plain status\n"), std::string::npos) << text;
+    // Warn/Debug append "(file:line)"; Info does not.
+    EXPECT_NE(text.find("warn: watch out ("), std::string::npos);
+    EXPECT_NE(text.find("debug: details ("), std::string::npos);
+    EXPECT_NE(text.find("test_common.cpp:"), std::string::npos);
+    EXPECT_EQ(text.find("info: plain status ("), std::string::npos);
+}
+
+TEST(Logging, ArgumentsAreNotFormattedBelowThreshold)
+{
+    LogCapture capture;
+    setLogLevel(LogLevel::Error);
+    int evaluations = 0;
+    const auto expensive = [&] {
+        ++evaluations;
+        return "formatted";
+    };
+    MIRAGE_LOG(Debug, "msg ", expensive());
+    EXPECT_EQ(evaluations, 0)
+        << "MIRAGE_LOG formatted arguments for a filtered level";
+    MIRAGE_LOG(Error, "msg ", expensive());
+    EXPECT_EQ(evaluations, 1);
 }
 
 } // namespace

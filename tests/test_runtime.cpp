@@ -20,6 +20,7 @@
 
 #include "core/mirage.h"
 #include "models/zoo.h"
+#include "obs/metrics.h"
 #include "runtime/engine.h"
 #include "runtime/thread_pool.h"
 #include "test_support.h"
@@ -219,9 +220,15 @@ TEST(ThreadPool, SetGlobalThreadsWhileOtherThreadsUseTheGlobalPool)
     // Regression test for a latent use-after-free: setGlobalThreads used
     // to delete the old pool while another thread could still hold the
     // ThreadPool::global() reference. Retired pools are now kept alive
-    // (inert: serial parallelFor, inline submits), so hammering the
-    // global pool while it is being replaced must be clean under
-    // ThreadSanitizer/AddressSanitizer.
+    // for a kMaxRetiredPools-swap grace window (inert: serial
+    // parallelFor, inline submits), so hammering the global pool while
+    // it is being replaced must be clean under ThreadSanitizer/
+    // AddressSanitizer. The concurrent phase performs exactly
+    // kMaxRetiredPools swaps: any pool a user could reference stays in
+    // the grace window for the whole phase (cap evictions during the
+    // phase only hit pools retired before the users started), so the
+    // test exercises the original race without depending on the
+    // quiescence argument that justifies the eventual delete.
     std::atomic<bool> stop{false};
     std::vector<std::thread> users;
     for (int u = 0; u < 3; ++u) {
@@ -237,12 +244,43 @@ TEST(ThreadPool, SetGlobalThreadsWhileOtherThreadsUseTheGlobalPool)
             }
         });
     }
-    for (int swap = 0; swap < 10; ++swap)
-        runtime::ThreadPool::setGlobalThreads(1 + swap % 4);
+    for (size_t swap = 0; swap < runtime::ThreadPool::kMaxRetiredPools;
+         ++swap)
+        runtime::ThreadPool::setGlobalThreads(1 + static_cast<int>(swap % 4));
     stop.store(true);
     for (auto &t : users)
         t.join();
     runtime::ThreadPool::setGlobalThreads(0);
+}
+
+TEST(ThreadPool, RetiredPoolListIsCappedAndOldestFreed)
+{
+    // The retired list must not grow without bound: a long-lived process
+    // that retunes its thread count (serve reconfigurations, bench
+    // sweeps) retires a pool per call, and before the cap each shell —
+    // mutexes, condvars, empty deques — leaked for the process lifetime.
+    // After every swap the list holds at most kMaxRetiredPools shells,
+    // the runtime.retired_pools gauge agrees, and the current pool still
+    // dispatches work.
+    using runtime::ThreadPool;
+    for (size_t swap = 0; swap < 3 * ThreadPool::kMaxRetiredPools; ++swap) {
+        ThreadPool::setGlobalThreads(1 + static_cast<int>(swap % 3));
+        EXPECT_LE(ThreadPool::retiredPoolCount(),
+                  ThreadPool::kMaxRetiredPools);
+        std::atomic<int64_t> sum{0};
+        ThreadPool::global().parallelFor(32, 4, [&](int64_t b, int64_t e) {
+            sum.fetch_add(e - b);
+        });
+        EXPECT_EQ(sum.load(), 32);
+    }
+    EXPECT_EQ(ThreadPool::retiredPoolCount(),
+              ThreadPool::kMaxRetiredPools);
+    const obs::Gauge *gauge = obs::MetricsRegistry::global().findGauge(
+        "runtime.retired_pools");
+    ASSERT_NE(gauge, nullptr);
+    EXPECT_EQ(gauge->value(),
+              static_cast<int64_t>(ThreadPool::retiredPoolCount()));
+    ThreadPool::setGlobalThreads(0);
 }
 
 TEST(ThreadPool, ShutdownDegradesToSerialButStaysUsable)
