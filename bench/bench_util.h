@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/table.h"
+#include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -80,9 +81,12 @@ struct BenchOptions
                 std::exit(0);
             }
         }
-        // Arm tracing up front so the whole run is captured.
+        // Arm tracing up front so the whole run is captured, and bring up
+        // the live scrape endpoint when MIRAGE_METRICS_PORT is set (no-op
+        // otherwise).
         if (!opts.trace_path.empty())
             obs::setTraceEnabled(true);
+        obs::startExporterFromEnv();
         return opts;
     }
 };

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Validator for per-request JSONL logs (serve_soak --request-log and
+flight-recorder dumps).
+
+Each line is one obs::RequestRecord:
+
+  {"id": N, "batch": N, "class": "interactive|batch|train", "tile": N,
+   "batch_size": N, "cache_hit": B, "deadline_met": B, "shed": B,
+   "queue_ns": N, "execute_ns": N, "reply_ns": N, "total_ns": N,
+   "modeled_ns": N, "modeled_nj": N}
+
+Checks:
+
+* every line parses as JSON; lines without an "id" key (e.g. the
+  {"signal": N} header of a fatal-signal dump) are skipped,
+* ids are positive and unique; strictly increasing unless --unordered
+  (flight dumps are in completion order, which interleaves batches),
+* for completed (non-shed) serve records, the wall-time shares sum to
+  the end-to-end total: |queue+execute+reply - total| <= 1% + 1 us,
+* records sharing a micro-batch ("batch" key, serve classes only) agree
+  on tile, cache_hit, batch_size, and class, and the group is no larger
+  than its declared batch_size,
+* shed records never claim a met deadline,
+* with --min-requests N, at least N records are present.
+
+Usage:
+  check_requests.py LOG.jsonl [--unordered] [--min-requests N]
+
+Exits non-zero on any failure, printing each violation.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+REQUIRED_KEYS = (
+    "id", "batch", "class", "tile", "batch_size", "cache_hit",
+    "deadline_met", "shed", "queue_ns", "execute_ns", "reply_ns",
+    "total_ns", "modeled_ns", "modeled_nj",
+)
+
+SHARE_TOL_FRAC = 0.01   # 1% of the record's own total...
+SHARE_TOL_NS = 1_000    # ...plus 1 us of per-term rounding slack.
+
+
+def fail(msg):
+    print(f"FAIL  {msg}")
+    return False
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("log", help="JSONL request log to validate")
+    parser.add_argument("--unordered", action="store_true",
+                        help="allow ids out of order (flight dumps are in"
+                             " completion order)")
+    parser.add_argument("--min-requests", type=int, default=1,
+                        help="minimum number of records required")
+    args = parser.parse_args()
+
+    try:
+        with open(args.log) as f:
+            lines = f.readlines()
+    except OSError as exc:
+        print(f"FAIL  cannot read {args.log}: {exc}")
+        return 1
+
+    ok = True
+    records = []
+    skipped = 0
+    for i, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            ok = fail(f"line {i}: not valid JSON ({exc})")
+            continue
+        if not isinstance(rec, dict):
+            ok = fail(f"line {i}: not a JSON object")
+            continue
+        if "id" not in rec:
+            skipped += 1  # e.g. the {"signal": N} dump header
+            continue
+        missing = [k for k in REQUIRED_KEYS if k not in rec]
+        if missing:
+            ok = fail(f"line {i}: missing keys {missing}")
+            continue
+        rec["_line"] = i
+        records.append(rec)
+
+    if len(records) < args.min_requests:
+        ok = fail(f"{len(records)} records, but --min-requests"
+                  f" {args.min_requests}")
+
+    # Id uniqueness and (optionally) monotonicity.
+    seen = {}
+    prev_id = 0
+    for rec in records:
+        rid = rec["id"]
+        if not isinstance(rid, int) or rid <= 0:
+            ok = fail(f"line {rec['_line']}: id {rid!r} is not a positive"
+                      f" integer")
+            continue
+        if rid in seen:
+            ok = fail(f"line {rec['_line']}: id {rid} already appeared on"
+                      f" line {seen[rid]}")
+        seen[rid] = rec["_line"]
+        if not args.unordered and rid <= prev_id:
+            ok = fail(f"line {rec['_line']}: id {rid} not strictly"
+                      f" increasing (previous {prev_id}); flight dumps"
+                      f" need --unordered")
+        prev_id = max(prev_id, rid)
+
+    # Wall-time shares and flag consistency.
+    for rec in records:
+        where = f"line {rec['_line']} (id {rec['id']})"
+        if rec["shed"]:
+            if rec["deadline_met"]:
+                ok = fail(f"{where}: shed record claims deadline_met")
+            continue
+        total = rec["total_ns"]
+        share_sum = rec["queue_ns"] + rec["execute_ns"] + rec["reply_ns"]
+        tol = SHARE_TOL_FRAC * total + SHARE_TOL_NS
+        if abs(share_sum - total) > tol:
+            ok = fail(f"{where}: queue+execute+reply = {share_sum} ns but"
+                      f" total_ns = {total} (tolerance {tol:.0f} ns)")
+
+    # Micro-batch consistency (serve classes only: train steps use their
+    # own step counter as "batch" and never share it with serve batches).
+    groups = collections.defaultdict(list)
+    for rec in records:
+        if rec["shed"] or rec["class"] == "train":
+            continue
+        groups[rec["batch"]].append(rec)
+    for batch, group in sorted(groups.items()):
+        where = f"batch {batch}"
+        for key in ("tile", "cache_hit", "batch_size", "class"):
+            values = {rec[key] for rec in group}
+            if len(values) > 1:
+                ok = fail(f"{where}: members disagree on {key}:"
+                          f" {sorted(values, key=str)}")
+        sizes = {rec["batch_size"] for rec in group}
+        if len(sizes) == 1 and len(group) > next(iter(sizes)):
+            ok = fail(f"{where}: {len(group)} records but batch_size"
+                      f" {next(iter(sizes))}")
+
+    classes = collections.Counter(rec["class"] for rec in records)
+    print(f"{args.log}: {len(records)} records ({skipped} non-record"
+          f" lines skipped), {len(groups)} micro-batches,"
+          f" classes: {dict(classes)}")
+    print("request check:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

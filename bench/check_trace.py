@@ -6,19 +6,26 @@ Perfetto / chrome://tracing will actually load and that the span
 structure is sane:
 
 * the file is valid JSON with a non-empty "traceEvents" array,
-* every event is a complete event ("ph": "X") with a non-empty name,
-  numeric ts >= 0 and dur >= 0, and integer pid/tid,
-* within each (pid, tid) timeline the events nest: replaying them in
-  start order against a stack, every event fits inside its enclosing
-  open span (up to --epsilon-us of clock slack, since start/end pairs
-  come from separate steady_clock reads),
+* every event is either a complete event ("ph": "X") or a flow point
+  ("ph": "s"/"t"/"f" with an integer "id"), with a non-empty name,
+  numeric ts >= 0 (and dur >= 0 for complete events), integer pid/tid,
+* within each (pid, tid) timeline the complete events nest: replaying
+  them in start order against a stack, every event fits inside its
+  enclosing open span (up to --epsilon-us of clock slack, since
+  start/end pairs come from separate steady_clock reads),
+* flow events pair up: every flow id has at least one start ('s') and
+  one finish ('f'), starts precede finishes, and every flow point's
+  timestamp lands inside a complete event on the same thread (the
+  "bp":"e" enclosing-slice binding Perfetto uses to anchor the arrow),
+* with --min-flow-threads N, at least one flow id must touch >= N
+  distinct threads — the causal arrow really crosses threads,
 * every --require name appears at least once (comma-separated list,
   repeatable) — this is how CI pins the instrumentation points that
   must not silently disappear from serve_soak/train_soak.
 
 Usage:
   check_trace.py TRACE.json [--require serve.admit,serve.flush]
-                            [--epsilon-us 0.001]
+                            [--epsilon-us 0.001] [--min-flow-threads 2]
 
 Exits non-zero on any failure, printing each violation.
 """
@@ -27,6 +34,8 @@ import argparse
 import collections
 import json
 import sys
+
+FLOW_PHASES = ("s", "t", "f")
 
 
 def fail(msg):
@@ -44,10 +53,20 @@ def validate_events(events):
         name = ev.get("name")
         if not isinstance(name, str) or not name:
             ok = fail(f"{where}: missing or empty name")
-        if ev.get("ph") != "X":
-            ok = fail(f"{where} ({name!r}): ph is {ev.get('ph')!r},"
-                      f" expected complete event 'X'")
-        for key in ("ts", "dur"):
+        ph = ev.get("ph")
+        if ph == "X":
+            keys = ("ts", "dur")
+        elif ph in FLOW_PHASES:
+            keys = ("ts",)
+            flow_id = ev.get("id")
+            if not isinstance(flow_id, int) or isinstance(flow_id, bool):
+                ok = fail(f"{where} ({name!r}): flow event id is"
+                          f" {flow_id!r}, expected integer")
+        else:
+            ok = fail(f"{where} ({name!r}): ph is {ph!r}, expected"
+                      f" complete event 'X' or flow point 's'/'t'/'f'")
+            continue
+        for key in keys:
             val = ev.get(key)
             if not isinstance(val, (int, float)) or isinstance(val, bool) \
                     or val < 0:
@@ -61,6 +80,19 @@ def validate_events(events):
     return ok
 
 
+def complete_events(events):
+    return [ev for ev in events
+            if isinstance(ev, dict) and ev.get("ph") == "X"
+            and isinstance(ev.get("ts"), (int, float))]
+
+
+def flow_events(events):
+    return [ev for ev in events
+            if isinstance(ev, dict) and ev.get("ph") in FLOW_PHASES
+            and isinstance(ev.get("ts"), (int, float))
+            and isinstance(ev.get("id"), int)]
+
+
 def check_nesting(events, epsilon_us):
     """Spans come from RAII guards, so within one thread they must nest:
     sort by start (ties: longer span first, so the enclosing span opens
@@ -69,9 +101,8 @@ def check_nesting(events, epsilon_us):
     the independent steady_clock reads at start and end."""
     ok = True
     by_tid = collections.defaultdict(list)
-    for ev in events:
-        if isinstance(ev, dict) and isinstance(ev.get("ts"), (int, float)):
-            by_tid[(ev.get("pid"), ev.get("tid"))].append(ev)
+    for ev in complete_events(events):
+        by_tid[(ev.get("pid"), ev.get("tid"))].append(ev)
     for (pid, tid), evs in sorted(by_tid.items(), key=str):
         evs.sort(key=lambda e: (e["ts"], -e.get("dur", 0)))
         stack = []  # (name, end_ts)
@@ -86,6 +117,77 @@ def check_nesting(events, epsilon_us):
                     f" {end:.3f}]us overlaps enclosing"
                     f" {stack[-1][0]!r} ending at {stack[-1][1]:.3f}us")
             stack.append((ev["name"], end))
+    return ok
+
+
+def check_flows(events, epsilon_us, min_flow_threads):
+    """Flow points must pair (>=1 's' and >=1 'f' per id, starts before
+    finishes) and must bind: each point's ts falls inside a complete
+    event on the same thread, since the exporter writes "bp":"e"."""
+    flows = flow_events(events)
+    if not flows:
+        if min_flow_threads > 0:
+            return fail("no flow events found, but --min-flow-threads"
+                        f" {min_flow_threads} was requested")
+        return True
+
+    ok = True
+
+    # Binding: every flow point sits inside an X slice on its thread.
+    slices = collections.defaultdict(list)
+    for ev in complete_events(events):
+        slices[(ev.get("pid"), ev.get("tid"))].append(
+            (ev["ts"], ev["ts"] + ev.get("dur", 0)))
+    for key in slices:
+        slices[key].sort()
+    unbound = 0
+    for ev in flows:
+        ts = ev["ts"]
+        bound = any(s - epsilon_us <= ts <= e + epsilon_us
+                    for s, e in slices.get((ev.get("pid"), ev.get("tid")),
+                                           ()))
+        if not bound:
+            unbound += 1
+            if unbound <= 5:
+                ok = fail(f"flow point id={ev['id']} ph={ev['ph']!r} at"
+                          f" ts={ts:.3f}us on tid {ev.get('tid')} is not"
+                          f" inside any complete event on that thread")
+    if unbound > 5:
+        ok = fail(f"... and {unbound - 5} more unbound flow points")
+
+    # Pairing: group by id. The per-thread ring buffers evict oldest
+    # events first, so an id may legitimately be missing its 's' (or
+    # 'f') point in a long run — incomplete ids are tolerated, but at
+    # least one id must carry a complete s->f arrow, and points that ARE
+    # present must be causally ordered.
+    by_id = collections.defaultdict(list)
+    for ev in flows:
+        by_id[ev["id"]].append(ev)
+    complete = 0
+    incomplete = 0
+    complete_threads = 0
+    for flow_id, evs in sorted(by_id.items()):
+        starts = [ev["ts"] for ev in evs if ev["ph"] == "s"]
+        finishes = [ev["ts"] for ev in evs if ev["ph"] == "f"]
+        if starts and finishes:
+            if min(starts) > max(finishes) + epsilon_us:
+                ok = fail(f"flow id {flow_id}: start at {min(starts):.3f}us"
+                          f" is after finish at {max(finishes):.3f}us")
+            complete += 1
+            complete_threads = max(
+                complete_threads,
+                len({(ev.get("pid"), ev.get("tid")) for ev in evs}))
+        else:
+            incomplete += 1
+
+    if complete == 0:
+        ok = fail("no flow id has both a start ('s') and a finish ('f')")
+    elif min_flow_threads > 0 and complete_threads < min_flow_threads:
+        ok = fail(f"no complete flow id touches >= {min_flow_threads}"
+                  f" threads (max seen: {complete_threads})")
+    print(f"  flows: {len(by_id)} ids ({complete} complete s->f,"
+          f" {incomplete} truncated by ring eviction), widest complete"
+          f" id spans {complete_threads} thread(s)")
     return ok
 
 
@@ -107,6 +209,9 @@ def main():
                              " comma-separated")
     parser.add_argument("--epsilon-us", type=float, default=0.001,
                         help="clock slack allowed in the nesting check")
+    parser.add_argument("--min-flow-threads", type=int, default=0,
+                        help="require at least one flow id touching this"
+                             " many distinct threads")
     args = parser.parse_args()
 
     try:
@@ -126,6 +231,7 @@ def main():
 
     ok = validate_events(events)
     ok &= check_nesting(events, args.epsilon_us)
+    ok &= check_flows(events, args.epsilon_us, args.min_flow_threads)
     ok &= check_required(events, required)
 
     names = collections.Counter(

@@ -18,6 +18,8 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstring>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <string>
@@ -27,6 +29,7 @@
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "models/zoo.h"
+#include "obs/context.h"
 #include "runtime/engine.h"
 #include "serve/repository.h"
 #include "serve/server.h"
@@ -76,10 +79,19 @@ struct SoakResult
     double wall_s = 0.0;
 };
 
-/** Replays one schedule against a fresh repository/engine/server. */
+/**
+ * Replays one schedule against a fresh repository/engine/server.
+ * Completed requests' structured records are appended to `request_log`
+ * (submission order) when non-null; `deadline_override_s` > 0 stamps
+ * every request with that deadline (miss-burst injection); `slo_cfg`
+ * overrides the server's burn-monitor knobs.
+ */
 SoakResult
 runSoak(const std::vector<models::ModelShape> &zoo, int tiles,
-        const std::vector<Arrival> &schedule, int max_batch)
+        const std::vector<Arrival> &schedule, int max_batch,
+        std::vector<obs::RequestRecord> *request_log = nullptr,
+        double deadline_override_s = 0.0,
+        const serve::SloMonitorConfig *slo_cfg = nullptr)
 {
     serve::ModelRepository repo;
     for (const models::ModelShape &m : zoo)
@@ -95,6 +107,8 @@ runSoak(const std::vector<models::ModelShape> &zoo, int tiles,
     scfg.queue_capacity = schedule.size() + 1;
     scfg.interactive = {0.002, 0.050};
     scfg.batch = {0.020, 0.500};
+    if (slo_cfg != nullptr)
+        scfg.slo = *slo_cfg;
     serve::InferenceServer server(repo, engine, scfg);
 
     std::vector<std::future<serve::InferenceReply>> futures;
@@ -108,10 +122,21 @@ runSoak(const std::vector<models::ModelShape> &zoo, int tiles,
         req.model = zoo[static_cast<size_t>(a.model)].name;
         req.slo = a.slo;
         req.samples = 1;
+        req.deadline_s = deadline_override_s;
         futures.push_back(server.submit(std::move(req)));
     }
-    for (auto &f : futures)
-        f.get();
+    for (auto &f : futures) {
+        try {
+            serve::InferenceReply reply = f.get();
+            if (request_log != nullptr)
+                request_log->push_back(reply.record);
+        } catch (const std::exception &) {
+            if (request_log == nullptr)
+                throw; // default runs treat failures as fatal
+            // Logged runs tolerate rejected requests: they carry no
+            // completion record.
+        }
+    }
     server.drain();
 
     SoakResult out;
@@ -132,6 +157,28 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+
+    // Soak-specific flags (BenchOptions::parse ignores unknown flags):
+    //   --request-log <path>   JSONL of per-request completion records
+    //   --inject-miss-burst    extra scenario with impossible deadlines
+    //                          (drives the deadline-burn alert path)
+    //   --hold <seconds>       keep the process alive at the end so a CI
+    //                          scraper can curl the metrics endpoint
+    std::string request_log_path;
+    bool inject_miss_burst = false;
+    double hold_s = 0.0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--request-log") == 0 && i + 1 < argc)
+            request_log_path = argv[++i];
+        else if (std::strcmp(argv[i], "--inject-miss-burst") == 0)
+            inject_miss_burst = true;
+        else if (std::strcmp(argv[i], "--hold") == 0 && i + 1 < argc)
+            hold_s = std::atof(argv[++i]);
+    }
+    std::vector<obs::RequestRecord> request_log;
+    std::vector<obs::RequestRecord> *log_ptr =
+        request_log_path.empty() ? nullptr : &request_log;
+
     bench::banner("serve soak",
                   "SLO-aware serving: Poisson load x SLO mix x tiles", opts);
 
@@ -161,7 +208,7 @@ main(int argc, char **argv)
                 kScheduleSeed);
             for (int tiles : tile_counts) {
                 const SoakResult res =
-                    runSoak(zoo, tiles, schedule, max_batch);
+                    runSoak(zoo, tiles, schedule, max_batch, log_ptr);
                 const serve::ServerStats &s = res.stats;
                 const double thpt =
                     res.wall_s > 0 ? static_cast<double>(s.completed) /
@@ -229,7 +276,7 @@ main(int argc, char **argv)
         for (const Scenario &sc :
              {Scenario{"resident", 4}, Scenario{"thrashing", 2}}) {
             const SoakResult res =
-                runSoak(zoo, sc.tiles, schedule, max_batch);
+                runSoak(zoo, sc.tiles, schedule, max_batch, log_ptr);
             const serve::ServerStats &s = res.stats;
             const double compute_per_req =
                 (s.energy_j - s.programming_energy_j) /
@@ -264,6 +311,43 @@ main(int argc, char **argv)
     }
     bench::emit(cache, opts);
 
+    // --- injected deadline-miss burst (SLO alert + flight-dump path) ----
+    if (inject_miss_burst) {
+        // Every request carries an impossible 1 µs deadline, so every
+        // completion is a miss: fast/slow-window burn saturates at
+        // 1/miss_budget = 100x, far past the 10x alert threshold. Short
+        // windows keep the whole excursion inside the quick run.
+        serve::SloMonitorConfig slo;
+        slo.fast_window_s = 1.0;
+        slo.slow_window_s = 12.0;
+        slo.min_events = 10;
+        const std::vector<Arrival> burst =
+            makeSchedule(200, 4000, 1.0, static_cast<int>(zoo.size()),
+                         kScheduleSeed ^ 0xb525u);
+        const SoakResult res = runSoak(zoo, 2, burst, max_batch, log_ptr,
+                                       /*deadline_override_s=*/1e-6, &slo);
+        std::cout << "miss-burst: completed=" << res.stats.completed
+                  << " misses=" << res.stats.deadline_misses
+                  << " slo_alerts=" << res.stats.slo_alerts << "\n";
+        if (res.stats.slo_alerts == 0) {
+            std::cerr << "miss-burst scenario raised no SLO alert\n";
+            return 1;
+        }
+    }
+
+    if (!request_log_path.empty()) {
+        std::ofstream os(request_log_path);
+        if (!os) {
+            std::cerr << "cannot write request log to '" << request_log_path
+                      << "'\n";
+            return 1;
+        }
+        for (const obs::RequestRecord &rec : request_log)
+            obs::writeRequestJsonl(os, rec);
+        std::cout << "request log (" << request_log.size()
+                  << " records) written to " << request_log_path << "\n";
+    }
+
     bench::JsonReport json;
     json.add("soak_sweep", sweep);
     json.add("cache_amortization", cache);
@@ -278,5 +362,11 @@ main(int argc, char **argv)
            "request against reprogramming the MMVMU weights for every\n"
            "micro-batch: a resident working set amortizes programming to\n"
            "near zero, a thrashing one pays most of the cold cost.\n";
+
+    if (hold_s > 0.0) {
+        std::cout << "holding for " << hold_s
+                  << " s (metrics scrape window)" << std::endl;
+        std::this_thread::sleep_for(std::chrono::duration<double>(hold_s));
+    }
     return 0;
 }

@@ -1,0 +1,135 @@
+#include "obs/context.h"
+
+#include <atomic>
+#include <cstring>
+#include <ostream>
+
+namespace mirage {
+namespace obs {
+
+namespace {
+
+std::atomic<uint64_t> g_next_request_id{1};
+
+thread_local uint64_t t_current_request_id = 0;
+
+/** Appends `s` to buf[pos..cap); returns the new pos (clamped at cap). */
+size_t
+append(char *buf, size_t cap, size_t pos, const char *s)
+{
+    while (*s != '\0' && pos < cap)
+        buf[pos++] = *s++;
+    return pos;
+}
+
+/** Appends `v` in decimal. Async-signal-safe (no snprintf/locale). */
+size_t
+appendU64(char *buf, size_t cap, size_t pos, uint64_t v)
+{
+    char digits[20];
+    size_t n = 0;
+    do {
+        digits[n++] = static_cast<char>('0' + v % 10);
+        v /= 10;
+    } while (v != 0);
+    while (n > 0 && pos < cap)
+        buf[pos++] = digits[--n];
+    return pos;
+}
+
+size_t
+appendI64(char *buf, size_t cap, size_t pos, int64_t v)
+{
+    if (v < 0) {
+        if (pos < cap)
+            buf[pos++] = '-';
+        return appendU64(buf, cap, pos, static_cast<uint64_t>(-(v + 1)) + 1);
+    }
+    return appendU64(buf, cap, pos, static_cast<uint64_t>(v));
+}
+
+size_t
+appendBool(char *buf, size_t cap, size_t pos, bool v)
+{
+    return append(buf, cap, pos, v ? "true" : "false");
+}
+
+} // namespace
+
+uint64_t
+nextRequestId()
+{
+    return g_next_request_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t
+currentRequestId()
+{
+    return t_current_request_id;
+}
+
+void
+setCurrentRequestId(uint64_t id)
+{
+    t_current_request_id = id;
+}
+
+const char *
+requestClassName(uint8_t cls)
+{
+    switch (cls) {
+      case kClassInteractive: return "interactive";
+      case kClassBatch: return "batch";
+      case kClassTrain: return "train";
+    }
+    return "unknown";
+}
+
+size_t
+formatRequestJsonl(const RequestRecord &rec, char *buf, size_t cap)
+{
+    if (cap > kRequestJsonlMax)
+        cap = kRequestJsonlMax;
+    size_t p = 0;
+    p = append(buf, cap, p, "{\"id\":");
+    p = appendU64(buf, cap, p, rec.id);
+    p = append(buf, cap, p, ",\"batch\":");
+    p = appendU64(buf, cap, p, rec.batch_seq);
+    p = append(buf, cap, p, ",\"class\":\"");
+    p = append(buf, cap, p, requestClassName(rec.cls));
+    p = append(buf, cap, p, "\",\"tile\":");
+    p = appendI64(buf, cap, p, rec.tile);
+    p = append(buf, cap, p, ",\"batch_size\":");
+    p = appendI64(buf, cap, p, rec.batch_size);
+    p = append(buf, cap, p, ",\"cache_hit\":");
+    p = appendBool(buf, cap, p, rec.cache_hit);
+    p = append(buf, cap, p, ",\"deadline_met\":");
+    p = appendBool(buf, cap, p, rec.deadline_met);
+    p = append(buf, cap, p, ",\"shed\":");
+    p = appendBool(buf, cap, p, rec.shed);
+    p = append(buf, cap, p, ",\"queue_ns\":");
+    p = appendU64(buf, cap, p, rec.queue_ns);
+    p = append(buf, cap, p, ",\"execute_ns\":");
+    p = appendU64(buf, cap, p, rec.execute_ns);
+    p = append(buf, cap, p, ",\"reply_ns\":");
+    p = appendU64(buf, cap, p, rec.reply_ns);
+    p = append(buf, cap, p, ",\"total_ns\":");
+    p = appendU64(buf, cap, p, rec.total_ns);
+    p = append(buf, cap, p, ",\"modeled_ns\":");
+    p = appendU64(buf, cap, p, rec.modeled_ns);
+    p = append(buf, cap, p, ",\"modeled_nj\":");
+    p = appendU64(buf, cap, p, rec.modeled_nj);
+    p = append(buf, cap, p, "}\n");
+    return p;
+}
+
+void
+writeRequestJsonl(std::ostream &os, const RequestRecord &rec)
+{
+    char buf[kRequestJsonlMax];
+    const size_t n = formatRequestJsonl(rec, buf, sizeof(buf));
+    os.write(buf, static_cast<std::streamsize>(n));
+}
+
+} // namespace obs
+} // namespace mirage

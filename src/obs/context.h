@@ -1,0 +1,119 @@
+#ifndef MIRAGE_OBS_CONTEXT_H
+#define MIRAGE_OBS_CONTEXT_H
+
+/**
+ * @file
+ * Request-scoped trace context: a 64-bit request id that rides along the
+ * serving and training hot paths, plus the fixed-size per-request record
+ * the reply carries and the flight recorder rings.
+ *
+ * The context is one thread-local integer. RequestScope saves/restores it
+ * RAII-style, so propagating an id across the serve admit -> batcher ->
+ * engine dispatcher -> pool-thread chain costs a couple of moves of a
+ * register-sized value — no heap allocation, no atomics, no clock reads.
+ * RuntimeEngine snapshots currentRequestId() into its job structs at
+ * submit time and re-establishes it on the executing thread, which is how
+ * an id crosses threads.
+ *
+ * Ids come from nextRequestId(), a process-wide relaxed atomic counter
+ * starting at 1; 0 means "no request context". Ids never feed numeric
+ * state, so the determinism contracts are untouched.
+ *
+ * RequestRecord is deliberately a flat POD (no strings, no pointers): the
+ * flight recorder stores these in a preallocated ring that a fatal-signal
+ * handler must be able to walk and format without allocating, so the
+ * JSONL formatter below is async-signal-safe (manual integer formatting,
+ * no locale, no FILE*).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+
+namespace mirage {
+namespace obs {
+
+/** Allocates a fresh process-unique request id (monotonic, starts at 1). */
+uint64_t nextRequestId();
+
+/** The calling thread's current request id; 0 when outside any request. */
+uint64_t currentRequestId();
+
+/** Sets the calling thread's current request id (prefer RequestScope). */
+void setCurrentRequestId(uint64_t id);
+
+/**
+ * RAII request-id scope: installs `id` as the calling thread's current
+ * request id and restores the previous value on destruction. Cheap enough
+ * for per-shard use (two thread-local moves; pinned at a few ns by
+ * test_obs/obs_overhead).
+ */
+class RequestScope
+{
+  public:
+    explicit RequestScope(uint64_t id)
+    {
+        prev_ = currentRequestId();
+        setCurrentRequestId(id);
+    }
+
+    ~RequestScope() { setCurrentRequestId(prev_); }
+
+    RequestScope(const RequestScope &) = delete;
+    RequestScope &operator=(const RequestScope &) = delete;
+
+  private:
+    uint64_t prev_ = 0;
+};
+
+/** SLO-class codes stored in RequestRecord (POD-friendly; see
+ *  requestClassName for the JSONL spelling). */
+constexpr uint8_t kClassInteractive = 0;
+constexpr uint8_t kClassBatch = 1;
+constexpr uint8_t kClassTrain = 2;
+
+/** Stable string for a RequestRecord class code. */
+const char *requestClassName(uint8_t cls);
+
+/**
+ * One request's structured completion record: where the wall time went
+ * (queue/execute/reply shares), what served it (tile, batch, cache), and
+ * what the accelerator models charged (modeled ns/nJ). Flat POD so the
+ * flight recorder's signal path can copy and format it without touching
+ * the allocator.
+ */
+struct RequestRecord
+{
+    uint64_t id = 0;         ///< Request id (nextRequestId), 0 = invalid.
+    uint64_t batch_seq = 0;  ///< Micro-batch sequence number (or train step).
+    uint8_t cls = kClassInteractive; ///< kClass* code.
+    bool cache_hit = false;  ///< Weights were already programmed.
+    bool deadline_met = true;
+    bool shed = false;       ///< Rejected at admission (load shed).
+    int32_t tile = -1;       ///< Engine tile the batch ran on.
+    int32_t batch_size = 0;  ///< Requests fused into the micro-batch.
+    uint64_t queue_ns = 0;   ///< Admission -> dispatch.
+    uint64_t execute_ns = 0; ///< Dispatch -> batch completion.
+    uint64_t reply_ns = 0;   ///< Completion -> this request's reply.
+    uint64_t total_ns = 0;   ///< Admission -> reply.
+    uint64_t modeled_ns = 0; ///< Modeled accelerator time share.
+    uint64_t modeled_nj = 0; ///< Modeled energy share.
+};
+
+/** Upper bound on one formatted RequestRecord JSONL line (incl. '\n'). */
+constexpr size_t kRequestJsonlMax = 512;
+
+/**
+ * Formats `rec` as one JSONL line (trailing '\n', no NUL) into `buf`.
+ * Returns the number of bytes written, at most min(cap, kRequestJsonlMax).
+ * Async-signal-safe: integer formatting only.
+ */
+size_t formatRequestJsonl(const RequestRecord &rec, char *buf, size_t cap);
+
+/** Streams formatRequestJsonl's line for `rec` (non-signal contexts). */
+void writeRequestJsonl(std::ostream &os, const RequestRecord &rec);
+
+} // namespace obs
+} // namespace mirage
+
+#endif // MIRAGE_OBS_CONTEXT_H

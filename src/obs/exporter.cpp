@@ -1,0 +1,222 @@
+#include "obs/exporter.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mirage {
+namespace obs {
+
+namespace {
+
+/** Reads until the header terminator, a small cap, EOF, or timeout. */
+std::string
+readRequest(int fd)
+{
+    std::string req;
+    char buf[1024];
+    while (req.size() < 8192) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        req.append(buf, static_cast<size_t>(n));
+        if (req.find("\r\n\r\n") != std::string::npos)
+            break;
+    }
+    return req;
+}
+
+void
+sendResponse(int fd, const char *status, const std::string &body)
+{
+    std::string resp = "HTTP/1.1 ";
+    resp += status;
+    resp += "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8"
+            "\r\nContent-Length: " +
+            std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n";
+    resp += body;
+    size_t off = 0;
+    while (off < resp.size()) {
+        const ssize_t n =
+            ::send(fd, resp.data() + off, resp.size() - off, MSG_NOSIGNAL);
+        if (n <= 0)
+            break;
+        off += static_cast<size_t>(n);
+    }
+}
+
+} // namespace
+
+struct MetricsExporter::Impl
+{
+    int listen_fd = -1;
+    int port = 0;
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> served{0};
+    std::thread server;
+
+    void
+    serveLoop()
+    {
+        while (!stop.load(std::memory_order_acquire)) {
+            const int client = ::accept(listen_fd, nullptr, nullptr);
+            if (client < 0) {
+                if (stop.load(std::memory_order_acquire))
+                    return;
+                if (errno == EINTR)
+                    continue;
+                return; // listening socket torn down
+            }
+            // Bound the read so a stalled client cannot wedge the loop.
+            timeval tv{};
+            tv.tv_sec = 2;
+            ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+            handle(client);
+            ::close(client);
+        }
+    }
+
+    void
+    handle(int client)
+    {
+        const std::string req = readRequest(client);
+        const size_t line_end = req.find("\r\n");
+        const std::string line =
+            line_end == std::string::npos ? req : req.substr(0, line_end);
+
+        std::string method, path;
+        {
+            const size_t sp1 = line.find(' ');
+            const size_t sp2 =
+                sp1 == std::string::npos ? sp1 : line.find(' ', sp1 + 1);
+            if (sp1 != std::string::npos && sp2 != std::string::npos) {
+                method = line.substr(0, sp1);
+                path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+            }
+        }
+        if (method.empty()) {
+            sendResponse(client, "400 Bad Request", "bad request\n");
+            return;
+        }
+        if (method != "GET" && method != "HEAD") {
+            sendResponse(client, "405 Method Not Allowed",
+                         "only GET is supported\n");
+            return;
+        }
+
+        served.fetch_add(1, std::memory_order_relaxed);
+        if (path == "/metrics") {
+            std::ostringstream os;
+            MetricsRegistry::global().renderText(os);
+            sendResponse(client, "200 OK", os.str());
+        } else if (path == "/healthz") {
+            sendResponse(client, "200 OK", "ok\n");
+        } else if (path == "/tracez") {
+            std::ostringstream os;
+            writeTraceSummary(os);
+            sendResponse(client, "200 OK", os.str());
+        } else {
+            sendResponse(client, "404 Not Found",
+                         "endpoints: /metrics /healthz /tracez\n");
+        }
+    }
+};
+
+MetricsExporter::MetricsExporter(int port) : impl_(std::make_unique<Impl>())
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw std::runtime_error("MetricsExporter: socket() failed");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw std::runtime_error(
+            "MetricsExporter: cannot listen on 127.0.0.1:" +
+            std::to_string(port) + " (" + std::strerror(err) + ")");
+    }
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound), &len) == 0)
+        impl_->port = ntohs(bound.sin_port);
+    else
+        impl_->port = port;
+
+    impl_->listen_fd = fd;
+    impl_->server = std::thread([this] { impl_->serveLoop(); });
+}
+
+MetricsExporter::~MetricsExporter()
+{
+    impl_->stop.store(true, std::memory_order_release);
+    // shutdown() unblocks the accept(); the loop then observes `stop`.
+    ::shutdown(impl_->listen_fd, SHUT_RDWR);
+    if (impl_->server.joinable())
+        impl_->server.join();
+    ::close(impl_->listen_fd);
+}
+
+int
+MetricsExporter::port() const
+{
+    return impl_->port;
+}
+
+uint64_t
+MetricsExporter::requestsServed() const
+{
+    return impl_->served.load(std::memory_order_relaxed);
+}
+
+MetricsExporter *
+startExporterFromEnv()
+{
+    static MetricsExporter *exporter = [] () -> MetricsExporter * {
+        const char *env = std::getenv("MIRAGE_METRICS_PORT");
+        if (env == nullptr || env[0] == '\0')
+            return nullptr;
+        char *end = nullptr;
+        const long port = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0' || port < 0 || port > 65535) {
+            MIRAGE_WARN("MIRAGE_METRICS_PORT='", env,
+                        "' is not a port number; exporter disabled");
+            return nullptr;
+        }
+        try {
+            auto *e = new MetricsExporter(static_cast<int>(port));
+            MIRAGE_INFORM("metrics endpoint listening on 127.0.0.1:",
+                          e->port(), " (/metrics /healthz /tracez)");
+            return e;
+        } catch (const std::exception &ex) {
+            MIRAGE_WARN("metrics exporter disabled: ", ex.what());
+            return nullptr;
+        }
+    }();
+    return exporter;
+}
+
+} // namespace obs
+} // namespace mirage

@@ -1,0 +1,64 @@
+#ifndef MIRAGE_OBS_EXPORTER_H
+#define MIRAGE_OBS_EXPORTER_H
+
+/**
+ * @file
+ * Embedded metrics scrape endpoint: a tiny blocking HTTP/1.1 server on a
+ * dedicated thread, serving
+ *
+ *   /metrics  MetricsRegistry in Prometheus text exposition format
+ *   /healthz  liveness probe ("ok")
+ *   /tracez   human-readable summary of the buffered trace spans
+ *
+ * One connection at a time, Connection: close, loopback only — this is a
+ * scrape target for a sidecar/curl, not a general web server. Off by
+ * default: nothing listens unless a MetricsExporter is constructed or
+ * MIRAGE_METRICS_PORT is set (startExporterFromEnv, which the bench
+ * harness calls). Serving only reads registry aggregates, so it has zero
+ * effect on recording hot paths or determinism.
+ */
+
+#include <cstdint>
+#include <memory>
+
+namespace mirage {
+namespace obs {
+
+class MetricsExporter
+{
+  public:
+    /** Binds 127.0.0.1:`port` (0 picks an ephemeral port, see port())
+     *  and starts the serving thread. Throws std::runtime_error when the
+     *  socket cannot be bound. */
+    explicit MetricsExporter(int port);
+
+    /** Stops the serving thread and closes the socket. */
+    ~MetricsExporter();
+
+    MetricsExporter(const MetricsExporter &) = delete;
+    MetricsExporter &operator=(const MetricsExporter &) = delete;
+
+    /** The bound port (resolves an ephemeral request). */
+    int port() const;
+
+    /** HTTP requests answered so far. */
+    uint64_t requestsServed() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * Starts the process-wide exporter when MIRAGE_METRICS_PORT names a port,
+ * once; later calls (and unset/invalid values) return the first result.
+ * The instance is leaked so scrapes work until process exit. Returns
+ * nullptr when the variable is unset or the bind failed (a warning is
+ * logged; the workload proceeds unobserved rather than dying).
+ */
+MetricsExporter *startExporterFromEnv();
+
+} // namespace obs
+} // namespace mirage
+
+#endif // MIRAGE_OBS_EXPORTER_H

@@ -1,0 +1,340 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mirage {
+namespace obs {
+
+namespace {
+
+uint64_t
+steadyNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Flight-recorder metric handles (magic static, resolved off-signal). */
+struct FlightObs
+{
+    obs::Counter &records;
+    obs::Counter &dumps;
+    obs::Counter &suppressed;
+
+    static FlightObs &
+    get()
+    {
+        static auto &reg = obs::MetricsRegistry::global();
+        static FlightObs o{reg.counter("obs.flight.records"),
+                           reg.counter("obs.flight.dumps"),
+                           reg.counter("obs.flight.suppressed")};
+        return o;
+    }
+};
+
+} // namespace
+
+struct FlightRecorder::Impl
+{
+    mutable std::mutex mu;
+    std::vector<RequestRecord> ring;
+    /// head/filled are atomics so the signal handler can walk the ring
+    /// without the mutex (writers update them under `mu`; a concurrently
+    /// torn record in a crash dump is acceptable).
+    std::atomic<size_t> head{0};
+    std::atomic<size_t> filled{0};
+    std::atomic<uint64_t> recorded{0};
+
+    std::string dir; ///< Armed output directory; "" = disarmed (mu).
+    std::atomic<int> signal_fd{-1};
+    std::atomic<uint64_t> trigger_seq{0};
+    std::atomic<uint64_t> last_trigger_ns{0};
+    std::atomic<uint64_t> min_interval_ns{2'000'000'000};
+    bool handlers_installed = false; ///< Guarded by mu.
+};
+
+namespace {
+
+/** Flat, pointer-only view of the ring published for the signal handler
+ *  (it cannot name the private Impl, and must not touch a mutex). */
+struct SignalView
+{
+    const RequestRecord *ring = nullptr;
+    size_t cap = 0;
+    const std::atomic<size_t> *head = nullptr;
+    const std::atomic<size_t> *filled = nullptr;
+    const std::atomic<int> *fd = nullptr;
+};
+
+std::atomic<const SignalView *> g_signal_view{nullptr};
+
+size_t
+signalSafeU64(char *buf, size_t cap, size_t pos, uint64_t v)
+{
+    char digits[20];
+    size_t n = 0;
+    do {
+        digits[n++] = static_cast<char>('0' + v % 10);
+        v /= 10;
+    } while (v != 0);
+    while (n > 0 && pos < cap)
+        buf[pos++] = digits[--n];
+    return pos;
+}
+
+/** Fatal-signal handler: dump the ring through the pre-opened fd using
+ *  only async-signal-safe calls, then die by the default disposition
+ *  (SA_RESETHAND restored it before this handler ran; re-raising
+ *  delivers it on return). */
+extern "C" void
+flightSignalHandler(int sig)
+{
+    const SignalView *view = g_signal_view.load(std::memory_order_acquire);
+    const int fd =
+        view != nullptr ? view->fd->load(std::memory_order_acquire) : -1;
+    if (view != nullptr && fd >= 0 && view->cap > 0) {
+        char line[kRequestJsonlMax];
+        size_t p = 0;
+        const char head[] = "{\"signal\":";
+        for (const char *s = head; *s != '\0'; ++s)
+            line[p++] = *s;
+        p = signalSafeU64(line, sizeof(line), p,
+                          static_cast<uint64_t>(sig));
+        line[p++] = '}';
+        line[p++] = '\n';
+        (void)!::write(fd, line, p);
+
+        const size_t cap = view->cap;
+        const size_t filled =
+            std::min(view->filled->load(std::memory_order_relaxed), cap);
+        const size_t head_idx =
+            view->head->load(std::memory_order_relaxed) % cap;
+        const size_t start = filled == cap ? head_idx : 0;
+        for (size_t i = 0; i < filled; ++i) {
+            const RequestRecord &rec = view->ring[(start + i) % cap];
+            const size_t n = formatRequestJsonl(rec, line, sizeof(line));
+            (void)!::write(fd, line, n);
+        }
+        ::fsync(fd);
+    }
+    ::raise(sig);
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder() : impl_(new Impl())
+{
+    impl_->ring.resize(kCapacity);
+    const char *env = std::getenv("MIRAGE_FLIGHT_DIR");
+    if (env != nullptr && env[0] != '\0')
+        arm(env);
+}
+
+FlightRecorder &
+FlightRecorder::global()
+{
+    static FlightRecorder *r = new FlightRecorder();
+    return *r;
+}
+
+void
+FlightRecorder::record(const RequestRecord &rec)
+{
+    if (!enabled())
+        return;
+    FlightObs::get().records.add(1);
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    const size_t cap = impl_->ring.size();
+    const size_t head = impl_->head.load(std::memory_order_relaxed);
+    impl_->ring[head] = rec;
+    impl_->head.store((head + 1) % cap, std::memory_order_relaxed);
+    const size_t filled = impl_->filled.load(std::memory_order_relaxed);
+    if (filled < cap)
+        impl_->filled.store(filled + 1, std::memory_order_relaxed);
+    impl_->recorded.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t
+FlightRecorder::size() const
+{
+    return impl_->filled.load(std::memory_order_relaxed);
+}
+
+uint64_t
+FlightRecorder::recorded() const
+{
+    return impl_->recorded.load(std::memory_order_relaxed);
+}
+
+std::vector<RequestRecord>
+FlightRecorder::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    const size_t cap = impl_->ring.size();
+    const size_t filled = impl_->filled.load(std::memory_order_relaxed);
+    const size_t head = impl_->head.load(std::memory_order_relaxed);
+    const size_t start = filled == cap ? head : 0;
+    std::vector<RequestRecord> out;
+    out.reserve(filled);
+    for (size_t i = 0; i < filled; ++i)
+        out.push_back(impl_->ring[(start + i) % cap]);
+    return out;
+}
+
+void
+FlightRecorder::dump(std::ostream &os) const
+{
+    for (const RequestRecord &rec : snapshot())
+        writeRequestJsonl(os, rec);
+}
+
+void
+FlightRecorder::arm(const std::string &dir)
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->dir = dir;
+
+    // Pre-open the signal dump file: the handler may not call open().
+    const int old_fd = impl_->signal_fd.load(std::memory_order_relaxed);
+    const std::string sig_path =
+        dir + "/flight_signal_" + std::to_string(::getpid()) + ".jsonl";
+    const int fd = ::open(sig_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd < 0) {
+        MIRAGE_WARN("flight recorder: cannot open '", sig_path,
+                    "' for the signal path");
+    }
+    impl_->signal_fd.store(fd, std::memory_order_release);
+    if (old_fd >= 0)
+        ::close(old_fd);
+
+    if (!impl_->handlers_installed) {
+        auto *view = new SignalView{impl_->ring.data(), impl_->ring.size(),
+                                    &impl_->head, &impl_->filled,
+                                    &impl_->signal_fd};
+        g_signal_view.store(view, std::memory_order_release);
+        struct sigaction sa = {};
+        sa.sa_handler = flightSignalHandler;
+        sigemptyset(&sa.sa_mask);
+        // SA_RESETHAND: default disposition is restored before the
+        // handler runs, so the re-raise on return terminates normally.
+        sa.sa_flags = SA_RESETHAND;
+        for (int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGABRT})
+            ::sigaction(sig, &sa, nullptr);
+        impl_->handlers_installed = true;
+    }
+}
+
+void
+FlightRecorder::disarm()
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->dir.clear();
+    const int fd = impl_->signal_fd.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0)
+        ::close(fd);
+}
+
+bool
+FlightRecorder::armed() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return !impl_->dir.empty();
+}
+
+std::string
+FlightRecorder::armedDir() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->dir;
+}
+
+std::string
+FlightRecorder::trigger(const char *reason)
+{
+    std::string dir;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        dir = impl_->dir;
+    }
+    if (dir.empty() || size() == 0) {
+        FlightObs::get().suppressed.add(1);
+        return "";
+    }
+
+    // Rate limit: one dump per interval, first caller wins.
+    const uint64_t now = steadyNs();
+    uint64_t last = impl_->last_trigger_ns.load(std::memory_order_relaxed);
+    const uint64_t min_gap =
+        impl_->min_interval_ns.load(std::memory_order_relaxed);
+    if (last != 0 && now - last < min_gap) {
+        FlightObs::get().suppressed.add(1);
+        return "";
+    }
+    if (!impl_->last_trigger_ns.compare_exchange_strong(
+            last, now, std::memory_order_relaxed)) {
+        FlightObs::get().suppressed.add(1);
+        return "";
+    }
+
+    const uint64_t seq =
+        impl_->trigger_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+    const std::string base =
+        dir + "/flight_" + reason + "_" + std::to_string(seq);
+    const std::string jsonl_path = base + ".jsonl";
+    std::ofstream os(jsonl_path);
+    if (!os) {
+        MIRAGE_WARN("flight recorder: cannot write '", jsonl_path, "'");
+        return "";
+    }
+    dump(os);
+    os.flush();
+    // Span snapshot alongside the records (empty-but-valid when tracing
+    // is off; Perfetto still loads it).
+    (void)writeChromeTraceFile(base + ".trace.json");
+    FlightObs::get().dumps.add(1);
+    MIRAGE_WARN("flight recorder: dumped ", size(), " records to '",
+                jsonl_path, "' (reason: ", reason, ")");
+    return jsonl_path;
+}
+
+uint64_t
+FlightRecorder::triggerCount() const
+{
+    return impl_->trigger_seq.load(std::memory_order_relaxed);
+}
+
+void
+FlightRecorder::setMinTriggerInterval(double seconds)
+{
+    impl_->min_interval_ns.store(
+        seconds > 0.0 ? static_cast<uint64_t>(seconds * 1e9) : 0,
+        std::memory_order_relaxed);
+}
+
+void
+FlightRecorder::clear()
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->head.store(0, std::memory_order_relaxed);
+    impl_->filled.store(0, std::memory_order_relaxed);
+}
+
+} // namespace obs
+} // namespace mirage

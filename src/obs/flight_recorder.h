@@ -1,0 +1,110 @@
+#ifndef MIRAGE_OBS_FLIGHT_RECORDER_H
+#define MIRAGE_OBS_FLIGHT_RECORDER_H
+
+/**
+ * @file
+ * Anomaly flight recorder: a bounded, always-on ring of the most recent
+ * RequestRecords that can be dumped to disk when something goes wrong —
+ * an SLO burn alert, a shed burst, or a fatal signal.
+ *
+ * Recording is always on (gated only by obs::enabled()) and cheap: one
+ * mutex-protected POD copy into a preallocated ring, no allocation, so
+ * the trainer's zero-alloc step contract holds with a record per step.
+ *
+ * Dumping is armed separately: arm(dir) (or the MIRAGE_FLIGHT_DIR env
+ * var, read once on first use) names the output directory. While
+ * disarmed, trigger() is a counted no-op — determinism suites and tests
+ * that never set the env var cannot grow files. A trigger writes
+ *   <dir>/flight_<reason>_<seq>.jsonl       (ring, oldest first)
+ *   <dir>/flight_<reason>_<seq>.trace.json  (Chrome-trace span snapshot)
+ * rate-limited to one dump per min-interval so an alert storm produces
+ * one artifact, not thousands.
+ *
+ * Arming also installs fatal-signal handlers (SIGSEGV/SIGBUS/SIGFPE/
+ * SIGABRT) that write the ring through a pre-opened fd using only
+ * async-signal-safe calls (write + manual formatting; the ring is read
+ * without its mutex — a torn in-progress record is acceptable in a
+ * crash dump), then re-raise with the default disposition.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/context.h"
+
+namespace mirage {
+namespace obs {
+
+class FlightRecorder
+{
+  public:
+    /// Ring capacity: ~4k requests of history, a few hundred KB resident.
+    static constexpr size_t kCapacity = 4096;
+
+    /** Process-wide instance (leaked; safe from static destructors).
+     *  First use reads MIRAGE_FLIGHT_DIR and arms when it names a
+     *  directory. */
+    static FlightRecorder &global();
+
+    /** Copies one record into the ring (no-op when obs::enabled() is
+     *  off). Allocation-free; callable from any thread. */
+    void record(const RequestRecord &rec);
+
+    /** Records currently held (<= kCapacity). */
+    size_t size() const;
+
+    /** Lifetime records pushed (including overwritten ones). */
+    uint64_t recorded() const;
+
+    /** Ring contents, oldest first. */
+    std::vector<RequestRecord> snapshot() const;
+
+    /** Streams the ring as JSONL, oldest first. */
+    void dump(std::ostream &os) const;
+
+    /** Arms dumping into `dir` (must exist) and installs the fatal-signal
+     *  handlers on first arm. */
+    void arm(const std::string &dir);
+
+    /** Disarms dumping (trigger() returns to counted-no-op). */
+    void disarm();
+
+    bool armed() const;
+
+    /** The armed output directory ("" when disarmed). */
+    std::string armedDir() const;
+
+    /**
+     * Dumps the ring + a span snapshot when armed and outside the
+     * rate-limit window; returns the JSONL path, or "" when suppressed
+     * (disarmed / rate-limited / empty ring). `reason` becomes part of
+     * the file name — keep it a short [a-z_]+ literal.
+     */
+    std::string trigger(const char *reason);
+
+    /** Dumps written by trigger() so far. */
+    uint64_t triggerCount() const;
+
+    /** Rate-limit floor between dumps (default 2 s; tests set 0). */
+    void setMinTriggerInterval(double seconds);
+
+    /** Empties the ring (tests). */
+    void clear();
+
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+  private:
+    FlightRecorder();
+
+    struct Impl;
+    Impl *impl_;
+};
+
+} // namespace obs
+} // namespace mirage
+
+#endif // MIRAGE_OBS_FLIGHT_RECORDER_H

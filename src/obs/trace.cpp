@@ -9,6 +9,8 @@
 #include <fstream>
 #include <mutex>
 #include <ostream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -29,6 +31,8 @@ struct TraceEvent
     const char *name = nullptr;
     uint64_t start_ns = 0;
     uint64_t dur_ns = 0;
+    uint64_t flow_id = 0; ///< Flow binding id (phase != 'X' only).
+    char phase = 'X';     ///< 'X' complete, or 's'/'t'/'f' flow point.
 };
 
 /** One thread's ring. The owning thread appends under `mu`; the exporter
@@ -120,6 +124,32 @@ writeMicros(std::ostream &os, uint64_t ns)
     os << (ns / 1000) << '.' << frac;
 }
 
+/** JSON string escape for span names. Names are meant to be plain
+ *  literals, but a quote, backslash, or control byte in one must not
+ *  corrupt the whole export — Perfetto rejects the file wholesale. */
+void
+writeEscapedName(std::ostream &os, const char *name)
+{
+    for (const char *p = name; *p != '\0'; ++p) {
+        const unsigned char c = static_cast<unsigned char>(*p);
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char esc[8];
+                std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+                os << esc;
+            } else {
+                os << *p;
+            }
+        }
+    }
+}
+
 } // namespace
 
 bool
@@ -189,8 +219,13 @@ nowNs()
             .count());
 }
 
+namespace {
+
+/** Pushes one event into the calling thread's ring (shared by spans and
+ *  flow points; the only allocation is first-use ring registration). */
 void
-recordSpan(const char *name, uint64_t start_ns, uint64_t end_ns)
+pushEvent(const char *name, uint64_t start_ns, uint64_t dur_ns,
+          uint64_t flow_id, char phase)
 {
     TraceBuffer *buf = threadBuffer();
     std::lock_guard<std::mutex> lock(buf->mu);
@@ -201,11 +236,36 @@ recordSpan(const char *name, uint64_t start_ns, uint64_t end_ns)
         ++buf->filled;
     ev.name = name;
     ev.start_ns = start_ns;
-    ev.dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+    ev.dur_ns = dur_ns;
+    ev.flow_id = flow_id;
+    ev.phase = phase;
     buf->head = (buf->head + 1) % buf->events.size();
 }
 
+} // namespace
+
+void
+recordSpan(const char *name, uint64_t start_ns, uint64_t end_ns)
+{
+    pushEvent(name, start_ns, end_ns > start_ns ? end_ns - start_ns : 0, 0,
+              'X');
+}
+
+void
+recordFlow(const char *name, uint64_t id, char phase)
+{
+    pushEvent(name, nowNs(), 0, id, phase);
+}
+
 } // namespace detail
+
+void
+traceFlow(const char *name, uint64_t id, char phase)
+{
+    if (!traceEnabled() || id == 0)
+        return;
+    detail::recordFlow(name, id, phase);
+}
 
 void
 writeChromeTrace(std::ostream &os)
@@ -250,17 +310,100 @@ writeChromeTrace(std::ostream &os)
     for (const Snap &snap : snaps) {
         for (const TraceEvent &ev : snap.events) {
             os << (first ? "\n" : ",\n");
-            os << "  {\"name\": \"" << ev.name
-               << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << snap.tid
-               << ", \"ts\": ";
+            os << "  {\"name\": \"";
+            writeEscapedName(os, ev.name);
+            os << "\", \"ph\": \"" << ev.phase
+               << "\", \"pid\": 1, \"tid\": " << snap.tid << ", \"ts\": ";
             writeMicros(os, ev.start_ns - t0);
-            os << ", \"dur\": ";
-            writeMicros(os, ev.dur_ns);
+            if (ev.phase == 'X') {
+                os << ", \"dur\": ";
+                writeMicros(os, ev.dur_ns);
+            } else {
+                // Flow point: the id links the arrow's segments; "bp":"e"
+                // binds each point to the slice enclosing its timestamp.
+                os << ", \"cat\": \"request\", \"id\": " << ev.flow_id
+                   << ", \"bp\": \"e\"";
+            }
             os << "}";
             first = false;
         }
     }
     os << "\n]}\n";
+}
+
+void
+writeTraceSummary(std::ostream &os)
+{
+    struct Agg
+    {
+        const char *name;
+        uint64_t count = 0;
+        uint64_t total_ns = 0;
+        uint64_t flows = 0;
+    };
+    std::vector<Agg> aggs;
+    std::vector<std::pair<int, uint64_t>> per_thread; // (tid, events)
+    uint64_t dropped = 0;
+    {
+        TraceRegistry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        for (TraceBuffer *buf : r.buffers) {
+            std::lock_guard<std::mutex> buf_lock(buf->mu);
+            dropped += buf->dropped;
+            if (buf->filled == 0)
+                continue;
+            per_thread.emplace_back(buf->tid, buf->filled);
+            const size_t cap = buf->events.size();
+            const size_t start = buf->filled == cap ? buf->head : 0;
+            for (size_t i = 0; i < buf->filled; ++i) {
+                const TraceEvent &ev = buf->events[(start + i) % cap];
+                Agg *agg = nullptr;
+                for (Agg &a : aggs) {
+                    if (a.name == ev.name ||
+                        std::strcmp(a.name, ev.name) == 0) {
+                        agg = &a;
+                        break;
+                    }
+                }
+                if (agg == nullptr) {
+                    aggs.push_back(Agg{ev.name});
+                    agg = &aggs.back();
+                }
+                if (ev.phase == 'X') {
+                    ++agg->count;
+                    agg->total_ns += ev.dur_ns;
+                } else {
+                    ++agg->flows;
+                }
+            }
+        }
+    }
+    std::sort(aggs.begin(), aggs.end(), [](const Agg &a, const Agg &b) {
+        return std::strcmp(a.name, b.name) < 0;
+    });
+
+    os << "tracez: " << (traceEnabled() ? "recording" : "paused") << ", "
+       << aggs.size() << " span names, " << per_thread.size()
+       << " threads, " << dropped << " dropped\n\n";
+    os << "span                              count   flows   total_us   mean_us\n";
+    for (const Agg &a : aggs) {
+        std::string name(a.name);
+        if (name.size() > 32)
+            name.resize(32);
+        name.resize(34, ' ');
+        const double total_us = static_cast<double>(a.total_ns) / 1e3;
+        const double mean_us =
+            a.count > 0 ? total_us / static_cast<double>(a.count) : 0.0;
+        char line[128];
+        std::snprintf(line, sizeof(line), "%7llu %7llu %10.1f %9.2f\n",
+                      static_cast<unsigned long long>(a.count),
+                      static_cast<unsigned long long>(a.flows), total_us,
+                      mean_us);
+        os << name << line;
+    }
+    os << "\nthread  buffered_events\n";
+    for (const auto &[tid, events] : per_thread)
+        os << "  " << tid << "      " << events << "\n";
 }
 
 bool

@@ -52,12 +52,29 @@ uint64_t traceDropped();
 void clearTrace();
 
 /** Writes all buffered spans as Chrome trace-event JSON ("ph":"X"
- *  complete events; ts/dur in microseconds, normalized so the earliest
- *  event starts at 0; tid = thread registration order). */
+ *  complete events plus "s"/"t"/"f" flow events; ts/dur in microseconds,
+ *  normalized so the earliest event starts at 0; tid = thread
+ *  registration order; names are JSON-escaped defensively). */
 void writeChromeTrace(std::ostream &os);
 
 /** writeChromeTrace to `path`; returns false (and warns) on I/O failure. */
 bool writeChromeTraceFile(const std::string &path);
+
+/**
+ * Records one flow-event point for request/flow `id` (phase 's' = start,
+ * 't' = step, 'f' = finish). Chrome/Perfetto draw one arrow per id
+ * connecting the points in timestamp order, which is how a request's
+ * admit -> execute -> reply hops become a single causal arrow across
+ * threads. Call inside an open TraceSpan on the same thread: flow points
+ * bind to the enclosing slice (check_trace.py enforces this). No-op when
+ * tracing is disabled; alloc-free on warm threads. `name` must be a
+ * string literal.
+ */
+void traceFlow(const char *name, uint64_t id, char phase);
+
+/** Human-readable summary of the buffered spans (per-name count/total/
+ *  mean plus per-thread totals); serves the exporter's /tracez page. */
+void writeTraceSummary(std::ostream &os);
 
 namespace detail {
 
@@ -68,6 +85,9 @@ uint64_t nowNs();
  *  creating and registering the ring on first use (the only allocating
  *  path — warm threads record allocation-free). */
 void recordSpan(const char *name, uint64_t start_ns, uint64_t end_ns);
+
+/** Appends one flow event (phase 's'/'t'/'f') stamped at nowNs(). */
+void recordFlow(const char *name, uint64_t id, char phase);
 
 } // namespace detail
 

@@ -12,6 +12,7 @@
 #include <variant>
 
 #include "common/logging.h"
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/thread_pool.h"
@@ -116,6 +117,7 @@ struct GemmJob
     GemmRequest req;
     std::promise<GemmResult> promise;
     Clock::time_point submitted;
+    uint64_t ctx = 0; ///< Submitter's request id (causal tracing).
 };
 
 struct EstimateJob
@@ -125,6 +127,7 @@ struct EstimateJob
     bool training = false;
     std::promise<core::PerformanceReport> promise;
     Clock::time_point submitted;
+    uint64_t ctx = 0; ///< Submitter's request id (causal tracing).
 };
 
 struct TaskJob
@@ -132,6 +135,7 @@ struct TaskJob
     std::function<void(core::MirageAccelerator &, Rng &)> fn;
     std::promise<void> promise;
     Clock::time_point submitted;
+    uint64_t ctx = 0; ///< Submitter's request id (causal tracing).
 };
 
 using Job = std::variant<GemmJob, EstimateJob, TaskJob>;
@@ -374,6 +378,10 @@ struct RuntimeEngine::Impl
              size_t tile_index, std::vector<std::vector<float>> &results)
     {
         MIRAGE_SPAN("engine.shard");
+        // Pool-thread leg of the causal trace: the shard runs under the
+        // submitting request's context.
+        obs::RequestScope ctx_scope(group[shard.job].ctx);
+        obs::traceFlow("request", group[shard.job].ctx, 't');
         const GemmRequest &req = group[shard.job].req;
         const int rows = shard.row_end - shard.row_begin;
         const uint64_t shard_macs = static_cast<uint64_t>(rows) *
@@ -408,6 +416,10 @@ struct RuntimeEngine::Impl
         // so drain() implies every future is ready.
         if (EstimateJob *est = std::get_if<EstimateJob>(&job)) {
             MIRAGE_SPAN("engine.estimate");
+            // Re-establish the submitter's request context on the
+            // dispatcher thread and mark the flow through this slice.
+            obs::RequestScope ctx_scope(est->ctx);
+            obs::traceFlow("request", est->ctx, 't');
             try {
                 const core::PerformanceReport rep =
                     est->training
@@ -429,6 +441,8 @@ struct RuntimeEngine::Impl
         } else {
             MIRAGE_SPAN("engine.task");
             TaskJob &task = std::get<TaskJob>(job);
+            obs::RequestScope ctx_scope(task.ctx);
+            obs::traceFlow("request", task.ctx, 't');
             try {
                 task.fn(tile.accel, tile.rng);
                 task.promise.set_value();
@@ -517,6 +531,7 @@ RuntimeEngine::submitGemm(GemmRequest req)
                   "B shape mismatch");
     GemmJob job;
     job.req = std::move(req);
+    job.ctx = obs::currentRequestId();
     job.submitted = Clock::now();
     std::future<GemmResult> fut = job.promise.get_future();
     impl_->enqueue(std::move(job));
@@ -530,6 +545,7 @@ RuntimeEngine::submitInference(models::ModelShape model, int64_t batch)
     job.model = std::move(model);
     job.batch = batch;
     job.training = false;
+    job.ctx = obs::currentRequestId();
     job.submitted = Clock::now();
     std::future<core::PerformanceReport> fut = job.promise.get_future();
     impl_->enqueue(std::move(job));
@@ -543,6 +559,7 @@ RuntimeEngine::submitTraining(models::ModelShape model, int64_t batch)
     job.model = std::move(model);
     job.batch = batch;
     job.training = true;
+    job.ctx = obs::currentRequestId();
     job.submitted = Clock::now();
     std::future<core::PerformanceReport> fut = job.promise.get_future();
     impl_->enqueue(std::move(job));
@@ -555,6 +572,7 @@ RuntimeEngine::submitTask(
 {
     TaskJob job;
     job.fn = std::move(task);
+    job.ctx = obs::currentRequestId();
     job.submitted = Clock::now();
     std::future<void> fut = job.promise.get_future();
     impl_->enqueue(std::move(job));

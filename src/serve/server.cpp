@@ -1,16 +1,20 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/context.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -43,25 +47,63 @@ struct ServerObs
     obs::Histogram &batch_size;
     obs::Histogram &latency_interactive_ns;
     obs::Histogram &latency_batch_ns;
+    // server.slo.* / server.requests.* namespace: per-request outcome
+    // counters and the burn-rate gauges the scrape endpoint exposes.
+    // Burns are unitless ratios published in milli-units (burn 10.0 ->
+    // 10000) so the integer gauges keep three decimals.
+    obs::Counter &requests_completed;
+    obs::Counter &requests_missed;
+    obs::Counter &requests_shed;
+    obs::Counter &slo_alerts;
+    obs::Gauge &burn_fast_inter;
+    obs::Gauge &burn_slow_inter;
+    obs::Gauge &burn_fast_batch;
+    obs::Gauge &burn_slow_batch;
+    obs::Gauge &shed_burn_fast_inter;
+    obs::Gauge &shed_burn_fast_batch;
 
     static ServerObs &
     get()
     {
         static auto &reg = obs::MetricsRegistry::global();
-        static ServerObs o{reg.counter("serve.submitted"),
-                           reg.counter("serve.rejected"),
-                           reg.counter("serve.completed"),
-                           reg.counter("serve.failed"),
-                           reg.counter("serve.batches"),
-                           reg.counter("serve.deadline_misses"),
-                           reg.gauge("serve.pending"),
-                           reg.histogram("serve.queue_ns"),
-                           reg.histogram("serve.batch_size"),
-                           reg.histogram("serve.latency.interactive_ns"),
-                           reg.histogram("serve.latency.batch_ns")};
+        static ServerObs o{
+            reg.counter("serve.submitted"),
+            reg.counter("serve.rejected"),
+            reg.counter("serve.completed"),
+            reg.counter("serve.failed"),
+            reg.counter("serve.batches"),
+            reg.counter("serve.deadline_misses"),
+            reg.gauge("serve.pending"),
+            reg.histogram("serve.queue_ns"),
+            reg.histogram("serve.batch_size"),
+            reg.histogram("serve.latency.interactive_ns"),
+            reg.histogram("serve.latency.batch_ns"),
+            reg.counter("server.requests.completed"),
+            reg.counter("server.requests.missed"),
+            reg.counter("server.requests.shed"),
+            reg.counter("server.slo.alerts"),
+            reg.gauge("server.slo.burn_rate_fast_milli.interactive"),
+            reg.gauge("server.slo.burn_rate_slow_milli.interactive"),
+            reg.gauge("server.slo.burn_rate_fast_milli.batch"),
+            reg.gauge("server.slo.burn_rate_slow_milli.batch"),
+            reg.gauge("server.slo.shed_burn_fast_milli.interactive"),
+            reg.gauge("server.slo.shed_burn_fast_milli.batch")};
         return o;
     }
 };
+
+/** Burn ratio -> integer milli-units for gauge exposition. */
+int64_t
+toMilli(double burn)
+{
+    return static_cast<int64_t>(std::llround(burn * 1000.0));
+}
+
+/// Micro-batch sequence numbers are process-wide, not per-server, so a
+/// request log spanning several server instances (the soak harness
+/// builds a fresh one per scenario) never sees two different
+/// micro-batches share a sequence number.
+std::atomic<uint64_t> g_batch_seq{0};
 
 /** Nearest-rank percentile of an ascending-sorted sample vector. */
 double
@@ -118,6 +160,7 @@ ServerConfig::validate() const
             throw std::invalid_argument(
                 "SloPolicy needs max_delay_s >= 0 and deadline_s > 0");
     }
+    slo.validate();
 }
 
 // ---------------------------------------------------------------------------
@@ -132,6 +175,7 @@ struct InferenceServer::Impl
         std::promise<InferenceReply> promise;
         Clock::time_point submitted;
         int64_t samples = 1;
+        uint64_t id = 0; ///< Request id for causal tracing.
     };
 
     /** Requests batch only within one (model, class, input signature). */
@@ -198,20 +242,43 @@ struct InferenceServer::Impl
 
         Pending p;
         p.samples = has_input ? req.input.dim(0) : req.samples;
+        p.id = obs::nextRequestId();
         p.submitted = Clock::now();
+        // Flow origin: the admit slice on the caller's thread. Perfetto
+        // draws one arrow per id from here through batcher/engine steps
+        // to the reply slice.
+        obs::traceFlow("request", p.id, 's');
         std::future<InferenceReply> fut = p.promise.get_future();
 
         std::unique_lock<std::mutex> lk(mu);
         ++stats.submitted;
         ServerObs::get().submitted.add(1);
         if (stop_accepting || pending_total >= cfg.queue_capacity) {
+            const bool was_shutdown = stop_accepting;
             ++stats.rejected;
+            std::optional<SloAlert> alert;
+            SloStatus st;
+            const double t_now = secondsSince(start, p.submitted);
+            alert = monitor(req.slo).recordShed(t_now);
+            if (alert)
+                ++stats.slo_alerts;
+            st = monitor(req.slo).status(t_now);
             lk.unlock();
             ServerObs::get().rejected.add(1);
+            ServerObs::get().requests_shed.add(1);
+            obs::RequestRecord rec;
+            rec.id = p.id;
+            rec.cls = req.slo == SloClass::Interactive
+                          ? obs::kClassInteractive
+                          : obs::kClassBatch;
+            rec.shed = true;
+            rec.deadline_met = false;
+            obs::FlightRecorder::global().record(rec);
+            publishBurnGauges(req.slo, st);
+            handleAlert(req.slo, alert);
             p.promise.set_exception(std::make_exception_ptr(
-                std::runtime_error(stop_accepting
-                                       ? "server is shut down"
-                                       : "admission queue full")));
+                std::runtime_error(was_shutdown ? "server is shut down"
+                                                : "admission queue full")));
             return fut;
         }
         const std::string key = groupKey(req);
@@ -320,10 +387,17 @@ struct InferenceServer::Impl
             groups.erase(it);
         pending_total -= take;
         in_flight += take;
+        const uint64_t seq =
+            g_batch_seq.fetch_add(1, std::memory_order_relaxed);
         ServerObs::get().pending.set(static_cast<int64_t>(pending_total));
         const std::string model = batch->front().req.model;
         const SloClass slo = batch->front().req.slo;
         lk.unlock();
+
+        // Flow step on the batcher thread: every batched request's arrow
+        // passes through this flush slice.
+        for (const Pending &p : *batch)
+            obs::traceFlow("request", p.id, 't');
 
         const Clock::time_point dispatched = Clock::now();
         std::shared_ptr<ServedModel> entry;
@@ -347,11 +421,14 @@ struct InferenceServer::Impl
         // backpressure stall visible on the batcher's timeline.
         {
             MIRAGE_SPAN("serve.enqueue");
+            // The engine job inherits the front request's id as its
+            // context, so engine.task slices carry the flow onward.
+            obs::RequestScope scope(batch->front().id);
             engine.submitTask([this, batch, entry, cost, slo, total_samples,
-                               dispatched](core::MirageAccelerator &accel,
-                                           Rng &) {
+                               dispatched, seq](core::MirageAccelerator &accel,
+                                                Rng &) {
                 execute(*batch, *entry, cost, slo, total_samples, dispatched,
-                        accel);
+                        seq, accel);
             });
         }
         lk.lock();
@@ -360,9 +437,13 @@ struct InferenceServer::Impl
     void
     execute(std::vector<Pending> &batch, ServedModel &entry,
             const TileProgramCost &cost, SloClass slo, int64_t total_samples,
-            Clock::time_point dispatched, core::MirageAccelerator &accel)
+            Clock::time_point dispatched, uint64_t seq,
+            core::MirageAccelerator &accel)
     {
         MIRAGE_SPAN("serve.execute");
+        // Flow step on the engine dispatcher thread (tile execute).
+        for (const Pending &p : batch)
+            obs::traceFlow("request", p.id, 't');
         std::exception_ptr error;
         nn::Tensor outputs;
         core::PerformanceReport report;
@@ -440,19 +521,51 @@ struct InferenceServer::Impl
             latencies.push_back(reply.latency_s);
             ServerObs::get().queue_ns.recordNanosOf(reply.queue_s);
             latency_hist.recordNanosOf(reply.latency_s);
+
+            // Structured completion record: wall-time shares (queue ->
+            // execute -> reply) plus the modeled accelerator cost share.
+            // reply_now is sampled per request so the shares sum to the
+            // record's own total within rounding.
+            const Clock::time_point reply_now = Clock::now();
+            obs::RequestRecord rec;
+            rec.id = p.id;
+            rec.batch_seq = seq;
+            rec.cls = slo == SloClass::Interactive ? obs::kClassInteractive
+                                                   : obs::kClassBatch;
+            rec.cache_hit = cost.hit;
+            rec.deadline_met = reply.deadline_met;
+            rec.tile = cost.tile;
+            rec.batch_size = static_cast<int32_t>(batch.size());
+            rec.queue_ns = obs::toNanos(reply.queue_s);
+            rec.execute_ns = obs::toNanos(secondsSince(dispatched, end));
+            rec.reply_ns = obs::toNanos(secondsSince(end, reply_now));
+            rec.total_ns = obs::toNanos(secondsSince(p.submitted, reply_now));
+            rec.modeled_ns = obs::toNanos(
+                total_samples > 0
+                    ? batch_time_s * static_cast<double>(p.samples) /
+                          static_cast<double>(total_samples)
+                    : 0.0);
+            rec.modeled_nj = obs::toNanos(reply.energy_j);
+            reply.record = rec;
+            // Flow terminus inside the reply slice, then retain the
+            // record in the always-on flight ring.
+            obs::traceFlow("request", p.id, 'f');
+            obs::FlightRecorder::global().record(rec);
             p.promise.set_value(std::move(reply));
         }
+        if (!error) {
+            ServerObs::get().requests_completed.add(batch.size());
+            ServerObs::get().requests_missed.add(misses);
+        }
 
+        std::optional<SloAlert> alert;
+        SloStatus slo_state;
+        bool publish_slo = false;
         {
             std::lock_guard<std::mutex> slk(mu);
-            in_flight -= batch.size();
             if (error) {
                 stats.failed += batch.size();
                 ServerObs::get().failed.add(batch.size());
-                // Notify under the lock: this runs on the engine's
-                // dispatcher thread, and a drain()er may destroy the
-                // server the moment it observes in_flight == 0 — holding
-                // mu until notify_all returns keeps `idle` alive.
             } else {
                 ++stats.batches;
                 const size_t b =
@@ -477,7 +590,38 @@ struct InferenceServer::Impl
                 ServerObs::get().batch_size.record(batch.size());
                 ServerObs::get().completed.add(batch.size());
                 ServerObs::get().deadline_misses.add(misses);
+
+                // Burn-rate accounting: the batch completes at one
+                // monitor time; its first `misses` entries are the bad
+                // events. Keep the first rising-edge alert (one per
+                // excursion by construction).
+                const double t_end = secondsSince(start, end);
+                SloMonitor &mon = monitor(slo);
+                for (size_t i = 0; i < batch.size(); ++i) {
+                    auto a = mon.recordRequest(t_end, i < misses);
+                    if (a && !alert)
+                        alert = a;
+                }
+                if (alert)
+                    ++stats.slo_alerts;
+                slo_state = mon.status(t_end);
+                publish_slo = true;
             }
+        }
+        // Outside mu — gauges are atomics and the alert callback may call
+        // back into stats()/sloStatus() — but before the in_flight
+        // decrement, which keeps the server alive under drain()ers.
+        if (publish_slo) {
+            publishBurnGauges(slo, slo_state);
+            handleAlert(slo, alert);
+        }
+        {
+            std::lock_guard<std::mutex> slk(mu);
+            in_flight -= batch.size();
+            // Notify under the lock: this runs on the engine's dispatcher
+            // thread, and a drain()er may destroy the server the moment
+            // it observes in_flight == 0 — holding mu until notify_all
+            // returns keeps `idle` alive.
             idle.notify_all();
         }
     }
@@ -550,6 +694,13 @@ struct InferenceServer::Impl
         drain();
     }
 
+    SloStatus
+    sloStatus(SloClass slo) const
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        return monitor(slo).status(secondsSince(start, Clock::now()));
+    }
+
     ServerStats
     snapshot() const
     {
@@ -564,11 +715,53 @@ struct InferenceServer::Impl
         return out;
     }
 
+    SloMonitor &
+    monitor(SloClass slo) const
+    {
+        return slo == SloClass::Interactive ? slo_inter : slo_batch;
+    }
+
+    /** Publishes one class's burn-rate state as scrapeable gauges.
+     *  Called outside `mu` (gauges are atomics). */
+    static void
+    publishBurnGauges(SloClass slo, const SloStatus &st)
+    {
+        ServerObs &o = ServerObs::get();
+        if (slo == SloClass::Interactive) {
+            o.burn_fast_inter.set(toMilli(st.miss_burn_fast));
+            o.burn_slow_inter.set(toMilli(st.miss_burn_slow));
+            o.shed_burn_fast_inter.set(toMilli(st.shed_burn_fast));
+        } else {
+            o.burn_fast_batch.set(toMilli(st.miss_burn_fast));
+            o.burn_slow_batch.set(toMilli(st.miss_burn_slow));
+            o.shed_burn_fast_batch.set(toMilli(st.shed_burn_fast));
+        }
+    }
+
+    /** Rising-edge alert fan-out: counter, flight-recorder dump, user
+     *  callback. Called outside `mu` so the callback may re-enter
+     *  stats()/sloStatus(). */
+    void
+    handleAlert(SloClass slo, const std::optional<SloAlert> &alert)
+    {
+        if (!alert)
+            return;
+        ServerObs::get().slo_alerts.add(1);
+        obs::FlightRecorder::global().trigger(toString(alert->kind));
+        if (cfg.on_alert)
+            cfg.on_alert(slo, *alert);
+    }
+
     ModelRepository &repo;
     runtime::RuntimeEngine &engine;
     ServerConfig cfg;
     WeightCache cache;
     uint64_t retire_listener = 0;
+
+    /// Per-class burn monitors (guarded by mu; mutable because status()
+    /// advances the ring even from const snapshots).
+    mutable SloMonitor slo_inter{cfg.slo};
+    mutable SloMonitor slo_batch{cfg.slo};
 
     mutable std::mutex mu;
     std::mutex shutdown_mu; ///< Serializes shutdown() calls.
@@ -625,6 +818,12 @@ ServerStats
 InferenceServer::stats() const
 {
     return impl_->snapshot();
+}
+
+SloStatus
+InferenceServer::sloStatus(SloClass slo) const
+{
+    return impl_->sloStatus(slo);
 }
 
 const ServerConfig &

@@ -24,14 +24,17 @@
  */
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "nn/tensor.h"
+#include "obs/context.h"
 #include "runtime/engine.h"
 #include "serve/repository.h"
+#include "serve/slo.h"
 
 namespace mirage {
 namespace serve {
@@ -65,6 +68,13 @@ struct ServerConfig
     size_t queue_capacity = 1024;
     SloPolicy interactive{0.002, 0.050};
     SloPolicy batch{0.050, 1.0};
+    /// Burn-rate monitoring knobs, shared by both per-class monitors.
+    SloMonitorConfig slo{};
+    /// Fired on every rising-edge burn alert (deadline or shed), from the
+    /// thread that observed the crossing, outside server locks — safe to
+    /// call stats()/sloStatus() from inside. Keep it fast; it sits on the
+    /// reply path.
+    std::function<void(SloClass, const SloAlert &)> on_alert;
 
     /** Throws std::invalid_argument on non-positive knobs. */
     void validate() const;
@@ -105,6 +115,11 @@ struct InferenceReply
     double energy_j = 0.0;    ///< This request's energy share incl. its
                               ///< share of any reprogramming cost.
     bool deadline_met = true; ///< latency_s <= effective deadline.
+    /// Structured completion record (request id, micro-batch sequence,
+    /// queue/execute/reply nanosecond shares, modeled ns/nJ) — the same
+    /// record the flight recorder retains; dumpable as JSONL via
+    /// obs::writeRequestJsonl.
+    obs::RequestRecord record;
 };
 
 /** Exact latency digest computed from sorted samples. */
@@ -128,6 +143,7 @@ struct ServerStats
     uint64_t interactive_completed = 0;
     uint64_t batch_completed = 0;
     uint64_t deadline_misses = 0;
+    uint64_t slo_alerts = 0; ///< Rising-edge burn alerts (both kinds).
     uint64_t batches = 0; ///< Micro-batches dispatched.
     /// batch_size_hist[b] = micro-batches holding exactly b requests
     /// (index 0 unused).
@@ -187,6 +203,9 @@ class InferenceServer
 
     /** Snapshot of the aggregate statistics. */
     ServerStats stats() const;
+
+    /** Point-in-time burn-rate state of one class's SLO monitor. */
+    SloStatus sloStatus(SloClass slo) const;
 
     const ServerConfig &config() const;
 

@@ -1,0 +1,179 @@
+#include "serve/slo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mirage {
+namespace serve {
+
+void
+SloMonitorConfig::validate() const
+{
+    if (!(miss_budget > 0.0) || miss_budget > 1.0)
+        throw std::invalid_argument(
+            "SloMonitorConfig.miss_budget must be in (0, 1]");
+    if (!(shed_budget > 0.0) || shed_budget > 1.0)
+        throw std::invalid_argument(
+            "SloMonitorConfig.shed_budget must be in (0, 1]");
+    if (!(fast_window_s > 0.0) || !(slow_window_s > 0.0))
+        throw std::invalid_argument("SloMonitorConfig windows must be > 0");
+    if (fast_window_s > slow_window_s)
+        throw std::invalid_argument(
+            "SloMonitorConfig.fast_window_s must be <= slow_window_s");
+    if (!(alert_burn > 0.0))
+        throw std::invalid_argument(
+            "SloMonitorConfig.alert_burn must be > 0");
+    if (min_events == 0)
+        throw std::invalid_argument(
+            "SloMonitorConfig.min_events must be >= 1");
+}
+
+const char *
+toString(SloAlertKind kind)
+{
+    switch (kind) {
+      case SloAlertKind::DeadlineBurn: return "deadline_burn";
+      case SloAlertKind::ShedBurst: return "shed_burst";
+    }
+    return "?";
+}
+
+SloMonitor::SloMonitor(SloMonitorConfig cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+    bucket_s_ = cfg_.slow_window_s / static_cast<double>(kBuckets);
+    // Fast window rounded up to whole buckets, never past the slow ring.
+    fast_buckets_ = std::clamp(
+        static_cast<int>(std::ceil(cfg_.fast_window_s / bucket_s_)), 1,
+        kBuckets);
+}
+
+void
+SloMonitor::advanceTo(double t_s)
+{
+    const int64_t target = static_cast<int64_t>(
+        std::floor(std::max(t_s, 0.0) / bucket_s_));
+    if (cur_bucket_ < 0) {
+        cur_bucket_ = target;
+        return;
+    }
+    if (target <= cur_bucket_)
+        return; // time regressions clamp to the current bucket
+    const int64_t steps = std::min<int64_t>(target - cur_bucket_, kBuckets);
+    for (int64_t i = 1; i <= steps; ++i)
+        ring_[(cur_bucket_ + i) % kBuckets] = Bucket{};
+    cur_bucket_ = target;
+}
+
+SloMonitor::Window
+SloMonitor::sum(int buckets) const
+{
+    Window w;
+    for (int i = 0; i < buckets; ++i) {
+        const int64_t abs = cur_bucket_ - i;
+        if (abs < 0)
+            break;
+        const Bucket &b = ring_[abs % kBuckets];
+        w.completed += b.completed;
+        w.missed += b.missed;
+        w.offered += b.offered;
+        w.shed += b.shed;
+    }
+    return w;
+}
+
+double
+SloMonitor::missBurn(const Window &w) const
+{
+    if (w.completed == 0)
+        return 0.0;
+    return (static_cast<double>(w.missed) /
+            static_cast<double>(w.completed)) /
+           cfg_.miss_budget;
+}
+
+double
+SloMonitor::shedBurn(const Window &w) const
+{
+    if (w.offered == 0)
+        return 0.0;
+    return (static_cast<double>(w.shed) /
+            static_cast<double>(w.offered)) /
+           cfg_.shed_budget;
+}
+
+std::optional<SloAlert>
+SloMonitor::evaluate(double t_s)
+{
+    const Window fast = sum(fast_buckets_);
+    const Window slow = sum(kBuckets);
+
+    const bool miss_cond =
+        fast.completed >= cfg_.min_events &&
+        missBurn(fast) >= cfg_.alert_burn &&
+        missBurn(slow) >= cfg_.alert_burn;
+    const bool shed_cond = fast.offered >= cfg_.min_events &&
+                           shedBurn(fast) >= cfg_.alert_burn &&
+                           shedBurn(slow) >= cfg_.alert_burn;
+
+    std::optional<SloAlert> alert;
+    if (miss_cond && !miss_firing_) {
+        alert = SloAlert{SloAlertKind::DeadlineBurn, t_s, missBurn(fast),
+                         missBurn(slow), fast.completed};
+    } else if (shed_cond && !shed_firing_) {
+        alert = SloAlert{SloAlertKind::ShedBurst, t_s, shedBurn(fast),
+                         shedBurn(slow), fast.offered};
+    }
+    miss_firing_ = miss_cond;
+    shed_firing_ = shed_cond;
+    return alert;
+}
+
+std::optional<SloAlert>
+SloMonitor::recordRequest(double t_s, bool missed)
+{
+    advanceTo(t_s);
+    Bucket &b = ring_[cur_bucket_ % kBuckets];
+    ++b.completed;
+    ++b.offered;
+    ++total_completed_;
+    if (missed) {
+        ++b.missed;
+        ++total_missed_;
+    }
+    return evaluate(t_s);
+}
+
+std::optional<SloAlert>
+SloMonitor::recordShed(double t_s)
+{
+    advanceTo(t_s);
+    Bucket &b = ring_[cur_bucket_ % kBuckets];
+    ++b.shed;
+    ++b.offered;
+    ++total_shed_;
+    return evaluate(t_s);
+}
+
+SloStatus
+SloMonitor::status(double t_s)
+{
+    advanceTo(t_s);
+    const Window fast = sum(fast_buckets_);
+    const Window slow = sum(kBuckets);
+    SloStatus s;
+    s.miss_burn_fast = missBurn(fast);
+    s.miss_burn_slow = missBurn(slow);
+    s.shed_burn_fast = shedBurn(fast);
+    s.shed_burn_slow = shedBurn(slow);
+    s.miss_firing = miss_firing_;
+    s.shed_firing = shed_firing_;
+    s.completed = total_completed_;
+    s.missed = total_missed_;
+    s.shed = total_shed_;
+    return s;
+}
+
+} // namespace serve
+} // namespace mirage

@@ -1,0 +1,143 @@
+#ifndef MIRAGE_SERVE_SLO_H
+#define MIRAGE_SERVE_SLO_H
+
+/**
+ * @file
+ * SLO burn-rate monitoring (multi-window, SRE-style).
+ *
+ * Burn rate is the observed bad-event rate divided by the error budget:
+ * burn 1.0 consumes the budget exactly; burn 10 consumes it 10x faster.
+ * The monitor tracks deadline misses (per completed request) and load
+ * sheds (per offered request) over two sliding windows — a fast one that
+ * reacts within seconds and a slow one that filters blips — and raises an
+ * alert only when BOTH windows exceed the threshold, the standard
+ * multi-window guard against paging on noise.
+ *
+ * Alerts are edge-triggered: one alert per excursion, re-armed only after
+ * the condition clears. Recovery (burn falling back under the threshold)
+ * never produces an alert.
+ *
+ * Time is explicit: callers pass seconds-since-start to every method, so
+ * InferenceServer feeds its own monotonic clock samples while tests feed
+ * synthetic patterns and assert exact window values. Windows are bucketed
+ * rings (slow_window_s / kBuckets granularity), so recording is O(1) with
+ * no per-event storage. Not internally synchronized — InferenceServer
+ * calls it under its own mutex.
+ */
+
+#include <cstdint>
+#include <optional>
+
+namespace mirage {
+namespace serve {
+
+/** Burn-rate monitor knobs. Defaults: 1% budgets, 5 s / 60 s windows,
+ *  page at 10x burn after 10 events. */
+struct SloMonitorConfig
+{
+    double miss_budget = 0.01;  ///< Tolerated deadline-miss fraction.
+    double shed_budget = 0.01;  ///< Tolerated shed (rejection) fraction.
+    double fast_window_s = 5.0; ///< Reactive window.
+    double slow_window_s = 60.0; ///< Confirmation window.
+    double alert_burn = 10.0;   ///< Alert when both windows reach this.
+    uint64_t min_events = 10;   ///< Fast-window event floor (cold-start
+                                ///< suppression: no alert before it).
+
+    /** Throws std::invalid_argument on out-of-range knobs. */
+    void validate() const;
+};
+
+enum class SloAlertKind
+{
+    DeadlineBurn, ///< Deadline-miss burn crossed in both windows.
+    ShedBurst,    ///< Shed-rate burn crossed in both windows.
+};
+
+const char *toString(SloAlertKind kind);
+
+/** One rising-edge alert. */
+struct SloAlert
+{
+    SloAlertKind kind = SloAlertKind::DeadlineBurn;
+    double at_s = 0.0;       ///< Monitor time of the crossing.
+    double fast_burn = 0.0;  ///< Burn in the fast window at the crossing.
+    double slow_burn = 0.0;  ///< Burn in the slow window at the crossing.
+    uint64_t fast_events = 0; ///< Events in the fast window.
+};
+
+/** Point-in-time monitor state (see InferenceServer::sloStatus). */
+struct SloStatus
+{
+    double miss_burn_fast = 0.0;
+    double miss_burn_slow = 0.0;
+    double shed_burn_fast = 0.0;
+    double shed_burn_slow = 0.0;
+    bool miss_firing = false; ///< Deadline excursion currently active.
+    bool shed_firing = false; ///< Shed excursion currently active.
+    uint64_t completed = 0;   ///< Lifetime completed requests.
+    uint64_t missed = 0;      ///< Lifetime deadline misses.
+    uint64_t shed = 0;        ///< Lifetime sheds.
+};
+
+class SloMonitor
+{
+  public:
+    /// Ring granularity: slow_window_s / kBuckets per bucket (0.5 s at
+    /// the default 60 s window).
+    static constexpr int kBuckets = 120;
+
+    explicit SloMonitor(SloMonitorConfig cfg = {});
+
+    /** Records one completed request at monitor time `t_s`; returns the
+     *  alert when this event is a rising-edge burn crossing. Time must
+     *  be non-decreasing across calls (regressions clamp to now). */
+    std::optional<SloAlert> recordRequest(double t_s, bool missed);
+
+    /** Records one admission rejection (load shed) at `t_s`. */
+    std::optional<SloAlert> recordShed(double t_s);
+
+    /** Window burns and lifetime totals as of `t_s` (advances the ring,
+     *  so stale buckets age out even without new events). */
+    SloStatus status(double t_s);
+
+    const SloMonitorConfig &config() const { return cfg_; }
+
+  private:
+    struct Bucket
+    {
+        uint64_t completed = 0;
+        uint64_t missed = 0;
+        uint64_t offered = 0; ///< completed + shed (shed-rate denominator).
+        uint64_t shed = 0;
+    };
+
+    struct Window
+    {
+        uint64_t completed = 0;
+        uint64_t missed = 0;
+        uint64_t offered = 0;
+        uint64_t shed = 0;
+    };
+
+    void advanceTo(double t_s);
+    Window sum(int buckets) const;
+    double missBurn(const Window &w) const;
+    double shedBurn(const Window &w) const;
+    std::optional<SloAlert> evaluate(double t_s);
+
+    SloMonitorConfig cfg_;
+    double bucket_s_;
+    int fast_buckets_;
+    Bucket ring_[kBuckets] = {};
+    int64_t cur_bucket_ = -1; ///< Absolute bucket index of "now".
+    bool miss_firing_ = false;
+    bool shed_firing_ = false;
+    uint64_t total_completed_ = 0;
+    uint64_t total_missed_ = 0;
+    uint64_t total_shed_ = 0;
+};
+
+} // namespace serve
+} // namespace mirage
+
+#endif // MIRAGE_SERVE_SLO_H

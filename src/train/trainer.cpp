@@ -7,6 +7,8 @@
 
 #include "common/logging.h"
 #include "nn/loss.h"
+#include "obs/context.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/thread_pool.h"
@@ -189,6 +191,11 @@ Trainer::trainStep(const nn::BatchIterator &it, TrainReport &report,
                    double &epoch_loss, int64_t &epoch_correct)
 {
     MIRAGE_SPAN("train.step");
+    // Step-scoped causal context: one id per optimizer step, flowing from
+    // this slice through the replica shards to the step's end.
+    const uint64_t step_ctx = obs::nextRequestId();
+    obs::RequestScope ctx_scope(step_ctx);
+    obs::traceFlow("train.request", step_ctx, 's');
     const int S = cfg_.shards_per_step;
     const int A = cfg_.accum_rounds;
     const int R = cfg_.replicas;
@@ -207,6 +214,8 @@ Trainer::trainStep(const nn::BatchIterator &it, TrainReport &report,
         runtime::parallelFor(R, 1, [&](int64_t begin, int64_t end) {
             for (int64_t r = begin; r < end; ++r) {
                 MIRAGE_SPAN("train.shard");
+                obs::RequestScope shard_ctx(step_ctx);
+                obs::traceFlow("train.request", step_ctx, 't');
                 Replica &rep = *replicas_[r];
                 nn::Dataset &shard = shard_batch_[static_cast<size_t>(r)];
                 for (int q = static_cast<int>(r); q < S; q += R) {
@@ -317,6 +326,20 @@ Trainer::trainStep(const nn::BatchIterator &it, TrainReport &report,
     TrainObs::get().step_ns.recordNanosOf(step_dt);
     TrainObs::get().modeled_ns.add(obs::toNanos(report.modeled_step_time_s));
     TrainObs::get().modeled_nj.add(obs::toNanos(report.modeled_step_energy_j));
+    // Flow terminus plus a per-step flight-ring record (POD copy into a
+    // pre-sized ring — nothing here allocates).
+    obs::traceFlow("train.request", step_ctx, 'f');
+    obs::RequestRecord step_rec;
+    step_rec.id = step_ctx;
+    step_rec.batch_seq = static_cast<uint64_t>(step_);
+    step_rec.cls = obs::kClassTrain;
+    step_rec.deadline_met = true;
+    step_rec.batch_size = static_cast<int32_t>(cfg_.effectiveBatch());
+    step_rec.execute_ns = obs::toNanos(step_dt);
+    step_rec.total_ns = step_rec.execute_ns;
+    step_rec.modeled_ns = obs::toNanos(report.modeled_step_time_s);
+    step_rec.modeled_nj = obs::toNanos(report.modeled_step_energy_j);
+    obs::FlightRecorder::global().record(step_rec);
     const float mean_loss =
         static_cast<float>(step_loss / static_cast<double>(S * A));
     report.step_loss.push_back(mean_loss);

@@ -4,8 +4,11 @@
  * registry's stable-handle and exposition contracts, the enable gates,
  * concurrent recording (the TSan job runs this suite), histogram
  * quantile accuracy against the exact nearest-rank percentile the serve
- * stats use, trace-span recording/export/wrap-around, and the
- * disabled-path cost bound the "near-zero cost when off" promise makes.
+ * stats use, trace-span recording/export/wrap-around, request-context
+ * propagation (RequestScope, flow events, the engine handoff), the
+ * scrape endpoint, the flight recorder ring and its armed/disarmed
+ * trigger contract, and the disabled-path cost bound the "near-zero
+ * cost when off" promise makes.
  */
 
 #include <gtest/gtest.h>
@@ -15,15 +18,27 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <utility>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "common/rng.h"
+#include "obs/context.h"
+#include "obs/exporter.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/engine.h"
 
 #if defined(__SANITIZE_THREAD__)
 #define MIRAGE_TEST_TSAN 1
@@ -376,6 +391,359 @@ TEST(ObsTrace, RingBufferWrapsAndCountsDroppedEvents)
     obs::clearTrace();
 }
 
+TEST(ObsContext, RequestIdsAreMonotonicAndScopesNestAndRestore)
+{
+    const uint64_t a = obs::nextRequestId();
+    const uint64_t b = obs::nextRequestId();
+    EXPECT_GT(a, 0u);
+    EXPECT_GT(b, a);
+
+    const uint64_t outside = obs::currentRequestId();
+    {
+        obs::RequestScope outer(a);
+        EXPECT_EQ(obs::currentRequestId(), a);
+        {
+            obs::RequestScope inner(b);
+            EXPECT_EQ(obs::currentRequestId(), b);
+        }
+        EXPECT_EQ(obs::currentRequestId(), a);
+    }
+    EXPECT_EQ(obs::currentRequestId(), outside);
+
+    // The context is per-thread: a fresh thread starts outside any
+    // request and a scope there never leaks back here.
+    std::thread t([] {
+        EXPECT_EQ(obs::currentRequestId(), 0u);
+        obs::RequestScope scope(12345);
+        EXPECT_EQ(obs::currentRequestId(), 12345u);
+    });
+    t.join();
+    EXPECT_EQ(obs::currentRequestId(), outside);
+}
+
+TEST(ObsContext, RequestJsonlFormatsEveryField)
+{
+    obs::RequestRecord rec;
+    rec.id = 42;
+    rec.batch_seq = 7;
+    rec.cls = obs::kClassBatch;
+    rec.cache_hit = true;
+    rec.deadline_met = false;
+    rec.shed = false;
+    rec.tile = 3;
+    rec.batch_size = 8;
+    rec.queue_ns = 1000;
+    rec.execute_ns = 2000;
+    rec.reply_ns = 30;
+    rec.total_ns = 3030;
+    rec.modeled_ns = 150;
+    rec.modeled_nj = 999;
+
+    char buf[obs::kRequestJsonlMax];
+    const size_t n = obs::formatRequestJsonl(rec, buf, sizeof(buf));
+    const std::string line(buf, n);
+    EXPECT_EQ(line,
+              "{\"id\":42,\"batch\":7,\"class\":\"batch\",\"tile\":3,"
+              "\"batch_size\":8,\"cache_hit\":true,\"deadline_met\":false,"
+              "\"shed\":false,\"queue_ns\":1000,\"execute_ns\":2000,"
+              "\"reply_ns\":30,\"total_ns\":3030,\"modeled_ns\":150,"
+              "\"modeled_nj\":999}\n");
+
+    // The stream helper emits the identical line.
+    std::ostringstream os;
+    obs::writeRequestJsonl(os, rec);
+    EXPECT_EQ(os.str(), line);
+
+    // A tile of -1 (unmapped, e.g. a shed record) formats signed.
+    rec.tile = -1;
+    const size_t m = obs::formatRequestJsonl(rec, buf, sizeof(buf));
+    EXPECT_NE(std::string(buf, m).find("\"tile\":-1"), std::string::npos);
+
+    // Truncation clamps at the caller's capacity instead of overrunning.
+    char tiny[8];
+    EXPECT_LE(obs::formatRequestJsonl(rec, tiny, sizeof(tiny)),
+              sizeof(tiny));
+
+    EXPECT_STREQ(obs::requestClassName(obs::kClassInteractive),
+                 "interactive");
+    EXPECT_STREQ(obs::requestClassName(obs::kClassTrain), "train");
+    EXPECT_STREQ(obs::requestClassName(250), "unknown");
+}
+
+TEST(ObsTrace, FlowPointsExportWithIdCategoryAndBinding)
+{
+    ObsStateGuard guard;
+    obs::clearTrace();
+    obs::setTraceEnabled(true);
+    {
+        MIRAGE_SPAN("test.flow.host");
+        obs::traceFlow("test.flow", 777, 's');
+        obs::traceFlow("test.flow", 777, 't');
+        obs::traceFlow("test.flow", 777, 'f');
+    }
+    obs::setTraceEnabled(false);
+    std::ostringstream os;
+    obs::writeChromeTrace(os);
+    const std::string trace = os.str();
+    EXPECT_NE(trace.find("\"ph\": \"s\""), std::string::npos) << trace;
+    EXPECT_NE(trace.find("\"ph\": \"t\""), std::string::npos);
+    EXPECT_NE(trace.find("\"ph\": \"f\""), std::string::npos);
+    // Flow points carry the linking id, the category, and the
+    // enclosing-slice binding Perfetto needs to anchor the arrow.
+    EXPECT_NE(trace.find("\"id\": 777"), std::string::npos);
+    EXPECT_NE(trace.find("\"cat\": \"request\""), std::string::npos);
+    EXPECT_NE(trace.find("\"bp\": \"e\""), std::string::npos);
+    obs::clearTrace();
+}
+
+TEST(ObsTrace, FlowIsSilentWhenDisabledOrOutsideARequest)
+{
+    ObsStateGuard guard;
+    obs::clearTrace();
+    ASSERT_FALSE(obs::traceEnabled());
+    obs::traceFlow("test.flow.off", 9, 's'); // tracing disabled
+
+    obs::setTraceEnabled(true);
+    obs::traceFlow("test.flow.zero", 0, 's'); // id 0 = no request context
+    obs::setTraceEnabled(false);
+
+    std::ostringstream os;
+    obs::writeChromeTrace(os);
+    EXPECT_EQ(os.str().find("test.flow.off"), std::string::npos);
+    EXPECT_EQ(os.str().find("test.flow.zero"), std::string::npos);
+}
+
+TEST(ObsTrace, SpanNamesAreEscapedInExport)
+{
+    ObsStateGuard guard;
+    obs::clearTrace();
+    obs::setTraceEnabled(true);
+    {
+        MIRAGE_SPAN("test.\"esc\"\\\n");
+    }
+    obs::setTraceEnabled(false);
+    std::ostringstream os;
+    obs::writeChromeTrace(os);
+    const std::string trace = os.str();
+    // Quote -> \", backslash -> \\, newline -> \n, so the export stays
+    // parseable JSON instead of being rejected wholesale by Perfetto.
+    EXPECT_NE(trace.find("test.\\\"esc\\\"\\\\\\n"), std::string::npos)
+        << trace;
+    obs::clearTrace();
+}
+
+TEST(ObsTrace, SummaryListsRecordedSpans)
+{
+    ObsStateGuard guard;
+    obs::clearTrace();
+    obs::setTraceEnabled(true);
+    {
+        MIRAGE_SPAN("test.summary.span");
+    }
+    obs::setTraceEnabled(false);
+    std::ostringstream os;
+    obs::writeTraceSummary(os);
+    EXPECT_NE(os.str().find("test.summary.span"), std::string::npos)
+        << os.str();
+    obs::clearTrace();
+}
+
+TEST(ObsContext, EngineTasksInheritTheSubmittersRequestId)
+{
+    // The cross-thread handoff the serve path relies on: RuntimeEngine
+    // snapshots currentRequestId() at submit time and re-establishes it
+    // on the executing pool thread.
+    ObsStateGuard guard;
+    runtime::RuntimeEngine engine;
+    const uint64_t id = obs::nextRequestId();
+    std::atomic<uint64_t> seen{~uint64_t{0}};
+    {
+        obs::RequestScope scope(id);
+        engine
+            .submitTask([&](core::MirageAccelerator &, Rng &) {
+                seen.store(obs::currentRequestId(),
+                           std::memory_order_relaxed);
+            })
+            .get();
+    }
+    EXPECT_EQ(seen.load(), id);
+
+    // Outside any request the job runs with the null context.
+    engine
+        .submitTask([&](core::MirageAccelerator &, Rng &) {
+            seen.store(obs::currentRequestId(), std::memory_order_relaxed);
+        })
+        .get();
+    EXPECT_EQ(seen.load(), 0u);
+}
+
+namespace {
+
+/** Minimal blocking HTTP GET against 127.0.0.1:`port`; returns the full
+ *  response (headers + body) or "" on connect failure. */
+std::string
+httpGet(int port, const std::string &target)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) !=
+        0) {
+        ::close(fd);
+        return "";
+    }
+    const std::string req =
+        "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+    size_t off = 0;
+    while (off < req.size()) {
+        const ssize_t n = ::send(fd, req.data() + off, req.size() - off, 0);
+        if (n <= 0)
+            break;
+        off += static_cast<size_t>(n);
+    }
+    std::string resp;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        resp.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return resp;
+}
+
+} // namespace
+
+TEST(ObsExporter, ServesScrapeEndpointsOnEphemeralPort)
+{
+    ObsStateGuard guard;
+    obs::MetricsRegistry::global().counter("test.exporter.counter").reset();
+    obs::MetricsRegistry::global().counter("test.exporter.counter").add(5);
+
+    obs::MetricsExporter exporter(0); // ephemeral port
+    ASSERT_GT(exporter.port(), 0);
+
+    const std::string health = httpGet(exporter.port(), "/healthz");
+    EXPECT_NE(health.find("200"), std::string::npos) << health;
+    EXPECT_NE(health.find("ok"), std::string::npos);
+
+    const std::string metrics = httpGet(exporter.port(), "/metrics");
+    EXPECT_NE(metrics.find("200"), std::string::npos);
+    EXPECT_NE(metrics.find("text/plain"), std::string::npos);
+    EXPECT_NE(metrics.find("mirage_test_exporter_counter 5"),
+              std::string::npos)
+        << metrics;
+
+    const std::string tracez = httpGet(exporter.port(), "/tracez");
+    EXPECT_NE(tracez.find("200"), std::string::npos);
+
+    const std::string missing = httpGet(exporter.port(), "/nope");
+    EXPECT_NE(missing.find("404"), std::string::npos) << missing;
+    EXPECT_NE(missing.find("/metrics"), std::string::npos); // endpoint list
+
+    EXPECT_GE(exporter.requestsServed(), 4u);
+}
+
+TEST(ObsFlight, RingKeepsNewestRecordsOldestFirst)
+{
+    ObsStateGuard guard;
+    obs::FlightRecorder &fr = obs::FlightRecorder::global();
+    fr.disarm();
+    fr.clear();
+    EXPECT_EQ(fr.size(), 0u);
+
+    const uint64_t recorded_before = fr.recorded();
+    obs::RequestRecord rec;
+    for (uint64_t i = 1; i <= 5; ++i) {
+        rec.id = i;
+        fr.record(rec);
+    }
+    EXPECT_EQ(fr.size(), 5u);
+    EXPECT_EQ(fr.recorded() - recorded_before, 5u);
+    std::vector<obs::RequestRecord> snap = fr.snapshot();
+    ASSERT_EQ(snap.size(), 5u);
+    for (uint64_t i = 0; i < 5; ++i)
+        EXPECT_EQ(snap[i].id, i + 1); // oldest first
+
+    // Overfill: the ring holds the newest kCapacity records.
+    for (uint64_t i = 6; i <= obs::FlightRecorder::kCapacity + 10; ++i) {
+        rec.id = i;
+        fr.record(rec);
+    }
+    EXPECT_EQ(fr.size(), obs::FlightRecorder::kCapacity);
+    snap = fr.snapshot();
+    ASSERT_EQ(snap.size(), obs::FlightRecorder::kCapacity);
+    EXPECT_EQ(snap.front().id, 11u);
+    EXPECT_EQ(snap.back().id, obs::FlightRecorder::kCapacity + 10);
+
+    // Recording is gated with the rest of the obs layer.
+    obs::setEnabled(false);
+    rec.id = 999999;
+    fr.record(rec);
+    EXPECT_EQ(fr.snapshot().back().id, obs::FlightRecorder::kCapacity + 10);
+    obs::setEnabled(true);
+    fr.clear();
+}
+
+TEST(ObsFlight, TriggerDumpsOnlyWhenArmed)
+{
+    ObsStateGuard guard;
+    obs::FlightRecorder &fr = obs::FlightRecorder::global();
+    fr.disarm();
+    fr.clear();
+    fr.setMinTriggerInterval(0.0);
+
+    obs::RequestRecord rec;
+    rec.id = 314;
+    rec.total_ns = 1000;
+    fr.record(rec);
+
+    // Disarmed: trigger is a counted no-op that writes nothing.
+    EXPECT_FALSE(fr.armed());
+    EXPECT_EQ(fr.trigger("test_reason"), "");
+
+    const std::string dir =
+        (std::filesystem::path(testing::TempDir()) / "mirage_flight_test")
+            .string();
+    std::filesystem::create_directories(dir);
+    fr.arm(dir);
+    EXPECT_TRUE(fr.armed());
+    EXPECT_EQ(fr.armedDir(), dir);
+
+    const uint64_t dumps_before = fr.triggerCount();
+    const std::string path = fr.trigger("test_reason");
+    ASSERT_NE(path, "");
+    EXPECT_EQ(fr.triggerCount(), dumps_before + 1);
+    EXPECT_NE(path.find("flight_test_reason_"), std::string::npos) << path;
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::string line;
+    bool found = false;
+    while (std::getline(in, line))
+        if (line.find("\"id\":314") != std::string::npos)
+            found = true;
+    EXPECT_TRUE(found) << path;
+    // The companion span snapshot rides along for timeline context.
+    const std::string trace_path =
+        path.substr(0, path.size() - std::strlen(".jsonl")) + ".trace.json";
+    EXPECT_TRUE(std::filesystem::exists(trace_path)) << trace_path;
+
+    // An empty ring is suppressed even when armed.
+    fr.clear();
+    EXPECT_EQ(fr.trigger("test_reason"), "");
+
+    fr.disarm();
+    EXPECT_FALSE(fr.armed());
+    fr.setMinTriggerInterval(2.0);
+    std::filesystem::remove_all(dir);
+}
+
 #if defined(NDEBUG) && !defined(MIRAGE_TEST_TSAN)
 TEST(ObsOverhead, DisabledPrimitivesCostAFewNanoseconds)
 {
@@ -419,6 +787,39 @@ TEST(ObsOverhead, DisabledPrimitivesCostAFewNanoseconds)
     }
     t1 = Clock::now();
     EXPECT_LT(bound_ns(t0, t1), 30.0) << "disabled TraceSpan";
+}
+
+TEST(ObsOverhead, ContextPropagationCostsAFewNanoseconds)
+{
+    // The request-context handoff rides every engine job regardless of
+    // trace state, so it carries the same bound as the disabled
+    // primitives: a RequestScope is two thread-local moves, a disabled
+    // traceFlow one relaxed load plus a branch.
+    ObsStateGuard guard;
+    obs::setTraceEnabled(false);
+    constexpr uint64_t kIters = 2000000;
+    using Clock = std::chrono::steady_clock;
+
+    const auto bound_ns = [](Clock::time_point t0, Clock::time_point t1) {
+        return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+               static_cast<double>(kIters);
+    };
+
+    uint64_t acc = 0;
+    Clock::time_point t0 = Clock::now();
+    for (uint64_t i = 0; i < kIters; ++i) {
+        obs::RequestScope scope(i + 1);
+        acc += obs::currentRequestId();
+    }
+    Clock::time_point t1 = Clock::now();
+    EXPECT_LT(bound_ns(t0, t1), 30.0) << "RequestScope save/set/restore";
+    EXPECT_EQ(acc, kIters * (kIters + 1) / 2); // keeps the loop live
+
+    t0 = Clock::now();
+    for (uint64_t i = 0; i < kIters; ++i)
+        obs::traceFlow("test.overhead.flow", i + 1, 't');
+    t1 = Clock::now();
+    EXPECT_LT(bound_ns(t0, t1), 30.0) << "disabled traceFlow";
 }
 #endif // NDEBUG && !TSan
 

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * SLO burn-rate monitor tests: window burn math against hand-computed
+ * values (time is explicit, so patterns are exact), fast-window aging,
+ * the multi-window alert gate, rising-edge-only alert semantics (one
+ * alert per excursion, silence on recovery, re-alert on re-crossing),
+ * min_events cold-start suppression, shed-burst alerts and the
+ * independence of the two excursion latches, config validation, and the
+ * InferenceServer
+ * integration: an impossible deadline drives the per-class monitor,
+ * the alert callback, the stats counter, and the per-request record.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "models/zoo.h"
+#include "obs/context.h"
+#include "runtime/engine.h"
+#include "serve/repository.h"
+#include "serve/server.h"
+#include "serve/slo.h"
+
+namespace mirage {
+namespace {
+
+/** Defaults: 1% budgets, 5 s fast / 60 s slow (0.5 s buckets), alert at
+ *  10x burn after 10 fast-window events. */
+serve::SloMonitorConfig
+defaultCfg()
+{
+    return serve::SloMonitorConfig{};
+}
+
+TEST(SloConfig, ValidateRejectsOutOfRangeKnobs)
+{
+    serve::SloMonitorConfig cfg;
+    EXPECT_NO_THROW(cfg.validate());
+    cfg.miss_budget = 0.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = defaultCfg();
+    cfg.shed_budget = 1.5;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = defaultCfg();
+    cfg.fast_window_s = 120.0; // fast must not exceed slow
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = defaultCfg();
+    cfg.slow_window_s = 0.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = defaultCfg();
+    cfg.alert_burn = 0.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = defaultCfg();
+    cfg.min_events = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    // The monitor self-validates too.
+    cfg = defaultCfg();
+    cfg.miss_budget = -1.0;
+    EXPECT_THROW(serve::SloMonitor bad(cfg), std::invalid_argument);
+}
+
+TEST(SloMonitor, BurnMatchesHandComputedWindowValues)
+{
+    // 100 completions at t=0.1 with 20 misses: both windows hold the
+    // same events, so burn = (20/100) / 0.01 = 20 in each.
+    serve::SloMonitor mon(defaultCfg());
+    for (int i = 0; i < 100; ++i)
+        mon.recordRequest(0.1, i < 20);
+    serve::SloStatus s = mon.status(0.1);
+    EXPECT_DOUBLE_EQ(s.miss_burn_fast, 20.0);
+    EXPECT_DOUBLE_EQ(s.miss_burn_slow, 20.0);
+    EXPECT_DOUBLE_EQ(s.shed_burn_fast, 0.0);
+    EXPECT_EQ(s.completed, 100u);
+    EXPECT_EQ(s.missed, 20u);
+    EXPECT_EQ(s.shed, 0u);
+
+    // 10 sheds against those 100 completions: shed burn =
+    // (10/110) / 0.01 = 1000/11.
+    for (int i = 0; i < 10; ++i)
+        mon.recordShed(0.1);
+    s = mon.status(0.1);
+    EXPECT_DOUBLE_EQ(s.shed_burn_fast, (10.0 / 110.0) / 0.01);
+    EXPECT_EQ(s.shed, 10u);
+
+    // An empty monitor reports zero burn, not NaN.
+    serve::SloMonitor fresh(defaultCfg());
+    s = fresh.status(0.0);
+    EXPECT_DOUBLE_EQ(s.miss_burn_fast, 0.0);
+    EXPECT_DOUBLE_EQ(s.shed_burn_fast, 0.0);
+}
+
+TEST(SloMonitor, FastWindowAgesOutWhileSlowWindowRemembers)
+{
+    serve::SloMonitor mon(defaultCfg());
+    for (int i = 0; i < 50; ++i)
+        mon.recordRequest(0.1, true); // 100% misses at t=0.1
+
+    // Inside the fast window both burns see the misses.
+    serve::SloStatus s = mon.status(1.0);
+    EXPECT_DOUBLE_EQ(s.miss_burn_fast, 100.0); // (50/50)/0.01
+    EXPECT_DOUBLE_EQ(s.miss_burn_slow, 100.0);
+
+    // 10 s later the 5 s fast window has aged the events out, but the
+    // 60 s slow window still holds them.
+    s = mon.status(10.0);
+    EXPECT_DOUBLE_EQ(s.miss_burn_fast, 0.0);
+    EXPECT_DOUBLE_EQ(s.miss_burn_slow, 100.0);
+    EXPECT_EQ(s.completed, 50u); // lifetime totals never age
+
+    // Past the slow window everything ages out.
+    s = mon.status(100.0);
+    EXPECT_DOUBLE_EQ(s.miss_burn_slow, 0.0);
+}
+
+TEST(SloMonitor, AlertFiresOnceAtTheRisingEdgeOnly)
+{
+    serve::SloMonitor mon(defaultCfg()); // min_events = 10
+    // Nine straight misses: burn is 100x but the fast window holds
+    // fewer than min_events completions, so cold-start suppression wins.
+    for (int i = 0; i < 9; ++i)
+        EXPECT_FALSE(mon.recordRequest(0.1, true).has_value()) << i;
+
+    // The tenth miss satisfies the event floor and crosses both windows.
+    std::optional<serve::SloAlert> alert = mon.recordRequest(0.1, true);
+    ASSERT_TRUE(alert.has_value());
+    EXPECT_EQ(alert->kind, serve::SloAlertKind::DeadlineBurn);
+    EXPECT_DOUBLE_EQ(alert->fast_burn, 100.0);
+    EXPECT_DOUBLE_EQ(alert->slow_burn, 100.0);
+    EXPECT_EQ(alert->fast_events, 10u);
+    EXPECT_DOUBLE_EQ(alert->at_s, 0.1);
+    EXPECT_STREQ(serve::toString(alert->kind), "deadline_burn");
+
+    // Still burning: the excursion is already reported, no re-alert.
+    for (int i = 0; i < 20; ++i)
+        EXPECT_FALSE(mon.recordRequest(0.2, true).has_value()) << i;
+    EXPECT_TRUE(mon.status(0.2).miss_firing);
+
+    // Recovery: successes dilute the fast window below 10x burn
+    // (30 misses / 301 completed = 9.97% < 10% budget*burn). Recovery
+    // itself must never alert.
+    for (int i = 0; i < 271; ++i)
+        EXPECT_FALSE(mon.recordRequest(0.3, false).has_value()) << i;
+    EXPECT_FALSE(mon.status(0.3).miss_firing);
+    EXPECT_LT(mon.status(0.3).miss_burn_fast, 10.0);
+
+    // A fresh excursion after everything ages out re-alerts exactly once.
+    int alerts = 0;
+    for (int i = 0; i < 15; ++i)
+        alerts += mon.recordRequest(100.0, true).has_value() ? 1 : 0;
+    EXPECT_EQ(alerts, 1);
+}
+
+TEST(SloMonitor, AlertNeedsBothWindowsOverThreshold)
+{
+    // A burst that saturates the fast window but is diluted in the slow
+    // window must stay silent — the multi-window guard against paging
+    // on blips. Fill the slow window with successes, then burst.
+    serve::SloMonitor mon(defaultCfg());
+    for (int i = 0; i < 5000; ++i)
+        mon.recordRequest(0.1, false);
+    // 20 misses at t=55: the 5 s fast window holds only the burst
+    // (burn (20/20)/0.01 = 100), but the 60 s slow window still holds
+    // the successes (burn (20/5020)/0.01 = 0.398 < 10) — no alert.
+    for (int i = 0; i < 20; ++i)
+        EXPECT_FALSE(mon.recordRequest(55.0, true).has_value()) << i;
+    serve::SloStatus s = mon.status(55.0);
+    EXPECT_GE(s.miss_burn_fast, 10.0);
+    EXPECT_DOUBLE_EQ(s.miss_burn_slow, (20.0 / 5020.0) / 0.01);
+    EXPECT_LT(s.miss_burn_slow, 10.0);
+    EXPECT_FALSE(s.miss_firing);
+}
+
+TEST(SloMonitor, ShedBurstAlertsIndependentlyOfMissAlerts)
+{
+    // Pure shed burst: every admission rejected.
+    serve::SloMonitor mon(defaultCfg());
+    std::optional<serve::SloAlert> alert;
+    int shed_alerts = 0;
+    for (int i = 0; i < 15; ++i) {
+        alert = mon.recordShed(0.1);
+        if (alert.has_value()) {
+            ++shed_alerts;
+            EXPECT_EQ(alert->kind, serve::SloAlertKind::ShedBurst);
+            EXPECT_EQ(alert->fast_events, 10u); // offered, not completed
+        }
+    }
+    EXPECT_EQ(shed_alerts, 1);
+    EXPECT_TRUE(mon.status(0.1).shed_firing);
+    EXPECT_STREQ(serve::toString(serve::SloAlertKind::ShedBurst),
+                 "shed_burst");
+
+    // The two excursion latches are independent: a shed burst that is
+    // already firing must not swallow a later deadline-burn crossing.
+    serve::SloMonitor both(defaultCfg());
+    shed_alerts = 0;
+    for (int i = 0; i < 9; ++i) {
+        EXPECT_FALSE(both.recordRequest(0.1, true).has_value()) << i;
+        alert = both.recordShed(0.1);
+        shed_alerts += alert.has_value() ? 1 : 0;
+    }
+    // The shed side crossed mid-sequence (offered hit min_events at the
+    // 5th pair) and fired exactly once.
+    EXPECT_EQ(shed_alerts, 1);
+    EXPECT_TRUE(both.status(0.1).shed_firing);
+    // 10th completion: the miss side crosses now and still alerts.
+    alert = both.recordRequest(0.1, true);
+    ASSERT_TRUE(alert.has_value());
+    EXPECT_EQ(alert->kind, serve::SloAlertKind::DeadlineBurn);
+    // Both latched: no further alert of either kind for this excursion.
+    EXPECT_FALSE(both.recordShed(0.1).has_value());
+    EXPECT_FALSE(both.recordRequest(0.1, true).has_value());
+}
+
+TEST(SloMonitor, TimeRegressionsClampInsteadOfCorrupting)
+{
+    serve::SloMonitor mon(defaultCfg());
+    mon.recordRequest(10.0, true);
+    // An earlier timestamp (cross-thread clock skew) lands in the
+    // current bucket rather than rewinding the ring.
+    mon.recordRequest(5.0, true);
+    serve::SloStatus s = mon.status(10.0);
+    EXPECT_EQ(s.completed, 2u);
+    EXPECT_EQ(s.missed, 2u);
+    EXPECT_DOUBLE_EQ(s.miss_burn_fast, 100.0);
+}
+
+TEST(SloServer, ImpossibleDeadlineDrivesAlertsGaugesAndRecords)
+{
+    // End-to-end: a deadline no request can meet must push the server's
+    // interactive monitor over the alert threshold, fire the pluggable
+    // callback, bump stats().slo_alerts, and stamp every reply's record.
+    serve::ModelRepository repo;
+    repo.publishShape("resnet", models::resNet18());
+    runtime::RuntimeEngine engine;
+
+    serve::ServerConfig cfg;
+    // Wide enough that all 20 sequential requests land in the fast
+    // window even under sanitizer slowdown, short enough to stay "SLO".
+    cfg.slo.fast_window_s = 5.0;
+    cfg.slo.slow_window_s = 60.0;
+    cfg.slo.min_events = 5;
+    std::atomic<int> alert_calls{0};
+    std::atomic<int> alert_kind_miss{0};
+    cfg.on_alert = [&](serve::SloClass cls, const serve::SloAlert &alert) {
+        alert_calls.fetch_add(1);
+        if (alert.kind == serve::SloAlertKind::DeadlineBurn)
+            alert_kind_miss.fetch_add(1);
+        EXPECT_EQ(cls, serve::SloClass::Interactive);
+        EXPECT_GE(alert.fast_burn, cfg.slo.alert_burn);
+    };
+    serve::InferenceServer server(repo, engine, cfg);
+
+    serve::InferenceRequest req;
+    req.model = "resnet";
+    req.samples = 1;
+    req.deadline_s = 1e-9; // nothing finishes in a nanosecond
+
+    uint64_t prev_id = 0;
+    for (int i = 0; i < 20; ++i) {
+        serve::InferenceReply reply = server.submit(req).get();
+        EXPECT_FALSE(reply.deadline_met);
+        // The structured record mirrors the reply and carries the
+        // propagated request id.
+        const obs::RequestRecord &rec = reply.record;
+        EXPECT_GT(rec.id, prev_id); // ids are process-monotonic
+        prev_id = rec.id;
+        EXPECT_EQ(rec.cls, obs::kClassInteractive);
+        EXPECT_FALSE(rec.deadline_met);
+        EXPECT_FALSE(rec.shed);
+        EXPECT_EQ(rec.tile, reply.tile);
+        EXPECT_EQ(rec.batch_size, reply.batch_size);
+        // Wall-time shares decompose the end-to-end total.
+        const uint64_t share_sum =
+            rec.queue_ns + rec.execute_ns + rec.reply_ns;
+        const double tol =
+            0.01 * static_cast<double>(rec.total_ns) + 1000.0;
+        EXPECT_NEAR(static_cast<double>(share_sum),
+                    static_cast<double>(rec.total_ns), tol);
+        EXPECT_GT(rec.modeled_ns, 0u);
+    }
+    server.drain();
+
+    const serve::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed, 20u);
+    EXPECT_EQ(stats.deadline_misses, 20u);
+    EXPECT_GE(stats.slo_alerts, 1u);
+    EXPECT_GE(alert_calls.load(), 1);
+    EXPECT_EQ(alert_calls.load(), alert_kind_miss.load()); // no sheds
+
+    const serve::SloStatus slo =
+        server.sloStatus(serve::SloClass::Interactive);
+    EXPECT_EQ(slo.completed, 20u);
+    EXPECT_EQ(slo.missed, 20u);
+    EXPECT_GE(slo.miss_burn_slow, cfg.slo.alert_burn);
+    // The batch-class monitor saw nothing.
+    EXPECT_EQ(server.sloStatus(serve::SloClass::Batch).completed, 0u);
+}
+
+TEST(SloServer, ConfigValidationCoversSloKnobs)
+{
+    serve::ModelRepository repo;
+    repo.publishShape("resnet", models::resNet18());
+    runtime::RuntimeEngine engine;
+    serve::ServerConfig cfg;
+    cfg.slo.alert_burn = -1.0;
+    EXPECT_THROW(serve::InferenceServer bad(repo, engine, cfg),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace mirage
