@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "fault/injection.h"
 #include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -148,6 +149,28 @@ main(int argc, char **argv)
                              2)});
         }
     }
+    // Disarmed fault-injection checks: the cost every production dispatch
+    // pays at each injection point when MIRAGE_FAULT is unset — the same
+    // relaxed-load-plus-branch contract as a disabled counter. The sink
+    // keeps the compiler from eliding the gate load.
+    {
+        static fault::FaultPoint bench_point("bench.obs.fault");
+        fault::reset(); // make sure nothing (env) left the gate armed
+        std::atomic<uint64_t> fault_sink{0};
+        const auto fault_loop = [&](uint64_t n) {
+            uint64_t acc = 0;
+            for (uint64_t i = 0; i < n; ++i)
+                acc += bench_point.shouldFire() ? 1 : 0;
+            fault_sink.fetch_add(acc, std::memory_order_relaxed);
+        };
+        for (int threads : thread_counts) {
+            table.addRow(
+                {"fault.check", "disarmed", std::to_string(threads),
+                 std::to_string(iters),
+                 formatFixed(measure(threads, iters, fault_loop), 2)});
+        }
+    }
+
     obs::setEnabled(true);
     obs::setTraceEnabled(false);
     obs::clearTrace();

@@ -16,6 +16,7 @@
  * pattern, and modeled energy are reproducible.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstring>
@@ -86,12 +87,21 @@ struct SoakResult
  * every request with that deadline (miss-burst injection); `slo_cfg`
  * overrides the server's burn-monitor knobs.
  */
+/** Deterministic tile failure: tile `tile` is failed via
+ *  RuntimeEngine::failTile once the replay clock passes `time_s`. */
+struct TileFail
+{
+    int tile = 0;
+    double time_s = 0.0;
+};
+
 SoakResult
 runSoak(const std::vector<models::ModelShape> &zoo, int tiles,
         const std::vector<Arrival> &schedule, int max_batch,
         std::vector<obs::RequestRecord> *request_log = nullptr,
         double deadline_override_s = 0.0,
-        const serve::SloMonitorConfig *slo_cfg = nullptr)
+        const serve::SloMonitorConfig *slo_cfg = nullptr,
+        const std::vector<TileFail> *tile_fails = nullptr)
 {
     serve::ModelRepository repo;
     for (const models::ModelShape &m : zoo)
@@ -111,10 +121,27 @@ runSoak(const std::vector<models::ModelShape> &zoo, int tiles,
         scfg.slo = *slo_cfg;
     serve::InferenceServer server(repo, engine, scfg);
 
+    std::vector<TileFail> fails;
+    if (tile_fails != nullptr)
+        fails = *tile_fails;
+    std::sort(fails.begin(), fails.end(),
+              [](const TileFail &x, const TileFail &y) {
+                  return x.time_s < y.time_s;
+              });
+    size_t next_fail = 0;
+
     std::vector<std::future<serve::InferenceReply>> futures;
     futures.reserve(schedule.size());
     const Clock::time_point t0 = Clock::now();
     for (const Arrival &a : schedule) {
+        // Deterministic failover injection: tile N goes dark once the
+        // schedule clock passes T (keyed to the arrival schedule, not the
+        // host wall clock, so the same spec fails at the same request).
+        while (next_fail < fails.size() &&
+               fails[next_fail].time_s <= a.time_s) {
+            engine.failTile(fails[next_fail].tile % tiles);
+            ++next_fail;
+        }
         std::this_thread::sleep_until(
             t0 + std::chrono::duration_cast<Clock::duration>(
                      std::chrono::duration<double>(a.time_s)));
@@ -164,9 +191,13 @@ main(int argc, char **argv)
     //                          (drives the deadline-burn alert path)
     //   --hold <seconds>       keep the process alive at the end so a CI
     //                          scraper can curl the metrics endpoint
+    //   --inject-tile-fail N@T (repeatable) extra failover scenario that
+    //                          fails tile N once the arrival-schedule
+    //                          clock passes T seconds
     std::string request_log_path;
     bool inject_miss_burst = false;
     double hold_s = 0.0;
+    std::vector<TileFail> tile_fails;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--request-log") == 0 && i + 1 < argc)
             request_log_path = argv[++i];
@@ -174,6 +205,20 @@ main(int argc, char **argv)
             inject_miss_burst = true;
         else if (std::strcmp(argv[i], "--hold") == 0 && i + 1 < argc)
             hold_s = std::atof(argv[++i]);
+        else if (std::strcmp(argv[i], "--inject-tile-fail") == 0 &&
+                 i + 1 < argc) {
+            const std::string spec = argv[++i];
+            const size_t at = spec.find('@');
+            if (at == std::string::npos) {
+                std::cerr << "--inject-tile-fail wants N@T, got '" << spec
+                          << "'\n";
+                return 2;
+            }
+            TileFail tf;
+            tf.tile = std::atoi(spec.substr(0, at).c_str());
+            tf.time_s = std::atof(spec.substr(at + 1).c_str());
+            tile_fails.push_back(tf);
+        }
     }
     std::vector<obs::RequestRecord> request_log;
     std::vector<obs::RequestRecord> *log_ptr =
@@ -331,6 +376,36 @@ main(int argc, char **argv)
                   << " slo_alerts=" << res.stats.slo_alerts << "\n";
         if (res.stats.slo_alerts == 0) {
             std::cerr << "miss-burst scenario raised no SLO alert\n";
+            return 1;
+        }
+    }
+
+    // --- injected tile failures (failover + graceful degradation) -------
+    if (!tile_fails.empty()) {
+        const int tiles = 4;
+        const std::vector<Arrival> schedule = makeSchedule(
+            requests, 2000, 0.9, static_cast<int>(zoo.size()),
+            kScheduleSeed ^ 0xfa11u);
+        const SoakResult res =
+            runSoak(zoo, tiles, schedule, max_batch, log_ptr,
+                    /*deadline_override_s=*/0.0, /*slo_cfg=*/nullptr,
+                    &tile_fails);
+        const serve::ServerStats &s = res.stats;
+        std::cout << "tile-fail: submitted=" << s.submitted
+                  << " completed=" << s.completed
+                  << " rejected=" << s.rejected << " errors="
+                  << s.request_errors << " tile_failures="
+                  << s.tile_failures << "\n";
+        // No lost replies: every admitted request completed (possibly
+        // with the error field) or was rejected at admission.
+        if (s.completed + s.failed + s.rejected != s.submitted) {
+            std::cerr << "tile-fail scenario lost replies\n";
+            return 1;
+        }
+        if (s.tile_failures < tile_fails.size()) {
+            std::cerr << "tile-fail scenario observed "
+                      << s.tile_failures << " tile failures, expected >= "
+                      << tile_fails.size() << "\n";
             return 1;
         }
     }

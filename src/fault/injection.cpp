@@ -1,0 +1,406 @@
+#include "fault/injection.h"
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace mirage {
+namespace fault {
+namespace {
+
+// splitmix64 — the same generator common/rng.h builds its streams on.
+// Replicated here (it is three lines) so fault stays a leaf dependency.
+uint64_t splitMix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d9b9b0eb1d4b21ULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t fnv1a(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : s)
+    {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/// One registered injection point. `evals`/`fires` are atomics so armed
+/// hot paths stay lock-free; spec changes take the registry mutex and
+/// only happen from arm/disarm/reset.
+struct Point
+{
+    std::string name;
+    FaultSpec spec; // guarded by Registry::mu for writes
+    std::atomic<bool> live{false};
+    std::atomic<uint64_t> evals{0};
+    std::atomic<uint64_t> fires{0};
+    std::atomic<uint64_t> draws{0};
+    uint64_t stream_seed = 0;
+    obs::Counter *injected = nullptr; // "fault.injected.<name>"
+};
+
+struct Registry;
+int armFromStringOn(Registry &r, const std::string &config);
+
+struct Registry
+{
+    std::mutex mu;
+    std::unordered_map<std::string, uint32_t> ids;
+    std::vector<std::unique_ptr<Point>> points; // append-only, stable ptrs
+    size_t armed_count = 0;
+
+    Registry()
+    {
+        // Arm directly on *this, NOT through the public armFromString:
+        // that would re-enter registry() while its static-initialization
+        // guard is still held and self-deadlock before main().
+        if (const char *env = std::getenv("MIRAGE_FAULT"))
+        {
+            if (env[0] != '\0')
+                armFromStringOn(*this, env);
+        }
+    }
+};
+
+Registry &registry()
+{
+    static Registry *r = new Registry(); // leaked: outlives static teardown
+    return *r;
+}
+
+obs::Counter &injectedTotal()
+{
+    static obs::Counter &c = obs::MetricsRegistry::global().counter("fault.injected");
+    return c;
+}
+
+obs::Counter &recoveredTotal()
+{
+    static obs::Counter &c = obs::MetricsRegistry::global().counter("fault.recovered");
+    return c;
+}
+
+void updateArmedGate(Registry &r)
+{
+    detail::g_armed.store(r.armed_count > 0, std::memory_order_relaxed);
+}
+
+Point *findPoint(Registry &r, const std::string &name)
+{
+    const auto it = r.ids.find(name);
+    return it == r.ids.end() ? nullptr : r.points[it->second].get();
+}
+
+uint32_t registerPointLocked(Registry &r, const std::string &name)
+{
+    const auto it = r.ids.find(name);
+    if (it != r.ids.end())
+        return it->second;
+    auto p = std::make_unique<Point>();
+    p->name = name;
+    p->injected = &obs::MetricsRegistry::global().counter("fault.injected." + name);
+    const uint32_t id = static_cast<uint32_t>(r.points.size());
+    r.points.push_back(std::move(p));
+    r.ids.emplace(name, id);
+    return id;
+}
+
+void armLocked(Registry &r, const std::string &name, const FaultSpec &spec)
+{
+    Point &p = *r.points[registerPointLocked(r, name)];
+    if (p.live.load(std::memory_order_relaxed))
+        --r.armed_count;
+    p.spec = spec;
+    p.evals.store(0, std::memory_order_relaxed);
+    p.fires.store(0, std::memory_order_relaxed);
+    p.draws.store(0, std::memory_order_relaxed);
+    p.stream_seed = spec.seed != 0 ? spec.seed : fnv1a(name);
+    const bool live = spec.kind != FaultSpec::Kind::Never;
+    p.live.store(live, std::memory_order_release);
+    if (live)
+        ++r.armed_count;
+    updateArmedGate(r);
+}
+
+/// Shared by the public armFromString (registry mutex held) and the
+/// Registry constructor (exclusive access, no lock needed).
+int armFromStringOn(Registry &r, const std::string &config)
+{
+    int armed_points = 0;
+    size_t pos = 0;
+    while (pos <= config.size())
+    {
+        size_t comma = config.find(',', pos);
+        if (comma == std::string::npos)
+            comma = config.size();
+        const std::string entry = config.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (entry.empty())
+            continue;
+        const size_t colon = entry.rfind(':');
+        std::string err;
+        FaultSpec spec;
+        if (colon == std::string::npos || colon == 0 ||
+            !parseSpec(entry.substr(colon + 1), &spec, &err))
+        {
+            MIRAGE_WARN("fault: ignoring malformed MIRAGE_FAULT entry '",
+                        entry, "'", err.empty() ? "" : ": ", err);
+            continue;
+        }
+        armLocked(r, entry.substr(0, colon), spec);
+        ++armed_points;
+    }
+    return armed_points;
+}
+
+} // namespace
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+uint32_t registerPoint(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    return registerPointLocked(r, name);
+}
+
+bool shouldFireSlow(uint32_t id)
+{
+    Registry &r = registry();
+    Point &p = *r.points[id]; // points vector is append-only
+    if (!p.live.load(std::memory_order_acquire))
+        return false;
+
+    // Snapshot the spec fields without the lock: live was set with release
+    // after the spec write, and specs never change while live stays true
+    // (arm/disarm flip live around every mutation).
+    const FaultSpec spec = p.spec;
+    const uint64_t n = p.evals.fetch_add(1, std::memory_order_relaxed) + 1;
+
+    bool fire = false;
+    switch (spec.kind)
+    {
+    case FaultSpec::Kind::Never:
+        break;
+    case FaultSpec::Kind::Hit:
+        if (spec.every == 0)
+            fire = n == spec.first;
+        else
+            fire = n >= spec.first && (n - spec.first) % spec.every == 0;
+        break;
+    case FaultSpec::Kind::Probability:
+    {
+        // Deterministic stream: draw k of point P is a pure function of
+        // (seed, k). The draw index is its own atomic so concurrent
+        // callers consume distinct stream positions.
+        const uint64_t k = p.draws.fetch_add(1, std::memory_order_relaxed);
+        uint64_t state = p.stream_seed + 0x632be59bd9b4e019ULL * (k + 1);
+        const double u =
+            static_cast<double>(splitMix64(state) >> 11) * 0x1.0p-53;
+        fire = u < spec.p;
+        break;
+    }
+    }
+    if (!fire)
+        return false;
+
+    if (spec.limit != 0)
+    {
+        // Claim a fire slot; racers past the cap lose and don't fire.
+        uint64_t prev = p.fires.load(std::memory_order_relaxed);
+        do
+        {
+            if (prev >= spec.limit)
+                return false;
+        } while (!p.fires.compare_exchange_weak(prev, prev + 1,
+                                                std::memory_order_relaxed));
+    }
+    else
+    {
+        p.fires.fetch_add(1, std::memory_order_relaxed);
+    }
+    injectedTotal().add(1);
+    p.injected->add(1);
+    MIRAGE_WARN("fault: injecting failure at point '", p.name, "' (eval ", n,
+                ")");
+    return true;
+}
+
+} // namespace detail
+
+bool parseSpec(const std::string &token, FaultSpec *out, std::string *error)
+{
+    const auto fail = [&](const char *msg) {
+        if (error != nullptr)
+            *error = msg;
+        return false;
+    };
+    if (token.empty())
+        return fail("empty spec");
+
+    std::string body = token;
+    uint64_t limit = 0;
+    // Trailing xK cap. 'x' can't appear elsewhere in the grammar, so the
+    // last 'x' splits unambiguously.
+    const size_t xpos = body.rfind('x');
+    if (xpos != std::string::npos)
+    {
+        try
+        {
+            size_t used = 0;
+            limit = std::stoull(body.substr(xpos + 1), &used);
+            if (used != body.size() - xpos - 1 || limit == 0)
+                return fail("bad xK fire cap");
+        }
+        catch (const std::exception &)
+        {
+            return fail("bad xK fire cap");
+        }
+        body = body.substr(0, xpos);
+        if (body.empty())
+            return fail("empty spec before xK");
+    }
+
+    FaultSpec spec;
+    try
+    {
+        if (body[0] == 'p')
+        {
+            uint64_t seed = 0;
+            std::string prob = body.substr(1);
+            const size_t at = prob.find('@');
+            if (at != std::string::npos)
+            {
+                size_t used = 0;
+                seed = std::stoull(prob.substr(at + 1), &used);
+                if (used != prob.size() - at - 1)
+                    return fail("bad @SEED");
+                prob = prob.substr(0, at);
+            }
+            size_t used = 0;
+            const double p = std::stod(prob, &used);
+            if (used != prob.size() || p < 0.0 || p > 1.0)
+                return fail("probability not in [0,1]");
+            spec = FaultSpec::probability(p, seed);
+        }
+        else
+        {
+            uint64_t every = 0;
+            bool repeat_forever = false;
+            std::string first = body;
+            const size_t pct = body.find('%');
+            if (pct != std::string::npos)
+            {
+                size_t used = 0;
+                every = std::stoull(body.substr(pct + 1), &used);
+                if (used != body.size() - pct - 1 || every == 0)
+                    return fail("bad %M period");
+                first = body.substr(0, pct);
+            }
+            else if (!body.empty() && body.back() == '+')
+            {
+                repeat_forever = true;
+                first = body.substr(0, body.size() - 1);
+            }
+            size_t used = 0;
+            const uint64_t n = std::stoull(first, &used);
+            if (used != first.size() || n == 0)
+                return fail("hit index must be a positive integer");
+            spec = every != 0 ? FaultSpec::hitEvery(n, every)
+                              : repeat_forever ? FaultSpec::hitEvery(n, 1)
+                                               : FaultSpec::hit(n);
+        }
+    }
+    catch (const std::exception &)
+    {
+        return fail("unparseable spec");
+    }
+    spec.limit = limit;
+    *out = spec;
+    return true;
+}
+
+bool armed()
+{
+    return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+void armPoint(const std::string &point, const FaultSpec &spec)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    armLocked(r, point, spec);
+}
+
+void disarmPoint(const std::string &point)
+{
+    armPoint(point, FaultSpec{});
+}
+
+void reset()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (auto &p : r.points)
+        armLocked(r, p->name, FaultSpec{});
+    r.armed_count = 0;
+    updateArmedGate(r);
+}
+
+int armFromString(const std::string &config)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    return armFromStringOn(r, config);
+}
+
+uint64_t firedCount(const std::string &point)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    const Point *p = findPoint(r, point);
+    return p == nullptr ? 0 : p->fires.load(std::memory_order_relaxed);
+}
+
+uint64_t evalCount(const std::string &point)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    const Point *p = findPoint(r, point);
+    return p == nullptr ? 0 : p->evals.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> armedPoints()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::vector<std::string> names;
+    for (const auto &p : r.points)
+    {
+        if (p->live.load(std::memory_order_relaxed))
+            names.push_back(p->name);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+void recovered(const std::string &point)
+{
+    recoveredTotal().add(1);
+    obs::MetricsRegistry::global().counter("fault.recovered." + point).add(1);
+}
+
+} // namespace fault
+} // namespace mirage

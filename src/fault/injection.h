@@ -1,0 +1,201 @@
+#ifndef MIRAGE_FAULT_INJECTION_H
+#define MIRAGE_FAULT_INJECTION_H
+
+/**
+ * @file
+ * Deterministic process-wide fault-injection registry.
+ *
+ * A FaultPoint is a named site in the code ("engine.tile_fail",
+ * "ckpt.corrupt", "train.replica_fail", ...) that asks "should this
+ * operation fail right now?" via shouldFire(). Points are armed with a
+ * FaultSpec — either programmatically (tests, the chaos bench) or through
+ * the MIRAGE_FAULT environment variable, read once on first registry use:
+ *
+ *     MIRAGE_FAULT=point:spec[,point:spec...]
+ *
+ * Spec grammar (one token, no commas):
+ *
+ *     N          fire exactly on the Nth evaluation of the point
+ *                (1-based one-shot; "3" = third hit fails)
+ *     N+         fire on the Nth evaluation and every one after it
+ *     N%M        fire on the Nth evaluation and then every Mth after it
+ *                ("4%8" = hits 4, 12, 20, ...)
+ *     pP         fire each evaluation with probability P in [0,1],
+ *                drawn from a per-point deterministic stream seeded by
+ *                splitmix64(global seed, point name hash)
+ *     pP@S       same, with explicit stream seed S
+ *     <spec>xK   cap the spec at K total fires ("p0.5@7x3" = at most 3)
+ *
+ * Examples: MIRAGE_FAULT=engine.tile_fail:12 fails the 12th tile
+ * execution; MIRAGE_FAULT=ckpt.corrupt:1,train.replica_fail:p0.01@42
+ * corrupts the first checkpoint write and kills replicas with 1%
+ * probability per shard.
+ *
+ * Determinism: a hit schedule is a pure function of (spec, evaluation
+ * count, seed). Evaluation counts are per point, incremented atomically,
+ * so a fixed workload with a fixed spec injects the same faults each run
+ * as long as the point's evaluation order is itself deterministic (the
+ * chaos bench keys its points by deterministic ids — tile index, shard
+ * row, step — for exactly this reason; probability specs use one atomic
+ * draw counter, so cross-thread interleavings may reorder which *hit*
+ * fails but never how many).
+ *
+ * Cost when disarmed: shouldFire() is one relaxed atomic load and a
+ * predicted branch — the same "zero when off" contract as obs::enabled()
+ * (MIRAGE_OBS), pinned by bench/obs_overhead's fault.check row and
+ * test_fault. No evaluation counter is touched until the registry is
+ * armed, so hot paths pay nothing in production.
+ *
+ * Accounting: every fire bumps the process counters "fault.injected" and
+ * "fault.injected.<point>"; recovery paths report back through
+ * fault::recovered() ("fault.recovered" / "fault.recovered.<point>"), so
+ * a chaos run can gate injected == recovered.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mirage {
+namespace fault {
+
+/** One parsed injection schedule (see the grammar above). */
+struct FaultSpec
+{
+    enum class Kind
+    {
+        Never,      ///< Disarmed.
+        Hit,        ///< Fire on evaluation `first` (then every `every`).
+        Probability ///< Fire per evaluation with probability `p`.
+    };
+
+    Kind kind = Kind::Never;
+    uint64_t first = 0; ///< 1-based first firing evaluation (Hit).
+    uint64_t every = 0; ///< Repeat period after `first`; 0 = one-shot.
+    double p = 0.0;     ///< Per-evaluation probability (Probability).
+    uint64_t seed = 0;  ///< Stream seed (Probability; 0 = derive from name).
+    uint64_t limit = 0; ///< Max total fires; 0 = unlimited.
+
+    /** One-shot hit on evaluation `n` (1-based). */
+    static FaultSpec hit(uint64_t n)
+    {
+        FaultSpec s;
+        s.kind = Kind::Hit;
+        s.first = n;
+        return s;
+    }
+
+    /** Hit on evaluation `n`, then every `m` evaluations after. */
+    static FaultSpec hitEvery(uint64_t n, uint64_t m)
+    {
+        FaultSpec s = hit(n);
+        s.every = m;
+        return s;
+    }
+
+    /** Bernoulli per evaluation; `seed` 0 derives from the point name. */
+    static FaultSpec probability(double p, uint64_t seed = 0)
+    {
+        FaultSpec s;
+        s.kind = Kind::Probability;
+        s.p = p;
+        s.seed = seed;
+        return s;
+    }
+};
+
+/**
+ * Parses one spec token ("12", "4%8", "3+", "p0.01@42", "p0.5x3").
+ * Returns true and fills *out on success; false (with *error when
+ * non-null) on garbage. Exposed for unit tests.
+ */
+bool parseSpec(const std::string &token, FaultSpec *out,
+               std::string *error = nullptr);
+
+/** True when any point is armed (one relaxed load; the hot-path gate). */
+bool armed();
+
+/**
+ * Arms `point` with `spec` (replacing any previous spec and resetting the
+ * point's evaluation/fire counts). Registers the point if needed.
+ */
+void armPoint(const std::string &point, const FaultSpec &spec);
+
+/** Disarms one point (its counts reset). */
+void disarmPoint(const std::string &point);
+
+/** Disarms every point and resets all counts (tests). */
+void reset();
+
+/**
+ * Parses a MIRAGE_FAULT-style string ("point:spec,point:spec") and arms
+ * every entry. Returns the number of points armed; malformed entries are
+ * skipped with a loud MIRAGE_WARN. Exposed for tests; the registry calls
+ * it once with the env value on first use.
+ */
+int armFromString(const std::string &config);
+
+/** Lifetime fires of one point (0 for unknown points). */
+uint64_t firedCount(const std::string &point);
+
+/** Evaluations of one point since arming (0 for unknown points). */
+uint64_t evalCount(const std::string &point);
+
+/** Sorted names of currently armed points. */
+std::vector<std::string> armedPoints();
+
+/**
+ * Reports one recovered fault at `point`: bumps "fault.recovered" and
+ * "fault.recovered.<point>". Recovery paths call this exactly once per
+ * survived injection so chaos runs can assert injected == recovered.
+ */
+void recovered(const std::string &point);
+
+namespace detail {
+
+/** Armed-state gate shared by every FaultPoint (relaxed load). */
+extern std::atomic<bool> g_armed;
+
+/** Slow path: counts one evaluation of point `id` and decides. */
+bool shouldFireSlow(uint32_t id);
+
+/** Registers (or looks up) a point by name; returns its dense id. */
+uint32_t registerPoint(const std::string &name);
+
+} // namespace detail
+
+/**
+ * A named injection site. Construct once (function-local static) and call
+ * shouldFire() on the hot path:
+ *
+ *     static fault::FaultPoint fp("engine.tile_fail");
+ *     if (fp.shouldFire())
+ *         throw TileFailure(...);
+ *
+ * shouldFire() costs one relaxed load + branch while the registry is
+ * disarmed; only armed processes pay the per-point counting.
+ */
+class FaultPoint
+{
+  public:
+    explicit FaultPoint(const std::string &name)
+        : id_(detail::registerPoint(name))
+    {
+    }
+
+    bool shouldFire() const
+    {
+        if (!detail::g_armed.load(std::memory_order_relaxed))
+            return false;
+        return detail::shouldFireSlow(id_);
+    }
+
+  private:
+    uint32_t id_;
+};
+
+} // namespace fault
+} // namespace mirage
+
+#endif // MIRAGE_FAULT_INJECTION_H

@@ -23,7 +23,9 @@ namespace obs {
 
 namespace {
 
-/** Reads until the header terminator, a small cap, EOF, or timeout. */
+/** Reads until the header terminator, a small cap, EOF, or timeout. A
+ *  recv() interrupted by a signal (EINTR) is retried; the SO_RCVTIMEO on
+ *  the socket still bounds a stalled client. */
 std::string
 readRequest(int fd)
 {
@@ -31,6 +33,8 @@ readRequest(int fd)
     char buf[1024];
     while (req.size() < 8192) {
         const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
         if (n <= 0)
             break;
         req.append(buf, static_cast<size_t>(n));
@@ -49,17 +53,41 @@ sendResponse(int fd, const char *status, const std::string &body)
             "\r\nContent-Length: " +
             std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n";
     resp += body;
-    size_t off = 0;
-    while (off < resp.size()) {
-        const ssize_t n =
-            ::send(fd, resp.data() + off, resp.size() - off, MSG_NOSIGNAL);
-        if (n <= 0)
-            break;
-        off += static_cast<size_t>(n);
-    }
+    writeAll(fd, resp.data(), resp.size());
 }
 
 } // namespace
+
+bool
+writeAll(int fd, const void *data, size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    size_t off = 0;
+    bool use_send = true;
+    while (off < len) {
+        ssize_t n;
+        if (use_send) {
+            n = ::send(fd, p + off, len - off, MSG_NOSIGNAL);
+            if (n < 0 && errno == ENOTSOCK) {
+                // Plain descriptor (pipe/file): fall back to write().
+                use_send = false;
+                continue;
+            }
+        } else {
+            n = ::write(fd, p + off, len - off);
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue; // interrupted before any byte moved: retry
+            return false; // real error (e.g. peer closed the connection)
+        }
+        // A short write is progress, not failure: advance and retry the
+        // remainder. (n == 0 on a stream socket/pipe only happens with
+        // len == 0, which the loop condition already excludes.)
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
 
 struct MetricsExporter::Impl
 {

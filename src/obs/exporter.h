@@ -50,6 +50,16 @@ class MetricsExporter
 };
 
 /**
+ * Writes all `len` bytes of `data` to `fd`, retrying on EINTR and on
+ * partial writes (a send() that moved only part of the buffer is progress,
+ * not failure — the remainder is retried). Works on sockets (SIGPIPE is
+ * suppressed) and plain descriptors/pipes. Returns false only on a real
+ * error, e.g. a peer that closed the connection. This is the exporter's
+ * response write path, exposed so tests can drive it over a pipe.
+ */
+bool writeAll(int fd, const void *data, size_t len);
+
+/**
  * Starts the process-wide exporter when MIRAGE_METRICS_PORT names a port,
  * once; later calls (and unset/invalid values) return the first result.
  * The instance is leaked so scrapes work until process exit. Returns

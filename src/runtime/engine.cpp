@@ -4,6 +4,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <limits>
+#include <map>
 #include <mutex>
 #include <span>
 #include <stdexcept>
@@ -12,6 +14,7 @@
 #include <variant>
 
 #include "common/logging.h"
+#include "fault/injection.h"
 #include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -44,7 +47,12 @@ struct EngineObs
     obs::Counter &macs;
     obs::Counter &modeled_ns;
     obs::Counter &modeled_nj;
+    obs::Counter &tile_failures;
+    obs::Counter &tile_reintegrations;
+    obs::Counter &job_retries;
+    obs::Counter &jobs_failed;
     obs::Gauge &queue_depth;
+    obs::Gauge &healthy_tiles;
     obs::Histogram &job_latency_ns;
     obs::Histogram &batch_jobs;
 
@@ -60,12 +68,25 @@ struct EngineObs
                            reg.counter("engine.macs"),
                            reg.counter("engine.modeled_ns"),
                            reg.counter("engine.modeled_nj"),
+                           reg.counter("engine.tile_failures"),
+                           reg.counter("engine.tile_reintegrations"),
+                           reg.counter("engine.job_retries"),
+                           reg.counter("engine.jobs_failed"),
                            reg.gauge("engine.queue_depth"),
+                           reg.gauge("engine.healthy_tiles"),
                            reg.histogram("engine.job_latency_ns"),
                            reg.histogram("engine.batch_jobs")};
         return o;
     }
 };
+
+/** Shared "engine.tile_fail" injection point (see fault/injection.h). */
+fault::FaultPoint &
+tileFailPoint()
+{
+    static fault::FaultPoint fp("engine.tile_fail");
+    return fp;
+}
 
 } // namespace
 
@@ -80,6 +101,14 @@ EngineConfig::validate() const
     if (max_batch <= 0)
         throw std::invalid_argument("EngineConfig.max_batch must be >= 1, got " +
                                     std::to_string(max_batch));
+    if (max_job_attempts <= 0)
+        throw std::invalid_argument(
+            "EngineConfig.max_job_attempts must be >= 1, got " +
+            std::to_string(max_job_attempts));
+    if (tile_cooldown_dispatches <= 0)
+        throw std::invalid_argument(
+            "EngineConfig.tile_cooldown_dispatches must be >= 1, got " +
+            std::to_string(tile_cooldown_dispatches));
 }
 
 double
@@ -135,7 +164,10 @@ struct TaskJob
     std::function<void(core::MirageAccelerator &, Rng &)> fn;
     std::promise<void> promise;
     Clock::time_point submitted;
-    uint64_t ctx = 0; ///< Submitter's request id (causal tracing).
+    uint64_t ctx = 0;        ///< Submitter's request id (causal tracing).
+    double deadline_s = 0.0; ///< Failover budget [s]; 0 = none.
+    /// Terminal-failure callback for submitters that discard the future.
+    std::function<void(const std::string &)> on_fail;
 };
 
 using Job = std::variant<GemmJob, EstimateJob, TaskJob>;
@@ -157,16 +189,28 @@ struct Shard
 struct RuntimeEngine::Impl
 {
     /** One logical accelerator tile. Only one shard runs on a tile at a
-     *  time, so the accelerator's mutable backends need no locking. */
+     *  time, so the accelerator's mutable backends need no locking.
+     *  `healthy`/`cooldown` are guarded by mu: health is read when a
+     *  dispatch is planned and written when a failure is collected or a
+     *  cooldown expires, never concurrently with shard execution. */
     struct Tile
     {
         core::MirageAccelerator accel;
         Rng rng;
+        bool healthy = true;
+        int cooldown = 0; ///< Dispatches left before a reintegration probe.
 
         Tile(const arch::MirageConfig &cfg, Rng stream)
             : accel(cfg), rng(stream)
         {
         }
+    };
+
+    /** One tile health transition to publish to listeners. */
+    struct TileEvent
+    {
+        int tile = 0;
+        bool healthy = false;
     };
 
     explicit Impl(EngineConfig config) : cfg(std::move(config))
@@ -185,6 +229,7 @@ struct RuntimeEngine::Impl
         }
         start = Clock::now();
         stats.tiles = cfg.tiles;
+        EngineObs::get().healthy_tiles.set(cfg.tiles);
         dispatcher = std::thread([this] { dispatchLoop(); });
     }
 
@@ -227,6 +272,10 @@ struct RuntimeEngine::Impl
             }
             Job first = std::move(queue.front());
             queue.pop_front();
+            // Unhealthy tiles count down one cooldown step per dispatch;
+            // expired ones rejoin the healthy set (the next dispatch that
+            // lands on them is the reintegration probe).
+            const std::vector<TileEvent> probes = advanceCooldownsLocked();
 
             if (std::holds_alternative<GemmJob>(first)) {
                 // Fuse queued GEMM jobs with the same contraction depth and
@@ -254,6 +303,7 @@ struct RuntimeEngine::Impl
                     static_cast<int64_t>(queue.size()));
                 lk.unlock();
                 not_full.notify_all();
+                publishTileEvents(probes);
                 EngineObs::get().fused_jobs.add(group.size() - 1);
                 executeGemmGroup(std::move(group));
             } else {
@@ -262,9 +312,160 @@ struct RuntimeEngine::Impl
                     static_cast<int64_t>(queue.size()));
                 lk.unlock();
                 not_full.notify_all();
+                publishTileEvents(probes);
                 executeSingle(std::move(first));
             }
         }
+    }
+
+    /** Healthy tile indices; when every tile is unhealthy, forces a probe
+     *  of the tile closest to reintegration so the engine never wedges. */
+    std::vector<size_t>
+    planTiles(bool *forced_probe)
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        std::vector<size_t> active;
+        for (size_t t = 0; t < tiles.size(); ++t) {
+            if (tiles[t]->healthy)
+                active.push_back(t);
+        }
+        *forced_probe = active.empty();
+        if (active.empty()) {
+            size_t probe = 0;
+            for (size_t t = 1; t < tiles.size(); ++t) {
+                if (tiles[t]->cooldown < tiles[probe]->cooldown)
+                    probe = t;
+            }
+            active.push_back(probe);
+        }
+        return active;
+    }
+
+    /** Marks `failed` tiles unhealthy and publishes the transitions. */
+    void
+    markTilesFailed(const std::vector<size_t> &failed)
+    {
+        std::vector<TileEvent> events;
+        int healthy_now = 0;
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            for (const size_t t : failed) {
+                Tile &tile = *tiles[t];
+                if (tile.healthy) {
+                    tile.healthy = false;
+                    ++stats.tile_failures;
+                    events.push_back({static_cast<int>(t), false});
+                }
+                tile.cooldown = cfg.tile_cooldown_dispatches;
+            }
+            for (const auto &t : tiles)
+                healthy_now += t->healthy ? 1 : 0;
+        }
+        if (events.empty())
+            return;
+        EngineObs::get().tile_failures.add(events.size());
+        EngineObs::get().healthy_tiles.set(healthy_now);
+        for (const TileEvent &e : events)
+            MIRAGE_WARN("engine: tile ", e.tile, " marked unhealthy (",
+                        healthy_now, "/", tiles.size(), " tiles healthy)");
+        publishTileEvents(events);
+    }
+
+    /** Marks one tile healthy after a successful forced probe. */
+    void
+    markTileRecovered(size_t t)
+    {
+        int healthy_now = 0;
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            Tile &tile = *tiles[t];
+            if (tile.healthy)
+                return;
+            tile.healthy = true;
+            tile.cooldown = 0;
+            ++stats.tile_reintegrations;
+            for (const auto &tp : tiles)
+                healthy_now += tp->healthy ? 1 : 0;
+        }
+        EngineObs::get().tile_reintegrations.add(1);
+        EngineObs::get().healthy_tiles.set(healthy_now);
+        publishTileEvents({TileEvent{static_cast<int>(t), true}});
+    }
+
+    /** Steps every unhealthy tile's cooldown; expired tiles rejoin.
+     *  Caller holds mu; returned events go to publishTileEvents after
+     *  the lock is dropped. */
+    std::vector<TileEvent>
+    advanceCooldownsLocked()
+    {
+        std::vector<TileEvent> events;
+        for (size_t t = 0; t < tiles.size(); ++t) {
+            Tile &tile = *tiles[t];
+            if (tile.healthy)
+                continue;
+            if (tile.cooldown > 0 && --tile.cooldown == 0) {
+                tile.healthy = true;
+                ++stats.tile_reintegrations;
+                events.push_back({static_cast<int>(t), true});
+            }
+        }
+        if (!events.empty()) {
+            int healthy_now = 0;
+            for (const auto &t : tiles)
+                healthy_now += t->healthy ? 1 : 0;
+            EngineObs::get().tile_reintegrations.add(events.size());
+            EngineObs::get().healthy_tiles.set(healthy_now);
+        }
+        return events;
+    }
+
+    /** Invokes every registered tile listener for each event. */
+    void
+    publishTileEvents(const std::vector<TileEvent> &events)
+    {
+        if (events.empty())
+            return;
+        std::vector<std::function<void(int, bool)>> snapshot;
+        {
+            std::lock_guard<std::mutex> lk(listeners_mu);
+            snapshot.reserve(listeners.size());
+            for (const auto &kv : listeners)
+                snapshot.push_back(kv.second);
+        }
+        for (const TileEvent &e : events) {
+            for (const auto &fn : snapshot)
+                fn(e.tile, e.healthy);
+        }
+    }
+
+    /** Smallest remaining deadline budget across `group` [s]; +inf when no
+     *  job carries a deadline. */
+    static double
+    remainingBudget(const std::vector<GemmJob> &group, Clock::time_point now)
+    {
+        double remaining = std::numeric_limits<double>::infinity();
+        for (const GemmJob &job : group) {
+            if (job.req.deadline_s > 0.0) {
+                remaining = std::min(remaining, job.req.deadline_s -
+                                                    secondsSince(job.submitted,
+                                                                 now));
+            }
+        }
+        return remaining;
+    }
+
+    /** Deadline-aware backoff before retry attempt `attempt + 1`: an
+     *  exponential pause, truncated so it never spends more than half of
+     *  the tightest remaining deadline. */
+    static void
+    backoff(int attempt, double remaining_s)
+    {
+        double pause_s = std::min(100e-6 * (1 << std::min(attempt - 1, 6)),
+                                  5e-3);
+        if (remaining_s != std::numeric_limits<double>::infinity())
+            pause_s = std::min(pause_s, std::max(0.0, remaining_s * 0.5));
+        if (pause_s > 0.0)
+            std::this_thread::sleep_for(std::chrono::duration<double>(pause_s));
     }
 
     /**
@@ -273,63 +474,136 @@ struct RuntimeEngine::Impl
      * its shards sequentially while tiles run in parallel on the global
      * pool. Row sharding is exact — every output element is produced by
      * the same per-element computation as an unsharded run.
+     *
+     * Failover: a tile that throws TileFailure (injected via
+     * "engine.tile_fail" or real) is marked unhealthy and the whole group
+     * is re-planned over the surviving tiles and re-executed — result
+     * buffers are rewritten wholesale, and re-sharding preserves
+     * bit-identical results (see the file header). Attempts are bounded
+     * by cfg.max_job_attempts and by the tightest job deadline.
      */
     void
     executeGemmGroup(std::vector<GemmJob> group)
     {
         MIRAGE_SPAN("engine.batch");
         const Clock::time_point dispatch_start = Clock::now();
-        const int tile_count = cfg.tiles;
 
-        // Shard plan: prefer job-level parallelism — row-splitting a job
-        // means every shard re-encodes the job's full B operand, so rows
-        // are only split when the fused group alone cannot fill the tiles.
-        const int shards_per_job = std::max(
-            1, tile_count / static_cast<int>(group.size()));
         std::vector<std::vector<float>> results(group.size());
-        std::vector<Shard> shards;
-        for (size_t j = 0; j < group.size(); ++j) {
-            const GemmRequest &req = group[j].req;
-            results[j].assign(static_cast<size_t>(req.m) * req.n, 0.0f);
-            const int rows_per_shard =
-                std::max(1, (req.m + shards_per_job - 1) / shards_per_job);
-            for (int r0 = 0; r0 < req.m; r0 += rows_per_shard) {
-                shards.push_back({j, r0,
-                                  std::min(req.m, r0 + rows_per_shard)});
-            }
-        }
-
-        // shard s runs on tile s % tiles; one parallelFor block per tile
-        // keeps each accelerator single-threaded while tiles overlap.
         std::vector<int> job_shards(group.size(), 0);
-        for (const Shard &s : shards)
-            ++job_shards[s.job];
-        std::vector<double> tile_busy(static_cast<size_t>(tile_count), 0.0);
-
         std::exception_ptr error;
-        try {
-            ThreadPool::global().parallelFor(
-                tile_count, 1, [&](int64_t t0, int64_t t1) {
-                    for (int64_t t = t0; t < t1; ++t) {
-                        MIRAGE_SPAN("engine.tile");
-                        const Clock::time_point tile_start = Clock::now();
-                        bool ran = false;
-                        for (size_t s = static_cast<size_t>(t);
-                             s < shards.size();
-                             s += static_cast<size_t>(tile_count)) {
-                            runShard(group, shards[s],
-                                     *tiles[static_cast<size_t>(t)],
-                                     static_cast<size_t>(t), results);
-                            ran = true;
+        double busy_total = 0.0;
+        uint64_t survived_failures = 0;
+        int attempt = 0;
+
+        for (;;) {
+            ++attempt;
+            bool forced_probe = false;
+            const std::vector<size_t> active = planTiles(&forced_probe);
+            const int tile_count = static_cast<int>(active.size());
+
+            // Shard plan: prefer job-level parallelism — row-splitting a
+            // job means every shard re-encodes the job's full B operand,
+            // so rows are only split when the fused group alone cannot
+            // fill the active tiles.
+            const int shards_per_job = std::max(
+                1, tile_count / static_cast<int>(group.size()));
+            std::vector<Shard> shards;
+            for (size_t j = 0; j < group.size(); ++j) {
+                const GemmRequest &req = group[j].req;
+                results[j].assign(static_cast<size_t>(req.m) * req.n, 0.0f);
+                const int rows_per_shard =
+                    std::max(1, (req.m + shards_per_job - 1) / shards_per_job);
+                job_shards[j] = 0;
+                for (int r0 = 0; r0 < req.m; r0 += rows_per_shard) {
+                    shards.push_back({j, r0,
+                                      std::min(req.m, r0 + rows_per_shard)});
+                    ++job_shards[j];
+                }
+            }
+
+            // shard s runs on active tile s % tile_count; one parallelFor
+            // block per tile keeps each accelerator single-threaded while
+            // tiles overlap. Each leg records its own failure slot, so a
+            // TileFailure aborts that tile's shards without touching the
+            // other legs.
+            std::vector<double> tile_busy(active.size(), 0.0);
+            std::vector<char> leg_failed(active.size(), 0);
+            try {
+                ThreadPool::global().parallelFor(
+                    tile_count, 1, [&](int64_t t0, int64_t t1) {
+                        for (int64_t t = t0; t < t1; ++t) {
+                            MIRAGE_SPAN("engine.tile");
+                            const Clock::time_point tile_start = Clock::now();
+                            bool ran = false;
+                            try {
+                                for (size_t s = static_cast<size_t>(t);
+                                     s < shards.size();
+                                     s += static_cast<size_t>(tile_count)) {
+                                    if (!ran && tileFailPoint().shouldFire())
+                                        throw TileFailure(
+                                            "injected tile failure "
+                                            "(engine.tile_fail)");
+                                    runShard(group, shards[s],
+                                             *tiles[active[static_cast<size_t>(
+                                                 t)]],
+                                             active[static_cast<size_t>(t)],
+                                             results);
+                                    ran = true;
+                                }
+                            } catch (const TileFailure &) {
+                                leg_failed[static_cast<size_t>(t)] = 1;
+                            }
+                            if (ran || leg_failed[static_cast<size_t>(t)]) {
+                                tile_busy[static_cast<size_t>(t)] =
+                                    secondsSince(tile_start, Clock::now());
+                            }
                         }
-                        if (ran) {
-                            tile_busy[static_cast<size_t>(t)] =
-                                secondsSince(tile_start, Clock::now());
-                        }
-                    }
-                });
-        } catch (...) {
-            error = std::current_exception();
+                    });
+            } catch (...) {
+                error = std::current_exception();
+            }
+            for (double b : tile_busy)
+                busy_total += b;
+            if (error)
+                break;
+
+            std::vector<size_t> failed;
+            for (size_t t = 0; t < leg_failed.size(); ++t) {
+                if (leg_failed[t])
+                    failed.push_back(active[t]);
+            }
+            if (failed.empty()) {
+                if (forced_probe)
+                    markTileRecovered(active[0]);
+                // Every failure this group survived is a recovered fault.
+                for (uint64_t i = 0; i < survived_failures; ++i)
+                    fault::recovered("engine.tile_fail");
+                break;
+            }
+
+            survived_failures += failed.size();
+            markTilesFailed(failed);
+            const double remaining = remainingBudget(group, Clock::now());
+            if (attempt >= cfg.max_job_attempts) {
+                error = std::make_exception_ptr(TileFailure(
+                    "GEMM batch failed: tiles kept failing through " +
+                    std::to_string(attempt) + " attempts"));
+                break;
+            }
+            if (remaining <= 0.0) {
+                error = std::make_exception_ptr(TileFailure(
+                    "GEMM batch failed: deadline exhausted after tile "
+                    "failure (attempt " +
+                    std::to_string(attempt) + ")"));
+                break;
+            }
+            MIRAGE_SPAN("engine.retry");
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                stats.job_retries += group.size();
+            }
+            EngineObs::get().job_retries.add(group.size());
+            backoff(attempt, remaining);
         }
 
         // Fulfill promises before publishing completion, so drain() never
@@ -353,8 +627,9 @@ struct RuntimeEngine::Impl
             ++stats.batches_dispatched;
             stats.largest_batch =
                 std::max<uint64_t>(stats.largest_batch, group.size());
-            for (double b : tile_busy)
-                stats.busy_time_s += b;
+            stats.busy_time_s += busy_total;
+            if (error)
+                stats.jobs_failed += group.size();
             for (size_t j = 0; j < group.size(); ++j) {
                 const GemmRequest &req = group[j].req;
                 const double latency = secondsSince(group[j].submitted, end);
@@ -367,6 +642,8 @@ struct RuntimeEngine::Impl
             }
             in_flight -= group.size();
         }
+        if (error)
+            EngineObs::get().jobs_failed.add(group.size());
         EngineObs::get().batches.add(1);
         EngineObs::get().batch_jobs.record(group.size());
         EngineObs::get().jobs_completed.add(group.size());
@@ -404,11 +681,33 @@ struct RuntimeEngine::Impl
                         cfg.mode);
     }
 
+    /** Round-robin pick over the healthy tiles; forces a probe of the
+     *  tile closest to reintegration when everything is unhealthy. */
+    size_t
+    pickTile(bool *forced_probe)
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        *forced_probe = false;
+        for (size_t i = 0; i < tiles.size(); ++i) {
+            const size_t t = (next_tile + i) % tiles.size();
+            if (tiles[t]->healthy) {
+                next_tile = (t + 1) % tiles.size();
+                return t;
+            }
+        }
+        *forced_probe = true;
+        size_t probe = 0;
+        for (size_t t = 1; t < tiles.size(); ++t) {
+            if (tiles[t]->cooldown < tiles[probe]->cooldown)
+                probe = t;
+        }
+        next_tile = (probe + 1) % tiles.size();
+        return probe;
+    }
+
     void
     executeSingle(Job job)
     {
-        Tile &tile = *tiles[next_tile];
-        next_tile = (next_tile + 1) % tiles.size();
         const Clock::time_point exec_start = Clock::now();
 
         // Job failures travel through the future, never up the dispatcher
@@ -416,6 +715,8 @@ struct RuntimeEngine::Impl
         // so drain() implies every future is ready.
         if (EstimateJob *est = std::get_if<EstimateJob>(&job)) {
             MIRAGE_SPAN("engine.estimate");
+            bool forced_probe = false;
+            Tile &tile = *tiles[pickTile(&forced_probe)];
             // Re-establish the submitter's request context on the
             // dispatcher thread and mark the flow through this slice.
             obs::RequestScope ctx_scope(est->ctx);
@@ -443,14 +744,99 @@ struct RuntimeEngine::Impl
             TaskJob &task = std::get<TaskJob>(job);
             obs::RequestScope ctx_scope(task.ctx);
             obs::traceFlow("request", task.ctx, 't');
-            try {
-                task.fn(tile.accel, tile.rng);
-                task.promise.set_value();
-            } catch (...) {
-                task.promise.set_exception(std::current_exception());
-            }
+            executeTask(task);
             finishSingle(exec_start, task.submitted, JobKind::Task);
         }
+    }
+
+    /**
+     * Runs one TaskJob with tile failover: a TileFailure (injected before
+     * the body runs, or thrown by the body) marks the tile unhealthy and
+     * re-executes the task on the next healthy tile, bounded by
+     * cfg.max_job_attempts and the task deadline. Terminal failures reach
+     * both the future and the task's on_fail callback; non-TileFailure
+     * exceptions keep their original single-shot semantics.
+     */
+    void
+    executeTask(TaskJob &task)
+    {
+        uint64_t survived_failures = 0;
+        int attempt = 0;
+        for (;;) {
+            ++attempt;
+            bool forced_probe = false;
+            const size_t t = pickTile(&forced_probe);
+            Tile &tile = *tiles[t];
+            try {
+                // The injection fires before the body runs, so a retried
+                // task re-executes from a clean slate.
+                if (tileFailPoint().shouldFire())
+                    throw TileFailure(
+                        "injected tile failure (engine.tile_fail)");
+                task.fn(tile.accel, tile.rng);
+                if (forced_probe)
+                    markTileRecovered(t);
+                for (uint64_t i = 0; i < survived_failures; ++i)
+                    fault::recovered("engine.tile_fail");
+                task.promise.set_value();
+                return;
+            } catch (const TileFailure &tf) {
+                ++survived_failures;
+                markTilesFailed({t});
+                const double remaining =
+                    task.deadline_s > 0.0
+                        ? task.deadline_s -
+                              secondsSince(task.submitted, Clock::now())
+                        : std::numeric_limits<double>::infinity();
+                std::string why;
+                if (attempt >= cfg.max_job_attempts) {
+                    why = "task failed: tiles kept failing through " +
+                          std::to_string(attempt) +
+                          " attempts: " + tf.what();
+                } else if (remaining <= 0.0) {
+                    why = "task failed: deadline exhausted after tile "
+                          "failure: " +
+                          std::string(tf.what());
+                } else {
+                    MIRAGE_SPAN("engine.retry");
+                    {
+                        std::lock_guard<std::mutex> lk(mu);
+                        ++stats.job_retries;
+                    }
+                    EngineObs::get().job_retries.add(1);
+                    backoff(attempt, remaining);
+                    continue;
+                }
+                failTaskTerminally(task, why,
+                                   std::make_exception_ptr(TileFailure(why)));
+                return;
+            } catch (...) {
+                const std::exception_ptr err = std::current_exception();
+                std::string why = "task failed";
+                try {
+                    std::rethrow_exception(err);
+                } catch (const std::exception &e) {
+                    why = std::string("task failed: ") + e.what();
+                } catch (...) {
+                }
+                failTaskTerminally(task, why, err);
+                return;
+            }
+        }
+    }
+
+    void
+    failTaskTerminally(TaskJob &task, const std::string &why,
+                       std::exception_ptr err)
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            ++stats.jobs_failed;
+        }
+        EngineObs::get().jobs_failed.add(1);
+        if (task.on_fail)
+            task.on_fail(why);
+        task.promise.set_exception(std::move(err));
     }
 
     enum class JobKind
@@ -499,7 +885,13 @@ struct RuntimeEngine::Impl
 
     RuntimeReport stats; ///< Guarded by mu (wall_time_s filled on read).
     Clock::time_point start;
-    size_t next_tile = 0; ///< Round-robin tile for non-GEMM jobs.
+    size_t next_tile = 0; ///< Round-robin tile for non-GEMM jobs (mu).
+
+    /// Tile health listeners; their own lock so callbacks never run (or
+    /// register) under the queue mutex.
+    std::mutex listeners_mu;
+    std::map<int, std::function<void(int, bool)>> listeners;
+    int next_listener_id = 1;
 
     std::thread dispatcher;
 };
@@ -570,13 +962,57 @@ std::future<void>
 RuntimeEngine::submitTask(
     std::function<void(core::MirageAccelerator &, Rng &)> task)
 {
+    return submitTask(std::move(task), TaskOptions{});
+}
+
+std::future<void>
+RuntimeEngine::submitTask(
+    std::function<void(core::MirageAccelerator &, Rng &)> task,
+    TaskOptions opts)
+{
     TaskJob job;
     job.fn = std::move(task);
     job.ctx = obs::currentRequestId();
     job.submitted = Clock::now();
+    job.deadline_s = opts.deadline_s;
+    job.on_fail = std::move(opts.on_fail);
     std::future<void> fut = job.promise.get_future();
     impl_->enqueue(std::move(job));
     return fut;
+}
+
+void
+RuntimeEngine::failTile(int tile)
+{
+    MIRAGE_ASSERT(tile >= 0 && tile < impl_->cfg.tiles,
+                  "failTile: tile out of range");
+    impl_->markTilesFailed({static_cast<size_t>(tile)});
+}
+
+int
+RuntimeEngine::healthyTiles() const
+{
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    int healthy = 0;
+    for (const auto &t : impl_->tiles)
+        healthy += t->healthy ? 1 : 0;
+    return healthy;
+}
+
+int
+RuntimeEngine::addTileListener(std::function<void(int, bool)> listener)
+{
+    std::lock_guard<std::mutex> lk(impl_->listeners_mu);
+    const int id = impl_->next_listener_id++;
+    impl_->listeners.emplace(id, std::move(listener));
+    return id;
+}
+
+void
+RuntimeEngine::removeTileListener(int id)
+{
+    std::lock_guard<std::mutex> lk(impl_->listeners_mu);
+    impl_->listeners.erase(id);
 }
 
 void

@@ -25,12 +25,27 @@
  * job's result is bit-identical to a serial single-tile run, independent
  * of thread count, tile count, or how jobs were batched — row sharding
  * never changes the per-element accumulation order.
+ *
+ * Fault tolerance: every tile carries a health state. A TileFailure
+ * thrown while a tile executes (the "engine.tile_fail" injection point,
+ * or real hardware-model faults) marks that tile unhealthy; the failed
+ * job — and its whole fused batch — is retried on the remaining healthy
+ * tiles with bounded attempts and deadline-aware backoff. Re-sharding
+ * over fewer tiles is bit-identical because sharding never changes the
+ * per-element accumulation order and per-unit Rng streams are keyed by
+ * logical row, not tile. An unhealthy tile sits out for
+ * `tile_cooldown_dispatches` dispatches, then rejoins on a probe; tile
+ * health transitions are published to registered listeners (the serving
+ * layer uses them to degrade admission capacity and drop the dead
+ * tile's weight-cache entries).
  */
 
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -55,6 +70,12 @@ struct EngineConfig
     core::ExecutionMode mode = core::ExecutionMode::Emulated;
     /// Configuration applied to every tile's accelerator.
     arch::MirageConfig accel;
+    /// Executions of one job before it fails terminally (first + retries).
+    int max_job_attempts = 3;
+    /// Dispatches an unhealthy tile sits out before a reintegration probe.
+    /// Dispatch-count (not time) based so failover schedules replay
+    /// deterministically under a fixed workload.
+    int tile_cooldown_dispatches = 8;
 
     /**
      * Throws std::invalid_argument naming the offending knob when
@@ -71,6 +92,10 @@ struct GemmRequest
     std::vector<float> a;
     std::vector<float> b;
     int m = 0, k = 0, n = 0;
+    /// Optional submit-to-completion budget [s]; 0 = none. Failover
+    /// retries back off only within this budget and the job fails
+    /// terminally once it is exhausted.
+    double deadline_s = 0.0;
 };
 
 /** Completed GEMM: the result matrix plus per-job timing. */
@@ -93,6 +118,10 @@ struct RuntimeReport
     uint64_t task_jobs = 0;
     uint64_t batches_dispatched = 0; ///< GEMM dispatch groups executed.
     uint64_t largest_batch = 0;      ///< Most GEMM jobs fused in one group.
+    uint64_t tile_failures = 0;      ///< Tile unhealthy transitions.
+    uint64_t tile_reintegrations = 0; ///< Cooldown probes back to healthy.
+    uint64_t job_retries = 0;        ///< Job executions repeated by failover.
+    uint64_t jobs_failed = 0;        ///< Jobs failed after retries exhausted.
     int64_t gemm_macs = 0;           ///< Sum of m*k*n over completed GEMMs.
     double wall_time_s = 0.0;        ///< Engine lifetime so far.
     double busy_time_s = 0.0;        ///< Sum of per-tile busy seconds.
@@ -109,6 +138,37 @@ struct RuntimeReport
 
     /** Mean fraction of tiles busy: busy / (wall * tiles), in [0, 1]. */
     double utilization() const;
+};
+
+/**
+ * Thrown (by the hardware model, the "engine.tile_fail" injection point,
+ * or a submitted task) to signal that the executing tile failed. The
+ * engine reacts by marking the tile unhealthy and retrying the job on the
+ * remaining healthy tiles; any other exception type propagates to the
+ * job's future untouched. A task that throws TileFailure is re-executed
+ * on another tile, so task bodies must be idempotent up to the point
+ * where they can fail.
+ */
+class TileFailure : public std::runtime_error
+{
+  public:
+    explicit TileFailure(const std::string &what) : std::runtime_error(what)
+    {
+    }
+};
+
+/** Per-task execution options (see submitTask). */
+struct TaskOptions
+{
+    /// Submit-to-completion budget [s]; 0 = none. Bounds failover backoff
+    /// the same way GemmRequest::deadline_s does.
+    double deadline_s = 0.0;
+    /// Called (from the dispatcher thread) with a failure description if
+    /// the task fails terminally — retries exhausted or a non-TileFailure
+    /// exception. Lets fire-and-forget submitters that discard the future
+    /// observe engine-side failure; the future still carries the
+    /// exception either way.
+    std::function<void(const std::string &)> on_fail;
 };
 
 /**
@@ -143,6 +203,33 @@ class RuntimeEngine
      */
     std::future<void>
     submitTask(std::function<void(core::MirageAccelerator &, Rng &)> task);
+
+    /** submitTask with a deadline budget and a terminal-failure callback. */
+    std::future<void>
+    submitTask(std::function<void(core::MirageAccelerator &, Rng &)> task,
+               TaskOptions opts);
+
+    /**
+     * Marks tile `tile` unhealthy as if it had just failed mid-job
+     * (listeners fire, cooldown starts). Deterministic failure hook for
+     * benches and tests; jobs already running on the tile finish first.
+     */
+    void failTile(int tile);
+
+    /** Tiles currently marked healthy (in [0, config().tiles]). */
+    int healthyTiles() const;
+
+    /**
+     * Registers a tile health listener, called as (tile, healthy) on every
+     * transition — unhealthy on failure, healthy again on a successful
+     * cooldown probe. Invoked without engine locks held, but possibly from
+     * the dispatcher thread: listeners must not block on engine draining.
+     * Returns an id for removeTileListener.
+     */
+    int addTileListener(std::function<void(int, bool)> listener);
+
+    /** Unregisters a listener; unknown ids are ignored. */
+    void removeTileListener(int id);
 
     /** Blocks until every submitted job has completed. */
     void drain();

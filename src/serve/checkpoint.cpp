@@ -4,6 +4,10 @@
 #include <cstring>
 #include <set>
 
+#include "common/logging.h"
+#include "fault/injection.h"
+#include "obs/metrics.h"
+
 namespace mirage {
 namespace serve {
 
@@ -110,8 +114,9 @@ class Reader
     {
         if (size_ - pos_ < n)
             throw CheckpointError("checkpoint truncated: need " +
-                                  std::to_string(n) + " bytes, have " +
-                                  std::to_string(size_ - pos_));
+                                      std::to_string(n) + " bytes, have " +
+                                      std::to_string(size_ - pos_),
+                                  CheckpointError::Kind::Truncated);
     }
 
     const uint8_t *data_;
@@ -262,28 +267,33 @@ restore(const Checkpoint &ckpt, nn::Layer &model, nn::Optimizer *opt)
     if (params.size() != ckpt.tensors.size())
         throw CheckpointError(
             "model has " + std::to_string(params.size()) +
-            " parameters but checkpoint '" + ckpt.model_name + "' has " +
-            std::to_string(ckpt.tensors.size()));
+                " parameters but checkpoint '" + ckpt.model_name + "' has " +
+                std::to_string(ckpt.tensors.size()),
+            CheckpointError::Kind::Mismatch);
 
     for (const nn::NamedParam &np : params) {
         const TensorRecord *t = ckpt.find(np.path);
         if (t == nullptr)
             throw CheckpointError("parameter '" + np.path +
-                                  "' missing from checkpoint '" +
-                                  ckpt.model_name + "'");
+                                      "' missing from checkpoint '" +
+                                      ckpt.model_name + "'",
+                                  CheckpointError::Kind::Mismatch);
         if (t->shape != np.param->value.shape())
             throw CheckpointError(
                 "parameter '" + np.path + "' shape mismatch: model " +
-                np.param->value.shapeString() + ", checkpoint has " +
-                std::to_string(t->size()) + " elements");
+                    np.param->value.shapeString() + ", checkpoint has " +
+                    std::to_string(t->size()) + " elements",
+                CheckpointError::Kind::Mismatch);
         np.param->value.vec() = t->data;
     }
 
     if (opt != nullptr && !ckpt.optimizer_type.empty()) {
         if (opt->typeName() != ckpt.optimizer_type)
             throw CheckpointError("checkpoint optimizer is '" +
-                                  ckpt.optimizer_type + "' but restoring '" +
-                                  opt->typeName() + "'");
+                                      ckpt.optimizer_type +
+                                      "' but restoring '" + opt->typeName() +
+                                      "'",
+                                  CheckpointError::Kind::Mismatch);
         opt->setStepCount(ckpt.optimizer_step);
         for (const TensorRecord &t : ckpt.optimizer_state) {
             const size_t sep = t.name.rfind('/');
@@ -346,8 +356,15 @@ serialize(const Checkpoint &ckpt)
 Checkpoint
 deserialize(const std::vector<uint8_t> &bytes)
 {
-    if (bytes.size() < sizeof(kMagic) + 12 ||
-        std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+    if (bytes.size() < sizeof(kMagic) + 12) {
+        // Too short even for the fixed header: a torn write, not garbage.
+        throw CheckpointError(
+            "checkpoint truncated: " + std::to_string(bytes.size()) +
+                " bytes is shorter than the " +
+                std::to_string(sizeof(kMagic) + 12) + "-byte header",
+            CheckpointError::Kind::Truncated);
+    }
+    if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
         throw CheckpointError("not a Mirage checkpoint (bad magic)");
     Reader r(bytes.data() + sizeof(kMagic), bytes.size() - sizeof(kMagic));
     const uint32_t version = r.u32();
@@ -362,12 +379,36 @@ deserialize(const std::vector<uint8_t> &bytes)
     const uint64_t body_len = r.u64();
     // Subtraction, not addition: `body_len + 8` could wrap for a crafted
     // length and pass the check with a huge body_len.
-    if (r.remaining() < 8 || body_len != r.remaining() - 8)
-        throw CheckpointError("checkpoint length mismatch: header says " +
-                              std::to_string(body_len) + " body bytes, file has " +
-                              std::to_string(r.remaining()) + " (+8 checksum)");
+    if (r.remaining() < 8 || body_len != r.remaining() - 8) {
+        // Fewer bytes than the header promises = a cut-off file;
+        // more = structural damage (e.g. a corrupted length field).
+        const bool short_file =
+            r.remaining() < 8 || r.remaining() - 8 < body_len;
+        throw CheckpointError(
+            "checkpoint " +
+                std::string(short_file ? "truncated" : "length mismatch") +
+                ": header says " + std::to_string(body_len) +
+                " body bytes, file has " + std::to_string(r.remaining()) +
+                " (+8 checksum)",
+            short_file ? CheckpointError::Kind::Truncated
+                       : CheckpointError::Kind::Malformed);
+    }
 
     const uint8_t *body = bytes.data() + sizeof(kMagic) + 12;
+    // Verify the checksum before parsing: any in-body corruption then
+    // reports deterministically as ChecksumMismatch instead of whatever
+    // parse error the flipped bytes happen to produce.
+    {
+        Reader cr(body + body_len, 8);
+        const uint64_t stored = cr.u64();
+        const uint64_t computed = fnv1a(body, static_cast<size_t>(body_len));
+        if (stored != computed)
+            throw CheckpointError(
+                "checkpoint checksum mismatch (corrupt file): stored " +
+                    std::to_string(stored) + ", computed " +
+                    std::to_string(computed),
+                CheckpointError::Kind::ChecksumMismatch);
+    }
     Reader br(body, static_cast<size_t>(body_len));
     Checkpoint ckpt;
     ckpt.version = version;
@@ -391,42 +432,35 @@ deserialize(const std::vector<uint8_t> &bytes)
     }
     if (br.remaining() != 0)
         throw CheckpointError("trailing bytes inside checkpoint body");
-
-    Reader cr(body + body_len, 8);
-    const uint64_t stored = cr.u64();
-    const uint64_t computed = fnv1a(body, static_cast<size_t>(body_len));
-    if (stored != computed)
-        throw CheckpointError("checkpoint checksum mismatch (corrupt file)");
     return ckpt;
 }
 
-void
-saveFile(const Checkpoint &ckpt, const std::string &path)
-{
-    const std::vector<uint8_t> bytes = serialize(ckpt);
-    const std::string tmp = path + ".tmp";
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (f == nullptr)
-        throw CheckpointError("cannot open '" + tmp + "' for writing");
-    const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-    const bool flushed = std::fclose(f) == 0;
-    if (written != bytes.size() || !flushed) {
-        std::remove(tmp.c_str());
-        throw CheckpointError("short write to '" + tmp + "'");
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        throw CheckpointError("cannot rename '" + tmp + "' to '" + path +
-                              "'");
-    }
-}
+namespace {
 
-Checkpoint
-loadFile(const std::string &path)
+bool
+fileExists(const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (f == nullptr)
-        throw CheckpointError("cannot open checkpoint '" + path + "'");
+        return false;
+    std::fclose(f);
+    return true;
+}
+
+/** The fallback generation saveFile keeps beside every checkpoint. */
+std::string
+lastGoodPath(const std::string &path)
+{
+    return path + ".last_good";
+}
+
+Checkpoint
+loadFileNoFallback(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        throw CheckpointError("cannot open checkpoint '" + path + "'",
+                              CheckpointError::Kind::Io);
     std::vector<uint8_t> bytes;
     uint8_t buf[1 << 16];
     size_t n;
@@ -435,8 +469,78 @@ loadFile(const std::string &path)
     const bool error = std::ferror(f) != 0;
     std::fclose(f);
     if (error)
-        throw CheckpointError("I/O error reading '" + path + "'");
+        throw CheckpointError("I/O error reading '" + path + "'",
+                              CheckpointError::Kind::Io);
     return deserialize(bytes);
+}
+
+} // namespace
+
+void
+saveFile(const Checkpoint &ckpt, const std::string &path)
+{
+    std::vector<uint8_t> bytes = serialize(ckpt);
+
+    // Injected write corruption ("ckpt.corrupt"): flip one byte in the
+    // middle of the body so the primary fails its checksum while the
+    // rotated last_good generation stays intact.
+    static fault::FaultPoint corrupt_point("ckpt.corrupt");
+    if (corrupt_point.shouldFire())
+        bytes[bytes.size() / 2] ^= 0xff;
+
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        throw CheckpointError("cannot open '" + tmp + "' for writing",
+                              CheckpointError::Kind::Io);
+    const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    const bool flushed = std::fclose(f) == 0;
+    if (written != bytes.size() || !flushed) {
+        std::remove(tmp.c_str());
+        throw CheckpointError("short write to '" + tmp + "'",
+                              CheckpointError::Kind::Io);
+    }
+    // Rotate the previous generation to ".last_good" before the new one
+    // takes its place: if this save was torn or corrupted, loadFile still
+    // has one intact checkpoint to fall back to.
+    if (fileExists(path) &&
+        std::rename(path.c_str(), lastGoodPath(path).c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw CheckpointError("cannot rotate '" + path + "' to '" +
+                                  lastGoodPath(path) + "'",
+                              CheckpointError::Kind::Io);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw CheckpointError("cannot rename '" + tmp + "' to '" + path +
+                                  "'",
+                              CheckpointError::Kind::Io);
+    }
+}
+
+Checkpoint
+loadFile(const std::string &path)
+{
+    try {
+        return loadFileNoFallback(path);
+    } catch (const CheckpointError &primary_err) {
+        const std::string fallback = lastGoodPath(path);
+        if (!primary_err.recoverable() || !fileExists(fallback))
+            throw;
+        MIRAGE_WARN("checkpoint '", path,
+                    "' is damaged (", primary_err.what(),
+                    "); falling back to '", fallback, "'");
+        static obs::Counter &fallbacks =
+            obs::MetricsRegistry::global().counter("serve.ckpt.fallbacks");
+        try {
+            Checkpoint ckpt = loadFileNoFallback(fallback);
+            fallbacks.add(1);
+            fault::recovered("ckpt.corrupt");
+            return ckpt;
+        } catch (const CheckpointError &) {
+            throw primary_err; // both generations damaged: report primary
+        }
+    }
 }
 
 } // namespace serve

@@ -44,10 +44,34 @@ namespace serve {
 class CheckpointError : public std::runtime_error
 {
   public:
-    explicit CheckpointError(const std::string &what)
-        : std::runtime_error(what)
+    /** What went wrong, so recovery can decide what is worth retrying. */
+    enum class Kind
+    {
+        Malformed,        ///< Structurally invalid (bad magic, bad record).
+        Truncated,        ///< File ends before the declared data does.
+        ChecksumMismatch, ///< Body bytes don't match the stored FNV-1a.
+        Io,               ///< open/read/write/rename failed.
+        Mismatch          ///< Checkpoint doesn't fit the target model.
+    };
+
+    explicit CheckpointError(const std::string &what,
+                             Kind kind = Kind::Malformed)
+        : std::runtime_error(what), kind_(kind)
     {
     }
+
+    Kind kind() const { return kind_; }
+
+    /// loadFile falls back to the ".last_good" generation only for kinds
+    /// a stale-but-intact sibling can actually fix: a damaged file on
+    /// disk, not a structural or model mismatch.
+    bool recoverable() const
+    {
+        return kind_ == Kind::Truncated || kind_ == Kind::ChecksumMismatch;
+    }
+
+  private:
+    Kind kind_;
 };
 
 /**
@@ -128,10 +152,23 @@ std::vector<uint8_t> serialize(const Checkpoint &ckpt);
 /** Parses the wire format; throws CheckpointError on any corruption. */
 Checkpoint deserialize(const std::vector<uint8_t> &bytes);
 
-/** serialize() to a file (atomic: writes "<path>.tmp" then renames). */
+/**
+ * serialize() to a file (atomic: writes "<path>.tmp" then renames). When
+ * `path` already holds a previous checkpoint, that generation is first
+ * rotated to "<path>.last_good", so one intact older generation always
+ * survives a torn or corrupted write of the newest one. The
+ * "ckpt.corrupt" injection point (fault/injection.h) flips a body byte of
+ * the primary write — after the rotation — to exercise the fallback.
+ */
 void saveFile(const Checkpoint &ckpt, const std::string &path);
 
-/** deserialize() from a file. */
+/**
+ * deserialize() from a file. If the primary file is damaged (truncated or
+ * checksum-mismatched — see CheckpointError::recoverable()) and a
+ * "<path>.last_good" sibling exists, loads that instead with a loud
+ * warning and a "serve.ckpt.fallbacks" counter bump; the original error
+ * is rethrown when no fallback exists or the fallback is damaged too.
+ */
 Checkpoint loadFile(const std::string &path);
 
 } // namespace serve

@@ -327,6 +327,16 @@ WeightCache::invalidate(const std::string &key)
     }
 }
 
+void
+WeightCache::invalidateTile(int tile)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (tile < 0 || static_cast<size_t>(tile) >= slots_.size())
+        return;
+    slots_[static_cast<size_t>(tile)].key.clear();
+    slots_[static_cast<size_t>(tile)].last_use = 0;
+}
+
 WeightCache::Stats
 WeightCache::stats() const
 {

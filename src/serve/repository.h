@@ -204,6 +204,14 @@ class WeightCache
     /** Forgets `key` everywhere (hot-swap retirement). */
     void invalidate(const std::string &key);
 
+    /**
+     * Forgets whatever is programmed on `tile` (tile failure: the dead
+     * tile's analog weights are gone, so its next use is charged the full
+     * reprogramming cost). Other tiles' residency, LRU order, and the
+     * hit/miss accounting are untouched. Out-of-range tiles are ignored.
+     */
+    void invalidateTile(int tile);
+
     struct Stats
     {
         uint64_t hits = 0;

@@ -61,6 +61,12 @@ struct ServerObs
     obs::Gauge &burn_slow_batch;
     obs::Gauge &shed_burn_fast_inter;
     obs::Gauge &shed_burn_fast_batch;
+    // Fault-tolerance: tile-failure events seen by the server, requests
+    // completed with the error field set, and the current (degraded)
+    // admission capacity.
+    obs::Counter &tile_failures;
+    obs::Counter &request_errors;
+    obs::Gauge &capacity;
 
     static ServerObs &
     get()
@@ -87,7 +93,10 @@ struct ServerObs
             reg.gauge("server.slo.burn_rate_fast_milli.batch"),
             reg.gauge("server.slo.burn_rate_slow_milli.batch"),
             reg.gauge("server.slo.shed_burn_fast_milli.interactive"),
-            reg.gauge("server.slo.shed_burn_fast_milli.batch")};
+            reg.gauge("server.slo.shed_burn_fast_milli.batch"),
+            reg.counter("serve.tile_failures"),
+            reg.counter("serve.request_errors"),
+            reg.gauge("serve.capacity")};
         return o;
     }
 };
@@ -194,20 +203,82 @@ struct InferenceServer::Impl
         cfg.validate();
         stats.batch_size_hist.assign(
             static_cast<size_t>(cfg.max_batch) + 1, 0);
+        total_tiles = engine.config().tiles;
+        healthy_tiles = engine.healthyTiles();
+        ServerObs::get().capacity.set(
+            static_cast<int64_t>(effectiveCapacityLocked()));
         // Retired versions must stop occupying tile residency slots, or
         // every hot-swap would permanently shrink the weight cache.
         retire_listener = repo.addRetireListener(
             [this](const ServedModel &m) { cache.invalidate(m.cacheKey()); });
+        // Tile health drives graceful degradation: capacity shrinks with
+        // the healthy-tile count, and a dead tile's programmed weights are
+        // dropped from the cache (its analog state is gone).
+        tile_listener = engine.addTileListener(
+            [this](int tile, bool healthy) { onTileEvent(tile, healthy); });
         start = Clock::now();
         try {
             batcher = std::thread([this] { batchLoop(); });
         } catch (...) {
+            engine.removeTileListener(tile_listener);
             repo.removeRetireListener(retire_listener);
             throw;
         }
     }
 
-    ~Impl() { repo.removeRetireListener(retire_listener); }
+    ~Impl()
+    {
+        engine.removeTileListener(tile_listener);
+        repo.removeRetireListener(retire_listener);
+    }
+
+    /** Engine tile health change (engine dispatcher thread, no engine
+     *  locks held). Failure: drop the tile's cache residency, dump the
+     *  flight ring for post-mortem, shrink admission capacity. Recovery:
+     *  restore capacity. */
+    void
+    onTileEvent(int tile, bool healthy)
+    {
+        if (!healthy) {
+            cache.invalidateTile(tile);
+            ServerObs::get().tile_failures.add(1);
+            obs::FlightRecorder::global().trigger("tile_failure");
+        }
+        size_t capacity_now;
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            healthy_tiles = std::clamp(healthy_tiles + (healthy ? 1 : -1), 0,
+                                       total_tiles);
+            if (!healthy)
+                ++stats.tile_failures;
+            capacity_now = effectiveCapacityLocked();
+        }
+        ServerObs::get().capacity.set(static_cast<int64_t>(capacity_now));
+    }
+
+    /** Admission bound scaled by the healthy-tile fraction (>= 1). */
+    size_t
+    effectiveCapacityLocked() const
+    {
+        if (total_tiles <= 0 || healthy_tiles >= total_tiles)
+            return cfg.queue_capacity;
+        const size_t scaled =
+            cfg.queue_capacity * static_cast<size_t>(healthy_tiles) /
+            static_cast<size_t>(total_tiles);
+        return std::max<size_t>(scaled, 1);
+    }
+
+    /** Per-class admission bound: while degraded, batch-class traffic is
+     *  shed at half the effective capacity so interactive requests keep
+     *  their deadline headroom. */
+    size_t
+    classCapacityLocked(SloClass slo) const
+    {
+        const size_t cap = effectiveCapacityLocked();
+        if (slo == SloClass::Batch && healthy_tiles < total_tiles)
+            return std::max<size_t>(cap / 2, 1);
+        return cap;
+    }
 
     std::string
     groupKey(const InferenceRequest &req) const
@@ -253,7 +324,7 @@ struct InferenceServer::Impl
         std::unique_lock<std::mutex> lk(mu);
         ++stats.submitted;
         ServerObs::get().submitted.add(1);
-        if (stop_accepting || pending_total >= cfg.queue_capacity) {
+        if (stop_accepting || pending_total >= classCapacityLocked(req.slo)) {
             const bool was_shutdown = stop_accepting;
             ++stats.rejected;
             std::optional<SloAlert> alert;
@@ -424,12 +495,22 @@ struct InferenceServer::Impl
             // The engine job inherits the front request's id as its
             // context, so engine.task slices carry the flow onward.
             obs::RequestScope scope(batch->front().id);
-            engine.submitTask([this, batch, entry, cost, slo, total_samples,
-                               dispatched, seq](core::MirageAccelerator &accel,
-                                                Rng &) {
-                execute(*batch, *entry, cost, slo, total_samples, dispatched,
-                        seq, accel);
-            });
+            // The engine retries tile failures on surviving tiles within
+            // the class deadline budget; only a terminal failure reaches
+            // on_fail, which completes every request with the error field
+            // set instead of dropping its promise.
+            runtime::TaskOptions opts;
+            opts.deadline_s = cfg.policy(slo).deadline_s;
+            opts.on_fail = [this, batch, slo, seq](const std::string &why) {
+                errorBatch(*batch, slo, seq, why);
+            };
+            engine.submitTask(
+                [this, batch, entry, cost, slo, total_samples, dispatched,
+                 seq](core::MirageAccelerator &accel, Rng &) {
+                    execute(*batch, *entry, cost, slo, total_samples,
+                            dispatched, seq, accel);
+                },
+                opts);
         }
         lk.lock();
     }
@@ -656,6 +737,69 @@ struct InferenceServer::Impl
         return entry.net->forward(stacked, /*training=*/false);
     }
 
+    /** Terminal engine failure (retries/deadline exhausted after tile
+     *  failures): every request still gets a reply — with the error field
+     *  set — so no submitter is left waiting on a dropped promise. The
+     *  failures feed the class's burn monitor as deadline misses. */
+    void
+    errorBatch(std::vector<Pending> &batch, SloClass slo, uint64_t seq,
+               const std::string &why)
+    {
+        const Clock::time_point end = Clock::now();
+        for (Pending &p : batch) {
+            InferenceReply reply;
+            reply.batch_size = static_cast<int>(batch.size());
+            reply.latency_s = secondsSince(p.submitted, end);
+            reply.deadline_met = false;
+            reply.error = why;
+            obs::RequestRecord rec;
+            rec.id = p.id;
+            rec.batch_seq = seq;
+            rec.cls = slo == SloClass::Interactive ? obs::kClassInteractive
+                                                   : obs::kClassBatch;
+            rec.deadline_met = false;
+            rec.batch_size = static_cast<int32_t>(batch.size());
+            rec.total_ns = obs::toNanos(reply.latency_s);
+            // The request spent its whole life queued behind engine
+            // retries and never completed an execute; attribute the full
+            // wall time to the queue share so shares still sum to total.
+            rec.queue_ns = rec.total_ns;
+            reply.record = rec;
+            obs::traceFlow("request", p.id, 'f');
+            obs::FlightRecorder::global().record(rec);
+            p.promise.set_value(std::move(reply));
+        }
+        ServerObs::get().failed.add(batch.size());
+        ServerObs::get().request_errors.add(batch.size());
+        ServerObs::get().requests_missed.add(batch.size());
+
+        std::optional<SloAlert> alert;
+        SloStatus slo_state;
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            stats.failed += batch.size();
+            stats.request_errors += batch.size();
+            stats.deadline_misses += batch.size();
+            const double t_end = secondsSince(start, end);
+            SloMonitor &mon = monitor(slo);
+            for (size_t i = 0; i < batch.size(); ++i) {
+                auto a = mon.recordRequest(t_end, /*missed=*/true);
+                if (a && !alert)
+                    alert = a;
+            }
+            if (alert)
+                ++stats.slo_alerts;
+            slo_state = mon.status(t_end);
+        }
+        publishBurnGauges(slo, slo_state);
+        handleAlert(slo, alert);
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            in_flight -= batch.size();
+            idle.notify_all();
+        }
+    }
+
     void
     failBatch(std::vector<Pending> &batch, std::exception_ptr error)
     {
@@ -757,6 +901,9 @@ struct InferenceServer::Impl
     ServerConfig cfg;
     WeightCache cache;
     uint64_t retire_listener = 0;
+    int tile_listener = 0;
+    int total_tiles = 0;   ///< Engine tile count (immutable).
+    int healthy_tiles = 0; ///< Guarded by mu; tracks engine tile events.
 
     /// Per-class burn monitors (guarded by mu; mutable because status()
     /// advances the ring even from const snapshots).
@@ -836,6 +983,13 @@ const WeightCache &
 InferenceServer::weightCache() const
 {
     return impl_->cache;
+}
+
+size_t
+InferenceServer::effectiveCapacity() const
+{
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    return impl_->effectiveCapacityLocked();
 }
 
 } // namespace serve

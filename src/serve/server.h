@@ -115,6 +115,11 @@ struct InferenceReply
     double energy_j = 0.0;    ///< This request's energy share incl. its
                               ///< share of any reprogramming cost.
     bool deadline_met = true; ///< latency_s <= effective deadline.
+    /// Non-empty when the request failed terminally: the engine exhausted
+    /// its retry attempts or the deadline budget after tile failures. The
+    /// reply is still delivered (never a dropped promise); output is empty
+    /// and deadline_met is false.
+    std::string error;
     /// Structured completion record (request id, micro-batch sequence,
     /// queue/execute/reply nanosecond shares, modeled ns/nJ) — the same
     /// record the flight recorder retains; dumpable as JSONL via
@@ -140,6 +145,10 @@ struct ServerStats
     uint64_t completed = 0;
     uint64_t rejected = 0; ///< Admission-queue overflow or shutdown.
     uint64_t failed = 0;   ///< Completed exceptionally (e.g. bad model).
+    /// Requests completed with InferenceReply::error set (engine retries
+    /// exhausted after tile failures); a subset of `failed`.
+    uint64_t request_errors = 0;
+    uint64_t tile_failures = 0; ///< Engine tile-failure events observed.
     uint64_t interactive_completed = 0;
     uint64_t batch_completed = 0;
     uint64_t deadline_misses = 0;
@@ -211,6 +220,15 @@ class InferenceServer
 
     /** The tile weight-programming cache (shared with stats reporting). */
     const WeightCache &weightCache() const;
+
+    /**
+     * Current admission capacity, scaled by the engine's healthy-tile
+     * fraction (graceful degradation): with every tile healthy this equals
+     * ServerConfig::queue_capacity; with half the tiles out it is half,
+     * never below 1. Batch-class requests are additionally shed at half
+     * the degraded capacity so interactive traffic keeps its headroom.
+     */
+    size_t effectiveCapacity() const;
 
   private:
     struct Impl;

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <fstream>
+#include <functional>
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "fault/injection.h"
 #include "nn/loss.h"
 #include "obs/context.h"
 #include "obs/flight_recorder.h"
@@ -33,6 +36,8 @@ struct TrainObs
     obs::Counter &publishes;
     obs::Counter &modeled_ns;
     obs::Counter &modeled_nj;
+    obs::Counter &replica_failures;
+    obs::Counter &elastic_resumes;
     obs::Histogram &step_ns;
 
     static TrainObs &
@@ -46,10 +51,37 @@ struct TrainObs
                           reg.counter("train.publishes"),
                           reg.counter("train.modeled_ns"),
                           reg.counter("train.modeled_nj"),
+                          reg.counter("train.replica_failures"),
+                          reg.counter("train.elastic_resumes"),
                           reg.histogram("train.step_ns")};
         return o;
     }
 };
+
+/** Thrown out of trainStep when replicas die mid-step. The step aborts
+ *  before any reduction or optimizer mutation, so every surviving replica
+ *  still holds the last completed step's parameters and the step can be
+ *  replayed at the surviving replica count. */
+struct ReplicaFailure
+{
+    std::vector<int> replicas; ///< Indices of the replicas that died.
+};
+
+/** "train.replica_fail" injection point (see fault/injection.h):
+ *  evaluated once per (replica, accumulation round); a fire kills that
+ *  replica for the rest of the run. */
+fault::FaultPoint &
+replicaFailPoint()
+{
+    static fault::FaultPoint p("train.replica_fail");
+    return p;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return std::ifstream(path, std::ios::binary).good();
+}
 
 // Metadata keys of the checkpoint resume section (format v2).
 constexpr const char *kMetaStep = "train/step";
@@ -147,6 +179,7 @@ Trainer::Trainer(serve::ModelFactory factory,
     shard_correct_.assign(static_cast<size_t>(cfg_.shards_per_step), 0);
     step_grad_.assign(static_cast<size_t>(flat_size_), 0.0f);
     shard_batch_.resize(static_cast<size_t>(cfg_.replicas));
+    replica_failed_.assign(static_cast<size_t>(cfg_.replicas), 0);
 }
 
 Trainer::~Trainer() = default;
@@ -203,6 +236,8 @@ Trainer::trainStep(const nn::BatchIterator &it, TrainReport &report,
     const auto compute_t0 = std::chrono::steady_clock::now();
 
     std::fill(step_grad_.begin(), step_grad_.end(), 0.0f);
+    std::fill(replica_failed_.begin(), replica_failed_.end(),
+              static_cast<uint8_t>(0));
     double step_loss = 0.0;
     int64_t step_correct = 0;
 
@@ -216,6 +251,12 @@ Trainer::trainStep(const nn::BatchIterator &it, TrainReport &report,
                 MIRAGE_SPAN("train.shard");
                 obs::RequestScope shard_ctx(step_ctx);
                 obs::traceFlow("train.request", step_ctx, 't');
+                // Injected replica death: flag it and run no shards; the
+                // step aborts after the round, before any state mutation.
+                if (replicaFailPoint().shouldFire()) {
+                    replica_failed_[static_cast<size_t>(r)] = 1;
+                    continue;
+                }
                 Replica &rep = *replicas_[r];
                 nn::Dataset &shard = shard_batch_[static_cast<size_t>(r)];
                 for (int q = static_cast<int>(r); q < S; q += R) {
@@ -253,6 +294,18 @@ Trainer::trainStep(const nn::BatchIterator &it, TrainReport &report,
                 }
             }
         });
+
+        // A dead replica leaves its shard slots unwritten: abort the step
+        // before the reduction so nothing downstream observes them. The
+        // handler replays the whole step at the surviving replica count.
+        if (std::find(replica_failed_.begin(), replica_failed_.end(),
+                      static_cast<uint8_t>(1)) != replica_failed_.end()) {
+            ReplicaFailure failure;
+            for (int r = 0; r < R; ++r)
+                if (replica_failed_[static_cast<size_t>(r)])
+                    failure.replicas.push_back(r);
+            throw failure;
+        }
 
         // Fixed binary-tree reduction over the shard index — the shape
         // depends only on S, never on the replica count, so the FP32
@@ -406,45 +459,59 @@ Trainer::run(const nn::Dataset &train, const nn::Dataset *test,
 
     const auto t0 = std::chrono::steady_clock::now();
     step_wall_s_ = 0.0;
-    while (epoch_ < target_epochs) {
-        it.setEpoch(epoch_);
-        double epoch_loss = 0.0;
-        int64_t epoch_correct = 0;
-        const int64_t epoch_start_cursor = cursor_;
-        while (cursor_ + shards_per_opt_step <= usable &&
-               (max_steps == 0 || step_ - start_step < max_steps))
-            trainStep(it, report, epoch_loss, epoch_correct);
-        const bool stopped_early =
-            max_steps > 0 && step_ - start_step >= max_steps &&
-            cursor_ + shards_per_opt_step <= usable;
+    // The epoch loop restarts after a replica failure: the handler elides
+    // the dead replicas (reloading the last on-disk checkpoint when one
+    // exists) and training continues at the surviving replica count.
+    for (bool restart = true; restart;) {
+        restart = false;
+        try {
+            while (epoch_ < target_epochs) {
+                it.setEpoch(epoch_);
+                double epoch_loss = 0.0;
+                int64_t epoch_correct = 0;
+                const int64_t epoch_start_cursor = cursor_;
+                while (cursor_ + shards_per_opt_step <= usable &&
+                       (max_steps == 0 || step_ - start_step < max_steps))
+                    trainStep(it, report, epoch_loss, epoch_correct);
+                const bool stopped_early =
+                    max_steps > 0 && step_ - start_step >= max_steps &&
+                    cursor_ + shards_per_opt_step <= usable;
 
-        if (stopped_early)
-            break; // mid-epoch: epoch_/cursor_ stay put for the checkpoint
+                if (stopped_early)
+                    break; // mid-epoch: epoch_/cursor_ stay for the ckpt
 
-        const int64_t shards_done = cursor_ - epoch_start_cursor;
-        if (shards_done == 0) {
-            // Only reachable by resuming a checkpoint written at an exact
-            // epoch boundary: the epoch was already complete, so roll over
-            // without recording a spurious all-zero metrics entry.
-            ++epoch_;
-            cursor_ = 0;
-            continue;
+                const int64_t shards_done = cursor_ - epoch_start_cursor;
+                if (shards_done == 0) {
+                    // Only reachable by resuming a checkpoint written at an
+                    // exact epoch boundary: the epoch was already complete,
+                    // so roll over without recording a spurious all-zero
+                    // metrics entry.
+                    ++epoch_;
+                    cursor_ = 0;
+                    continue;
+                }
+                const int64_t samples_done = shards_done * cfg_.micro_batch;
+                report.epoch_loss.push_back(static_cast<float>(
+                    epoch_loss / static_cast<double>(shards_done)));
+                report.epoch_train_acc.push_back(
+                    static_cast<float>(epoch_correct) /
+                    static_cast<float>(samples_done));
+                if (test != nullptr)
+                    report.epoch_test_acc.push_back(
+                        nn::evaluateAccuracy(net(), *test));
+                if (cfg_.verbose) {
+                    MIRAGE_INFORM("train epoch ", epoch_, ": loss=",
+                                  report.epoch_loss.back(), " train_acc=",
+                                  report.epoch_train_acc.back(),
+                                  " step=", step_);
+                }
+                ++epoch_;
+                cursor_ = 0;
+            }
+        } catch (const ReplicaFailure &failure) {
+            handleReplicaFailure(failure.replicas, report);
+            restart = true;
         }
-        const int64_t samples_done = shards_done * cfg_.micro_batch;
-        report.epoch_loss.push_back(static_cast<float>(
-            epoch_loss / static_cast<double>(shards_done)));
-        report.epoch_train_acc.push_back(static_cast<float>(epoch_correct) /
-                                         static_cast<float>(samples_done));
-        if (test != nullptr)
-            report.epoch_test_acc.push_back(
-                nn::evaluateAccuracy(net(), *test));
-        if (cfg_.verbose) {
-            MIRAGE_INFORM("train epoch ", epoch_, ": loss=",
-                          report.epoch_loss.back(), " train_acc=",
-                          report.epoch_train_acc.back(), " step=", step_);
-        }
-        ++epoch_;
-        cursor_ = 0;
     }
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -465,6 +532,51 @@ Trainer::run(const nn::Dataset &train, const nn::Dataset *test,
     if (test != nullptr)
         report.final_test_accuracy = nn::evaluateAccuracy(net(), *test);
     return report;
+}
+
+void
+Trainer::handleReplicaFailure(const std::vector<int> &dead,
+                              TrainReport &report)
+{
+    if (dead.size() >= replicas_.size())
+        throw std::runtime_error(
+            "Trainer: every replica failed mid-step; nothing left to "
+            "continue on");
+
+    // Elide the dead replicas, highest index first so the remaining
+    // indices stay valid. The aborted step never reached the optimizer, so
+    // every survivor still holds the last completed step's parameters —
+    // whichever survivor becomes replica 0 is a bit-identical master.
+    std::vector<int> order(dead);
+    std::sort(order.begin(), order.end(), std::greater<int>());
+    for (int r : order) {
+        MIRAGE_WARN("trainer: replica ", r, " failed mid-step at step ",
+                    step_, "; eliding it (", replicas_.size() - 1,
+                    " replicas remain)");
+        replicas_.erase(replicas_.begin() + r);
+    }
+    cfg_.replicas = static_cast<int>(replicas_.size());
+    shard_batch_.resize(replicas_.size());
+    replica_failed_.assign(replicas_.size(), 0);
+    report.replica_failures += static_cast<int>(dead.size());
+    TrainObs::get().replica_failures.add(dead.size());
+
+    // Elastic resume: reload the last on-disk checkpoint when one exists.
+    // Shard contents, the reduction tree, and per-shard numerics never
+    // depend on the replica count, so replaying from the checkpoint (or,
+    // without one, simply retrying the aborted step in memory) is
+    // bit-identical to an uninterrupted run at the surviving count.
+    if (!cfg_.checkpoint_path.empty() && fileExists(cfg_.checkpoint_path)) {
+        MIRAGE_SPAN("train.elastic_resume");
+        loadCheckpointFile(cfg_.checkpoint_path);
+        ++report.elastic_resumes;
+        TrainObs::get().elastic_resumes.add(1);
+        MIRAGE_WARN("trainer: elastic resume from '", cfg_.checkpoint_path,
+                    "' at step ", step_, " with ", cfg_.replicas,
+                    " replicas");
+    }
+    for (size_t i = 0; i < dead.size(); ++i)
+        fault::recovered("train.replica_fail");
 }
 
 serve::Checkpoint

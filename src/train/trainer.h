@@ -130,6 +130,8 @@ struct TrainReport
 
     double max_grad_norm = 0.0;  ///< Largest pre-clip global norm seen.
     uint64_t clipped_steps = 0;  ///< Steps whose gradient was rescaled.
+    int replica_failures = 0;    ///< Replicas elided after mid-step failure.
+    int elastic_resumes = 0;     ///< Checkpoint reloads those failures forced.
     int checkpoints_written = 0; ///< Files saved by this run().
     int last_published_version = 0; ///< 0 when nothing was published.
     float final_test_accuracy = 0.0f;
@@ -223,6 +225,10 @@ class Trainer
     void broadcastFromReplica0();
     void trainStep(const nn::BatchIterator &it, TrainReport &report,
                    double &epoch_loss, int64_t &epoch_correct);
+    /// Elides dead replicas and (when a checkpoint file exists) reloads
+    /// the last checkpoint for an elastic resume at the surviving count.
+    void handleReplicaFailure(const std::vector<int> &dead,
+                              TrainReport &report);
 
     TrainerConfig cfg_;
     serve::ModelFactory factory_;
@@ -241,6 +247,9 @@ class Trainer
     /// One reusable batch per replica (BatchIterator::batchInto target),
     /// so steady-state steps add no allocator traffic of their own.
     std::vector<nn::Dataset> shard_batch_;
+    /// Per-replica failure flags for the current step (pre-sized so the
+    /// steady-state check stays alloc-free).
+    std::vector<uint8_t> replica_failed_;
 
     int64_t step_ = 0;   ///< Optimizer steps since construction/restore.
     int64_t epoch_ = 0;  ///< Current epoch index.

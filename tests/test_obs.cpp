@@ -28,7 +28,10 @@
 #include <vector>
 
 #include <arpa/inet.h>
+#include <csignal>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -647,6 +650,111 @@ TEST(ObsExporter, ServesScrapeEndpointsOnEphemeralPort)
     EXPECT_NE(missing.find("/metrics"), std::string::npos); // endpoint list
 
     EXPECT_GE(exporter.requestsServed(), 4u);
+}
+
+TEST(ObsExporter, WriteAllDeliversEveryByteThroughShortWrites)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+#ifdef F_SETPIPE_SZ
+    // Shrink the pipe so the writer sees the buffer fill up repeatedly and
+    // write() returns short counts instead of taking the payload whole.
+    ::fcntl(fds[1], F_SETPIPE_SZ, 4096);
+#endif
+
+    std::vector<char> payload(1 << 20);
+    for (size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<char>((i * 31 + 7) & 0xff);
+
+    std::vector<char> received;
+    received.reserve(payload.size());
+    std::thread reader([&] {
+        char buf[512]; // small chunks keep the pipe near-full
+        for (;;) {
+            const ssize_t n = ::read(fds[0], buf, sizeof buf);
+            if (n <= 0)
+                break;
+            received.insert(received.end(), buf, buf + n);
+        }
+    });
+
+    EXPECT_TRUE(obs::writeAll(fds[1], payload.data(), payload.size()));
+    ::close(fds[1]);
+    reader.join();
+    ::close(fds[0]);
+
+    ASSERT_EQ(received.size(), payload.size());
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(), received.begin()));
+}
+
+TEST(ObsExporter, WriteAllRetriesInterruptedWrites)
+{
+    // Install a no-op SIGUSR1 handler WITHOUT SA_RESTART so a blocked
+    // write() returns EINTR instead of resuming transparently.
+    struct sigaction sa = {};
+    sa.sa_handler = [](int) {};
+    sa.sa_flags = 0;
+    struct sigaction old_sa;
+    ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old_sa), 0);
+
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+#ifdef F_SETPIPE_SZ
+    ::fcntl(fds[1], F_SETPIPE_SZ, 4096);
+#endif
+
+    std::vector<char> payload(256 * 1024);
+    for (size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<char>((i * 13 + 3) & 0xff);
+
+    std::atomic<bool> write_done{false};
+    bool write_ok = false;
+    std::thread writer([&] {
+        write_ok = obs::writeAll(fds[1], payload.data(), payload.size());
+        write_done.store(true, std::memory_order_release);
+        ::close(fds[1]);
+    });
+
+    // Pepper the writer with signals while draining slowly, so some write()
+    // calls are interrupted mid-wait on the full pipe.
+    std::vector<char> received;
+    received.reserve(payload.size());
+    char buf[512];
+    while (!write_done.load(std::memory_order_acquire) ||
+           received.size() < payload.size()) {
+        ::pthread_kill(writer.native_handle(), SIGUSR1);
+        const ssize_t n = ::read(fds[0], buf, sizeof buf);
+        if (n <= 0)
+            break;
+        received.insert(received.end(), buf, buf + n);
+    }
+    // Drain whatever is still buffered after the writer finished.
+    for (;;) {
+        const ssize_t n = ::read(fds[0], buf, sizeof buf);
+        if (n <= 0)
+            break;
+        received.insert(received.end(), buf, buf + n);
+    }
+    writer.join();
+    ::close(fds[0]);
+    ::sigaction(SIGUSR1, &old_sa, nullptr);
+
+    EXPECT_TRUE(write_ok);
+    ASSERT_EQ(received.size(), payload.size());
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(), received.begin()));
+}
+
+TEST(ObsExporter, WriteAllReportsPeerClosure)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    ::close(sv[0]); // peer goes away
+
+    // MSG_NOSIGNAL in writeAll turns the would-be SIGPIPE into an error
+    // return; a large payload guarantees at least one failing send().
+    std::vector<char> payload(1 << 20, 'x');
+    EXPECT_FALSE(obs::writeAll(sv[1], payload.data(), payload.size()));
+    ::close(sv[1]);
 }
 
 TEST(ObsFlight, RingKeepsNewestRecordsOldestFirst)

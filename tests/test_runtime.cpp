@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/mirage.h"
+#include "fault/injection.h"
 #include "models/zoo.h"
 #include "obs/metrics.h"
 #include "runtime/engine.h"
@@ -649,6 +650,174 @@ TEST_F(RuntimeEngineTest, DestructorDrainsOutstandingJobs)
         fut = engine.submitGemm(makeRequest(rng, 12, 16, 4));
     } // destructor must complete the job, not abandon the promise
     EXPECT_EQ(fut.get().c.size(), 12u * 4u);
+}
+
+// ---------------------------------------------------------------------------
+// RuntimeEngine tile failover
+// ---------------------------------------------------------------------------
+
+/** Disarms the fault registry around a test body so injected schedules
+ *  cannot leak between tests (or in from MIRAGE_FAULT). */
+struct FaultGuard
+{
+    FaultGuard() { fault::reset(); }
+    ~FaultGuard() { fault::reset(); }
+};
+
+TEST_F(RuntimeEngineTest, GemmResultsAreBitIdenticalAcrossInjectedFailover)
+{
+    // A GEMM whose first dispatch loses a tile mid-group must retry on
+    // the survivors and still produce byte-identical output: re-sharding
+    // rewrites the result buffers wholesale, and per-element math is
+    // shard-shape independent.
+    FaultGuard guard;
+    runtime::GemmRequest req = makeRequest(rng, 24, 32, 8);
+
+    const auto runOnce = [&](bool inject) {
+        runtime::EngineConfig cfg;
+        cfg.tiles = 4;
+        runtime::RuntimeEngine engine(cfg);
+        if (inject)
+            fault::armPoint("engine.tile_fail", fault::FaultSpec::hit(1));
+        const std::vector<float> c = engine.submitGemm(req).get().c;
+        fault::reset();
+        if (inject) {
+            EXPECT_EQ(engine.healthyTiles(), 3);
+            EXPECT_GE(engine.report().tile_failures, 1u);
+            EXPECT_GE(engine.report().job_retries, 1u);
+        }
+        return c;
+    };
+
+    const std::vector<float> clean = runOnce(false);
+    const std::vector<float> failover = runOnce(true);
+    ASSERT_EQ(clean.size(), failover.size());
+    for (size_t i = 0; i < clean.size(); ++i)
+        EXPECT_EQ(clean[i], failover[i]) << "element " << i;
+}
+
+TEST_F(RuntimeEngineTest, FailTilePublishesListenerEventsAndCooldownRejoins)
+{
+    FaultGuard guard;
+    runtime::EngineConfig cfg;
+    cfg.tiles = 3;
+    cfg.tile_cooldown_dispatches = 2;
+    runtime::RuntimeEngine engine(cfg);
+
+    std::mutex mu;
+    std::vector<std::pair<int, bool>> events;
+    const int id = engine.addTileListener([&](int tile, bool healthy) {
+        std::lock_guard<std::mutex> lk(mu);
+        events.emplace_back(tile, healthy);
+    });
+
+    engine.failTile(1);
+    EXPECT_EQ(engine.healthyTiles(), 2);
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        ASSERT_EQ(events.size(), 1u);
+        EXPECT_EQ(events[0], std::make_pair(1, false));
+    }
+
+    // Each dispatch steps the cooldown; after tile_cooldown_dispatches
+    // the tile rejoins and the listener sees the recovery edge.
+    for (int i = 0; i < cfg.tile_cooldown_dispatches; ++i)
+        engine.submitGemm(makeRequest(rng, 6, 16, 4)).get();
+    engine.drain();
+    EXPECT_EQ(engine.healthyTiles(), 3);
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        ASSERT_EQ(events.size(), 2u);
+        EXPECT_EQ(events[1], std::make_pair(1, true));
+    }
+
+    // A removed listener sees nothing further.
+    engine.removeTileListener(id);
+    engine.failTile(0);
+    engine.drain();
+    std::lock_guard<std::mutex> lk(mu);
+    EXPECT_EQ(events.size(), 2u);
+}
+
+TEST_F(RuntimeEngineTest, TaskSurvivesInjectedTileFailureWithOneExecution)
+{
+    // The injection fires before the task body, so a retried task runs
+    // its body exactly once — the retry is clean-slate, never a replay
+    // on top of partial effects.
+    FaultGuard guard;
+    runtime::EngineConfig cfg;
+    cfg.tiles = 2;
+    runtime::RuntimeEngine engine(cfg);
+
+    const uint64_t recovered_before = obs::MetricsRegistry::global()
+                                          .counter(
+                                              "fault.recovered.engine."
+                                              "tile_fail")
+                                          .value();
+    fault::armPoint("engine.tile_fail", fault::FaultSpec::hit(1));
+    std::atomic<int> runs{0};
+    auto fut = engine.submitTask(
+        [&](core::MirageAccelerator &, Rng &) { runs.fetch_add(1); });
+    EXPECT_NO_THROW(fut.get());
+    fault::reset();
+
+    EXPECT_EQ(runs.load(), 1);
+    EXPECT_EQ(engine.healthyTiles(), 1);
+    EXPECT_EQ(obs::MetricsRegistry::global()
+                      .counter("fault.recovered.engine.tile_fail")
+                      .value() -
+                  recovered_before,
+              1u);
+}
+
+TEST_F(RuntimeEngineTest, TaskFailsTerminallyThroughOnFailAfterRetries)
+{
+    // A tile failure on every attempt exhausts max_job_attempts: the
+    // future carries TileFailure and the on_fail callback fires once
+    // with the terminal reason.
+    FaultGuard guard;
+    runtime::EngineConfig cfg;
+    cfg.tiles = 2;
+    cfg.max_job_attempts = 2;
+    runtime::RuntimeEngine engine(cfg);
+
+    fault::armPoint("engine.tile_fail", fault::FaultSpec::hitEvery(1, 1));
+    std::mutex mu;
+    std::vector<std::string> reasons;
+    runtime::TaskOptions opts;
+    opts.on_fail = [&](const std::string &why) {
+        std::lock_guard<std::mutex> lk(mu);
+        reasons.push_back(why);
+    };
+    std::atomic<int> runs{0};
+    auto fut = engine.submitTask(
+        [&](core::MirageAccelerator &, Rng &) { runs.fetch_add(1); }, opts);
+    EXPECT_THROW(fut.get(), runtime::TileFailure);
+    fault::reset();
+
+    EXPECT_EQ(runs.load(), 0);
+    std::lock_guard<std::mutex> lk(mu);
+    ASSERT_EQ(reasons.size(), 1u);
+    EXPECT_NE(reasons[0].find("attempts"), std::string::npos) << reasons[0];
+}
+
+TEST_F(RuntimeEngineTest, AllTilesUnhealthyForcesAProbeAndRecovers)
+{
+    // With every tile unhealthy the engine must not deadlock: it forces
+    // a probe dispatch on the tile closest to reintegration, and a
+    // successful probe marks that tile healthy again.
+    FaultGuard guard;
+    runtime::EngineConfig cfg;
+    cfg.tiles = 2;
+    runtime::RuntimeEngine engine(cfg);
+    engine.failTile(0);
+    engine.failTile(1);
+    EXPECT_EQ(engine.healthyTiles(), 0);
+
+    const runtime::GemmRequest req = makeRequest(rng, 8, 16, 4);
+    EXPECT_EQ(engine.submitGemm(req).get().c.size(), 8u * 4u);
+    engine.drain();
+    EXPECT_GE(engine.healthyTiles(), 1);
 }
 
 } // namespace

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <set>
 #include <string>
 #include <vector>
@@ -15,6 +17,7 @@
 #include "core/mirage.h"
 #include "models/trainable.h"
 #include "nn/data.h"
+#include "obs/metrics.h"
 #include "serve/checkpoint.h"
 #include "test_support.h"
 
@@ -358,6 +361,180 @@ TEST_F(CheckpointTest, CraftedTensorDimensionsCannotOverflowElementCount)
     putU64(rest, checksum);
     EXPECT_THROW(serve::deserialize(craftedFile(body.size(), rest)),
                  serve::CheckpointError);
+}
+
+// ---------------------------------------------------------------------------
+// On-disk damage classification and the .last_good fallback
+// ---------------------------------------------------------------------------
+
+/** Temp checkpoint path that also cleans its .last_good sibling. */
+struct TempCheckpoint
+{
+    std::string path;
+    explicit TempCheckpoint(const std::string &name)
+        : path(::testing::TempDir() + name)
+    {
+        cleanup();
+    }
+    ~TempCheckpoint() { cleanup(); }
+    void
+    cleanup()
+    {
+        std::remove(path.c_str());
+        std::remove((path + ".last_good").c_str());
+    }
+};
+
+std::vector<uint8_t>
+readBytes(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(is.good()) << path;
+    return std::vector<uint8_t>(std::istreambuf_iterator<char>(is),
+                                std::istreambuf_iterator<char>());
+}
+
+void
+writeBytes(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(reinterpret_cast<const char *>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(os.good()) << path;
+}
+
+/** loadFile(path) expecting a CheckpointError of `kind` whose message
+ *  contains `phrase`. */
+void
+expectLoadError(const std::string &path, serve::CheckpointError::Kind kind,
+                const std::string &phrase)
+{
+    try {
+        serve::loadFile(path);
+        FAIL() << "load of damaged '" << path << "' succeeded";
+    } catch (const serve::CheckpointError &e) {
+        EXPECT_EQ(static_cast<int>(e.kind()), static_cast<int>(kind))
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find(phrase), std::string::npos)
+            << "message should mention '" << phrase << "': " << e.what();
+    }
+}
+
+TEST_F(CheckpointTest, ByteFlipsAtSeveralOffsetsReportChecksumMismatch)
+{
+    // One saved generation, no .last_good sibling: damage must surface as
+    // a classified CheckpointError, and any body-byte flip — early, the
+    // middle, the end of the body, or inside the trailing checksum — must
+    // deterministically report ChecksumMismatch, never a parse error from
+    // whatever structure the flipped byte happened to hit.
+    TempCheckpoint file("ckpt_flip.mirckpt");
+    serve::saveFile(serve::snapshot(*net, "mlp"), file.path);
+    const std::vector<uint8_t> good = readBytes(file.path);
+    constexpr size_t kHeader = 20; // magic + version + body length
+
+    ASSERT_GT(good.size(), kHeader + 16);
+    const size_t offsets[] = {kHeader, good.size() / 4, good.size() / 2,
+                              good.size() - 9, // last body byte
+                              good.size() - 1}; // inside stored checksum
+    for (const size_t off : offsets) {
+        std::vector<uint8_t> bad = good;
+        bad[off] ^= 0x01;
+        writeBytes(file.path, bad);
+        SCOPED_TRACE("flip at offset " + std::to_string(off));
+        expectLoadError(file.path,
+                        serve::CheckpointError::Kind::ChecksumMismatch,
+                        "checksum mismatch");
+    }
+}
+
+TEST_F(CheckpointTest, TruncationAtSeveralOffsetsReportsTruncated)
+{
+    // Cut the file short at several points — inside the header, inside
+    // the body, one byte shy of complete: every cut must classify as
+    // Truncated (a torn write), not Malformed or ChecksumMismatch.
+    TempCheckpoint file("ckpt_trunc.mirckpt");
+    serve::saveFile(serve::snapshot(*net, "mlp"), file.path);
+    const std::vector<uint8_t> good = readBytes(file.path);
+
+    for (const size_t keep :
+         {size_t{0}, size_t{7}, size_t{19}, good.size() / 3,
+          good.size() / 2, good.size() - 1}) {
+        std::vector<uint8_t> cut(good.begin(),
+                                 good.begin() + static_cast<long>(keep));
+        writeBytes(file.path, cut);
+        SCOPED_TRACE("truncate to " + std::to_string(keep) + " bytes");
+        expectLoadError(file.path, serve::CheckpointError::Kind::Truncated,
+                        "truncated");
+    }
+}
+
+TEST_F(CheckpointTest, LastGoodFallbackRecoversDamagedPrimary)
+{
+    // Two saves rotate generation 1 into .last_good. Damaging the primary
+    // must fall back to the intact previous generation (loudly, with the
+    // serve.ckpt.fallbacks counter bumped) for both recoverable kinds.
+    TempCheckpoint file("ckpt_fallback.mirckpt");
+    serve::Checkpoint gen = serve::snapshot(*net, "mlp");
+    gen.metadata["train/step"] = 1;
+    serve::saveFile(gen, file.path);
+    gen.metadata["train/step"] = 2;
+    serve::saveFile(gen, file.path);
+    const std::vector<uint8_t> primary = readBytes(file.path);
+
+    obs::Counter &fallbacks =
+        obs::MetricsRegistry::global().counter("serve.ckpt.fallbacks");
+    const uint64_t before = fallbacks.value();
+
+    // Checksum damage.
+    std::vector<uint8_t> flipped = primary;
+    flipped[flipped.size() / 2] ^= 0xff;
+    writeBytes(file.path, flipped);
+    EXPECT_EQ(serve::loadFile(file.path).meta("train/step"), 1);
+    EXPECT_EQ(fallbacks.value() - before, 1u);
+
+    // Torn write.
+    writeBytes(file.path,
+               std::vector<uint8_t>(primary.begin(),
+                                    primary.begin() +
+                                        static_cast<long>(primary.size() /
+                                                          2)));
+    EXPECT_EQ(serve::loadFile(file.path).meta("train/step"), 1);
+    EXPECT_EQ(fallbacks.value() - before, 2u);
+
+    // Intact primary never consults the fallback.
+    writeBytes(file.path, primary);
+    EXPECT_EQ(serve::loadFile(file.path).meta("train/step"), 2);
+    EXPECT_EQ(fallbacks.value() - before, 2u);
+}
+
+TEST_F(CheckpointTest, FallbackIsSkippedForNonRecoverableDamage)
+{
+    // Structural damage (bad magic) is not something a stale sibling can
+    // fix — an operator pointing at the wrong file should hear about it,
+    // not silently get old weights.
+    TempCheckpoint file("ckpt_no_fallback.mirckpt");
+    const serve::Checkpoint gen = serve::snapshot(*net, "mlp");
+    serve::saveFile(gen, file.path);
+    serve::saveFile(gen, file.path); // rotate an intact .last_good
+    std::vector<uint8_t> bad = readBytes(file.path);
+    bad[0] = 'X';
+    writeBytes(file.path, bad);
+    expectLoadError(file.path, serve::CheckpointError::Kind::Malformed,
+                    "bad magic");
+}
+
+TEST_F(CheckpointTest, DamagedPrimaryWithoutFallbackRethrows)
+{
+    TempCheckpoint file("ckpt_lone.mirckpt");
+    serve::saveFile(serve::snapshot(*net, "mlp"), file.path);
+    std::vector<uint8_t> bad = readBytes(file.path);
+    bad[bad.size() / 2] ^= 0xff;
+    writeBytes(file.path, bad);
+    // Single generation: no .last_good exists, the primary error
+    // propagates with its classification intact.
+    expectLoadError(file.path,
+                    serve::CheckpointError::Kind::ChecksumMismatch,
+                    "checksum mismatch");
 }
 
 } // namespace

@@ -211,6 +211,84 @@ TEST(WeightCache, ZeroTilesRejected)
                  std::invalid_argument);
 }
 
+TEST(WeightCache, InvalidateTileForgetsOnlyThatTile)
+{
+    // Tile failure drops one tile's analog weights; the other tiles'
+    // residency must be untouched.
+    serve::WeightCache cache(3, arch::MirageConfig{});
+    const serve::TileProgramCost a = cache.acquire("a", 64);
+    const serve::TileProgramCost b = cache.acquire("b", 64);
+    cache.acquire("c", 64);
+
+    cache.invalidateTile(b.tile);
+    EXPECT_TRUE(cache.acquire("a", 64).hit);
+    EXPECT_TRUE(cache.acquire("c", 64).hit);
+    const serve::TileProgramCost b2 = cache.acquire("b", 64);
+    EXPECT_FALSE(b2.hit) << "dead tile's entry must be forgotten";
+    EXPECT_GT(b2.time_s, 0.0) << "reprogramming is charged in full";
+    (void)a;
+}
+
+TEST(WeightCache, InvalidateTileDoesNotDisturbOtherTilesLruOrder)
+{
+    serve::WeightCache cache(3, arch::MirageConfig{});
+    const serve::TileProgramCost a = cache.acquire("a", 64); // LRU
+    cache.acquire("b", 64);
+    const serve::TileProgramCost b = cache.acquire("b", 64);
+    cache.acquire("c", 64); // MRU
+    ASSERT_TRUE(b.hit);
+
+    // Killing b's tile empties that slot; a new model must land there
+    // (empty slot preferred) without evicting anyone.
+    cache.invalidateTile(b.tile);
+    const uint64_t evictions_before = cache.stats().evictions;
+    const serve::TileProgramCost d = cache.acquire("d", 64);
+    EXPECT_EQ(d.tile, b.tile);
+    EXPECT_EQ(cache.stats().evictions, evictions_before)
+        << "filling the emptied slot is not an eviction";
+
+    // The surviving tiles kept their LRU order: the next eviction victim
+    // is still a (older than c and d), never c.
+    const serve::TileProgramCost e = cache.acquire("e", 64);
+    EXPECT_EQ(e.tile, a.tile);
+    EXPECT_TRUE(cache.acquire("c", 64).hit);
+    EXPECT_FALSE(cache.acquire("a", 64).hit);
+}
+
+TEST(WeightCache, InvalidateTileLeavesHitRateAccountingAlone)
+{
+    // Invalidation is not a request: hits/misses/evictions and the
+    // charged programming cost must not move until the next acquire.
+    serve::WeightCache cache(2, arch::MirageConfig{});
+    const serve::TileProgramCost a = cache.acquire("a", 64);
+    cache.acquire("a", 64);
+    const serve::WeightCache::Stats before = cache.stats();
+
+    cache.invalidateTile(a.tile);
+    const serve::WeightCache::Stats after = cache.stats();
+    EXPECT_EQ(after.hits, before.hits);
+    EXPECT_EQ(after.misses, before.misses);
+    EXPECT_EQ(after.evictions, before.evictions);
+    EXPECT_DOUBLE_EQ(after.programming_time_s, before.programming_time_s);
+    EXPECT_DOUBLE_EQ(after.programming_energy_j,
+                     before.programming_energy_j);
+    EXPECT_DOUBLE_EQ(after.hitRate(), before.hitRate());
+
+    // The re-acquire after the failure is an ordinary miss.
+    EXPECT_FALSE(cache.acquire("a", 64).hit);
+    EXPECT_EQ(cache.stats().misses, before.misses + 1);
+}
+
+TEST(WeightCache, InvalidateTileIgnoresOutOfRangeTiles)
+{
+    serve::WeightCache cache(2, arch::MirageConfig{});
+    cache.acquire("a", 64);
+    cache.invalidateTile(-1);
+    cache.invalidateTile(2);
+    cache.invalidateTile(99);
+    EXPECT_TRUE(cache.acquire("a", 64).hit);
+}
+
 TEST(WeightCache, DistinctVersionsAreDistinctResidencies)
 {
     serve::WeightCache cache(2, arch::MirageConfig{});

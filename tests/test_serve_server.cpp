@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/injection.h"
 #include "models/trainable.h"
 #include "models/zoo.h"
 #include "runtime/engine.h"
@@ -195,7 +196,7 @@ TEST_F(ServeTest, BatchSizeHistogramAddsUpToCompletedRequests)
     std::vector<std::future<serve::InferenceReply>> futs;
     for (int i = 0; i < 17; ++i) {
         serve::InferenceRequest req;
-        req.model = i % 3 == 0 ? "a" : "b";
+        req.model = i % 3 == 0 ? std::string("a") : std::string("b");
         req.slo = i % 2 == 0 ? serve::SloClass::Interactive
                              : serve::SloClass::Batch;
         futs.push_back(server.submit(std::move(req)));
@@ -383,6 +384,132 @@ TEST_F(ServeTest, ServePathIsDeterministicAcrossTilesThreadsAndBatching)
         }
     }
     runtime::ThreadPool::setGlobalThreads(0);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation under tile failures
+// ---------------------------------------------------------------------------
+
+/** Disarms the fault registry around a test body. */
+struct FaultGuard
+{
+    FaultGuard() { fault::reset(); }
+    ~FaultGuard() { fault::reset(); }
+};
+
+TEST_F(ServeTest, TerminalEngineFailureDeliversErrorReply)
+{
+    // When the engine exhausts its retry attempts the request must fail
+    // *individually* — the reply is still delivered (never a dropped
+    // promise), carrying the terminal reason in the error field.
+    FaultGuard guard;
+    serve::ModelRepository repo;
+    repo.publishShape("resnet", models::resNet18());
+    runtime::EngineConfig ecfg;
+    ecfg.tiles = 1;
+    ecfg.max_job_attempts = 2;
+    runtime::RuntimeEngine engine(ecfg);
+    serve::InferenceServer server(repo, engine);
+
+    fault::armPoint("engine.tile_fail", fault::FaultSpec::hitEvery(1, 1));
+    serve::InferenceRequest req;
+    req.model = "resnet";
+    const serve::InferenceReply reply = server.submit(std::move(req)).get();
+    fault::reset();
+
+    EXPECT_FALSE(reply.error.empty());
+    EXPECT_NE(reply.error.find("attempts"), std::string::npos)
+        << reply.error;
+    EXPECT_FALSE(reply.deadline_met);
+    EXPECT_EQ(reply.output.size(), 0);
+
+    server.drain();
+    const serve::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed, 0u);
+    EXPECT_EQ(stats.failed, 1u);
+    EXPECT_EQ(stats.request_errors, 1u);
+    EXPECT_GE(stats.tile_failures, 1u);
+}
+
+TEST_F(ServeTest, EffectiveCapacityTracksHealthyTileCount)
+{
+    serve::ModelRepository repo;
+    repo.publishShape("resnet", models::resNet18());
+    runtime::EngineConfig ecfg;
+    ecfg.tiles = 4;
+    ecfg.tile_cooldown_dispatches = 1;
+    runtime::RuntimeEngine engine(ecfg);
+    serve::ServerConfig scfg;
+    scfg.queue_capacity = 100;
+    serve::InferenceServer server(repo, engine, scfg);
+
+    EXPECT_EQ(server.effectiveCapacity(), 100u);
+    engine.failTile(0); // tile listeners fire synchronously
+    EXPECT_EQ(server.effectiveCapacity(), 75u);
+    engine.failTile(1);
+    engine.failTile(2);
+    EXPECT_EQ(server.effectiveCapacity(), 25u);
+    engine.failTile(3);
+    EXPECT_EQ(server.effectiveCapacity(), 1u)
+        << "capacity never degrades to zero: one request can always probe";
+    EXPECT_EQ(server.stats().tile_failures, 4u);
+
+    // One dispatch steps every cooldown; the rejoin events restore the
+    // admission capacity.
+    serve::InferenceRequest req;
+    req.model = "resnet";
+    server.submit(std::move(req)).get();
+    server.drain();
+    EXPECT_EQ(server.effectiveCapacity(), 100u);
+}
+
+TEST_F(ServeTest, DegradedServerShedsBatchBeforeInteractive)
+{
+    // With half the tiles gone, admission capacity halves and the batch
+    // class is shed at half of that again, so interactive requests keep
+    // meeting deadlines through the degradation.
+    serve::ModelRepository repo;
+    repo.publishShape("resnet", models::resNet18());
+    runtime::EngineConfig ecfg;
+    ecfg.tiles = 2;
+    ecfg.tile_cooldown_dispatches = 1000; // stay degraded for the test
+    runtime::RuntimeEngine engine(ecfg);
+    serve::ServerConfig scfg;
+    scfg.queue_capacity = 8;
+    scfg.max_batch = 16;
+    scfg.batch = {5.0, 10.0}; // park batch requests in the pending queue
+    serve::InferenceServer server(repo, engine, scfg);
+
+    engine.failTile(0);
+    EXPECT_EQ(server.effectiveCapacity(), 4u);
+
+    const auto submit = [&](serve::SloClass slo) {
+        serve::InferenceRequest req;
+        req.model = "resnet";
+        req.slo = slo;
+        return server.submit(std::move(req));
+    };
+
+    // Batch capacity while degraded: 4 / 2 = 2. The third batch request
+    // is shed at admission...
+    std::vector<std::future<serve::InferenceReply>> parked;
+    parked.push_back(submit(serve::SloClass::Batch));
+    parked.push_back(submit(serve::SloClass::Batch));
+    auto shed = submit(serve::SloClass::Batch);
+    EXPECT_THROW(shed.get(), std::runtime_error);
+
+    // ...while interactive admission (capacity 4) still accepts.
+    const serve::InferenceReply reply =
+        submit(serve::SloClass::Interactive).get();
+    EXPECT_TRUE(reply.error.empty());
+
+    server.shutdown(); // flushes the parked batch group
+    for (auto &f : parked)
+        EXPECT_NO_THROW(f.get());
+    const serve::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.rejected, 1u);
+    EXPECT_EQ(stats.completed, 3u);
+    EXPECT_EQ(stats.interactive_completed, 1u);
 }
 
 } // namespace

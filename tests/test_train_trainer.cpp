@@ -12,10 +12,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <set>
 #include <vector>
 
+#include "fault/injection.h"
 #include "models/trainable.h"
 #include "nn/data.h"
 #include "serve/checkpoint.h"
@@ -502,6 +505,117 @@ TEST_F(TrainerTest, RunRejectsDatasetSmallerThanOneStep)
     train::Trainer trainer(mlpFactory(), std::make_unique<nn::Sgd>(0.05f),
                            cfg);
     EXPECT_THROW(trainer.run(train_data, nullptr, 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Replica failure and elastic resume
+// ---------------------------------------------------------------------------
+
+/** Disarms the fault registry around a test body. */
+struct FaultGuard
+{
+    FaultGuard() { fault::reset(); }
+    ~FaultGuard() { fault::reset(); }
+};
+
+/** Replica-0 parameters flattened for bit-exact comparison. */
+std::vector<float>
+flatParams(train::Trainer &t)
+{
+    std::vector<float> out;
+    for (const nn::Param *p : t.net().params())
+        out.insert(out.end(), p->value.data(),
+                   p->value.data() + p->value.size());
+    return out;
+}
+
+TEST_F(TrainerTest, ReplicaKillIsBitIdenticalToLowerReplicaRun)
+{
+    // Replica count never touches the numbers: shard order and the
+    // reduction tree depend only on the shard count. So a mid-run kill
+    // that elides one of three replicas must land on weights
+    // bit-identical to an uninterrupted two-replica run — even with no
+    // checkpoint to resume from, because the aborted step left no
+    // side effects.
+    FaultGuard guard;
+    const int64_t steps = 6;
+
+    train::TrainerConfig base_cfg = baseConfig();
+    base_cfg.replicas = 2;
+    train::Trainer baseline(mlpFactory(), std::make_unique<nn::Sgd>(0.05f),
+                            base_cfg);
+    baseline.run(train_data, nullptr, 1000, steps);
+
+    train::TrainerConfig chaos_cfg = baseConfig();
+    chaos_cfg.replicas = 3;
+    // 3 replica evaluations per step: eval 5 kills one replica during
+    // step 2.
+    fault::armPoint("train.replica_fail", fault::FaultSpec::hit(5));
+    train::Trainer chaos(mlpFactory(), std::make_unique<nn::Sgd>(0.05f),
+                         chaos_cfg);
+    const train::TrainReport report =
+        chaos.run(train_data, nullptr, 1000, steps);
+    fault::reset();
+
+    EXPECT_EQ(report.replica_failures, 1);
+    EXPECT_EQ(report.elastic_resumes, 0) << "no checkpoint was configured";
+    EXPECT_EQ(chaos.config().replicas, 2);
+    EXPECT_EQ(chaos.globalStep(), steps);
+    EXPECT_EQ(flatParams(chaos), flatParams(baseline));
+}
+
+TEST_F(TrainerTest, ReplicaKillResumesElasticallyFromCheckpoint)
+{
+    FaultGuard guard;
+    const std::string path =
+        ::testing::TempDir() + "trainer_elastic.mirckpt";
+    std::remove(path.c_str());
+    std::remove((path + ".last_good").c_str());
+    const int64_t steps = 6;
+
+    train::TrainerConfig base_cfg = baseConfig();
+    base_cfg.replicas = 2;
+    train::Trainer baseline(mlpFactory(), std::make_unique<nn::Sgd>(0.05f),
+                            base_cfg);
+    baseline.run(train_data, nullptr, 1000, steps);
+
+    train::TrainerConfig chaos_cfg = baseConfig();
+    chaos_cfg.replicas = 3;
+    chaos_cfg.checkpoint_path = path;
+    chaos_cfg.checkpoint_every_steps = 2;
+    // Step 3 spans evaluations 7..9: the kill lands after the step-2
+    // checkpoint exists, so the trainer reloads it and replays 3..6 at
+    // two replicas.
+    fault::armPoint("train.replica_fail", fault::FaultSpec::hit(8));
+    train::Trainer chaos(mlpFactory(), std::make_unique<nn::Sgd>(0.05f),
+                         chaos_cfg);
+    const train::TrainReport report =
+        chaos.run(train_data, nullptr, 1000, steps);
+    fault::reset();
+
+    EXPECT_EQ(report.replica_failures, 1);
+    EXPECT_EQ(report.elastic_resumes, 1);
+    EXPECT_EQ(chaos.config().replicas, 2);
+    EXPECT_EQ(chaos.globalStep(), steps);
+    EXPECT_EQ(flatParams(chaos), flatParams(baseline));
+
+    std::remove(path.c_str());
+    std::remove((path + ".last_good").c_str());
+}
+
+TEST_F(TrainerTest, LosingEveryReplicaIsTerminal)
+{
+    // With one replica a kill leaves no survivors: the trainer must fail
+    // loudly rather than spin on an empty replica set.
+    FaultGuard guard;
+    train::TrainerConfig cfg = baseConfig();
+    cfg.replicas = 1;
+    fault::armPoint("train.replica_fail", fault::FaultSpec::hit(1));
+    train::Trainer trainer(mlpFactory(), std::make_unique<nn::Sgd>(0.05f),
+                           cfg);
+    EXPECT_THROW(trainer.run(train_data, nullptr, 1000, 4),
+                 std::runtime_error);
+    fault::reset();
 }
 
 TEST_F(TrainerTest, PublishNowWithoutRepositoryThrows)
