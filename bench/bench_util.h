@@ -22,6 +22,7 @@
 
 #include "common/table.h"
 #include "obs/exporter.h"
+#include "obs/fidelity.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -39,6 +40,9 @@ struct BenchOptions
     std::string trace_path;
     /// --metrics <path>: dump the MetricsRegistry as JSON at the end.
     std::string metrics_path;
+    /// --fidelity-report <path>: dump the per-layer numerical-fidelity
+    /// report (obs::fidelity::writeReportFile) at the end.
+    std::string fidelity_report_path;
 
     static BenchOptions
     parse(int argc, char **argv)
@@ -67,17 +71,26 @@ struct BenchOptions
                     std::exit(2);
                 }
                 opts.metrics_path = argv[++i];
+            } else if (std::strcmp(argv[i], "--fidelity-report") == 0) {
+                if (i + 1 >= argc) {
+                    std::cerr << "--fidelity-report needs a file path\n";
+                    std::exit(2);
+                }
+                opts.fidelity_report_path = argv[++i];
             } else if (std::strcmp(argv[i], "--help") == 0) {
                 std::cout << "usage: " << argv[0]
                           << " [--full] [--csv] [--json <path>]"
-                             " [--trace <path>] [--metrics <path>]\n"
+                             " [--trace <path>] [--metrics <path>]"
+                             " [--fidelity-report <path>]\n"
                              "  --full           paper-scale sweep (slower)\n"
                              "  --csv            machine-readable output\n"
                              "  --json <path>    write results as JSON\n"
                              "  --trace <path>   record spans, export a "
                              "Chrome trace JSON\n"
                              "  --metrics <path> dump the metrics registry "
-                             "as JSON\n";
+                             "as JSON\n"
+                             "  --fidelity-report <path> dump the "
+                             "numerical-fidelity report as JSON\n";
                 std::exit(0);
             }
         }
@@ -108,6 +121,11 @@ writeObsOutputs(const BenchOptions &opts)
         ok = obs::MetricsRegistry::global().writeJsonFile(opts.metrics_path) &&
              ok;
         std::cout << "metrics dump written to " << opts.metrics_path << "\n";
+    }
+    if (!opts.fidelity_report_path.empty()) {
+        ok = obs::fidelity::writeReportFile(opts.fidelity_report_path) && ok;
+        std::cout << "fidelity report written to "
+                  << opts.fidelity_report_path << "\n";
     }
     return ok;
 }

@@ -222,11 +222,18 @@ def check_min_speedup(current_path, specs):
 
 
 def load_metrics_counters(path):
-    """name -> value from a MetricsRegistry::writeJsonFile dump."""
+    """name -> value from a MetricsRegistry::writeJsonFile dump.  Gauges
+    are merged in after counters so monotonic-min/-max gauges (e.g.
+    fidelity.rns.overflow_margin_min) can share the --counter-min floor
+    machinery; a name collision between the two sections keeps the gauge
+    value."""
     with open(path) as f:
         doc = json.load(f)
-    return {str(k): float(v)
-            for k, v in doc.get("counters", {}).items()}
+    out = {str(k): float(v)
+           for k, v in doc.get("counters", {}).items()}
+    out.update({str(k): float(v)
+                for k, v in doc.get("gauges", {}).items()})
+    return out
 
 
 def check_counters(metrics_path, mins, ratio_mins):

@@ -170,6 +170,37 @@ main(int argc, char **argv)
                  formatFixed(measure(threads, iters, fault_loop), 2)});
         }
     }
+    // Fidelity probe gate: the per-GEMM check every backend pays when
+    // MIRAGE_FIDELITY is unset (disabled: one relaxed load and a branch,
+    // the <= 2 ns contract asserted by test_obs_fidelity) and when probes
+    // are armed at a sampling interval too large to ever fire (armed-idle:
+    // adds a local counter increment and a modulo). Each thread owns its
+    // sampler, as each backend instance does in production.
+    {
+        std::atomic<uint64_t> probe_sink{0};
+        const auto probe_loop = [&](uint64_t n) {
+            obs::fidelity::ProbeSampler sampler;
+            uint64_t acc = 0;
+            for (uint64_t i = 0; i < n; ++i)
+                acc += sampler.sample() ? 1 : 0;
+            probe_sink.fetch_add(acc, std::memory_order_relaxed);
+        };
+        obs::fidelity::setProbeInterval(0);
+        for (int threads : thread_counts) {
+            table.addRow(
+                {"fidelity.probe_check", "disabled", std::to_string(threads),
+                 std::to_string(iters),
+                 formatFixed(measure(threads, iters, probe_loop), 2)});
+        }
+        obs::fidelity::setProbeInterval(uint64_t{1} << 62);
+        for (int threads : thread_counts) {
+            table.addRow(
+                {"fidelity.probe_check", "armed-idle",
+                 std::to_string(threads), std::to_string(iters),
+                 formatFixed(measure(threads, iters, probe_loop), 2)});
+        }
+        obs::fidelity::setProbeInterval(0);
+    }
 
     obs::setEnabled(true);
     obs::setTraceEnabled(false);
@@ -190,6 +221,9 @@ main(int argc, char **argv)
            "save/set/restore every engine job performs regardless of trace\n"
            "state (thread-local only, single-digit ns); the disabled\n"
            "trace.flow row is what the serve path pays per flow point in\n"
-           "an untraced run.\n";
+           "an untraced run. fidelity.probe_check is the per-GEMM shadow-\n"
+           "probe gate: disabled is the MIRAGE_FIDELITY-unset cost every\n"
+           "backend call pays (<= 2 ns contract), armed-idle adds the\n"
+           "sampling counter without ever firing a probe.\n";
     return 0;
 }

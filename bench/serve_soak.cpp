@@ -31,6 +31,8 @@
 #include "common/rng.h"
 #include "models/zoo.h"
 #include "obs/context.h"
+#include "obs/fidelity.h"
+#include "obs/flight_recorder.h"
 #include "runtime/engine.h"
 #include "serve/repository.h"
 #include "serve/server.h"
@@ -194,8 +196,12 @@ main(int argc, char **argv)
     //   --inject-tile-fail N@T (repeatable) extra failover scenario that
     //                          fails tile N once the arrival-schedule
     //                          clock passes T seconds
+    //   --inject-noise-drift   extra scenario feeding a seeded degrading
+    //                          SNR series into the fidelity drift detector
+    //                          (drives the fidelity_drift alert path)
     std::string request_log_path;
     bool inject_miss_burst = false;
+    bool inject_noise_drift = false;
     double hold_s = 0.0;
     std::vector<TileFail> tile_fails;
     for (int i = 1; i < argc; ++i) {
@@ -203,6 +209,8 @@ main(int argc, char **argv)
             request_log_path = argv[++i];
         else if (std::strcmp(argv[i], "--inject-miss-burst") == 0)
             inject_miss_burst = true;
+        else if (std::strcmp(argv[i], "--inject-noise-drift") == 0)
+            inject_noise_drift = true;
         else if (std::strcmp(argv[i], "--hold") == 0 && i + 1 < argc)
             hold_s = std::atof(argv[++i]);
         else if (std::strcmp(argv[i], "--inject-tile-fail") == 0 &&
@@ -376,6 +384,71 @@ main(int argc, char **argv)
                   << " slo_alerts=" << res.stats.slo_alerts << "\n";
         if (res.stats.slo_alerts == 0) {
             std::cerr << "miss-burst scenario raised no SLO alert\n";
+            return 1;
+        }
+    }
+
+    // --- injected analog noise drift (fidelity alert + flight dump) -----
+    if (inject_noise_drift) {
+        // A seeded synthetic per-tile SNR series holds a ~30 dB baseline,
+        // then degrades by 1.5 dB — the EWMA+CUSUM detector must raise
+        // exactly one rising-edge fidelity_drift alert. A live server
+        // subscribes to the fidelity alert bus, so the same excursion also
+        // proves the server-side forwarding (SloAlertKind::FidelityDrift
+        // through ServerConfig::on_alert) and the flight dump. Runs after
+        // the sweeps so the flight ring holds real request records.
+        serve::ModelRepository repo;
+        repo.publishShape(zoo[0].name, zoo[0]);
+        runtime::EngineConfig ecfg;
+        ecfg.tiles = 2;
+        runtime::RuntimeEngine engine(ecfg);
+        serve::ServerConfig scfg;
+        std::atomic<uint64_t> forwarded{0};
+        scfg.on_alert = [&forwarded](serve::SloClass,
+                                     const serve::SloAlert &a) {
+            if (a.kind == serve::SloAlertKind::FidelityDrift)
+                forwarded.fetch_add(1, std::memory_order_relaxed);
+        };
+        serve::InferenceServer server(repo, engine, scfg);
+
+        obs::FlightRecorder &flight = obs::FlightRecorder::global();
+        flight.setMinTriggerInterval(0.0); // earlier scenarios just dumped
+        const uint64_t dumps_before = flight.triggerCount();
+
+        obs::fidelity::SeriesConfig snr_cfg;
+        snr_cfg.drift.alpha = 0.5;
+        snr_cfg.drift.slack = 0.25;
+        snr_cfg.drift.threshold = 2.0;
+        snr_cfg.drift.min_samples = 8;
+        snr_cfg.alert_up = false; // SNR: only degradation pages
+        obs::fidelity::Series &snr =
+            obs::fidelity::series("fidelity.snr.soak0", snr_cfg);
+        const uint64_t alerts_before = snr.alerts();
+
+        Rng rng(kScheduleSeed ^ 0xd21f7u);
+        for (int i = 0; i < 40; ++i)
+            snr.observe(rng.gaussian(30.0, 0.05));
+        for (int i = 0; i < 40; ++i)
+            snr.observe(rng.gaussian(28.5, 0.05));
+
+        const uint64_t alerts = snr.alerts() - alerts_before;
+        const serve::ServerStats s = server.stats();
+        const uint64_t dumps = flight.triggerCount() - dumps_before;
+        std::cout << "noise-drift: alerts=" << alerts
+                  << " forwarded=" << forwarded.load()
+                  << " server_fidelity_alerts=" << s.fidelity_alerts
+                  << " flight_dumps=" << dumps << "\n";
+        if (alerts == 0) {
+            std::cerr << "noise-drift scenario raised no fidelity alert\n";
+            return 1;
+        }
+        if (forwarded.load() == 0 || s.fidelity_alerts == 0) {
+            std::cerr << "noise-drift alert did not reach the server "
+                         "alert path\n";
+            return 1;
+        }
+        if (flight.armed() && dumps == 0) {
+            std::cerr << "noise-drift alert produced no flight dump\n";
             return 1;
         }
     }

@@ -21,6 +21,7 @@
 #include "common/logging.h"
 #include "models/trainable.h"
 #include "nn/data.h"
+#include "obs/fidelity.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/engine.h"
@@ -55,6 +56,10 @@ main()
     // Arm span recording up front so the whole serve path is captured
     // (metrics are on by default; MIRAGE_TRACE=1 would do the same).
     obs::setTraceEnabled(true);
+    // Shadow-probe every 4th GEMM per call site against the FP32
+    // reference (MIRAGE_FIDELITY=4 would do the same). Probes only read
+    // results — training and serving stay bit-identical with them on.
+    obs::fidelity::setProbeInterval(4);
 
     // --- 1. train --------------------------------------------------------
     {
@@ -154,6 +159,16 @@ main()
     obs::writeChromeTraceFile("serve_quickstart_trace.json");
     std::cout << "Chrome trace written to serve_quickstart_trace.json"
                  " (load it in Perfetto / chrome://tracing)\n";
+
+    // --- 7. numerical fidelity: per-layer shadow-probe error report ------
+    // Every 4th GEMM was re-executed against FP32 and its error recorded
+    // as "matching bits" (round(-log2 relative error); 64 = bit-exact).
+    const obs::Counter *probes = reg.findCounter("fidelity.probes");
+    std::cout << "fidelity probes recorded: "
+              << (probes != nullptr ? probes->value() : 0) << "\n";
+    obs::fidelity::writeReportFile("serve_quickstart_fidelity.json");
+    std::cout << "fidelity report written to serve_quickstart_fidelity.json"
+                 " (validate with bench/check_fidelity.py)\n";
 
     server.shutdown();
     std::remove(ckpt_path.c_str());

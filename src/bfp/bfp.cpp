@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/fidelity.h"
 
 namespace mirage {
 namespace bfp {
@@ -99,6 +100,7 @@ encodeGroupInto(std::span<const float> values, const BfpConfig &cfg,
     if (shared == INT32_MIN) { // all-zero group
         for (size_t i = 0; i < values.size(); ++i)
             mantissas[i] = 0;
+        obs::fidelity::noteBfpGroup(0, 0);
         return 0;
     }
 
@@ -106,16 +108,22 @@ encodeGroupInto(std::span<const float> values, const BfpConfig &cfg,
     // (bm+1)-bit two's-complement integer: [-2^bm, 2^bm - 1].
     const int32_t q_max = (1 << cfg.bm) - 1;
     const int32_t q_min = -(1 << cfg.bm);
+    int clipped = 0;
     for (size_t i = 0; i < values.size(); ++i) {
         const double scaled = std::ldexp(static_cast<double>(values[i]),
                                          cfg.bm - shared);
         int32_t q = roundMantissa(scaled, cfg.rounding, rng);
-        if (q > q_max)
+        if (q > q_max) {
             q = q_max;
-        if (q < q_min)
+            ++clipped;
+        }
+        if (q < q_min) {
             q = q_min;
+            ++clipped;
+        }
         mantissas[i] = q;
     }
+    obs::fidelity::noteBfpGroup(shared, clipped);
     return shared;
 }
 

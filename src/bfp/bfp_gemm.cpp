@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/simd.h"
+#include "obs/fidelity.h"
 #include "rns/conversion.h"
 #include "rns/modular_gemm.h"
 #include "runtime/thread_pool.h"
@@ -308,8 +309,14 @@ bfpGemm(std::span<const float> a, std::span<const float> b,
     const bool raw_safe = codec && rawAccumulationSafe(codec->set(), g);
     std::span<uint32_t> a_planes, b_planes;
     if (raw_safe) {
+        // Every chunk dot raw-accumulates g products per modulus; one
+        // overflow-margin observation per (GEMM, modulus) covers them all.
+        for (size_t mi = 0; mi < codec->set().count(); ++mi)
+            obs::fidelity::recordRnsMargin(codec->set().modulus(mi), g);
         a_planes = residuePlanes(a_enc, codec->set(), ws);
         b_planes = residuePlanes(b_enc, codec->set(), ws);
+    } else if (codec) {
+        obs::fidelity::noteRnsReducedFallback();
     }
     const size_t a_plane_sz = static_cast<size_t>(m_rows) * chunks * g;
     const size_t b_plane_sz = static_cast<size_t>(n_cols) * chunks * g;

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/workspace.h"
+#include "obs/fidelity.h"
 
 namespace mirage {
 namespace nn {
@@ -60,6 +61,7 @@ MultiHeadSelfAttention::forward(const Tensor &x, bool /*training*/)
 {
     MIRAGE_ASSERT(x.rank() == 3 && x.dim(2) == dim_,
                   "MHSA expects [B, T, ", dim_, "], got ", x.shapeString());
+    obs::fidelity::LayerScope fidelity_scope("MHSA.fwd");
     cached_input_ = x;
     batch_ = x.dim(0);
     seq_ = x.dim(1);
@@ -153,6 +155,7 @@ MultiHeadSelfAttention::forward(const Tensor &x, bool /*training*/)
 Tensor
 MultiHeadSelfAttention::backward(const Tensor &grad_out)
 {
+    obs::fidelity::LayerScope fidelity_scope("MHSA.bwd");
     const int rows = batch_ * seq_;
     MIRAGE_ASSERT(grad_out.size() == static_cast<int64_t>(rows) * dim_,
                   "MHSA backward shape mismatch");

@@ -37,6 +37,21 @@ FormatBackend::gemm(std::span<const float> a, std::span<const float> b,
     call.b_is_grad = b_is_grad;
     call.rng = &rng_;
     numerics::formatGemm(format_, call, cfg_, out);
+
+    if (probe_.sample()) {
+        // Shadow execution: re-run this call on the FP32 reference and
+        // record the per-layer error. rng is nulled so the shadow never
+        // consumes the backend's stream — results stay bit-identical with
+        // probes on or off.
+        Workspace &ws = threadWorkspace();
+        Workspace::Scope scope(ws);
+        std::span<float> ref = ws.alloc<float>(out.size());
+        numerics::GemmCall shadow = call;
+        shadow.rng = nullptr;
+        numerics::gemmFp32(shadow, ref);
+        const std::string site = "gemm." + name();
+        obs::fidelity::recordProbe(site.c_str(), out, ref);
+    }
 }
 
 PhotonicBackend::PhotonicBackend(int cfg_bm, int cfg_g, int moduli_k, int rows,
@@ -119,6 +134,22 @@ PhotonicBackend::gemm(std::span<const float> a, std::span<const float> b,
                 }
             }
         }
+    }
+
+    if (probe_.sample()) {
+        // Shadow execution against the FP32 reference (see FormatBackend):
+        // compare-only, no rng consumed, output untouched.
+        Workspace::Scope probe_scope(ws);
+        std::span<float> ref = ws.alloc<float>(out.size());
+        numerics::GemmCall shadow;
+        shadow.a = a;
+        shadow.b = b;
+        shadow.m = m;
+        shadow.k = k;
+        shadow.n = n;
+        numerics::gemmFp32(shadow, ref);
+        const std::string site = "gemm." + name();
+        obs::fidelity::recordProbe(site.c_str(), out, ref);
     }
 }
 

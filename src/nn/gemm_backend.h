@@ -16,6 +16,7 @@
 
 #include "common/rng.h"
 #include "numerics/quantized_gemm.h"
+#include "obs/fidelity.h"
 #include "photonic/mmvmu.h"
 
 namespace mirage {
@@ -88,6 +89,10 @@ class FormatBackend : public GemmBackend
     numerics::DataFormat format_;
     numerics::FormatGemmConfig cfg_;
     Rng rng_;
+    /// Shadow-execution sampler (MIRAGE_FIDELITY): sampled calls re-run on
+    /// the FP32 reference for per-layer error telemetry. Deterministic per
+    /// instance (counts this backend's call sequence) and compare-only.
+    obs::fidelity::ProbeSampler probe_;
 };
 
 /**
@@ -125,6 +130,8 @@ class PhotonicBackend : public GemmBackend
     photonic::RnsMmvmu array_;
     Rng rng_;
     bool noisy_;
+    /// Shadow-execution sampler (see FormatBackend::probe_).
+    obs::fidelity::ProbeSampler probe_;
 };
 
 /** Convenience factory: a backend for any format, photonic or emulated. */

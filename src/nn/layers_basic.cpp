@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/workspace.h"
+#include "obs/fidelity.h"
 
 namespace mirage {
 namespace nn {
@@ -31,6 +32,8 @@ Dense::forward(const Tensor &x, bool /*training*/)
     // flattened into the batch (per-token application for [B, T, D]).
     MIRAGE_ASSERT(x.rank() >= 2 && x.shape().back() == in_,
                   "Dense expects [..., ", in_, "], got ", x.shapeString());
+    // Shadow probes sampled inside the backend attribute to this label.
+    obs::fidelity::LayerScope fidelity_scope("Dense.fwd");
     input_shape_ = x.shape();
     const int batch = static_cast<int>(x.size() / in_);
     cached_input_ = x.reshaped({batch, in_});
@@ -58,6 +61,7 @@ Dense::forward(const Tensor &x, bool /*training*/)
 Tensor
 Dense::backward(const Tensor &grad_out)
 {
+    obs::fidelity::LayerScope fidelity_scope("Dense.bwd");
     const int batch = cached_input_.dim(0);
     MIRAGE_ASSERT(grad_out.size() == static_cast<int64_t>(batch) * out_,
                   "Dense backward shape mismatch");

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/workspace.h"
+#include "obs/fidelity.h"
 
 namespace mirage {
 namespace nn {
@@ -103,6 +104,7 @@ Conv2d::forward(const Tensor &x, bool /*training*/)
     MIRAGE_ASSERT(x.rank() == 4 && x.dim(1) == in_ch_,
                   "Conv2d expects [B, ", in_ch_, ", H, W], got ",
                   x.shapeString());
+    obs::fidelity::LayerScope fidelity_scope("Conv2d.fwd");
     cached_batch_ = x.dim(0);
     cached_h_ = x.dim(2);
     cached_w_ = x.dim(3);
@@ -151,6 +153,7 @@ Conv2d::forward(const Tensor &x, bool /*training*/)
 Tensor
 Conv2d::backward(const Tensor &grad_out)
 {
+    obs::fidelity::LayerScope fidelity_scope("Conv2d.bwd");
     const int p = out_h_ * out_w_;
     const int total_cols = cached_batch_ * p;
     const int k_dim = in_ch_ * kernel_ * kernel_;

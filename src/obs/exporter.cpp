@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include "common/logging.h"
+#include "obs/fidelity.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -157,9 +158,13 @@ struct MetricsExporter::Impl
             std::ostringstream os;
             writeTraceSummary(os);
             sendResponse(client, "200 OK", os.str());
+        } else if (path == "/fidelityz") {
+            std::ostringstream os;
+            fidelity::writeSummary(os);
+            sendResponse(client, "200 OK", os.str());
         } else {
             sendResponse(client, "404 Not Found",
-                         "endpoints: /metrics /healthz /tracez\n");
+                         "endpoints: /metrics /healthz /tracez /fidelityz\n");
         }
     }
 };
@@ -236,7 +241,8 @@ startExporterFromEnv()
         try {
             auto *e = new MetricsExporter(static_cast<int>(port));
             MIRAGE_INFORM("metrics endpoint listening on 127.0.0.1:",
-                          e->port(), " (/metrics /healthz /tracez)");
+                          e->port(),
+                          " (/metrics /healthz /tracez /fidelityz)");
             return e;
         } catch (const std::exception &ex) {
             MIRAGE_WARN("metrics exporter disabled: ", ex.what());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <string>
 
 #include "analog/noise.h"
 #include "common/logging.h"
@@ -49,6 +50,26 @@ Mmvmu::Mmvmu(uint64_t modulus, int rows, int g, const DeviceKit &kit,
     rx.tia_feedback_ohm = kit.receiver.tia_feedback_ohm;
     rx.responsivity_a_per_w = kit.receiver.responsivity_a_per_w;
     noise_sigma_a_ = analog::totalNoiseSigma(budget_.photocurrent_a, rx);
+
+    // Health telemetry: every unit reports its link-budget SNR estimate
+    // into the per-modulus drift series (alerting on SNR sag only; an SNR
+    // improvement is not an operational problem).
+    obs::fidelity::SeriesConfig snr_cfg;
+    snr_cfg.alert_up = false;
+    snr_cfg.alert_down = true;
+    snr_series_ = &obs::fidelity::series(
+        "fidelity.snr.m" + std::to_string(modulus_), snr_cfg);
+    const double snr_db = snrDb();
+    obs::fidelity::noteSnrDb(snr_db);
+    snr_series_->observe(snr_db);
+}
+
+double
+Mmvmu::snrDb() const
+{
+    if (!(noise_sigma_a_ > 0.0) || !(budget_.photocurrent_a > 0.0))
+        return 0.0;
+    return 20.0 * std::log10(budget_.photocurrent_a / noise_sigma_a_);
 }
 
 void
@@ -83,6 +104,11 @@ Mmvmu::programTile(std::span<const rns::Residue> tile, int tile_rows,
         }
     });
     ++stats_.tiles_programmed;
+    // Re-sample the SNR estimate once per reprogram (not per MVM): frequent
+    // enough for drift detection, far off the streaming hot path.
+    const double snr_db = snrDb();
+    obs::fidelity::noteSnrDb(snr_db);
+    snr_series_->observe(snr_db);
 }
 
 void
@@ -115,6 +141,18 @@ Mmvmu::mvm(std::span<const rns::Residue> x, Rng *rng,
             }
         });
     ++stats_.mvms_executed;
+
+    if (probe_.sample()) {
+        // Shadow probe: re-run the sampled MVM on the exact modular
+        // reference and count residue mismatches (detection errors). Reads
+        // x and y only — y is not modified, no rng is consumed.
+        const std::vector<rns::Residue> ideal = mvmIdeal(x);
+        uint64_t mismatches = 0;
+        for (size_t r = 0; r < ideal.size(); ++r)
+            if (y[r] != ideal[r])
+                ++mismatches;
+        obs::fidelity::notePhotonicProbe(ideal.size(), mismatches);
+    }
 }
 
 std::vector<rns::Residue>

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/fidelity.h"
 #include "photonic/link_budget.h"
 #include "photonic/mdpu.h"
 #include "rns/conversion.h"
@@ -76,6 +77,10 @@ class Mmvmu
     const LinkBudget &linkBudget() const { return budget_; }
     const ArrayStats &stats() const { return stats_; }
 
+    /** Estimated electrical SNR of one detection, photocurrent over total
+     *  receiver noise, in dB (+inf-free: 0 when noise is modeled as 0). */
+    double snrDb() const;
+
   private:
     uint64_t modulus_;
     int g_;
@@ -84,6 +89,12 @@ class Mmvmu
     LinkBudget budget_;
     double noise_sigma_a_ = 0.0;
     ArrayStats stats_;
+    /// Per-modulus SNR drift series (fidelity.snr.m<modulus>); immortal
+    /// registry handle, fed at construction and on every tile reprogram.
+    obs::fidelity::Series *snr_series_ = nullptr;
+    /// Shadow-probe sampler (MIRAGE_FIDELITY): compares sampled noisy MVMs
+    /// against mvmIdeal. Compare-only — never feeds results back.
+    obs::fidelity::ProbeSampler probe_;
 };
 
 /**

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/simd.h"
 #include "common/workspace.h"
+#include "obs/fidelity.h"
 #include "runtime/thread_pool.h"
 
 namespace mirage {
@@ -101,11 +102,13 @@ modularDot(const Residue *a, const Residue *b, int len, uint64_t modulus)
     // 64 bits, so we accumulate raw and reduce once for the common case.
     const bool small = modulus < (uint64_t{1} << 21) && len < (1 << 22);
     if (small) {
-        // Prove the bound the fast path relies on instead of trusting the
+        // Count the bound the fast path relies on instead of trusting the
         // magic constants: len products of (modulus-1)^2 must fit in 64
         // bits. (m-1)^2 <= (2^21-1)^2 < 2^42 and len < 2^22, so the product
-        // stays below 2^64 — but if either constant above is ever loosened,
-        // this catches it in debug builds.
+        // stays below 2^64. The margin is recorded as an always-on runtime
+        // observation (fidelity.rns.overflow_margin_min); the debug assert
+        // still hard-stops debug builds if the constants are ever loosened.
+        obs::fidelity::recordRnsMargin(modulus, len);
         MIRAGE_DASSERT(
             modulus <= 1 ||
                 static_cast<uint64_t>(len) <=
@@ -114,6 +117,7 @@ modularDot(const Residue *a, const Residue *b, int len, uint64_t modulus)
             " modulus=", modulus);
         return simd::dotU64Lo32(a, b, len) % modulus;
     }
+    obs::fidelity::noteRnsReducedFallback();
     Residue acc = 0;
     for (int i = 0; i < len; ++i)
         acc = addMod(acc, mulMod(a[i], b[i], modulus), modulus);
@@ -136,6 +140,7 @@ modularGemm(std::span<const Residue> a, std::span<const Residue> b,
         // Huge moduli: acc + (m-1)^2 no longer fits 64 bits, so take the
         // fully reduced (and slow) path. Not a Mirage configuration — the
         // paper's special sets stay far below this.
+        obs::fidelity::noteRnsReducedFallback();
         runtime::parallelFor(
             m_rows,
             runtime::serialBelow(m_rows, kRowGrain,
@@ -164,6 +169,11 @@ modularGemm(std::span<const Residue> a, std::span<const Residue> b,
     const uint64_t reduce_every = (modulus < (uint64_t{1} << 21))
                                       ? kSmallModulusReduceEvery
                                       : 1;
+    // The longest raw run between reductions bounds the headroom; one
+    // accounting call per GEMM (not per panel) keeps it out of the hot loop.
+    obs::fidelity::recordRnsMargin(
+        modulus, static_cast<int64_t>(std::min<uint64_t>(
+                     reduce_every, static_cast<uint64_t>(k_depth))));
     runtime::parallelFor(
         m_rows,
         runtime::serialBelow(m_rows, kRowGrain,

@@ -14,6 +14,7 @@
 
 #include "common/logging.h"
 #include "obs/context.h"
+#include "obs/fidelity.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -67,6 +68,8 @@ struct ServerObs
     obs::Counter &tile_failures;
     obs::Counter &request_errors;
     obs::Gauge &capacity;
+    // Fidelity drift alerts forwarded through the server alert path.
+    obs::Counter &fidelity_alerts;
 
     static ServerObs &
     get()
@@ -96,7 +99,8 @@ struct ServerObs
             reg.gauge("server.slo.shed_burn_fast_milli.batch"),
             reg.counter("serve.tile_failures"),
             reg.counter("serve.request_errors"),
-            reg.gauge("serve.capacity")};
+            reg.gauge("serve.capacity"),
+            reg.counter("server.fidelity.alerts")};
         return o;
     }
 };
@@ -216,10 +220,17 @@ struct InferenceServer::Impl
         // dropped from the cache (its analog state is gone).
         tile_listener = engine.addTileListener(
             [this](int tile, bool healthy) { onTileEvent(tile, healthy); });
+        // Numerical-fidelity drift alerts surface through the same
+        // operator-facing alert path as burn-rate pages.
+        fidelity_listener = obs::fidelity::addAlertListener(
+            [this](const obs::fidelity::DriftAlert &a) {
+                onFidelityDrift(a);
+            });
         start = Clock::now();
         try {
             batcher = std::thread([this] { batchLoop(); });
         } catch (...) {
+            obs::fidelity::removeAlertListener(fidelity_listener);
             engine.removeTileListener(tile_listener);
             repo.removeRetireListener(retire_listener);
             throw;
@@ -228,8 +239,33 @@ struct InferenceServer::Impl
 
     ~Impl()
     {
+        obs::fidelity::removeAlertListener(fidelity_listener);
         engine.removeTileListener(tile_listener);
         repo.removeRetireListener(retire_listener);
+    }
+
+    /** Fidelity drift alert (fidelity fan-out thread, outside fidelity
+     *  locks). The fidelity layer already dumped the flight ring, so this
+     *  only counts the event and forwards it to the user callback in
+     *  SloAlert form (see SloAlertKind::FidelityDrift for the field
+     *  mapping). */
+    void
+    onFidelityDrift(const obs::fidelity::DriftAlert &a)
+    {
+        ServerObs::get().fidelity_alerts.add(1);
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            ++stats.fidelity_alerts;
+        }
+        if (cfg.on_alert) {
+            SloAlert alert;
+            alert.kind = SloAlertKind::FidelityDrift;
+            alert.at_s = a.at_s;
+            alert.fast_burn = a.cusum;
+            alert.slow_burn = a.threshold;
+            alert.fast_events = a.samples;
+            cfg.on_alert(SloClass::Interactive, alert);
+        }
     }
 
     /** Engine tile health change (engine dispatcher thread, no engine
@@ -902,6 +938,7 @@ struct InferenceServer::Impl
     WeightCache cache;
     uint64_t retire_listener = 0;
     int tile_listener = 0;
+    uint64_t fidelity_listener = 0;
     int total_tiles = 0;   ///< Engine tile count (immutable).
     int healthy_tiles = 0; ///< Guarded by mu; tracks engine tile events.
 

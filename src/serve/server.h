@@ -153,6 +153,9 @@ struct ServerStats
     uint64_t batch_completed = 0;
     uint64_t deadline_misses = 0;
     uint64_t slo_alerts = 0; ///< Rising-edge burn alerts (both kinds).
+    /// Numerical-fidelity drift alerts forwarded from obs/fidelity.h
+    /// (SloAlertKind::FidelityDrift); not counted in `slo_alerts`.
+    uint64_t fidelity_alerts = 0;
     uint64_t batches = 0; ///< Micro-batches dispatched.
     /// batch_size_hist[b] = micro-batches holding exactly b requests
     /// (index 0 unused).

@@ -35,6 +35,7 @@ toString(SloAlertKind kind)
     switch (kind) {
       case SloAlertKind::DeadlineBurn: return "deadline_burn";
       case SloAlertKind::ShedBurst: return "shed_burst";
+      case SloAlertKind::FidelityDrift: return "fidelity_drift";
     }
     return "?";
 }

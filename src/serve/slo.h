@@ -49,8 +49,11 @@ struct SloMonitorConfig
 
 enum class SloAlertKind
 {
-    DeadlineBurn, ///< Deadline-miss burn crossed in both windows.
-    ShedBurst,    ///< Shed-rate burn crossed in both windows.
+    DeadlineBurn,  ///< Deadline-miss burn crossed in both windows.
+    ShedBurst,     ///< Shed-rate burn crossed in both windows.
+    FidelityDrift, ///< Numerical-fidelity drift (obs/fidelity.h) forwarded
+                   ///< through the server alert path; fast_burn carries the
+                   ///< CUSUM statistic, slow_burn the detector threshold.
 };
 
 const char *toString(SloAlertKind kind);

@@ -9,6 +9,8 @@
 
 #include "common/math_util.h"
 #include "common/rng.h"
+#include "obs/fidelity.h"
+#include "obs/metrics.h"
 #include "rns/conversion.h"
 #include "rns/modular_gemm.h"
 #include "rns/moduli_set.h"
@@ -228,8 +230,25 @@ TEST(ModularDot, OverflowEdgeAtSmallPathBounds)
     ASSERT_LE(static_cast<uint64_t>(len), UINT64_MAX / prod);
 
     // Closed form: len * (m-1)^2 mod m, with (m-1)^2 ≡ 1 (mod m).
+    obs::fidelity::resetForTest();
     EXPECT_EQ(modularDot(a.data(), b.data(), len, m_small),
               static_cast<uint64_t>(len) % m_small);
+
+    // The always-on margin accounting (the promoted debug assert) must
+    // have observed exactly this corner: worst = (2^21-2)^2 * 2^14 uses
+    // 56 of 64 accumulator bits, leaving 8 bits of headroom.
+    const obs::Gauge *margin = obs::MetricsRegistry::global().findGauge(
+        "fidelity.rns.overflow_margin_min");
+    ASSERT_NE(margin, nullptr);
+    EXPECT_EQ(margin->value(), 8);
+    const obs::Counter *checks = obs::MetricsRegistry::global().findCounter(
+        "fidelity.rns.dot_checks");
+    ASSERT_NE(checks, nullptr);
+    EXPECT_GE(checks->value(), 1u);
+    const obs::Counter *risk = obs::MetricsRegistry::global().findCounter(
+        "fidelity.rns.overflow_risk");
+    ASSERT_NE(risk, nullptr);
+    EXPECT_EQ(risk->value(), 0u);
 
     // Safe-path modulus with residues m_small - 1: same closed form via
     // ((m_large - 2)^2 mod m_large) = 4 per term.
